@@ -1,0 +1,119 @@
+// Ablation: BDD-guided constraint handling in p4-fuzzer (the paper's §7
+// "ongoing work", implemented here) versus the paper's §4.1 baseline that
+// ignores constraints during generation.
+//
+// Measures, over constrained tables:
+//   * the fraction of intended-valid requests that are actually
+//     constraint-compliant (the baseline "frequently generates invalid
+//     requests for tables with constraints"),
+//   * generation throughput,
+//   * the share of interesting near-miss violations among mutated requests.
+//
+//   $ ./ablation_bdd_fuzzer
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "fuzzer/generator.h"
+#include "models/entry_gen.h"
+#include "p4runtime/validator.h"
+
+using namespace switchv;
+
+namespace {
+
+struct Result {
+  int constrained_valid_attempts = 0;
+  int constraint_compliant = 0;
+  int violations_from_mutation = 0;
+  double updates_per_second = 0;
+};
+
+StatusOr<Result> RunMode(bool use_bdd, const p4ir::P4Info& info,
+                         const std::vector<p4rt::TableEntry>& base) {
+  Result result;
+  fuzzer::FuzzerOptions options;
+  options.use_bdd_for_constraints = use_bdd;
+  fuzzer::RequestGenerator generator(info, options, /*seed=*/13);
+  fuzzer::SwitchStateView state(info);
+  state.Reset(base);
+
+  const int kBatches = 200;
+  const int kBatchSize = 50;
+  const auto start = std::chrono::steady_clock::now();
+  int updates = 0;
+  for (int i = 0; i < kBatches; ++i) {
+    const auto batch = generator.GenerateBatch(state, kBatchSize);
+    updates += static_cast<int>(batch.size());
+    for (const fuzzer::AnnotatedUpdate& update : batch) {
+      if (update.update.type != p4rt::UpdateType::kInsert) continue;
+      const p4ir::TableInfo* table =
+          info.FindTable(update.update.entry.table_id);
+      if (table == nullptr || table->entry_restriction.empty()) continue;
+      if (!update.mutation.has_value()) {
+        ++result.constrained_valid_attempts;
+        auto compliant =
+            p4rt::IsConstraintCompliant(info, update.update.entry);
+        if (compliant.ok() && *compliant) ++result.constraint_compliant;
+      } else if (*update.mutation ==
+                 fuzzer::Mutation::kConstraintViolation) {
+        ++result.violations_from_mutation;
+      }
+    }
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  result.updates_per_second = updates / seconds;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: BDD-guided constraint handling in p4-fuzzer\n\n";
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  if (!model.ok()) {
+    std::cerr << model.status() << "\n";
+    return 1;
+  }
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  auto base = models::GenerateEntries(info, models::Role::kMiddleblock,
+                                      models::WorkloadSpec::Inst1(), 1);
+  if (!base.ok()) {
+    std::cerr << base.status() << "\n";
+    return 1;
+  }
+
+  std::cout << std::left << std::setw(30) << "Mode" << std::right
+            << std::setw(22) << "Compliant valid reqs" << std::setw(18)
+            << "Near-miss invalid" << std::setw(14) << "Updates/s" << "\n";
+  for (const bool use_bdd : {false, true}) {
+    auto result = RunMode(use_bdd, info, *base);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    const int pct =
+        result->constrained_valid_attempts > 0
+            ? 100 * result->constraint_compliant /
+                  result->constrained_valid_attempts
+            : 0;
+    std::cout << std::left << std::setw(30)
+              << (use_bdd ? "BDD-guided (§7 extension)"
+                          : "naive (paper §4.1 baseline)")
+              << std::right << std::setw(18)
+              << (std::to_string(result->constraint_compliant) + "/" +
+                  std::to_string(result->constrained_valid_attempts))
+              << " (" << std::setw(3) << pct << "%)" << std::setw(12)
+              << result->violations_from_mutation << std::setw(14)
+              << std::fixed << std::setprecision(0)
+              << result->updates_per_second << "\n";
+  }
+  std::cout << "\nexpected shape: the baseline's intended-valid requests for "
+               "constrained tables\nare often non-compliant; the BDD mode "
+               "reaches 100% compliance and adds\nnear-miss violations, at "
+               "comparable throughput.\n";
+  return 0;
+}

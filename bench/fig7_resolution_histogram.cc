@@ -1,0 +1,92 @@
+// Regenerates paper Figure 7: "Number of days required to resolve bugs in
+// PINS by SwitchV component".
+//
+// Method: the full catalog sweep runs (as for Table 1) to determine which
+// bugs SwitchV actually detects and by which component; detected PINS bugs
+// are then joined with the catalog's days-to-resolution metadata (our
+// substitute for the paper's two-year issue-tracker history; see
+// DESIGN.md) and bucketed into the figure's bins. Shape to check: the
+// majority of bugs resolve within 14 days, roughly a third within 5, a
+// long tail beyond 150 days, and some unresolved.
+//
+//   $ ./fig7_resolution_histogram
+
+#include <iomanip>
+#include <iostream>
+
+#include "switchv/experiment.h"
+
+using namespace switchv;
+
+int main() {
+  std::cout << "Figure 7 reproduction: days to resolution of detected PINS "
+               "bugs\n(running the detection sweep first)\n";
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 15;
+  auto results = RunFullSweep(options);
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return 1;
+  }
+
+  struct Bucket {
+    int lo;
+    int hi;  // exclusive; -1 = open-ended
+    const char* label;
+  };
+  static constexpr Bucket kBuckets[] = {
+      {0, 3, "0-3"},     {3, 6, "3-6"},     {6, 10, "6-10"},
+      {10, 15, "10-15"}, {15, 20, "15-20"}, {20, 25, "20-25"},
+      {25, 30, "25-30"}, {30, 60, "30-60"}, {60, 90, "60-90"},
+      {90, 120, "90-120"}, {120, 150, "120-150"}, {150, -1, ">= 150"},
+  };
+  int total[12] = {};
+  int symbolic[12] = {};
+  int fuzzer[12] = {};
+  int unresolved = 0;
+  int pins_detected = 0;
+  int within_5 = 0;
+  int within_14 = 0;
+  for (const BugRunResult& result : *results) {
+    if (!result.detected || result.bug->stack != sut::Stack::kPins) continue;
+    ++pins_detected;
+    const int days = result.bug->days_to_resolution;
+    if (days < 0) {
+      ++unresolved;
+      continue;
+    }
+    if (days <= 5) ++within_5;
+    if (days <= 14) ++within_14;
+    for (int b = 0; b < 12; ++b) {
+      if (days >= kBuckets[b].lo &&
+          (kBuckets[b].hi < 0 || days < kBuckets[b].hi)) {
+        ++total[b];
+        if (*result.detector == Detector::kSymbolic) {
+          ++symbolic[b];
+        } else {
+          ++fuzzer[b];
+        }
+        break;
+      }
+    }
+  }
+
+  std::cout << "\n" << std::left << std::setw(10) << "Days" << std::right
+            << std::setw(7) << "Total" << std::setw(10) << "Symbolic"
+            << std::setw(8) << "Fuzzer" << "  histogram\n";
+  for (int b = 0; b < 12; ++b) {
+    std::cout << std::left << std::setw(10) << kBuckets[b].label
+              << std::right << std::setw(7) << total[b] << std::setw(10)
+              << symbolic[b] << std::setw(8) << fuzzer[b] << "  "
+              << std::string(static_cast<std::size_t>(total[b]) * 4, '#')
+              << "\n";
+  }
+  std::cout << "\nunresolved bugs: " << unresolved
+            << " (paper: 9 of 122, at catalog scale ~1-2)\n"
+            << "resolved within 14 days: " << within_14 << "/"
+            << pins_detected
+            << " (paper: the majority of bugs were fixed within 14 days)\n"
+            << "resolved within 5 days: " << within_5 << "/" << pins_detected
+            << " (paper: 33% fixed within 5 days)\n";
+  return 0;
+}

@@ -1,0 +1,269 @@
+// Microbenchmarks for the per-stage costs behind Table 3: value encoding,
+// constraint parsing/evaluation, BDD compilation and sampling, entry
+// validation and decoding, both dataplane implementations, LPM lookup,
+// fuzz-batch generation, and single-packet SMT solving.
+//
+//   $ ./micro_benchmarks
+
+#include <benchmark/benchmark.h>
+
+#include "bmv2/interpreter.h"
+#include "fuzzer/generator.h"
+#include "fuzzer/oracle.h"
+#include "models/entry_gen.h"
+#include "models/test_packets.h"
+#include "p4constraints/constraint_bdd.h"
+#include "p4runtime/decoded_entry.h"
+#include "p4runtime/validator.h"
+#include "sut/lpm_trie.h"
+#include "sut/switch_stack.h"
+#include "symbolic/executor.h"
+
+namespace switchv {
+namespace {
+
+// Shared fixtures, built once.
+struct Env {
+  p4ir::Program model;
+  p4ir::P4Info info;
+  std::vector<p4rt::TableEntry> entries;
+  std::string tcp_packet;
+  std::string arp_packet;
+
+  static const Env& Get() {
+    static const Env* const env = [] {
+      auto* e = new Env;
+      e->model = std::move(
+          models::BuildSaiProgram(models::Role::kMiddleblock).value());
+      e->info = p4ir::P4Info::FromProgram(e->model);
+      models::WorkloadSpec spec;
+      spec.num_ipv4_routes = 200;
+      spec.num_ipv6_routes = 60;
+      e->entries = std::move(models::GenerateEntries(
+                                 e->info, models::Role::kMiddleblock, spec, 1)
+                                 .value());
+      models::Ipv4PacketSpec packet_spec;
+      packet_spec.dst_ip = 0x0A000102;
+      e->tcp_packet = models::BuildIpv4Packet(e->model, packet_spec);
+      e->arp_packet = models::BuildArpPacket(e->model);
+      return e;
+    }();
+    return *env;
+  }
+};
+
+void BM_BitStringCanonicalRoundTrip(benchmark::State& state) {
+  const BitString value = BitString::FromUint(0x0A00000122334455ull, 64);
+  for (auto _ : state) {
+    auto bytes = value.ToCanonicalBytes();
+    auto parsed = BitString::FromBytes(bytes, 64);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_BitStringCanonicalRoundTrip);
+
+void BM_ConstraintParse(benchmark::State& state) {
+  p4constraints::TableSchema schema;
+  schema.keys = {{"vrf_id", 12, p4constraints::KeySchema::Kind::kExact},
+                 {"ether_type", 16, p4constraints::KeySchema::Kind::kTernary},
+                 {"dst_ip", 32, p4constraints::KeySchema::Kind::kTernary}};
+  for (auto _ : state) {
+    auto parsed = p4constraints::ParseConstraint(
+        "vrf_id != 0 && (dst_ip::mask != 0 -> ether_type == 0x0800)",
+        schema);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ConstraintParse);
+
+void BM_ConstraintEval(benchmark::State& state) {
+  p4constraints::TableSchema schema;
+  schema.keys = {{"vrf_id", 12, p4constraints::KeySchema::Kind::kExact}};
+  auto parsed = p4constraints::ParseConstraint("vrf_id != 0", schema);
+  p4constraints::EntryValuation entry;
+  entry.keys["vrf_id"] = {true, 7, 0xFFF, 0};
+  for (auto _ : state) {
+    auto verdict = p4constraints::EvalConstraint(*parsed, entry);
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+BENCHMARK(BM_ConstraintEval);
+
+void BM_BddCompileAclConstraint(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const p4ir::TableInfo* acl = env.info.FindTableByName("acl_ingress_tbl");
+  const auto schema = p4rt::SchemaForTable(*acl);
+  for (auto _ : state) {
+    auto compiled =
+        p4constraints::ConstraintBdd::Compile(acl->entry_restriction, schema);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_BddCompileAclConstraint);
+
+void BM_BddSampleSatisfying(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const p4ir::TableInfo* acl = env.info.FindTableByName("acl_ingress_tbl");
+  auto compiled = p4constraints::ConstraintBdd::Compile(
+      acl->entry_restriction, p4rt::SchemaForTable(*acl));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto sample = compiled->SampleSatisfying(rng);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_BddSampleSatisfying);
+
+void BM_BddSampleViolatingNodeFlip(benchmark::State& state) {
+  const Env& env = Env::Get();
+  const p4ir::TableInfo* acl = env.info.FindTableByName("acl_ingress_tbl");
+  auto compiled = p4constraints::ConstraintBdd::Compile(
+      acl->entry_restriction, p4rt::SchemaForTable(*acl));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto sample = compiled->SampleViolating(rng);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_BddSampleViolatingNodeFlip);
+
+void BM_ValidateEntry(benchmark::State& state) {
+  const Env& env = Env::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Status status =
+        p4rt::ValidateEntry(env.info, env.entries[i++ % env.entries.size()]);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_ValidateEntry);
+
+void BM_DecodeEntry(benchmark::State& state) {
+  const Env& env = Env::Get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto decoded =
+        p4rt::DecodeEntry(env.info, env.entries[i++ % env.entries.size()]);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeEntry);
+
+void BM_PacketParse(benchmark::State& state) {
+  const Env& env = Env::Get();
+  for (auto _ : state) {
+    auto parsed = packet::Parse(env.model, models::SaiParserSpec(),
+                                env.tcp_packet);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_Bmv2RunPacket(benchmark::State& state) {
+  const Env& env = Env::Get();
+  bmv2::Interpreter interpreter(env.model, models::SaiParserSpec(),
+                                models::DefaultCloneSessions());
+  (void)interpreter.InstallEntries(env.entries);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto outcome = interpreter.Run(env.tcp_packet, 1, seed++);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_Bmv2RunPacket);
+
+void BM_AsicForwardPacket(benchmark::State& state) {
+  const Env& env = Env::Get();
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           env.model.cpu_port);
+  (void)!sut.SetForwardingPipelineConfig(env.info).ok();
+  p4rt::WriteRequest request;
+  for (const p4rt::TableEntry& entry : env.entries) {
+    request.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  (void)sut.Write(request);
+  for (auto _ : state) {
+    auto outcome = sut.asic().Forward(env.tcp_packet, 1);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_AsicForwardPacket);
+
+void BM_LpmTrieLookup(benchmark::State& state) {
+  sut::LpmTrie<int> trie(32);
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) {
+    trie.Insert(rng.Bits(32).ToUint64(), 8 + static_cast<int>(rng.Uniform(0, 24)), i);
+  }
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    key = key * 2654435761u + 12345u;
+    benchmark::DoNotOptimize(trie.Lookup(key));
+  }
+}
+BENCHMARK(BM_LpmTrieLookup);
+
+void BM_FuzzerGenerateBatch(benchmark::State& state) {
+  const Env& env = Env::Get();
+  fuzzer::SwitchStateView view(env.info);
+  view.Reset(env.entries);
+  fuzzer::RequestGenerator generator(env.info, fuzzer::FuzzerOptions{}, 5);
+  for (auto _ : state) {
+    auto batch = generator.GenerateBatch(view, 50);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_FuzzerGenerateBatch);
+
+void BM_WriteBatchEndToEnd(benchmark::State& state) {
+  // One fuzz round against the full stack: generate, write, read, judge.
+  const Env& env = Env::Get();
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           env.model.cpu_port);
+  (void)!sut.SetForwardingPipelineConfig(env.info).ok();
+  fuzzer::RequestGenerator generator(env.info, fuzzer::FuzzerOptions{}, 5);
+  fuzzer::Oracle oracle(env.info);
+  for (auto _ : state) {
+    const auto batch = generator.GenerateBatch(oracle.state(), 50);
+    p4rt::WriteRequest request;
+    for (const auto& annotated : batch) {
+      request.updates.push_back(annotated.update);
+    }
+    const auto response = sut.Write(request);
+    const auto read = sut.Read(p4rt::ReadRequest{});
+    auto findings = oracle.JudgeBatch(batch, response, read);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_WriteBatchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicExecutePipeline(benchmark::State& state) {
+  const Env& env = Env::Get();
+  for (auto _ : state) {
+    symbolic::SymbolicExecutor executor(env.model, models::SaiParserSpec());
+    const Status status = executor.Execute(env.entries);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_SymbolicExecutePipeline)->Unit(benchmark::kMillisecond);
+
+void BM_SolveOnePacket(benchmark::State& state) {
+  const Env& env = Env::Get();
+  symbolic::SymbolicExecutor executor(env.model, models::SaiParserSpec());
+  (void)!executor.Execute(env.entries).ok();
+  const auto& targets = executor.targets();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& target = targets[i++ % targets.size()];
+    auto packet = executor.SolvePacket(target.guard, target.id);
+    benchmark::DoNotOptimize(packet);
+  }
+}
+BENCHMARK(BM_SolveOnePacket)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace switchv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,192 @@
+// Regenerates paper Table 3 (top): p4-symbolic performance on the two
+// production P4 programs.
+//
+//   P4 Prog.  Entries  Generation (w/c)  Testing
+//   Inst1     798      413s (14s)        58s
+//   Inst2     1314     1099s (6s)        64s
+//
+// Method: generate entry-coverage test packets for the full production-like
+// forwarding state, cold and then warm (cache hit), then run every packet
+// through the switch under test and the reference simulator and compare
+// ("Testing"). Absolute seconds are machine-dependent; the shape to check:
+// Inst2 generation is substantially slower than Inst1 (larger state, wider
+// keys), the cache reduces generation by 1-2 orders of magnitude, and
+// testing time is roughly flat across the two programs.
+//
+// By default the workload is scaled to 1/4 of the paper's entry counts to
+// keep the bench suite under an hour; set SWITCHV_FULL_TABLE3=1 for the
+// full 798/1314-entry runs (several hundred seconds of Z3 per program,
+// matching the paper's magnitudes).
+//
+//   $ ./table3_symbolic_perf
+//   $ SWITCHV_FULL_TABLE3=1 ./table3_symbolic_perf
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "bmv2/interpreter.h"
+#include "models/entry_gen.h"
+#include "sut/switch_stack.h"
+#include "symbolic/packet_gen.h"
+
+using namespace switchv;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+models::WorkloadSpec Scale(models::WorkloadSpec spec, int divisor) {
+  if (divisor <= 1) return spec;
+  auto scale = [divisor](int& value) {
+    value = std::max(1, value / divisor);
+  };
+  scale(spec.num_vrfs);
+  scale(spec.num_l3_admit);
+  scale(spec.num_pre_ingress);
+  scale(spec.num_ipv4_routes);
+  scale(spec.num_ipv6_routes);
+  scale(spec.num_wcmp_groups);
+  scale(spec.num_nexthops);
+  scale(spec.num_neighbors);
+  scale(spec.num_rifs);
+  scale(spec.num_acl_ingress);
+  scale(spec.num_mirror_sessions);
+  scale(spec.num_egress_rifs);
+  if (spec.num_decap > 0) scale(spec.num_decap);
+  if (spec.num_tunnels > 0) scale(spec.num_tunnels);
+  return spec;
+}
+
+struct RowResult {
+  std::string name;
+  int entries = 0;
+  double generation_cold = 0;
+  double generation_warm = 0;
+  double testing = 0;
+  int packets = 0;
+};
+
+StatusOr<RowResult> RunInstantiation(const std::string& name,
+                                     models::Role role,
+                                     const models::WorkloadSpec& spec) {
+  RowResult row;
+  row.name = name;
+  SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model,
+                           models::BuildSaiProgram(role));
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+  SWITCHV_ASSIGN_OR_RETURN(std::vector<p4rt::TableEntry> entries,
+                           models::GenerateEntries(info, role, spec, 1));
+  row.entries = static_cast<int>(entries.size());
+
+  symbolic::PacketCache cache;
+  symbolic::GenerationStats stats;
+  auto start = std::chrono::steady_clock::now();
+  SWITCHV_ASSIGN_OR_RETURN(
+      std::vector<symbolic::TestPacket> packets,
+      symbolic::GeneratePackets(model, models::SaiParserSpec(), entries,
+                                symbolic::CoverageMode::kEntryCoverage,
+                                &cache, &stats));
+  row.generation_cold = Seconds(start);
+  row.packets = static_cast<int>(packets.size());
+
+  start = std::chrono::steady_clock::now();
+  SWITCHV_ASSIGN_OR_RETURN(
+      std::vector<symbolic::TestPacket> cached,
+      symbolic::GeneratePackets(model, models::SaiParserSpec(), entries,
+                                symbolic::CoverageMode::kEntryCoverage,
+                                &cache, &stats));
+  row.generation_warm = Seconds(start);
+
+  // Testing: packets through the switch under test and the reference
+  // simulator, with behaviour comparison.
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           model.cpu_port);
+  SWITCHV_RETURN_IF_ERROR(sut.SetForwardingPipelineConfig(info));
+  p4rt::WriteRequest request;
+  for (const p4rt::TableEntry& entry : entries) {
+    request.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  (void)sut.Write(request);
+  bmv2::Interpreter reference(model, models::SaiParserSpec(),
+                              models::DefaultCloneSessions());
+  SWITCHV_RETURN_IF_ERROR(reference.InstallEntries(entries));
+  start = std::chrono::steady_clock::now();
+  int divergences = 0;
+  for (const symbolic::TestPacket& packet : packets) {
+    const packet::ForwardingOutcome observed =
+        sut.InjectPacket(packet.bytes, packet.ingress_port);
+    auto behaviors =
+        reference.EnumerateBehaviors(packet.bytes, packet.ingress_port);
+    bool admissible = false;
+    if (behaviors.ok()) {
+      for (const packet::ForwardingOutcome& b : *behaviors) {
+        if (b == observed) admissible = true;
+      }
+    }
+    if (!admissible) ++divergences;
+  }
+  row.testing = Seconds(start);
+  if (divergences != 0) {
+    return InternalError("unexpected divergences on the healthy switch");
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("SWITCHV_FULL_TABLE3") != nullptr;
+  const int divisor = full ? 1 : 4;
+  std::cout << "Table 3 (top) reproduction: p4-symbolic performance\n"
+            << (full ? "full paper-scale workloads (798/1314 entries)"
+                     : "workloads scaled to 1/4 of the paper's entry "
+                       "counts (set SWITCHV_FULL_TABLE3=1 for full scale)")
+            << "\n\n";
+
+  const struct {
+    const char* name;
+    models::Role role;
+    models::WorkloadSpec spec;
+  } programs[] = {
+      {"Inst1", models::Role::kMiddleblock,
+       Scale(models::WorkloadSpec::Inst1(), divisor)},
+      {"Inst2", models::Role::kWan,
+       Scale(models::WorkloadSpec::Inst2(), divisor)},
+  };
+
+  std::cout << std::left << std::setw(10) << "P4 Prog." << std::right
+            << std::setw(9) << "Entries" << std::setw(22)
+            << "Generation (w/c)" << std::setw(10) << "Testing"
+            << std::setw(10) << "Packets" << "\n";
+  double gen[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    auto row = RunInstantiation(programs[i].name, programs[i].role,
+                                programs[i].spec);
+    if (!row.ok()) {
+      std::cerr << programs[i].name << ": " << row.status() << "\n";
+      return 1;
+    }
+    gen[i] = row->generation_cold;
+    std::ostringstream generation;
+    generation << std::fixed << std::setprecision(1) << row->generation_cold
+               << "s (" << std::setprecision(2) << row->generation_warm
+               << "s)";
+    std::cout << std::left << std::setw(10) << row->name << std::right
+              << std::setw(9) << row->entries << std::setw(22)
+              << generation.str() << std::setw(9) << std::fixed
+              << std::setprecision(1) << row->testing << "s"
+              << std::setw(10) << row->packets << "\n";
+  }
+  std::cout << "\npaper (full scale): Inst1 798 entries, 413s (14s), 58s; "
+               "Inst2 1314 entries, 1099s (6s), 64s\n"
+            << "shape check: Inst2 generation / Inst1 generation = "
+            << std::fixed << std::setprecision(2) << (gen[1] / gen[0])
+            << " (paper: 2.66)\n";
+  return 0;
+}

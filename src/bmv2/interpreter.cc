@@ -1,0 +1,293 @@
+#include "bmv2/interpreter.h"
+
+#include <set>
+
+namespace switchv::bmv2 {
+
+using packet::ForwardingOutcome;
+using packet::ParsedPacket;
+
+Interpreter::Interpreter(const p4ir::Program& program,
+                         packet::ParserSpec parser,
+                         CloneSessionMap clone_sessions)
+    : program_(program),
+      p4info_(p4ir::P4Info::FromProgram(program)),
+      parser_(std::move(parser)),
+      clone_sessions_(std::move(clone_sessions)) {}
+
+Status Interpreter::InstallEntries(
+    const std::vector<p4rt::TableEntry>& entries) {
+  std::map<std::string, std::vector<p4rt::DecodedEntry>> installed;
+  for (const p4rt::TableEntry& entry : entries) {
+    SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry decoded,
+                             p4rt::DecodeEntry(p4info_, entry));
+    installed[decoded.table_name].push_back(std::move(decoded));
+  }
+  entries_ = std::move(installed);
+  return OkStatus();
+}
+
+StatusOr<BitString> Interpreter::EvalExpr(
+    const p4ir::Expr& expr, const RunState& state,
+    const std::map<std::string, BitString>* args) const {
+  switch (expr.kind()) {
+    case p4ir::Expr::Kind::kConstant:
+      return expr.constant();
+    case p4ir::Expr::Kind::kField: {
+      auto it = state.packet.fields.find(expr.name());
+      if (it == state.packet.fields.end()) {
+        return InternalError("unknown field at runtime: " + expr.name());
+      }
+      return it->second;
+    }
+    case p4ir::Expr::Kind::kParam: {
+      if (args == nullptr) {
+        return InternalError("param outside action: " + expr.name());
+      }
+      auto it = args->find(expr.name());
+      if (it == args->end()) {
+        return InternalError("unbound param: " + expr.name());
+      }
+      return it->second;
+    }
+    case p4ir::Expr::Kind::kValid:
+      return BitString::FromUint(
+          state.packet.valid_headers.contains(expr.name()) ? 1 : 0, 1);
+    case p4ir::Expr::Kind::kUnary: {
+      SWITCHV_ASSIGN_OR_RETURN(BitString v,
+                               EvalExpr(expr.children()[0], state, args));
+      if (expr.unary_op() == p4ir::UnaryOp::kLogicalNot) {
+        return BitString::FromUint(v.IsZero() ? 1 : 0, 1);
+      }
+      return ~v;
+    }
+    case p4ir::Expr::Kind::kBinary: {
+      SWITCHV_ASSIGN_OR_RETURN(BitString a,
+                               EvalExpr(expr.children()[0], state, args));
+      SWITCHV_ASSIGN_OR_RETURN(BitString b,
+                               EvalExpr(expr.children()[1], state, args));
+      using Op = p4ir::BinaryOp;
+      switch (expr.binary_op()) {
+        case Op::kEq: return BitString::FromUint(a.value() == b.value(), 1);
+        case Op::kNe: return BitString::FromUint(a.value() != b.value(), 1);
+        case Op::kLt: return BitString::FromUint(a.value() < b.value(), 1);
+        case Op::kLe: return BitString::FromUint(a.value() <= b.value(), 1);
+        case Op::kGt: return BitString::FromUint(a.value() > b.value(), 1);
+        case Op::kGe: return BitString::FromUint(a.value() >= b.value(), 1);
+        case Op::kAnd:
+          return BitString::FromUint(!a.IsZero() && !b.IsZero(), 1);
+        case Op::kOr:
+          return BitString::FromUint(!a.IsZero() || !b.IsZero(), 1);
+        case Op::kBitAnd: return a & b;
+        case Op::kBitOr: return a | b;
+        case Op::kBitXor: return a ^ b;
+        case Op::kAdd:
+          return BitString::FromUint(a.value() + b.value(), a.width());
+        case Op::kSub:
+          return BitString::FromUint(a.value() - b.value(), a.width());
+      }
+      return InternalError("unreachable binary op");
+    }
+  }
+  return InternalError("unreachable expr kind");
+}
+
+Status Interpreter::ApplyAction(const p4ir::Action& action,
+                                const std::vector<BitString>& arg_values,
+                                RunState& state) const {
+  if (arg_values.size() != action.params.size()) {
+    return InternalError("arity mismatch applying " + action.name);
+  }
+  std::map<std::string, BitString> args;
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    args.emplace(action.params[i].name, arg_values[i]);
+  }
+  for (const p4ir::Statement& stmt : action.body) {
+    switch (stmt.kind) {
+      case p4ir::Statement::Kind::kAssign: {
+        SWITCHV_ASSIGN_OR_RETURN(BitString value,
+                                 EvalExpr(*stmt.value, state, &args));
+        state.packet.fields[stmt.target] = value;
+        break;
+      }
+      case p4ir::Statement::Kind::kSetValid:
+        if (stmt.valid) {
+          state.packet.valid_headers.insert(stmt.target);
+        } else {
+          state.packet.valid_headers.erase(stmt.target);
+        }
+        break;
+      case p4ir::Statement::Kind::kHash: {
+        // Round-robin hashing: draw k of a run with seed s yields s + k,
+        // truncated to the destination width (paper §5).
+        const int width = program_.FieldWidth(stmt.target);
+        state.packet.fields[stmt.target] = BitString::FromUint(
+            state.hash_seed + static_cast<std::uint64_t>(state.hash_draws),
+            width);
+        ++state.hash_draws;
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+int Interpreter::SelectEntry(const p4ir::Table& table,
+                             const std::vector<p4rt::DecodedEntry>& entries,
+                             const RunState& state) const {
+  int best = -1;
+  int best_priority = -1;
+  int best_prefix = -1;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const p4rt::DecodedEntry& entry = entries[i];
+    bool matches = true;
+    int prefix_sum = 0;
+    for (std::size_t k = 0; k < table.keys.size() && matches; ++k) {
+      const p4rt::DecodedMatch& m = entry.matches[k];
+      if (!m.present) continue;  // wildcard
+      const BitString& field_value =
+          state.packet.fields.at(table.keys[k].field);
+      if (!field_value.TernaryMatches(m.value, m.mask)) matches = false;
+      prefix_sum += m.prefix_len;
+    }
+    if (!matches) continue;
+    if (table.RequiresPriority()) {
+      // Numerically larger priority wins (P4Runtime).
+      if (entry.priority > best_priority) {
+        best_priority = entry.priority;
+        best = static_cast<int>(i);
+      }
+    } else {
+      // Longest-prefix (or the unique exact match; prefix_sum 0 then).
+      if (prefix_sum > best_prefix) {
+        best_prefix = prefix_sum;
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return best;
+}
+
+Status Interpreter::ApplyTable(const p4ir::Table& table,
+                               RunState& state) const {
+  const std::vector<p4rt::DecodedEntry>* installed = nullptr;
+  if (auto it = entries_.find(table.name); it != entries_.end()) {
+    installed = &it->second;
+  }
+  static const std::vector<p4rt::DecodedEntry> kEmpty;
+  const auto& entries = installed != nullptr ? *installed : kEmpty;
+  const int selected = SelectEntry(table, entries, state);
+  if (selected < 0) {
+    const p4ir::Action* default_action =
+        program_.FindAction(table.default_action);
+    return ApplyAction(*default_action, table.default_action_args, state);
+  }
+  const p4rt::DecodedEntry& entry = entries[static_cast<std::size_t>(selected)];
+  const p4rt::DecodedAction* chosen = &entry.actions[0];
+  if (entry.is_action_set) {
+    // Weighted member selection by the next hash draw.
+    const int total = entry.TotalWeight();
+    std::uint64_t draw =
+        (state.hash_seed + static_cast<std::uint64_t>(state.hash_draws)) %
+        static_cast<std::uint64_t>(total);
+    ++state.hash_draws;
+    for (const p4rt::DecodedAction& member : entry.actions) {
+      if (draw < static_cast<std::uint64_t>(member.weight)) {
+        chosen = &member;
+        break;
+      }
+      draw -= static_cast<std::uint64_t>(member.weight);
+    }
+  }
+  const p4ir::Action* action = program_.FindAction(chosen->name);
+  if (action == nullptr) {
+    return InternalError("entry references unknown action " + chosen->name);
+  }
+  return ApplyAction(*action, chosen->args, state);
+}
+
+Status Interpreter::ExecControl(const std::vector<p4ir::ControlNode>& nodes,
+                                RunState& state) const {
+  for (const p4ir::ControlNode& node : nodes) {
+    if (node.kind == p4ir::ControlNode::Kind::kApplyTable) {
+      const p4ir::Table* table = program_.FindTable(node.table);
+      SWITCHV_RETURN_IF_ERROR(ApplyTable(*table, state));
+    } else if (node.kind == p4ir::ControlNode::Kind::kApplyAction) {
+      const p4ir::Action* action = program_.FindAction(node.action);
+      SWITCHV_RETURN_IF_ERROR(
+          ApplyAction(*action, node.action_args, state));
+    } else {
+      SWITCHV_ASSIGN_OR_RETURN(BitString cond,
+                               EvalExpr(*node.condition, state, nullptr));
+      SWITCHV_RETURN_IF_ERROR(ExecControl(
+          cond.IsZero() ? node.else_branch : node.then_branch, state));
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<ForwardingOutcome> Interpreter::Run(std::string_view packet_bytes,
+                                             std::uint16_t ingress_port,
+                                             std::uint64_t hash_seed) const {
+  RunState state;
+  state.packet = packet::Parse(program_, parser_, packet_bytes);
+  state.hash_seed = hash_seed;
+  state.packet.fields[p4ir::kIngressPortField] =
+      BitString::FromUint(ingress_port, p4ir::kPortWidth);
+
+  SWITCHV_RETURN_IF_ERROR(ExecControl(program_.ingress, state));
+
+  ForwardingOutcome outcome;
+  // Clones happen at the end of ingress, before the drop decision
+  // (mirroring survives drops, as in SAI).
+  const BitString clone_session =
+      state.packet.fields.at(p4ir::kCloneSessionField);
+  if (!clone_session.IsZero()) {
+    auto it = clone_sessions_.find(
+        static_cast<std::uint16_t>(clone_session.ToUint64()));
+    if (it != clone_sessions_.end()) {
+      outcome.clones.emplace_back(it->second,
+                                  packet::Deparse(program_, state.packet));
+    }
+  }
+  outcome.punted = !state.packet.fields.at(p4ir::kPuntField).IsZero();
+  if (!state.packet.fields.at(p4ir::kDropField).IsZero()) {
+    outcome.dropped = true;
+    return outcome;
+  }
+  SWITCHV_RETURN_IF_ERROR(ExecControl(program_.egress, state));
+  if (!state.packet.fields.at(p4ir::kDropField).IsZero()) {
+    outcome.dropped = true;
+    return outcome;
+  }
+  outcome.egress_port = static_cast<std::uint16_t>(
+      state.packet.fields.at(p4ir::kEgressPortField).ToUint64());
+  outcome.packet_bytes = packet::Deparse(program_, state.packet);
+  return outcome;
+}
+
+StatusOr<std::vector<ForwardingOutcome>> Interpreter::EnumerateBehaviors(
+    std::string_view packet_bytes, std::uint16_t ingress_port,
+    int max_runs) const {
+  std::vector<ForwardingOutcome> behaviors;
+  std::set<std::string> seen;
+  // Weighted selectors map several consecutive hash draws to the same
+  // member, so a single repeated outcome does not mean the set is
+  // exhausted; stop only after a run of seeds adds nothing new (or at
+  // max_runs, which bounds the scan above the largest total weight).
+  int consecutive_repeats = 0;
+  for (int seed = 0; seed < max_runs && consecutive_repeats < 16; ++seed) {
+    SWITCHV_ASSIGN_OR_RETURN(
+        ForwardingOutcome outcome,
+        Run(packet_bytes, ingress_port, static_cast<std::uint64_t>(seed)));
+    if (seen.insert(outcome.Canonical()).second) {
+      consecutive_repeats = 0;
+      behaviors.push_back(std::move(outcome));
+    } else {
+      ++consecutive_repeats;
+    }
+  }
+  return behaviors;
+}
+
+}  // namespace switchv::bmv2

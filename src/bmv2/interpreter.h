@@ -1,0 +1,88 @@
+// The reference P4 simulator ("BMv2" in the paper's setup).
+//
+// Executes a P4 model program on concrete packets given a set of installed
+// table entries. SwitchV runs every generated test packet through this
+// interpreter and through the switch under test, and compares behaviours.
+//
+// Hashing is configurable and defaults to round-robin, exactly as the paper
+// configures BMv2 (§5 "Hashing"): run k enumerates hash draw k, and
+// EnumerateBehaviors() collects the set of possible behaviours by re-running
+// until an outcome repeats.
+#ifndef SWITCHV_BMV2_INTERPRETER_H_
+#define SWITCHV_BMV2_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4ir/p4info.h"
+#include "p4ir/program.h"
+#include "p4runtime/decoded_entry.h"
+#include "packet/packet.h"
+
+namespace switchv::bmv2 {
+
+// Packet-replication-engine configuration: clone session id -> output port.
+using CloneSessionMap = std::map<std::uint16_t, std::uint16_t>;
+
+class Interpreter {
+ public:
+  // `program` must outlive the interpreter and be validated.
+  Interpreter(const p4ir::Program& program, packet::ParserSpec parser,
+              CloneSessionMap clone_sessions = {});
+
+  // Replaces the installed entries of all tables. Entries must be
+  // syntactically valid for the program's P4Info.
+  Status InstallEntries(const std::vector<p4rt::TableEntry>& entries);
+
+  // Runs one packet through ingress (and egress unless dropped) using the
+  // given hash seed: hash statement k in the run yields seed + k.
+  StatusOr<packet::ForwardingOutcome> Run(std::string_view packet_bytes,
+                                          std::uint16_t ingress_port,
+                                          std::uint64_t hash_seed) const;
+
+  // The set of possible behaviours under round-robin hashing: runs with
+  // seeds 0, 1, 2, ... until further seeds stop producing new behaviours
+  // (paper §5 "until the same behavior occurs twice", hardened for
+  // weighted selectors), capped at `max_runs` — which must exceed the
+  // largest WCMP total weight for exhaustive member coverage.
+  // Deterministic programs yield exactly one behaviour.
+  StatusOr<std::vector<packet::ForwardingOutcome>> EnumerateBehaviors(
+      std::string_view packet_bytes, std::uint16_t ingress_port,
+      int max_runs = 160) const;
+
+  const p4ir::P4Info& p4info() const { return p4info_; }
+  const p4ir::Program& program() const { return program_; }
+
+ private:
+  struct RunState {
+    packet::ParsedPacket packet;
+    std::uint64_t hash_seed = 0;
+    int hash_draws = 0;
+  };
+
+  StatusOr<BitString> EvalExpr(
+      const p4ir::Expr& expr, const RunState& state,
+      const std::map<std::string, BitString>* args) const;
+  Status ApplyAction(const p4ir::Action& action,
+                     const std::vector<BitString>& arg_values,
+                     RunState& state) const;
+  Status ApplyTable(const p4ir::Table& table, RunState& state) const;
+  Status ExecControl(const std::vector<p4ir::ControlNode>& nodes,
+                     RunState& state) const;
+  // Index of the matching entry with highest precedence, or -1 for miss.
+  int SelectEntry(const p4ir::Table& table,
+                  const std::vector<p4rt::DecodedEntry>& entries,
+                  const RunState& state) const;
+
+  const p4ir::Program& program_;
+  p4ir::P4Info p4info_;
+  packet::ParserSpec parser_;
+  CloneSessionMap clone_sessions_;
+  std::map<std::string, std::vector<p4rt::DecodedEntry>> entries_;
+};
+
+}  // namespace switchv::bmv2
+
+#endif  // SWITCHV_BMV2_INTERPRETER_H_

@@ -1,0 +1,519 @@
+#include "fuzzer/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "p4runtime/validator.h"
+
+namespace switchv::fuzzer {
+
+std::string_view MutationName(Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kInvalidTableId: return "InvalidTableId";
+    case Mutation::kInvalidFieldId: return "InvalidFieldId";
+    case Mutation::kInvalidActionId: return "InvalidActionId";
+    case Mutation::kInvalidTableAction: return "InvalidTableAction";
+    case Mutation::kInvalidMatchType: return "InvalidMatchType";
+    case Mutation::kDuplicateMatchField: return "DuplicateMatchField";
+    case Mutation::kMissingMandatoryField: return "MissingMandatoryMatchField";
+    case Mutation::kInvalidSelectorWeight: return "InvalidActionSelectorWeight";
+    case Mutation::kInvalidTableImplementation:
+      return "InvalidTableImplementation";
+    case Mutation::kInvalidReference: return "InvalidReference";
+    case Mutation::kNonCanonicalBytes: return "NonCanonicalBytes";
+    case Mutation::kOutOfRangeValue: return "OutOfRangeValue";
+    case Mutation::kWrongParamCount: return "WrongParamCount";
+    case Mutation::kMissingPriority: return "MissingPriority";
+    case Mutation::kDuplicateEntry: return "DuplicateEntry";
+    case Mutation::kDeleteNonExisting: return "DeleteNonExisting";
+    case Mutation::kConstraintViolation: return "ConstraintViolation";
+  }
+  return "?";
+}
+
+RequestGenerator::RequestGenerator(const p4ir::P4Info& info,
+                                   FuzzerOptions options, std::uint64_t seed)
+    : info_(info), options_(options), rng_(seed) {}
+
+p4constraints::ConstraintBdd* RequestGenerator::BddFor(
+    const p4ir::TableInfo& table) {
+  auto it = bdd_cache_.find(table.id);
+  if (it != bdd_cache_.end()) return it->second.get();
+  auto compiled = p4constraints::ConstraintBdd::Compile(
+      table.entry_restriction, p4rt::SchemaForTable(table));
+  if (!compiled.ok()) {
+    bdd_cache_[table.id] = nullptr;
+    return nullptr;
+  }
+  auto owned = std::make_unique<p4constraints::ConstraintBdd>(
+      std::move(compiled).value());
+  p4constraints::ConstraintBdd* raw = owned.get();
+  bdd_cache_[table.id] = std::move(owned);
+  return raw;
+}
+
+StatusOr<p4rt::FieldMatch> RequestGenerator::GenerateMatch(
+    const SwitchStateView& state, const p4ir::MatchFieldInfo& field) {
+  p4rt::FieldMatch match;
+  match.field_id = field.id;
+  if (field.refers_to.has_value()) {
+    const std::vector<std::string> pool = state.KeyValues(
+        field.refers_to->table, field.refers_to->key);
+    if (pool.empty()) {
+      return NotFoundError("no installed values for reference target");
+    }
+    match.value = rng_.Pick(pool);
+    return match;
+  }
+  switch (field.kind) {
+    case p4ir::MatchKind::kExact:
+      match.value = rng_.Bits(field.width).ToCanonicalBytes();
+      break;
+    case p4ir::MatchKind::kLpm: {
+      match.prefix_len = static_cast<int>(
+          rng_.Uniform(1, static_cast<std::uint64_t>(field.width)));
+      const BitString mask =
+          BitString::PrefixMask(match.prefix_len, field.width);
+      match.value = (rng_.Bits(field.width) & mask).ToCanonicalBytes();
+      break;
+    }
+    case p4ir::MatchKind::kTernary: {
+      BitString mask = rng_.Bits(field.width);
+      if (mask.IsZero()) mask = BitString::AllOnes(field.width);
+      match.mask = mask.ToCanonicalBytes();
+      match.value = (rng_.Bits(field.width) & mask).ToCanonicalBytes();
+      break;
+    }
+    case p4ir::MatchKind::kOptional:
+      match.value = rng_.Bits(field.width).ToCanonicalBytes();
+      break;
+  }
+  return match;
+}
+
+StatusOr<p4rt::ActionInvocation> RequestGenerator::GenerateAction(
+    const SwitchStateView& state, const p4ir::TableInfo& table,
+    const p4ir::ActionInfo& action) {
+  p4rt::ActionInvocation invocation;
+  invocation.action_id = action.id;
+  for (const p4ir::ActionParamInfo& param : action.params) {
+    const p4ir::RefersTo* target = nullptr;
+    for (const p4ir::TableParamReference& r : table.param_references) {
+      if (r.action_id == action.id && r.param_id == param.id) {
+        target = &r.target;
+      }
+    }
+    std::string value;
+    if (target != nullptr) {
+      const std::vector<std::string> pool =
+          state.KeyValues(target->table, target->key);
+      if (pool.empty()) {
+        return NotFoundError("no installed values for param reference");
+      }
+      value = rng_.Pick(pool);
+    } else {
+      value = rng_.Bits(param.width).ToCanonicalBytes();
+    }
+    invocation.params.push_back(
+        p4rt::ActionInvocation::Param{param.id, std::move(value)});
+  }
+  return invocation;
+}
+
+StatusOr<p4rt::TableEntry> RequestGenerator::SampleConstrainedEntry(
+    const SwitchStateView& state, const p4ir::TableInfo& table,
+    bool violating) {
+  p4constraints::ConstraintBdd* bdd = BddFor(table);
+  if (bdd == nullptr) {
+    return InternalError("constraint failed to compile for " + table.name);
+  }
+  auto sample = violating ? bdd->SampleViolating(rng_)
+                          : bdd->SampleSatisfying(rng_);
+  if (!sample.ok()) return sample.status();
+
+  p4rt::TableEntry entry;
+  entry.table_id = table.id;
+  for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+    const p4constraints::KeyValuation& kv = sample->keys.at(field.name);
+    p4rt::FieldMatch match;
+    match.field_id = field.id;
+    if (field.refers_to.has_value()) {
+      // Referenced keys draw from the installed pool instead (our models
+      // never constrain a referencing key).
+      const std::vector<std::string> pool = state.KeyValues(
+          field.refers_to->table, field.refers_to->key);
+      if (pool.empty()) {
+        return NotFoundError("no installed values for reference target");
+      }
+      match.value = rng_.Pick(pool);
+      entry.matches.push_back(std::move(match));
+      continue;
+    }
+    switch (field.kind) {
+      case p4ir::MatchKind::kExact:
+        match.value =
+            BitString::FromUint(kv.value, field.width).ToCanonicalBytes();
+        break;
+      case p4ir::MatchKind::kLpm:
+        if (kv.prefix_len == 0) continue;  // wildcard: omit
+        match.prefix_len = kv.prefix_len;
+        match.value =
+            BitString::FromUint(kv.value, field.width).ToCanonicalBytes();
+        break;
+      case p4ir::MatchKind::kTernary:
+        if (kv.mask == 0) continue;  // wildcard: omit
+        match.value =
+            BitString::FromUint(kv.value, field.width).ToCanonicalBytes();
+        match.mask =
+            BitString::FromUint(kv.mask, field.width).ToCanonicalBytes();
+        break;
+      case p4ir::MatchKind::kOptional:
+        if (kv.mask == 0) continue;  // wildcard: omit
+        match.value =
+            BitString::FromUint(kv.value, field.width).ToCanonicalBytes();
+        break;
+    }
+    entry.matches.push_back(std::move(match));
+  }
+  if (table.requires_priority) {
+    entry.priority = std::max(1, sample->priority);
+  }
+  // Action part is unconstrained: generate as usual.
+  const std::uint32_t action_id = rng_.Pick(table.action_ids);
+  const p4ir::ActionInfo* action = info_.FindAction(action_id);
+  SWITCHV_ASSIGN_OR_RETURN(p4rt::ActionInvocation invocation,
+                           GenerateAction(state, table, *action));
+  entry.action.kind = p4rt::TableAction::Kind::kDirect;
+  entry.action.direct = std::move(invocation);
+  return entry;
+}
+
+StatusOr<p4rt::TableEntry> RequestGenerator::GenerateEntryForTable(
+    const SwitchStateView& state, const p4ir::TableInfo& table) {
+  // Constrained tables: sample compliant entries from the BDD when enabled.
+  if (!table.entry_restriction.empty() && options_.use_bdd_for_constraints &&
+      !table.selector.has_value()) {
+    return SampleConstrainedEntry(state, table, /*violating=*/false);
+  }
+
+  p4rt::TableEntry entry;
+  entry.table_id = table.id;
+  for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+    const bool mandatory = field.kind == p4ir::MatchKind::kExact;
+    if (!mandatory && !rng_.Chance(0.6)) continue;  // omit = wildcard
+    SWITCHV_ASSIGN_OR_RETURN(p4rt::FieldMatch match,
+                             GenerateMatch(state, field));
+    entry.matches.push_back(std::move(match));
+  }
+  if (table.requires_priority) {
+    entry.priority = static_cast<int>(rng_.Uniform(1, 10000));
+  }
+  if (table.selector.has_value()) {
+    entry.action.kind = p4rt::TableAction::Kind::kActionSet;
+    const int max_members = std::min(4, table.selector->max_group_size);
+    const int members = static_cast<int>(
+        rng_.Uniform(1, static_cast<std::uint64_t>(max_members)));
+    for (int i = 0; i < members; ++i) {
+      const std::uint32_t action_id = rng_.Pick(table.action_ids);
+      const p4ir::ActionInfo* action = info_.FindAction(action_id);
+      SWITCHV_ASSIGN_OR_RETURN(p4rt::ActionInvocation invocation,
+                               GenerateAction(state, table, *action));
+      const int weight = static_cast<int>(rng_.Uniform(1, 3));
+      entry.action.action_set.push_back(
+          p4rt::WeightedAction{std::move(invocation), weight});
+    }
+  } else {
+    const std::uint32_t action_id = rng_.Pick(table.action_ids);
+    const p4ir::ActionInfo* action = info_.FindAction(action_id);
+    SWITCHV_ASSIGN_OR_RETURN(p4rt::ActionInvocation invocation,
+                             GenerateAction(state, table, *action));
+    entry.action.kind = p4rt::TableAction::Kind::kDirect;
+    entry.action.direct = std::move(invocation);
+  }
+  return entry;
+}
+
+StatusOr<p4rt::TableEntry> RequestGenerator::GenerateValidEntry(
+    const SwitchStateView& state) {
+  // Try a few random tables: some may be ungeneratable until their
+  // reference targets are installed. ACL-style tables get extra weight.
+  std::vector<const p4ir::TableInfo*> priority_tables;
+  for (const p4ir::TableInfo& table : info_.tables()) {
+    if (table.requires_priority) priority_tables.push_back(&table);
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const p4ir::TableInfo& table =
+        !priority_tables.empty() && rng_.Chance(options_.priority_table_bias)
+            ? *priority_tables[rng_.Index(priority_tables.size())]
+            : info_.tables()[rng_.Index(info_.tables().size())];
+    auto entry = GenerateEntryForTable(state, table);
+    if (entry.ok()) return entry;
+  }
+  return NotFoundError("no generatable table (references unsatisfied)");
+}
+
+std::optional<AnnotatedUpdate> RequestGenerator::ApplyMutation(
+    const SwitchStateView& state, Mutation mutation, p4rt::TableEntry entry) {
+  AnnotatedUpdate out;
+  out.mutation = mutation;
+  out.update.type = p4rt::UpdateType::kInsert;
+  switch (mutation) {
+    case Mutation::kInvalidTableId:
+      entry.table_id = 0x0BADF00D;
+      break;
+    case Mutation::kInvalidFieldId:
+      if (entry.matches.empty()) return std::nullopt;
+      entry.matches[rng_.Index(entry.matches.size())].field_id = 250;
+      break;
+    case Mutation::kInvalidActionId:
+      if (entry.action.kind != p4rt::TableAction::Kind::kDirect) {
+        return std::nullopt;
+      }
+      entry.action.direct.action_id = 0x0BADF00D;
+      entry.action.direct.params.clear();
+      break;
+    case Mutation::kInvalidTableAction: {
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr ||
+          entry.action.kind != p4rt::TableAction::Kind::kDirect) {
+        return std::nullopt;
+      }
+      const p4ir::ActionInfo* out_of_scope = nullptr;
+      for (const p4ir::ActionInfo& action : info_.actions()) {
+        if (!table->HasAction(action.id)) out_of_scope = &action;
+      }
+      if (out_of_scope == nullptr) return std::nullopt;
+      entry.action.direct.action_id = out_of_scope->id;
+      entry.action.direct.params.clear();
+      for (const p4ir::ActionParamInfo& p : out_of_scope->params) {
+        entry.action.direct.params.push_back(p4rt::ActionInvocation::Param{
+            p.id, rng_.Bits(p.width).ToCanonicalBytes()});
+      }
+      break;
+    }
+    case Mutation::kInvalidMatchType: {
+      if (entry.matches.empty()) return std::nullopt;
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr) return std::nullopt;
+      p4rt::FieldMatch& match = entry.matches[rng_.Index(entry.matches.size())];
+      const p4ir::MatchFieldInfo* field = table->FindMatchField(match.field_id);
+      if (field == nullptr) return std::nullopt;
+      if (field->kind == p4ir::MatchKind::kLpm) {
+        match.mask = std::string("\xFF", 1);  // lpm must not carry a mask
+      } else {
+        match.prefix_len = 8;  // non-lpm must not carry a prefix
+      }
+      break;
+    }
+    case Mutation::kDuplicateMatchField:
+      if (entry.matches.empty()) return std::nullopt;
+      entry.matches.push_back(entry.matches[0]);
+      break;
+    case Mutation::kMissingMandatoryField: {
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr) return std::nullopt;
+      bool removed = false;
+      for (std::size_t i = 0; i < entry.matches.size(); ++i) {
+        const p4ir::MatchFieldInfo* field =
+            table->FindMatchField(entry.matches[i].field_id);
+        if (field != nullptr && field->kind == p4ir::MatchKind::kExact) {
+          entry.matches.erase(entry.matches.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          removed = true;
+          break;
+        }
+      }
+      if (!removed) return std::nullopt;
+      break;
+    }
+    case Mutation::kInvalidSelectorWeight:
+      if (entry.action.kind != p4rt::TableAction::Kind::kActionSet ||
+          entry.action.action_set.empty()) {
+        return std::nullopt;
+      }
+      entry.action.action_set[0].weight = 0;
+      break;
+    case Mutation::kInvalidTableImplementation:
+      if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+        // Send an action set to a single-action table.
+        p4rt::ActionInvocation direct = entry.action.direct;
+        entry.action.kind = p4rt::TableAction::Kind::kActionSet;
+        entry.action.action_set = {p4rt::WeightedAction{std::move(direct), 1}};
+      } else {
+        entry.action.kind = p4rt::TableAction::Kind::kDirect;
+        entry.action.direct = entry.action.action_set[0].action;
+        entry.action.action_set.clear();
+      }
+      break;
+    case Mutation::kInvalidReference: {
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr) return std::nullopt;
+      // Replace a referencing value (match or param) with a fresh value
+      // that is not installed.
+      const std::string bogus =
+          BitString::FromUint(0xEE00 + rng_.Uniform(0, 0xFF), 16)
+              .ToCanonicalBytes();
+      for (p4rt::FieldMatch& match : entry.matches) {
+        const p4ir::MatchFieldInfo* field =
+            table->FindMatchField(match.field_id);
+        if (field != nullptr && field->refers_to.has_value()) {
+          match.value = bogus;
+          return AnnotatedUpdate{
+              p4rt::Update{p4rt::UpdateType::kInsert, std::move(entry)},
+              mutation};
+        }
+      }
+      auto mutate_action = [&](p4rt::ActionInvocation& action) -> bool {
+        for (const p4ir::TableParamReference& r : table->param_references) {
+          if (r.action_id != action.action_id) continue;
+          for (p4rt::ActionInvocation::Param& p : action.params) {
+            if (p.param_id == r.param_id) {
+              p.value = bogus;
+              return true;
+            }
+          }
+        }
+        return false;
+      };
+      bool mutated = false;
+      if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+        mutated = mutate_action(entry.action.direct);
+      } else {
+        for (p4rt::WeightedAction& wa : entry.action.action_set) {
+          if (mutate_action(wa.action)) mutated = true;
+        }
+      }
+      if (!mutated) return std::nullopt;
+      break;
+    }
+    case Mutation::kNonCanonicalBytes:
+      if (entry.matches.empty()) return std::nullopt;
+      entry.matches[0].value = std::string("\0", 1) + entry.matches[0].value;
+      break;
+    case Mutation::kOutOfRangeValue: {
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr || entry.matches.empty()) return std::nullopt;
+      p4rt::FieldMatch& match = entry.matches[0];
+      const p4ir::MatchFieldInfo* field = table->FindMatchField(match.field_id);
+      if (field == nullptr) return std::nullopt;
+      match.value = BitString::AllOnes(std::min(128, field->width + 8))
+                        .ToCanonicalBytes();
+      break;
+    }
+    case Mutation::kWrongParamCount:
+      if (entry.action.kind != p4rt::TableAction::Kind::kDirect ||
+          entry.action.direct.params.empty()) {
+        return std::nullopt;
+      }
+      entry.action.direct.params.pop_back();
+      break;
+    case Mutation::kMissingPriority: {
+      const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+      if (table == nullptr || !table->requires_priority) return std::nullopt;
+      entry.priority = 0;
+      break;
+    }
+    case Mutation::kDuplicateEntry: {
+      const auto installed = state.AllEntries();
+      if (installed.empty()) return std::nullopt;
+      entry = *installed[rng_.Index(installed.size())];
+      break;
+    }
+    case Mutation::kDeleteNonExisting: {
+      if (state.Contains(entry)) return std::nullopt;
+      out.update.type = p4rt::UpdateType::kDelete;
+      break;
+    }
+    case Mutation::kConstraintViolation: {
+      // Pick a constrained table and sample a near-miss violation.
+      std::vector<const p4ir::TableInfo*> constrained;
+      for (const p4ir::TableInfo& table : info_.tables()) {
+        if (!table.entry_restriction.empty() && !table.selector.has_value()) {
+          constrained.push_back(&table);
+        }
+      }
+      if (constrained.empty()) return std::nullopt;
+      auto violating = SampleConstrainedEntry(
+          state, *constrained[rng_.Index(constrained.size())],
+          /*violating=*/true);
+      if (!violating.ok()) return std::nullopt;
+      entry = std::move(violating).value();
+      break;
+    }
+  }
+  out.update.entry = std::move(entry);
+  return out;
+}
+
+std::vector<AnnotatedUpdate> RequestGenerator::GenerateBatch(
+    const SwitchStateView& state, int n) {
+  std::vector<AnnotatedUpdate> batch;
+  batch.reserve(static_cast<std::size_t>(n));
+  // Track fingerprints used in this batch so intended-valid updates stay
+  // independent of each other (no in-batch identity collisions).
+  std::set<std::string> batch_fingerprints;
+  int guard = 0;
+  while (static_cast<int>(batch.size()) < n && guard++ < n * 20) {
+    if (rng_.Chance(options_.invalid_probability)) {
+      auto valid = GenerateValidEntry(state);
+      if (!valid.ok()) continue;
+      const Mutation mutation =
+          kAllMutations[rng_.Index(std::size(kAllMutations))];
+      auto mutated = ApplyMutation(state, mutation, std::move(valid).value());
+      if (!mutated.has_value()) continue;
+      ++generated_invalid_;
+      batch.push_back(std::move(*mutated));
+      continue;
+    }
+    // Intended-valid update: insert, or delete/modify of installed entries.
+    const double roll = static_cast<double>(rng_.Uniform(0, 999)) / 1000.0;
+    if (roll < options_.delete_probability) {
+      const auto installed = state.AllEntries();
+      if (!installed.empty()) {
+        const p4rt::TableEntry& victim =
+            *installed[rng_.Index(installed.size())];
+        if (batch_fingerprints.insert(victim.KeyFingerprint()).second) {
+          ++generated_valid_;
+          batch.push_back(AnnotatedUpdate{
+              p4rt::Update{p4rt::UpdateType::kDelete, victim}, std::nullopt});
+        }
+        continue;
+      }
+    }
+    if (roll < options_.delete_probability + options_.modify_probability) {
+      const auto installed = state.AllEntries();
+      if (!installed.empty()) {
+        const p4rt::TableEntry& victim =
+            *installed[rng_.Index(installed.size())];
+        const p4ir::TableInfo* table = info_.FindTable(victim.table_id);
+        if (table != nullptr &&
+            batch_fingerprints.count(victim.KeyFingerprint()) == 0) {
+          auto fresh = GenerateEntryForTable(state, *table);
+          if (fresh.ok()) {
+            p4rt::TableEntry modified = victim;
+            modified.action = fresh->action;
+            batch_fingerprints.insert(modified.KeyFingerprint());
+            ++generated_valid_;
+            batch.push_back(AnnotatedUpdate{
+                p4rt::Update{p4rt::UpdateType::kModify, std::move(modified)},
+                std::nullopt});
+          }
+        }
+        continue;
+      }
+    }
+    auto entry = GenerateValidEntry(state);
+    if (!entry.ok()) continue;
+    if (state.Contains(*entry) ||
+        !batch_fingerprints.insert(entry->KeyFingerprint()).second) {
+      continue;  // avoid unintended duplicates
+    }
+    ++generated_valid_;
+    batch.push_back(AnnotatedUpdate{
+        p4rt::Update{p4rt::UpdateType::kInsert, std::move(entry).value()},
+        std::nullopt});
+  }
+  return batch;
+}
+
+}  // namespace switchv::fuzzer

@@ -1,0 +1,97 @@
+// The p4-fuzzer request generator (paper §4.1-§4.2, Figure 5).
+//
+// Generates batches of control-plane updates against the switch's current
+// state: valid requests built from the P4Info (respecting bit widths,
+// per-table action scopes, and @refers_to by drawing referenced values from
+// installed entries), and "interestingly invalid" requests produced by
+// applying a single mutation to a valid request.
+//
+// For tables with @entry_restriction the generator can sample
+// constraint-compliant entries from the compiled constraint BDD and
+// near-miss violations via BDD node flips — the §7 extension. With
+// `use_bdd_for_constraints=false` it reproduces the paper's §4.1 baseline
+// behaviour (constraints ignored during generation, so constrained tables
+// frequently receive invalid requests).
+#ifndef SWITCHV_FUZZER_GENERATOR_H_
+#define SWITCHV_FUZZER_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fuzzer/mutation.h"
+#include "fuzzer/state.h"
+#include "p4constraints/constraint_bdd.h"
+#include "util/rng.h"
+
+namespace switchv::fuzzer {
+
+struct FuzzerOptions {
+  // Fraction of updates produced by mutating a valid request.
+  double invalid_probability = 0.3;
+  // Fraction of valid updates that are deletes / modifies of installed
+  // entries (the rest are inserts).
+  double delete_probability = 0.12;
+  double modify_probability = 0.08;
+  // Sample constrained tables from the constraint BDD (§7 extension).
+  bool use_bdd_for_constraints = true;
+  // Extra weight for ACL-style (priority) tables: they carry the
+  // constraints and TCAM behaviour where control-plane bugs concentrate.
+  double priority_table_bias = 0.25;
+};
+
+// One generated update plus how it was produced (for oracle diagnostics).
+struct AnnotatedUpdate {
+  p4rt::Update update;
+  std::optional<Mutation> mutation;  // nullopt: intended-valid
+};
+
+class RequestGenerator {
+ public:
+  RequestGenerator(const p4ir::P4Info& info, FuzzerOptions options,
+                   std::uint64_t seed);
+
+  // Generates a batch of `n` updates against `state`. All intended-valid
+  // updates reference only entries installed in `state` (never entries
+  // earlier in the same batch), so the batch is order-independent — the
+  // paper's §4.4 batching discipline.
+  std::vector<AnnotatedUpdate> GenerateBatch(const SwitchStateView& state,
+                                             int n);
+
+  // Generates one intended-valid insert entry for a uniformly random
+  // generatable table (a table whose references can be satisfied).
+  StatusOr<p4rt::TableEntry> GenerateValidEntry(const SwitchStateView& state);
+
+  // Statistics.
+  std::uint64_t generated_valid() const { return generated_valid_; }
+  std::uint64_t generated_invalid() const { return generated_invalid_; }
+
+ private:
+  StatusOr<p4rt::TableEntry> GenerateEntryForTable(
+      const SwitchStateView& state, const p4ir::TableInfo& table);
+  StatusOr<p4rt::TableEntry> SampleConstrainedEntry(
+      const SwitchStateView& state, const p4ir::TableInfo& table,
+      bool violating);
+  StatusOr<p4rt::FieldMatch> GenerateMatch(const SwitchStateView& state,
+                                           const p4ir::MatchFieldInfo& field);
+  StatusOr<p4rt::ActionInvocation> GenerateAction(
+      const SwitchStateView& state, const p4ir::TableInfo& table,
+      const p4ir::ActionInfo& action);
+  std::optional<AnnotatedUpdate> ApplyMutation(const SwitchStateView& state,
+                                               Mutation mutation,
+                                               p4rt::TableEntry entry);
+  p4constraints::ConstraintBdd* BddFor(const p4ir::TableInfo& table);
+
+  const p4ir::P4Info& info_;
+  FuzzerOptions options_;
+  Rng rng_;
+  std::map<std::uint32_t, std::unique_ptr<p4constraints::ConstraintBdd>>
+      bdd_cache_;
+  std::uint64_t generated_valid_ = 0;
+  std::uint64_t generated_invalid_ = 0;
+};
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_GENERATOR_H_

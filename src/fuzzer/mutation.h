@@ -1,0 +1,59 @@
+// The mutation vocabulary of p4-fuzzer (paper §4.2).
+//
+// Invalid requests are produced by applying exactly one mutation to a valid
+// request — uniform-random invalid requests would be rejected by the first
+// syntactic check and never exercise deeper control paths. The list mirrors
+// the paper's named mutations plus the P4Runtime-derived ones it alludes to.
+#ifndef SWITCHV_FUZZER_MUTATION_H_
+#define SWITCHV_FUZZER_MUTATION_H_
+
+#include <string_view>
+
+namespace switchv::fuzzer {
+
+enum class Mutation {
+  kInvalidTableId,          // "Invalid ID": table id not in the P4 program
+  kInvalidFieldId,          // "Invalid ID": match field id not in the table
+  kInvalidActionId,         // "Invalid ID": action id not in the program
+  kInvalidTableAction,      // action exists but is out of scope for table
+  kInvalidMatchType,        // e.g. a prefix length on an exact field
+  kDuplicateMatchField,     // same field id twice
+  kMissingMandatoryField,   // drop a mandatory exact match
+  kInvalidSelectorWeight,   // non-positive one-shot weight
+  kInvalidTableImplementation,  // action set on a direct table & vice versa
+  kInvalidReference,        // dangling @refers_to value
+  kNonCanonicalBytes,       // leading zero byte in a value
+  kOutOfRangeValue,         // value exceeding the declared bit width
+  kWrongParamCount,         // missing action parameter
+  kMissingPriority,         // priority 0 where required
+  kDuplicateEntry,          // re-insert an installed entry
+  kDeleteNonExisting,       // delete an entry that was never installed
+  kConstraintViolation,     // BDD node-flip sample violating the constraint
+                            // (paper §7 extension)
+};
+
+inline constexpr Mutation kAllMutations[] = {
+    Mutation::kInvalidTableId,
+    Mutation::kInvalidFieldId,
+    Mutation::kInvalidActionId,
+    Mutation::kInvalidTableAction,
+    Mutation::kInvalidMatchType,
+    Mutation::kDuplicateMatchField,
+    Mutation::kMissingMandatoryField,
+    Mutation::kInvalidSelectorWeight,
+    Mutation::kInvalidTableImplementation,
+    Mutation::kInvalidReference,
+    Mutation::kNonCanonicalBytes,
+    Mutation::kOutOfRangeValue,
+    Mutation::kWrongParamCount,
+    Mutation::kMissingPriority,
+    Mutation::kDuplicateEntry,
+    Mutation::kDeleteNonExisting,
+    Mutation::kConstraintViolation,
+};
+
+std::string_view MutationName(Mutation mutation);
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_MUTATION_H_

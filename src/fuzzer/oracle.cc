@@ -1,0 +1,214 @@
+#include "fuzzer/oracle.h"
+
+#include "p4runtime/validator.h"
+
+namespace switchv::fuzzer {
+
+Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
+                                     const SwitchStateView& expected) const {
+  using Kind = Expectation::Kind;
+  const p4rt::TableEntry& entry = update.entry;
+
+  if (update.type == p4rt::UpdateType::kDelete) {
+    // Deletes are keyed on identity; the spec requires NOT_FOUND for
+    // missing entries.
+    const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+    if (table == nullptr) {
+      return {Kind::kMustReject, std::nullopt, "delete from unknown table"};
+    }
+    const p4rt::TableEntry* installed = expected.Find(entry);
+    if (installed == nullptr) {
+      return {Kind::kMustReject, StatusCode::kNotFound,
+              "delete of non-existent entry"};
+    }
+    if (expected.IsReferenced(*installed)) {
+      return {Kind::kMustReject, std::nullopt,
+              "delete of a still-referenced entry"};
+    }
+    return {Kind::kMustAccept, std::nullopt, "valid delete"};
+  }
+
+  // Inserts and modifies carry a full entry: check syntax and constraints.
+  if (!p4rt::ValidateEntrySyntax(info_, entry).ok()) {
+    return {Kind::kMustReject, std::nullopt, "syntactically invalid"};
+  }
+  auto compliant = p4rt::IsConstraintCompliant(info_, entry);
+  if (!compliant.ok() || !*compliant) {
+    return {Kind::kMustReject, std::nullopt, "violates @entry_restriction"};
+  }
+  // Referential integrity against the expected pre-state.
+  bool dangling = false;
+  {
+    SwitchStateView probe = expected;
+    // A reference is dangling iff none of the installed entries provides
+    // the referenced value. Reuse the view's bookkeeping by asking for the
+    // pool of each referenced key.
+    const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+    auto check_value = [&](const p4ir::RefersTo& target,
+                           const std::string& value) {
+      const auto pool = probe.KeyValues(target.table, target.key);
+      bool found = false;
+      for (const std::string& v : pool) {
+        if (v == value) found = true;
+      }
+      if (!found) dangling = true;
+    };
+    for (const p4rt::FieldMatch& m : entry.matches) {
+      const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+      if (field != nullptr && field->refers_to.has_value()) {
+        check_value(*field->refers_to, m.value);
+      }
+    }
+    auto check_action = [&](const p4rt::ActionInvocation& action) {
+      for (const p4ir::TableParamReference& r : table->param_references) {
+        if (r.action_id != action.action_id) continue;
+        for (const p4rt::ActionInvocation::Param& p : action.params) {
+          if (p.param_id == r.param_id) check_value(r.target, p.value);
+        }
+      }
+    };
+    if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+      check_action(entry.action.direct);
+    } else {
+      for (const p4rt::WeightedAction& wa : entry.action.action_set) {
+        check_action(wa.action);
+      }
+    }
+  }
+  if (dangling) {
+    return {Kind::kMustReject, std::nullopt, "dangling @refers_to"};
+  }
+
+  if (update.type == p4rt::UpdateType::kModify) {
+    if (expected.Find(entry) == nullptr) {
+      return {Kind::kMustReject, StatusCode::kNotFound,
+              "modify of non-existent entry"};
+    }
+    return {Kind::kMustAccept, std::nullopt, "valid modify"};
+  }
+
+  // Insert.
+  if (expected.Contains(entry)) {
+    return {Kind::kMustReject, StatusCode::kAlreadyExists,
+            "duplicate insert"};
+  }
+  const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+  if (expected.Count(entry.table_id) >= table->size) {
+    // Beyond the guaranteed size: accept-or-reject is under-specified.
+    return {Kind::kEither, std::nullopt, "insert beyond guaranteed size"};
+  }
+  return {Kind::kMustAccept, std::nullopt, "valid insert within guarantee"};
+}
+
+std::vector<Finding> Oracle::JudgeBatch(
+    const std::vector<AnnotatedUpdate>& batch,
+    const p4rt::WriteResponse& response,
+    const StatusOr<p4rt::ReadResponse>& post_read) {
+  std::vector<Finding> findings;
+  SwitchStateView expected = state_;
+
+  for (std::size_t i = 0; i < batch.size() && i < response.statuses.size();
+       ++i) {
+    const AnnotatedUpdate& annotated = batch[i];
+    const Status& status = response.statuses[i];
+    const Expectation expectation = Classify(annotated.update, expected);
+    switch (expectation.kind) {
+      case Expectation::Kind::kMustAccept:
+        if (!status.ok()) {
+          findings.push_back(Finding{
+              "switch rejected a request it must accept (" +
+                  expectation.reason + "): " + status.ToString(),
+              annotated.mutation,
+              annotated.update.entry.ToString(&info_)});
+        }
+        break;
+      case Expectation::Kind::kMustReject:
+        if (status.ok()) {
+          findings.push_back(Finding{
+              "switch accepted a request it must reject (" +
+                  expectation.reason + ")",
+              annotated.mutation,
+              annotated.update.entry.ToString(&info_)});
+        } else if (expectation.required_code.has_value() &&
+                   status.code() != *expectation.required_code) {
+          findings.push_back(Finding{
+              "switch rejected with the wrong code (" + expectation.reason +
+                  "): want " +
+                  std::string(StatusCodeName(*expectation.required_code)) +
+                  ", got " + std::string(StatusCodeName(status.code())),
+              annotated.mutation,
+              annotated.update.entry.ToString(&info_)});
+        }
+        break;
+      case Expectation::Kind::kEither:
+        if (!status.ok() && status.code() != StatusCode::kResourceExhausted) {
+          findings.push_back(Finding{
+              "insert beyond guarantee rejected with unexpected code: " +
+                  status.ToString(),
+              annotated.mutation,
+              annotated.update.entry.ToString(&info_)});
+        }
+        break;
+    }
+    // Track what the switch claims happened.
+    if (status.ok()) {
+      expected.Apply(annotated.update);
+    }
+  }
+
+  // Compare the switch's actual state against the expected one.
+  if (!post_read.ok()) {
+    findings.push_back(Finding{
+        "reading the switch state failed: " + post_read.status().ToString(),
+        std::nullopt, ""});
+    // Keep the expected state as the best available view.
+    std::vector<p4rt::TableEntry> entries;
+    for (const p4rt::TableEntry* e : expected.AllEntries()) {
+      entries.push_back(*e);
+    }
+    state_.Reset(entries);
+    return findings;
+  }
+
+  SwitchStateView observed(info_);
+  observed.Reset(post_read->entries);
+  int divergences = 0;
+  for (const p4rt::TableEntry* want : expected.AllEntries()) {
+    const p4rt::TableEntry* got = observed.Find(*want);
+    if (got == nullptr) {
+      if (++divergences <= 5) {
+        findings.push_back(Finding{
+            "entry acknowledged by the switch is missing from the read-back "
+            "state",
+            std::nullopt, want->ToString(&info_)});
+      }
+    } else if (!(*got == *want)) {
+      if (++divergences <= 5) {
+        findings.push_back(Finding{
+            "read-back entry differs from the acknowledged one",
+            std::nullopt,
+            "want " + want->ToString(&info_) + "; got " +
+                got->ToString(&info_)});
+      }
+    }
+  }
+  for (const p4rt::TableEntry* got : observed.AllEntries()) {
+    if (expected.Find(*got) == nullptr) {
+      if (++divergences <= 5) {
+        findings.push_back(Finding{
+            "read-back state contains an entry the switch never "
+            "acknowledged",
+            std::nullopt, got->ToString(&info_)});
+      }
+    }
+  }
+  if (divergences > 5) {
+    findings.push_back(Finding{
+        std::to_string(divergences) + " total state divergences in batch",
+        std::nullopt, ""});
+  }
+  state_.Reset(post_read->entries);
+  return findings;
+}
+
+}  // namespace switchv::fuzzer

@@ -1,0 +1,67 @@
+// The p4-fuzzer oracle (paper §4.3).
+//
+// Encodes the P4Runtime specification's admissible behaviours without
+// predicting a single outcome: under-specified cases (insertion beyond the
+// guaranteed table size, batch ordering) accept multiple responses. After
+// every batch the oracle reads the switch's actual state, checks it against
+// the expected state implied by the switch's own responses, and then
+// *forgets* the prior state — avoiding the state explosion of tracking all
+// valid interleavings.
+#ifndef SWITCHV_FUZZER_ORACLE_H_
+#define SWITCHV_FUZZER_ORACLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzzer/generator.h"
+#include "fuzzer/state.h"
+
+namespace switchv::fuzzer {
+
+// One oracle complaint about the switch's behaviour.
+struct Finding {
+  std::string message;
+  std::optional<Mutation> mutation;  // the mutation behind the request
+  std::string entry_text;            // offending entry, human-readable
+};
+
+class Oracle {
+ public:
+  explicit Oracle(const p4ir::P4Info& info) : info_(info), state_(info) {}
+
+  // Judges a batch given the switch's per-update statuses and the
+  // post-batch read of all tables. Re-synchronizes the tracked state to
+  // the read on return.
+  std::vector<Finding> JudgeBatch(
+      const std::vector<AnnotatedUpdate>& batch,
+      const p4rt::WriteResponse& response,
+      const StatusOr<p4rt::ReadResponse>& post_read);
+
+  // The oracle's current (trusted) view of the switch state: the request
+  // generator draws reference targets from it.
+  const SwitchStateView& state() const { return state_; }
+
+  // Seeds the view (e.g. after installing a known-good base state).
+  void SyncState(const std::vector<p4rt::TableEntry>& entries) {
+    state_.Reset(entries);
+  }
+
+ private:
+  // What the spec requires for one update given the expected pre-state.
+  struct Expectation {
+    enum class Kind { kMustAccept, kMustReject, kEither } kind;
+    // Required canonical code for rejections, when the spec pins one.
+    std::optional<StatusCode> required_code;
+    std::string reason;
+  };
+  Expectation Classify(const p4rt::Update& update,
+                       const SwitchStateView& expected) const;
+
+  const p4ir::P4Info& info_;
+  SwitchStateView state_;
+};
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_ORACLE_H_

@@ -1,0 +1,148 @@
+#include "fuzzer/state.h"
+
+namespace switchv::fuzzer {
+
+void SwitchStateView::Reset(const std::vector<p4rt::TableEntry>& entries) {
+  by_fingerprint_.clear();
+  providers_.clear();
+  references_.clear();
+  for (const p4rt::TableEntry& entry : entries) {
+    by_fingerprint_[entry.KeyFingerprint()] = entry;
+    Index(entry, +1);
+  }
+}
+
+void SwitchStateView::Apply(const p4rt::Update& update) {
+  const std::string fingerprint = update.entry.KeyFingerprint();
+  switch (update.type) {
+    case p4rt::UpdateType::kInsert:
+      by_fingerprint_[fingerprint] = update.entry;
+      Index(update.entry, +1);
+      break;
+    case p4rt::UpdateType::kModify: {
+      auto it = by_fingerprint_.find(fingerprint);
+      if (it != by_fingerprint_.end()) {
+        Index(it->second, -1);
+        it->second = update.entry;
+        Index(update.entry, +1);
+      }
+      break;
+    }
+    case p4rt::UpdateType::kDelete: {
+      auto it = by_fingerprint_.find(fingerprint);
+      if (it != by_fingerprint_.end()) {
+        Index(it->second, -1);
+        by_fingerprint_.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+const p4rt::TableEntry* SwitchStateView::Find(
+    const p4rt::TableEntry& entry) const {
+  auto it = by_fingerprint_.find(entry.KeyFingerprint());
+  return it == by_fingerprint_.end() ? nullptr : &it->second;
+}
+
+int SwitchStateView::Count(std::uint32_t table_id) const {
+  int count = 0;
+  for (const auto& [fingerprint, entry] : by_fingerprint_) {
+    if (entry.table_id == table_id) ++count;
+  }
+  return count;
+}
+
+std::vector<const p4rt::TableEntry*> SwitchStateView::TableEntries(
+    std::uint32_t table_id) const {
+  std::vector<const p4rt::TableEntry*> out;
+  for (const auto& [fingerprint, entry] : by_fingerprint_) {
+    if (entry.table_id == table_id) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<const p4rt::TableEntry*> SwitchStateView::AllEntries() const {
+  std::vector<const p4rt::TableEntry*> out;
+  out.reserve(by_fingerprint_.size());
+  for (const auto& [fingerprint, entry] : by_fingerprint_) {
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<std::string> SwitchStateView::KeyValues(
+    const std::string& table, const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [ref, count] : providers_) {
+    if (count > 0 && std::get<0>(ref) == table && std::get<1>(ref) == key) {
+      values.push_back(std::get<2>(ref));
+    }
+  }
+  return values;
+}
+
+bool SwitchStateView::IsReferenced(const p4rt::TableEntry& entry) const {
+  for (const RefKey& provided : ProvidedBy(entry)) {
+    auto refs = references_.find(provided);
+    if (refs == references_.end() || refs->second <= 0) continue;
+    auto providers = providers_.find(provided);
+    if (providers != providers_.end() && providers->second <= 1) return true;
+  }
+  return false;
+}
+
+std::vector<SwitchStateView::RefKey> SwitchStateView::ProvidedBy(
+    const p4rt::TableEntry& entry) const {
+  std::vector<RefKey> provided;
+  const p4ir::TableInfo* table = info_->FindTable(entry.table_id);
+  if (table == nullptr) return provided;
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+    if (field == nullptr) continue;
+    provided.emplace_back(table->name, field->name, m.value);
+  }
+  return provided;
+}
+
+std::vector<SwitchStateView::RefKey> SwitchStateView::ReferencesOf(
+    const p4rt::TableEntry& entry) const {
+  std::vector<RefKey> refs;
+  const p4ir::TableInfo* table = info_->FindTable(entry.table_id);
+  if (table == nullptr) return refs;
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+    if (field == nullptr || !field->refers_to.has_value()) continue;
+    refs.emplace_back(field->refers_to->table, field->refers_to->key,
+                      m.value);
+  }
+  auto collect = [&](const p4rt::ActionInvocation& action) {
+    for (const p4ir::TableParamReference& r : table->param_references) {
+      if (r.action_id != action.action_id) continue;
+      for (const p4rt::ActionInvocation::Param& p : action.params) {
+        if (p.param_id == r.param_id) {
+          refs.emplace_back(r.target.table, r.target.key, p.value);
+        }
+      }
+    }
+  };
+  if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+    collect(entry.action.direct);
+  } else {
+    for (const p4rt::WeightedAction& wa : entry.action.action_set) {
+      collect(wa.action);
+    }
+  }
+  return refs;
+}
+
+void SwitchStateView::Index(const p4rt::TableEntry& entry, int delta) {
+  for (const RefKey& provided : ProvidedBy(entry)) {
+    providers_[provided] += delta;
+  }
+  for (const RefKey& ref : ReferencesOf(entry)) {
+    references_[ref] += delta;
+  }
+}
+
+}  // namespace switchv::fuzzer

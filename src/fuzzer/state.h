@@ -1,0 +1,68 @@
+// The fuzzer's view of the switch's installed state.
+//
+// Both the request generator (to build valid requests that reference only
+// installed entries, §4.4) and the oracle (to judge state-dependent
+// validity) work from this view. It is re-synchronized from a full switch
+// read after every batch, implementing the paper's "observe the actual
+// state, then forget the prior state" oracle design (§4.3).
+#ifndef SWITCHV_FUZZER_STATE_H_
+#define SWITCHV_FUZZER_STATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "p4runtime/messages.h"
+
+namespace switchv::fuzzer {
+
+class SwitchStateView {
+ public:
+  explicit SwitchStateView(const p4ir::P4Info& info) : info_(&info) {}
+
+  // Replaces the view with the given (read-back) entries.
+  void Reset(const std::vector<p4rt::TableEntry>& entries);
+
+  // Applies one accepted update on top of the current view.
+  void Apply(const p4rt::Update& update);
+
+  bool Contains(const p4rt::TableEntry& entry) const {
+    return by_fingerprint_.contains(entry.KeyFingerprint());
+  }
+  const p4rt::TableEntry* Find(const p4rt::TableEntry& entry) const;
+
+  int Count(std::uint32_t table_id) const;
+  std::size_t TotalEntries() const { return by_fingerprint_.size(); }
+
+  // All installed entries of one table.
+  std::vector<const p4rt::TableEntry*> TableEntries(
+      std::uint32_t table_id) const;
+  std::vector<const p4rt::TableEntry*> AllEntries() const;
+
+  // Canonical byte values installed for (table, key): the candidate pool
+  // for @refers_to-respecting generation.
+  std::vector<std::string> KeyValues(const std::string& table,
+                                     const std::string& key) const;
+
+  // True if deleting `entry` would leave a dangling reference (some other
+  // installed entry references a value only this entry provides).
+  bool IsReferenced(const p4rt::TableEntry& entry) const;
+
+  const p4ir::P4Info& info() const { return *info_; }
+
+ private:
+  using RefKey = std::tuple<std::string, std::string, std::string>;
+  std::vector<RefKey> ProvidedBy(const p4rt::TableEntry& entry) const;
+  std::vector<RefKey> ReferencesOf(const p4rt::TableEntry& entry) const;
+  void Index(const p4rt::TableEntry& entry, int delta);
+
+  const p4ir::P4Info* info_;
+  std::map<std::string, p4rt::TableEntry> by_fingerprint_;
+  std::map<RefKey, int> providers_;
+  std::map<RefKey, int> references_;
+};
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_STATE_H_

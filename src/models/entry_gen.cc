@@ -1,0 +1,382 @@
+#include "models/entry_gen.h"
+
+#include "p4runtime/entry_builder.h"
+#include "util/rng.h"
+
+namespace switchv::models {
+
+using p4rt::EntryBuilder;
+using p4rt::TableEntry;
+
+int WorkloadSpec::TotalEntries() const {
+  return num_vrfs + num_l3_admit + num_pre_ingress + num_ipv4_routes +
+         num_ipv6_routes + num_wcmp_groups + num_nexthops + num_neighbors +
+         num_rifs + num_acl_ingress + num_mirror_sessions + num_egress_rifs +
+         num_decap + num_tunnels;
+}
+
+WorkloadSpec WorkloadSpec::Inst1() {
+  WorkloadSpec spec;
+  spec.num_vrfs = 6;
+  spec.num_l3_admit = 10;
+  spec.num_pre_ingress = 30;
+  spec.num_ipv4_routes = 430;
+  spec.num_ipv6_routes = 160;
+  spec.num_wcmp_groups = 12;
+  spec.num_nexthops = 60;
+  spec.num_neighbors = 40;
+  spec.num_rifs = 16;
+  spec.num_acl_ingress = 24;
+  spec.num_mirror_sessions = 4;
+  spec.num_egress_rifs = 6;
+  // Total: 798 entries, as in the paper's Table 3 for Inst1.
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::Inst2() {
+  WorkloadSpec spec;
+  spec.num_vrfs = 8;
+  spec.num_l3_admit = 12;
+  spec.num_pre_ingress = 40;
+  spec.num_ipv4_routes = 700;
+  spec.num_ipv6_routes = 280;
+  spec.num_wcmp_groups = 16;
+  spec.num_nexthops = 80;
+  spec.num_neighbors = 48;
+  spec.num_rifs = 20;
+  spec.num_acl_ingress = 40;
+  spec.num_mirror_sessions = 4;
+  spec.num_egress_rifs = 8;
+  spec.num_decap = 10;
+  spec.num_tunnels = 48;
+  // Total: 1314 entries, as in the paper's Table 3 for Inst2.
+  return spec;
+}
+
+namespace {
+
+BitString U(uint128 value, int width) {
+  return BitString::FromUint(value, width);
+}
+
+// Deterministic MAC blocks: RIF source MACs, neighbor destination MACs,
+// L3-admit "my MAC" addresses.
+constexpr std::uint64_t kRifMacBase = 0x020000000000ull;
+constexpr std::uint64_t kNeighborMacBase = 0x040000000000ull;
+constexpr std::uint64_t kAdmitMacBase = 0x02AA00000000ull;
+
+int RifOfNeighbor(int neighbor, const WorkloadSpec& spec) {
+  return (neighbor - 1) % spec.num_rifs + 1;
+}
+
+int NeighborOfNexthop(int nexthop, const WorkloadSpec& spec) {
+  return (nexthop - 1) % spec.num_neighbors + 1;
+}
+
+std::uint16_t PortOfRif(int rif) {
+  return static_cast<std::uint16_t>((rif - 1) % kNumFrontPanelPorts + 1);
+}
+
+}  // namespace
+
+StatusOr<std::vector<TableEntry>> GenerateEntries(const p4ir::P4Info& info,
+                                                  Role role,
+                                                  const WorkloadSpec& spec,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TableEntry> out;
+  out.reserve(static_cast<std::size_t>(spec.TotalEntries()));
+  auto add = [&](StatusOr<TableEntry> entry) -> Status {
+    if (!entry.ok()) return entry.status();
+    out.push_back(std::move(entry).value());
+    return OkStatus();
+  };
+
+  // VRFs (allocation table; VRF 0 is reserved).
+  for (int v = 1; v <= spec.num_vrfs; ++v) {
+    SWITCHV_RETURN_IF_ERROR(add(EntryBuilder(info, "vrf_tbl")
+                                    .Exact("vrf_id", U(v, kVrfWidth))
+                                    .Action("no_action")
+                                    .Build()));
+  }
+
+  // L3 admit: one catch-all plus specific router MACs.
+  SWITCHV_RETURN_IF_ERROR(add(EntryBuilder(info, "l3_admit_tbl")
+                                  .Priority(1)
+                                  .Action("l3_admit")
+                                  .Build()));
+  for (int i = 2; i <= spec.num_l3_admit; ++i) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "l3_admit_tbl")
+                .Ternary("dst_mac", U(kAdmitMacBase + i, 48),
+                         BitString::AllOnes(48))
+                .Priority(i)
+                .Action("l3_admit")
+                .Build()));
+  }
+
+  // Pre-ingress ACL assigning VRFs.
+  for (int i = 1; i <= spec.num_pre_ingress; ++i) {
+    const int vrf = (i - 1) % spec.num_vrfs + 1;
+    EntryBuilder builder(info, "acl_pre_ingress_tbl");
+    if (i % 2 == 0) {
+      builder.Ternary("src_mac", U(0x060000000000ull + i, 48),
+                      BitString::AllOnes(48));
+    } else {
+      // Matching on dst_ip requires ether_type == 0x0800 (constraint).
+      builder
+          .Ternary("dst_ip", U((10u << 24) | (static_cast<unsigned>(i) << 16),
+                               32),
+                   U(0xFFFF0000u, 32))
+          .Ternary("ether_type", U(0x0800, 16), BitString::AllOnes(16));
+    }
+    SWITCHV_RETURN_IF_ERROR(
+        add(builder.Priority(i)
+                .Action("set_vrf", {{"vrf_id", U(vrf, kVrfWidth)}})
+                .Build()));
+  }
+
+  // Router interfaces, neighbors, nexthops (dependency order).
+  for (int r = 1; r <= spec.num_rifs; ++r) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "router_interface_tbl")
+                .Exact("router_interface_id", U(r, kIdWidth))
+                .Action("set_port_and_src_mac",
+                        {{"port", U(PortOfRif(r), p4ir::kPortWidth)},
+                         {"src_mac", U(kRifMacBase + r, 48)}})
+                .Build()));
+  }
+  for (int n = 1; n <= spec.num_neighbors; ++n) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "neighbor_tbl")
+                .Exact("router_interface_id",
+                       U(RifOfNeighbor(n, spec), kIdWidth))
+                .Exact("neighbor_id", U(n, kIdWidth))
+                .Action("set_dst_mac",
+                        {{"dst_mac", U(kNeighborMacBase + n, 48)}})
+                .Build()));
+  }
+  for (int h = 1; h <= spec.num_nexthops; ++h) {
+    const int neighbor = NeighborOfNexthop(h, spec);
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "nexthop_tbl")
+                .Exact("nexthop_id", U(h, kIdWidth))
+                .Action("set_nexthop",
+                        {{"router_interface_id",
+                          U(RifOfNeighbor(neighbor, spec), kIdWidth)},
+                         {"neighbor_id", U(neighbor, kIdWidth)}})
+                .Build()));
+  }
+
+  // WCMP groups: 2-4 members with mixed weights.
+  for (int g = 1; g <= spec.num_wcmp_groups; ++g) {
+    EntryBuilder builder(info, "wcmp_group_tbl");
+    builder.Exact("wcmp_group_id", U(g, kIdWidth));
+    const int members = 2 + g % 3;
+    for (int m = 0; m < members; ++m) {
+      const int nexthop = (g * 7 + m * 3) % spec.num_nexthops + 1;
+      builder.WeightedAction("set_nexthop_id", 1 + m % 3,
+                             {{"nexthop_id", U(nexthop, kIdWidth)}});
+    }
+    SWITCHV_RETURN_IF_ERROR(add(builder.Build()));
+  }
+
+  // Tunnels and decap endpoints (WAN only).
+  for (int t = 1; t <= spec.num_tunnels; ++t) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "tunnel_encap_tbl")
+                .Exact("tunnel_id", U(t, kIdWidth))
+                .Action("tunnel_encap",
+                        {{"src_ip", U((172u << 24) | (16u << 16) | t, 32)},
+                         {"dst_ip", U((172u << 24) | (17u << 16) | t, 32)}})
+                .Build()));
+  }
+  for (int d = 1; d <= spec.num_decap; ++d) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "decap_tbl")
+                .Exact("dst_ip", U((192u << 24) | (168u << 16) | d, 32))
+                .Action("tunnel_decap")
+                .Build()));
+  }
+
+  // IPv4 routes across mixed prefix lengths, with correlated prefixes so
+  // longest-prefix-match is actually exercised (cf. the paper's critique of
+  // single-entry-per-table generation, §8).
+  int c16 = 0;
+  int c24 = 0;
+  int c32 = 0;
+  for (int i = 1; i <= spec.num_ipv4_routes; ++i) {
+    const int vrf = (i - 1) % spec.num_vrfs + 1;
+    if (i == 1) {
+      // A default route in VRF 1, as every real deployment has: an omitted
+      // LPM match is the /0 wildcard per P4Runtime.
+      SWITCHV_RETURN_IF_ERROR(
+          add(EntryBuilder(info, "ipv4_tbl")
+                  .Exact("vrf_id", U(1, kVrfWidth))
+                  .Action("set_nexthop_id", {{"nexthop_id", U(1, kIdWidth)}})
+                  .Build()));
+      continue;
+    }
+    int plen;
+    std::uint32_t dst;
+    switch (i % 8) {
+      case 0:
+        plen = 16;
+        dst = (10u << 24) | ((static_cast<std::uint32_t>(c16++) & 0xFF) << 16);
+        break;
+      case 1:
+      case 2:
+      case 3:
+        plen = 24;
+        dst = (10u << 24) |
+              ((static_cast<std::uint32_t>(c24++) & 0xFFFF) << 8);
+        break;
+      default:
+        plen = 32;
+        dst = (10u << 24) | static_cast<std::uint32_t>(c32++);
+        break;
+    }
+    EntryBuilder builder(info, "ipv4_tbl");
+    builder.Exact("vrf_id", U(vrf, kVrfWidth)).Lpm("ipv4_dst", U(dst, 32),
+                                                   plen);
+    const double mix = static_cast<double>(rng.Uniform(0, 99)) / 100.0;
+    if (role == Role::kWan && mix < 0.10) {
+      builder.Action(
+          "set_tunnel",
+          {{"tunnel_id", U(rng.Uniform(1, spec.num_tunnels), kIdWidth)},
+           {"nexthop_id", U(rng.Uniform(1, spec.num_nexthops), kIdWidth)}});
+    } else if (mix < 0.30) {
+      builder.Action("set_wcmp_group_id",
+                     {{"wcmp_group_id",
+                       U(rng.Uniform(1, spec.num_wcmp_groups), kIdWidth)}});
+    } else if (mix < 0.90) {
+      builder.Action("set_nexthop_id",
+                     {{"nexthop_id",
+                       U(rng.Uniform(1, spec.num_nexthops), kIdWidth)}});
+    } else {
+      builder.Action("drop_packet");
+    }
+    SWITCHV_RETURN_IF_ERROR(add(builder.Build()));
+  }
+
+  // IPv6 routes under 2001:db8::/32.
+  const uint128 v6_base = (static_cast<uint128>(0x20010db8u) << 96);
+  int c48 = 0;
+  int c64 = 0;
+  int c128 = 0;
+  for (int i = 1; i <= spec.num_ipv6_routes; ++i) {
+    const int vrf = (i - 1) % spec.num_vrfs + 1;
+    int plen;
+    uint128 dst;
+    switch (i % 4) {
+      case 0:
+        plen = 48;
+        dst = v6_base | (static_cast<uint128>(c48++ & 0xFFFF) << 80);
+        break;
+      case 1:
+      case 2:
+        plen = 64;
+        dst = v6_base | (static_cast<uint128>(c64++ & 0xFFFF) << 64);
+        break;
+      default:
+        plen = 128;
+        dst = v6_base | static_cast<uint128>(c128++);
+        break;
+    }
+    EntryBuilder builder(info, "ipv6_tbl");
+    builder.Exact("vrf_id", U(vrf, kVrfWidth)).Lpm("ipv6_dst", U(dst, 128),
+                                                   plen);
+    if (rng.Chance(0.25)) {
+      builder.Action("set_wcmp_group_id",
+                     {{"wcmp_group_id",
+                       U(rng.Uniform(1, spec.num_wcmp_groups), kIdWidth)}});
+    } else {
+      builder.Action("set_nexthop_id",
+                     {{"nexthop_id",
+                       U(rng.Uniform(1, spec.num_nexthops), kIdWidth)}});
+    }
+    SWITCHV_RETURN_IF_ERROR(add(builder.Build()));
+  }
+
+  // Ingress ACL: constraint-compliant entries across the action mix.
+  for (int i = 1; i <= spec.num_acl_ingress; ++i) {
+    EntryBuilder builder(info, "acl_ingress_tbl");
+    builder.Priority(i);
+    switch (i % 8) {
+      case 0:  // Punt ARP to the controller.
+        builder.Ternary("ether_type", U(0x0806, 16), BitString::AllOnes(16))
+            .Action("acl_trap");
+        break;
+      case 1:  // Drop a specific IPv4 destination block.
+        builder
+            .Ternary("ether_type", U(0x0800, 16), BitString::AllOnes(16))
+            .Ternary("dst_ip",
+                     U((10u << 24) | (250u << 16) |
+                           (static_cast<unsigned>(i) << 8),
+                       32),
+                     U(0xFFFFFF00u, 32))
+            .Action("acl_drop");
+        break;
+      case 2:  // Copy ICMP echo requests.
+        builder.Ternary("ip_protocol", U(1, 8), BitString::AllOnes(8))
+            .Ternary("icmp_type", U(8, 8), BitString::AllOnes(8))
+            .Action("acl_copy");
+        break;
+      case 3:  // Trap BGP.
+        builder.Ternary("ip_protocol", U(6, 8), BitString::AllOnes(8))
+            .Ternary("l4_dst_port", U(179, 16), BitString::AllOnes(16))
+            .Action("acl_trap");
+        break;
+      case 5:  // Copy HTTPS: overlaps with the broad TCP entry below; the
+               // higher priority must win.
+        builder.Priority(100 + i)
+            .Ternary("ip_protocol", U(6, 8), BitString::AllOnes(8))
+            .Ternary("l4_dst_port", U(443, 16), BitString::AllOnes(16))
+            .Action("acl_copy");
+        break;
+      case 6:  // Broad TCP drop (overlapped by the entry above).
+        builder.Ternary("ip_protocol", U(6, 8), BitString::AllOnes(8))
+            .Action("acl_drop");
+        break;
+      case 7:  // Match on a rewritten field: TTL (stage-ordering bugs
+               // surface here).
+        builder.Ternary("ttl", U(5 + i % 3, 8), BitString::AllOnes(8))
+            .Action("acl_drop");
+        break;
+      default:  // Mirror traffic from one ingress port.
+        builder
+            .Optional("in_port",
+                      U((i - 1) % kNumFrontPanelPorts + 1, p4ir::kPortWidth))
+            .Action("acl_mirror",
+                    {{"mirror_port",
+                      U(11 + (i % std::max(1, spec.num_mirror_sessions)),
+                        16)}});
+        break;
+    }
+    SWITCHV_RETURN_IF_ERROR(add(builder.Build()));
+  }
+
+  // Mirror sessions: logical port -> clone session.
+  for (int m = 1; m <= spec.num_mirror_sessions; ++m) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "mirror_session_tbl")
+                .Exact("mirror_port", U(10 + m, 16))
+                .Action("set_clone_session", {{"session_id", U(m, 16)}})
+                .Build()));
+  }
+
+  // Egress RIF replicas: must agree with the ingress router interfaces
+  // (same port -> same source MAC).
+  for (int p = 1; p <= spec.num_egress_rifs; ++p) {
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "egress_rif_tbl")
+                .Exact("out_port", U(p, p4ir::kPortWidth))
+                .Action("set_egress_src_mac",
+                        {{"src_mac", U(kRifMacBase + p, 48)}})
+                .Build()));
+  }
+
+  return out;
+}
+
+}  // namespace switchv::models

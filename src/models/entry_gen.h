@@ -1,0 +1,52 @@
+// Production-like forwarding state for data-plane validation.
+//
+// The paper feeds p4-symbolic "a replay of production table entries" (§2).
+// We do not have Google's production state, so this generator synthesizes
+// a forwarding state with the same *shape*: referentially consistent VRFs,
+// router interfaces, neighbors, nexthops, WCMP groups, LPM routes at mixed
+// prefix lengths, constraint-compliant ACL entries, and (for the WAN role)
+// tunnels — sized to match the entry counts of the paper's Table 3
+// (Inst1: 798 entries, Inst2: 1314 entries).
+#ifndef SWITCHV_MODELS_ENTRY_GEN_H_
+#define SWITCHV_MODELS_ENTRY_GEN_H_
+
+#include <vector>
+
+#include "models/sai_model.h"
+#include "p4runtime/messages.h"
+
+namespace switchv::models {
+
+struct WorkloadSpec {
+  int num_vrfs = 4;
+  int num_l3_admit = 8;
+  int num_pre_ingress = 24;
+  int num_ipv4_routes = 400;
+  int num_ipv6_routes = 150;
+  int num_wcmp_groups = 12;
+  int num_nexthops = 48;
+  int num_neighbors = 32;
+  int num_rifs = 16;
+  int num_acl_ingress = 24;
+  int num_mirror_sessions = 4;
+  int num_egress_rifs = 8;
+  // WAN role only.
+  int num_decap = 0;
+  int num_tunnels = 0;
+
+  int TotalEntries() const;
+
+  // Entry counts matching the paper's Table 3.
+  static WorkloadSpec Inst1();  // middleblock, 798 entries
+  static WorkloadSpec Inst2();  // wan, 1314 entries
+};
+
+// Generates the entries in a dependency-safe install order (referenced
+// entries precede referencing ones). Deterministic in `seed`.
+StatusOr<std::vector<p4rt::TableEntry>> GenerateEntries(
+    const p4ir::P4Info& info, Role role, const WorkloadSpec& spec,
+    std::uint64_t seed);
+
+}  // namespace switchv::models
+
+#endif  // SWITCHV_MODELS_ENTRY_GEN_H_

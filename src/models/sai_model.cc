@@ -1,0 +1,510 @@
+#include "models/sai_model.h"
+
+#include "p4ir/builder.h"
+
+namespace switchv::models {
+
+using p4ir::ControlNode;
+using p4ir::Expr;
+using p4ir::FieldDef;
+using p4ir::MatchKind;
+using p4ir::ParamDef;
+using p4ir::ProgramBuilder;
+using p4ir::Statement;
+
+std::string_view RoleName(Role role) {
+  switch (role) {
+    case Role::kMiddleblock: return "middleblock";
+    case Role::kWan: return "wan";
+  }
+  return "?";
+}
+
+packet::ParserSpec SaiParserSpec() { return packet::ParserSpec::Sai(); }
+
+bmv2::CloneSessionMap DefaultCloneSessions() {
+  bmv2::CloneSessionMap sessions;
+  for (std::uint16_t s = 1; s <= 8; ++s) {
+    sessions[s] = static_cast<std::uint16_t>(100 + s);
+  }
+  return sessions;
+}
+
+namespace {
+
+// The 13 fields of an IPv4 header, with the given name prefix.
+std::vector<FieldDef> Ipv4Fields(const std::string& prefix) {
+  return {
+      {prefix + ".version", 4},        {prefix + ".ihl", 4},
+      {prefix + ".dscp", 6},           {prefix + ".ecn", 2},
+      {prefix + ".total_len", 16},     {prefix + ".identification", 16},
+      {prefix + ".flags", 3},          {prefix + ".frag_offset", 13},
+      {prefix + ".ttl", 8},            {prefix + ".protocol", 8},
+      {prefix + ".header_checksum", 16}, {prefix + ".src_addr", 32},
+      {prefix + ".dst_addr", 32},
+  };
+}
+
+// Field-by-field copy between two same-layout IPv4 headers.
+std::vector<Statement> CopyIpv4(const std::string& from,
+                                const std::string& to) {
+  std::vector<Statement> body;
+  for (const FieldDef& f : Ipv4Fields(from)) {
+    const std::string suffix = f.name.substr(from.size());
+    body.push_back(
+        Statement::Assign(to + suffix, Expr::Field(f.name, f.width)));
+  }
+  return body;
+}
+
+void DeclareHeaders(ProgramBuilder& b, Role role) {
+  b.AddHeader("ethernet", {{"ethernet.dst_addr", 48},
+                           {"ethernet.src_addr", 48},
+                           {"ethernet.ether_type", 16}});
+  b.AddHeader("arp", {{"arp.hw_type", 16},
+                      {"arp.proto_type", 16},
+                      {"arp.hw_size", 8},
+                      {"arp.proto_size", 8},
+                      {"arp.opcode", 16}});
+  b.AddHeader("ipv4", Ipv4Fields("ipv4"));
+  b.AddHeader("ipv6", {{"ipv6.version", 4},
+                       {"ipv6.dscp", 6},
+                       {"ipv6.ecn", 2},
+                       {"ipv6.flow_label", 20},
+                       {"ipv6.payload_length", 16},
+                       {"ipv6.next_header", 8},
+                       {"ipv6.hop_limit", 8},
+                       {"ipv6.src_addr", 128},
+                       {"ipv6.dst_addr", 128}});
+  if (role == Role::kWan) {
+    b.AddHeader("inner_ipv4", Ipv4Fields("inner_ipv4"));
+  }
+  b.AddHeader("tcp", {{"tcp.src_port", 16},
+                      {"tcp.dst_port", 16},
+                      {"tcp.seq_no", 32},
+                      {"tcp.ack_no", 32},
+                      {"tcp.data_offset", 4},
+                      {"tcp.res", 4},
+                      {"tcp.flags", 8},
+                      {"tcp.window", 16},
+                      {"tcp.checksum", 16},
+                      {"tcp.urgent_ptr", 16}});
+  b.AddHeader("udp", {{"udp.src_port", 16},
+                      {"udp.dst_port", 16},
+                      {"udp.hdr_length", 16},
+                      {"udp.checksum", 16}});
+  b.AddHeader("icmp",
+              {{"icmp.type", 8}, {"icmp.code", 8}, {"icmp.checksum", 16}});
+}
+
+void DeclareMetadata(ProgramBuilder& b) {
+  b.AddMetadata("local_metadata.vrf_id", kVrfWidth);
+  b.AddMetadata("local_metadata.admit_to_l3", 1);
+  b.AddMetadata("local_metadata.nexthop_id", kIdWidth);
+  b.AddMetadata("local_metadata.wcmp_group_id", kIdWidth);
+  b.AddMetadata("local_metadata.use_wcmp", 1);
+  b.AddMetadata("local_metadata.rif_id", kIdWidth);
+  b.AddMetadata("local_metadata.neighbor_id", kIdWidth);
+  b.AddMetadata("local_metadata.l4_src_port", 16);
+  b.AddMetadata("local_metadata.l4_dst_port", 16);
+  b.AddMetadata("local_metadata.mirror_port", 16);
+  b.AddMetadata("local_metadata.tunnel_id", kIdWidth);
+}
+
+void DeclareActions(ProgramBuilder& b, Role role) {
+  auto one = Expr::ConstantU(1, 1);
+  b.AddAction("no_action", {}, {});
+  b.AddAction("drop_packet", {},
+              {Statement::Assign(p4ir::kDropField, one)});
+  b.AddAction("trap_ttl", {},
+              {Statement::Assign(p4ir::kPuntField, one),
+               Statement::Assign(p4ir::kDropField, one)});
+  b.AddAction("acl_drop", {}, {Statement::Assign(p4ir::kDropField, one)});
+  b.AddAction("acl_trap", {},
+              {Statement::Assign(p4ir::kPuntField, one),
+               Statement::Assign(p4ir::kDropField, one)});
+  b.AddAction("acl_copy", {}, {Statement::Assign(p4ir::kPuntField, one)});
+  b.AddAction("acl_mirror", {ParamDef{"mirror_port", 16}},
+              {Statement::Assign("local_metadata.mirror_port",
+                                 Expr::Param("mirror_port", 16))});
+  b.AddAction("set_vrf", {ParamDef{"vrf_id", kVrfWidth}},
+              {Statement::Assign("local_metadata.vrf_id",
+                                 Expr::Param("vrf_id", kVrfWidth))});
+  b.AddAction("l3_admit", {},
+              {Statement::Assign("local_metadata.admit_to_l3", one)});
+  b.AddAction("set_nexthop_id", {ParamDef{"nexthop_id", kIdWidth}},
+              {Statement::Assign("local_metadata.nexthop_id",
+                                 Expr::Param("nexthop_id", kIdWidth)),
+               Statement::Assign("local_metadata.use_wcmp",
+                                 Expr::ConstantU(0, 1))});
+  b.AddAction("set_wcmp_group_id", {ParamDef{"wcmp_group_id", kIdWidth}},
+              {Statement::Assign("local_metadata.wcmp_group_id",
+                                 Expr::Param("wcmp_group_id", kIdWidth)),
+               Statement::Assign("local_metadata.use_wcmp", one)});
+  b.AddAction(
+      "set_nexthop",
+      {ParamDef{"router_interface_id", kIdWidth},
+       ParamDef{"neighbor_id", kIdWidth}},
+      {Statement::Assign("local_metadata.rif_id",
+                         Expr::Param("router_interface_id", kIdWidth)),
+       Statement::Assign("local_metadata.neighbor_id",
+                         Expr::Param("neighbor_id", kIdWidth))});
+  b.AddAction("set_dst_mac", {ParamDef{"dst_mac", 48}},
+              {Statement::Assign("ethernet.dst_addr",
+                                 Expr::Param("dst_mac", 48))});
+  b.AddAction(
+      "set_port_and_src_mac",
+      {ParamDef{"port", p4ir::kPortWidth}, ParamDef{"src_mac", 48}},
+      {Statement::Assign(p4ir::kEgressPortField,
+                         Expr::Param("port", p4ir::kPortWidth)),
+       Statement::Assign("ethernet.src_addr", Expr::Param("src_mac", 48)),
+       // L3 forwarding decrements the hop budget of whichever IP header
+       // the packet carries (writes to invalid headers are inert).
+       Statement::Assign("ipv4.ttl",
+                         Expr::Binary(p4ir::BinaryOp::kSub,
+                                      Expr::Field("ipv4.ttl", 8),
+                                      Expr::ConstantU(1, 8))),
+       Statement::Assign("ipv6.hop_limit",
+                         Expr::Binary(p4ir::BinaryOp::kSub,
+                                      Expr::Field("ipv6.hop_limit", 8),
+                                      Expr::ConstantU(1, 8)))});
+  b.AddAction("set_egress_src_mac", {ParamDef{"src_mac", 48}},
+              {Statement::Assign("ethernet.src_addr",
+                                 Expr::Param("src_mac", 48))});
+  b.AddAction("set_clone_session", {ParamDef{"session_id", 16}},
+              {Statement::Assign(p4ir::kCloneSessionField,
+                                 Expr::Param("session_id", 16))});
+  b.AddAction("set_l4_tcp", {},
+              {Statement::Assign("local_metadata.l4_src_port",
+                                 Expr::Field("tcp.src_port", 16)),
+               Statement::Assign("local_metadata.l4_dst_port",
+                                 Expr::Field("tcp.dst_port", 16))});
+  b.AddAction("set_l4_udp", {},
+              {Statement::Assign("local_metadata.l4_src_port",
+                                 Expr::Field("udp.src_port", 16)),
+               Statement::Assign("local_metadata.l4_dst_port",
+                                 Expr::Field("udp.dst_port", 16))});
+  if (role == Role::kWan) {
+    b.AddAction("set_tunnel",
+                {ParamDef{"tunnel_id", kIdWidth},
+                 ParamDef{"nexthop_id", kIdWidth}},
+                {Statement::Assign("local_metadata.tunnel_id",
+                                   Expr::Param("tunnel_id", kIdWidth)),
+                 Statement::Assign("local_metadata.nexthop_id",
+                                   Expr::Param("nexthop_id", kIdWidth)),
+                 Statement::Assign("local_metadata.use_wcmp",
+                                   Expr::ConstantU(0, 1))});
+    // IP-in-IP encapsulation: the current IPv4 header moves inside; the
+    // outer header addresses come from the tunnel entry.
+    std::vector<Statement> encap = CopyIpv4("ipv4", "inner_ipv4");
+    encap.push_back(Statement::SetValid("inner_ipv4", true));
+    encap.push_back(
+        Statement::Assign("ipv4.src_addr", Expr::Param("src_ip", 32)));
+    encap.push_back(
+        Statement::Assign("ipv4.dst_addr", Expr::Param("dst_ip", 32)));
+    encap.push_back(
+        Statement::Assign("ipv4.protocol", Expr::ConstantU(4, 8)));
+    encap.push_back(Statement::Assign("ipv4.ttl", Expr::ConstantU(64, 8)));
+    b.AddAction("tunnel_encap",
+                {ParamDef{"src_ip", 32}, ParamDef{"dst_ip", 32}},
+                std::move(encap));
+    std::vector<Statement> decap = CopyIpv4("inner_ipv4", "ipv4");
+    decap.push_back(Statement::SetValid("inner_ipv4", false));
+    b.AddAction("tunnel_decap", {}, std::move(decap));
+  }
+}
+
+void DeclareTables(ProgramBuilder& b, Role role,
+                   const ModelOptions& options) {
+  b.AddTable("l3_admit_tbl")
+      .Key("dst_mac", "ethernet.dst_addr", 48, MatchKind::kTernary)
+      .Key("in_port", p4ir::kIngressPortField, p4ir::kPortWidth,
+           MatchKind::kOptional)
+      .Action("l3_admit")
+      .DefaultAction("no_action")
+      .Size(64);
+
+  {
+    auto t = b.AddTable("acl_pre_ingress_tbl")
+                 .Key("src_mac", "ethernet.src_addr", 48, MatchKind::kTernary)
+                 .Key("ether_type", "ethernet.ether_type", 16,
+                      MatchKind::kTernary)
+                 .Key("dst_ip", "ipv4.dst_addr", 32, MatchKind::kTernary);
+    std::string restriction = "dst_ip::mask != 0 -> ether_type == 0x0800";
+    if (role == Role::kWan) {
+      t.Key("dst_ipv6", "ipv6.dst_addr", 128, MatchKind::kTernary);
+      restriction +=
+          " && (dst_ipv6::mask != 0 -> ether_type == 0x86dd)";
+    }
+    t.Action("set_vrf")
+        .DefaultAction("no_action")
+        .Size(255)
+        .EntryRestriction(restriction)
+        .ParamReference("set_vrf", "vrf_id", "vrf_tbl", "vrf_id");
+  }
+
+  b.AddTable("vrf_tbl")
+      .Key("vrf_id", "local_metadata.vrf_id", kVrfWidth, MatchKind::kExact)
+      .Action("no_action")
+      .DefaultAction("no_action")
+      .Size(64)
+      // The default VRF 0 is reserved by the hardware (paper Figure 2).
+      .EntryRestriction("vrf_id != 0");
+
+  {
+    auto t = b.AddTable("ipv4_tbl")
+                 .ReferencingKey("vrf_id", "local_metadata.vrf_id", kVrfWidth,
+                                 MatchKind::kExact, "vrf_tbl", "vrf_id")
+                 .Key("ipv4_dst", "ipv4.dst_addr", 32, MatchKind::kLpm)
+                 .Action("drop_packet")
+                 .Action("set_nexthop_id")
+                 .Action("set_wcmp_group_id")
+                 .DefaultAction("drop_packet")
+                 // The WAN role guarantees a larger route budget.
+                 .Size(role == Role::kWan ? 1024 : 512)
+                 .ParamReference("set_nexthop_id", "nexthop_id",
+                                 "nexthop_tbl", "nexthop_id")
+                 .ParamReference("set_wcmp_group_id", "wcmp_group_id",
+                                 "wcmp_group_tbl", "wcmp_group_id");
+    if (role == Role::kWan) {
+      t.Action("set_tunnel")
+          .ParamReference("set_tunnel", "tunnel_id", "tunnel_encap_tbl",
+                          "tunnel_id")
+          .ParamReference("set_tunnel", "nexthop_id", "nexthop_tbl",
+                          "nexthop_id");
+    }
+  }
+
+  b.AddTable("ipv6_tbl")
+      .ReferencingKey("vrf_id", "local_metadata.vrf_id", kVrfWidth,
+                      MatchKind::kExact, "vrf_tbl", "vrf_id")
+      .Key("ipv6_dst", "ipv6.dst_addr", 128, MatchKind::kLpm)
+      .Action("drop_packet")
+      .Action("set_nexthop_id")
+      .Action("set_wcmp_group_id")
+      .DefaultAction("drop_packet")
+      .Size(role == Role::kWan ? 512 : 256)
+      .ParamReference("set_nexthop_id", "nexthop_id", "nexthop_tbl",
+                      "nexthop_id")
+      .ParamReference("set_wcmp_group_id", "wcmp_group_id", "wcmp_group_tbl",
+                      "wcmp_group_id");
+
+  b.AddTable("wcmp_group_tbl")
+      .Key("wcmp_group_id", "local_metadata.wcmp_group_id", kIdWidth,
+           MatchKind::kExact)
+      .Action("set_nexthop_id")
+      .DefaultAction("drop_packet")
+      .Size(128)
+      .WithSelector(/*max_group_size=*/16, /*max_total_weight=*/128)
+      .ParamReference("set_nexthop_id", "nexthop_id", "nexthop_tbl",
+                      "nexthop_id");
+
+  b.AddTable("nexthop_tbl")
+      .Key("nexthop_id", "local_metadata.nexthop_id", kIdWidth,
+           MatchKind::kExact)
+      .Action("set_nexthop")
+      .DefaultAction("drop_packet")
+      .Size(1024)
+      .ParamReference("set_nexthop", "router_interface_id",
+                      "router_interface_tbl", "router_interface_id")
+      .ParamReference("set_nexthop", "neighbor_id", "neighbor_tbl",
+                      "neighbor_id");
+
+  b.AddTable("neighbor_tbl")
+      .ReferencingKey("router_interface_id", "local_metadata.rif_id",
+                      kIdWidth, MatchKind::kExact, "router_interface_tbl",
+                      "router_interface_id")
+      .Key("neighbor_id", "local_metadata.neighbor_id", kIdWidth,
+           MatchKind::kExact)
+      .Action("set_dst_mac")
+      .DefaultAction("drop_packet")
+      .Size(1024);
+
+  b.AddTable("router_interface_tbl")
+      .Key("router_interface_id", "local_metadata.rif_id", kIdWidth,
+           MatchKind::kExact)
+      .Action("set_port_and_src_mac")
+      .DefaultAction("drop_packet")
+      .Size(256);
+
+  {
+    const std::string icmp_field =
+        options.acl_wrong_icmp_field ? "icmp.code" : "icmp.type";
+    auto t = b.AddTable("acl_ingress_tbl")
+                 .Key("ether_type", "ethernet.ether_type", 16,
+                      MatchKind::kTernary)
+                 .Key("dst_ip", "ipv4.dst_addr", 32, MatchKind::kTernary)
+                 .Key("dst_ipv6", "ipv6.dst_addr", 128, MatchKind::kTernary)
+                 .Key("ip_protocol", "ipv4.protocol", 8, MatchKind::kTernary)
+                 .Key("l4_dst_port", "local_metadata.l4_dst_port", 16,
+                      MatchKind::kTernary)
+                 .Key("ttl", "ipv4.ttl", 8, MatchKind::kTernary)
+                 .Key("icmp_type", icmp_field, 8, MatchKind::kTernary)
+                 .Key("in_port", p4ir::kIngressPortField, p4ir::kPortWidth,
+                      MatchKind::kOptional);
+    std::string restriction =
+        "(dst_ip::mask != 0 -> ether_type == 0x0800)"
+        " && (dst_ipv6::mask != 0 -> ether_type == 0x86dd)"
+        " && (icmp_type::mask != 0 -> (ip_protocol == 1 || ip_protocol == 58))"
+        " && (l4_dst_port::mask != 0 -> (ip_protocol == 6 || ip_protocol == "
+        "17))";
+    int size = 128;
+    if (role == Role::kWan) {
+      // The WAN role trades scalability for expressivity: a wider TCAM key.
+      t.Key("src_ip", "ipv4.src_addr", 32, MatchKind::kTernary)
+          .Key("src_ipv6", "ipv6.src_addr", 128, MatchKind::kTernary)
+          .Key("l4_src_port", "local_metadata.l4_src_port", 16,
+               MatchKind::kTernary)
+          .Key("dscp", "ipv4.dscp", 6, MatchKind::kTernary);
+      restriction +=
+          " && (src_ip::mask != 0 -> ether_type == 0x0800)"
+          " && (src_ipv6::mask != 0 -> ether_type == 0x86dd)";
+      size = 256;
+    }
+    t.Action("acl_drop")
+        .Action("acl_trap")
+        .Action("acl_copy")
+        .Action("acl_mirror")
+        .DefaultAction("no_action")
+        .Size(size)
+        .EntryRestriction(restriction);
+  }
+
+  // Logical table translating a mirror target port to a clone session of
+  // the packet replication engine (paper §3, "Mirror Sessions").
+  b.AddTable("mirror_session_tbl")
+      .Key("mirror_port", "local_metadata.mirror_port", 16,
+           MatchKind::kExact)
+      .Action("set_clone_session")
+      .DefaultAction("no_action")
+      .Size(32);
+
+  // Egress replica of the router interface component (paper §3 "P4
+  // Language Features": components used at both ingress and egress must be
+  // replicated, with the consistency constraint that replica entries agree).
+  b.AddTable("egress_rif_tbl")
+      .Key("out_port", p4ir::kEgressPortField, p4ir::kPortWidth,
+           MatchKind::kExact)
+      .Action("set_egress_src_mac")
+      .DefaultAction("no_action")
+      .Size(256);
+
+  if (role == Role::kWan) {
+    b.AddTable("decap_tbl")
+        .Key("dst_ip", "ipv4.dst_addr", 32, MatchKind::kExact)
+        .Action("tunnel_decap")
+        .DefaultAction("no_action")
+        .Size(64);
+    b.AddTable("tunnel_encap_tbl")
+        .Key("tunnel_id", "local_metadata.tunnel_id", kIdWidth,
+             MatchKind::kExact)
+        .Action("tunnel_encap")
+        .DefaultAction("drop_packet")
+        .Size(128);
+  }
+}
+
+std::vector<ControlNode> BuildIngress(ProgramBuilder& b, Role role,
+                                      const ModelOptions& options) {
+  std::vector<ControlNode> ingress;
+
+  // L4 port extraction feeds the ACL keys.
+  ingress.push_back(ControlNode::If(
+      Expr::Valid("tcp"), {ControlNode::ApplyAction("set_l4_tcp")},
+      {ControlNode::If(Expr::Valid("udp"),
+                       {ControlNode::ApplyAction("set_l4_udp")}, {})}));
+
+  ingress.push_back(ControlNode::ApplyTable("l3_admit_tbl"));
+  ingress.push_back(ControlNode::ApplyTable("acl_pre_ingress_tbl"));
+  ingress.push_back(ControlNode::ApplyTable("vrf_tbl"));
+
+  if (role == Role::kWan) {
+    ingress.push_back(ControlNode::If(
+        Expr::And(Expr::Valid("ipv4"), Expr::Valid("inner_ipv4")),
+        {ControlNode::ApplyTable("decap_tbl")}, {}));
+  }
+
+  ingress.push_back(ControlNode::If(
+      Expr::Eq(b.FieldExpr("local_metadata.admit_to_l3"),
+               Expr::ConstantU(1, 1)),
+      {ControlNode::If(Expr::Valid("ipv4"),
+                       {ControlNode::ApplyTable("ipv4_tbl")},
+                       {ControlNode::If(
+                           Expr::Valid("ipv6"),
+                           {ControlNode::ApplyTable("ipv6_tbl")}, {})})},
+      {}));
+
+  ingress.push_back(ControlNode::If(
+      Expr::Eq(b.FieldExpr("local_metadata.use_wcmp"), Expr::ConstantU(1, 1)),
+      {ControlNode::ApplyTable("wcmp_group_tbl")}, {}));
+
+  const ControlNode acl = ControlNode::ApplyTable("acl_ingress_tbl");
+  if (!options.acl_after_rewrite) ingress.push_back(acl);
+
+  if (!options.omit_ttl_trap) {
+    // Fixed-function trap: IPv4 packets with TTL 0 or 1 are punted.
+    ingress.push_back(ControlNode::If(
+        Expr::And(Expr::Valid("ipv4"),
+                  Expr::Binary(p4ir::BinaryOp::kLt,
+                               Expr::Field("ipv4.ttl", 8),
+                               Expr::ConstantU(2, 8))),
+        {ControlNode::ApplyAction("trap_ttl")}, {}));
+  }
+  if (!options.omit_broadcast_drop) {
+    // Fixed-function behaviour: limited-broadcast destinations are dropped.
+    ingress.push_back(ControlNode::If(
+        Expr::And(Expr::Valid("ipv4"),
+                  Expr::Eq(Expr::Field("ipv4.dst_addr", 32),
+                           Expr::ConstantU(0xFFFFFFFFu, 32))),
+        {ControlNode::ApplyAction("drop_packet")}, {}));
+  }
+
+  std::vector<ControlNode> rewrite_chain = {
+      ControlNode::ApplyTable("nexthop_tbl"),
+      ControlNode::ApplyTable("neighbor_tbl"),
+      ControlNode::ApplyTable("router_interface_tbl"),
+  };
+  if (role == Role::kWan) {
+    // Nested tunneling is unsupported: a packet that is already IP-in-IP
+    // and would be encapsulated again is dropped. (A modeling workaround in
+    // the §3 sense: P4 header instances cannot express header stacks, so
+    // the spec forbids the nesting instead.)
+    rewrite_chain.push_back(ControlNode::If(
+        Expr::Ne(b.FieldExpr("local_metadata.tunnel_id"),
+                 Expr::ConstantU(0, kIdWidth)),
+        {ControlNode::If(Expr::Valid("inner_ipv4"),
+                         {ControlNode::ApplyAction("drop_packet")},
+                         {ControlNode::ApplyTable("tunnel_encap_tbl")})},
+        {}));
+  }
+  ingress.push_back(ControlNode::If(
+      Expr::Ne(b.FieldExpr("local_metadata.nexthop_id"),
+               Expr::ConstantU(0, kIdWidth)),
+      std::move(rewrite_chain), {}));
+
+  if (options.acl_after_rewrite) ingress.push_back(acl);
+
+  ingress.push_back(ControlNode::If(
+      Expr::Ne(b.FieldExpr("local_metadata.mirror_port"),
+               Expr::ConstantU(0, 16)),
+      {ControlNode::ApplyTable("mirror_session_tbl")}, {}));
+
+  return ingress;
+}
+
+}  // namespace
+
+StatusOr<p4ir::Program> BuildSaiProgram(Role role,
+                                        const ModelOptions& options) {
+  ProgramBuilder b(std::string(RoleName(role)));
+  DeclareHeaders(b, role);
+  DeclareMetadata(b);
+  DeclareActions(b, role);
+  DeclareTables(b, role, options);
+  b.SetIngress(BuildIngress(b, role, options));
+  b.SetEgress({ControlNode::ApplyTable("egress_rif_tbl")});
+  b.SetCpuPort(kCpuPort);
+  return std::move(b).Build();
+}
+
+}  // namespace switchv::models

@@ -1,0 +1,69 @@
+// Role-specific P4 models of a SAI-based fixed-function switch (paper §3).
+//
+// Two instantiations of the same blueprint, as in the paper's Table 3:
+//  * kMiddleblock ("Inst1"): ToR-style L3 pipeline — L3 admit, pre-ingress
+//    ACL (VRF assignment), VRF allocation table, IPv4/IPv6 LPM routing,
+//    WCMP groups (one-shot action selector), nexthop/neighbor/router-
+//    interface chain, role-specific ingress ACL, mirroring with a logical
+//    clone-session table, fixed TTL and broadcast traps, and an egress
+//    router-interface replica.
+//  * kWan ("Inst2", Cerberus-style): everything above plus IP-in-IP tunnel
+//    encap/decap and a wider ACL — "more involved forwarding pipelines and
+//    additional features such as encapsulation and decapsulation" (§6).
+//
+// ModelOptions can deliberately mis-specify the model, reproducing the
+// paper's "Input P4 Program" bug class (the switch is right, the model is
+// wrong; Table 1 and Appendix A).
+#ifndef SWITCHV_MODELS_SAI_MODEL_H_
+#define SWITCHV_MODELS_SAI_MODEL_H_
+
+#include "bmv2/interpreter.h"
+#include "p4ir/program.h"
+#include "packet/packet.h"
+
+namespace switchv::models {
+
+enum class Role { kMiddleblock, kWan };
+
+std::string_view RoleName(Role role);
+
+// Each flag makes the *model* diverge from the intended switch behaviour.
+struct ModelOptions {
+  // Omits the fixed-function trap punting IPv4 packets with TTL 0/1
+  // (Appendix A: the new chip's built-in trap missing from the model).
+  bool omit_ttl_trap = false;
+  // Omits the drop of IPv4 packets with destination 255.255.255.255
+  // (Appendix A: "P4 program does not reflect that switch drops...").
+  bool omit_broadcast_drop = false;
+  // Places the ingress ACL after header rewrite (Appendix A: "Header
+  // fields get rewritten before ACL is applied").
+  bool acl_after_rewrite = false;
+  // ACL matches icmp.code where the switch matches icmp.type (Appendix A:
+  // "Program matches on the wrong ICMP field").
+  bool acl_wrong_icmp_field = false;
+};
+
+// Builds the validated role model. Well-known table names (used by the
+// fixed-function ASIC simulator and the entry generators):
+//   l3_admit_tbl, acl_pre_ingress_tbl, vrf_tbl, ipv4_tbl, ipv6_tbl,
+//   wcmp_group_tbl, nexthop_tbl, neighbor_tbl, router_interface_tbl,
+//   acl_ingress_tbl, mirror_session_tbl, egress_rif_tbl,
+//   and for kWan: decap_tbl, tunnel_encap_tbl.
+StatusOr<p4ir::Program> BuildSaiProgram(Role role,
+                                        const ModelOptions& options = {});
+
+// The parser both dataplanes use for these models.
+packet::ParserSpec SaiParserSpec();
+
+// Default packet-replication config: clone sessions 1..8 -> ports 101..108.
+bmv2::CloneSessionMap DefaultCloneSessions();
+
+// Well-known constants shared by models, entry generators and the ASIC.
+inline constexpr int kVrfWidth = 12;
+inline constexpr int kIdWidth = 16;
+inline constexpr std::uint16_t kCpuPort = 0xFFD;
+inline constexpr int kNumFrontPanelPorts = 32;  // ports 1..32
+
+}  // namespace switchv::models
+
+#endif  // SWITCHV_MODELS_SAI_MODEL_H_

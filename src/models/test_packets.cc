@@ -1,0 +1,92 @@
+#include "models/test_packets.h"
+
+#include "packet/packet.h"
+
+namespace switchv::models {
+
+namespace {
+
+packet::ParsedPacket BaseEthernet(const p4ir::Program& program,
+                                  std::uint64_t dst_mac, std::uint64_t src_mac,
+                                  std::uint16_t ether_type) {
+  packet::ParsedPacket pkt;
+  for (const p4ir::FieldDef& f : program.AllFields()) {
+    pkt.fields.emplace(f.name, BitString::FromUint(0, f.width));
+  }
+  pkt.valid_headers.insert("ethernet");
+  pkt.fields["ethernet.dst_addr"] = BitString::FromUint(dst_mac, 48);
+  pkt.fields["ethernet.src_addr"] = BitString::FromUint(src_mac, 48);
+  pkt.fields["ethernet.ether_type"] = BitString::FromUint(ether_type, 16);
+  return pkt;
+}
+
+}  // namespace
+
+std::string BuildIpv4Packet(const p4ir::Program& program,
+                            const Ipv4PacketSpec& spec) {
+  packet::ParsedPacket pkt =
+      BaseEthernet(program, spec.dst_mac, spec.src_mac, 0x0800);
+  pkt.valid_headers.insert("ipv4");
+  pkt.fields["ipv4.version"] = BitString::FromUint(4, 4);
+  pkt.fields["ipv4.ihl"] = BitString::FromUint(5, 4);
+  pkt.fields["ipv4.dscp"] = BitString::FromUint(spec.dscp, 6);
+  pkt.fields["ipv4.total_len"] = BitString::FromUint(40, 16);
+  pkt.fields["ipv4.ttl"] = BitString::FromUint(spec.ttl, 8);
+  pkt.fields["ipv4.protocol"] = BitString::FromUint(spec.protocol, 8);
+  pkt.fields["ipv4.src_addr"] = BitString::FromUint(spec.src_ip, 32);
+  pkt.fields["ipv4.dst_addr"] = BitString::FromUint(spec.dst_ip, 32);
+  if (spec.protocol == 6) {
+    pkt.valid_headers.insert("tcp");
+    pkt.fields["tcp.src_port"] = BitString::FromUint(spec.src_port, 16);
+    pkt.fields["tcp.dst_port"] = BitString::FromUint(spec.dst_port, 16);
+    pkt.fields["tcp.data_offset"] = BitString::FromUint(5, 4);
+  } else if (spec.protocol == 17) {
+    pkt.valid_headers.insert("udp");
+    pkt.fields["udp.src_port"] = BitString::FromUint(spec.src_port, 16);
+    pkt.fields["udp.dst_port"] = BitString::FromUint(spec.dst_port, 16);
+    pkt.fields["udp.hdr_length"] = BitString::FromUint(20, 16);
+  } else if (spec.protocol == 1) {
+    pkt.valid_headers.insert("icmp");
+    pkt.fields["icmp.type"] = BitString::FromUint(8, 8);  // echo request
+  }
+  pkt.payload = spec.payload;
+  return packet::Deparse(program, pkt);
+}
+
+std::string BuildIpv6Packet(const p4ir::Program& program,
+                            const Ipv6PacketSpec& spec) {
+  packet::ParsedPacket pkt =
+      BaseEthernet(program, spec.dst_mac, spec.src_mac, 0x86DD);
+  pkt.valid_headers.insert("ipv6");
+  pkt.fields["ipv6.version"] = BitString::FromUint(6, 4);
+  pkt.fields["ipv6.payload_length"] = BitString::FromUint(8, 16);
+  pkt.fields["ipv6.next_header"] = BitString::FromUint(spec.next_header, 8);
+  pkt.fields["ipv6.hop_limit"] = BitString::FromUint(spec.hop_limit, 8);
+  pkt.fields["ipv6.src_addr"] = BitString::FromUint(spec.src_ip, 128);
+  pkt.fields["ipv6.dst_addr"] = BitString::FromUint(spec.dst_ip, 128);
+  if (spec.next_header == 17) {
+    pkt.valid_headers.insert("udp");
+    pkt.fields["udp.src_port"] = BitString::FromUint(spec.src_port, 16);
+    pkt.fields["udp.dst_port"] = BitString::FromUint(spec.dst_port, 16);
+  } else if (spec.next_header == 6) {
+    pkt.valid_headers.insert("tcp");
+    pkt.fields["tcp.src_port"] = BitString::FromUint(spec.src_port, 16);
+    pkt.fields["tcp.dst_port"] = BitString::FromUint(spec.dst_port, 16);
+  }
+  pkt.payload = spec.payload;
+  return packet::Deparse(program, pkt);
+}
+
+std::string BuildArpPacket(const p4ir::Program& program) {
+  packet::ParsedPacket pkt = BaseEthernet(program, 0xFFFFFFFFFFFFull,
+                                          0x0600000000FFull, 0x0806);
+  pkt.valid_headers.insert("arp");
+  pkt.fields["arp.hw_type"] = BitString::FromUint(1, 16);
+  pkt.fields["arp.proto_type"] = BitString::FromUint(0x0800, 16);
+  pkt.fields["arp.hw_size"] = BitString::FromUint(6, 8);
+  pkt.fields["arp.proto_size"] = BitString::FromUint(4, 8);
+  pkt.fields["arp.opcode"] = BitString::FromUint(1, 16);
+  return packet::Deparse(program, pkt);
+}
+
+}  // namespace switchv::models

@@ -1,0 +1,50 @@
+// Hand-construction of concrete test packets for examples and tests.
+// (SwitchV's own data-plane packets come from p4-symbolic; these helpers
+// serve the trivial test suite of §6.2 and unit tests.)
+#ifndef SWITCHV_MODELS_TEST_PACKETS_H_
+#define SWITCHV_MODELS_TEST_PACKETS_H_
+
+#include <string>
+
+#include "p4ir/program.h"
+
+namespace switchv::models {
+
+struct Ipv4PacketSpec {
+  std::uint64_t dst_mac = 0x02AA00000002ull;
+  std::uint64_t src_mac = 0x0600000000FFull;
+  std::uint32_t src_ip = 0xC0A80101;  // 192.168.1.1
+  std::uint32_t dst_ip = 0x0A000001;  // 10.0.0.1
+  int ttl = 64;
+  int protocol = 6;  // TCP
+  int dscp = 0;
+  std::uint16_t src_port = 12345;
+  std::uint16_t dst_port = 443;
+  std::string payload = "switchv-test-payload";
+};
+
+// Builds an Ethernet+IPv4(+TCP/UDP) packet laid out per `program`'s headers.
+std::string BuildIpv4Packet(const p4ir::Program& program,
+                            const Ipv4PacketSpec& spec);
+
+struct Ipv6PacketSpec {
+  std::uint64_t dst_mac = 0x02AA00000002ull;
+  std::uint64_t src_mac = 0x0600000000FFull;
+  uint128 src_ip = (static_cast<uint128>(0x20010db8u) << 96) | 0x1;
+  uint128 dst_ip = (static_cast<uint128>(0x20010db8u) << 96) | 0x2;
+  int hop_limit = 64;
+  int next_header = 17;  // UDP
+  std::uint16_t src_port = 5353;
+  std::uint16_t dst_port = 53;
+  std::string payload = "switchv-test-payload";
+};
+
+std::string BuildIpv6Packet(const p4ir::Program& program,
+                            const Ipv6PacketSpec& spec);
+
+// An ARP request packet (exercises punt paths).
+std::string BuildArpPacket(const p4ir::Program& program);
+
+}  // namespace switchv::models
+
+#endif  // SWITCHV_MODELS_TEST_PACKETS_H_

@@ -1,0 +1,69 @@
+#include "p4constraints/ast.h"
+
+namespace switchv::p4constraints {
+
+bool CExpr::IsBoolean() const {
+  switch (kind) {
+    case Kind::kNumber:
+    case Kind::kKeyValue:
+    case Kind::kKeyMask:
+    case Kind::kKeyPrefixLen:
+    case Kind::kPriority:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+std::string U128ToString(uint128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string_view OpName(CExpr::Kind kind) {
+  switch (kind) {
+    case CExpr::Kind::kAnd: return "&&";
+    case CExpr::Kind::kOr: return "||";
+    case CExpr::Kind::kImplies: return "->";
+    case CExpr::Kind::kEq: return "==";
+    case CExpr::Kind::kNe: return "!=";
+    case CExpr::Kind::kLt: return "<";
+    case CExpr::Kind::kLe: return "<=";
+    case CExpr::Kind::kGt: return ">";
+    case CExpr::Kind::kGe: return ">=";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string CExpr::ToString() const {
+  switch (kind) {
+    case Kind::kNumber:
+      return U128ToString(number);
+    case Kind::kBoolLiteral:
+      return bool_value ? "true" : "false";
+    case Kind::kKeyValue:
+      return key;
+    case Kind::kKeyMask:
+      return key + "::mask";
+    case Kind::kKeyPrefixLen:
+      return key + "::prefix_length";
+    case Kind::kPriority:
+      return "priority";
+    case Kind::kNot:
+      return "!(" + children[0].ToString() + ")";
+    default:
+      return "(" + children[0].ToString() + " " + std::string(OpName(kind)) +
+             " " + children[1].ToString() + ")";
+  }
+}
+
+}  // namespace switchv::p4constraints

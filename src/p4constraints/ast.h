@@ -1,0 +1,67 @@
+// AST for the P4-constraints entry-restriction language (paper §3,
+// "P4-Constraints"; open-sourced by the authors as p4lang/p4-constraints).
+//
+// Constraints are boolean expressions over the match keys of one table,
+// attached via @entry_restriction. They express requirements the permissive
+// P4Runtime API cannot, e.g. `vrf_id != 0` (the default VRF is reserved by
+// the hardware) or `ipv4.isValid() -> ipv6_dst::mask == 0` style exclusions.
+//
+// Grammar (recursive descent, see parser.h):
+//   expr   := implies
+//   implies:= or ('->' implies)?
+//   or     := and ('||' and)*
+//   and    := not ('&&' not)*
+//   not    := '!' not | cmp
+//   cmp    := atom (('=='|'!='|'<'|'<='|'>'|'>=') atom)?
+//   atom   := 'true' | 'false' | number | key | key'::'attr | '(' expr ')'
+//   attr   := 'mask' | 'value' | 'prefix_length'
+//   key    := identifier (a match key of the table), or 'priority'
+//   number := decimal or 0x-hex literal
+#ifndef SWITCHV_P4CONSTRAINTS_AST_H_
+#define SWITCHV_P4CONSTRAINTS_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitstring.h"
+
+namespace switchv::p4constraints {
+
+// A node of the constraint AST. Integer-valued nodes evaluate to unsigned
+// values; boolean-valued nodes to 0/1. The parser type-checks operand sorts.
+struct CExpr {
+  enum class Kind {
+    kNumber,        // integer literal
+    kBoolLiteral,   // true / false
+    kKeyValue,      // key (or key::value): the match value of a key
+    kKeyMask,       // key::mask (ternary/optional keys)
+    kKeyPrefixLen,  // key::prefix_length (lpm keys)
+    kPriority,      // entry priority
+    kNot,           // boolean negation
+    kAnd,
+    kOr,
+    kImplies,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+  };
+
+  Kind kind = Kind::kBoolLiteral;
+  uint128 number = 0;        // kNumber
+  bool bool_value = false;   // kBoolLiteral
+  std::string key;           // kKeyValue/kKeyMask/kKeyPrefixLen
+  std::vector<CExpr> children;
+
+  // True for nodes whose value is boolean (usable under !/&&/||/->).
+  bool IsBoolean() const;
+
+  // Source-like rendering for diagnostics.
+  std::string ToString() const;
+};
+
+}  // namespace switchv::p4constraints
+
+#endif  // SWITCHV_P4CONSTRAINTS_AST_H_

@@ -1,0 +1,168 @@
+#include "p4constraints/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace switchv::p4constraints {
+
+std::uint32_t BddManager::VarOf(BddRef r) const { return nodes_[r].var; }
+
+BddRef BddManager::MakeNode(std::uint32_t var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const auto key = std::make_tuple(var, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back(Node{var, lo, hi});
+  const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::Var(std::uint32_t var) {
+  return MakeNode(var, kFalse, kTrue);
+}
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  const auto key = std::make_tuple(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  auto var_or_max = [&](BddRef r) {
+    return IsTerminal(r) ? UINT32_MAX : VarOf(r);
+  };
+  const std::uint32_t top =
+      std::min({var_or_max(f), var_or_max(g), var_or_max(h)});
+  auto cofactor = [&](BddRef r, bool positive) {
+    if (IsTerminal(r) || VarOf(r) != top) return r;
+    return positive ? nodes_[r].hi : nodes_[r].lo;
+  };
+  const BddRef hi =
+      Ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const BddRef lo =
+      Ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const BddRef result = MakeNode(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::Not(BddRef a) { return Ite(a, kFalse, kTrue); }
+BddRef BddManager::And(BddRef a, BddRef b) { return Ite(a, b, kFalse); }
+BddRef BddManager::Or(BddRef a, BddRef b) { return Ite(a, kTrue, b); }
+BddRef BddManager::Xor(BddRef a, BddRef b) { return Ite(a, Not(b), b); }
+
+// CountBelow(r) = satisfying assignments of variables in [VarOf(r),
+// num_vars) under r, where terminals sit at depth num_vars (so TRUE counts
+// 1 and FALSE 0). The full SatCount scales by the variables above the root.
+namespace {
+constexpr std::uint64_t CacheKey(BddRef r) { return r; }
+}  // namespace
+
+long double BddManager::SatCount(BddRef root, std::uint32_t num_vars) {
+  if (count_cache_vars_ != num_vars) {
+    count_cache_.clear();
+    count_cache_vars_ = num_vars;
+  }
+  auto depth = [&](BddRef r) {
+    return IsTerminal(r) ? num_vars : VarOf(r);
+  };
+  auto count_below = [&](auto&& self, BddRef r) -> long double {
+    if (r == kFalse) return 0.0L;
+    if (r == kTrue) return 1.0L;
+    auto it = count_cache_.find(CacheKey(r));
+    if (it != count_cache_.end()) return it->second;
+    const std::uint32_t var = VarOf(r);
+    const BddRef lo = nodes_[r].lo;
+    const BddRef hi = nodes_[r].hi;
+    const long double value =
+        std::exp2l(static_cast<long double>(depth(lo) - var - 1)) *
+            self(self, lo) +
+        std::exp2l(static_cast<long double>(depth(hi) - var - 1)) *
+            self(self, hi);
+    count_cache_.emplace(CacheKey(r), value);
+    return value;
+  };
+  return std::exp2l(static_cast<long double>(depth(root))) *
+         count_below(count_below, root);
+}
+
+bool BddManager::Sample(BddRef root, std::uint32_t num_vars, Rng& rng,
+                        std::vector<bool>& assignment) {
+  if (root == kFalse) return false;
+  // Prime the memoized per-node counts.
+  SatCount(root, num_vars);
+  assignment.assign(num_vars, false);
+  auto depth = [&](BddRef r) {
+    return IsTerminal(r) ? num_vars : VarOf(r);
+  };
+  auto count_below = [&](BddRef r) -> long double {
+    if (r == kFalse) return 0.0L;
+    if (r == kTrue) return 1.0L;
+    return count_cache_.at(CacheKey(r));
+  };
+  auto fill_free = [&](std::uint32_t from, std::uint32_t to) {
+    for (std::uint32_t v = from; v < to; ++v) assignment[v] = rng.Chance(0.5);
+  };
+  std::uint32_t next_var = 0;
+  BddRef node = root;
+  while (!IsTerminal(node)) {
+    const std::uint32_t var = VarOf(node);
+    fill_free(next_var, var);
+    const BddRef lo = nodes_[node].lo;
+    const BddRef hi = nodes_[node].hi;
+    auto weight = [&](BddRef r) -> long double {
+      if (r == kFalse) return 0.0L;
+      return std::exp2l(static_cast<long double>(depth(r) - var - 1)) *
+             count_below(r);
+    };
+    const long double w_lo = weight(lo);
+    const long double w_hi = weight(hi);
+    const long double total = w_lo + w_hi;
+    const bool take_hi =
+        total <= 0.0L ? (w_hi > 0.0L)
+                      : rng.Chance(static_cast<double>(w_hi / total));
+    assignment[var] = take_hi;
+    node = take_hi ? hi : lo;
+    next_var = var + 1;
+  }
+  if (node == kFalse) return false;
+  fill_free(next_var, num_vars);
+  return true;
+}
+
+std::vector<BddRef> BddManager::ReachableInternalNodes(BddRef root) {
+  std::vector<BddRef> out;
+  std::set<BddRef> seen;
+  std::vector<BddRef> stack = {root};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (IsTerminal(r) || !seen.insert(r).second) continue;
+    out.push_back(r);
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return out;
+}
+
+BddRef BddManager::FlipNode(BddRef root, BddRef victim) {
+  std::map<BddRef, BddRef> memo;
+  auto rebuild = [&](auto&& self, BddRef r) -> BddRef {
+    if (IsTerminal(r)) return r;
+    auto it = memo.find(r);
+    if (it != memo.end()) return it->second;
+    BddRef lo = self(self, nodes_[r].lo);
+    BddRef hi = self(self, nodes_[r].hi);
+    if (r == victim) std::swap(lo, hi);
+    const BddRef result = MakeNode(nodes_[r].var, lo, hi);
+    memo.emplace(r, result);
+    return result;
+  };
+  return rebuild(rebuild, root);
+}
+
+}  // namespace switchv::p4constraints

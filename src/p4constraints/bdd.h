@@ -1,0 +1,87 @@
+// A reduced ordered binary decision diagram (ROBDD) engine.
+//
+// Implements the mechanism sketched in the paper's §7: "transform every
+// constraint in the P4 program into a BDD over the bits of the header and
+// metadata fields referred to in that constraint. We can efficiently sample
+// solutions to this BDD to ensure that our valid tests are
+// constraint-compliant, and randomly mutate one of the nodes of the BDD to
+// generate (otherwise valid) table entries that violate the corresponding
+// constraint."
+#ifndef SWITCHV_P4CONSTRAINTS_BDD_H_
+#define SWITCHV_P4CONSTRAINTS_BDD_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace switchv::p4constraints {
+
+// Node references: 0 is the FALSE terminal, 1 the TRUE terminal; larger
+// values index internal nodes. Nodes are hash-consed (unique table), so
+// structural equality is reference equality.
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  BddManager() = default;
+
+  // The decision variable `var` itself (true iff the bit is 1).
+  BddRef Var(std::uint32_t var);
+
+  BddRef Not(BddRef a);
+  BddRef And(BddRef a, BddRef b);
+  BddRef Or(BddRef a, BddRef b);
+  BddRef Xor(BddRef a, BddRef b);
+  BddRef Implies(BddRef a, BddRef b) { return Or(Not(a), b); }
+  BddRef Iff(BddRef a, BddRef b) { return Not(Xor(a, b)); }
+
+  bool IsTerminal(BddRef r) const { return r <= kTrue; }
+
+  // Number of satisfying assignments over `num_vars` variables. Computed in
+  // long double: exact for the variable counts in practice, and only used
+  // to weight sampling.
+  long double SatCount(BddRef root, std::uint32_t num_vars);
+
+  // Samples a uniformly random satisfying assignment over `num_vars`
+  // variables. Returns false iff the BDD is unsatisfiable.
+  bool Sample(BddRef root, std::uint32_t num_vars, Rng& rng,
+              std::vector<bool>& assignment);
+
+  // All internal (non-terminal) nodes reachable from `root`.
+  std::vector<BddRef> ReachableInternalNodes(BddRef root);
+
+  // Rebuilds the function with the lo/hi branches of `victim` swapped — the
+  // §7 node mutation producing a near-miss of the original constraint.
+  BddRef FlipNode(BddRef root, BddRef victim);
+
+  // Total nodes allocated (diagnostics / bench counters).
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t var;
+    BddRef lo;
+    BddRef hi;
+  };
+
+  BddRef MakeNode(std::uint32_t var, BddRef lo, BddRef hi);
+  BddRef Ite(BddRef f, BddRef g, BddRef h);
+  std::uint32_t VarOf(BddRef r) const;
+
+  // nodes_[0..1] are sentinel terminals.
+  std::vector<Node> nodes_ = {{UINT32_MAX, 0, 0}, {UINT32_MAX, 1, 1}};
+  std::map<std::tuple<std::uint32_t, BddRef, BddRef>, BddRef> unique_;
+  std::map<std::tuple<BddRef, BddRef, BddRef>, BddRef> ite_cache_;
+  std::unordered_map<std::uint64_t, long double> count_cache_;
+  std::uint32_t count_cache_vars_ = 0;
+};
+
+}  // namespace switchv::p4constraints
+
+#endif  // SWITCHV_P4CONSTRAINTS_BDD_H_

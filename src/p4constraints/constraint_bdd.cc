@@ -1,0 +1,345 @@
+#include "p4constraints/constraint_bdd.h"
+
+#include <algorithm>
+
+namespace switchv::p4constraints {
+
+BitLayout BitLayout::ForSchema(const TableSchema& schema) {
+  BitLayout layout;
+  std::uint32_t next = 0;
+  for (const KeySchema& key : schema.keys) {
+    KeyBits bits;
+    bits.kind = key.kind;
+    bits.width = key.width;
+    switch (key.kind) {
+      case KeySchema::Kind::kExact:
+        for (int i = 0; i < key.width; ++i) bits.value_vars.push_back(next++);
+        break;
+      case KeySchema::Kind::kTernary:
+      case KeySchema::Kind::kOptional:
+        // Interleave value and mask bits (see header).
+        for (int i = 0; i < key.width; ++i) {
+          bits.value_vars.push_back(next++);
+          bits.mask_vars.push_back(next++);
+        }
+        break;
+      case KeySchema::Kind::kLpm:
+        // Prefix-length bits first, then value bits (see header).
+        for (int i = 0; i < kPrefixBits; ++i) {
+          bits.prefix_vars.push_back(next++);
+        }
+        for (int i = 0; i < key.width; ++i) bits.value_vars.push_back(next++);
+        break;
+    }
+    layout.keys.emplace(key.name, bits);
+  }
+  for (int i = 0; i < kPriorityBits; ++i) {
+    layout.priority_vars.push_back(next++);
+  }
+  layout.num_vars = next;
+  return layout;
+}
+
+namespace {
+
+// A bit-vector of BDD functions, MSB first.
+using BitVec = std::vector<BddRef>;
+
+BitVec ConstBits(uint128 value, int width) {
+  BitVec bits(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const bool set = (value >> (width - 1 - i)) & 1;
+    bits[static_cast<std::size_t>(i)] =
+        set ? BddManager::kTrue : BddManager::kFalse;
+  }
+  return bits;
+}
+
+BitVec VarBits(BddManager& m, const std::vector<std::uint32_t>& vars) {
+  BitVec bits;
+  bits.reserve(vars.size());
+  for (std::uint32_t v : vars) bits.push_back(m.Var(v));
+  return bits;
+}
+
+BitVec ZeroExtend(BitVec bits, std::size_t width) {
+  if (bits.size() >= width) return bits;
+  BitVec out(width - bits.size(), BddManager::kFalse);
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+BddRef EqVec(BddManager& m, const BitVec& a, const BitVec& b) {
+  BddRef acc = BddManager::kTrue;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    acc = m.And(acc, m.Iff(a[i], b[i]));
+  }
+  return acc;
+}
+
+// a < b, unsigned, MSB-first.
+BddRef LtVec(BddManager& m, const BitVec& a, const BitVec& b) {
+  BddRef result = BddManager::kFalse;  // built LSB->MSB
+  for (std::size_t i = a.size(); i-- > 0;) {
+    const BddRef lt_here = m.And(m.Not(a[i]), b[i]);
+    const BddRef eq_here = m.Iff(a[i], b[i]);
+    result = m.Or(lt_here, m.And(eq_here, result));
+  }
+  return result;
+}
+
+class Compiler {
+ public:
+  Compiler(BddManager& m, const BitLayout& layout) : m_(m), layout_(layout) {}
+
+  StatusOr<BddRef> CompileBool(const CExpr& e) {
+    switch (e.kind) {
+      case CExpr::Kind::kBoolLiteral:
+        return e.bool_value ? BddManager::kTrue : BddManager::kFalse;
+      case CExpr::Kind::kNot: {
+        SWITCHV_ASSIGN_OR_RETURN(BddRef a, CompileBool(e.children[0]));
+        return m_.Not(a);
+      }
+      case CExpr::Kind::kAnd: {
+        SWITCHV_ASSIGN_OR_RETURN(BddRef a, CompileBool(e.children[0]));
+        SWITCHV_ASSIGN_OR_RETURN(BddRef b, CompileBool(e.children[1]));
+        return m_.And(a, b);
+      }
+      case CExpr::Kind::kOr: {
+        SWITCHV_ASSIGN_OR_RETURN(BddRef a, CompileBool(e.children[0]));
+        SWITCHV_ASSIGN_OR_RETURN(BddRef b, CompileBool(e.children[1]));
+        return m_.Or(a, b);
+      }
+      case CExpr::Kind::kImplies: {
+        SWITCHV_ASSIGN_OR_RETURN(BddRef a, CompileBool(e.children[0]));
+        SWITCHV_ASSIGN_OR_RETURN(BddRef b, CompileBool(e.children[1]));
+        return m_.Implies(a, b);
+      }
+      case CExpr::Kind::kEq:
+      case CExpr::Kind::kNe:
+      case CExpr::Kind::kLt:
+      case CExpr::Kind::kLe:
+      case CExpr::Kind::kGt:
+      case CExpr::Kind::kGe: {
+        SWITCHV_ASSIGN_OR_RETURN(BitVec a, CompileInt(e.children[0]));
+        SWITCHV_ASSIGN_OR_RETURN(BitVec b, CompileInt(e.children[1]));
+        const std::size_t width = std::max(a.size(), b.size());
+        a = ZeroExtend(std::move(a), width);
+        b = ZeroExtend(std::move(b), width);
+        switch (e.kind) {
+          case CExpr::Kind::kEq: return EqVec(m_, a, b);
+          case CExpr::Kind::kNe: return m_.Not(EqVec(m_, a, b));
+          case CExpr::Kind::kLt: return LtVec(m_, a, b);
+          case CExpr::Kind::kLe: return m_.Not(LtVec(m_, b, a));
+          case CExpr::Kind::kGt: return LtVec(m_, b, a);
+          default: return m_.Not(LtVec(m_, a, b));
+        }
+      }
+      default:
+        return InternalError("expected boolean constraint expression");
+    }
+  }
+
+ private:
+  StatusOr<BitVec> CompileInt(const CExpr& e) {
+    switch (e.kind) {
+      case CExpr::Kind::kNumber: {
+        int width = 1;
+        while (width < 128 && (e.number >> width) != 0) ++width;
+        return ConstBits(e.number, width);
+      }
+      case CExpr::Kind::kPriority:
+        return VarBits(m_, layout_.priority_vars);
+      case CExpr::Kind::kKeyValue:
+      case CExpr::Kind::kKeyMask:
+      case CExpr::Kind::kKeyPrefixLen: {
+        auto it = layout_.keys.find(e.key);
+        if (it == layout_.keys.end()) {
+          return InternalError("layout missing key: " + e.key);
+        }
+        const BitLayout::KeyBits& bits = it->second;
+        if (e.kind == CExpr::Kind::kKeyValue) {
+          return VarBits(m_, bits.value_vars);
+        }
+        if (e.kind == CExpr::Kind::kKeyMask) {
+          if (bits.mask_vars.empty()) {
+            // Exact keys behave as fully-masked.
+            return ConstBits(LowBitMask(bits.width), bits.width);
+          }
+          return VarBits(m_, bits.mask_vars);
+        }
+        if (bits.prefix_vars.empty()) {
+          return InternalError("::prefix_length on non-lpm key: " + e.key);
+        }
+        return VarBits(m_, bits.prefix_vars);
+      }
+      default:
+        return InternalError("expected integer constraint expression");
+    }
+  }
+
+  BddManager& m_;
+  const BitLayout& layout_;
+};
+
+// The P4Runtime canonical-form rules as a BDD (see header).
+BddRef WellFormedness(BddManager& m, const BitLayout& layout,
+                      const TableSchema& schema) {
+  BddRef acc = BddManager::kTrue;
+  for (const KeySchema& key : schema.keys) {
+    const BitLayout::KeyBits& bits = layout.keys.at(key.name);
+    switch (key.kind) {
+      case KeySchema::Kind::kExact:
+        break;
+      case KeySchema::Kind::kTernary: {
+        // value & ~mask == 0 (adjacent variables: linear BDD).
+        for (int i = 0; i < bits.width; ++i) {
+          acc = m.And(acc, m.Implies(m.Var(bits.value_vars[i]),
+                                     m.Var(bits.mask_vars[i])));
+        }
+        break;
+      }
+      case KeySchema::Kind::kOptional: {
+        // mask all-zero (wildcard) or all-one (exact); value under mask.
+        BddRef all_zero = BddManager::kTrue;
+        BddRef all_one = BddManager::kTrue;
+        for (int i = bits.width; i-- > 0;) {
+          const BddRef msk = m.Var(bits.mask_vars[i]);
+          all_zero = m.And(all_zero, m.Not(msk));
+          all_one = m.And(all_one, msk);
+        }
+        acc = m.And(acc, m.Or(all_zero, all_one));
+        for (int i = 0; i < bits.width; ++i) {
+          acc = m.And(acc, m.Implies(m.Var(bits.value_vars[i]),
+                                     m.Var(bits.mask_vars[i])));
+        }
+        break;
+      }
+      case KeySchema::Kind::kLpm: {
+        const BitVec prefix = VarBits(m, bits.prefix_vars);
+        // prefix_length <= width
+        const BitVec width_const = ConstBits(
+            static_cast<uint128>(bits.width), BitLayout::kPrefixBits);
+        acc = m.And(acc, m.Not(LtVec(m, width_const, prefix)));
+        // Value bits outside the prefix must be zero: value bit i (MSB
+        // first) set implies prefix_length > i. Each conjunct touches the
+        // 8 prefix bits (which precede the value bits) plus one value bit.
+        for (int i = 0; i < bits.width; ++i) {
+          const BitVec i_const = ConstBits(static_cast<uint128>(i),
+                                           BitLayout::kPrefixBits);
+          acc = m.And(acc, m.Implies(m.Var(bits.value_vars[i]),
+                                     LtVec(m, i_const, prefix)));
+        }
+        break;
+      }
+    }
+  }
+  return acc;
+}
+
+uint128 DecodeBits(const std::vector<bool>& assignment,
+                   const std::vector<std::uint32_t>& vars) {
+  uint128 value = 0;
+  for (std::uint32_t v : vars) {
+    value = (value << 1) | (assignment[v] ? 1 : 0);
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<ConstraintBdd> ConstraintBdd::Compile(std::string_view constraint,
+                                               const TableSchema& schema) {
+  auto manager = std::make_unique<BddManager>();
+  BitLayout layout = BitLayout::ForSchema(schema);
+  const BddRef wellformed = WellFormedness(*manager, layout, schema);
+  BddRef parsed = BddManager::kTrue;
+  if (!constraint.empty()) {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr ast, ParseConstraint(constraint, schema));
+    Compiler compiler(*manager, layout);
+    SWITCHV_ASSIGN_OR_RETURN(parsed, compiler.CompileBool(ast));
+  }
+  const BddRef root = manager->And(parsed, wellformed);
+  return ConstraintBdd(std::move(manager), std::move(layout), schema, root,
+                       wellformed);
+}
+
+EntryValuation ConstraintBdd::Decode(
+    const std::vector<bool>& assignment) const {
+  EntryValuation entry;
+  entry.priority =
+      static_cast<int>(DecodeBits(assignment, layout_.priority_vars));
+  for (const KeySchema& key : schema_.keys) {
+    const BitLayout::KeyBits& bits = layout_.keys.at(key.name);
+    KeyValuation kv;
+    kv.value = DecodeBits(assignment, bits.value_vars);
+    switch (key.kind) {
+      case KeySchema::Kind::kExact:
+        kv.mask = LowBitMask(bits.width);
+        kv.present = true;
+        break;
+      case KeySchema::Kind::kTernary:
+      case KeySchema::Kind::kOptional:
+        kv.mask = DecodeBits(assignment, bits.mask_vars);
+        kv.present = kv.mask != 0;
+        break;
+      case KeySchema::Kind::kLpm: {
+        kv.prefix_len =
+            static_cast<int>(DecodeBits(assignment, bits.prefix_vars));
+        const uint128 ones = LowBitMask(kv.prefix_len);
+        kv.mask = kv.prefix_len == 0
+                      ? 0
+                      : (ones << (bits.width - kv.prefix_len)) &
+                            LowBitMask(bits.width);
+        kv.present = kv.prefix_len != 0;
+        break;
+      }
+    }
+    entry.keys.emplace(key.name, kv);
+  }
+  return entry;
+}
+
+StatusOr<EntryValuation> ConstraintBdd::SampleSatisfying(Rng& rng) {
+  std::vector<bool> assignment;
+  if (!manager_->Sample(constraint_root_, layout_.num_vars, rng,
+                        assignment)) {
+    return NotFoundError("constraint is unsatisfiable");
+  }
+  return Decode(assignment);
+}
+
+StatusOr<EntryValuation> ConstraintBdd::SampleViolating(Rng& rng) {
+  // Violating region: well-formed but not constraint-satisfying.
+  if (violating_ == BddManager::kFalse) {
+    violating_ =
+        manager_->And(wellformed_root_, manager_->Not(constraint_root_));
+  }
+  if (violating_ == BddManager::kFalse) {
+    return NotFoundError("constraint is a tautology; nothing violates it");
+  }
+  // Prefer the near-miss region produced by a random node flip.
+  if (flip_nodes_.empty()) {
+    flip_nodes_ = manager_->ReachableInternalNodes(constraint_root_);
+    // Bound the candidate set: huge BDDs make per-sample flips expensive.
+    if (flip_nodes_.size() > 512) flip_nodes_.resize(512);
+  }
+  if (!flip_nodes_.empty()) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const BddRef victim = rng.Pick(flip_nodes_);
+      const BddRef flipped = manager_->FlipNode(constraint_root_, victim);
+      const BddRef region = manager_->And(flipped, violating_);
+      std::vector<bool> assignment;
+      if (manager_->Sample(region, layout_.num_vars, rng, assignment)) {
+        return Decode(assignment);
+      }
+    }
+  }
+  std::vector<bool> assignment;
+  if (!manager_->Sample(violating_, layout_.num_vars, rng, assignment)) {
+    return NotFoundError("violating region unexpectedly empty");
+  }
+  return Decode(assignment);
+}
+
+}  // namespace switchv::p4constraints

@@ -1,0 +1,104 @@
+// Compilation of entry-restriction constraints to BDDs, plus sampling of
+// constraint-compliant and constraint-violating entries (paper §7).
+//
+// Every key of the table is encoded as BDD variables (MSB-first):
+//   * value bits (all kinds),
+//   * mask bits (ternary/optional),
+//   * an 8-bit prefix length (lpm),
+// plus 16 priority bits. The compiled BDD is the conjunction of the parsed
+// constraint and the P4Runtime well-formedness rules, so every sample is a
+// syntactically canonical entry:
+//   * ternary/optional: value & ~mask == 0 (canonical form),
+//   * optional: mask is all-zeros or all-ones (wildcard or exact),
+//   * lpm: prefix_length <= width and value bits outside the prefix are 0.
+#ifndef SWITCHV_P4CONSTRAINTS_CONSTRAINT_BDD_H_
+#define SWITCHV_P4CONSTRAINTS_CONSTRAINT_BDD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "p4constraints/ast.h"
+#include "p4constraints/bdd.h"
+#include "p4constraints/eval.h"
+#include "p4constraints/parser.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace switchv::p4constraints {
+
+// Variable layout of one table's keys within the BDD.
+//
+// Variable ordering is chosen for small BDDs: a ternary/optional key's
+// value and mask bits are *interleaved* (the canonical-form constraint
+// value_i -> mask_i then touches adjacent variables), and an lpm key's
+// prefix-length bits precede its value bits (each value bit's constraint
+// mentions only the 8 prefix bits plus itself). A naive contiguous layout
+// makes the well-formedness BDD of a 128-bit ternary key exponential.
+struct BitLayout {
+  struct KeyBits {
+    int width = 0;
+    KeySchema::Kind kind = KeySchema::Kind::kExact;
+    // Variable indices, MSB first. Empty vectors when not applicable.
+    std::vector<std::uint32_t> value_vars;
+    std::vector<std::uint32_t> mask_vars;
+    std::vector<std::uint32_t> prefix_vars;
+  };
+
+  static constexpr int kPrefixBits = 8;
+  static constexpr int kPriorityBits = 16;
+
+  std::map<std::string, KeyBits> keys;
+  std::vector<std::uint32_t> priority_vars;
+  std::uint32_t num_vars = 0;
+
+  static BitLayout ForSchema(const TableSchema& schema);
+};
+
+// A compiled constraint over one table, ready for sampling. Thread-hostile
+// (owns a mutable BddManager); create one per fuzzing thread.
+class ConstraintBdd {
+ public:
+  // Parses (if needed) and compiles `constraint` for `schema`. An empty
+  // constraint compiles to TRUE (only well-formedness remains).
+  static StatusOr<ConstraintBdd> Compile(std::string_view constraint,
+                                         const TableSchema& schema);
+
+  // Samples an entry satisfying both the constraint and well-formedness.
+  // Returns NOT_FOUND if the constraint is unsatisfiable.
+  StatusOr<EntryValuation> SampleSatisfying(Rng& rng);
+
+  // Samples a well-formed entry *violating* the constraint, preferring the
+  // near-miss region reached by flipping a random internal BDD node (§7).
+  // Returns NOT_FOUND if the constraint is a tautology over well-formed
+  // entries (nothing violates it).
+  StatusOr<EntryValuation> SampleViolating(Rng& rng);
+
+  const BitLayout& layout() const { return layout_; }
+  std::size_t node_count() const { return manager_->node_count(); }
+
+ private:
+  ConstraintBdd(std::unique_ptr<BddManager> manager, BitLayout layout,
+                TableSchema schema, BddRef constraint_root,
+                BddRef wellformed_root)
+      : manager_(std::move(manager)),
+        layout_(std::move(layout)),
+        schema_(std::move(schema)),
+        constraint_root_(constraint_root),
+        wellformed_root_(wellformed_root) {}
+
+  EntryValuation Decode(const std::vector<bool>& assignment) const;
+
+  std::unique_ptr<BddManager> manager_;
+  BitLayout layout_;
+  TableSchema schema_;
+  BddRef constraint_root_;  // constraint ∧ well-formedness
+  BddRef wellformed_root_;  // well-formedness only
+  // Lazily built sampling state.
+  BddRef violating_ = BddManager::kFalse;
+  std::vector<BddRef> flip_nodes_;
+};
+
+}  // namespace switchv::p4constraints
+
+#endif  // SWITCHV_P4CONSTRAINTS_CONSTRAINT_BDD_H_

@@ -1,0 +1,78 @@
+#include "p4constraints/eval.h"
+
+namespace switchv::p4constraints {
+
+namespace {
+
+StatusOr<uint128> EvalInt(const CExpr& expr, const EntryValuation& entry) {
+  switch (expr.kind) {
+    case CExpr::Kind::kNumber:
+      return expr.number;
+    case CExpr::Kind::kPriority:
+      return static_cast<uint128>(entry.priority);
+    case CExpr::Kind::kKeyValue:
+    case CExpr::Kind::kKeyMask:
+    case CExpr::Kind::kKeyPrefixLen: {
+      auto it = entry.keys.find(expr.key);
+      if (it == entry.keys.end()) {
+        return InternalError("valuation missing key: " + expr.key);
+      }
+      const KeyValuation& kv = it->second;
+      if (expr.kind == CExpr::Kind::kKeyValue) return kv.value;
+      if (expr.kind == CExpr::Kind::kKeyMask) return kv.mask;
+      return static_cast<uint128>(kv.prefix_len);
+    }
+    default:
+      return InternalError("expected integer constraint expression");
+  }
+}
+
+}  // namespace
+
+StatusOr<bool> EvalConstraint(const CExpr& expr,
+                              const EntryValuation& entry) {
+  switch (expr.kind) {
+    case CExpr::Kind::kBoolLiteral:
+      return expr.bool_value;
+    case CExpr::Kind::kNot: {
+      SWITCHV_ASSIGN_OR_RETURN(bool v, EvalConstraint(expr.children[0], entry));
+      return !v;
+    }
+    case CExpr::Kind::kAnd: {
+      SWITCHV_ASSIGN_OR_RETURN(bool a, EvalConstraint(expr.children[0], entry));
+      SWITCHV_ASSIGN_OR_RETURN(bool b, EvalConstraint(expr.children[1], entry));
+      return a && b;
+    }
+    case CExpr::Kind::kOr: {
+      SWITCHV_ASSIGN_OR_RETURN(bool a, EvalConstraint(expr.children[0], entry));
+      SWITCHV_ASSIGN_OR_RETURN(bool b, EvalConstraint(expr.children[1], entry));
+      return a || b;
+    }
+    case CExpr::Kind::kImplies: {
+      SWITCHV_ASSIGN_OR_RETURN(bool a, EvalConstraint(expr.children[0], entry));
+      SWITCHV_ASSIGN_OR_RETURN(bool b, EvalConstraint(expr.children[1], entry));
+      return !a || b;
+    }
+    case CExpr::Kind::kEq:
+    case CExpr::Kind::kNe:
+    case CExpr::Kind::kLt:
+    case CExpr::Kind::kLe:
+    case CExpr::Kind::kGt:
+    case CExpr::Kind::kGe: {
+      SWITCHV_ASSIGN_OR_RETURN(uint128 a, EvalInt(expr.children[0], entry));
+      SWITCHV_ASSIGN_OR_RETURN(uint128 b, EvalInt(expr.children[1], entry));
+      switch (expr.kind) {
+        case CExpr::Kind::kEq: return a == b;
+        case CExpr::Kind::kNe: return a != b;
+        case CExpr::Kind::kLt: return a < b;
+        case CExpr::Kind::kLe: return a <= b;
+        case CExpr::Kind::kGt: return a > b;
+        default: return a >= b;
+      }
+    }
+    default:
+      return InternalError("expected boolean constraint expression");
+  }
+}
+
+}  // namespace switchv::p4constraints

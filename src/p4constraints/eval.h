@@ -1,0 +1,39 @@
+// Concrete evaluation of constraints against a candidate table entry.
+//
+// Used in three places: the switch-under-test's P4Runtime layer enforces
+// constraints at write time (as PINS does), the fuzzer oracle classifies
+// generated requests as constraint-compliant or not, and tests cross-check
+// the BDD engine against this reference semantics.
+#ifndef SWITCHV_P4CONSTRAINTS_EVAL_H_
+#define SWITCHV_P4CONSTRAINTS_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "p4constraints/ast.h"
+#include "util/status.h"
+
+namespace switchv::p4constraints {
+
+// The value of one match key within an entry. An omitted ternary/optional
+// key is a wildcard: present=false, value=0, mask=0 (P4Runtime semantics).
+struct KeyValuation {
+  bool present = false;
+  uint128 value = 0;
+  uint128 mask = 0;     // exact: all-ones; lpm: prefix mask
+  int prefix_len = 0;   // lpm only
+};
+
+struct EntryValuation {
+  std::map<std::string, KeyValuation> keys;
+  int priority = 0;
+};
+
+// Evaluates a parsed, type-checked constraint. Fails only on internal
+// inconsistencies (e.g. a key missing from the valuation map entirely).
+StatusOr<bool> EvalConstraint(const CExpr& expr,
+                              const EntryValuation& entry);
+
+}  // namespace switchv::p4constraints
+
+#endif  // SWITCHV_P4CONSTRAINTS_EVAL_H_

@@ -1,0 +1,353 @@
+#include "p4constraints/parser.h"
+
+#include <cctype>
+
+namespace switchv::p4constraints {
+
+const KeySchema* TableSchema::FindKey(std::string_view name) const {
+  for (const KeySchema& k : keys) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kNot,       // !
+  kAnd,       // &&
+  kOr,        // ||
+  kImplies,   // ->
+  kEq,        // ==
+  kNe,        // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kColonColon,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // ident
+  uint128 number = 0; // number
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        SWITCHV_ASSIGN_OR_RETURN(Token t, LexNumber());
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+        continue;
+      }
+      SWITCHV_ASSIGN_OR_RETURN(Token t, LexOperator());
+      tokens.push_back(std::move(t));
+    }
+    tokens.push_back(Token{});
+    return tokens;
+  }
+
+ private:
+  StatusOr<Token> LexNumber() {
+    Token t;
+    t.kind = TokenKind::kNumber;
+    // IPv4 literals ("10.0.0.1") are sugar for their 32-bit value, as in
+    // the upstream p4-constraints language.
+    {
+      std::size_t end = pos_;
+      int dots = 0;
+      while (end < source_.size() &&
+             (std::isdigit(static_cast<unsigned char>(source_[end])) ||
+              source_[end] == '.')) {
+        if (source_[end] == '.') ++dots;
+        ++end;
+      }
+      if (dots == 3) {
+        auto addr = BitString::FromIpv4(source_.substr(pos_, end - pos_));
+        if (!addr.ok()) return addr.status();
+        t.number = addr->value();
+        pos_ = end;
+        return t;
+      }
+    }
+    if (source_.substr(pos_).starts_with("0x") ||
+        source_.substr(pos_).starts_with("0X")) {
+      pos_ += 2;
+      bool any = false;
+      while (pos_ < source_.size() &&
+             std::isxdigit(static_cast<unsigned char>(source_[pos_]))) {
+        const char lower = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(source_[pos_])));
+        const unsigned digit =
+            std::isdigit(static_cast<unsigned char>(lower))
+                ? static_cast<unsigned>(lower - '0')
+                : static_cast<unsigned>(lower - 'a' + 10);
+        t.number = (t.number << 4) | digit;
+        ++pos_;
+        any = true;
+      }
+      if (!any) return InvalidArgumentError("bad hex literal");
+      return t;
+    }
+    while (pos_ < source_.size() &&
+           std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+      t.number = t.number * 10 +
+                 static_cast<unsigned>(source_[pos_] - '0');
+      ++pos_;
+    }
+    return t;
+  }
+
+  Token LexIdent() {
+    Token t;
+    t.kind = TokenKind::kIdent;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_' || source_[pos_] == '.')) {
+      t.text.push_back(source_[pos_]);
+      ++pos_;
+    }
+    return t;
+  }
+
+  StatusOr<Token> LexOperator() {
+    auto two = source_.substr(pos_, 2);
+    Token t;
+    if (two == "&&") { t.kind = TokenKind::kAnd; pos_ += 2; return t; }
+    if (two == "||") { t.kind = TokenKind::kOr; pos_ += 2; return t; }
+    if (two == "->") { t.kind = TokenKind::kImplies; pos_ += 2; return t; }
+    if (two == "==") { t.kind = TokenKind::kEq; pos_ += 2; return t; }
+    if (two == "!=") { t.kind = TokenKind::kNe; pos_ += 2; return t; }
+    if (two == "<=") { t.kind = TokenKind::kLe; pos_ += 2; return t; }
+    if (two == ">=") { t.kind = TokenKind::kGe; pos_ += 2; return t; }
+    if (two == "::") { t.kind = TokenKind::kColonColon; pos_ += 2; return t; }
+    const char c = source_[pos_];
+    switch (c) {
+      case '(': t.kind = TokenKind::kLParen; break;
+      case ')': t.kind = TokenKind::kRParen; break;
+      case '!': t.kind = TokenKind::kNot; break;
+      case '<': t.kind = TokenKind::kLt; break;
+      case '>': t.kind = TokenKind::kGt; break;
+      default:
+        return InvalidArgumentError(std::string("unexpected character '") +
+                                    c + "' in constraint");
+    }
+    ++pos_;
+    return t;
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const TableSchema& schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  StatusOr<CExpr> Parse() {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr expr, ParseImplies());
+    if (Peek().kind != TokenKind::kEnd) {
+      return InvalidArgumentError("trailing tokens in constraint");
+    }
+    if (!expr.IsBoolean()) {
+      return InvalidArgumentError("constraint must be boolean-valued");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+  bool Eat(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<CExpr> ParseImplies() {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr lhs, ParseOr());
+    if (Eat(TokenKind::kImplies)) {
+      SWITCHV_ASSIGN_OR_RETURN(CExpr rhs, ParseImplies());
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(lhs));
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(rhs));
+      CExpr node;
+      node.kind = CExpr::Kind::kImplies;
+      node.children = {std::move(lhs), std::move(rhs)};
+      return node;
+    }
+    return lhs;
+  }
+
+  StatusOr<CExpr> ParseOr() {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr lhs, ParseAnd());
+    while (Eat(TokenKind::kOr)) {
+      SWITCHV_ASSIGN_OR_RETURN(CExpr rhs, ParseAnd());
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(lhs));
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(rhs));
+      CExpr node;
+      node.kind = CExpr::Kind::kOr;
+      node.children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<CExpr> ParseAnd() {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr lhs, ParseNot());
+    while (Eat(TokenKind::kAnd)) {
+      SWITCHV_ASSIGN_OR_RETURN(CExpr rhs, ParseNot());
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(lhs));
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(rhs));
+      CExpr node;
+      node.kind = CExpr::Kind::kAnd;
+      node.children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<CExpr> ParseNot() {
+    if (Eat(TokenKind::kNot)) {
+      SWITCHV_ASSIGN_OR_RETURN(CExpr operand, ParseNot());
+      SWITCHV_RETURN_IF_ERROR(RequireBoolean(operand));
+      CExpr node;
+      node.kind = CExpr::Kind::kNot;
+      node.children = {std::move(operand)};
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<CExpr> ParseComparison() {
+    SWITCHV_ASSIGN_OR_RETURN(CExpr lhs, ParseAtom());
+    CExpr::Kind op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = CExpr::Kind::kEq; break;
+      case TokenKind::kNe: op = CExpr::Kind::kNe; break;
+      case TokenKind::kLt: op = CExpr::Kind::kLt; break;
+      case TokenKind::kLe: op = CExpr::Kind::kLe; break;
+      case TokenKind::kGt: op = CExpr::Kind::kGt; break;
+      case TokenKind::kGe: op = CExpr::Kind::kGe; break;
+      default:
+        return lhs;
+    }
+    Next();
+    SWITCHV_ASSIGN_OR_RETURN(CExpr rhs, ParseAtom());
+    if (lhs.IsBoolean() || rhs.IsBoolean()) {
+      return InvalidArgumentError("comparison operands must be integers");
+    }
+    CExpr node;
+    node.kind = op;
+    node.children = {std::move(lhs), std::move(rhs)};
+    return node;
+  }
+
+  StatusOr<CExpr> ParseAtom() {
+    if (Eat(TokenKind::kLParen)) {
+      SWITCHV_ASSIGN_OR_RETURN(CExpr inner, ParseImplies());
+      if (!Eat(TokenKind::kRParen)) {
+        return InvalidArgumentError("missing ')'");
+      }
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      CExpr node;
+      node.kind = CExpr::Kind::kNumber;
+      node.number = Next().number;
+      return node;
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return InvalidArgumentError("expected identifier or literal");
+    }
+    Token ident = Next();
+    if (ident.text == "true" || ident.text == "false") {
+      CExpr node;
+      node.kind = CExpr::Kind::kBoolLiteral;
+      node.bool_value = ident.text == "true";
+      return node;
+    }
+    if (ident.text == "priority") {
+      CExpr node;
+      node.kind = CExpr::Kind::kPriority;
+      return node;
+    }
+    const KeySchema* key = schema_.FindKey(ident.text);
+    if (key == nullptr) {
+      return InvalidArgumentError("constraint references unknown key: " +
+                                  ident.text);
+    }
+    CExpr node;
+    node.kind = CExpr::Kind::kKeyValue;
+    node.key = ident.text;
+    if (Eat(TokenKind::kColonColon)) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgumentError("expected attribute after '::'");
+      }
+      const std::string attr = Next().text;
+      if (attr == "value") {
+        node.kind = CExpr::Kind::kKeyValue;
+      } else if (attr == "mask") {
+        if (key->kind != KeySchema::Kind::kTernary &&
+            key->kind != KeySchema::Kind::kOptional) {
+          return InvalidArgumentError("::mask requires a ternary key: " +
+                                      ident.text);
+        }
+        node.kind = CExpr::Kind::kKeyMask;
+      } else if (attr == "prefix_length") {
+        if (key->kind != KeySchema::Kind::kLpm) {
+          return InvalidArgumentError(
+              "::prefix_length requires an lpm key: " + ident.text);
+        }
+        node.kind = CExpr::Kind::kKeyPrefixLen;
+      } else {
+        return InvalidArgumentError("unknown key attribute: " + attr);
+      }
+    }
+    return node;
+  }
+
+  Status RequireBoolean(const CExpr& e) {
+    if (!e.IsBoolean()) {
+      return InvalidArgumentError(
+          "logical operator applied to integer operand");
+    }
+    return OkStatus();
+  }
+
+  std::vector<Token> tokens_;
+  const TableSchema& schema_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<CExpr> ParseConstraint(std::string_view source,
+                                const TableSchema& schema) {
+  Lexer lexer(source);
+  SWITCHV_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  return Parser(std::move(tokens), schema).Parse();
+}
+
+}  // namespace switchv::p4constraints

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the entry-restriction language.
+#ifndef SWITCHV_P4CONSTRAINTS_PARSER_H_
+#define SWITCHV_P4CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+
+#include "p4constraints/ast.h"
+#include "util/status.h"
+
+namespace switchv::p4constraints {
+
+// Describes the keys a constraint may reference: needed for name resolution
+// and for rejecting attribute accesses that do not fit the match kind
+// (e.g. `::prefix_length` on an exact key).
+struct KeySchema {
+  std::string name;
+  int width = 0;
+  // Match kind as in p4ir; duplicated here to keep this module independent.
+  enum class Kind { kExact, kLpm, kTernary, kOptional } kind = Kind::kExact;
+};
+
+struct TableSchema {
+  std::vector<KeySchema> keys;
+
+  const KeySchema* FindKey(std::string_view name) const;
+};
+
+// Parses and type-checks `source` against `schema`. The resulting AST is
+// boolean-valued.
+StatusOr<CExpr> ParseConstraint(std::string_view source,
+                                const TableSchema& schema);
+
+}  // namespace switchv::p4constraints
+
+#endif  // SWITCHV_P4CONSTRAINTS_PARSER_H_

@@ -1,0 +1,131 @@
+#include "p4ir/builder.h"
+
+namespace switchv::p4ir {
+
+TableBuilder& TableBuilder::Key(std::string name, std::string field,
+                                int width, MatchKind kind) {
+  KeyDef key;
+  key.name = std::move(name);
+  key.field = std::move(field);
+  key.width = width;
+  key.kind = kind;
+  table_.keys.push_back(std::move(key));
+  return *this;
+}
+
+TableBuilder& TableBuilder::ReferencingKey(std::string name,
+                                           std::string field, int width,
+                                           MatchKind kind,
+                                           std::string ref_table,
+                                           std::string ref_key) {
+  Key(std::move(name), std::move(field), width, kind);
+  table_.keys.back().refers_to =
+      RefersTo{std::move(ref_table), std::move(ref_key)};
+  return *this;
+}
+
+TableBuilder& TableBuilder::Action(std::string action_name) {
+  table_.action_names.push_back(std::move(action_name));
+  return *this;
+}
+
+TableBuilder& TableBuilder::DefaultAction(std::string action_name,
+                                          std::vector<BitString> args) {
+  table_.default_action = std::move(action_name);
+  table_.default_action_args = std::move(args);
+  return *this;
+}
+
+TableBuilder& TableBuilder::Size(int size) {
+  table_.size = size;
+  return *this;
+}
+
+TableBuilder& TableBuilder::EntryRestriction(std::string constraint) {
+  table_.entry_restriction = std::move(constraint);
+  return *this;
+}
+
+TableBuilder& TableBuilder::WithSelector(int max_group_size,
+                                         int max_total_weight) {
+  table_.selector = ActionSelector{max_group_size, max_total_weight};
+  return *this;
+}
+
+TableBuilder& TableBuilder::ParamReference(std::string action,
+                                           std::string param,
+                                           std::string ref_table,
+                                           std::string ref_key) {
+  table_.param_refers_to.push_back(ParamRefersTo{
+      std::move(action), std::move(param),
+      RefersTo{std::move(ref_table), std::move(ref_key)}});
+  return *this;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+  program_.metadata = {
+      {kIngressPortField, kPortWidth}, {kEgressPortField, kPortWidth},
+      {kDropField, 1},                 {kPuntField, 1},
+      {kCloneSessionField, 16},
+  };
+}
+
+ProgramBuilder& ProgramBuilder::AddHeader(std::string name,
+                                          std::vector<FieldDef> fields) {
+  program_.headers.push_back(HeaderDef{std::move(name), std::move(fields)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddMetadata(std::string name, int width) {
+  program_.metadata.push_back(FieldDef{std::move(name), width});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddAction(std::string name,
+                                          std::vector<ParamDef> params,
+                                          std::vector<Statement> body) {
+  Action action;
+  action.name = std::move(name);
+  action.params = std::move(params);
+  action.body = std::move(body);
+  program_.actions.push_back(std::move(action));
+  return *this;
+}
+
+TableBuilder ProgramBuilder::AddTable(std::string name) {
+  Table table;
+  table.name = std::move(name);
+  program_.tables.push_back(std::move(table));
+  return TableBuilder(program_.tables.back());
+}
+
+ProgramBuilder& ProgramBuilder::SetIngress(std::vector<ControlNode> nodes) {
+  program_.ingress = std::move(nodes);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SetEgress(std::vector<ControlNode> nodes) {
+  program_.egress = std::move(nodes);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::SetCpuPort(std::uint16_t port) {
+  program_.cpu_port = port;
+  return *this;
+}
+
+int ProgramBuilder::FieldWidth(const std::string& field) const {
+  return program_.FieldWidth(field);
+}
+
+Expr ProgramBuilder::FieldExpr(const std::string& field) const {
+  return Expr::Field(field, FieldWidth(field));
+}
+
+StatusOr<Program> ProgramBuilder::Build() && {
+  SWITCHV_RETURN_IF_ERROR(program_.Validate());
+  return std::move(program_);
+}
+
+}  // namespace switchv::p4ir

@@ -1,0 +1,83 @@
+// Fluent construction of P4 model programs.
+//
+// The paper's role-specific models are "instantiations of the same
+// blueprint" assembled from a common library of components (§3). The
+// builder is the C++ analogue of that P4 source + preprocessor setup: model
+// code composes headers, actions, and tables into a validated Program.
+#ifndef SWITCHV_P4IR_BUILDER_H_
+#define SWITCHV_P4IR_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "p4ir/program.h"
+
+namespace switchv::p4ir {
+
+// Builds one table; obtained from ProgramBuilder::AddTable.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Table& table) : table_(table) {}
+
+  TableBuilder& Key(std::string name, std::string field, int width,
+                    MatchKind kind);
+  // Key with a @refers_to(table, key) annotation.
+  TableBuilder& ReferencingKey(std::string name, std::string field, int width,
+                               MatchKind kind, std::string ref_table,
+                               std::string ref_key);
+  TableBuilder& Action(std::string action_name);
+  TableBuilder& DefaultAction(std::string action_name,
+                              std::vector<BitString> args = {});
+  TableBuilder& Size(int size);
+  // Attaches an @entry_restriction constraint (p4constraints source text).
+  TableBuilder& EntryRestriction(std::string constraint);
+  // Marks the table as WCMP-style with a one-shot action selector.
+  TableBuilder& WithSelector(int max_group_size, int max_total_weight);
+  // Attaches @refers_to to an action parameter of this table.
+  TableBuilder& ParamReference(std::string action, std::string param,
+                               std::string ref_table, std::string ref_key);
+
+ private:
+  Table& table_;
+};
+
+// Builds a Program. Standard metadata (ingress/egress port, drop, punt,
+// clone session) is declared automatically.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // Declares a header; field names must be fully qualified ("ipv4.ttl").
+  ProgramBuilder& AddHeader(std::string name, std::vector<FieldDef> fields);
+
+  // Declares a user metadata field, e.g. "local_metadata.vrf_id".
+  ProgramBuilder& AddMetadata(std::string name, int width);
+
+  // Declares an action.
+  ProgramBuilder& AddAction(std::string name, std::vector<ParamDef> params,
+                            std::vector<Statement> body);
+
+  // Declares a table and returns a builder for it. The returned builder is
+  // invalidated by further AddTable calls.
+  TableBuilder AddTable(std::string name);
+
+  ProgramBuilder& SetIngress(std::vector<ControlNode> nodes);
+  ProgramBuilder& SetEgress(std::vector<ControlNode> nodes);
+  ProgramBuilder& SetCpuPort(std::uint16_t port);
+
+  // Width lookup over everything declared so far (0 if unknown); lets model
+  // code write `b.FieldExpr("ipv4.ttl")` without repeating widths.
+  int FieldWidth(const std::string& field) const;
+  Expr FieldExpr(const std::string& field) const;
+
+  // Validates and returns the finished program.
+  StatusOr<Program> Build() &&;
+
+ private:
+  Program program_;
+};
+
+}  // namespace switchv::p4ir
+
+#endif  // SWITCHV_P4IR_BUILDER_H_

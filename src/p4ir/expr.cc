@@ -1,0 +1,128 @@
+#include "p4ir/expr.h"
+
+#include <cassert>
+
+namespace switchv::p4ir {
+
+Expr Expr::Constant(BitString value) {
+  Expr e;
+  e.kind_ = Kind::kConstant;
+  e.width_ = value.width();
+  e.constant_ = value;
+  return e;
+}
+
+Expr Expr::ConstantU(uint128 value, int width) {
+  return Constant(BitString::FromUint(value, width));
+}
+
+Expr Expr::Field(std::string name, int width) {
+  Expr e;
+  e.kind_ = Kind::kField;
+  e.width_ = width;
+  e.name_ = std::move(name);
+  return e;
+}
+
+Expr Expr::Param(std::string name, int width) {
+  Expr e;
+  e.kind_ = Kind::kParam;
+  e.width_ = width;
+  e.name_ = std::move(name);
+  return e;
+}
+
+Expr Expr::Valid(std::string header) {
+  Expr e;
+  e.kind_ = Kind::kValid;
+  e.width_ = 1;
+  e.name_ = std::move(header);
+  return e;
+}
+
+Expr Expr::Unary(UnaryOp op, Expr operand) {
+  Expr e;
+  e.kind_ = Kind::kUnary;
+  e.unary_op_ = op;
+  e.width_ = op == UnaryOp::kLogicalNot ? 1 : operand.width();
+  e.children_.push_back(std::move(operand));
+  return e;
+}
+
+Expr Expr::Binary(BinaryOp op, Expr lhs, Expr rhs) {
+  assert(lhs.width() == rhs.width() && "binary operands must have equal width");
+  Expr e;
+  e.kind_ = Kind::kBinary;
+  e.binary_op_ = op;
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      e.width_ = 1;
+      break;
+    default:
+      e.width_ = lhs.width();
+  }
+  e.children_.push_back(std::move(lhs));
+  e.children_.push_back(std::move(rhs));
+  return e;
+}
+
+namespace {
+
+std::string_view UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kLogicalNot: return "!";
+    case UnaryOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return constant_.ToString();
+    case Kind::kField:
+      return name_;
+    case Kind::kParam:
+      return "$" + name_;
+    case Kind::kValid:
+      return name_ + ".isValid()";
+    case Kind::kUnary:
+      return std::string(UnaryOpName(unary_op_)) + "(" +
+             children_[0].ToString() + ")";
+    case Kind::kBinary:
+      return "(" + children_[0].ToString() + " " +
+             std::string(BinaryOpName(binary_op_)) + " " +
+             children_[1].ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace switchv::p4ir

@@ -1,0 +1,109 @@
+// Expression trees for the P4 model IR.
+//
+// Expressions appear in pipeline conditionals (e.g. `if
+// (headers.ipv4.isValid())`) and in action bodies (right-hand sides of field
+// assignments). All values are fixed-width bit vectors; boolean results have
+// width 1. This mirrors the fragment of P4-16 the paper's models use — no
+// header stacks, unions, registers, or varbits (§5 "Limitations").
+#ifndef SWITCHV_P4IR_EXPR_H_
+#define SWITCHV_P4IR_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitstring.h"
+
+namespace switchv::p4ir {
+
+enum class UnaryOp {
+  kLogicalNot,  // width-1 operand, width-1 result
+  kBitNot,      // bitwise complement, preserves width
+};
+
+enum class BinaryOp {
+  // Comparisons: any equal-width operands, width-1 result.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Logical: width-1 operands, width-1 result.
+  kAnd,
+  kOr,
+  // Bitwise / arithmetic: equal-width operands, same-width result.
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kAdd,
+  kSub,
+};
+
+// An immutable expression tree node. Construct via the factory functions;
+// trees are value types (copyable), which keeps program objects easy to
+// clone for differential configurations.
+class Expr {
+ public:
+  enum class Kind {
+    kConstant,  // literal value
+    kField,     // header or metadata field, by fully-qualified name
+    kParam,     // action parameter, by name (only valid inside action bodies)
+    kValid,     // header validity bit, by header name; width 1
+    kUnary,
+    kBinary,
+  };
+
+  // Factories.
+  static Expr Constant(BitString value);
+  static Expr ConstantU(uint128 value, int width);
+  static Expr Field(std::string name, int width);
+  static Expr Param(std::string name, int width);
+  static Expr Valid(std::string header);
+  static Expr Unary(UnaryOp op, Expr operand);
+  static Expr Binary(BinaryOp op, Expr lhs, Expr rhs);
+
+  // Convenience composers.
+  static Expr Not(Expr e) { return Unary(UnaryOp::kLogicalNot, std::move(e)); }
+  static Expr Eq(Expr a, Expr b) {
+    return Binary(BinaryOp::kEq, std::move(a), std::move(b));
+  }
+  static Expr Ne(Expr a, Expr b) {
+    return Binary(BinaryOp::kNe, std::move(a), std::move(b));
+  }
+  static Expr And(Expr a, Expr b) {
+    return Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+  }
+  static Expr Or(Expr a, Expr b) {
+    return Binary(BinaryOp::kOr, std::move(a), std::move(b));
+  }
+
+  Kind kind() const { return kind_; }
+  // Result width in bits (1 for booleans).
+  int width() const { return width_; }
+  // Constant value; precondition: kind() == kConstant.
+  const BitString& constant() const { return constant_; }
+  // Field/param/header name; precondition: kind is kField/kParam/kValid.
+  const std::string& name() const { return name_; }
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  // Children; one for unary, two for binary.
+  const std::vector<Expr>& children() const { return children_; }
+
+  // Human-readable rendering for incident reports and debugging.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConstant;
+  int width_ = 1;
+  BitString constant_;
+  std::string name_;
+  UnaryOp unary_op_ = UnaryOp::kLogicalNot;
+  BinaryOp binary_op_ = BinaryOp::kEq;
+  std::vector<Expr> children_;
+};
+
+}  // namespace switchv::p4ir
+
+#endif  // SWITCHV_P4IR_EXPR_H_

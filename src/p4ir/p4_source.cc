@@ -1,0 +1,159 @@
+#include "p4ir/p4_source.h"
+
+namespace switchv::p4ir {
+
+namespace {
+
+void Indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+std::string RenderStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kAssign:
+      return stmt.target + " = " + stmt.value->ToString() + ";";
+    case Statement::Kind::kSetValid:
+      return stmt.target + (stmt.valid ? ".setValid();" : ".setInvalid();");
+    case Statement::Kind::kHash: {
+      std::string out = stmt.target + " = hash(";
+      for (std::size_t i = 0; i < stmt.hash_inputs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += stmt.hash_inputs[i];
+      }
+      out += ");  // unspecified algorithm: free operation";
+      return out;
+    }
+  }
+  return ";";
+}
+
+void RenderControl(const Program& program,
+                   const std::vector<ControlNode>& nodes, int depth,
+                   std::string& out) {
+  for (const ControlNode& node : nodes) {
+    switch (node.kind) {
+      case ControlNode::Kind::kApplyTable:
+        Indent(out, depth);
+        out += node.table + ".apply();\n";
+        break;
+      case ControlNode::Kind::kApplyAction: {
+        Indent(out, depth);
+        out += node.action + "(";
+        for (std::size_t i = 0; i < node.action_args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += node.action_args[i].ToString();
+        }
+        out += ");\n";
+        break;
+      }
+      case ControlNode::Kind::kIf:
+        Indent(out, depth);
+        out += "if " + node.condition->ToString() + " {\n";
+        RenderControl(program, node.then_branch, depth + 1, out);
+        if (!node.else_branch.empty()) {
+          Indent(out, depth);
+          out += "} else {\n";
+          RenderControl(program, node.else_branch, depth + 1, out);
+        }
+        Indent(out, depth);
+        out += "}\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToP4Source(const Program& program) {
+  std::string out;
+  out += "// P4 model \"" + program.name +
+         "\" — rendered from the in-memory specification.\n";
+  out += "// Fingerprint: " + std::to_string(program.Fingerprint()) + "\n\n";
+
+  for (const HeaderDef& header : program.headers) {
+    out += "header " + header.name + "_t {\n";
+    for (const FieldDef& field : header.fields) {
+      const std::string short_name =
+          field.name.substr(header.name.size() + 1);
+      Indent(out, 1);
+      out += "bit<" + std::to_string(field.width) + "> " + short_name + ";\n";
+    }
+    out += "}\n\n";
+  }
+
+  out += "struct metadata_t {\n";
+  for (const FieldDef& field : program.metadata) {
+    Indent(out, 1);
+    out += "bit<" + std::to_string(field.width) + "> " + field.name + ";\n";
+  }
+  out += "}\n\n";
+
+  for (const Action& action : program.actions) {
+    out += "action " + action.name + "(";
+    for (std::size_t i = 0; i < action.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "bit<" + std::to_string(action.params[i].width) + "> " +
+             action.params[i].name;
+    }
+    out += ") {\n";
+    for (const Statement& stmt : action.body) {
+      Indent(out, 1);
+      out += RenderStatement(stmt) + "\n";
+    }
+    out += "}\n\n";
+  }
+
+  for (const Table& table : program.tables) {
+    if (!table.entry_restriction.empty()) {
+      out += "@entry_restriction(\"" + table.entry_restriction + "\")\n";
+    }
+    out += "table " + table.name + " {\n";
+    Indent(out, 1);
+    out += "key = {\n";
+    for (const KeyDef& key : table.keys) {
+      Indent(out, 2);
+      out += key.field + " : " + std::string(MatchKindName(key.kind));
+      if (key.refers_to.has_value()) {
+        out += " @refers_to(" + key.refers_to->table + ", " +
+               key.refers_to->key + ")";
+      }
+      out += ";  // " + key.name + "\n";
+    }
+    Indent(out, 1);
+    out += "}\n";
+    Indent(out, 1);
+    out += "actions = {";
+    for (std::size_t i = 0; i < table.action_names.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += " " + table.action_names[i];
+    }
+    out += "; }\n";
+    for (const ParamRefersTo& r : table.param_refers_to) {
+      Indent(out, 1);
+      out += "// @refers_to(" + r.target.table + ", " + r.target.key +
+             ") on " + r.action + "." + r.param + "\n";
+    }
+    Indent(out, 1);
+    out += "const default_action = " + table.default_action + ";\n";
+    Indent(out, 1);
+    out += "size = " + std::to_string(table.size) + ";\n";
+    if (table.selector.has_value()) {
+      Indent(out, 1);
+      out += "implementation = action_selector(max_group_size=" +
+             std::to_string(table.selector->max_group_size) +
+             ", max_total_weight=" +
+             std::to_string(table.selector->max_total_weight) + ");\n";
+    }
+    out += "}\n\n";
+  }
+
+  out += "control ingress() {\n  apply {\n";
+  RenderControl(program, program.ingress, 2, out);
+  out += "  }\n}\n\n";
+  out += "control egress() {\n  apply {\n";
+  RenderControl(program, program.egress, 2, out);
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace switchv::p4ir

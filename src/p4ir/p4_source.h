@@ -1,0 +1,26 @@
+// Rendering of a P4 model back to P4-16-style source text.
+//
+// The paper's central argument is that P4 models double as *living
+// documentation* engineers consult instead of informal English specs (§1,
+// §3, §7). This renderer produces that artifact: a human-readable P4-like
+// program listing — headers, actions with bodies, tables with their
+// @entry_restriction / @refers_to annotations and sizes, and the apply
+// blocks — from the in-memory model.
+//
+// The output is documentation-faithful rather than compilable P4 (the IR
+// abstracts architecture specifics like parsers and intrinsic metadata).
+#ifndef SWITCHV_P4IR_P4_SOURCE_H_
+#define SWITCHV_P4IR_P4_SOURCE_H_
+
+#include <string>
+
+#include "p4ir/program.h"
+
+namespace switchv::p4ir {
+
+// Renders the whole program.
+std::string ToP4Source(const Program& program);
+
+}  // namespace switchv::p4ir
+
+#endif  // SWITCHV_P4IR_P4_SOURCE_H_

@@ -1,0 +1,104 @@
+#include "p4ir/p4info.h"
+
+namespace switchv::p4ir {
+
+const ActionParamInfo* ActionInfo::FindParam(std::uint32_t param_id) const {
+  for (const ActionParamInfo& p : params) {
+    if (p.id == param_id) return &p;
+  }
+  return nullptr;
+}
+
+const MatchFieldInfo* TableInfo::FindMatchField(
+    std::uint32_t field_id) const {
+  for (const MatchFieldInfo& f : match_fields) {
+    if (f.id == field_id) return &f;
+  }
+  return nullptr;
+}
+
+bool TableInfo::HasAction(std::uint32_t action_id) const {
+  for (std::uint32_t id : action_ids) {
+    if (id == action_id) return true;
+  }
+  return false;
+}
+
+P4Info P4Info::FromProgram(const Program& program) {
+  P4Info info;
+  info.program_name_ = program.name;
+  info.fingerprint_ = program.Fingerprint();
+
+  for (std::size_t i = 0; i < program.actions.size(); ++i) {
+    const Action& action = program.actions[i];
+    ActionInfo ai;
+    ai.id = kActionIdBase + static_cast<std::uint32_t>(i) + 1;
+    ai.name = action.name;
+    for (std::size_t j = 0; j < action.params.size(); ++j) {
+      ai.params.push_back(ActionParamInfo{
+          static_cast<std::uint32_t>(j) + 1, action.params[j].name,
+          action.params[j].width});
+    }
+    info.action_name_index_[ai.name] = info.actions_.size();
+    info.action_index_[ai.id] = info.actions_.size();
+    info.actions_.push_back(std::move(ai));
+  }
+
+  for (std::size_t i = 0; i < program.tables.size(); ++i) {
+    const Table& table = program.tables[i];
+    TableInfo ti;
+    ti.id = kTableIdBase + static_cast<std::uint32_t>(i) + 1;
+    ti.name = table.name;
+    ti.size = table.size;
+    ti.requires_priority = table.RequiresPriority();
+    ti.entry_restriction = table.entry_restriction;
+    ti.selector = table.selector;
+    for (std::size_t j = 0; j < table.keys.size(); ++j) {
+      const KeyDef& key = table.keys[j];
+      ti.match_fields.push_back(MatchFieldInfo{
+          static_cast<std::uint32_t>(j) + 1, key.name, key.width, key.kind,
+          key.refers_to});
+    }
+    for (const std::string& action_name : table.action_names) {
+      const ActionInfo* ai = info.FindActionByName(action_name);
+      ti.action_ids.push_back(ai->id);
+    }
+    ti.default_action_id = info.FindActionByName(table.default_action)->id;
+    for (const ParamRefersTo& r : table.param_refers_to) {
+      const ActionInfo* ai = info.FindActionByName(r.action);
+      if (ai == nullptr) continue;
+      for (const ActionParamInfo& p : ai->params) {
+        if (p.name == r.param) {
+          ti.param_references.push_back(
+              TableParamReference{ai->id, p.id, r.target});
+        }
+      }
+    }
+    info.table_name_index_[ti.name] = info.tables_.size();
+    info.table_index_[ti.id] = info.tables_.size();
+    info.tables_.push_back(std::move(ti));
+  }
+  return info;
+}
+
+const TableInfo* P4Info::FindTable(std::uint32_t table_id) const {
+  auto it = table_index_.find(table_id);
+  return it == table_index_.end() ? nullptr : &tables_[it->second];
+}
+
+const TableInfo* P4Info::FindTableByName(const std::string& name) const {
+  auto it = table_name_index_.find(name);
+  return it == table_name_index_.end() ? nullptr : &tables_[it->second];
+}
+
+const ActionInfo* P4Info::FindAction(std::uint32_t action_id) const {
+  auto it = action_index_.find(action_id);
+  return it == action_index_.end() ? nullptr : &actions_[it->second];
+}
+
+const ActionInfo* P4Info::FindActionByName(const std::string& name) const {
+  auto it = action_name_index_.find(name);
+  return it == action_name_index_.end() ? nullptr : &actions_[it->second];
+}
+
+}  // namespace switchv::p4ir

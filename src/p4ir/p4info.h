@@ -1,0 +1,107 @@
+// P4Info: the numeric-ID contract derived from a P4 model.
+//
+// P4Runtime clients (the SDN controller, and SwitchV's fuzzer) address
+// tables, match fields, actions, and parameters by the numeric IDs published
+// in P4Info, not by name. The switch under test receives P4Info via
+// SetForwardingPipelineConfig and validates every write against it. IDs are
+// assigned deterministically from declaration order, using the same ID
+// prefixes as the real p4c-generated P4Info (0x02 tables, 0x01 actions).
+#ifndef SWITCHV_P4IR_P4INFO_H_
+#define SWITCHV_P4IR_P4INFO_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4ir/program.h"
+
+namespace switchv::p4ir {
+
+struct MatchFieldInfo {
+  std::uint32_t id = 0;  // 1-based within the table
+  std::string name;
+  int width = 0;
+  MatchKind kind = MatchKind::kExact;
+  std::optional<RefersTo> refers_to;
+};
+
+struct ActionParamInfo {
+  std::uint32_t id = 0;  // 1-based within the action
+  std::string name;
+  int width = 0;
+};
+
+struct ActionInfo {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<ActionParamInfo> params;
+
+  const ActionParamInfo* FindParam(std::uint32_t param_id) const;
+};
+
+// @refers_to on an action parameter, scoped to a table (as in P4-PDPI).
+struct TableParamReference {
+  std::uint32_t action_id = 0;
+  std::uint32_t param_id = 0;
+  RefersTo target;
+};
+
+struct TableInfo {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<MatchFieldInfo> match_fields;
+  std::vector<std::uint32_t> action_ids;
+  std::uint32_t default_action_id = 0;
+  int size = 0;
+  bool requires_priority = false;
+  std::string entry_restriction;  // p4constraints source, "" if none
+  std::optional<ActionSelector> selector;
+  std::vector<TableParamReference> param_references;
+
+  const MatchFieldInfo* FindMatchField(std::uint32_t field_id) const;
+  bool HasAction(std::uint32_t action_id) const;
+};
+
+// Immutable view of the control-plane contract of a Program.
+class P4Info {
+ public:
+  // ID block prefixes matching p4c's conventions.
+  static constexpr std::uint32_t kTableIdBase = 0x02000000;
+  static constexpr std::uint32_t kActionIdBase = 0x01000000;
+
+  P4Info() = default;
+
+  // Derives P4Info from a validated program.
+  static P4Info FromProgram(const Program& program);
+
+  const std::vector<TableInfo>& tables() const { return tables_; }
+  const std::vector<ActionInfo>& actions() const { return actions_; }
+
+  const TableInfo* FindTable(std::uint32_t table_id) const;
+  const TableInfo* FindTableByName(const std::string& name) const;
+  const ActionInfo* FindAction(std::uint32_t action_id) const;
+  const ActionInfo* FindActionByName(const std::string& name) const;
+
+  // Structural fingerprint, equal iff derived from structurally equal
+  // programs; used for cache keys and config-change detection.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  // The program name this P4Info was derived from (role instantiation).
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::vector<TableInfo> tables_;
+  std::vector<ActionInfo> actions_;
+  std::map<std::uint32_t, std::size_t> table_index_;
+  std::map<std::string, std::size_t> table_name_index_;
+  std::map<std::uint32_t, std::size_t> action_index_;
+  std::map<std::string, std::size_t> action_name_index_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace switchv::p4ir
+
+#endif  // SWITCHV_P4IR_P4INFO_H_

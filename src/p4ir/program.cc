@@ -1,0 +1,405 @@
+#include "p4ir/program.h"
+
+#include <set>
+
+#include "util/fingerprint.h"
+
+namespace switchv::p4ir {
+
+Statement Statement::Assign(std::string field, Expr value) {
+  Statement s;
+  s.kind = Kind::kAssign;
+  s.target = std::move(field);
+  s.value = std::move(value);
+  return s;
+}
+
+Statement Statement::SetValid(std::string header, bool valid) {
+  Statement s;
+  s.kind = Kind::kSetValid;
+  s.target = std::move(header);
+  s.valid = valid;
+  return s;
+}
+
+Statement Statement::Hash(std::string field, std::vector<std::string> inputs) {
+  Statement s;
+  s.kind = Kind::kHash;
+  s.target = std::move(field);
+  s.hash_inputs = std::move(inputs);
+  return s;
+}
+
+const ParamDef* Action::FindParam(const std::string& param_name) const {
+  for (const ParamDef& p : params) {
+    if (p.name == param_name) return &p;
+  }
+  return nullptr;
+}
+
+std::string_view MatchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact: return "exact";
+    case MatchKind::kLpm: return "lpm";
+    case MatchKind::kTernary: return "ternary";
+    case MatchKind::kOptional: return "optional";
+  }
+  return "?";
+}
+
+const KeyDef* Table::FindKey(const std::string& key_name) const {
+  for (const KeyDef& k : keys) {
+    if (k.name == key_name) return &k;
+  }
+  return nullptr;
+}
+
+bool Table::HasAction(const std::string& action_name) const {
+  for (const std::string& a : action_names) {
+    if (a == action_name) return true;
+  }
+  return false;
+}
+
+bool Table::RequiresPriority() const {
+  for (const KeyDef& k : keys) {
+    if (k.kind == MatchKind::kTernary || k.kind == MatchKind::kOptional) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ControlNode ControlNode::ApplyTable(std::string table) {
+  ControlNode n;
+  n.kind = Kind::kApplyTable;
+  n.table = std::move(table);
+  return n;
+}
+
+ControlNode ControlNode::If(Expr condition,
+                            std::vector<ControlNode> then_branch,
+                            std::vector<ControlNode> else_branch) {
+  ControlNode n;
+  n.kind = Kind::kIf;
+  n.condition = std::move(condition);
+  n.then_branch = std::move(then_branch);
+  n.else_branch = std::move(else_branch);
+  return n;
+}
+
+ControlNode ControlNode::ApplyAction(std::string action,
+                                     std::vector<BitString> args) {
+  ControlNode n;
+  n.kind = Kind::kApplyAction;
+  n.action = std::move(action);
+  n.action_args = std::move(args);
+  return n;
+}
+
+const Table* Program::FindTable(const std::string& table_name) const {
+  for (const Table& t : tables) {
+    if (t.name == table_name) return &t;
+  }
+  return nullptr;
+}
+
+const Action* Program::FindAction(const std::string& action_name) const {
+  for (const Action& a : actions) {
+    if (a.name == action_name) return &a;
+  }
+  return nullptr;
+}
+
+const HeaderDef* Program::FindHeader(const std::string& header_name) const {
+  for (const HeaderDef& h : headers) {
+    if (h.name == header_name) return &h;
+  }
+  return nullptr;
+}
+
+int Program::FieldWidth(const std::string& field_name) const {
+  for (const HeaderDef& h : headers) {
+    for (const FieldDef& f : h.fields) {
+      if (f.name == field_name) return f.width;
+    }
+  }
+  for (const FieldDef& f : metadata) {
+    if (f.name == field_name) return f.width;
+  }
+  return 0;
+}
+
+std::vector<FieldDef> Program::AllFields() const {
+  std::vector<FieldDef> out;
+  for (const HeaderDef& h : headers) {
+    for (const FieldDef& f : h.fields) out.push_back(f);
+  }
+  for (const FieldDef& f : metadata) out.push_back(f);
+  return out;
+}
+
+namespace {
+
+Status ValidateExpr(const Program& program, const Action* action,
+                    const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kConstant:
+      return OkStatus();
+    case Expr::Kind::kField:
+      if (program.FieldWidth(expr.name()) != expr.width()) {
+        return InvalidArgumentError("unknown field or width mismatch: " +
+                                    expr.name());
+      }
+      return OkStatus();
+    case Expr::Kind::kParam: {
+      if (action == nullptr) {
+        return InvalidArgumentError(
+            "action parameter referenced outside an action body: " +
+            expr.name());
+      }
+      const ParamDef* param = action->FindParam(expr.name());
+      if (param == nullptr || param->width != expr.width()) {
+        return InvalidArgumentError("unknown parameter or width mismatch: " +
+                                    expr.name());
+      }
+      return OkStatus();
+    }
+    case Expr::Kind::kValid:
+      if (program.FindHeader(expr.name()) == nullptr) {
+        return InvalidArgumentError("validity check on unknown header: " +
+                                    expr.name());
+      }
+      return OkStatus();
+    case Expr::Kind::kUnary:
+    case Expr::Kind::kBinary:
+      for (const Expr& child : expr.children()) {
+        SWITCHV_RETURN_IF_ERROR(ValidateExpr(program, action, child));
+      }
+      return OkStatus();
+  }
+  return InternalError("unreachable expression kind");
+}
+
+Status ValidateControl(const Program& program,
+                       const std::vector<ControlNode>& nodes,
+                       std::set<std::string>& applied) {
+  for (const ControlNode& node : nodes) {
+    if (node.kind == ControlNode::Kind::kApplyTable) {
+      if (program.FindTable(node.table) == nullptr) {
+        return InvalidArgumentError("apply of unknown table: " + node.table);
+      }
+      if (!applied.insert(node.table).second) {
+        return InvalidArgumentError(
+            "table applied more than once (single-pass restriction): " +
+            node.table);
+      }
+    } else if (node.kind == ControlNode::Kind::kApplyAction) {
+      const Action* action = program.FindAction(node.action);
+      if (action == nullptr) {
+        return InvalidArgumentError("apply of unknown action: " + node.action);
+      }
+      if (action->params.size() != node.action_args.size()) {
+        return InvalidArgumentError("inline action arity mismatch: " +
+                                    node.action);
+      }
+    } else {
+      SWITCHV_RETURN_IF_ERROR(
+          ValidateExpr(program, nullptr, *node.condition));
+      SWITCHV_RETURN_IF_ERROR(
+          ValidateControl(program, node.then_branch, applied));
+      SWITCHV_RETURN_IF_ERROR(
+          ValidateControl(program, node.else_branch, applied));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Program::Validate() const {
+  std::set<std::string> field_names;
+  for (const FieldDef& f : AllFields()) {
+    if (f.width <= 0 || f.width > BitString::kMaxWidth) {
+      return InvalidArgumentError("field has invalid width: " + f.name);
+    }
+    if (!field_names.insert(f.name).second) {
+      return InvalidArgumentError("duplicate field: " + f.name);
+    }
+  }
+  std::set<std::string> action_names;
+  for (const Action& a : actions) {
+    if (!action_names.insert(a.name).second) {
+      return InvalidArgumentError("duplicate action: " + a.name);
+    }
+    for (const Statement& s : a.body) {
+      switch (s.kind) {
+        case Statement::Kind::kAssign: {
+          const int width = FieldWidth(s.target);
+          if (width == 0) {
+            return InvalidArgumentError("assignment to unknown field: " +
+                                        s.target);
+          }
+          if (s.value->width() != width) {
+            return InvalidArgumentError("assignment width mismatch on " +
+                                        s.target);
+          }
+          SWITCHV_RETURN_IF_ERROR(ValidateExpr(*this, &a, *s.value));
+          break;
+        }
+        case Statement::Kind::kSetValid:
+          if (FindHeader(s.target) == nullptr) {
+            return InvalidArgumentError("setValid on unknown header: " +
+                                        s.target);
+          }
+          break;
+        case Statement::Kind::kHash:
+          if (FieldWidth(s.target) == 0) {
+            return InvalidArgumentError("hash into unknown field: " +
+                                        s.target);
+          }
+          for (const std::string& in : s.hash_inputs) {
+            if (FieldWidth(in) == 0) {
+              return InvalidArgumentError("hash over unknown field: " + in);
+            }
+          }
+          break;
+      }
+    }
+  }
+  std::set<std::string> table_names;
+  for (const Table& t : tables) {
+    if (!table_names.insert(t.name).second) {
+      return InvalidArgumentError("duplicate table: " + t.name);
+    }
+    if (t.keys.empty()) {
+      return InvalidArgumentError("table has no keys: " + t.name);
+    }
+    std::set<std::string> key_names;
+    for (const KeyDef& k : t.keys) {
+      if (!key_names.insert(k.name).second) {
+        return InvalidArgumentError("duplicate key in table " + t.name);
+      }
+      if (FieldWidth(k.field) != k.width || k.width == 0) {
+        return InvalidArgumentError("key width mismatch in table " + t.name +
+                                    " for field " + k.field);
+      }
+    }
+    if (t.action_names.empty()) {
+      return InvalidArgumentError("table has no actions: " + t.name);
+    }
+    for (const std::string& a : t.action_names) {
+      if (FindAction(a) == nullptr) {
+        return InvalidArgumentError("table " + t.name +
+                                    " references unknown action: " + a);
+      }
+    }
+    const Action* default_action = FindAction(t.default_action);
+    if (default_action == nullptr) {
+      return InvalidArgumentError("table " + t.name +
+                                  " has unknown default action");
+    }
+    if (default_action->params.size() != t.default_action_args.size()) {
+      return InvalidArgumentError("table " + t.name +
+                                  " default action arity mismatch");
+    }
+    if (t.size <= 0) {
+      return InvalidArgumentError("table " + t.name +
+                                  " must declare a guaranteed size");
+    }
+    for (const KeyDef& k : t.keys) {
+      if (!k.refers_to.has_value()) continue;
+      const Table* target = FindTable(k.refers_to->table);
+      if (target == nullptr ||
+          target->FindKey(k.refers_to->key) == nullptr) {
+        return InvalidArgumentError("dangling @refers_to on table " + t.name);
+      }
+    }
+    for (const ParamRefersTo& r : t.param_refers_to) {
+      const Action* action = FindAction(r.action);
+      if (action == nullptr || action->FindParam(r.param) == nullptr) {
+        return InvalidArgumentError("param @refers_to on unknown param in " +
+                                    t.name);
+      }
+      const Table* target = FindTable(r.target.table);
+      if (target == nullptr || target->FindKey(r.target.key) == nullptr) {
+        return InvalidArgumentError("dangling param @refers_to in " + t.name);
+      }
+    }
+  }
+  std::set<std::string> applied;
+  SWITCHV_RETURN_IF_ERROR(ValidateControl(*this, ingress, applied));
+  SWITCHV_RETURN_IF_ERROR(ValidateControl(*this, egress, applied));
+  return OkStatus();
+}
+
+namespace {
+
+void FingerprintExpr(Fingerprint& fp, const Expr& e) {
+  fp.AddU64(static_cast<std::uint64_t>(e.kind()));
+  fp.AddU64(static_cast<std::uint64_t>(e.width()));
+  fp.AddBytes(e.name());
+  if (e.kind() == Expr::Kind::kConstant) {
+    fp.AddBytes(e.constant().ToPaddedBytes());
+  }
+  fp.AddU64(static_cast<std::uint64_t>(e.unary_op()));
+  fp.AddU64(static_cast<std::uint64_t>(e.binary_op()));
+  for (const Expr& c : e.children()) FingerprintExpr(fp, c);
+}
+
+void FingerprintControl(Fingerprint& fp, const std::vector<ControlNode>& ns) {
+  for (const ControlNode& n : ns) {
+    fp.AddU64(static_cast<std::uint64_t>(n.kind));
+    fp.AddBytes(n.table);
+    fp.AddBytes(n.action);
+    for (const BitString& arg : n.action_args) {
+      fp.AddBytes(arg.ToPaddedBytes());
+    }
+    if (n.condition.has_value()) FingerprintExpr(fp, *n.condition);
+    FingerprintControl(fp, n.then_branch);
+    FingerprintControl(fp, n.else_branch);
+  }
+}
+
+}  // namespace
+
+std::uint64_t Program::Fingerprint() const {
+  switchv::Fingerprint fp;
+  fp.AddBytes(name);
+  for (const FieldDef& f : AllFields()) {
+    fp.AddBytes(f.name);
+    fp.AddU64(static_cast<std::uint64_t>(f.width));
+  }
+  for (const Action& a : actions) {
+    fp.AddBytes(a.name);
+    for (const ParamDef& p : a.params) {
+      fp.AddBytes(p.name);
+      fp.AddU64(static_cast<std::uint64_t>(p.width));
+    }
+    for (const Statement& s : a.body) {
+      fp.AddU64(static_cast<std::uint64_t>(s.kind));
+      fp.AddBytes(s.target);
+      if (s.value.has_value()) FingerprintExpr(fp, *s.value);
+      fp.AddU64(s.valid ? 1 : 0);
+      for (const std::string& in : s.hash_inputs) fp.AddBytes(in);
+    }
+  }
+  for (const Table& t : tables) {
+    fp.AddBytes(t.name);
+    fp.AddU64(static_cast<std::uint64_t>(t.size));
+    fp.AddBytes(t.entry_restriction);
+    for (const KeyDef& k : t.keys) {
+      fp.AddBytes(k.name);
+      fp.AddBytes(k.field);
+      fp.AddU64(static_cast<std::uint64_t>(k.kind));
+    }
+    for (const std::string& a : t.action_names) fp.AddBytes(a);
+    fp.AddBytes(t.default_action);
+    fp.AddU64(t.selector.has_value() ? 1 : 0);
+  }
+  FingerprintControl(fp, ingress);
+  FingerprintControl(fp, egress);
+  return fp.digest();
+}
+
+}  // namespace switchv::p4ir

@@ -1,0 +1,207 @@
+// The P4 model IR: a machine-readable, implementation-agnostic specification
+// of a fixed-function switch, mirroring the paper's use of P4 programs (§3).
+//
+// A Program declares headers and metadata fields, actions, match-action
+// tables (with sizes, `@entry_restriction` constraints, and `@refers_to`
+// references), and a single-pass ingress/egress control flow. It is consumed
+// by four independent clients:
+//   * p4runtime — derives the P4Info contract and validates requests,
+//   * bmv2     — the reference interpreter,
+//   * sut      — the switch-under-test configures its ACLs from it,
+//   * symbolic — compiles it to SMT for test-packet generation.
+#ifndef SWITCHV_P4IR_PROGRAM_H_
+#define SWITCHV_P4IR_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4ir/expr.h"
+#include "util/status.h"
+
+namespace switchv::p4ir {
+
+// Well-known standard-metadata fields every pipeline shares. The forwarding
+// verdict of a packet is read from these after the pipeline runs.
+inline constexpr const char* kIngressPortField =
+    "standard_metadata.ingress_port";
+inline constexpr const char* kEgressPortField =
+    "standard_metadata.egress_port";
+inline constexpr const char* kDropField = "standard_metadata.drop";
+inline constexpr const char* kPuntField = "standard_metadata.punt";  // to CPU
+// Non-zero selects a mirror session that clones the packet (§3 "Mirror
+// Sessions"); the logical session table maps it to a clone port.
+inline constexpr const char* kCloneSessionField =
+    "standard_metadata.clone_session";
+
+inline constexpr int kPortWidth = 16;
+
+// A named header or metadata field and its bit width.
+struct FieldDef {
+  std::string name;  // fully qualified, e.g. "ipv4.dst_addr"
+  int width = 0;
+};
+
+// A protocol header: a group of fields with a validity bit.
+struct HeaderDef {
+  std::string name;  // e.g. "ipv4"
+  std::vector<FieldDef> fields;
+};
+
+// One primitive statement inside an action body.
+struct Statement {
+  enum class Kind {
+    kAssign,    // target field = value expression
+    kSetValid,  // set header validity (encap/decap building block)
+    kHash,      // target = hash(inputs): modeled as a free/unconstrained op
+  };
+
+  static Statement Assign(std::string field, Expr value);
+  static Statement SetValid(std::string header, bool valid);
+  static Statement Hash(std::string field, std::vector<std::string> inputs);
+
+  Kind kind = Kind::kAssign;
+  std::string target;                    // field (assign/hash), header (valid)
+  std::optional<Expr> value;             // assign only
+  bool valid = false;                    // set-valid only
+  std::vector<std::string> hash_inputs;  // hash only
+};
+
+// An action parameter: runtime-supplied argument with a declared width.
+struct ParamDef {
+  std::string name;
+  int width = 0;
+};
+
+// A P4 action: named, parameterized sequence of primitive statements.
+struct Action {
+  std::string name;
+  std::vector<ParamDef> params;
+  std::vector<Statement> body;
+
+  // Returns the parameter with the given name, or nullptr.
+  const ParamDef* FindParam(const std::string& param_name) const;
+};
+
+// How a table key matches: the P4Runtime match kinds used by the paper's
+// models (range is unused there and omitted, as in PINS).
+enum class MatchKind { kExact, kLpm, kTernary, kOptional };
+
+std::string_view MatchKindName(MatchKind kind);
+
+// `@refers_to(table, key)`: the value of this key must equal the value of
+// an *installed* entry's key in another table (referential integrity, §3).
+struct RefersTo {
+  std::string table;
+  std::string key;
+};
+
+// One match key of a table.
+struct KeyDef {
+  std::string name;   // match-field name exposed via P4Info (often the field)
+  std::string field;  // the header/metadata field matched against
+  int width = 0;
+  MatchKind kind = MatchKind::kExact;
+  std::optional<RefersTo> refers_to;
+};
+
+// `@refers_to` on an action parameter (e.g. nexthop_id argument referring to
+// the nexthop table).
+struct ParamRefersTo {
+  std::string action;
+  std::string param;
+  RefersTo target;
+};
+
+// A one-shot action-selector implementation (WCMP, §4.2 "One-shot Action
+// Selector Programming"): entries carry weighted sets of actions instead of
+// a single action.
+struct ActionSelector {
+  int max_group_size = 0;   // max members per entry
+  int max_total_weight = 0; // max sum of weights per entry
+};
+
+// A match-action table.
+struct Table {
+  std::string name;
+  std::vector<KeyDef> keys;
+  std::vector<std::string> action_names;  // entries may use only these
+  // Default action invoked when no entry matches (name + constant args).
+  std::string default_action;
+  std::vector<BitString> default_action_args;
+  // Guaranteed capacity (`size =` in P4): the switch must accept at least
+  // this many entries; beyond it, accept-or-reject is under-specified (§4).
+  int size = 0;
+  // `@entry_restriction` source text, empty if unconstrained. Parsed by
+  // p4constraints; part of the control-plane contract.
+  std::string entry_restriction;
+  // Present for WCMP-style tables programmed with one-shot action sets.
+  std::optional<ActionSelector> selector;
+  // `@refers_to` annotations on action parameters of this table.
+  std::vector<ParamRefersTo> param_refers_to;
+
+  const KeyDef* FindKey(const std::string& key_name) const;
+  bool HasAction(const std::string& action_name) const;
+  // True if any key is ternary/optional: entries then require priority > 0.
+  bool RequiresPriority() const;
+};
+
+// A node of the single-pass control flow: apply a table, branch, or invoke
+// an action inline with constant arguments (P4 statements in the apply
+// block, e.g. fixed traps such as "punt packets with TTL <= 1").
+struct ControlNode {
+  enum class Kind { kApplyTable, kIf, kApplyAction };
+
+  static ControlNode ApplyTable(std::string table);
+  static ControlNode If(Expr condition, std::vector<ControlNode> then_branch,
+                        std::vector<ControlNode> else_branch);
+  static ControlNode ApplyAction(std::string action,
+                                 std::vector<BitString> args = {});
+
+  Kind kind = Kind::kApplyTable;
+  std::string table;  // apply-table only
+  std::optional<Expr> condition;
+  std::vector<ControlNode> then_branch;
+  std::vector<ControlNode> else_branch;
+  std::string action;               // apply-action only
+  std::vector<BitString> action_args;
+};
+
+// A complete role-specific P4 model (§3 "Role Specific Instantiations").
+class Program {
+ public:
+  std::string name;
+  std::vector<HeaderDef> headers;
+  std::vector<FieldDef> metadata;  // standard + user metadata fields
+  std::vector<Action> actions;
+  std::vector<Table> tables;      // in pipeline order
+  std::vector<ControlNode> ingress;
+  std::vector<ControlNode> egress;
+  // The CPU port: packets punted or sent via packet-out use it.
+  std::uint16_t cpu_port = 0xFFF;
+
+  // Lookup helpers; return nullptr when absent.
+  const Table* FindTable(const std::string& table_name) const;
+  const Action* FindAction(const std::string& action_name) const;
+  const HeaderDef* FindHeader(const std::string& header_name) const;
+
+  // Width of a (fully-qualified) header or metadata field; 0 when unknown.
+  int FieldWidth(const std::string& field_name) const;
+
+  // All fields (headers then metadata), in declaration order.
+  std::vector<FieldDef> AllFields() const;
+
+  // Structural well-formedness: every referenced field/action/table exists,
+  // widths are positive, control flow applies each table at most once
+  // (single-pass restriction, §3 "P4 Language Features").
+  Status Validate() const;
+
+  // Stable structural fingerprint; used to key the p4-symbolic cache.
+  std::uint64_t Fingerprint() const;
+};
+
+}  // namespace switchv::p4ir
+
+#endif  // SWITCHV_P4IR_PROGRAM_H_

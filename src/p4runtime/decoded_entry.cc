@@ -1,0 +1,84 @@
+#include "p4runtime/decoded_entry.h"
+
+namespace switchv::p4rt {
+
+namespace {
+
+StatusOr<DecodedAction> DecodeAction(const p4ir::P4Info& info,
+                                     const ActionInvocation& invocation,
+                                     int weight) {
+  const p4ir::ActionInfo* ai = info.FindAction(invocation.action_id);
+  if (ai == nullptr) {
+    return NotFoundError("unknown action id in decode");
+  }
+  DecodedAction decoded;
+  decoded.name = ai->name;
+  decoded.weight = weight;
+  decoded.args.resize(ai->params.size());
+  for (const ActionInvocation::Param& p : invocation.params) {
+    const p4ir::ActionParamInfo* pi = ai->FindParam(p.param_id);
+    if (pi == nullptr) {
+      return NotFoundError("unknown param id in decode");
+    }
+    SWITCHV_ASSIGN_OR_RETURN(BitString value,
+                             BitString::FromBytes(p.value, pi->width));
+    decoded.args[pi->id - 1] = value;
+  }
+  return decoded;
+}
+
+}  // namespace
+
+StatusOr<DecodedEntry> DecodeEntry(const p4ir::P4Info& info,
+                                   const TableEntry& entry) {
+  const p4ir::TableInfo* table = info.FindTable(entry.table_id);
+  if (table == nullptr) {
+    return NotFoundError("unknown table id in decode");
+  }
+  DecodedEntry decoded;
+  decoded.table_name = table->name;
+  decoded.table_id = table->id;
+  decoded.priority = entry.priority;
+  decoded.matches.resize(table->match_fields.size());
+  for (std::size_t i = 0; i < table->match_fields.size(); ++i) {
+    const p4ir::MatchFieldInfo& field = table->match_fields[i];
+    DecodedMatch& m = decoded.matches[i];
+    m.value = BitString::FromUint(0, field.width);
+    m.mask = BitString::FromUint(0, field.width);
+    for (const FieldMatch& fm : entry.matches) {
+      if (fm.field_id != field.id) continue;
+      m.present = true;
+      SWITCHV_ASSIGN_OR_RETURN(m.value,
+                               BitString::FromBytes(fm.value, field.width));
+      switch (field.kind) {
+        case p4ir::MatchKind::kExact:
+        case p4ir::MatchKind::kOptional:
+          m.mask = BitString::AllOnes(field.width);
+          break;
+        case p4ir::MatchKind::kLpm:
+          m.prefix_len = fm.prefix_len;
+          m.mask = BitString::PrefixMask(fm.prefix_len, field.width);
+          break;
+        case p4ir::MatchKind::kTernary:
+          SWITCHV_ASSIGN_OR_RETURN(m.mask,
+                                   BitString::FromBytes(fm.mask, field.width));
+          break;
+      }
+    }
+  }
+  if (entry.action.kind == TableAction::Kind::kDirect) {
+    SWITCHV_ASSIGN_OR_RETURN(DecodedAction action,
+                             DecodeAction(info, entry.action.direct, 0));
+    decoded.actions.push_back(std::move(action));
+  } else {
+    decoded.is_action_set = true;
+    for (const WeightedAction& wa : entry.action.action_set) {
+      SWITCHV_ASSIGN_OR_RETURN(DecodedAction action,
+                               DecodeAction(info, wa.action, wa.weight));
+      decoded.actions.push_back(std::move(action));
+    }
+  }
+  return decoded;
+}
+
+}  // namespace switchv::p4rt

@@ -1,0 +1,56 @@
+// Decoding of wire-format table entries into typed match values.
+//
+// Purely mechanical (bytes -> BitString per declared width); the two
+// dataplane implementations (bmv2 reference interpreter and the SUT's ASIC
+// simulator) deliberately do NOT share matching or action semantics — only
+// this decode step, which has a single correct meaning fixed by P4Runtime.
+#ifndef SWITCHV_P4RUNTIME_DECODED_ENTRY_H_
+#define SWITCHV_P4RUNTIME_DECODED_ENTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "p4runtime/messages.h"
+
+namespace switchv::p4rt {
+
+// One decoded match: semantics depend on the key's match kind.
+struct DecodedMatch {
+  bool present = false;       // omitted ternary/optional/lpm = wildcard
+  BitString value;
+  BitString mask;             // ternary: as sent; lpm: derived; exact: ones
+  int prefix_len = 0;         // lpm only
+};
+
+// A decoded action invocation: name plus argument values in parameter order.
+struct DecodedAction {
+  std::string name;
+  std::vector<BitString> args;
+  int weight = 0;  // one-shot member weight; 0 for direct actions
+};
+
+struct DecodedEntry {
+  std::string table_name;
+  std::uint32_t table_id = 0;
+  int priority = 0;
+  // Parallel to the table's match_fields in P4Info order.
+  std::vector<DecodedMatch> matches;
+  // Direct action: exactly one element (weight 0). One-shot: one per member.
+  std::vector<DecodedAction> actions;
+  bool is_action_set = false;
+
+  int TotalWeight() const {
+    int total = 0;
+    for (const DecodedAction& a : actions) total += a.weight;
+    return total;
+  }
+};
+
+// Decodes a syntactically valid entry. Returns an error on malformed bytes
+// (callers validate first; this guards internal consistency).
+StatusOr<DecodedEntry> DecodeEntry(const p4ir::P4Info& info,
+                                   const TableEntry& entry);
+
+}  // namespace switchv::p4rt
+
+#endif  // SWITCHV_P4RUNTIME_DECODED_ENTRY_H_

@@ -1,0 +1,119 @@
+#include "p4runtime/entry_builder.h"
+
+namespace switchv::p4rt {
+
+EntryBuilder::EntryBuilder(const p4ir::P4Info& info, std::string table_name)
+    : info_(info), table_name_(std::move(table_name)) {}
+
+EntryBuilder& EntryBuilder::Exact(std::string key, BitString value) {
+  matches_.push_back(PendingMatch{std::move(key), value, {}, false, 0});
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::Lpm(std::string key, BitString value,
+                                int prefix_len) {
+  matches_.push_back(
+      PendingMatch{std::move(key), value, {}, false, prefix_len});
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::Ternary(std::string key, BitString value,
+                                    BitString mask) {
+  matches_.push_back(PendingMatch{std::move(key), value, mask, true, 0});
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::Optional(std::string key, BitString value) {
+  matches_.push_back(PendingMatch{std::move(key), value, {}, false, 0});
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::Priority(int priority) {
+  priority_ = priority;
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::Action(
+    std::string name, std::vector<std::pair<std::string, BitString>> args) {
+  actions_.push_back(PendingAction{std::move(name), std::move(args), 0});
+  is_action_set_ = false;
+  return *this;
+}
+
+EntryBuilder& EntryBuilder::WeightedAction(
+    std::string name, int weight,
+    std::vector<std::pair<std::string, BitString>> args) {
+  actions_.push_back(PendingAction{std::move(name), std::move(args), weight});
+  is_action_set_ = true;
+  return *this;
+}
+
+StatusOr<TableEntry> EntryBuilder::Build() const {
+  const p4ir::TableInfo* table = info_.FindTableByName(table_name_);
+  if (table == nullptr) {
+    return NotFoundError("unknown table: " + table_name_);
+  }
+  TableEntry entry;
+  entry.table_id = table->id;
+  entry.priority = priority_;
+  for (const PendingMatch& m : matches_) {
+    const p4ir::MatchFieldInfo* field = nullptr;
+    for (const p4ir::MatchFieldInfo& f : table->match_fields) {
+      if (f.name == m.key) field = &f;
+    }
+    if (field == nullptr) {
+      return NotFoundError("unknown key '" + m.key + "' in " + table_name_);
+    }
+    FieldMatch fm;
+    fm.field_id = field->id;
+    fm.value = m.value.ToCanonicalBytes();
+    if (m.has_mask) fm.mask = m.mask.ToCanonicalBytes();
+    fm.prefix_len = m.prefix_len;
+    entry.matches.push_back(std::move(fm));
+  }
+  if (actions_.empty()) {
+    return InvalidArgumentError("entry for " + table_name_ + " has no action");
+  }
+  auto build_invocation =
+      [&](const PendingAction& pa) -> StatusOr<ActionInvocation> {
+    const p4ir::ActionInfo* action = info_.FindActionByName(pa.name);
+    if (action == nullptr) {
+      return NotFoundError("unknown action: " + pa.name);
+    }
+    ActionInvocation invocation;
+    invocation.action_id = action->id;
+    for (const auto& [param_name, value] : pa.args) {
+      const p4ir::ActionParamInfo* param = nullptr;
+      for (const p4ir::ActionParamInfo& p : action->params) {
+        if (p.name == param_name) param = &p;
+      }
+      if (param == nullptr) {
+        return NotFoundError("unknown param '" + param_name + "' of " +
+                             pa.name);
+      }
+      invocation.params.push_back(
+          ActionInvocation::Param{param->id, value.ToCanonicalBytes()});
+    }
+    return invocation;
+  };
+  if (is_action_set_) {
+    entry.action.kind = TableAction::Kind::kActionSet;
+    for (const PendingAction& pa : actions_) {
+      SWITCHV_ASSIGN_OR_RETURN(ActionInvocation invocation,
+                               build_invocation(pa));
+      entry.action.action_set.push_back(
+          p4rt::WeightedAction{std::move(invocation), pa.weight});
+    }
+  } else {
+    if (actions_.size() != 1) {
+      return InvalidArgumentError("multiple direct actions for " +
+                                  table_name_);
+    }
+    entry.action.kind = TableAction::Kind::kDirect;
+    SWITCHV_ASSIGN_OR_RETURN(entry.action.direct,
+                             build_invocation(actions_[0]));
+  }
+  return entry;
+}
+
+}  // namespace switchv::p4rt

@@ -1,0 +1,65 @@
+// Ergonomic construction of wire-format table entries from names.
+//
+// Resolves table/field/action/param names against P4Info, encodes values in
+// canonical bytes, and assembles a TableEntry. Used by the production-like
+// entry generators, the trivial test suite, and unit tests. (The fuzzer
+// builds entries directly so it can produce deliberately malformed ones.)
+#ifndef SWITCHV_P4RUNTIME_ENTRY_BUILDER_H_
+#define SWITCHV_P4RUNTIME_ENTRY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "p4runtime/messages.h"
+
+namespace switchv::p4rt {
+
+class EntryBuilder {
+ public:
+  // Starts an entry for `table_name`. Errors are deferred to Build().
+  EntryBuilder(const p4ir::P4Info& info, std::string table_name);
+
+  EntryBuilder& Exact(std::string key, BitString value);
+  EntryBuilder& Lpm(std::string key, BitString value, int prefix_len);
+  EntryBuilder& Ternary(std::string key, BitString value, BitString mask);
+  EntryBuilder& Optional(std::string key, BitString value);
+  EntryBuilder& Priority(int priority);
+
+  // Sets a direct action; `args` are (param name, value) pairs.
+  EntryBuilder& Action(
+      std::string name,
+      std::vector<std::pair<std::string, BitString>> args = {});
+
+  // Appends a one-shot action-set member with the given weight.
+  EntryBuilder& WeightedAction(
+      std::string name, int weight,
+      std::vector<std::pair<std::string, BitString>> args = {});
+
+  // Resolves names and returns the entry; fails on unknown names.
+  StatusOr<TableEntry> Build() const;
+
+ private:
+  struct PendingMatch {
+    std::string key;
+    BitString value;
+    BitString mask;
+    bool has_mask = false;
+    int prefix_len = 0;
+  };
+  struct PendingAction {
+    std::string name;
+    std::vector<std::pair<std::string, BitString>> args;
+    int weight = 0;
+  };
+
+  const p4ir::P4Info& info_;
+  std::string table_name_;
+  std::vector<PendingMatch> matches_;
+  std::vector<PendingAction> actions_;
+  bool is_action_set_ = false;
+  int priority_ = 0;
+};
+
+}  // namespace switchv::p4rt
+
+#endif  // SWITCHV_P4RUNTIME_ENTRY_BUILDER_H_

@@ -1,0 +1,83 @@
+#include "p4runtime/messages.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace switchv::p4rt {
+
+std::string_view UpdateTypeName(UpdateType type) {
+  switch (type) {
+    case UpdateType::kInsert: return "INSERT";
+    case UpdateType::kModify: return "MODIFY";
+    case UpdateType::kDelete: return "DELETE";
+  }
+  return "?";
+}
+
+std::string TableEntry::KeyFingerprint() const {
+  std::vector<std::string> pieces;
+  pieces.reserve(matches.size());
+  for (const FieldMatch& m : matches) {
+    pieces.push_back(std::to_string(m.field_id) + "=" + BytesToHex(m.value) +
+                     "&" + BytesToHex(m.mask) + "/" +
+                     std::to_string(m.prefix_len));
+  }
+  std::sort(pieces.begin(), pieces.end());
+  return std::to_string(table_id) + "|" + StrJoin(pieces, ",") + "|p" +
+         std::to_string(priority);
+}
+
+namespace {
+
+std::string ActionToString(const ActionInvocation& action,
+                           const p4ir::P4Info* info) {
+  const p4ir::ActionInfo* ai =
+      info != nullptr ? info->FindAction(action.action_id) : nullptr;
+  std::string out = ai != nullptr ? ai->name
+                                  : "action#" + std::to_string(action.action_id);
+  out += "(";
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "0x" + BytesToHex(action.params[i].value);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string TableEntry::ToString(const p4ir::P4Info* info) const {
+  const p4ir::TableInfo* ti =
+      info != nullptr ? info->FindTable(table_id) : nullptr;
+  std::string out =
+      ti != nullptr ? ti->name : "table#" + std::to_string(table_id);
+  out += " {";
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    const FieldMatch& m = matches[i];
+    if (i > 0) out += ", ";
+    const p4ir::MatchFieldInfo* fi =
+        ti != nullptr ? ti->FindMatchField(m.field_id) : nullptr;
+    out += fi != nullptr ? fi->name : "f" + std::to_string(m.field_id);
+    out += "=0x" + BytesToHex(m.value);
+    if (!m.mask.empty()) out += "&0x" + BytesToHex(m.mask);
+    if (m.prefix_len != 0) out += "/" + std::to_string(m.prefix_len);
+  }
+  out += "}";
+  if (priority != 0) out += " prio=" + std::to_string(priority);
+  out += " => ";
+  if (action.kind == TableAction::Kind::kDirect) {
+    out += ActionToString(action.direct, info);
+  } else {
+    out += "[";
+    for (std::size_t i = 0; i < action.action_set.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ActionToString(action.action_set[i].action, info) + "*" +
+             std::to_string(action.action_set[i].weight);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace switchv::p4rt

@@ -1,0 +1,146 @@
+// In-process P4Runtime protocol messages.
+//
+// Mirrors the structure of the P4Runtime v1 protobufs the paper's switches
+// speak (WriteRequest batches of INSERT/MODIFY/DELETE updates, reads,
+// SetForwardingPipelineConfig, packet-in/out), minus the gRPC transport —
+// everything SwitchV exercises is message-level semantics. Values are
+// canonical big-endian byte strings exactly as on the wire, so canonical-
+// form bugs (a real PINS bug class) remain expressible.
+#ifndef SWITCHV_P4RUNTIME_MESSAGES_H_
+#define SWITCHV_P4RUNTIME_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4ir/p4info.h"
+#include "util/status.h"
+
+namespace switchv::p4rt {
+
+// One match field of a table entry. Which members are meaningful depends on
+// the match kind declared in P4Info for `field_id`.
+struct FieldMatch {
+  std::uint32_t field_id = 0;
+  // Canonical value bytes (all kinds).
+  std::string value;
+  // Ternary/optional mask bytes; empty for other kinds.
+  std::string mask;
+  // LPM prefix length; 0 for other kinds.
+  int prefix_len = 0;
+
+  friend bool operator==(const FieldMatch&, const FieldMatch&) = default;
+};
+
+// A direct action invocation with parameter bytes.
+struct ActionInvocation {
+  struct Param {
+    std::uint32_t param_id = 0;
+    std::string value;
+    friend bool operator==(const Param&, const Param&) = default;
+  };
+  std::uint32_t action_id = 0;
+  std::vector<Param> params;
+
+  friend bool operator==(const ActionInvocation&,
+                         const ActionInvocation&) = default;
+};
+
+// One member of a one-shot action set (WCMP member with a weight).
+struct WeightedAction {
+  ActionInvocation action;
+  int weight = 0;
+  friend bool operator==(const WeightedAction&,
+                         const WeightedAction&) = default;
+};
+
+// The action part of an entry: a direct action or a one-shot action set.
+struct TableAction {
+  enum class Kind { kDirect, kActionSet };
+  Kind kind = Kind::kDirect;
+  ActionInvocation direct;              // kDirect
+  std::vector<WeightedAction> action_set;  // kActionSet
+
+  friend bool operator==(const TableAction&, const TableAction&) = default;
+};
+
+// A table entry. Identity (for MODIFY/DELETE and duplicate detection) is
+// (table_id, match fields, priority) per the P4Runtime spec.
+struct TableEntry {
+  std::uint32_t table_id = 0;
+  std::vector<FieldMatch> matches;
+  TableAction action;
+  int priority = 0;
+
+  // Canonical identity string: equal iff the entries denote the same key.
+  // Match fields are compared as a set (order-insensitive).
+  std::string KeyFingerprint() const;
+
+  // Debug rendering, e.g. for incident reports.
+  std::string ToString(const p4ir::P4Info* info = nullptr) const;
+
+  friend bool operator==(const TableEntry&, const TableEntry&) = default;
+};
+
+enum class UpdateType { kInsert, kModify, kDelete };
+
+std::string_view UpdateTypeName(UpdateType type);
+
+struct Update {
+  UpdateType type = UpdateType::kInsert;
+  TableEntry entry;
+};
+
+// A batch write. The switch may apply updates in any order (paper §4,
+// Example 2); P4Runtime reports one status per update.
+struct WriteRequest {
+  std::vector<Update> updates;
+};
+
+struct WriteResponse {
+  // Per-update statuses, same order as the request.
+  std::vector<Status> statuses;
+
+  bool all_ok() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+};
+
+struct ReadRequest {
+  // 0 = read all tables; otherwise restrict to one table.
+  std::uint32_t table_id = 0;
+};
+
+struct ReadResponse {
+  std::vector<TableEntry> entries;
+};
+
+// Packet-out: controller-originated packet (paper's trivial test 5).
+struct PacketOut {
+  std::string payload;
+  std::uint16_t egress_port = 0;
+  // Submit to the ingress pipeline instead of sending directly out a port.
+  bool submit_to_ingress = false;
+};
+
+// Packet-in: packet punted to the controller with its ingress metadata.
+struct PacketIn {
+  std::string payload;
+  std::uint16_t ingress_port = 0;
+  friend bool operator==(const PacketIn&, const PacketIn&) = default;
+};
+
+// SetForwardingPipelineConfig payload: the P4Info contract (and, on real
+// switches, the compiled device config; our ASIC consumes P4Info directly).
+struct ForwardingPipelineConfig {
+  p4ir::P4Info p4info;
+  std::uint64_t cookie = 0;
+};
+
+}  // namespace switchv::p4rt
+
+#endif  // SWITCHV_P4RUNTIME_MESSAGES_H_

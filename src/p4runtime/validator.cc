@@ -1,0 +1,292 @@
+#include "p4runtime/validator.h"
+
+#include <set>
+
+#include "util/bitstring.h"
+
+namespace switchv::p4rt {
+
+namespace {
+
+// Parses canonical bytes into a BitString of the field's width.
+StatusOr<BitString> ParseValue(std::string_view bytes, int width,
+                               const std::string& what) {
+  auto parsed = BitString::FromBytes(bytes, width);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  what + ": " + parsed.status().message());
+  }
+  return std::move(parsed).value();
+}
+
+Status ValidateActionInvocation(const p4ir::P4Info& info,
+                                const p4ir::TableInfo& table,
+                                const ActionInvocation& action) {
+  const p4ir::ActionInfo* ai = info.FindAction(action.action_id);
+  if (ai == nullptr) {
+    return NotFoundError("unknown action id " +
+                         std::to_string(action.action_id));
+  }
+  if (!table.HasAction(action.action_id)) {
+    return InvalidArgumentError("action " + ai->name +
+                                " is not permitted in table " + table.name);
+  }
+  if (action.params.size() != ai->params.size()) {
+    return InvalidArgumentError("action " + ai->name + " expects " +
+                                std::to_string(ai->params.size()) +
+                                " params, got " +
+                                std::to_string(action.params.size()));
+  }
+  std::set<std::uint32_t> seen;
+  for (const ActionInvocation::Param& p : action.params) {
+    if (!seen.insert(p.param_id).second) {
+      return InvalidArgumentError("duplicate param id in action " + ai->name);
+    }
+    const p4ir::ActionParamInfo* pi = ai->FindParam(p.param_id);
+    if (pi == nullptr) {
+      return NotFoundError("unknown param id " + std::to_string(p.param_id) +
+                           " for action " + ai->name);
+    }
+    SWITCHV_RETURN_IF_ERROR(
+        ParseValue(p.value, pi->width, "param " + pi->name).status());
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateEntrySyntax(const p4ir::P4Info& info, const TableEntry& entry) {
+  const p4ir::TableInfo* table = info.FindTable(entry.table_id);
+  if (table == nullptr) {
+    return NotFoundError("unknown table id " + std::to_string(entry.table_id));
+  }
+
+  std::set<std::uint32_t> seen_fields;
+  for (const FieldMatch& m : entry.matches) {
+    if (!seen_fields.insert(m.field_id).second) {
+      return InvalidArgumentError("duplicate match field id " +
+                                  std::to_string(m.field_id) + " in table " +
+                                  table->name);
+    }
+    const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+    if (field == nullptr) {
+      return NotFoundError("unknown match field id " +
+                           std::to_string(m.field_id) + " in table " +
+                           table->name);
+    }
+    SWITCHV_ASSIGN_OR_RETURN(
+        BitString value,
+        ParseValue(m.value, field->width, "match field " + field->name));
+    switch (field->kind) {
+      case p4ir::MatchKind::kExact:
+        if (!m.mask.empty() || m.prefix_len != 0) {
+          return InvalidArgumentError("exact match " + field->name +
+                                      " must not carry mask or prefix");
+        }
+        break;
+      case p4ir::MatchKind::kLpm: {
+        if (!m.mask.empty()) {
+          return InvalidArgumentError("lpm match " + field->name +
+                                      " must not carry a mask");
+        }
+        if (m.prefix_len <= 0 || m.prefix_len > field->width) {
+          return InvalidArgumentError(
+              "lpm match " + field->name + " has bad prefix length " +
+              std::to_string(m.prefix_len));
+        }
+        const BitString mask =
+            BitString::PrefixMask(m.prefix_len, field->width);
+        if ((value & ~mask).value() != 0) {
+          return InvalidArgumentError("lpm match " + field->name +
+                                      " has value bits outside the prefix");
+        }
+        break;
+      }
+      case p4ir::MatchKind::kTernary: {
+        if (m.prefix_len != 0) {
+          return InvalidArgumentError("ternary match " + field->name +
+                                      " must not carry a prefix length");
+        }
+        SWITCHV_ASSIGN_OR_RETURN(
+            BitString mask,
+            ParseValue(m.mask, field->width, "mask of " + field->name));
+        if (mask.IsZero()) {
+          return InvalidArgumentError(
+              "ternary match " + field->name +
+              " with zero mask must be omitted (wildcard)");
+        }
+        if ((value & ~mask).value() != 0) {
+          return InvalidArgumentError("ternary match " + field->name +
+                                      " is not canonical: value & ~mask != 0");
+        }
+        break;
+      }
+      case p4ir::MatchKind::kOptional: {
+        if (!m.mask.empty() || m.prefix_len != 0) {
+          return InvalidArgumentError("optional match " + field->name +
+                                      " must not carry mask or prefix");
+        }
+        break;
+      }
+    }
+  }
+
+  // Mandatory keys: exact matches must be present.
+  for (const p4ir::MatchFieldInfo& field : table->match_fields) {
+    if (field.kind != p4ir::MatchKind::kExact) continue;
+    bool present = false;
+    for (const FieldMatch& m : entry.matches) {
+      if (m.field_id == field.id) present = true;
+    }
+    if (!present) {
+      return InvalidArgumentError("missing mandatory exact match " +
+                                  field.name + " in table " + table->name);
+    }
+  }
+
+  // Priority rules (P4Runtime §9.1.1).
+  if (table->requires_priority) {
+    if (entry.priority <= 0) {
+      return InvalidArgumentError("table " + table->name +
+                                  " requires priority > 0");
+    }
+  } else if (entry.priority != 0) {
+    return InvalidArgumentError("table " + table->name +
+                                " must not set a priority");
+  }
+
+  // Action rules.
+  if (table->selector.has_value()) {
+    if (entry.action.kind != TableAction::Kind::kActionSet) {
+      return InvalidArgumentError(
+          "table " + table->name +
+          " uses an action selector and requires a one-shot action set");
+    }
+    const auto& set = entry.action.action_set;
+    if (set.empty()) {
+      return InvalidArgumentError("empty action set for table " + table->name);
+    }
+    if (static_cast<int>(set.size()) > table->selector->max_group_size) {
+      return ResourceExhaustedError("action set exceeds max group size of " +
+                                    table->name);
+    }
+    int total_weight = 0;
+    for (const WeightedAction& wa : set) {
+      if (wa.weight <= 0) {
+        return InvalidArgumentError(
+            "action selector weights must be strictly positive");
+      }
+      total_weight += wa.weight;
+      SWITCHV_RETURN_IF_ERROR(
+          ValidateActionInvocation(info, *table, wa.action));
+    }
+    if (total_weight > table->selector->max_total_weight) {
+      return ResourceExhaustedError("action set exceeds max total weight of " +
+                                    table->name);
+    }
+  } else {
+    if (entry.action.kind != TableAction::Kind::kDirect) {
+      return InvalidArgumentError("table " + table->name +
+                                  " requires a single direct action");
+    }
+    SWITCHV_RETURN_IF_ERROR(
+        ValidateActionInvocation(info, *table, entry.action.direct));
+  }
+  return OkStatus();
+}
+
+p4constraints::TableSchema SchemaForTable(const p4ir::TableInfo& table) {
+  p4constraints::TableSchema schema;
+  for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+    p4constraints::KeySchema key;
+    key.name = field.name;
+    key.width = field.width;
+    switch (field.kind) {
+      case p4ir::MatchKind::kExact:
+        key.kind = p4constraints::KeySchema::Kind::kExact;
+        break;
+      case p4ir::MatchKind::kLpm:
+        key.kind = p4constraints::KeySchema::Kind::kLpm;
+        break;
+      case p4ir::MatchKind::kTernary:
+        key.kind = p4constraints::KeySchema::Kind::kTernary;
+        break;
+      case p4ir::MatchKind::kOptional:
+        key.kind = p4constraints::KeySchema::Kind::kOptional;
+        break;
+    }
+    schema.keys.push_back(std::move(key));
+  }
+  return schema;
+}
+
+StatusOr<p4constraints::EntryValuation> EntryToValuation(
+    const p4ir::P4Info& info, const TableEntry& entry) {
+  const p4ir::TableInfo* table = info.FindTable(entry.table_id);
+  if (table == nullptr) {
+    return NotFoundError("unknown table id");
+  }
+  p4constraints::EntryValuation valuation;
+  valuation.priority = entry.priority;
+  for (const p4ir::MatchFieldInfo& field : table->match_fields) {
+    p4constraints::KeyValuation kv;  // default: absent wildcard
+    for (const FieldMatch& m : entry.matches) {
+      if (m.field_id != field.id) continue;
+      kv.present = true;
+      SWITCHV_ASSIGN_OR_RETURN(BitString value,
+                               BitString::FromBytes(m.value, field.width));
+      kv.value = value.value();
+      switch (field.kind) {
+        case p4ir::MatchKind::kExact:
+          kv.mask = LowBitMask(field.width);
+          break;
+        case p4ir::MatchKind::kLpm:
+          kv.prefix_len = m.prefix_len;
+          kv.mask =
+              BitString::PrefixMask(m.prefix_len, field.width).value();
+          break;
+        case p4ir::MatchKind::kTernary: {
+          SWITCHV_ASSIGN_OR_RETURN(BitString mask,
+                                   BitString::FromBytes(m.mask, field.width));
+          kv.mask = mask.value();
+          break;
+        }
+        case p4ir::MatchKind::kOptional:
+          kv.mask = LowBitMask(field.width);
+          break;
+      }
+    }
+    valuation.keys.emplace(field.name, kv);
+  }
+  return valuation;
+}
+
+StatusOr<bool> IsConstraintCompliant(const p4ir::P4Info& info,
+                                     const TableEntry& entry) {
+  const p4ir::TableInfo* table = info.FindTable(entry.table_id);
+  if (table == nullptr) {
+    return NotFoundError("unknown table id");
+  }
+  if (table->entry_restriction.empty()) return true;
+  const p4constraints::TableSchema schema = SchemaForTable(*table);
+  SWITCHV_ASSIGN_OR_RETURN(
+      p4constraints::CExpr constraint,
+      p4constraints::ParseConstraint(table->entry_restriction, schema));
+  SWITCHV_ASSIGN_OR_RETURN(p4constraints::EntryValuation valuation,
+                           EntryToValuation(info, entry));
+  return p4constraints::EvalConstraint(constraint, valuation);
+}
+
+Status ValidateEntry(const p4ir::P4Info& info, const TableEntry& entry) {
+  SWITCHV_RETURN_IF_ERROR(ValidateEntrySyntax(info, entry));
+  SWITCHV_ASSIGN_OR_RETURN(bool compliant, IsConstraintCompliant(info, entry));
+  if (!compliant) {
+    const p4ir::TableInfo* table = info.FindTable(entry.table_id);
+    return InvalidArgumentError("entry violates @entry_restriction of " +
+                                table->name + ": " +
+                                table->entry_restriction);
+  }
+  return OkStatus();
+}
+
+}  // namespace switchv::p4rt

@@ -1,0 +1,42 @@
+// Syntactic and semantic validation of table entries against P4Info.
+//
+// Implements the request-validity model of paper §4: a request is
+// *syntactically valid* if it conforms to the P4 program's format per the
+// P4Runtime spec, *constraint compliant* if it violates no
+// @entry_restriction, and *valid* iff both. Used by the switch-under-test's
+// P4Runtime server (PINS enforces constraints at run time, §3) and by the
+// fuzzer oracle to classify generated requests.
+#ifndef SWITCHV_P4RUNTIME_VALIDATOR_H_
+#define SWITCHV_P4RUNTIME_VALIDATOR_H_
+
+#include "p4constraints/eval.h"
+#include "p4constraints/parser.h"
+#include "p4runtime/messages.h"
+
+namespace switchv::p4rt {
+
+// Checks table/action/field IDs, byte-string canonicality and widths,
+// mandatory exact matches, mask/prefix well-formedness, priority presence,
+// and one-shot action-set rules. Returns INVALID_ARGUMENT/NOT_FOUND with a
+// specific message on the first violation found.
+Status ValidateEntrySyntax(const p4ir::P4Info& info, const TableEntry& entry);
+
+// The p4constraints schema of a table's keys.
+p4constraints::TableSchema SchemaForTable(const p4ir::TableInfo& table);
+
+// Converts a syntactically valid entry into a constraint valuation
+// (omitted ternary/optional keys become wildcards).
+StatusOr<p4constraints::EntryValuation> EntryToValuation(
+    const p4ir::P4Info& info, const TableEntry& entry);
+
+// True if the entry satisfies the table's @entry_restriction (vacuously
+// true for unconstrained tables). Precondition: syntactically valid.
+StatusOr<bool> IsConstraintCompliant(const p4ir::P4Info& info,
+                                     const TableEntry& entry);
+
+// Syntax + constraint compliance; the paper's definition of a valid request.
+Status ValidateEntry(const p4ir::P4Info& info, const TableEntry& entry);
+
+}  // namespace switchv::p4rt
+
+#endif  // SWITCHV_P4RUNTIME_VALIDATOR_H_

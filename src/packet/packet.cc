@@ -1,0 +1,159 @@
+#include "packet/packet.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace switchv::packet {
+
+ParserSpec ParserSpec::Sai() {
+  ParserSpec spec;
+  spec.start_header = "ethernet";
+  spec.transitions = {
+      {"ethernet.ether_type", 0x0806, "arp"},
+      {"ethernet.ether_type", 0x0800, "ipv4"},
+      {"ethernet.ether_type", 0x86DD, "ipv6"},
+      {"ipv4.protocol", 6, "tcp"},
+      {"ipv4.protocol", 17, "udp"},
+      {"ipv4.protocol", 1, "icmp"},
+      // IPv4-in-IPv4 (protocol 4): the inner header is parsed as
+      // "inner_ipv4" when the program declares it (Cerberus-style
+      // encap/decap pipelines).
+      {"ipv4.protocol", 4, "inner_ipv4"},
+      {"ipv6.next_header", 6, "tcp"},
+      {"ipv6.next_header", 17, "udp"},
+      {"ipv6.next_header", 58, "icmp"},
+  };
+  return spec;
+}
+
+namespace {
+
+// Big-endian bit cursor over a byte string.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool HasBits(int count) const {
+    return bit_pos_ + static_cast<std::size_t>(count) <= bytes_.size() * 8;
+  }
+
+  BitString Read(int width) {
+    uint128 value = 0;
+    for (int i = 0; i < width; ++i) {
+      const std::size_t byte = bit_pos_ >> 3;
+      const int bit = 7 - static_cast<int>(bit_pos_ & 7);
+      value = (value << 1) |
+              ((static_cast<unsigned char>(bytes_[byte]) >> bit) & 1);
+      ++bit_pos_;
+    }
+    return BitString::FromUint(value, width);
+  }
+
+  // Remaining whole bytes from the current (byte-aligned) position.
+  std::string_view Tail() const { return bytes_.substr(bit_pos_ / 8); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+class BitWriter {
+ public:
+  void Write(const BitString& value) {
+    for (int i = value.width() - 1; i >= 0; --i) {
+      const bool bit = (value.value() >> i) & 1;
+      if (bit_fill_ == 0) bytes_.push_back('\0');
+      bytes_.back() = static_cast<char>(
+          static_cast<unsigned char>(bytes_.back()) |
+          ((bit ? 1u : 0u) << (7 - bit_fill_)));
+      bit_fill_ = (bit_fill_ + 1) & 7;
+    }
+  }
+
+  void WriteBytes(std::string_view payload) {
+    bytes_.append(payload.data(), payload.size());
+  }
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+  int bit_fill_ = 0;
+};
+
+int HeaderBits(const p4ir::HeaderDef& header) {
+  int bits = 0;
+  for (const p4ir::FieldDef& f : header.fields) bits += f.width;
+  return bits;
+}
+
+}  // namespace
+
+ParsedPacket Parse(const p4ir::Program& program, const ParserSpec& spec,
+                   std::string_view bytes) {
+  ParsedPacket out;
+  // Initialize every program field to zero so lookups are total.
+  for (const p4ir::FieldDef& f : program.AllFields()) {
+    out.fields.emplace(f.name, BitString::FromUint(0, f.width));
+  }
+
+  BitReader reader(bytes);
+  std::string current = spec.start_header;
+  while (!current.empty()) {
+    const p4ir::HeaderDef* header = program.FindHeader(current);
+    if (header == nullptr || !reader.HasBits(HeaderBits(*header))) break;
+    for (const p4ir::FieldDef& f : header->fields) {
+      out.fields[f.name] = reader.Read(f.width);
+    }
+    out.valid_headers.insert(current);
+    std::string next;
+    for (const ParseTransition& t : spec.transitions) {
+      auto it = out.fields.find(t.select_field);
+      if (it == out.fields.end()) continue;
+      // Only transitions keyed on the header just parsed are considered.
+      if (!HasPrefix(t.select_field, current + ".")) continue;
+      if (it->second.value() == t.value) {
+        next = t.next_header;
+        break;
+      }
+    }
+    current = next;
+  }
+  out.payload = std::string(reader.Tail());
+  return out;
+}
+
+std::string Deparse(const p4ir::Program& program, const ParsedPacket& packet) {
+  BitWriter writer;
+  for (const p4ir::HeaderDef& header : program.headers) {
+    if (!packet.valid_headers.contains(header.name)) continue;
+    for (const p4ir::FieldDef& f : header.fields) {
+      auto it = packet.fields.find(f.name);
+      writer.Write(it != packet.fields.end()
+                       ? it->second
+                       : BitString::FromUint(0, f.width));
+    }
+  }
+  writer.WriteBytes(packet.payload);
+  return writer.Take();
+}
+
+std::string ForwardingOutcome::Canonical() const {
+  std::string out;
+  if (dropped) {
+    out += "drop";
+  } else {
+    out += "fwd:" + std::to_string(egress_port) + ":" +
+           BytesToHex(packet_bytes);
+  }
+  if (punted) out += "|punt";
+  std::vector<std::pair<std::uint16_t, std::string>> sorted = clones;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [port, bytes] : sorted) {
+    out += "|clone:" + std::to_string(port) + ":" + BytesToHex(bytes);
+  }
+  return out;
+}
+
+}  // namespace switchv::packet

@@ -1,0 +1,85 @@
+// Wire packets and their parsed representation.
+//
+// SwitchV exchanges *concrete byte packets* with the switch under test and
+// the reference simulator; both sides parse them into header fields using
+// the header layouts declared in the P4 model plus a small, data-driven
+// transition table (the paper deprioritized generic P4 parsers in favour of
+// "semi-hardcoded support for parser patterns of interest", §5).
+//
+// Checksums are not recomputed: the paper's models treat them as opaque
+// fields, and differential comparison is unaffected as long as both
+// implementations agree (documented in DESIGN.md).
+#ifndef SWITCHV_PACKET_PACKET_H_
+#define SWITCHV_PACKET_PACKET_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "p4ir/program.h"
+#include "util/status.h"
+
+namespace switchv::packet {
+
+// One parser transition: if `select_field` of the just-parsed header equals
+// `value`, continue parsing `next_header`.
+struct ParseTransition {
+  std::string select_field;
+  uint128 value = 0;
+  std::string next_header;
+};
+
+// A semi-hardcoded parser: start header plus a transition table. Header
+// layouts (field order and widths) come from the P4 program.
+struct ParserSpec {
+  std::string start_header;
+  std::vector<ParseTransition> transitions;
+
+  // The standard SAI-style parser used by all models in this repo:
+  // ethernet -> { arp, ipv4, ipv6 }, ipv4 -> { tcp, udp, icmp, ipv4-in-ipv4 },
+  // ipv6 -> { tcp, udp, icmp }.
+  static ParserSpec Sai();
+};
+
+// A packet parsed against a program: field values, header validity, and the
+// unparsed payload tail.
+struct ParsedPacket {
+  std::map<std::string, BitString> fields;
+  std::set<std::string> valid_headers;
+  std::string payload;
+};
+
+// Parses `bytes` per `spec` and the header layouts of `program`. Headers
+// whose bytes are truncated terminate parsing (the partial header is not
+// marked valid). Never fails: an unparseable packet is all-payload.
+ParsedPacket Parse(const p4ir::Program& program, const ParserSpec& spec,
+                   std::string_view bytes);
+
+// Serializes valid headers (in program declaration order) followed by the
+// payload. Inverse of Parse for packets without truncated headers.
+std::string Deparse(const p4ir::Program& program, const ParsedPacket& packet);
+
+// The forwarding verdict of one packet through one switch implementation.
+// This is the unit of behavioural comparison in data-plane validation.
+struct ForwardingOutcome {
+  bool dropped = false;
+  bool punted = false;                   // packet-in to the controller
+  std::uint16_t egress_port = 0;         // meaningful iff !dropped
+  std::string packet_bytes;              // egress bytes, iff !dropped
+  // Mirror copies: (port, bytes) pairs, sorted for comparison.
+  std::vector<std::pair<std::uint16_t, std::string>> clones;
+
+  // Canonical rendering; two outcomes are behaviourally equal iff their
+  // canonical strings are equal.
+  std::string Canonical() const;
+
+  friend bool operator==(const ForwardingOutcome& a,
+                         const ForwardingOutcome& b) {
+    return a.Canonical() == b.Canonical();
+  }
+};
+
+}  // namespace switchv::packet
+
+#endif  // SWITCHV_PACKET_PACKET_H_

@@ -1,0 +1,660 @@
+#include "sut/asic.h"
+
+#include <algorithm>
+
+namespace switchv::sut {
+
+using packet::ForwardingOutcome;
+
+AsicSimulator::AsicSimulator(const FaultRegistry* faults) : faults_(faults) {
+  acl_stages_[AclStage::kL3Admit];
+  acl_stages_[AclStage::kPreIngress];
+  acl_stages_[AclStage::kIngress];
+}
+
+// ---------------------------------------------------------------------------
+// Programming API
+// ---------------------------------------------------------------------------
+
+Status AsicSimulator::CreateVrf(std::uint32_t vrf) {
+  if (static_cast<int>(vrfs_.size()) >= capacities_.vrfs) {
+    return ResourceExhaustedError("ASIC out of VRFs");
+  }
+  vrfs_[vrf] = true;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveVrf(std::uint32_t vrf) {
+  if (faulty(Fault::kVrfDeleteBroken)) {
+    return InternalError("SAI_STATUS_FAILURE: ALPM flag mismatch on VRF");
+  }
+  if (vrfs_.erase(vrf) == 0) return NotFoundError("no such VRF");
+  return OkStatus();
+}
+
+Status AsicSimulator::AddIpv4Route(std::uint32_t vrf, std::uint32_t prefix,
+                                   int prefix_len, const RouteAction& action) {
+  if (v4_route_count_ >= capacities_.ipv4_routes) {
+    return ResourceExhaustedError("ASIC out of IPv4 routes");
+  }
+  int effective_len = prefix_len;
+  if (faulty(Fault::kLpmTreatsPrefixAsExact)) effective_len = 32;
+  auto [it, inserted] = v4_routes_.try_emplace(vrf, 32);
+  // SAI create semantics: creating an object that already exists fails
+  // (this is how stale FIB state from a leaked delete becomes visible).
+  if (it->second.Find(prefix, effective_len) != nullptr) {
+    return AlreadyExistsError("SAI_STATUS_ITEM_ALREADY_EXISTS: route");
+  }
+  if (it->second.Insert(prefix, effective_len, action)) ++v4_route_count_;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveIpv4Route(std::uint32_t vrf, std::uint32_t prefix,
+                                      int prefix_len) {
+  if (faulty(Fault::kRouteDeleteLeavesStale)) {
+    return OkStatus();  // acknowledged but the FIB keeps forwarding
+  }
+  auto it = v4_routes_.find(vrf);
+  int effective_len = prefix_len;
+  if (faulty(Fault::kLpmTreatsPrefixAsExact)) effective_len = 32;
+  if (it == v4_routes_.end() || !it->second.Remove(prefix, effective_len)) {
+    return NotFoundError("no such IPv4 route");
+  }
+  --v4_route_count_;
+  return OkStatus();
+}
+
+Status AsicSimulator::AddIpv6Route(std::uint32_t vrf, uint128 prefix,
+                                   int prefix_len, const RouteAction& action) {
+  if (v6_route_count_ >= capacities_.ipv6_routes) {
+    return ResourceExhaustedError("ASIC out of IPv6 routes");
+  }
+  auto [it, inserted] = v6_routes_.try_emplace(vrf, 128);
+  if (it->second.Find(prefix, prefix_len) != nullptr) {
+    return AlreadyExistsError("SAI_STATUS_ITEM_ALREADY_EXISTS: route");
+  }
+  if (it->second.Insert(prefix, prefix_len, action)) ++v6_route_count_;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveIpv6Route(std::uint32_t vrf, uint128 prefix,
+                                      int prefix_len) {
+  auto it = v6_routes_.find(vrf);
+  if (it == v6_routes_.end() || !it->second.Remove(prefix, prefix_len)) {
+    return NotFoundError("no such IPv6 route");
+  }
+  --v6_route_count_;
+  return OkStatus();
+}
+
+Status AsicSimulator::SetNexthop(std::uint32_t nexthop_id,
+                                 std::uint32_t rif_id,
+                                 std::uint32_t neighbor_id) {
+  if (static_cast<int>(nexthops_.size()) >= capacities_.nexthops) {
+    return ResourceExhaustedError("ASIC out of nexthops");
+  }
+  nexthops_[nexthop_id] = {rif_id, neighbor_id};
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveNexthop(std::uint32_t nexthop_id) {
+  if (nexthops_.erase(nexthop_id) == 0) return NotFoundError("no nexthop");
+  return OkStatus();
+}
+
+Status AsicSimulator::SetNeighbor(std::uint32_t rif_id,
+                                  std::uint32_t neighbor_id,
+                                  std::uint64_t dst_mac) {
+  if (static_cast<int>(neighbors_.size()) >= capacities_.neighbors) {
+    return ResourceExhaustedError("ASIC out of neighbors");
+  }
+  neighbors_[{rif_id, neighbor_id}] = dst_mac;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveNeighbor(std::uint32_t rif_id,
+                                     std::uint32_t neighbor_id) {
+  if (neighbors_.erase({rif_id, neighbor_id}) == 0) {
+    return NotFoundError("no neighbor");
+  }
+  return OkStatus();
+}
+
+Status AsicSimulator::SetRif(std::uint32_t rif_id, std::uint16_t port,
+                             std::uint64_t src_mac) {
+  if (static_cast<int>(rifs_.size()) >= capacities_.rifs) {
+    return ResourceExhaustedError("ASIC out of RIFs");
+  }
+  rifs_[rif_id] = {port, src_mac};
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveRif(std::uint32_t rif_id) {
+  if (rifs_.erase(rif_id) == 0) return NotFoundError("no RIF");
+  return OkStatus();
+}
+
+Status AsicSimulator::SetWcmpGroup(std::uint32_t group_id,
+                                   std::vector<WcmpMember> members) {
+  if (static_cast<int>(wcmp_groups_.size()) >= capacities_.wcmp_groups) {
+    return ResourceExhaustedError("ASIC out of WCMP groups");
+  }
+  // SAI create semantics: the group object must not already exist (stale
+  // hardware objects from a sloppy cleanup surface here).
+  if (wcmp_groups_.contains(group_id)) {
+    return AlreadyExistsError("SAI_STATUS_ITEM_ALREADY_EXISTS: WCMP group");
+  }
+  wcmp_groups_[group_id] = std::move(members);
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveWcmpGroup(std::uint32_t group_id) {
+  if (wcmp_groups_.erase(group_id) == 0) return NotFoundError("no group");
+  return OkStatus();
+}
+
+void AsicSimulator::SetAclCapacity(AclStage stage, int capacity) {
+  switch (stage) {
+    case AclStage::kIngress: capacities_.acl_ingress = capacity; break;
+    case AclStage::kPreIngress:
+      capacities_.acl_pre_ingress = capacity;
+      break;
+    case AclStage::kL3Admit: capacities_.acl_l3_admit = capacity; break;
+  }
+}
+
+StatusOr<std::uint64_t> AsicSimulator::AddAclRule(AclStage stage,
+                                                  const AclRule& rule) {
+  auto& rules = acl_stages_[stage];
+  int capacity = capacities_.acl_ingress;
+  if (stage == AclStage::kPreIngress) capacity = capacities_.acl_pre_ingress;
+  if (stage == AclStage::kL3Admit) capacity = capacities_.acl_l3_admit;
+  if (faulty(Fault::kAsicCapacityBelowGuarantee) &&
+      stage == AclStage::kIngress) {
+    // The new chip's real TCAM budget is far below what the resource
+    // guarantees promise.
+    capacity = 24;
+  }
+  int used = static_cast<int>(rules.size());
+  if (stage == AclStage::kIngress) used += leaked_acl_slots_;
+  if (used >= capacity) {
+    return ResourceExhaustedError("ASIC out of ACL TCAM slots");
+  }
+  const std::uint64_t handle = next_acl_handle_++;
+  rules[handle] = rule;
+  return handle;
+}
+
+Status AsicSimulator::RemoveAclRule(AclStage stage, std::uint64_t handle) {
+  if (acl_stages_[stage].erase(handle) == 0) {
+    return NotFoundError("no such ACL rule");
+  }
+  return OkStatus();
+}
+
+Status AsicSimulator::SetMirrorSession(std::uint32_t mirror_port,
+                                       std::uint16_t dest_port) {
+  if (static_cast<int>(mirror_sessions_.size()) >=
+      capacities_.mirror_sessions) {
+    return ResourceExhaustedError("ASIC out of mirror sessions");
+  }
+  mirror_sessions_[mirror_port] = dest_port;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveMirrorSession(std::uint32_t mirror_port) {
+  if (mirror_sessions_.erase(mirror_port) == 0) {
+    return NotFoundError("no mirror session");
+  }
+  return OkStatus();
+}
+
+Status AsicSimulator::SetEgressRif(std::uint16_t port,
+                                   std::uint64_t src_mac) {
+  if (faulty(Fault::kEgressRifStaleSrcMac)) {
+    // Programming acknowledged; hardware keeps the previous value.
+    egress_rifs_.try_emplace(port, 0x0200DEADBEEFull);
+    return OkStatus();
+  }
+  egress_rifs_[port] = src_mac;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveEgressRif(std::uint16_t port) {
+  if (egress_rifs_.erase(port) == 0) return NotFoundError("no egress RIF");
+  return OkStatus();
+}
+
+Status AsicSimulator::SetTunnel(std::uint32_t tunnel_id, std::uint32_t src_ip,
+                                std::uint32_t dst_ip) {
+  if (static_cast<int>(tunnels_.size()) >= capacities_.tunnels) {
+    return ResourceExhaustedError("ASIC out of tunnels");
+  }
+  tunnels_[tunnel_id] = {src_ip, dst_ip};
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveTunnel(std::uint32_t tunnel_id) {
+  if (tunnels_.erase(tunnel_id) == 0) return NotFoundError("no tunnel");
+  return OkStatus();
+}
+
+Status AsicSimulator::AddDecapEndpoint(std::uint32_t dst_ip) {
+  if (static_cast<int>(decap_endpoints_.size()) >=
+      capacities_.decap_entries) {
+    return ResourceExhaustedError("ASIC out of decap entries");
+  }
+  decap_endpoints_[dst_ip] = true;
+  return OkStatus();
+}
+
+Status AsicSimulator::RemoveDecapEndpoint(std::uint32_t dst_ip) {
+  if (decap_endpoints_.erase(dst_ip) == 0) return NotFoundError("no decap");
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Dataplane
+// ---------------------------------------------------------------------------
+
+// Raw fixed-offset view of a packet, as the parser block of the chip sees
+// it. Offsets assume untagged Ethernet.
+struct AsicSimulator::ParsedView {
+  bool has_eth = false;
+  bool is_ipv4 = false;
+  bool is_ipv6 = false;
+  bool has_l4 = false;
+  bool has_icmp = false;
+  bool has_inner_ipv4 = false;
+  std::uint64_t dst_mac = 0;
+  std::uint64_t src_mac = 0;
+  std::uint16_t ether_type = 0;
+  std::uint32_t v4_src = 0;
+  std::uint32_t v4_dst = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t dscp = 0;
+  uint128 v6_src = 0;
+  uint128 v6_dst = 0;
+  std::uint16_t l4_src = 0;
+  std::uint16_t l4_dst = 0;
+  std::uint8_t icmp_type = 0;
+  std::uint8_t icmp_code = 0;
+};
+
+namespace {
+
+std::uint64_t ReadBytes(std::string_view bytes, std::size_t offset,
+                        int count) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+uint128 ReadBytes128(std::string_view bytes, std::size_t offset, int count) {
+  uint128 value = 0;
+  for (int i = 0; i < count; ++i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+void WriteBytes(std::string& bytes, std::size_t offset, std::uint64_t value,
+                int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<char>(value & 0xFF);
+    value >>= 8;
+  }
+}
+
+constexpr std::size_t kEthLen = 14;
+constexpr std::size_t kIpv4Len = 20;
+
+void ParseRaw(std::string_view bytes,
+              AsicSimulator::ParsedView* view);
+
+// Chip-private flow hash (not modeled in P4; a "free" operation).
+std::uint64_t FlowHash(const AsicSimulator::ParsedView& view);
+
+}  // namespace
+
+namespace {
+
+void ParseRaw(std::string_view bytes, AsicSimulator::ParsedView* view) {
+  *view = {};
+  if (bytes.size() < kEthLen) return;
+  view->has_eth = true;
+  view->dst_mac = ReadBytes(bytes, 0, 6);
+  view->src_mac = ReadBytes(bytes, 6, 6);
+  view->ether_type = static_cast<std::uint16_t>(ReadBytes(bytes, 12, 2));
+  std::size_t l4_off = 0;
+  if (view->ether_type == 0x0800 && bytes.size() >= kEthLen + kIpv4Len) {
+    view->is_ipv4 = true;
+    view->dscp = static_cast<std::uint8_t>(
+        (ReadBytes(bytes, 15, 1) >> 2) & 0x3F);
+    view->ttl = static_cast<std::uint8_t>(ReadBytes(bytes, 22, 1));
+    view->protocol = static_cast<std::uint8_t>(ReadBytes(bytes, 23, 1));
+    view->v4_src = static_cast<std::uint32_t>(ReadBytes(bytes, 26, 4));
+    view->v4_dst = static_cast<std::uint32_t>(ReadBytes(bytes, 30, 4));
+    l4_off = kEthLen + kIpv4Len;
+    if (view->protocol == 4 && bytes.size() >= l4_off + kIpv4Len) {
+      view->has_inner_ipv4 = true;
+    }
+  } else if (view->ether_type == 0x86DD && bytes.size() >= kEthLen + 40) {
+    view->is_ipv6 = true;
+    view->dscp = static_cast<std::uint8_t>(
+        (ReadBytes(bytes, 14, 2) >> 6) & 0x3F);
+    view->protocol = static_cast<std::uint8_t>(ReadBytes(bytes, 20, 1));
+    view->ttl = static_cast<std::uint8_t>(ReadBytes(bytes, 21, 1));
+    view->v6_src = ReadBytes128(bytes, 22, 16);
+    view->v6_dst = ReadBytes128(bytes, 38, 16);
+    l4_off = kEthLen + 40;
+  }
+  if (l4_off != 0 && !view->has_inner_ipv4) {
+    if ((view->protocol == 6 && bytes.size() >= l4_off + 20) ||
+        (view->protocol == 17 && bytes.size() >= l4_off + 8)) {
+      view->has_l4 = true;
+      view->l4_src = static_cast<std::uint16_t>(ReadBytes(bytes, l4_off, 2));
+      view->l4_dst =
+          static_cast<std::uint16_t>(ReadBytes(bytes, l4_off + 2, 2));
+    } else if (((view->is_ipv4 && view->protocol == 1) ||
+                (view->is_ipv6 && view->protocol == 58)) &&
+               bytes.size() >= l4_off + 4) {
+      view->has_icmp = true;
+      view->icmp_type =
+          static_cast<std::uint8_t>(ReadBytes(bytes, l4_off, 1));
+      view->icmp_code =
+          static_cast<std::uint8_t>(ReadBytes(bytes, l4_off + 1, 1));
+    }
+  }
+}
+
+std::uint64_t FlowHash(const AsicSimulator::ParsedView& view) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;  // chip-specific salt
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  if (view.is_ipv4) {
+    mix(view.v4_src);
+    mix(view.v4_dst);
+  } else {
+    mix(static_cast<std::uint64_t>(view.v6_src));
+    mix(static_cast<std::uint64_t>(view.v6_src >> 64));
+    mix(static_cast<std::uint64_t>(view.v6_dst));
+    mix(static_cast<std::uint64_t>(view.v6_dst >> 64));
+  }
+  mix(view.protocol);
+  mix((static_cast<std::uint64_t>(view.l4_src) << 16) | view.l4_dst);
+  return h;
+}
+
+}  // namespace
+
+bool AsicSimulator::RuleMatches(const AclRule& rule, const ParsedView& view,
+                                std::uint16_t ingress_port) const {
+  for (const AclFieldMatch& f : rule.fields) {
+    uint128 actual = 0;
+    switch (f.field) {
+      case AclFieldId::kEtherType: actual = view.ether_type; break;
+      case AclFieldId::kSrcMac: actual = view.src_mac; break;
+      case AclFieldId::kDstMac: actual = view.dst_mac; break;
+      case AclFieldId::kSrcIpv4: actual = view.v4_src; break;
+      case AclFieldId::kDstIpv4: actual = view.v4_dst; break;
+      case AclFieldId::kSrcIpv6: actual = view.v6_src; break;
+      case AclFieldId::kDstIpv6: actual = view.v6_dst; break;
+      // The role models' ACL protocol/TTL/DSCP keys are declared over the
+      // IPv4 header (IPv6 packets read them as 0); the TCAM matches the
+      // same way.
+      case AclFieldId::kIpProtocol:
+        actual = view.is_ipv4 ? view.protocol : 0;
+        break;
+      case AclFieldId::kTtl: actual = view.is_ipv4 ? view.ttl : 0; break;
+      case AclFieldId::kDscp: actual = view.is_ipv4 ? view.dscp : 0; break;
+      case AclFieldId::kL4SrcPort: actual = view.l4_src; break;
+      case AclFieldId::kL4DstPort: actual = view.l4_dst; break;
+      case AclFieldId::kIcmpType: actual = view.icmp_type; break;
+      case AclFieldId::kIcmpCode: actual = view.icmp_code; break;
+      case AclFieldId::kInPort: actual = ingress_port; break;
+    }
+    if ((actual & f.mask) != (f.value & f.mask)) return false;
+  }
+  return true;
+}
+
+const AclRule* AsicSimulator::FirstMatch(AclStage stage,
+                                         const ParsedView& view,
+                                         std::uint16_t ingress_port) const {
+  const auto& rules = acl_stages_.at(stage);
+  const AclRule* best = nullptr;
+  for (const auto& [handle, rule] : rules) {
+    if (!RuleMatches(rule, view, ingress_port)) continue;
+    bool better;
+    if (best == nullptr) {
+      better = true;
+    } else if (faulty(Fault::kAclPriorityInverted) &&
+               stage == AclStage::kIngress) {
+      better = rule.priority < best->priority;
+    } else {
+      better = rule.priority > best->priority;
+    }
+    if (better) best = &rule;
+  }
+  return best;
+}
+
+ForwardingOutcome AsicSimulator::Forward(std::string_view bytes,
+                                         std::uint16_t ingress_port) const {
+  ForwardingOutcome outcome;
+  std::string pkt(bytes);
+  ParsedView view;
+  ParseRaw(pkt, &view);
+
+  bool drop = false;
+  bool punt = false;
+  std::uint32_t mirror_port = 0;
+
+  // Stage 1: L3 admit.
+  bool admit = FirstMatch(AclStage::kL3Admit, view, ingress_port) != nullptr;
+
+  // Stage 2: pre-ingress ACL assigns the VRF.
+  std::uint32_t vrf = 0;
+  if (const AclRule* rule =
+          FirstMatch(AclStage::kPreIngress, view, ingress_port)) {
+    if (rule->action == AclActionKind::kSetVrf) vrf = rule->arg;
+  }
+
+  // Stage 3: tunnel decapsulation (before routing).
+  if (view.is_ipv4 && view.has_inner_ipv4 &&
+      decap_endpoints_.contains(view.v4_dst)) {
+    const std::uint8_t outer_ttl = view.ttl;
+    pkt.erase(kEthLen, kIpv4Len);
+    ParseRaw(pkt, &view);
+    if (faulty(Fault::kDecapSkipsTtlCopy) && pkt.size() >= kEthLen + kIpv4Len) {
+      WriteBytes(pkt, 22, outer_ttl, 1);
+      ParseRaw(pkt, &view);
+    }
+    // The parser block ran before decap (when the L4 header was hidden
+    // behind the tunnel header), so L4/ICMP fields stay unparsed — exactly
+    // as in the P4 model, where extraction happens once at ingress start.
+    view.has_l4 = false;
+    view.l4_src = 0;
+    view.l4_dst = 0;
+    view.has_icmp = false;
+    view.icmp_type = 0;
+    view.icmp_code = 0;
+  }
+
+  // Stage 4: route lookup.
+  const RouteAction* route = nullptr;
+  if (admit && view.is_ipv4) {
+    if (auto it = v4_routes_.find(vrf); it != v4_routes_.end()) {
+      route = it->second.Lookup(view.v4_dst);
+    }
+  } else if (admit && view.is_ipv6) {
+    if (auto it = v6_routes_.find(vrf); it != v6_routes_.end()) {
+      route = it->second.Lookup(view.v6_dst);
+    }
+  }
+  bool routed = false;
+  std::uint32_t nexthop_id = 0;
+  std::uint32_t tunnel_id = 0;
+  if (admit && (view.is_ipv4 || view.is_ipv6)) {
+    if (route == nullptr || route->kind == RouteAction::Kind::kDrop) {
+      drop = true;  // routing table default action is drop
+    } else {
+      routed = true;
+      switch (route->kind) {
+        case RouteAction::Kind::kNexthop:
+          nexthop_id = route->nexthop_id;
+          break;
+        case RouteAction::Kind::kWcmpGroup: {
+          auto it = wcmp_groups_.find(route->group_id);
+          if (it == wcmp_groups_.end() || it->second.empty()) {
+            drop = true;
+            routed = false;
+            break;
+          }
+          int total = 0;
+          for (const WcmpMember& m : it->second) total += m.weight;
+          std::uint64_t draw =
+              faulty(Fault::kWcmpSingleMemberOnly)
+                  ? 0
+                  : FlowHash(view) % static_cast<std::uint64_t>(total);
+          for (const WcmpMember& m : it->second) {
+            if (draw < static_cast<std::uint64_t>(m.weight)) {
+              nexthop_id = m.nexthop_id;
+              break;
+            }
+            draw -= static_cast<std::uint64_t>(m.weight);
+          }
+          break;
+        }
+        case RouteAction::Kind::kTunnelNexthop:
+          nexthop_id = route->nexthop_id;
+          tunnel_id = route->tunnel_id;
+          break;
+        case RouteAction::Kind::kDrop:
+          break;
+      }
+    }
+  }
+
+  // Stage 5: ingress ACL (on pre-rewrite fields).
+  if (const AclRule* rule =
+          FirstMatch(AclStage::kIngress, view, ingress_port)) {
+    switch (rule->action) {
+      case AclActionKind::kDrop: drop = true; break;
+      case AclActionKind::kTrap:
+        drop = true;
+        punt = true;
+        break;
+      case AclActionKind::kCopy: punt = true; break;
+      case AclActionKind::kMirror: mirror_port = rule->arg; break;
+      default: break;
+    }
+  }
+
+  // Stage 6: fixed-function traps.
+  if (view.is_ipv4 && view.ttl < 2) {
+    drop = true;
+    punt = true;
+  }
+  if (view.is_ipv4 && view.v4_dst == 0xFFFFFFFFu) {
+    drop = true;
+  }
+
+  // Stage 7: rewrite via the nexthop chain.
+  std::uint16_t egress_port = 0;
+  if (routed && nexthop_id != 0) {
+    auto nh = nexthops_.find(nexthop_id);
+    if (nh == nexthops_.end()) {
+      drop = true;  // chain miss: default drop
+    } else {
+      const auto [rif_id, neighbor_id] = nh->second;
+      auto neighbor = neighbors_.find({rif_id, neighbor_id});
+      auto rif = rifs_.find(rif_id);
+      if (neighbor == neighbors_.end() || rif == rifs_.end()) {
+        drop = true;
+      } else if (pkt.size() >= kEthLen) {
+        WriteBytes(pkt, 0, neighbor->second, 6);
+        WriteBytes(pkt, 6, rif->second.second, 6);
+        egress_port = rif->second.first;
+        if (view.is_ipv4 && pkt.size() >= kEthLen + kIpv4Len) {
+          WriteBytes(pkt, 22, static_cast<std::uint8_t>(view.ttl - 1), 1);
+        } else if (view.is_ipv6 && pkt.size() >= kEthLen + 40) {
+          WriteBytes(pkt, 21, static_cast<std::uint8_t>(view.ttl - 1), 1);
+        }
+        // Tunnel encapsulation: duplicate the (rewritten) IPv4 header and
+        // overwrite the outer copy's tunnel fields.
+        if (tunnel_id != 0) {
+          auto tunnel = tunnels_.find(tunnel_id);
+          if (view.has_inner_ipv4) {
+            // Nested tunneling unsupported (see the model's spec).
+            drop = true;
+          } else if (tunnel == tunnels_.end()) {
+            drop = true;
+          } else if (view.is_ipv4 && pkt.size() >= kEthLen + kIpv4Len) {
+            pkt.insert(kEthLen, pkt.substr(kEthLen, kIpv4Len));
+            WriteBytes(pkt, 22, 64, 1);  // outer TTL
+            const std::uint8_t proto =
+                faulty(Fault::kEncapWrongProtocol) ? 41 : 4;
+            WriteBytes(pkt, 23, proto, 1);
+            WriteBytes(pkt, 26, tunnel->second.first, 4);
+            std::uint32_t dst = tunnel->second.second;
+            if (faulty(Fault::kEncapReversedDstIp)) {
+              dst = __builtin_bswap32(dst);
+            }
+            WriteBytes(pkt, 30, dst, 4);
+          }
+        }
+      }
+    }
+  }
+  // A routed packet whose action carried nexthop 0 skips the rewrite chain
+  // entirely (the model guards the chain on nexthop_id != 0).
+
+  // Stage 8: mirroring (clone of the post-rewrite packet).
+  if (mirror_port != 0) {
+    auto session = mirror_sessions_.find(mirror_port);
+    if (session != mirror_sessions_.end()) {
+      outcome.clones.emplace_back(session->second, pkt);
+    }
+  }
+
+  outcome.punted = punt;
+  if (drop) {
+    outcome.dropped = true;
+    return outcome;
+  }
+
+  // Egress stage: egress RIF source-MAC rewrite.
+  if (auto it = egress_rifs_.find(egress_port); it != egress_rifs_.end() &&
+                                                pkt.size() >= kEthLen) {
+    WriteBytes(pkt, 6, it->second, 6);
+  }
+  if (faulty(Fault::kDscpRemarkedToZero)) {
+    if (view.is_ipv4 && pkt.size() >= kEthLen + kIpv4Len) {
+      const auto tos = static_cast<unsigned char>(pkt[15]);
+      pkt[15] = static_cast<char>(tos & 0x03);  // keep ECN, zero DSCP
+    } else if (view.is_ipv6 && pkt.size() >= kEthLen + 40) {
+      const auto b0 = static_cast<unsigned char>(pkt[14]);
+      const auto b1 = static_cast<unsigned char>(pkt[15]);
+      pkt[14] = static_cast<char>(b0 & 0xF0);
+      pkt[15] = static_cast<char>(b1 & 0x3F);
+    }
+  }
+  if (faulty(Fault::kCursedPortDropsPackets) && egress_port == 5) {
+    outcome.dropped = true;  // electric interference on this port
+    return outcome;
+  }
+  outcome.egress_port = egress_port;
+  outcome.packet_bytes = std::move(pkt);
+  return outcome;
+}
+
+}  // namespace switchv::sut

@@ -1,0 +1,190 @@
+// The fixed-function ASIC simulator.
+//
+// The "hardware" at the bottom of the switch-under-test stack. It is NOT an
+// interpreter of the P4 model: its pipeline is rigid C++ (parse raw bytes at
+// fixed offsets, trie-based route lookup, first-match TCAM scan, in-place
+// byte rewrites), programmed through a SAI-like object API by SyncD. The P4
+// model *describes* this pipeline; SwitchV checks that the description and
+// this implementation agree.
+//
+// Several catalog faults live here (hardware and Cerberus switch-software
+// bugs): reversed encap destination, wrong encap protocol, TTL lost on
+// decap, inverted ACL priority, LPM-as-exact, single-member WCMP, cursed
+// egress port, capacity below the guarantee, DSCP re-marking, stale routes.
+#ifndef SWITCHV_SUT_ASIC_H_
+#define SWITCHV_SUT_ASIC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+#include "sut/fault.h"
+#include "sut/lpm_trie.h"
+#include "util/status.h"
+
+namespace switchv::sut {
+
+// Hardware-level ACL match field identifiers (fixed by the ASIC).
+enum class AclFieldId {
+  kEtherType,
+  kSrcMac,
+  kDstMac,
+  kSrcIpv4,
+  kDstIpv4,
+  kSrcIpv6,
+  kDstIpv6,
+  kIpProtocol,
+  kTtl,
+  kDscp,
+  kL4SrcPort,
+  kL4DstPort,
+  kIcmpType,
+  kIcmpCode,
+  kInPort,
+};
+
+struct AclFieldMatch {
+  AclFieldId field;
+  uint128 value = 0;
+  uint128 mask = 0;
+};
+
+enum class AclActionKind { kDrop, kTrap, kCopy, kMirror, kSetVrf, kAdmit };
+
+struct AclRule {
+  int priority = 0;
+  std::vector<AclFieldMatch> fields;
+  AclActionKind action = AclActionKind::kDrop;
+  std::uint32_t arg = 0;  // vrf for kSetVrf, mirror port for kMirror
+};
+
+enum class AclStage { kL3Admit, kPreIngress, kIngress };
+
+// Route action in hardware form.
+struct RouteAction {
+  enum class Kind { kDrop, kNexthop, kWcmpGroup, kTunnelNexthop };
+  Kind kind = Kind::kDrop;
+  std::uint32_t nexthop_id = 0;
+  std::uint32_t group_id = 0;
+  std::uint32_t tunnel_id = 0;
+};
+
+struct WcmpMember {
+  std::uint32_t nexthop_id = 0;
+  int weight = 1;
+};
+
+// Per-object-type capacity limits of the chip.
+struct AsicCapacities {
+  int vrfs = 64;
+  int ipv4_routes = 4096;
+  int ipv6_routes = 2048;
+  int nexthops = 2048;
+  int neighbors = 2048;
+  int rifs = 512;
+  int wcmp_groups = 256;
+  // TCAM budgets are tight: slightly above the guaranteed table size, so a
+  // correct stack never exhausts them but leaked slots quickly do.
+  int acl_ingress = 264;  // Inst2 guarantees 256
+  int acl_pre_ingress = 512;
+  int acl_l3_admit = 256;
+  int mirror_sessions = 32;
+  int tunnels = 256;
+  int decap_entries = 128;
+};
+
+class AsicSimulator {
+ public:
+  // `faults` must outlive the simulator; may be nullptr (no faults).
+  explicit AsicSimulator(const FaultRegistry* faults);
+
+  // ------- Programming API (called by SyncD) -------
+  Status CreateVrf(std::uint32_t vrf);
+  Status RemoveVrf(std::uint32_t vrf);
+  Status AddIpv4Route(std::uint32_t vrf, std::uint32_t prefix, int prefix_len,
+                      const RouteAction& action);
+  Status RemoveIpv4Route(std::uint32_t vrf, std::uint32_t prefix,
+                         int prefix_len);
+  Status AddIpv6Route(std::uint32_t vrf, uint128 prefix, int prefix_len,
+                      const RouteAction& action);
+  Status RemoveIpv6Route(std::uint32_t vrf, uint128 prefix, int prefix_len);
+  Status SetNexthop(std::uint32_t nexthop_id, std::uint32_t rif_id,
+                    std::uint32_t neighbor_id);
+  Status RemoveNexthop(std::uint32_t nexthop_id);
+  Status SetNeighbor(std::uint32_t rif_id, std::uint32_t neighbor_id,
+                     std::uint64_t dst_mac);
+  Status RemoveNeighbor(std::uint32_t rif_id, std::uint32_t neighbor_id);
+  Status SetRif(std::uint32_t rif_id, std::uint16_t port,
+                std::uint64_t src_mac);
+  Status RemoveRif(std::uint32_t rif_id);
+  Status SetWcmpGroup(std::uint32_t group_id, std::vector<WcmpMember> members);
+  Status RemoveWcmpGroup(std::uint32_t group_id);
+  // Returns an opaque rule handle for removal.
+  StatusOr<std::uint64_t> AddAclRule(AclStage stage, const AclRule& rule);
+  Status RemoveAclRule(AclStage stage, std::uint64_t handle);
+  Status SetMirrorSession(std::uint32_t mirror_port, std::uint16_t dest_port);
+  Status RemoveMirrorSession(std::uint32_t mirror_port);
+  Status SetEgressRif(std::uint16_t port, std::uint64_t src_mac);
+  Status RemoveEgressRif(std::uint16_t port);
+  Status SetTunnel(std::uint32_t tunnel_id, std::uint32_t src_ip,
+                   std::uint32_t dst_ip);
+  Status RemoveTunnel(std::uint32_t tunnel_id);
+  Status AddDecapEndpoint(std::uint32_t dst_ip);
+  Status RemoveDecapEndpoint(std::uint32_t dst_ip);
+
+  // Consumes an ingress TCAM slot without a rule attached (models leaked
+  // hardware resources; used by the kAclResourceLeak fault in SyncD).
+  void LeakIngressAclSlot() { ++leaked_acl_slots_; }
+
+  const AsicCapacities& capacities() const { return capacities_; }
+  void set_capacities(const AsicCapacities& caps) { capacities_ = caps; }
+  // ACL stages are carved out of the TCAM at config-push time, sized to
+  // the guarantees the P4 program declares (plus small headroom).
+  void SetAclCapacity(AclStage stage, int capacity);
+
+  // ------- Dataplane -------
+  // Forwards one packet. Deterministic: WCMP member selection uses the
+  // chip's (private) flow hash over the 5-tuple.
+  packet::ForwardingOutcome Forward(std::string_view bytes,
+                                    std::uint16_t ingress_port) const;
+
+  // Raw fixed-offset packet view; public so the parser helpers in the
+  // implementation file can operate on it.
+  struct ParsedView;
+
+ private:
+  bool RuleMatches(const AclRule& rule, const ParsedView& view,
+                   std::uint16_t ingress_port) const;
+  const AclRule* FirstMatch(AclStage stage, const ParsedView& view,
+                            std::uint16_t ingress_port) const;
+
+  bool faulty(Fault f) const { return faults_ != nullptr && faults_->active(f); }
+
+  const FaultRegistry* faults_;
+  AsicCapacities capacities_;
+
+  std::map<std::uint32_t, bool> vrfs_;
+  std::map<std::uint32_t, LpmTrie<RouteAction>> v4_routes_;   // by vrf
+  std::map<std::uint32_t, LpmTrie<RouteAction>> v6_routes_;   // by vrf
+  int v4_route_count_ = 0;
+  int v6_route_count_ = 0;
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> nexthops_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> neighbors_;
+  std::map<std::uint32_t, std::pair<std::uint16_t, std::uint64_t>> rifs_;
+  std::map<std::uint32_t, std::vector<WcmpMember>> wcmp_groups_;
+  std::map<AclStage, std::map<std::uint64_t, AclRule>> acl_stages_;
+  std::map<std::uint32_t, std::uint16_t> mirror_sessions_;
+  std::map<std::uint16_t, std::uint64_t> egress_rifs_;
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> tunnels_;
+  std::map<std::uint32_t, bool> decap_endpoints_;
+  // Leaked TCAM slots (kAclResourceLeak).
+  mutable int leaked_acl_slots_ = 0;
+  std::uint64_t next_acl_handle_ = 1;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_ASIC_H_

@@ -1,0 +1,243 @@
+#include "sut/bug_catalog.h"
+
+namespace switchv::sut {
+
+std::string_view ComponentName(Component component) {
+  switch (component) {
+    case Component::kP4RuntimeServer: return "P4Runtime Server";
+    case Component::kGnmi: return "gNMI";
+    case Component::kOrchestrationAgent: return "Orchestration Agent";
+    case Component::kSyncdBinary: return "SyncD Binary";
+    case Component::kSwitchLinux: return "Switch Linux";
+    case Component::kHardware: return "Hardware";
+    case Component::kP4Toolchain: return "P4 Toolchain";
+    case Component::kInputP4Program: return "Input P4 Program";
+    case Component::kSwitchSoftware: return "Switch software";
+    case Component::kBmv2Simulator: return "BMv2 P4 Simulator";
+  }
+  return "?";
+}
+
+std::string_view TrivialTestName(TrivialTest test) {
+  switch (test) {
+    case TrivialTest::kSetP4Info: return "Set P4Info";
+    case TrivialTest::kTableEntryProgramming:
+      return "Table entry programming";
+    case TrivialTest::kReadAllTables: return "Read all tables";
+    case TrivialTest::kPacketIn: return "Packet-in";
+    case TrivialTest::kPacketOut: return "Packet-out";
+    case TrivialTest::kPacketForwarding: return "Packet forwarding";
+    case TrivialTest::kNone: return "Not found by any test above";
+  }
+  return "?";
+}
+
+const std::vector<BugInfo>& BugCatalog() {
+  static const std::vector<BugInfo>* const kCatalog = new std::vector<BugInfo>{
+      // ---------------- PINS: P4Runtime server ----------------
+      {Fault::kDeleteNonExistingFailsBatch, "delete-nonexisting-fails-batch",
+       "Deleting non-existing entry causes entire batch to fail",
+       Component::kP4RuntimeServer, Detector::kFuzzer, 14, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kModifyKeepsOldActionParams, "modify-keeps-old-params",
+       "Does not handle MODIFY requests correctly, leaving old action "
+       "parameters unchanged in table entries",
+       Component::kP4RuntimeServer, Detector::kFuzzer, 4, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kP4InfoPushFailureSwallowed, "p4info-push-failure-swallowed",
+       "P4Info push failures are not propagated up to the controller",
+       Component::kP4RuntimeServer, Detector::kSymbolic, 0,
+       TrivialTest::kTableEntryProgramming, true, Stack::kPins},
+      {Fault::kReadTernaryUnsupported, "read-ternary-unsupported",
+       "Does not support reading ternary fields",
+       Component::kP4RuntimeServer, Detector::kSymbolic, 0,
+       TrivialTest::kReadAllTables, false, Stack::kPins},
+      {Fault::kAclTableNameWrongCase, "acl-table-name-wrong-case",
+       "Does not capitalize ACL table names",
+       Component::kP4RuntimeServer, Detector::kSymbolic, 16,
+       TrivialTest::kTableEntryProgramming, true, Stack::kPins},
+      {Fault::kDuplicateEntryWrongCode, "duplicate-entry-wrong-code",
+       "Incorrect error message for duplicate entries",
+       Component::kP4RuntimeServer, Detector::kFuzzer, 2, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kPacketOutPuntedBack, "packet-out-punted-back",
+       "PacketOut packets incorrectly get punted back to controller",
+       Component::kP4RuntimeServer, Detector::kSymbolic, 26,
+       TrivialTest::kPacketOut, false, Stack::kPins},
+      {Fault::kAclKeySpaceCharRejected, "acl-key-space-char",
+       "Uses an orchestration agent API that does not support the space "
+       "character in keys, leading to the rejection of all ACL table entries",
+       Component::kP4RuntimeServer, Detector::kSymbolic, 34,
+       TrivialTest::kTableEntryProgramming, false, Stack::kPins},
+      {Fault::kBatchDeleteInconsistentState, "l3-delete-inconsistent-state",
+       "P4Runtime server gets into an inconsistent state after certain "
+       "sequences of L3 table entry deletions",
+       Component::kP4RuntimeServer, Detector::kFuzzer, 5, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kConstraintCheckSkipped, "constraint-check-skipped",
+       "@entry_restriction constraints not enforced at write time",
+       Component::kP4RuntimeServer, Detector::kFuzzer, 3, TrivialTest::kNone,
+       false, Stack::kPins},
+      // ---------------- PINS: gNMI ----------------
+      {Fault::kGnmiPortSpeedBreaksPunt, "gnmi-port-speed-breaks-punt",
+       "Port speed reconfiguration via gNMI breaks the packet-in path",
+       Component::kGnmi, Detector::kSymbolic, 11, TrivialTest::kPacketIn,
+       true, Stack::kPins},
+      // ---------------- PINS: Orchestration agent ----------------
+      {Fault::kWcmpPartialCleanup, "wcmp-partial-cleanup",
+       "Does not clean up all WCMP group members when creation of one fails",
+       Component::kOrchestrationAgent, Detector::kFuzzer, 6,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kWcmpRejectsDuplicateActions, "wcmp-rejects-duplicate-actions",
+       "Switch rejects WCMP groups with buckets with the same action, "
+       "violating the P4RT specification",
+       Component::kOrchestrationAgent, Detector::kFuzzer, 157,
+       TrivialTest::kTableEntryProgramming, true, Stack::kPins},
+      {Fault::kWcmpUpdateRemovesMembers, "wcmp-update-removes-members",
+       "A bug in WCMP group updating logic causes unchanged group members "
+       "to get removed",
+       Component::kOrchestrationAgent, Detector::kSymbolic, 3,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kVrfDeleteBroken, "vrf-delete-broken",
+       "VRF deletion fails due to incorrect ALPM flag usage & VRF response "
+       "path is broken",
+       Component::kOrchestrationAgent, Detector::kFuzzer, 15,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kNeighborDanglingAccepted, "neighbor-dangling-accepted",
+       "Accepts nexthop entries whose neighbor reference does not exist",
+       Component::kOrchestrationAgent, Detector::kFuzzer, 9,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kMirrorSessionIgnored, "mirror-session-ignored",
+       "Mirror session entries are acknowledged but never programmed",
+       Component::kOrchestrationAgent, Detector::kSymbolic, 12,
+       TrivialTest::kNone, false, Stack::kPins},
+      // ---------------- PINS: SyncD / SAI ----------------
+      {Fault::kAclResourceLeak, "acl-resource-leak",
+       "Does not clean up invalid entries in ACL tables, causing "
+       "RESOURCE_EXHAUSTED error after 30 entries",
+       Component::kSyncdBinary, Detector::kFuzzer, 120, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kSubmitToIngressNotL3Enabled, "submit-to-ingress-dropped",
+       "L3 forwarding not enabled for submit-to-ingress packets, causing "
+       "them to be dropped with the new chip",
+       Component::kSyncdBinary, Detector::kSymbolic, 19, TrivialTest::kNone,
+       true, Stack::kPins},
+      {Fault::kDscpRemarkedToZero, "dscp-remarked-to-zero",
+       "Switch occasionally re-marks DSCP to 0 in forwarded packets",
+       Component::kSyncdBinary, Detector::kSymbolic, 53, TrivialTest::kNone,
+       true, Stack::kPins},
+      {Fault::kRouteDeleteLeavesStale, "route-delete-leaves-stale",
+       "Deleted routes keep forwarding in hardware (stale FIB state)",
+       Component::kSyncdBinary, Detector::kSymbolic, 8, TrivialTest::kNone,
+       false, Stack::kPins},
+      {Fault::kEgressRifStaleSrcMac, "egress-rif-stale-src-mac",
+       "Egress router-interface replica not updated on programming, leaving "
+       "a stale source MAC",
+       Component::kSyncdBinary, Detector::kSymbolic, 13, TrivialTest::kNone,
+       false, Stack::kPins},
+      // ---------------- PINS: Switch Linux ----------------
+      {Fault::kPortSyncDaemonRestart, "port-sync-daemon-restart",
+       "A port sync daemon restarts unexpectedly, breaking all packet IO",
+       Component::kSwitchLinux, Detector::kSymbolic, 3, TrivialTest::kPacketIn,
+       true, Stack::kPins},
+      {Fault::kLldpDaemonPunts, "lldp-daemon-punts",
+       "Runs LLDP causing packets to be punted to controller",
+       Component::kSwitchLinux, Detector::kSymbolic, 9, TrivialTest::kPacketIn,
+       true, Stack::kPins},
+      {Fault::kIpv6RouterSolicitation, "ipv6-router-solicitation",
+       "Switch sends IPv6 router solicitation packets unexpectedly",
+       Component::kSwitchLinux, Detector::kSymbolic, -1, TrivialTest::kNone,
+       true, Stack::kPins},
+      // ---------------- PINS: Hardware ----------------
+      {Fault::kAsicCapacityBelowGuarantee, "asic-capacity-below-guarantee",
+       "ASIC rejects valid entries below the guaranteed table size "
+       "(resource guarantees unrealistically high for the new chip)",
+       Component::kHardware, Detector::kFuzzer, 47, TrivialTest::kNone, true,
+       Stack::kPins},
+      // ---------------- PINS: P4 toolchain ----------------
+      {Fault::kP4InfoZeroByteIds, "p4info-zero-byte-ids",
+       "Incorrect handling of zero bytes in IDs",
+       Component::kP4Toolchain, Detector::kFuzzer, 22, TrivialTest::kSetP4Info,
+       false, Stack::kPins},
+      // ---------------- PINS: Input P4 program ----------------
+      {Fault::kModelMissingTtlTrap, "model-missing-ttl-trap",
+       "P4 program does not reflect the chip's built-in trap that punts "
+       "packets with TTL 0 or 1",
+       Component::kInputP4Program, Detector::kSymbolic, 19,
+       TrivialTest::kNone, true, Stack::kPins},
+      {Fault::kModelMissingBroadcastDrop, "model-missing-broadcast-drop",
+       "P4 program does not reflect that switch drops IPv4 packets with "
+       "destination IP 255.255.255.255",
+       Component::kInputP4Program, Detector::kSymbolic, 36,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kModelAclAfterRewrite, "model-acl-after-rewrite",
+       "Header fields get rewritten before ACL is applied (model has the "
+       "stages in the wrong order)",
+       Component::kInputP4Program, Detector::kSymbolic, 14,
+       TrivialTest::kNone, false, Stack::kPins},
+      {Fault::kModelWrongIcmpField, "model-wrong-icmp-field",
+       "Program matches on the wrong ICMP field",
+       Component::kInputP4Program, Detector::kSymbolic, 13,
+       TrivialTest::kPacketIn, false, Stack::kPins},
+      // ---------------- Cerberus: switch software ----------------
+      {Fault::kEncapReversedDstIp, "encap-reversed-dst-ip",
+       "Switch software reverses the destination IP address used for packet "
+       "encapsulation (endianness issue)",
+       Component::kSwitchSoftware, Detector::kSymbolic, 10,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      {Fault::kDecapSkipsTtlCopy, "decap-skips-ttl-copy",
+       "Decapsulation keeps the outer TTL instead of restoring the inner one",
+       Component::kSwitchSoftware, Detector::kSymbolic, 17,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      {Fault::kEncapWrongProtocol, "encap-wrong-protocol",
+       "Encapsulation sets IP protocol 41 instead of 4 (IP-in-IP)",
+       Component::kSwitchSoftware, Detector::kSymbolic, 6, TrivialTest::kNone,
+       false, Stack::kCerberus},
+      {Fault::kAclPriorityInverted, "acl-priority-inverted",
+       "TCAM programs ACL priorities inverted: the lowest priority entry "
+       "wins",
+       Component::kSwitchSoftware, Detector::kSymbolic, 24,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      {Fault::kLpmTreatsPrefixAsExact, "lpm-treats-prefix-as-exact",
+       "Routes with non-host prefixes only match the network address "
+       "(prefix installed as exact match)",
+       Component::kSwitchSoftware, Detector::kSymbolic, 12,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      {Fault::kWcmpSingleMemberOnly, "wcmp-single-member-only",
+       "WCMP hashing is stuck on the first group member",
+       Component::kSwitchSoftware, Detector::kSymbolic, 31,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      {Fault::kCerberusRejectsMaxLenPrefix, "rejects-max-len-prefix",
+       "Valid host routes (/32, /128) are rejected by the control API",
+       Component::kSwitchSoftware, Detector::kFuzzer, 5, TrivialTest::kNone,
+       false, Stack::kCerberus},
+      // ---------------- Cerberus: hardware ----------------
+      {Fault::kCursedPortDropsPackets, "cursed-port-drops-packets",
+       "The hardware dropped packets on a port with a certain port speed "
+       "due to electric interference",
+       Component::kHardware, Detector::kSymbolic, 40, TrivialTest::kNone,
+       false, Stack::kCerberus},
+      // ---------------- Cerberus: input P4 program ----------------
+      {Fault::kCerberusModelAclAfterRewrite, "cerberus-model-acl-order",
+       "Cerberus model applies the ACL stage after header rewrite; the "
+       "switch applies it before",
+       Component::kInputP4Program, Detector::kSymbolic, 18,
+       TrivialTest::kNone, false, Stack::kCerberus},
+      // ---------------- Cerberus: BMv2 simulator ----------------
+      {Fault::kBmv2RejectsValidOptional, "bmv2-rejects-valid-optional",
+       "The reference simulator rejects valid optional match fields at "
+       "entry installation",
+       Component::kBmv2Simulator, Detector::kFuzzer, 30, TrivialTest::kNone,
+       false, Stack::kCerberus},
+  };
+  return *kCatalog;
+}
+
+const BugInfo* FindBug(Fault fault) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.fault == fault) return &bug;
+  }
+  return nullptr;
+}
+
+}  // namespace switchv::sut

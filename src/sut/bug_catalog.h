@@ -1,0 +1,77 @@
+// The bug catalog: metadata for every injectable fault.
+//
+// Substitutes for the paper's two years of recorded bug history (see
+// DESIGN.md §1): each catalog row carries the component the bug lives in,
+// the SwitchV component expected to detect it, the days-to-resolution used
+// for Figure 7, which trivial test (if any) of §6.2 would catch it for
+// Table 2, whether it is an integration bug (§6.1's 33% statistic), and
+// which stack (PINS or Cerberus) it belongs to. Values are modeled on
+// Appendix A; the distribution across buckets reproduces the paper's shape
+// at catalog scale.
+#ifndef SWITCHV_SUT_BUG_CATALOG_H_
+#define SWITCHV_SUT_BUG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "sut/fault.h"
+
+namespace switchv::sut {
+
+// Component attribution, matching the rows of the paper's Table 1.
+enum class Component {
+  kP4RuntimeServer,
+  kGnmi,
+  kOrchestrationAgent,
+  kSyncdBinary,
+  kSwitchLinux,
+  kHardware,
+  kP4Toolchain,
+  kInputP4Program,
+  kSwitchSoftware,   // Cerberus coarse-grained bucket
+  kBmv2Simulator,
+};
+
+std::string_view ComponentName(Component component);
+
+// Which SwitchV component is expected to detect the bug.
+enum class Detector { kFuzzer, kSymbolic };
+
+// The trivial integration tests of §6.2, in sequence order. kNone means the
+// trivial suite would not find the bug.
+enum class TrivialTest {
+  kSetP4Info,
+  kTableEntryProgramming,
+  kReadAllTables,
+  kPacketIn,
+  kPacketOut,
+  kPacketForwarding,
+  kNone,
+};
+
+std::string_view TrivialTestName(TrivialTest test);
+
+enum class Stack { kPins, kCerberus };
+
+struct BugInfo {
+  Fault fault;
+  std::string name;         // short human identifier
+  std::string description;  // Appendix-A style one-liner
+  Component component;
+  Detector expected_detector;
+  // Days until the bug was resolved; -1 = unresolved as of writing.
+  int days_to_resolution = 0;
+  TrivialTest trivial_test = TrivialTest::kNone;
+  bool integration_bug = false;
+  Stack stack = Stack::kPins;
+};
+
+// The full catalog, in a stable order.
+const std::vector<BugInfo>& BugCatalog();
+
+// Lookup by fault; never null for faults in the catalog.
+const BugInfo* FindBug(Fault fault);
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_BUG_CATALOG_H_

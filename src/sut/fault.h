@@ -1,0 +1,91 @@
+// Injectable faults for the switch under test.
+//
+// SwitchV's evaluation (paper §6) is defined over *bugs found*: Table 1
+// splits them by component and detector, Table 2 by whether a trivial test
+// suite would have caught them, Figure 7 by time-to-resolution. To measure
+// rather than fabricate those results, every bug in our catalog is an
+// activatable fault wired into a specific layer of the stack; the benches
+// activate each fault, run SwitchV, and record whether/where it was caught.
+//
+// Faults are modeled on the paper's Appendix A ("Listing of selected bugs
+// found in PINS") plus the bug classes described in §6.1 for Cerberus.
+#ifndef SWITCHV_SUT_FAULT_H_
+#define SWITCHV_SUT_FAULT_H_
+
+#include <set>
+
+namespace switchv::sut {
+
+enum class Fault {
+  // ---- P4Runtime server (application layer) ----
+  kDeleteNonExistingFailsBatch,   // one bad delete fails the whole batch
+  kModifyKeepsOldActionParams,    // MODIFY applies action id but not params
+  kP4InfoPushFailureSwallowed,    // config-push errors not propagated
+  kReadTernaryUnsupported,        // reads fail for entries w/ ternary fields
+  kAclTableNameWrongCase,         // server capitalizes ACL table names
+  kDuplicateEntryWrongCode,       // ALREADY_EXISTS reported as INTERNAL
+  kPacketOutPuntedBack,           // packet-outs looped back as packet-ins
+  kAclKeySpaceCharRejected,       // OA key API rejects spaces: all ACL
+                                  // entries bounce
+  kBatchDeleteInconsistentState,  // certain delete sequences corrupt state
+  kConstraintCheckSkipped,        // @entry_restriction not enforced
+  // ---- gNMI (config layer) ----
+  kGnmiPortSpeedBreaksPunt,       // port reconfig breaks packet-in path
+  // ---- Orchestration agent ----
+  kWcmpPartialCleanup,            // failed group creation leaks members
+  kWcmpRejectsDuplicateActions,   // rejects valid groups w/ equal members
+  kWcmpUpdateRemovesMembers,      // update drops unchanged members
+  kVrfDeleteBroken,               // VRF delete fails (ALPM flag misuse)
+  kNeighborDanglingAccepted,      // accepts nexthops w/ missing neighbor
+  kMirrorSessionIgnored,          // mirror sessions silently not programmed
+  // ---- SyncD binary / SAI ----
+  kAclResourceLeak,               // invalid entries leak TCAM slots:
+                                  // RESOURCE_EXHAUSTED after 30 inserts
+  kSubmitToIngressNotL3Enabled,   // submit-to-ingress packets dropped
+  kDscpRemarkedToZero,            // forwarded packets get DSCP re-marked 0
+  kRouteDeleteLeavesStale,        // deleted routes keep forwarding
+  kEgressRifStaleSrcMac,          // egress RIF replica not updated
+  // ---- Switch Linux ----
+  kPortSyncDaemonRestart,         // daemon restart breaks all packet IO
+  kLldpDaemonPunts,               // traditional LLDP app punts packets
+  kIpv6RouterSolicitation,        // spontaneous RS packets to controller
+  // ---- Hardware (ASIC) ----
+  kAsicCapacityBelowGuarantee,    // rejects valid entries below table size
+  kCursedPortDropsPackets,        // electric interference drops on a port
+  // ---- P4 toolchain ----
+  kP4InfoZeroByteIds,             // zero bytes in IDs handled incorrectly
+  // ---- Input P4 program (the model is wrong; switch is right) ----
+  kModelMissingTtlTrap,
+  kModelMissingBroadcastDrop,
+  kModelAclAfterRewrite,
+  kModelWrongIcmpField,
+  // ---- Cerberus-specific switch software ----
+  kEncapReversedDstIp,            // endianness bug in tunnel destination
+  kDecapSkipsTtlCopy,             // decap leaves outer TTL in place
+  kEncapWrongProtocol,            // encap sets protocol 41 instead of 4
+  kAclPriorityInverted,           // lowest priority wins in TCAM
+  kLpmTreatsPrefixAsExact,        // /24 routes only match the network addr
+  kWcmpSingleMemberOnly,          // hashing stuck on first member
+  kCerberusRejectsMaxLenPrefix,   // valid /32 (/128) routes rejected
+  kCerberusModelAclAfterRewrite,  // Cerberus model mis-ordered ACL stage
+  // ---- BMv2 / reference simulator ----
+  kBmv2RejectsValidOptional,      // simulator rejects valid optional match
+};
+
+// The set of active faults. Layers consult this at the point where the
+// fault's behaviour lives; no fault logic runs when the set is empty.
+class FaultRegistry {
+ public:
+  void Activate(Fault fault) { active_.insert(fault); }
+  void Deactivate(Fault fault) { active_.erase(fault); }
+  void Clear() { active_.clear(); }
+  bool active(Fault fault) const { return active_.contains(fault); }
+  bool empty() const { return active_.empty(); }
+
+ private:
+  std::set<Fault> active_;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_FAULT_H_

@@ -1,0 +1,27 @@
+#include "sut/gnmi.h"
+
+namespace switchv::sut {
+
+Status GnmiServer::Set(const std::string& path, const std::string& value) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError("gNMI paths must be absolute: " + path);
+  }
+  config_[path] = value;
+  if (faults_ != nullptr && faults_->active(Fault::kGnmiPortSpeedBreaksPunt) &&
+      path.find("port-speed") != std::string::npos) {
+    // The reconfiguration restarts the port datapath; the punt channel
+    // never comes back up.
+    punt_path_corrupted_ = true;
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> GnmiServer::Get(const std::string& path) const {
+  auto it = config_.find(path);
+  if (it == config_.end()) {
+    return NotFoundError("no such gNMI path: " + path);
+  }
+  return it->second;
+}
+
+}  // namespace switchv::sut

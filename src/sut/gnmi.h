@@ -1,0 +1,45 @@
+// A minimal gNMI-style configuration service (paper Figure 4 lists gNMI as
+// a switch component; Table 1 attributes 2 bugs to it).
+//
+// Holds an OpenConfig-flavoured path -> value tree. SwitchV does not
+// validate management configuration itself (out of scope, §2), but the
+// config path interacts with the dataplane: the catalog's gNMI bug makes a
+// port-speed reconfiguration corrupt the packet-in path as a side effect,
+// which data-plane validation then observes.
+#ifndef SWITCHV_SUT_GNMI_H_
+#define SWITCHV_SUT_GNMI_H_
+
+#include <map>
+#include <string>
+
+#include "sut/fault.h"
+#include "util/status.h"
+
+namespace switchv::sut {
+
+class GnmiServer {
+ public:
+  explicit GnmiServer(const FaultRegistry* faults) : faults_(faults) {}
+
+  // Sets a config path, e.g.
+  // "/interfaces/interface[name=Ethernet4]/ethernet/config/port-speed".
+  Status Set(const std::string& path, const std::string& value);
+
+  // Reads a config path back; NOT_FOUND if never set.
+  StatusOr<std::string> Get(const std::string& path) const;
+
+  std::size_t config_size() const { return config_.size(); }
+
+  // True once a faulty port-speed reconfiguration has corrupted the punt
+  // path (kGnmiPortSpeedBreaksPunt).
+  bool punt_path_corrupted() const { return punt_path_corrupted_; }
+
+ private:
+  const FaultRegistry* faults_;
+  std::map<std::string, std::string> config_;
+  bool punt_path_corrupted_ = false;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_GNMI_H_

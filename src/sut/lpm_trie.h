@@ -1,0 +1,94 @@
+// A binary longest-prefix-match trie, as an ASIC route table would use.
+//
+// Deliberately a different matching algorithm than the reference
+// interpreter's priority scan, so the two dataplanes are independent
+// implementations of the same specification (differential testing).
+#ifndef SWITCHV_SUT_LPM_TRIE_H_
+#define SWITCHV_SUT_LPM_TRIE_H_
+
+#include <memory>
+#include <optional>
+
+#include "util/bitstring.h"
+
+namespace switchv::sut {
+
+template <typename T>
+class LpmTrie {
+ public:
+  explicit LpmTrie(int width) : width_(width) {}
+
+  // Inserts (or overwrites) a prefix. Prefix bits beyond `prefix_len` are
+  // ignored. Returns false if the prefix already existed (overwritten).
+  bool Insert(uint128 prefix, int prefix_len, T value) {
+    Node* node = &root_;
+    for (int i = 0; i < prefix_len; ++i) {
+      const bool bit = (prefix >> (width_ - 1 - i)) & 1;
+      std::unique_ptr<Node>& child = bit ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    return fresh;
+  }
+
+  // Removes a prefix; returns false if it was not present.
+  bool Remove(uint128 prefix, int prefix_len) {
+    Node* node = &root_;
+    for (int i = 0; i < prefix_len && node != nullptr; ++i) {
+      const bool bit = (prefix >> (width_ - 1 - i)) & 1;
+      node = (bit ? node->one : node->zero).get();
+    }
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    return true;
+  }
+
+  // Longest-prefix lookup; nullptr on miss.
+  const T* Lookup(uint128 key) const {
+    const T* best = nullptr;
+    const Node* node = &root_;
+    for (int i = 0; i <= width_ && node != nullptr; ++i) {
+      if (node->value.has_value()) best = &*node->value;
+      if (i == width_) break;
+      const bool bit = (key >> (width_ - 1 - i)) & 1;
+      node = (bit ? node->one : node->zero).get();
+    }
+    return best;
+  }
+
+  // Exact-prefix lookup (for reads); nullptr if absent.
+  const T* Find(uint128 prefix, int prefix_len) const {
+    const Node* node = &root_;
+    for (int i = 0; i < prefix_len && node != nullptr; ++i) {
+      const bool bit = (prefix >> (width_ - 1 - i)) & 1;
+      node = (bit ? node->one : node->zero).get();
+    }
+    if (node == nullptr || !node->value.has_value()) return nullptr;
+    return &*node->value;
+  }
+
+  int size() const { return Count(root_); }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  static int Count(const Node& node) {
+    int n = node.value.has_value() ? 1 : 0;
+    if (node.zero) n += Count(*node.zero);
+    if (node.one) n += Count(*node.one);
+    return n;
+  }
+
+  int width_;
+  Node root_;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_LPM_TRIE_H_

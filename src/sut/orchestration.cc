@@ -1,0 +1,447 @@
+#include "sut/orchestration.h"
+
+#include <algorithm>
+
+namespace switchv::sut {
+
+using p4rt::DecodedEntry;
+
+// ---------------------------------------------------------------------------
+// SyncdBinary
+// ---------------------------------------------------------------------------
+
+StatusOr<std::uint64_t> SyncdBinary::AddAclRule(AclStage stage,
+                                                const AclRule& rule) {
+  auto handle = asic_.AddAclRule(stage, rule);
+  if (handle.ok() && stage == AclStage::kIngress &&
+      faulty(Fault::kAclResourceLeak)) {
+    // Each installation leaves invalid shadow entries behind in the TCAM
+    // (the failed first programming attempt and its retry) that cleanup
+    // never reclaims.
+    asic_.LeakIngressAclSlot();
+    asic_.LeakIngressAclSlot();
+  }
+  return handle;
+}
+
+Status SyncdBinary::RemoveAclRule(AclStage stage, std::uint64_t handle) {
+  SWITCHV_RETURN_IF_ERROR(asic_.RemoveAclRule(stage, handle));
+  if (faulty(Fault::kAclResourceLeak) && stage == AclStage::kIngress) {
+    // Cleanup does not return the TCAM slot to the free pool.
+    asic_.LeakIngressAclSlot();
+  }
+  return OkStatus();
+}
+
+Status SyncdBinary::SetMirrorSession(std::uint32_t mirror_port,
+                                     std::uint16_t session) {
+  auto it = pre_config_.find(session);
+  if (it == pre_config_.end()) {
+    return OkStatus();  // unconfigured session: cloning is a no-op
+  }
+  return asic_.SetMirrorSession(mirror_port, it->second);
+}
+
+Status SyncdBinary::RemoveMirrorSession(std::uint32_t mirror_port) {
+  // Removing a session that never reached hardware is a no-op.
+  const Status status = asic_.RemoveMirrorSession(mirror_port);
+  if (status.code() == StatusCode::kNotFound) return OkStatus();
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// OrchestrationAgent
+// ---------------------------------------------------------------------------
+
+Status OrchestrationAgent::ConfigureTables(const p4ir::P4Info& info) {
+  configured_tables_.clear();
+  table_key_names_.clear();
+  table_key_kinds_.clear();
+  for (const p4ir::TableInfo& table : info.tables()) {
+    configured_tables_.insert(table.name);
+    // ACL stages are sized from the guarantees in the pushed P4 program
+    // ("the same P4 program is used to configure the ACLs", paper §2) with
+    // a small TCAM headroom.
+    if (table.name == "acl_ingress_tbl") {
+      syncd_.asic().SetAclCapacity(AclStage::kIngress, table.size + 8);
+    } else if (table.name == "acl_pre_ingress_tbl") {
+      syncd_.asic().SetAclCapacity(AclStage::kPreIngress, table.size + 8);
+    } else if (table.name == "l3_admit_tbl") {
+      syncd_.asic().SetAclCapacity(AclStage::kL3Admit, table.size + 8);
+    }
+    std::vector<std::string> names;
+    std::vector<p4ir::MatchKind> kinds;
+    for (const p4ir::MatchFieldInfo& f : table.match_fields) {
+      names.push_back(f.name);
+      kinds.push_back(f.kind);
+    }
+    table_key_names_[table.name] = std::move(names);
+    table_key_kinds_[table.name] = std::move(kinds);
+  }
+  configured_ = true;
+  return OkStatus();
+}
+
+bool OrchestrationAgent::IsAclTable(const std::string& name) {
+  return name == "acl_ingress_tbl" || name == "acl_pre_ingress_tbl" ||
+         name == "l3_admit_tbl";
+}
+
+std::string OrchestrationAgent::EntryKey(const DecodedEntry& entry) {
+  std::string key = entry.table_name + "|";
+  for (const p4rt::DecodedMatch& m : entry.matches) {
+    key += m.present ? m.value.ToString() + "&" + m.mask.ToString() + ";"
+                     : "*;";
+  }
+  key += "p" + std::to_string(entry.priority);
+  return key;
+}
+
+namespace {
+
+// Match value by key name; zero if absent.
+struct KeyView {
+  const std::vector<std::string>& names;
+  const DecodedEntry& entry;
+
+  const p4rt::DecodedMatch* Find(std::string_view name) const {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return &entry.matches[i];
+    }
+    return nullptr;
+  }
+
+  std::uint64_t Value(std::string_view name) const {
+    const p4rt::DecodedMatch* m = Find(name);
+    return m != nullptr && m->present ? m->value.ToUint64() : 0;
+  }
+};
+
+StatusOr<AclFieldId> AclFieldByKeyName(std::string_view name) {
+  if (name == "ether_type") return AclFieldId::kEtherType;
+  if (name == "src_mac") return AclFieldId::kSrcMac;
+  if (name == "dst_mac") return AclFieldId::kDstMac;
+  if (name == "src_ip") return AclFieldId::kSrcIpv4;
+  if (name == "dst_ip") return AclFieldId::kDstIpv4;
+  if (name == "src_ipv6") return AclFieldId::kSrcIpv6;
+  if (name == "dst_ipv6") return AclFieldId::kDstIpv6;
+  if (name == "ip_protocol") return AclFieldId::kIpProtocol;
+  if (name == "ttl") return AclFieldId::kTtl;
+  if (name == "dscp") return AclFieldId::kDscp;
+  if (name == "l4_src_port") return AclFieldId::kL4SrcPort;
+  if (name == "l4_dst_port") return AclFieldId::kL4DstPort;
+  if (name == "icmp_type") return AclFieldId::kIcmpType;
+  if (name == "icmp_code") return AclFieldId::kIcmpCode;
+  if (name == "in_port") return AclFieldId::kInPort;
+  return InternalError("orchagent: unknown ACL key: " + std::string(name));
+}
+
+StatusOr<AclActionKind> AclActionByName(std::string_view name) {
+  if (name == "acl_drop") return AclActionKind::kDrop;
+  if (name == "acl_trap") return AclActionKind::kTrap;
+  if (name == "acl_copy") return AclActionKind::kCopy;
+  if (name == "acl_mirror") return AclActionKind::kMirror;
+  if (name == "set_vrf") return AclActionKind::kSetVrf;
+  if (name == "l3_admit") return AclActionKind::kAdmit;
+  return InternalError("orchagent: unknown ACL action: " + std::string(name));
+}
+
+StatusOr<RouteAction> ToRouteAction(const p4rt::DecodedAction& action) {
+  RouteAction out;
+  if (action.name == "drop_packet") {
+    out.kind = RouteAction::Kind::kDrop;
+  } else if (action.name == "set_nexthop_id") {
+    out.kind = RouteAction::Kind::kNexthop;
+    out.nexthop_id = static_cast<std::uint32_t>(action.args[0].ToUint64());
+  } else if (action.name == "set_wcmp_group_id") {
+    out.kind = RouteAction::Kind::kWcmpGroup;
+    out.group_id = static_cast<std::uint32_t>(action.args[0].ToUint64());
+  } else if (action.name == "set_tunnel") {
+    out.kind = RouteAction::Kind::kTunnelNexthop;
+    out.tunnel_id = static_cast<std::uint32_t>(action.args[0].ToUint64());
+    out.nexthop_id = static_cast<std::uint32_t>(action.args[1].ToUint64());
+  } else {
+    return InternalError("orchagent: unknown route action " + action.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<AclRule> OrchestrationAgent::ToAclRule(
+    const DecodedEntry& entry) const {
+  AclRule rule;
+  rule.priority = entry.priority;
+  const std::vector<std::string>& names =
+      table_key_names_.at(entry.table_name);
+  for (std::size_t i = 0; i < entry.matches.size(); ++i) {
+    const p4rt::DecodedMatch& m = entry.matches[i];
+    if (!m.present) continue;
+    SWITCHV_ASSIGN_OR_RETURN(AclFieldId field, AclFieldByKeyName(names[i]));
+    rule.fields.push_back(AclFieldMatch{field, m.value.value(),
+                                        m.mask.value()});
+  }
+  const p4rt::DecodedAction& action = entry.actions[0];
+  SWITCHV_ASSIGN_OR_RETURN(rule.action, AclActionByName(action.name));
+  if (!action.args.empty()) {
+    rule.arg = static_cast<std::uint32_t>(action.args[0].ToUint64());
+  }
+  return rule;
+}
+
+Status OrchestrationAgent::Insert(const std::string& table_name,
+                                  const DecodedEntry& entry) {
+  if (!configured_) {
+    return FailedPreconditionError("orchagent: no pipeline config");
+  }
+  if (!configured_tables_.contains(table_name)) {
+    return InternalError("orchagent: unknown table key: " + table_name);
+  }
+  return InsertImpl(entry);
+}
+
+Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
+  AsicSimulator& asic = syncd_.asic();
+  const std::string& table = entry.table_name;
+  const KeyView keys{table_key_names_.at(table), entry};
+
+  if (table == "vrf_tbl") {
+    return asic.CreateVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
+  }
+  if (table == "ipv4_tbl" || table == "ipv6_tbl") {
+    SWITCHV_ASSIGN_OR_RETURN(RouteAction action,
+                             ToRouteAction(entry.actions[0]));
+    const auto vrf = static_cast<std::uint32_t>(keys.Value("vrf_id"));
+    if (table == "ipv4_tbl") {
+      const p4rt::DecodedMatch* dst = keys.Find("ipv4_dst");
+      return asic.AddIpv4Route(
+          vrf, static_cast<std::uint32_t>(dst->value.ToUint64()),
+          dst->present ? dst->prefix_len : 0, action);
+    }
+    const p4rt::DecodedMatch* dst = keys.Find("ipv6_dst");
+    return asic.AddIpv6Route(vrf, dst->value.value(),
+                             dst->present ? dst->prefix_len : 0, action);
+  }
+  if (table == "wcmp_group_tbl") {
+    std::vector<WcmpMember> members;
+    for (const p4rt::DecodedAction& a : entry.actions) {
+      members.push_back(WcmpMember{
+          static_cast<std::uint32_t>(a.args[0].ToUint64()), a.weight});
+    }
+    if (faulty(Fault::kWcmpRejectsDuplicateActions)) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (members[i].nexthop_id == members[j].nexthop_id &&
+              entry.actions[i].weight >= 0) {
+            return InvalidArgumentError(
+                "orchagent: duplicate WCMP bucket action");
+          }
+        }
+      }
+    }
+    const int member_count = static_cast<int>(members.size());
+    if (wcmp_members_in_use_ + member_count > kWcmpMemberPool) {
+      return ResourceExhaustedError("orchagent: WCMP member pool exhausted");
+    }
+    const auto group_id = static_cast<std::uint32_t>(
+        keys.Value("wcmp_group_id"));
+    SWITCHV_RETURN_IF_ERROR(asic.SetWcmpGroup(group_id, std::move(members)));
+    wcmp_members_in_use_ += member_count;
+    wcmp_member_counts_[EntryKey(entry)] = member_count;
+    return OkStatus();
+  }
+  if (table == "nexthop_tbl") {
+    return asic.SetNexthop(
+        static_cast<std::uint32_t>(keys.Value("nexthop_id")),
+        static_cast<std::uint32_t>(entry.actions[0].args[0].ToUint64()),
+        static_cast<std::uint32_t>(entry.actions[0].args[1].ToUint64()));
+  }
+  if (table == "neighbor_tbl") {
+    return asic.SetNeighbor(
+        static_cast<std::uint32_t>(keys.Value("router_interface_id")),
+        static_cast<std::uint32_t>(keys.Value("neighbor_id")),
+        entry.actions[0].args[0].ToUint64());
+  }
+  if (table == "router_interface_tbl") {
+    return asic.SetRif(
+        static_cast<std::uint32_t>(keys.Value("router_interface_id")),
+        static_cast<std::uint16_t>(entry.actions[0].args[0].ToUint64()),
+        entry.actions[0].args[1].ToUint64());
+  }
+  if (table == "mirror_session_tbl") {
+    if (faulty(Fault::kMirrorSessionIgnored)) {
+      return OkStatus();  // acknowledged, never programmed
+    }
+    return syncd_.SetMirrorSession(
+        static_cast<std::uint32_t>(keys.Value("mirror_port")),
+        static_cast<std::uint16_t>(entry.actions[0].args[0].ToUint64()));
+  }
+  if (table == "egress_rif_tbl") {
+    return asic.SetEgressRif(
+        static_cast<std::uint16_t>(keys.Value("out_port")),
+        entry.actions[0].args[0].ToUint64());
+  }
+  if (table == "decap_tbl") {
+    return asic.AddDecapEndpoint(
+        static_cast<std::uint32_t>(keys.Value("dst_ip")));
+  }
+  if (table == "tunnel_encap_tbl") {
+    return asic.SetTunnel(
+        static_cast<std::uint32_t>(keys.Value("tunnel_id")),
+        static_cast<std::uint32_t>(entry.actions[0].args[0].ToUint64()),
+        static_cast<std::uint32_t>(entry.actions[0].args[1].ToUint64()));
+  }
+  if (IsAclTable(table)) {
+    SWITCHV_ASSIGN_OR_RETURN(AclRule rule, ToAclRule(entry));
+    AclStage stage = AclStage::kIngress;
+    if (table == "acl_pre_ingress_tbl") stage = AclStage::kPreIngress;
+    if (table == "l3_admit_tbl") stage = AclStage::kL3Admit;
+    SWITCHV_ASSIGN_OR_RETURN(std::uint64_t handle,
+                             syncd_.AddAclRule(stage, rule));
+    acl_handles_[EntryKey(entry)] = handle;
+    return OkStatus();
+  }
+  return InternalError("orchagent: no SAI translation for table " + table);
+}
+
+Status OrchestrationAgent::Delete(const std::string& table_name,
+                                  const DecodedEntry& entry) {
+  if (!configured_) {
+    return FailedPreconditionError("orchagent: no pipeline config");
+  }
+  if (!configured_tables_.contains(table_name)) {
+    return InternalError("orchagent: unknown table key: " + table_name);
+  }
+  return DeleteImpl(entry);
+}
+
+Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
+  AsicSimulator& asic = syncd_.asic();
+  const std::string& table = entry.table_name;
+  const KeyView keys{table_key_names_.at(table), entry};
+
+  if (table == "vrf_tbl") {
+    return asic.RemoveVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
+  }
+  if (table == "ipv4_tbl") {
+    const p4rt::DecodedMatch* dst = keys.Find("ipv4_dst");
+    return asic.RemoveIpv4Route(
+        static_cast<std::uint32_t>(keys.Value("vrf_id")),
+        static_cast<std::uint32_t>(dst->value.ToUint64()),
+        dst->present ? dst->prefix_len : 0);
+  }
+  if (table == "ipv6_tbl") {
+    const p4rt::DecodedMatch* dst = keys.Find("ipv6_dst");
+    return asic.RemoveIpv6Route(
+        static_cast<std::uint32_t>(keys.Value("vrf_id")), dst->value.value(),
+        dst->present ? dst->prefix_len : 0);
+  }
+  if (table == "wcmp_group_tbl") {
+    if (faulty(Fault::kWcmpPartialCleanup)) {
+      // The cleanup path forgets to destroy the hardware group object:
+      // its members leak, and re-creating a group with the same id later
+      // fails with SAI_STATUS_ITEM_ALREADY_EXISTS.
+      wcmp_member_counts_.erase(EntryKey(entry));
+      return OkStatus();
+    }
+    SWITCHV_RETURN_IF_ERROR(asic.RemoveWcmpGroup(
+        static_cast<std::uint32_t>(keys.Value("wcmp_group_id"))));
+    auto it = wcmp_member_counts_.find(EntryKey(entry));
+    if (it != wcmp_member_counts_.end()) {
+      wcmp_members_in_use_ =
+          std::max(0, wcmp_members_in_use_ - it->second);
+      wcmp_member_counts_.erase(it);
+    }
+    return OkStatus();
+  }
+  if (table == "nexthop_tbl") {
+    return asic.RemoveNexthop(
+        static_cast<std::uint32_t>(keys.Value("nexthop_id")));
+  }
+  if (table == "neighbor_tbl") {
+    return asic.RemoveNeighbor(
+        static_cast<std::uint32_t>(keys.Value("router_interface_id")),
+        static_cast<std::uint32_t>(keys.Value("neighbor_id")));
+  }
+  if (table == "router_interface_tbl") {
+    return asic.RemoveRif(
+        static_cast<std::uint32_t>(keys.Value("router_interface_id")));
+  }
+  if (table == "mirror_session_tbl") {
+    if (faulty(Fault::kMirrorSessionIgnored)) return OkStatus();
+    return syncd_.RemoveMirrorSession(
+        static_cast<std::uint32_t>(keys.Value("mirror_port")));
+  }
+  if (table == "egress_rif_tbl") {
+    return asic.RemoveEgressRif(
+        static_cast<std::uint16_t>(keys.Value("out_port")));
+  }
+  if (table == "decap_tbl") {
+    return asic.RemoveDecapEndpoint(
+        static_cast<std::uint32_t>(keys.Value("dst_ip")));
+  }
+  if (table == "tunnel_encap_tbl") {
+    return asic.RemoveTunnel(
+        static_cast<std::uint32_t>(keys.Value("tunnel_id")));
+  }
+  if (IsAclTable(table)) {
+    auto it = acl_handles_.find(EntryKey(entry));
+    if (it == acl_handles_.end()) {
+      return NotFoundError("orchagent: no such ACL rule");
+    }
+    AclStage stage = AclStage::kIngress;
+    if (table == "acl_pre_ingress_tbl") stage = AclStage::kPreIngress;
+    if (table == "l3_admit_tbl") stage = AclStage::kL3Admit;
+    SWITCHV_RETURN_IF_ERROR(syncd_.RemoveAclRule(stage, it->second));
+    acl_handles_.erase(it);
+    return OkStatus();
+  }
+  return InternalError("orchagent: no SAI translation for table " + table);
+}
+
+Status OrchestrationAgent::Modify(const std::string& table_name,
+                                  const DecodedEntry& old_entry,
+                                  const DecodedEntry& new_entry) {
+  if (!configured_) {
+    return FailedPreconditionError("orchagent: no pipeline config");
+  }
+  if (!configured_tables_.contains(table_name)) {
+    return InternalError("orchagent: unknown table key: " + table_name);
+  }
+  if (table_name == "wcmp_group_tbl" &&
+      faulty(Fault::kWcmpUpdateRemovesMembers)) {
+    // Diff-based updater with inverted logic: only *changed* members are
+    // programmed; unchanged members are removed from the group.
+    std::vector<WcmpMember> changed;
+    for (const p4rt::DecodedAction& a : new_entry.actions) {
+      bool unchanged = false;
+      for (const p4rt::DecodedAction& old : old_entry.actions) {
+        if (old.name == a.name && old.weight == a.weight &&
+            old.args.size() == a.args.size()) {
+          bool same_args = true;
+          for (std::size_t i = 0; i < a.args.size(); ++i) {
+            if (!(old.args[i] == a.args[i])) same_args = false;
+          }
+          if (same_args) unchanged = true;
+        }
+      }
+      if (!unchanged) {
+        changed.push_back(WcmpMember{
+            static_cast<std::uint32_t>(a.args[0].ToUint64()), a.weight});
+      }
+    }
+    const KeyView keys{table_key_names_.at(table_name), new_entry};
+    const auto group_id =
+        static_cast<std::uint32_t>(keys.Value("wcmp_group_id"));
+    SWITCHV_RETURN_IF_ERROR(syncd_.asic().RemoveWcmpGroup(group_id));
+    if (changed.empty()) {
+      return OkStatus();
+    }
+    return syncd_.asic().SetWcmpGroup(group_id, std::move(changed));
+  }
+  // The general path implements MODIFY as delete + insert.
+  SWITCHV_RETURN_IF_ERROR(DeleteImpl(old_entry));
+  return InsertImpl(new_entry);
+}
+
+}  // namespace switchv::sut

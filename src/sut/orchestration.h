@@ -1,0 +1,116 @@
+// The middle layers of the PINS-like stack (see paper Figure 4):
+//
+//  * SyncdBinary — builds on the SAI abstraction to provide a vendor- and
+//    hardware-agnostic interface to the ASIC. Thin, but real enough to host
+//    its catalog bugs (ACL slot leaks on cleanup, mirror-session
+//    translation via the packet replication engine config).
+//  * OrchestrationAgent — synchronizes the application-layer state (table
+//    entries) and applies it to the hardware via SyncD, translating each
+//    P4Runtime table into the SAI object it models (routes, nexthops,
+//    neighbors, RIFs, WCMP groups, ACL rules, tunnels, mirror sessions).
+//    Hosts the WCMP lifecycle bugs.
+#ifndef SWITCHV_SUT_ORCHESTRATION_H_
+#define SWITCHV_SUT_ORCHESTRATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bmv2/interpreter.h"  // CloneSessionMap
+#include "p4ir/p4info.h"
+#include "p4runtime/decoded_entry.h"
+#include "sut/asic.h"
+#include "sut/fault.h"
+
+namespace switchv::sut {
+
+class SyncdBinary {
+ public:
+  // `asic` and `faults` must outlive this object. `pre_config` is the
+  // packet-replication-engine configuration (clone session -> port).
+  SyncdBinary(AsicSimulator& asic, bmv2::CloneSessionMap pre_config,
+              const FaultRegistry* faults)
+      : asic_(asic), pre_config_(std::move(pre_config)), faults_(faults) {}
+
+  AsicSimulator& asic() { return asic_; }
+
+  StatusOr<std::uint64_t> AddAclRule(AclStage stage, const AclRule& rule);
+  Status RemoveAclRule(AclStage stage, std::uint64_t handle);
+
+  // Translates the logical mirror session (mirror port -> clone session id)
+  // into the hardware mapping (mirror port -> destination port) using the
+  // replication engine config. Unknown sessions program nothing (matching
+  // the model: a clone to an unconfigured session is a no-op).
+  Status SetMirrorSession(std::uint32_t mirror_port, std::uint16_t session);
+  Status RemoveMirrorSession(std::uint32_t mirror_port);
+
+ private:
+  bool faulty(Fault f) const {
+    return faults_ != nullptr && faults_->active(f);
+  }
+
+  AsicSimulator& asic_;
+  bmv2::CloneSessionMap pre_config_;
+  const FaultRegistry* faults_;
+};
+
+class OrchestrationAgent {
+ public:
+  OrchestrationAgent(SyncdBinary& syncd, const FaultRegistry* faults)
+      : syncd_(syncd), faults_(faults) {}
+
+  // Applies the pipeline config: records the translatable tables. Entries
+  // for unconfigured tables are rejected (this is where the server's
+  // name-mangling bugs surface).
+  Status ConfigureTables(const p4ir::P4Info& info);
+  bool configured() const { return configured_; }
+  bool IsConfiguredTable(const std::string& name) const {
+    return configured_tables_.contains(name);
+  }
+
+  // Entry lifecycle. `table_name` may differ from entry.table_name when the
+  // P4Runtime server mangles it (fault injection).
+  Status Insert(const std::string& table_name,
+                const p4rt::DecodedEntry& entry);
+  Status Modify(const std::string& table_name,
+                const p4rt::DecodedEntry& old_entry,
+                const p4rt::DecodedEntry& new_entry);
+  Status Delete(const std::string& table_name,
+                const p4rt::DecodedEntry& entry);
+
+ private:
+  bool faulty(Fault f) const {
+    return faults_ != nullptr && faults_->active(f);
+  }
+
+  Status InsertImpl(const p4rt::DecodedEntry& entry);
+  Status DeleteImpl(const p4rt::DecodedEntry& entry);
+
+  // ACL translation helpers.
+  StatusOr<AclRule> ToAclRule(const p4rt::DecodedEntry& entry) const;
+  static bool IsAclTable(const std::string& name);
+
+  // Identity of an entry within OA's handle maps.
+  static std::string EntryKey(const p4rt::DecodedEntry& entry);
+
+  SyncdBinary& syncd_;
+  const FaultRegistry* faults_;
+  bool configured_ = false;
+  std::set<std::string> configured_tables_;
+  // Key layout per table: match-field names in P4Info order.
+  std::map<std::string, std::vector<std::string>> table_key_names_;
+  std::map<std::string, std::vector<p4ir::MatchKind>> table_key_kinds_;
+  // ACL rule handles by entry identity.
+  std::map<std::string, std::uint64_t> acl_handles_;
+  // WCMP member accounting: the shared hardware member pool is sized to
+  // back the table's guarantee (guaranteed groups x max group size), so a
+  // correct stack can never exhaust it within the guarantee.
+  int wcmp_members_in_use_ = 0;
+  static constexpr int kWcmpMemberPool = 2048;
+  std::map<std::string, int> wcmp_member_counts_;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_ORCHESTRATION_H_

@@ -1,0 +1,338 @@
+#include "sut/p4rt_server.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "p4runtime/decoded_entry.h"
+#include "p4runtime/validator.h"
+
+namespace switchv::sut {
+
+using p4rt::TableEntry;
+
+Status P4RuntimeServer::SetForwardingPipelineConfig(
+    const p4rt::ForwardingPipelineConfig& config) {
+  if (faulty(Fault::kP4InfoZeroByteIds)) {
+    // The toolchain-produced IDs (0x02000001, ...) contain embedded zero
+    // bytes, which the broken ID codec rejects.
+    return InternalError(
+        "failed to parse P4Info: unexpected zero byte in object id");
+  }
+  p4info_ = config.p4info;
+  store_.clear();
+  providers_.clear();
+  references_.clear();
+  if (faulty(Fault::kP4InfoPushFailureSwallowed)) {
+    // The orchestration agent push fails internally, but the error is not
+    // propagated: the controller sees success while the switch has no
+    // usable table configuration.
+    return OkStatus();
+  }
+  return agent_.ConfigureTables(*p4info_);
+}
+
+std::string P4RuntimeServer::AgentTableName(
+    const p4ir::TableInfo& table) const {
+  std::string name = table.name;
+  const bool is_acl = name.starts_with("acl_") || name == "l3_admit_tbl";
+  if (is_acl && faulty(Fault::kAclTableNameWrongCase)) {
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+  }
+  return name;
+}
+
+std::vector<P4RuntimeServer::RefKey> P4RuntimeServer::ReferencesOf(
+    const TableEntry& entry) const {
+  std::vector<RefKey> refs;
+  const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+  if (table == nullptr) return refs;
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+    if (field == nullptr || !field->refers_to.has_value()) continue;
+    refs.emplace_back(field->refers_to->table, field->refers_to->key,
+                      m.value);
+  }
+  auto collect_action = [&](const p4rt::ActionInvocation& action) {
+    for (const p4ir::TableParamReference& r : table->param_references) {
+      if (r.action_id != action.action_id) continue;
+      if (faulty(Fault::kNeighborDanglingAccepted) &&
+          r.target.table == "neighbor_tbl") {
+        continue;  // the reference check for neighbors is skipped
+      }
+      for (const p4rt::ActionInvocation::Param& p : action.params) {
+        if (p.param_id == r.param_id) {
+          refs.emplace_back(r.target.table, r.target.key, p.value);
+        }
+      }
+    }
+  };
+  if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+    collect_action(entry.action.direct);
+  } else {
+    for (const p4rt::WeightedAction& wa : entry.action.action_set) {
+      collect_action(wa.action);
+    }
+  }
+  return refs;
+}
+
+std::vector<P4RuntimeServer::RefKey> P4RuntimeServer::ProvidedBy(
+    const TableEntry& entry) const {
+  std::vector<RefKey> provided;
+  const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+  if (table == nullptr) return provided;
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+    if (field == nullptr) continue;
+    provided.emplace_back(table->name, field->name, m.value);
+  }
+  return provided;
+}
+
+Status P4RuntimeServer::CheckReferencesExist(const TableEntry& entry) const {
+  for (const RefKey& ref : ReferencesOf(entry)) {
+    auto it = providers_.find(ref);
+    if (it == providers_.end() || it->second <= 0) {
+      return InvalidArgumentError(
+          "entry references a non-existent " + std::get<0>(ref) + "." +
+          std::get<1>(ref) + " (dangling @refers_to)");
+    }
+  }
+  return OkStatus();
+}
+
+Status P4RuntimeServer::CheckNotReferenced(const TableEntry& entry) const {
+  for (const RefKey& provided : ProvidedBy(entry)) {
+    auto refs = references_.find(provided);
+    if (refs == references_.end() || refs->second <= 0) continue;
+    auto providers = providers_.find(provided);
+    const int provider_count =
+        providers == providers_.end() ? 0 : providers->second;
+    if (provider_count <= 1) {
+      return FailedPreconditionError("entry is still referenced (" +
+                                     std::get<0>(provided) + "." +
+                                     std::get<1>(provided) + " in use)");
+    }
+  }
+  return OkStatus();
+}
+
+void P4RuntimeServer::IndexEntry(const TableEntry& entry, int delta) {
+  for (const RefKey& provided : ProvidedBy(entry)) {
+    providers_[provided] += delta;
+  }
+  for (const RefKey& ref : ReferencesOf(entry)) {
+    references_[ref] += delta;
+  }
+}
+
+Status P4RuntimeServer::ApplyInsert(const TableEntry& entry) {
+  SWITCHV_RETURN_IF_ERROR(p4rt::ValidateEntrySyntax(*p4info_, entry));
+  if (!faulty(Fault::kConstraintCheckSkipped)) {
+    SWITCHV_ASSIGN_OR_RETURN(bool compliant,
+                             p4rt::IsConstraintCompliant(*p4info_, entry));
+    if (!compliant) {
+      const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+      return InvalidArgumentError("entry violates constraint of table " +
+                                  table->name);
+    }
+  }
+  const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+  const std::string fingerprint = entry.KeyFingerprint();
+  if (store_.contains(fingerprint)) {
+    if (faulty(Fault::kDuplicateEntryWrongCode)) {
+      return InternalError("SWSS_RC_UNKNOWN: unexpected state");
+    }
+    return AlreadyExistsError("entry already exists in " + table->name);
+  }
+  SWITCHV_RETURN_IF_ERROR(CheckReferencesExist(entry));
+  if (EntryCount(entry.table_id) >= table->size) {
+    // Beyond the guaranteed size the switch is allowed to accept or
+    // reject; this implementation rejects deterministically.
+    return ResourceExhaustedError("table " + table->name +
+                                  " is at capacity");
+  }
+  if (faulty(Fault::kCerberusRejectsMaxLenPrefix)) {
+    for (const p4rt::FieldMatch& m : entry.matches) {
+      const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+      if (field != nullptr && field->kind == p4ir::MatchKind::kLpm &&
+          m.prefix_len == field->width) {
+        return InvalidArgumentError("host routes are not supported");
+      }
+    }
+  }
+  if (faulty(Fault::kAclKeySpaceCharRejected) &&
+      (table->name.starts_with("acl_") || table->name == "l3_admit_tbl")) {
+    // The server serializes ACL keys with embedded spaces; the
+    // orchestration agent's key-value API rejects them.
+    return InternalError("orchagent: invalid key: space character");
+  }
+  SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry decoded,
+                           p4rt::DecodeEntry(*p4info_, entry));
+  SWITCHV_RETURN_IF_ERROR(agent_.Insert(AgentTableName(*table), decoded));
+  store_[fingerprint] = StoredEntry{entry, next_sequence_++};
+  IndexEntry(entry, +1);
+  return OkStatus();
+}
+
+Status P4RuntimeServer::ApplyModify(const TableEntry& entry) {
+  SWITCHV_RETURN_IF_ERROR(p4rt::ValidateEntrySyntax(*p4info_, entry));
+  if (!faulty(Fault::kConstraintCheckSkipped)) {
+    SWITCHV_ASSIGN_OR_RETURN(bool compliant,
+                             p4rt::IsConstraintCompliant(*p4info_, entry));
+    if (!compliant) {
+      return InvalidArgumentError("modified entry violates constraint");
+    }
+  }
+  const std::string fingerprint = entry.KeyFingerprint();
+  auto it = store_.find(fingerprint);
+  if (it == store_.end()) {
+    return NotFoundError("cannot modify non-existent entry");
+  }
+  if (faulty(Fault::kModifyKeepsOldActionParams)) {
+    // The update is acknowledged but the stored and programmed action
+    // parameters remain the old ones.
+    return OkStatus();
+  }
+  SWITCHV_RETURN_IF_ERROR(CheckReferencesExist(entry));
+  const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+  SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry old_decoded,
+                           p4rt::DecodeEntry(*p4info_, it->second.entry));
+  SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry new_decoded,
+                           p4rt::DecodeEntry(*p4info_, entry));
+  SWITCHV_RETURN_IF_ERROR(
+      agent_.Modify(AgentTableName(*table), old_decoded, new_decoded));
+  IndexEntry(it->second.entry, -1);
+  IndexEntry(entry, +1);
+  it->second.entry = entry;
+  return OkStatus();
+}
+
+Status P4RuntimeServer::ApplyDelete(const TableEntry& entry) {
+  const std::string fingerprint = entry.KeyFingerprint();
+  auto it = store_.find(fingerprint);
+  if (it == store_.end()) {
+    return NotFoundError("cannot delete non-existent entry");
+  }
+  SWITCHV_RETURN_IF_ERROR(CheckNotReferenced(it->second.entry));
+  const p4ir::TableInfo* table =
+      p4info_->FindTable(it->second.entry.table_id);
+  SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry decoded,
+                           p4rt::DecodeEntry(*p4info_, it->second.entry));
+  SWITCHV_RETURN_IF_ERROR(agent_.Delete(AgentTableName(*table), decoded));
+  IndexEntry(it->second.entry, -1);
+  store_.erase(it);
+  return OkStatus();
+}
+
+p4rt::WriteResponse P4RuntimeServer::Write(const p4rt::WriteRequest& request) {
+  p4rt::WriteResponse response;
+  response.statuses.resize(request.updates.size());
+  if (!p4info_.has_value()) {
+    std::fill(response.statuses.begin(), response.statuses.end(),
+              FailedPreconditionError("no forwarding pipeline config"));
+    return response;
+  }
+  if (faulty(Fault::kDeleteNonExistingFailsBatch)) {
+    for (const p4rt::Update& update : request.updates) {
+      if (update.type == p4rt::UpdateType::kDelete &&
+          !store_.contains(update.entry.KeyFingerprint())) {
+        std::fill(response.statuses.begin(), response.statuses.end(),
+                  AbortedError("batch aborted: delete of missing entry"));
+        return response;
+      }
+    }
+  }
+  int ipv4_deletes_in_batch = 0;
+  for (std::size_t i = 0; i < request.updates.size(); ++i) {
+    const p4rt::Update& update = request.updates[i];
+    switch (update.type) {
+      case p4rt::UpdateType::kInsert:
+        response.statuses[i] = ApplyInsert(update.entry);
+        break;
+      case p4rt::UpdateType::kModify:
+        response.statuses[i] = ApplyModify(update.entry);
+        break;
+      case p4rt::UpdateType::kDelete: {
+        const p4ir::TableInfo* table =
+            p4info_->FindTable(update.entry.table_id);
+        const bool is_ipv4_delete =
+            table != nullptr && table->name == "ipv4_tbl";
+        if (is_ipv4_delete) ++ipv4_deletes_in_batch;
+        if (faulty(Fault::kBatchDeleteInconsistentState) && is_ipv4_delete &&
+            ipv4_deletes_in_batch >= 2 &&
+            store_.contains(update.entry.KeyFingerprint())) {
+          // The hardware entry is removed but the server's internal state
+          // keeps the entry: subsequent reads disagree with reality.
+          auto it = store_.find(update.entry.KeyFingerprint());
+          auto decoded = p4rt::DecodeEntry(*p4info_, it->second.entry);
+          if (decoded.ok()) {
+            (void)agent_.Delete(AgentTableName(*table), *decoded);
+          }
+          response.statuses[i] = OkStatus();
+          break;
+        }
+        response.statuses[i] = ApplyDelete(update.entry);
+        break;
+      }
+    }
+  }
+  return response;
+}
+
+StatusOr<p4rt::ReadResponse> P4RuntimeServer::Read(
+    const p4rt::ReadRequest& request) const {
+  if (!p4info_.has_value()) {
+    return FailedPreconditionError("no forwarding pipeline config");
+  }
+  std::vector<const StoredEntry*> stored;
+  for (const auto& [fingerprint, entry] : store_) {
+    if (request.table_id != 0 && entry.entry.table_id != request.table_id) {
+      continue;
+    }
+    stored.push_back(&entry);
+  }
+  std::sort(stored.begin(), stored.end(),
+            [](const StoredEntry* a, const StoredEntry* b) {
+              return a->sequence < b->sequence;
+            });
+  p4rt::ReadResponse response;
+  for (const StoredEntry* s : stored) {
+    p4rt::TableEntry entry = s->entry;
+    if (faulty(Fault::kReadTernaryUnsupported)) {
+      const p4ir::TableInfo* table = p4info_->FindTable(entry.table_id);
+      std::erase_if(entry.matches, [&](const p4rt::FieldMatch& m) {
+        const p4ir::MatchFieldInfo* field =
+            table == nullptr ? nullptr : table->FindMatchField(m.field_id);
+        return field != nullptr && field->kind == p4ir::MatchKind::kTernary;
+      });
+    }
+    response.entries.push_back(std::move(entry));
+  }
+  return response;
+}
+
+std::vector<TableEntry> P4RuntimeServer::InstalledEntries() const {
+  std::vector<const StoredEntry*> stored;
+  stored.reserve(store_.size());
+  for (const auto& [fingerprint, entry] : store_) stored.push_back(&entry);
+  std::sort(stored.begin(), stored.end(),
+            [](const StoredEntry* a, const StoredEntry* b) {
+              return a->sequence < b->sequence;
+            });
+  std::vector<TableEntry> entries;
+  entries.reserve(stored.size());
+  for (const StoredEntry* s : stored) entries.push_back(s->entry);
+  return entries;
+}
+
+int P4RuntimeServer::EntryCount(std::uint32_t table_id) const {
+  int count = 0;
+  for (const auto& [fingerprint, entry] : store_) {
+    if (entry.entry.table_id == table_id) ++count;
+  }
+  return count;
+}
+
+}  // namespace switchv::sut

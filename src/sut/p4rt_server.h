@@ -1,0 +1,93 @@
+// The P4Runtime server of the switch under test (application layer).
+//
+// Receives control-plane requests, validates them against the pushed
+// P4Info — syntax, @entry_restriction constraints, and @refers_to
+// referential integrity (insertions may only reference installed entries;
+// installed entries may not be deleted while referenced, matching SAI's
+// object-in-use semantics) — and applies them to the hardware through the
+// orchestration agent. Maintains the application-level entry store served
+// by reads.
+//
+// Hosts the largest share of catalog faults, mirroring the paper's Table 1
+// where the (new, under-development) P4Runtime server accounts for the
+// plurality of bugs.
+#ifndef SWITCHV_SUT_P4RT_SERVER_H_
+#define SWITCHV_SUT_P4RT_SERVER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4runtime/messages.h"
+#include "sut/orchestration.h"
+
+namespace switchv::sut {
+
+class P4RuntimeServer {
+ public:
+  P4RuntimeServer(OrchestrationAgent& agent, const FaultRegistry* faults)
+      : agent_(agent), faults_(faults) {}
+
+  // Pushes the pipeline config (P4Info). Configures the orchestration
+  // agent's table translations.
+  Status SetForwardingPipelineConfig(const p4rt::ForwardingPipelineConfig&
+                                         config);
+
+  bool has_config() const { return p4info_.has_value(); }
+  const p4ir::P4Info& p4info() const { return *p4info_; }
+
+  // Processes a batch write; returns one status per update. The batch is
+  // applied in request order (an admissible order per the P4Runtime spec).
+  p4rt::WriteResponse Write(const p4rt::WriteRequest& request);
+
+  // Reads back installed entries (all tables, or one).
+  StatusOr<p4rt::ReadResponse> Read(const p4rt::ReadRequest& request) const;
+
+  // The installed entries in insertion order (used to configure the
+  // reference simulator with the switch's current state).
+  std::vector<p4rt::TableEntry> InstalledEntries() const;
+
+  int EntryCount(std::uint32_t table_id) const;
+
+ private:
+  bool faulty(Fault f) const {
+    return faults_ != nullptr && faults_->active(f);
+  }
+
+  Status ApplyInsert(const p4rt::TableEntry& entry);
+  Status ApplyModify(const p4rt::TableEntry& entry);
+  Status ApplyDelete(const p4rt::TableEntry& entry);
+
+  // Reference bookkeeping. A key (table, key_name, value) is "provided" by
+  // installed entries and "referenced" by entries whose @refers_to points
+  // at it.
+  using RefKey = std::tuple<std::string, std::string, std::string>;
+  std::vector<RefKey> ReferencesOf(const p4rt::TableEntry& entry) const;
+  std::vector<RefKey> ProvidedBy(const p4rt::TableEntry& entry) const;
+  Status CheckReferencesExist(const p4rt::TableEntry& entry) const;
+  Status CheckNotReferenced(const p4rt::TableEntry& entry) const;
+  void IndexEntry(const p4rt::TableEntry& entry, int delta);
+
+  // The table name handed to the orchestration agent (fault-mangled for
+  // ACL tables under the name-case bug).
+  std::string AgentTableName(const p4ir::TableInfo& table) const;
+
+  OrchestrationAgent& agent_;
+  const FaultRegistry* faults_;
+  std::optional<p4ir::P4Info> p4info_;
+
+  struct StoredEntry {
+    p4rt::TableEntry entry;
+    std::uint64_t sequence = 0;
+  };
+  // Keyed by entry identity fingerprint.
+  std::map<std::string, StoredEntry> store_;
+  std::uint64_t next_sequence_ = 0;
+  std::map<RefKey, int> providers_;
+  std::map<RefKey, int> references_;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_P4RT_SERVER_H_

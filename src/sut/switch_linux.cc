@@ -1,0 +1,53 @@
+#include "sut/switch_linux.h"
+
+namespace switchv::sut {
+
+namespace {
+
+// A minimal LLDP frame: ethertype 0x88CC toward the LLDP multicast MAC.
+std::string LldpFrame() {
+  std::string frame;
+  const char dst[] = "\x01\x80\xC2\x00\x00\x0E";
+  const char src[] = "\x02\x11\x22\x33\x44\x55";
+  frame.append(dst, 6);
+  frame.append(src, 6);
+  frame.append("\x88\xCC", 2);
+  frame.append("\x02\x07\x04\x02\x11\x22\x33\x44\x55", 9);  // chassis TLV
+  return frame;
+}
+
+// A minimal IPv6 router solicitation (ICMPv6 type 133) frame.
+std::string RouterSolicitationFrame() {
+  std::string frame;
+  frame.append("\x33\x33\x00\x00\x00\x02", 6);  // all-routers multicast
+  frame.append("\x02\x11\x22\x33\x44\x55", 6);
+  frame.append("\x86\xDD", 2);  // IPv6
+  // IPv6 header: version 6, next header 58 (ICMPv6), hop limit 255.
+  std::string v6(40, '\0');
+  v6[0] = '\x60';
+  v6[4] = 0;
+  v6[5] = 8;  // payload length 8
+  v6[6] = '\x3A';
+  v6[7] = '\xFF';
+  frame += v6;
+  frame.append("\x85\x00\x00\x00\x00\x00\x00\x00", 8);  // RS
+  return frame;
+}
+
+}  // namespace
+
+std::vector<p4rt::PacketIn> SwitchLinux::Tick() {
+  ++tick_;
+  std::vector<p4rt::PacketIn> injected;
+  if (faults_ == nullptr) return injected;
+  if (faults_->active(Fault::kLldpDaemonPunts)) {
+    injected.push_back(p4rt::PacketIn{LldpFrame(), /*ingress_port=*/1});
+  }
+  if (faults_->active(Fault::kIpv6RouterSolicitation) && tick_ % 2 == 0) {
+    injected.push_back(
+        p4rt::PacketIn{RouterSolicitationFrame(), /*ingress_port=*/0});
+  }
+  return injected;
+}
+
+}  // namespace switchv::sut

@@ -1,0 +1,38 @@
+// The "Switch Linux" layer: the OS under the switch stack, with its
+// daemons. Healthy, it is invisible; its catalog faults make daemons
+// interfere with the SDN dataplane — a traditional LLDP agent punting
+// packets to the controller, spontaneous IPv6 router solicitations, and a
+// port-sync daemon whose restart breaks packet IO (paper §6.1, Appendix A).
+#ifndef SWITCHV_SUT_SWITCH_LINUX_H_
+#define SWITCHV_SUT_SWITCH_LINUX_H_
+
+#include <string>
+#include <vector>
+
+#include "p4runtime/messages.h"
+#include "sut/fault.h"
+
+namespace switchv::sut {
+
+class SwitchLinux {
+ public:
+  explicit SwitchLinux(const FaultRegistry* faults) : faults_(faults) {}
+
+  // One scheduling quantum of daemon activity: returns packets the daemons
+  // injected toward the controller (empty when healthy).
+  std::vector<p4rt::PacketIn> Tick();
+
+  // False while the port-sync daemon is mid-restart: all packet IO is down.
+  bool packet_io_healthy() const {
+    return faults_ == nullptr ||
+           !faults_->active(Fault::kPortSyncDaemonRestart);
+  }
+
+ private:
+  const FaultRegistry* faults_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_SWITCH_LINUX_H_

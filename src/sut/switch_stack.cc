@@ -1,0 +1,105 @@
+#include "sut/switch_stack.h"
+
+namespace switchv::sut {
+
+SwitchUnderTest::SwitchUnderTest(const FaultRegistry* faults,
+                                 bmv2::CloneSessionMap clone_sessions,
+                                 std::uint16_t cpu_port)
+    : faults_(faults), cpu_port_(cpu_port) {
+  asic_ = std::make_unique<AsicSimulator>(faults);
+  syncd_ = std::make_unique<SyncdBinary>(*asic_, std::move(clone_sessions),
+                                         faults);
+  agent_ = std::make_unique<OrchestrationAgent>(*syncd_, faults);
+  server_ = std::make_unique<P4RuntimeServer>(*agent_, faults);
+  gnmi_ = std::make_unique<GnmiServer>(faults);
+  switch_linux_ = std::make_unique<SwitchLinux>(faults);
+}
+
+Status SwitchUnderTest::ApplyStandardBringUpConfig(int num_ports) {
+  SWITCHV_RETURN_IF_ERROR(
+      gnmi_->Set("/system/config/hostname", "switchv-dut"));
+  for (int port = 1; port <= num_ports; ++port) {
+    SWITCHV_RETURN_IF_ERROR(
+        gnmi_->Set("/interfaces/interface[name=Ethernet" +
+                       std::to_string(port) + "]/ethernet/config/port-speed",
+                   "SPEED_100GB"));
+  }
+  return OkStatus();
+}
+
+Status SwitchUnderTest::SetForwardingPipelineConfig(
+    const p4ir::P4Info& p4info) {
+  return server_->SetForwardingPipelineConfig(
+      p4rt::ForwardingPipelineConfig{p4info, /*cookie=*/0});
+}
+
+p4rt::WriteResponse SwitchUnderTest::Write(
+    const p4rt::WriteRequest& request) {
+  return server_->Write(request);
+}
+
+StatusOr<p4rt::ReadResponse> SwitchUnderTest::Read(
+    const p4rt::ReadRequest& request) {
+  return server_->Read(request);
+}
+
+Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
+  if (!switch_linux_->packet_io_healthy()) {
+    return OkStatus();  // accepted, silently lost: the IO path is down
+  }
+  if (packet.submit_to_ingress) {
+    if (faulty(Fault::kSubmitToIngressNotL3Enabled)) {
+      return OkStatus();  // dropped: L3 not enabled for the CPU port
+    }
+    // Runs the full pipeline as if arriving on the CPU port.
+    const packet::ForwardingOutcome outcome =
+        InjectPacket(packet.payload, cpu_port_);
+    if (!outcome.dropped) {
+      egress_queue_.emplace_back(outcome.egress_port, outcome.packet_bytes);
+    }
+    return OkStatus();
+  }
+  egress_queue_.emplace_back(packet.egress_port, packet.payload);
+  if (faulty(Fault::kPacketOutPuntedBack)) {
+    // A misbehaving application loops the packet back to the controller.
+    packet_in_queue_.push_back(
+        p4rt::PacketIn{packet.payload, packet.egress_port});
+  }
+  return OkStatus();
+}
+
+packet::ForwardingOutcome SwitchUnderTest::InjectPacket(
+    std::string_view bytes, std::uint16_t ingress_port) {
+  packet::ForwardingOutcome outcome = asic_->Forward(bytes, ingress_port);
+  const bool punt_path_up =
+      switch_linux_->packet_io_healthy() && !gnmi_->punt_path_corrupted();
+  if (outcome.punted && punt_path_up) {
+    packet_in_queue_.push_back(
+        p4rt::PacketIn{std::string(bytes), ingress_port});
+  } else {
+    // The controller never sees the punt.
+    outcome.punted = outcome.punted && punt_path_up;
+  }
+  return outcome;
+}
+
+std::vector<std::pair<std::uint16_t, std::string>>
+SwitchUnderTest::DrainEgress() {
+  return std::exchange(egress_queue_, {});
+}
+
+std::vector<p4rt::PacketIn> SwitchUnderTest::DrainPacketIns() {
+  return std::exchange(packet_in_queue_, {});
+}
+
+void SwitchUnderTest::Tick() {
+  if (!switch_linux_->packet_io_healthy()) {
+    packet_in_queue_.clear();  // everything in flight is lost
+    return;
+  }
+  for (p4rt::PacketIn& packet : switch_linux_->Tick()) {
+    packet_in_queue_.push_back(std::move(packet));
+  }
+}
+
+}  // namespace switchv::sut

@@ -1,0 +1,82 @@
+// SwitchUnderTest: the assembled PINS-like switch (paper Figure 4).
+//
+// Owns the full layer stack — P4Runtime server over orchestration agent
+// over SyncD over the ASIC simulator, beside the Switch Linux daemons — and
+// exposes exactly the black-box surface SwitchV validates: the P4Runtime
+// control API (config push, batch writes, reads, packet-out), the dataplane
+// (inject a packet on a port, observe forwarding), and the packet-in
+// channel toward the controller.
+#ifndef SWITCHV_SUT_SWITCH_STACK_H_
+#define SWITCHV_SUT_SWITCH_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "bmv2/interpreter.h"
+#include "sut/gnmi.h"
+#include "sut/p4rt_server.h"
+#include "sut/switch_linux.h"
+
+namespace switchv::sut {
+
+class SwitchUnderTest {
+ public:
+  // `faults` may be nullptr for a healthy switch and must outlive the
+  // stack. `clone_sessions` is the packet-replication-engine config shared
+  // with the reference simulator.
+  SwitchUnderTest(const FaultRegistry* faults,
+                  bmv2::CloneSessionMap clone_sessions,
+                  std::uint16_t cpu_port);
+
+  // ----- Control plane API (what the SDN controller sees) -----
+  Status SetForwardingPipelineConfig(const p4ir::P4Info& p4info);
+  p4rt::WriteResponse Write(const p4rt::WriteRequest& request);
+  StatusOr<p4rt::ReadResponse> Read(const p4rt::ReadRequest& request);
+  Status PacketOut(const p4rt::PacketOut& packet);
+
+  // ----- Dataplane surface -----
+  // Injects a packet on a front-panel port and returns the observed
+  // behaviour. The punt flag reflects what the controller actually
+  // receives (a broken packet-in path suppresses it). Punted packets are
+  // also queued on the packet-in channel.
+  packet::ForwardingOutcome InjectPacket(std::string_view bytes,
+                                         std::uint16_t ingress_port);
+
+  // Packets emitted by packet-out (port, bytes), in order.
+  std::vector<std::pair<std::uint16_t, std::string>> DrainEgress();
+
+  // Controller-visible packet-ins: punts plus daemon-injected noise.
+  std::vector<p4rt::PacketIn> DrainPacketIns();
+
+  // One daemon scheduling quantum (the nightly harness calls this as part
+  // of its run loop).
+  void Tick();
+
+  P4RuntimeServer& server() { return *server_; }
+  AsicSimulator& asic() { return *asic_; }
+  GnmiServer& gnmi() { return *gnmi_; }
+
+  // Standard bring-up: hostname plus port-speed config for the front-panel
+  // ports, as a provisioning system would push before validation starts.
+  Status ApplyStandardBringUpConfig(int num_ports = 8);
+
+ private:
+  bool faulty(Fault f) const {
+    return faults_ != nullptr && faults_->active(f);
+  }
+
+  const FaultRegistry* faults_;
+  std::uint16_t cpu_port_;
+  std::unique_ptr<AsicSimulator> asic_;
+  std::unique_ptr<SyncdBinary> syncd_;
+  std::unique_ptr<OrchestrationAgent> agent_;
+  std::unique_ptr<P4RuntimeServer> server_;
+  std::unique_ptr<GnmiServer> gnmi_;
+  std::unique_ptr<SwitchLinux> switch_linux_;
+  std::vector<p4rt::PacketIn> packet_in_queue_;
+  std::vector<std::pair<std::uint16_t, std::string>> egress_queue_;
+};
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_SWITCH_STACK_H_

@@ -1,0 +1,53 @@
+#include "switchv/control_plane.h"
+
+namespace switchv {
+
+ControlPlaneResult RunControlPlaneValidation(
+    sut::SwitchUnderTest& sut, const p4ir::P4Info& info,
+    const ControlPlaneOptions& options) {
+  ControlPlaneResult result;
+  fuzzer::RequestGenerator generator(info, options.fuzzer, options.seed);
+  fuzzer::Oracle oracle(info);
+
+  // Seed the oracle's view with whatever is already installed.
+  auto initial = sut.Read(p4rt::ReadRequest{});
+  if (initial.ok()) {
+    oracle.SyncState(initial->entries);
+  }
+
+  for (int i = 0; i < options.num_requests; ++i) {
+    const std::vector<fuzzer::AnnotatedUpdate> batch =
+        generator.GenerateBatch(oracle.state(), options.updates_per_request);
+    p4rt::WriteRequest request;
+    for (const fuzzer::AnnotatedUpdate& annotated : batch) {
+      request.updates.push_back(annotated.update);
+    }
+    const p4rt::WriteResponse response = sut.Write(request);
+    result.updates_sent += static_cast<int>(batch.size());
+    ++result.requests_sent;
+
+    const auto post_read = sut.Read(p4rt::ReadRequest{});
+    std::vector<fuzzer::Finding> findings =
+        oracle.JudgeBatch(batch, response, post_read);
+    for (fuzzer::Finding& finding : findings) {
+      if (static_cast<int>(result.incidents.size()) >=
+          options.max_incidents) {
+        break;
+      }
+      std::string details = finding.entry_text;
+      if (finding.mutation.has_value()) {
+        details += " [mutation: " +
+                   std::string(fuzzer::MutationName(*finding.mutation)) + "]";
+      }
+      result.incidents.push_back(Incident{Detector::kFuzzer,
+                                          std::move(finding.message),
+                                          std::move(details)});
+    }
+    if (static_cast<int>(result.incidents.size()) >= options.max_incidents) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace switchv

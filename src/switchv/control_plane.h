@@ -1,0 +1,40 @@
+// Control-plane API validation: the p4-fuzzer run loop (paper §4, §4.4).
+//
+// Generates batches of valid and mutated requests, sends them to the switch
+// under test, reads the state back after each batch, and judges responses
+// and state with the oracle.
+#ifndef SWITCHV_SWITCHV_CONTROL_PLANE_H_
+#define SWITCHV_SWITCHV_CONTROL_PLANE_H_
+
+#include "fuzzer/oracle.h"
+#include "sut/switch_stack.h"
+#include "switchv/incident.h"
+
+namespace switchv {
+
+struct ControlPlaneOptions {
+  // The paper's configuration: 1000 write requests with ~50 updates each
+  // (§6.3); scaled down by default for interactive runs.
+  int num_requests = 40;
+  int updates_per_request = 50;
+  fuzzer::FuzzerOptions fuzzer;
+  std::uint64_t seed = 1;
+  // Stop after this many incidents (a buggy switch floods otherwise).
+  int max_incidents = 25;
+};
+
+struct ControlPlaneResult {
+  std::vector<Incident> incidents;
+  int updates_sent = 0;
+  int requests_sent = 0;
+};
+
+// Runs control-plane validation against an already-configured switch.
+ControlPlaneResult RunControlPlaneValidation(sut::SwitchUnderTest& sut,
+                                             const p4ir::P4Info& info,
+                                             const ControlPlaneOptions&
+                                                 options);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_CONTROL_PLANE_H_

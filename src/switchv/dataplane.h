@@ -1,0 +1,53 @@
+// Data-plane validation: p4-symbolic packets through switch and simulator
+// (paper §5, §2 "Design").
+//
+// Installs the forwarding state, generates test packets with the symbolic
+// executor, runs each packet through the switch under test and the
+// reference interpreter, and checks that the observed switch behaviour is
+// in the set of behaviours the reference produces under round-robin
+// hashing. Also exercises packet-out (direct and submit-to-ingress) and
+// watches the packet-in channel for unexpected punts — how the paper caught
+// the LLDP and router-solicitation daemons.
+#ifndef SWITCHV_SWITCHV_DATAPLANE_H_
+#define SWITCHV_SWITCHV_DATAPLANE_H_
+
+#include "bmv2/interpreter.h"
+#include "sut/switch_stack.h"
+#include "switchv/incident.h"
+#include "symbolic/packet_gen.h"
+
+namespace switchv {
+
+struct DataplaneOptions {
+  symbolic::CoverageMode coverage = symbolic::CoverageMode::kEntryCoverage;
+  symbolic::PacketCache* cache = nullptr;
+  int max_incidents = 25;
+  // Ports exercised by the packet-out phase.
+  int packet_out_ports = 4;
+  // Emulates reference-simulator bugs (the paper found 4 BMv2 bugs);
+  // nullptr = healthy simulator.
+  const sut::FaultRegistry* simulator_faults = nullptr;
+  // The entries are already installed on the switch (e.g. the state left
+  // behind by a fuzzing campaign, §7's "pass these entries to
+  // p4-symbolic"): skip the installation phase and validate in place.
+  bool entries_preinstalled = false;
+};
+
+struct DataplaneResult {
+  std::vector<Incident> incidents;
+  int packets_tested = 0;
+  symbolic::GenerationStats generation;
+};
+
+// Validates the packet-forwarding behaviour of an already-configured
+// switch. `entries` is the forwarding state (e.g. a production replay); it
+// is installed into both the switch and the reference simulator.
+DataplaneResult RunDataplaneValidation(
+    sut::SwitchUnderTest& sut, const p4ir::Program& model,
+    const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const DataplaneOptions& options);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_DATAPLANE_H_

@@ -1,0 +1,114 @@
+#include "switchv/experiment.h"
+
+namespace switchv {
+
+models::WorkloadSpec ExperimentOptions::SmallWorkload() {
+  models::WorkloadSpec spec;
+  spec.num_vrfs = 3;
+  spec.num_l3_admit = 3;
+  spec.num_pre_ingress = 6;
+  spec.num_ipv4_routes = 30;
+  spec.num_ipv6_routes = 10;
+  spec.num_wcmp_groups = 4;
+  spec.num_nexthops = 10;
+  spec.num_neighbors = 8;
+  spec.num_rifs = 6;
+  spec.num_acl_ingress = 10;
+  spec.num_mirror_sessions = 2;
+  spec.num_egress_rifs = 4;
+  return spec;
+}
+
+models::Role RoleForStack(sut::Stack stack) {
+  return stack == sut::Stack::kPins ? models::Role::kMiddleblock
+                                    : models::Role::kWan;
+}
+
+StatusOr<p4ir::Program> ModelForBug(const sut::BugInfo& bug) {
+  const models::Role role = RoleForStack(bug.stack);
+  models::ModelOptions options;
+  switch (bug.fault) {
+    case sut::Fault::kModelMissingTtlTrap:
+      options.omit_ttl_trap = true;
+      break;
+    case sut::Fault::kModelMissingBroadcastDrop:
+      options.omit_broadcast_drop = true;
+      break;
+    case sut::Fault::kModelAclAfterRewrite:
+    case sut::Fault::kCerberusModelAclAfterRewrite:
+      options.acl_after_rewrite = true;
+      break;
+    case sut::Fault::kModelWrongIcmpField:
+      options.acl_wrong_icmp_field = true;
+      break;
+    default:
+      break;  // the model is the intended specification
+  }
+  return models::BuildSaiProgram(role, options);
+}
+
+StatusOr<BugRunResult> RunNightlyForBug(const sut::BugInfo& bug,
+                                        const ExperimentOptions& options) {
+  SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model, ModelForBug(bug));
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+  models::WorkloadSpec workload = options.workload;
+  if (bug.stack == sut::Stack::kCerberus) {
+    workload.num_decap = 3;
+    workload.num_tunnels = 6;
+  }
+  SWITCHV_ASSIGN_OR_RETURN(
+      std::vector<p4rt::TableEntry> entries,
+      models::GenerateEntries(info, RoleForStack(bug.stack), workload,
+                              options.seed));
+
+  sut::FaultRegistry faults;
+  faults.Activate(bug.fault);
+  const NightlyReport report = RunNightlyValidation(
+      &faults, model, models::SaiParserSpec(), entries, options.nightly);
+
+  BugRunResult result;
+  result.bug = &bug;
+  result.detected = report.bug_detected();
+  result.detector = report.first_detector();
+  result.incident_count = static_cast<int>(report.incidents.size());
+  if (!report.incidents.empty()) {
+    result.first_incident = report.incidents.front().summary;
+  }
+  result.report = report;
+  return result;
+}
+
+StatusOr<std::vector<BugRunResult>> RunFullSweep(
+    const ExperimentOptions& options, std::ostream* progress) {
+  symbolic::PacketCache cache;
+  ExperimentOptions shared = options;
+  shared.nightly.dataplane.cache = &cache;
+  std::vector<BugRunResult> results;
+  for (const sut::BugInfo& bug : sut::BugCatalog()) {
+    SWITCHV_ASSIGN_OR_RETURN(BugRunResult result,
+                             RunNightlyForBug(bug, shared));
+    if (progress != nullptr) {
+      *progress << "  " << bug.name << ": "
+                << (result.detected
+                        ? std::string(DetectorName(*result.detector))
+                        : "NOT DETECTED")
+                << " (" << result.incident_count << " incidents)\n";
+      progress->flush();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+StatusOr<sut::TrivialTest> RunTrivialSuiteForBug(const sut::BugInfo& bug) {
+  SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model, ModelForBug(bug));
+  sut::FaultRegistry faults;
+  faults.Activate(bug.fault);
+  sut::SwitchUnderTest sut(&faults, models::DefaultCloneSessions(),
+                           model.cpu_port);
+  const TrivialSuiteReport report =
+      RunTrivialSuite(sut, model, models::SaiParserSpec());
+  return report.FirstFailing().value_or(sut::TrivialTest::kNone);
+}
+
+}  // namespace switchv

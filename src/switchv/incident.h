@@ -1,0 +1,29 @@
+// Incident reports: SwitchV's output (paper §2).
+//
+// When SwitchV deems switch behaviour invalid it produces an incident log
+// for a human to root-cause; the root cause may be in the switch, the P4
+// model, the oracle, or the reference simulator — SwitchV only reports the
+// divergence.
+#ifndef SWITCHV_SWITCHV_INCIDENT_H_
+#define SWITCHV_SWITCHV_INCIDENT_H_
+
+#include <string>
+#include <vector>
+
+namespace switchv {
+
+enum class Detector { kFuzzer, kSymbolic };
+
+inline std::string_view DetectorName(Detector detector) {
+  return detector == Detector::kFuzzer ? "p4-fuzzer" : "p4-symbolic";
+}
+
+struct Incident {
+  Detector detector;
+  std::string summary;  // one-line description of the divergence
+  std::string details;  // offending request/packet, observed vs expected
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_INCIDENT_H_

@@ -1,0 +1,52 @@
+// The nightly SwitchV run (paper §2, §7 "Development Processes"): control
+// plane validation (p4-fuzzer) followed by data-plane validation
+// (p4-symbolic), each against a fresh switch instance, with unified
+// incident reporting.
+#ifndef SWITCHV_SWITCHV_NIGHTLY_H_
+#define SWITCHV_SWITCHV_NIGHTLY_H_
+
+#include <optional>
+
+#include "switchv/control_plane.h"
+#include "switchv/dataplane.h"
+
+namespace switchv {
+
+struct NightlyOptions {
+  ControlPlaneOptions control_plane;
+  DataplaneOptions dataplane;
+  bool run_control_plane = true;
+  bool run_dataplane = true;
+  // §7 extension: after the fuzzing campaign, ALSO run data-plane
+  // validation against the state the fuzzer left on the switch (instead of
+  // only against the clean replayed state) — fuzzed entries exercise
+  // additional control paths during data-plane validation.
+  bool dataplane_on_fuzzed_state = false;
+};
+
+struct NightlyReport {
+  std::vector<Incident> incidents;
+  int fuzzed_updates = 0;
+  int packets_tested = 0;
+  symbolic::GenerationStats generation;
+
+  bool bug_detected() const { return !incidents.empty(); }
+  // The component that raised the first incident.
+  std::optional<Detector> first_detector() const {
+    if (incidents.empty()) return std::nullopt;
+    return incidents.front().detector;
+  }
+};
+
+// Runs a full nightly validation of a switch built with the given fault set
+// against the given model and forwarding state. `faults` may be nullptr
+// (healthy switch); `entries` is the production-like replay state.
+NightlyReport RunNightlyValidation(
+    const sut::FaultRegistry* faults, const p4ir::Program& model,
+    const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const NightlyOptions& options);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_NIGHTLY_H_

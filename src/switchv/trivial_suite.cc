@@ -1,0 +1,325 @@
+#include "switchv/trivial_suite.h"
+
+#include "bmv2/interpreter.h"
+#include "models/sai_model.h"
+#include "p4runtime/entry_builder.h"
+
+namespace switchv {
+
+namespace {
+
+BitString U(uint128 v, int w) { return BitString::FromUint(v, w); }
+
+// One entry per table: the minimal viable forwarding setup of §6.2's test
+// 2 ("install a rule in every table, including an ACL entry that punts
+// packets to the controller and an IPv4 route"), in dependency order.
+StatusOr<std::vector<p4rt::TableEntry>> SuiteEntries(
+    const p4ir::P4Info& info) {
+  using p4rt::EntryBuilder;
+  std::vector<p4rt::TableEntry> entries;
+  auto add = [&](StatusOr<p4rt::TableEntry> entry) -> Status {
+    if (!entry.ok()) return entry.status();
+    entries.push_back(std::move(entry).value());
+    return OkStatus();
+  };
+  SWITCHV_RETURN_IF_ERROR(add(EntryBuilder(info, "vrf_tbl")
+                                  .Exact("vrf_id", U(1, models::kVrfWidth))
+                                  .Action("no_action")
+                                  .Build()));
+  SWITCHV_RETURN_IF_ERROR(add(EntryBuilder(info, "l3_admit_tbl")
+                                  .Priority(1)
+                                  .Action("l3_admit")
+                                  .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "acl_pre_ingress_tbl")
+              .Priority(1)
+              .Action("set_vrf", {{"vrf_id", U(1, models::kVrfWidth)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "router_interface_tbl")
+              .Exact("router_interface_id", U(1, 16))
+              .Action("set_port_and_src_mac",
+                      {{"port", U(2, p4ir::kPortWidth)},
+                       {"src_mac", U(0x020000000001ull, 48)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "neighbor_tbl")
+              .Exact("router_interface_id", U(1, 16))
+              .Exact("neighbor_id", U(1, 16))
+              .Action("set_dst_mac", {{"dst_mac", U(0x0400000000AAull, 48)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "nexthop_tbl")
+              .Exact("nexthop_id", U(1, 16))
+              .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                      {"neighbor_id", U(1, 16)}})
+              .Build()));
+  // Two buckets with the same action: valid per the P4Runtime spec (and
+  // the kind of group real controllers install).
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "wcmp_group_tbl")
+              .Exact("wcmp_group_id", U(1, 16))
+              .WeightedAction("set_nexthop_id", 1, {{"nexthop_id", U(1, 16)}})
+              .WeightedAction("set_nexthop_id", 2, {{"nexthop_id", U(1, 16)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "ipv4_tbl")
+              .Exact("vrf_id", U(1, models::kVrfWidth))
+              .Lpm("ipv4_dst", U(0x0A010000, 32), 16)
+              .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "ipv6_tbl")
+              .Exact("vrf_id", U(1, models::kVrfWidth))
+              .Lpm("ipv6_dst",
+                   U(static_cast<uint128>(0x20010db8u) << 96, 128), 32)
+              .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+              .Build()));
+  // The punt rule for test 4: trap ICMP echo requests.
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "acl_ingress_tbl")
+              .Ternary("ether_type", U(0x0800, 16), BitString::AllOnes(16))
+              .Ternary("ip_protocol", U(1, 8), BitString::AllOnes(8))
+              .Ternary("icmp_type", U(8, 8), BitString::AllOnes(8))
+              .Priority(10)
+              .Action("acl_trap")
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "mirror_session_tbl")
+              .Exact("mirror_port", U(11, 16))
+              .Action("set_clone_session", {{"session_id", U(1, 16)}})
+              .Build()));
+  SWITCHV_RETURN_IF_ERROR(
+      add(EntryBuilder(info, "egress_rif_tbl")
+              .Exact("out_port", U(2, p4ir::kPortWidth))
+              .Action("set_egress_src_mac",
+                      {{"src_mac", U(0x020000000001ull, 48)}})
+              .Build()));
+  if (info.FindTableByName("decap_tbl") != nullptr) {
+    SWITCHV_RETURN_IF_ERROR(add(EntryBuilder(info, "decap_tbl")
+                                    .Exact("dst_ip", U(0xC0A80001, 32))
+                                    .Action("tunnel_decap")
+                                    .Build()));
+    SWITCHV_RETURN_IF_ERROR(
+        add(EntryBuilder(info, "tunnel_encap_tbl")
+                .Exact("tunnel_id", U(1, 16))
+                .Action("tunnel_encap", {{"src_ip", U(0xAC100001, 32)},
+                                         {"dst_ip", U(0xAC110001, 32)}})
+                .Build()));
+  }
+  return entries;
+}
+
+// An ICMP echo request toward a routed destination.
+std::string EchoPacket(const p4ir::Program& model) {
+  packet::ParsedPacket pkt;
+  for (const p4ir::FieldDef& f : model.AllFields()) {
+    pkt.fields.emplace(f.name, BitString::FromUint(0, f.width));
+  }
+  pkt.valid_headers = {"ethernet", "ipv4", "icmp"};
+  pkt.fields["ethernet.dst_addr"] = U(0x02AA00000001ull, 48);
+  pkt.fields["ethernet.src_addr"] = U(0x060000000001ull, 48);
+  pkt.fields["ethernet.ether_type"] = U(0x0800, 16);
+  pkt.fields["ipv4.version"] = U(4, 4);
+  pkt.fields["ipv4.ihl"] = U(5, 4);
+  pkt.fields["ipv4.ttl"] = U(64, 8);
+  pkt.fields["ipv4.protocol"] = U(1, 8);
+  pkt.fields["ipv4.src_addr"] = U(0xC0A80002, 32);
+  pkt.fields["ipv4.dst_addr"] = U(0x0A010203, 32);
+  pkt.fields["icmp.type"] = U(8, 8);
+  pkt.fields["icmp.code"] = U(0, 8);
+  return packet::Deparse(model, pkt);
+}
+
+// A routed TCP packet (no ACL hit).
+std::string ForwardedPacket(const p4ir::Program& model) {
+  packet::ParsedPacket pkt;
+  for (const p4ir::FieldDef& f : model.AllFields()) {
+    pkt.fields.emplace(f.name, BitString::FromUint(0, f.width));
+  }
+  pkt.valid_headers = {"ethernet", "ipv4", "tcp"};
+  pkt.fields["ethernet.dst_addr"] = U(0x02AA00000001ull, 48);
+  pkt.fields["ethernet.src_addr"] = U(0x060000000001ull, 48);
+  pkt.fields["ethernet.ether_type"] = U(0x0800, 16);
+  pkt.fields["ipv4.version"] = U(4, 4);
+  pkt.fields["ipv4.ihl"] = U(5, 4);
+  pkt.fields["ipv4.ttl"] = U(64, 8);
+  pkt.fields["ipv4.protocol"] = U(6, 8);
+  pkt.fields["ipv4.src_addr"] = U(0xC0A80002, 32);
+  pkt.fields["ipv4.dst_addr"] = U(0x0A01FFFE, 32);
+  pkt.fields["tcp.src_port"] = U(40000, 16);
+  pkt.fields["tcp.dst_port"] = U(443, 16);
+  pkt.fields["tcp.data_offset"] = U(5, 4);
+  return packet::Deparse(model, pkt);
+}
+
+}  // namespace
+
+std::optional<sut::TrivialTest> TrivialSuiteReport::FirstFailing() const {
+  static constexpr sut::TrivialTest kSequence[6] = {
+      sut::TrivialTest::kSetP4Info,
+      sut::TrivialTest::kTableEntryProgramming,
+      sut::TrivialTest::kReadAllTables,
+      sut::TrivialTest::kPacketIn,
+      sut::TrivialTest::kPacketOut,
+      sut::TrivialTest::kPacketForwarding,
+  };
+  for (int i = 0; i < 6; ++i) {
+    if (!passed[static_cast<std::size_t>(i)]) {
+      return kSequence[i];
+    }
+  }
+  return std::nullopt;
+}
+
+TrivialSuiteReport RunTrivialSuite(sut::SwitchUnderTest& sut,
+                                   const p4ir::Program& model,
+                                   const packet::ParserSpec& parser) {
+  TrivialSuiteReport report;
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+
+  // Test 1: Set P4Info.
+  {
+    const Status status = sut.SetForwardingPipelineConfig(info);
+    report.passed[0] = status.ok();
+    if (!status.ok()) {
+      report.failure_details[0] = status.ToString();
+      return report;
+    }
+  }
+
+  // Provisioning pushes the management config before functional testing.
+  (void)sut.ApplyStandardBringUpConfig();
+
+  // Test 2: Table entry programming.
+  auto entries = SuiteEntries(info);
+  if (!entries.ok()) {
+    report.failure_details[1] = entries.status().ToString();
+    return report;
+  }
+  {
+    p4rt::WriteRequest request;
+    for (const p4rt::TableEntry& entry : *entries) {
+      request.updates.push_back(
+          p4rt::Update{p4rt::UpdateType::kInsert, entry});
+    }
+    const p4rt::WriteResponse response = sut.Write(request);
+    report.passed[1] = response.all_ok();
+    if (!response.all_ok()) {
+      for (std::size_t i = 0; i < response.statuses.size(); ++i) {
+        if (!response.statuses[i].ok()) {
+          report.failure_details[1] =
+              (*entries)[i].ToString(&info) + ": " +
+              response.statuses[i].ToString();
+          break;
+        }
+      }
+      return report;
+    }
+  }
+
+  // Test 3: Read all tables and compare with what was installed.
+  {
+    auto read = sut.Read(p4rt::ReadRequest{});
+    if (!read.ok()) {
+      report.failure_details[2] = read.status().ToString();
+      return report;
+    }
+    bool match = read->entries.size() == entries->size();
+    for (const p4rt::TableEntry& want : *entries) {
+      bool found = false;
+      for (const p4rt::TableEntry& got : read->entries) {
+        if (got == want) found = true;
+      }
+      if (!found) {
+        match = false;
+        report.failure_details[2] =
+            "missing or different: " + want.ToString(&info);
+        break;
+      }
+    }
+    report.passed[2] = match;
+    if (!match) return report;
+  }
+
+  bmv2::Interpreter reference(model, parser, models::DefaultCloneSessions());
+  if (!reference.InstallEntries(*entries).ok()) {
+    return report;  // cannot judge further tests
+  }
+
+  // Test 4: Packet-in. Send the ICMP echo matching the punt rule; judge
+  // against the model's verdict.
+  {
+    const std::string echo = EchoPacket(model);
+    sut.DrainPacketIns();
+    const packet::ForwardingOutcome observed = sut.InjectPacket(echo, 1);
+    auto behaviors = reference.EnumerateBehaviors(echo, 1);
+    bool ok = behaviors.ok() && !behaviors->empty();
+    if (ok) {
+      bool admissible = false;
+      for (const packet::ForwardingOutcome& b : *behaviors) {
+        if (b == observed) admissible = true;
+      }
+      ok = admissible;
+      // The punt must actually arrive on the packet-in channel with the
+      // original payload.
+      const auto packet_ins = sut.DrainPacketIns();
+      if ((*behaviors)[0].punted) {
+        ok = ok && packet_ins.size() == 1 && packet_ins[0].payload == echo;
+      }
+    }
+    report.passed[3] = ok;
+    if (!ok) {
+      report.failure_details[3] =
+          "observed " + observed.Canonical();
+      return report;
+    }
+  }
+
+  // Test 5: Packet-out on each port.
+  {
+    bool ok = true;
+    const std::string payload = ForwardedPacket(model);
+    for (std::uint16_t port = 1; port <= 4 && ok; ++port) {
+      sut.DrainEgress();
+      sut.DrainPacketIns();
+      (void)sut.PacketOut(p4rt::PacketOut{payload, port, false});
+      const auto egress = sut.DrainEgress();
+      ok = egress.size() == 1 && egress[0].first == port &&
+           egress[0].second == payload;
+      // A packet-out must not come back on the packet-in channel.
+      if (!sut.DrainPacketIns().empty()) {
+        ok = false;
+        report.failure_details[4] =
+            "packet-out bounced back as packet-in on port " +
+            std::to_string(port);
+      } else if (!ok) {
+        report.failure_details[4] = "port " + std::to_string(port);
+      }
+    }
+    report.passed[4] = ok;
+    if (!ok) return report;
+  }
+
+  // Test 6: Packet forwarding per the installed IPv4 route.
+  {
+    const std::string payload = ForwardedPacket(model);
+    const packet::ForwardingOutcome observed = sut.InjectPacket(payload, 1);
+    auto behaviors = reference.EnumerateBehaviors(payload, 1);
+    bool ok = behaviors.ok();
+    if (ok) {
+      bool admissible = false;
+      for (const packet::ForwardingOutcome& b : *behaviors) {
+        if (b == observed) admissible = true;
+      }
+      ok = admissible && !observed.dropped && observed.egress_port == 2;
+    }
+    report.passed[5] = ok;
+    if (!ok) {
+      report.failure_details[5] = "observed " + observed.Canonical();
+    }
+  }
+  return report;
+}
+
+}  // namespace switchv

@@ -1,0 +1,444 @@
+#include "symbolic/executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "p4runtime/decoded_entry.h"
+
+namespace switchv::symbolic {
+
+namespace {
+
+// Decimal rendering of a uint128 (z3 parses decimal strings for wide
+// bitvector constants).
+std::string U128ToDecimal(uint128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+uint128 DecimalToU128(const std::string& text) {
+  uint128 value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  return value;
+}
+
+z3::expr BvConst(z3::context& ctx, const BitString& value) {
+  return ctx.bv_val(U128ToDecimal(value.value()).c_str(),
+                    static_cast<unsigned>(value.width()));
+}
+
+uint128 NumeralValue(const z3::expr& value) {
+  return DecimalToU128(
+      std::string(Z3_get_numeral_string(value.ctx(), value)));
+}
+
+z3::expr ToBool(const z3::expr& bv) {
+  if (bv.is_bool()) return bv;
+  return bv != 0;
+}
+
+z3::expr BoolToBv1(z3::context& ctx, const z3::expr& b) {
+  return z3::ite(b, ctx.bv_val(1, 1), ctx.bv_val(0, 1));
+}
+
+// The port range test packets may arrive on (front-panel ports).
+constexpr unsigned kMaxFrontPanelPort = 32;
+
+}  // namespace
+
+SymbolicExecutor::SymbolicExecutor(const p4ir::Program& program,
+                                   packet::ParserSpec parser)
+    : program_(program),
+      p4info_(p4ir::P4Info::FromProgram(program)),
+      parser_(std::move(parser)),
+      ctx_(std::make_unique<z3::context>()),
+      solver_(std::make_unique<z3::solver>(*ctx_)) {}
+
+z3::expr SymbolicExecutor::FreshHashVar(int width) {
+  return ctx_->bv_const(("$hash_" + std::to_string(hash_vars_++)).c_str(),
+                        static_cast<unsigned>(width));
+}
+
+z3::expr SymbolicExecutor::EvalExpr(
+    const p4ir::Expr& expr, const SymbolicState& state,
+    const std::map<std::string, z3::expr>* args) {
+  switch (expr.kind()) {
+    case p4ir::Expr::Kind::kConstant:
+      return BvConst(*ctx_, expr.constant());
+    case p4ir::Expr::Kind::kField:
+      return state.fields.at(expr.name());
+    case p4ir::Expr::Kind::kParam:
+      return args->at(expr.name());
+    case p4ir::Expr::Kind::kValid:
+      return BoolToBv1(*ctx_, state.validity.at(expr.name()));
+    case p4ir::Expr::Kind::kUnary: {
+      const z3::expr operand = EvalExpr(expr.children()[0], state, args);
+      if (expr.unary_op() == p4ir::UnaryOp::kLogicalNot) {
+        return BoolToBv1(*ctx_, !ToBool(operand));
+      }
+      return ~operand;
+    }
+    case p4ir::Expr::Kind::kBinary: {
+      const z3::expr a = EvalExpr(expr.children()[0], state, args);
+      const z3::expr b = EvalExpr(expr.children()[1], state, args);
+      using Op = p4ir::BinaryOp;
+      switch (expr.binary_op()) {
+        case Op::kEq: return BoolToBv1(*ctx_, a == b);
+        case Op::kNe: return BoolToBv1(*ctx_, a != b);
+        case Op::kLt: return BoolToBv1(*ctx_, z3::ult(a, b));
+        case Op::kLe: return BoolToBv1(*ctx_, z3::ule(a, b));
+        case Op::kGt: return BoolToBv1(*ctx_, z3::ugt(a, b));
+        case Op::kGe: return BoolToBv1(*ctx_, z3::uge(a, b));
+        case Op::kAnd: return BoolToBv1(*ctx_, ToBool(a) && ToBool(b));
+        case Op::kOr: return BoolToBv1(*ctx_, ToBool(a) || ToBool(b));
+        case Op::kBitAnd: return a & b;
+        case Op::kBitOr: return a | b;
+        case Op::kBitXor: return a ^ b;
+        case Op::kAdd: return a + b;
+        case Op::kSub: return a - b;
+      }
+      break;
+    }
+  }
+  return ctx_->bv_val(0, 1);  // unreachable for validated programs
+}
+
+void SymbolicExecutor::GuardedAssign(SymbolicState& state,
+                                     const std::string& field,
+                                     const z3::expr& guard,
+                                     const z3::expr& value) {
+  auto it = state.fields.find(field);
+  it->second = z3::ite(guard, value, it->second).simplify();
+}
+
+Status SymbolicExecutor::ApplyAction(const p4ir::Action& action,
+                                     const std::vector<z3::expr>& arg_values,
+                                     const z3::expr& guard,
+                                     SymbolicState& state) {
+  std::map<std::string, z3::expr> args;
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    args.emplace(action.params[i].name, arg_values[i]);
+  }
+  for (const p4ir::Statement& stmt : action.body) {
+    switch (stmt.kind) {
+      case p4ir::Statement::Kind::kAssign: {
+        const z3::expr value = EvalExpr(*stmt.value, state, &args);
+        GuardedAssign(state, stmt.target, guard, value);
+        break;
+      }
+      case p4ir::Statement::Kind::kSetValid: {
+        auto it = state.validity.find(stmt.target);
+        it->second =
+            z3::ite(guard, ctx_->bool_val(stmt.valid), it->second).simplify();
+        break;
+      }
+      case p4ir::Statement::Kind::kHash: {
+        // Free operation: the result can be anything (§5 "Hashing").
+        const int width = program_.FieldWidth(stmt.target);
+        GuardedAssign(state, stmt.target, guard, FreshHashVar(width));
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status SymbolicExecutor::ApplyTable(const p4ir::Table& table,
+                                    const z3::expr& guard,
+                                    SymbolicState& state) {
+  static const std::vector<p4rt::DecodedEntry> kEmpty;
+  const std::vector<p4rt::DecodedEntry>* installed = &kEmpty;
+  if (auto it = entries_.find(table.name); it != entries_.end()) {
+    installed = &it->second;
+  }
+
+  // Precedence order: descending priority, or descending prefix length
+  // (paper §5's worked example iterates entries by priority and negates
+  // higher-priority matches).
+  std::vector<std::size_t> order(installed->size());
+  std::iota(order.begin(), order.end(), 0);
+  const bool by_priority = table.RequiresPriority();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const p4rt::DecodedEntry& ea = (*installed)[a];
+    const p4rt::DecodedEntry& eb = (*installed)[b];
+    if (by_priority && ea.priority != eb.priority) {
+      return ea.priority > eb.priority;
+    }
+    int pa = 0;
+    int pb = 0;
+    for (const p4rt::DecodedMatch& m : ea.matches) pa += m.prefix_len;
+    for (const p4rt::DecodedMatch& m : eb.matches) pb += m.prefix_len;
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+
+  z3::expr any_match = ctx_->bool_val(false);
+  for (std::size_t idx : order) {
+    const p4rt::DecodedEntry& entry = (*installed)[idx];
+    z3::expr cond = ctx_->bool_val(true);
+    for (std::size_t k = 0; k < table.keys.size(); ++k) {
+      const p4rt::DecodedMatch& m = entry.matches[k];
+      if (!m.present) continue;  // wildcard
+      const z3::expr field = state.fields.at(table.keys[k].field);
+      const z3::expr value = BvConst(*ctx_, m.value);
+      const z3::expr mask = BvConst(*ctx_, m.mask);
+      cond = cond && ((field & mask) == (value & mask));
+    }
+    const z3::expr match = (guard && cond && !any_match).simplify();
+    any_match = (any_match || cond).simplify();
+    targets_.push_back(TraceTarget{
+        table.name + ".entry[" + std::to_string(idx) + "]",
+        TraceTarget::Kind::kTableEntry, match});
+
+    if (entry.is_action_set) {
+      // One-shot selector: member choice is hash-driven and thus free.
+      const int total = entry.TotalWeight();
+      const z3::expr selector = FreshHashVar(32);
+      const z3::expr draw =
+          z3::urem(selector, ctx_->bv_val(static_cast<unsigned>(total), 32));
+      unsigned cumulative = 0;
+      for (const p4rt::DecodedAction& member : entry.actions) {
+        const z3::expr in_range =
+            z3::uge(draw, ctx_->bv_val(cumulative, 32)) &&
+            z3::ult(draw, ctx_->bv_val(
+                              cumulative +
+                                  static_cast<unsigned>(member.weight),
+                              32));
+        const p4ir::Action* action = program_.FindAction(member.name);
+        std::vector<z3::expr> args;
+        for (const BitString& arg : member.args) {
+          args.push_back(BvConst(*ctx_, arg));
+        }
+        SWITCHV_RETURN_IF_ERROR(
+            ApplyAction(*action, args, match && in_range, state));
+        cumulative += static_cast<unsigned>(member.weight);
+      }
+    } else {
+      const p4rt::DecodedAction& invocation = entry.actions[0];
+      const p4ir::Action* action = program_.FindAction(invocation.name);
+      std::vector<z3::expr> args;
+      for (const BitString& arg : invocation.args) {
+        args.push_back(BvConst(*ctx_, arg));
+      }
+      SWITCHV_RETURN_IF_ERROR(ApplyAction(*action, args, match, state));
+    }
+  }
+
+  // Miss: the default action runs.
+  const z3::expr miss = (guard && !any_match).simplify();
+  targets_.push_back(TraceTarget{table.name + ".miss",
+                                 TraceTarget::Kind::kTableMiss, miss});
+  const p4ir::Action* default_action =
+      program_.FindAction(table.default_action);
+  std::vector<z3::expr> args;
+  for (const BitString& arg : table.default_action_args) {
+    args.push_back(BvConst(*ctx_, arg));
+  }
+  return ApplyAction(*default_action, args, miss, state);
+}
+
+Status SymbolicExecutor::ExecControl(
+    const std::vector<p4ir::ControlNode>& nodes, const z3::expr& guard,
+    SymbolicState& state) {
+  for (const p4ir::ControlNode& node : nodes) {
+    switch (node.kind) {
+      case p4ir::ControlNode::Kind::kApplyTable: {
+        const p4ir::Table* table = program_.FindTable(node.table);
+        SWITCHV_RETURN_IF_ERROR(ApplyTable(*table, guard, state));
+        break;
+      }
+      case p4ir::ControlNode::Kind::kApplyAction: {
+        const p4ir::Action* action = program_.FindAction(node.action);
+        std::vector<z3::expr> args;
+        for (const BitString& arg : node.action_args) {
+          args.push_back(BvConst(*ctx_, arg));
+        }
+        SWITCHV_RETURN_IF_ERROR(ApplyAction(*action, args, guard, state));
+        break;
+      }
+      case p4ir::ControlNode::Kind::kIf: {
+        const int id = branch_counter_++;
+        const z3::expr cond =
+            ToBool(EvalExpr(*node.condition, state, nullptr));
+        const z3::expr then_guard = (guard && cond).simplify();
+        const z3::expr else_guard = (guard && !cond).simplify();
+        targets_.push_back(TraceTarget{
+            "if[" + std::to_string(id) + "].then",
+            TraceTarget::Kind::kBranchThen, then_guard});
+        targets_.push_back(TraceTarget{
+            "if[" + std::to_string(id) + "].else",
+            TraceTarget::Kind::kBranchElse, else_guard});
+        SWITCHV_RETURN_IF_ERROR(
+            ExecControl(node.then_branch, then_guard, state));
+        SWITCHV_RETURN_IF_ERROR(
+            ExecControl(node.else_branch, else_guard, state));
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+z3::expr SymbolicExecutor::ParserConstraints() {
+  z3::expr constraints = ctx_->bool_val(true);
+  for (const p4ir::HeaderDef& header : program_.headers) {
+    if (header.name == parser_.start_header) {
+      constraints = constraints && input_valid_.at(header.name);
+      continue;
+    }
+    // valid(h) -> some transition into h fired.
+    z3::expr reachable = ctx_->bool_val(false);
+    for (const packet::ParseTransition& t : parser_.transitions) {
+      if (t.next_header != header.name) continue;
+      const std::size_t dot = t.select_field.find('.');
+      const std::string owner = t.select_field.substr(0, dot);
+      auto owner_valid = input_valid_.find(owner);
+      auto select = input_fields_.find(t.select_field);
+      if (owner_valid == input_valid_.end() ||
+          select == input_fields_.end()) {
+        continue;
+      }
+      const int width = program_.FieldWidth(t.select_field);
+      reachable = reachable ||
+                  (owner_valid->second &&
+                   select->second ==
+                       BvConst(*ctx_, BitString::FromUint(t.value, width)));
+    }
+    constraints = constraints &&
+                  z3::implies(input_valid_.at(header.name), reachable);
+  }
+  // Test packets arrive on front-panel ports.
+  constraints = constraints &&
+                z3::uge(*ingress_port_, ctx_->bv_val(1u, p4ir::kPortWidth)) &&
+                z3::ule(*ingress_port_,
+                        ctx_->bv_val(kMaxFrontPanelPort, p4ir::kPortWidth));
+  return constraints;
+}
+
+Status SymbolicExecutor::Execute(
+    const std::vector<p4rt::TableEntry>& entries) {
+  if (executed_) {
+    return FailedPreconditionError("Execute may only be called once");
+  }
+  executed_ = true;
+
+  entries_.clear();
+  for (const p4rt::TableEntry& entry : entries) {
+    SWITCHV_ASSIGN_OR_RETURN(p4rt::DecodedEntry decoded,
+                             p4rt::DecodeEntry(p4info_, entry));
+    entries_[decoded.table_name].push_back(std::move(decoded));
+  }
+
+  SymbolicState state{{}, {}};
+  // Input variables X: one bitvector per header field, one boolean per
+  // header validity. Fields of invalid headers read as zero, exactly as in
+  // the reference interpreter's parser.
+  for (const p4ir::HeaderDef& header : program_.headers) {
+    const z3::expr valid =
+        ctx_->bool_const(("$valid_" + header.name).c_str());
+    input_valid_.emplace(header.name, valid);
+    state.validity.emplace(header.name, valid);
+    for (const p4ir::FieldDef& field : header.fields) {
+      const z3::expr x = ctx_->bv_const(
+          field.name.c_str(), static_cast<unsigned>(field.width));
+      input_fields_.emplace(field.name, x);
+      state.fields.emplace(
+          field.name,
+          z3::ite(valid, x,
+                  ctx_->bv_val(0, static_cast<unsigned>(field.width))));
+    }
+  }
+  // Metadata: zero-initialized, except the ingress port (symbolic input).
+  for (const p4ir::FieldDef& field : program_.metadata) {
+    if (field.name == p4ir::kIngressPortField) {
+      ingress_port_ = ctx_->bv_const(
+          field.name.c_str(), static_cast<unsigned>(field.width));
+      state.fields.emplace(field.name, *ingress_port_);
+    } else {
+      state.fields.emplace(
+          field.name, ctx_->bv_val(0, static_cast<unsigned>(field.width)));
+    }
+  }
+
+  solver_->add(ParserConstraints());
+
+  const z3::expr top = ctx_->bool_val(true);
+  SWITCHV_RETURN_IF_ERROR(ExecControl(program_.ingress, top, state));
+  // The egress pipeline only runs for packets that were not dropped.
+  const z3::expr not_dropped =
+      !ToBool(state.fields.at(p4ir::kDropField));
+  SWITCHV_RETURN_IF_ERROR(ExecControl(program_.egress, not_dropped, state));
+  output_ = std::move(state);
+  return OkStatus();
+}
+
+z3::expr SymbolicExecutor::InputField(const std::string& field) const {
+  return input_fields_.at(field);
+}
+
+z3::expr SymbolicExecutor::InputValid(const std::string& header) const {
+  return input_valid_.at(header);
+}
+
+z3::expr SymbolicExecutor::OutputField(const std::string& field) const {
+  return output_->fields.at(field);
+}
+
+z3::expr SymbolicExecutor::OutputValid(const std::string& header) const {
+  return output_->validity.at(header);
+}
+
+StatusOr<z3::expr> SymbolicExecutor::TargetGuard(
+    const std::string& id) const {
+  for (const TraceTarget& target : targets_) {
+    if (target.id == id) return target.guard;
+  }
+  return NotFoundError("no such trace target: " + id);
+}
+
+StatusOr<TestPacket> SymbolicExecutor::SolvePacket(
+    const z3::expr& goal, const std::string& target_id) {
+  ++solver_queries_;
+  solver_->push();
+  solver_->add(goal);
+  const z3::check_result result = solver_->check();
+  if (result != z3::sat) {
+    solver_->pop();
+    return NotFoundError("goal is unsatisfiable: " + target_id);
+  }
+  const z3::model model = solver_->get_model();
+
+  packet::ParsedPacket parsed;
+  for (const p4ir::FieldDef& field : program_.AllFields()) {
+    parsed.fields.emplace(field.name, BitString::FromUint(0, field.width));
+  }
+  for (const p4ir::HeaderDef& header : program_.headers) {
+    const z3::expr valid =
+        model.eval(input_valid_.at(header.name), /*model_completion=*/true);
+    if (!valid.is_true()) continue;
+    parsed.valid_headers.insert(header.name);
+    for (const p4ir::FieldDef& field : header.fields) {
+      const z3::expr value =
+          model.eval(input_fields_.at(field.name), true);
+      parsed.fields[field.name] =
+          BitString::FromUint(NumeralValue(value), field.width);
+    }
+  }
+  TestPacket packet;
+  packet.bytes = packet::Deparse(program_, parsed);
+  const z3::expr port = model.eval(*ingress_port_, true);
+  packet.ingress_port = static_cast<std::uint16_t>(NumeralValue(port));
+  packet.target_id = target_id;
+  solver_->pop();
+  return packet;
+}
+
+}  // namespace switchv::symbolic

@@ -1,0 +1,130 @@
+// p4-symbolic: symbolic execution of P4 models for test-packet generation
+// (paper §5, Figure 6).
+//
+// Executes the program once, symbolically, over the *installed table
+// entries*: every control-flow construct — branch arms, each table entry's
+// match, each table's miss/default — is mapped to a Z3 boolean guard
+// ("trace" T), and every header/metadata field to a Z3 bitvector expression
+// (symbolic state S -> outputs Y over inputs X). Side effects are isolated
+// with guarded assignments (Dijkstra-style guarded commands) instead of
+// per-trace forking, so 3 consecutive tables with 100 entries each cost
+// 300 guarded updates, not 100^3 paths.
+//
+// Hashing is a free operation: each hash draw (including WCMP member
+// selection) is a fresh unconstrained variable (§5 "Hashing").
+//
+// Decidability: the generated formulas are quantifier-free over bitvectors
+// and equality (QF_BV), which is decidable; pipelines are single-pass with
+// no loops (§5 "Decidability").
+#ifndef SWITCHV_SYMBOLIC_EXECUTOR_H_
+#define SWITCHV_SYMBOLIC_EXECUTOR_H_
+
+#include <z3++.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4ir/p4info.h"
+#include "p4ir/program.h"
+#include "p4runtime/decoded_entry.h"
+#include "p4runtime/messages.h"
+#include "packet/packet.h"
+
+namespace switchv::symbolic {
+
+// One coverage target: a named construct and the condition under which it
+// executes.
+struct TraceTarget {
+  enum class Kind { kTableEntry, kTableMiss, kBranchThen, kBranchElse };
+  std::string id;    // e.g. "ipv4_tbl.entry[3]", "ipv4_tbl.miss", "if[2].then"
+  Kind kind;
+  z3::expr guard;
+};
+
+// A concrete test packet produced from a satisfying assignment.
+struct TestPacket {
+  std::string bytes;
+  std::uint16_t ingress_port = 0;
+  std::string target_id;  // the coverage target this packet exercises
+};
+
+class SymbolicExecutor {
+ public:
+  // `program` must be validated and outlive the executor.
+  SymbolicExecutor(const p4ir::Program& program, packet::ParserSpec parser);
+
+  // Symbolically executes the pipeline against the given entries,
+  // populating the trace map and output state. Must be called once before
+  // any query.
+  Status Execute(const std::vector<p4rt::TableEntry>& entries);
+
+  // The complete trace map T.
+  const std::vector<TraceTarget>& targets() const { return targets_; }
+
+  // X: symbolic input field / validity; Y: symbolic output expression.
+  // These let test engineers pose custom coverage assertions over X, Y and
+  // T (§5 "Coverage Constraints"). Field names are the program's.
+  z3::expr InputField(const std::string& field) const;
+  z3::expr InputValid(const std::string& header) const;
+  z3::expr OutputField(const std::string& field) const;
+  z3::expr OutputValid(const std::string& header) const;
+  // Guard of a target by id; fails for unknown ids.
+  StatusOr<z3::expr> TargetGuard(const std::string& id) const;
+
+  // Solves for a packet satisfying `goal` (conjoined with the parser
+  // well-formedness constraints). NOT_FOUND if unsatisfiable.
+  StatusOr<TestPacket> SolvePacket(const z3::expr& goal,
+                                   const std::string& target_id);
+
+  z3::context& ctx() { return *ctx_; }
+
+  // Statistics.
+  int solver_queries() const { return solver_queries_; }
+
+ private:
+  struct SymbolicState {
+    std::map<std::string, z3::expr> fields;     // field -> bitvec
+    std::map<std::string, z3::expr> validity;   // header -> bool
+  };
+
+  z3::expr EvalExpr(const p4ir::Expr& expr, const SymbolicState& state,
+                    const std::map<std::string, z3::expr>* args);
+  void GuardedAssign(SymbolicState& state, const std::string& field,
+                     const z3::expr& guard, const z3::expr& value);
+  Status ApplyAction(const p4ir::Action& action,
+                     const std::vector<z3::expr>& arg_values,
+                     const z3::expr& guard, SymbolicState& state);
+  Status ApplyTable(const p4ir::Table& table, const z3::expr& guard,
+                    SymbolicState& state);
+  Status ExecControl(const std::vector<p4ir::ControlNode>& nodes,
+                     const z3::expr& guard, SymbolicState& state);
+  z3::expr FreshHashVar(int width);
+
+  // Parser-derived well-formedness of input packets (validity implications
+  // and field zeroing for invalid headers are folded into initial state).
+  z3::expr ParserConstraints();
+
+  const p4ir::Program& program_;
+  p4ir::P4Info p4info_;
+  packet::ParserSpec parser_;
+  std::unique_ptr<z3::context> ctx_;
+  std::unique_ptr<z3::solver> solver_;
+
+  std::map<std::string, z3::expr> input_fields_;   // X (header fields)
+  std::map<std::string, z3::expr> input_valid_;    // X (validities)
+  std::optional<z3::expr> ingress_port_;           // X (port)
+  std::optional<SymbolicState> output_;            // Y
+  std::vector<TraceTarget> targets_;               // T
+  std::map<std::string, std::vector<p4rt::DecodedEntry>> entries_;
+  int hash_vars_ = 0;
+  int branch_counter_ = 0;
+  int solver_queries_ = 0;
+  bool executed_ = false;
+};
+
+}  // namespace switchv::symbolic
+
+#endif  // SWITCHV_SYMBOLIC_EXECUTOR_H_

@@ -1,0 +1,256 @@
+#include "util/bitstring.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace switchv {
+
+uint128 LowBitMask(int width) {
+  if (width <= 0) return 0;
+  if (width >= 128) return ~static_cast<uint128>(0);
+  return (static_cast<uint128>(1) << width) - 1;
+}
+
+BitString BitString::FromUint(uint128 value, int width) {
+  if (width < 1) width = 1;
+  if (width > kMaxWidth) width = kMaxWidth;
+  return BitString(width, value & LowBitMask(width));
+}
+
+StatusOr<BitString> BitString::FromBytes(std::string_view bytes, int width,
+                                         bool require_canonical) {
+  if (width < 1 || width > kMaxWidth) {
+    return InvalidArgumentError("field width out of range");
+  }
+  if (bytes.empty()) {
+    return InvalidArgumentError("empty byte string");
+  }
+  if (require_canonical && !IsCanonicalByteString(bytes)) {
+    return InvalidArgumentError("byte string is not in canonical form");
+  }
+  std::size_t first_nonzero = 0;
+  while (first_nonzero < bytes.size() && bytes[first_nonzero] == '\0') {
+    ++first_nonzero;
+  }
+  int significant_bits = 0;
+  if (first_nonzero < bytes.size()) {
+    const auto lead = static_cast<unsigned char>(bytes[first_nonzero]);
+    const int lead_bits = 32 - __builtin_clz(static_cast<unsigned>(lead));
+    significant_bits =
+        lead_bits + static_cast<int>(bytes.size() - first_nonzero - 1) * 8;
+  }
+  if (significant_bits > width) {
+    return OutOfRangeError("value does not fit in field width");
+  }
+  uint128 value = 0;
+  for (std::size_t i = first_nonzero; i < bytes.size(); ++i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return BitString(width, value);
+}
+
+StatusOr<BitString> BitString::FromIpv4(std::string_view dotted) {
+  std::uint32_t out = 0;
+  int octets = 0;
+  std::uint32_t current = 0;
+  bool have_digit = false;
+  for (char c : dotted) {
+    if (c == '.') {
+      if (!have_digit || current > 255) {
+        return InvalidArgumentError("bad IPv4 literal");
+      }
+      out = (out << 8) | current;
+      current = 0;
+      have_digit = false;
+      ++octets;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      current = current * 10 + static_cast<std::uint32_t>(c - '0');
+      have_digit = true;
+    } else {
+      return InvalidArgumentError("bad IPv4 literal");
+    }
+  }
+  if (octets != 3 || !have_digit || current > 255) {
+    return InvalidArgumentError("bad IPv4 literal");
+  }
+  out = (out << 8) | current;
+  return BitString::FromUint(out, 32);
+}
+
+StatusOr<BitString> BitString::FromIpv6(std::string_view text) {
+  // Split into up-to-8 hextets, honoring one "::" gap.
+  std::array<std::uint16_t, 8> groups = {};
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+  std::vector<std::uint16_t>* current_list = &head;
+
+  std::size_t i = 0;
+  if (text.starts_with("::")) {
+    seen_gap = true;
+    current_list = &tail;
+    i = 2;
+  }
+  std::uint32_t current = 0;
+  bool have_digit = false;
+  auto flush = [&]() -> Status {
+    if (!have_digit) return InvalidArgumentError("bad IPv6 literal");
+    if (current > 0xFFFF) return InvalidArgumentError("bad IPv6 hextet");
+    current_list->push_back(static_cast<std::uint16_t>(current));
+    current = 0;
+    have_digit = false;
+    return OkStatus();
+  };
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == ':') {
+      if (i + 1 < text.size() && text[i + 1] == ':') {
+        if (seen_gap) return InvalidArgumentError("multiple '::' in IPv6");
+        SWITCHV_RETURN_IF_ERROR(flush());
+        seen_gap = true;
+        current_list = &tail;
+        ++i;
+      } else {
+        SWITCHV_RETURN_IF_ERROR(flush());
+      }
+    } else if (std::isxdigit(static_cast<unsigned char>(c))) {
+      const char lower = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+      const std::uint32_t digit =
+          std::isdigit(static_cast<unsigned char>(lower))
+              ? static_cast<std::uint32_t>(lower - '0')
+              : static_cast<std::uint32_t>(lower - 'a' + 10);
+      current = (current << 4) | digit;
+      if (current > 0xFFFFF) return InvalidArgumentError("bad IPv6 hextet");
+      have_digit = true;
+    } else {
+      return InvalidArgumentError("bad IPv6 literal");
+    }
+  }
+  if (have_digit) {
+    SWITCHV_RETURN_IF_ERROR(flush());
+  }
+  const std::size_t total = head.size() + tail.size();
+  if (seen_gap ? total > 7 : total != 8) {
+    return InvalidArgumentError("bad IPv6 group count");
+  }
+  std::copy(head.begin(), head.end(), groups.begin());
+  std::copy(tail.begin(), tail.end(), groups.end() - tail.size());
+  uint128 value = 0;
+  for (std::uint16_t g : groups) value = (value << 16) | g;
+  return BitString::FromUint(value, 128);
+}
+
+StatusOr<BitString> BitString::FromMac(std::string_view text) {
+  std::uint64_t value = 0;
+  int bytes = 0;
+  std::uint32_t current = 0;
+  int digits = 0;
+  for (char c : text) {
+    if (c == ':') {
+      if (digits == 0 || digits > 2 || bytes >= 5) {
+        return InvalidArgumentError("bad MAC literal");
+      }
+      value = (value << 8) | current;
+      current = 0;
+      digits = 0;
+      ++bytes;
+    } else if (std::isxdigit(static_cast<unsigned char>(c))) {
+      const char lower = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+      const std::uint32_t digit =
+          std::isdigit(static_cast<unsigned char>(lower))
+              ? static_cast<std::uint32_t>(lower - '0')
+              : static_cast<std::uint32_t>(lower - 'a' + 10);
+      current = (current << 4) | digit;
+      ++digits;
+    } else {
+      return InvalidArgumentError("bad MAC literal");
+    }
+  }
+  if (bytes != 5 || digits == 0 || digits > 2) {
+    return InvalidArgumentError("bad MAC literal");
+  }
+  value = (value << 8) | current;
+  return BitString::FromUint(value, 48);
+}
+
+BitString BitString::AllOnes(int width) {
+  return BitString::FromUint(~static_cast<uint128>(0), width);
+}
+
+BitString BitString::PrefixMask(int prefix_len, int width) {
+  if (prefix_len <= 0) return BitString::FromUint(0, width);
+  if (prefix_len >= width) return AllOnes(width);
+  const uint128 ones = LowBitMask(prefix_len);
+  return BitString::FromUint(ones << (width - prefix_len), width);
+}
+
+std::uint64_t BitString::ToUint64() const {
+  return static_cast<std::uint64_t>(value_ & LowBitMask(64));
+}
+
+std::string BitString::ToCanonicalBytes() const {
+  std::string padded = ToPaddedBytes();
+  std::size_t first = 0;
+  while (first + 1 < padded.size() && padded[first] == '\0') ++first;
+  return padded.substr(first);
+}
+
+std::string BitString::ToPaddedBytes() const {
+  const int num_bytes = (width_ + 7) / 8;
+  std::string out(static_cast<std::size_t>(num_bytes), '\0');
+  uint128 v = value_;
+  for (int i = num_bytes - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  return out;
+}
+
+std::string BitString::ToString() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex;
+  uint128 v = value_;
+  if (v == 0) {
+    hex = "0";
+  } else {
+    while (v != 0) {
+      hex.push_back(kHex[static_cast<unsigned>(v & 0xF)]);
+      v >>= 4;
+    }
+    std::reverse(hex.begin(), hex.end());
+  }
+  return "0x" + hex + "/" + std::to_string(width_);
+}
+
+BitString BitString::operator&(const BitString& other) const {
+  return BitString(width_, (value_ & other.value_) & LowBitMask(width_));
+}
+BitString BitString::operator|(const BitString& other) const {
+  return BitString(width_, (value_ | other.value_) & LowBitMask(width_));
+}
+BitString BitString::operator^(const BitString& other) const {
+  return BitString(width_, (value_ ^ other.value_) & LowBitMask(width_));
+}
+BitString BitString::operator~() const {
+  return BitString(width_, ~value_ & LowBitMask(width_));
+}
+
+bool BitString::TernaryMatches(const BitString& value,
+                               const BitString& mask) const {
+  return (value_ & mask.value_) == (value.value_ & mask.value_);
+}
+
+std::ostream& operator<<(std::ostream& os, const BitString& b) {
+  return os << b.ToString();
+}
+
+bool IsCanonicalByteString(std::string_view bytes) {
+  if (bytes.empty()) return false;
+  if (bytes.size() == 1) return true;
+  return bytes[0] != '\0';
+}
+
+}  // namespace switchv

@@ -1,0 +1,109 @@
+// BitString: an arbitrary-width (1..128 bit) unsigned value, the universal
+// representation of P4 match-field values, action parameters, and header
+// fields throughout this codebase.
+//
+// P4Runtime transmits values as big-endian byte strings and requires the
+// *canonical* representation: the shortest byte string that encodes the
+// value (a single 0x00 byte for zero). Non-canonical encodings are a real
+// bug class the paper's fuzzer exercises ("Incorrect handling of zero bytes
+// in IDs", Appendix A), so encoding and validation live here.
+#ifndef SWITCHV_UTIL_BITSTRING_H_
+#define SWITCHV_UTIL_BITSTRING_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace switchv {
+
+// 128-bit unsigned integer; GCC/Clang builtin, sufficient for IPv6 addresses,
+// the widest field in our models.
+using uint128 = unsigned __int128;
+
+class BitString {
+ public:
+  static constexpr int kMaxWidth = 128;
+
+  // Constructs the zero value of width 1. Prefer the factory functions.
+  BitString() : width_(1), value_(0) {}
+
+  // Constructs a value of the given width. The value is truncated to fit.
+  static BitString FromUint(uint128 value, int width);
+
+  // Parses a big-endian byte string into a value of the given width.
+  // Fails if the bytes are empty, exceed the width, or are non-canonical
+  // when `require_canonical` is set.
+  static StatusOr<BitString> FromBytes(std::string_view bytes, int width,
+                                       bool require_canonical = true);
+
+  // Parses dotted-quad IPv4 ("10.0.0.1") into a 32-bit value.
+  static StatusOr<BitString> FromIpv4(std::string_view dotted);
+
+  // Parses colon-hex IPv6 (full or `::`-compressed) into a 128-bit value.
+  static StatusOr<BitString> FromIpv6(std::string_view text);
+
+  // Parses a MAC address ("aa:bb:cc:dd:ee:ff") into a 48-bit value.
+  static StatusOr<BitString> FromMac(std::string_view text);
+
+  // The all-ones value of the given width.
+  static BitString AllOnes(int width);
+
+  // A mask of `prefix_len` leading ones within `width` bits (LPM mask).
+  static BitString PrefixMask(int prefix_len, int width);
+
+  int width() const { return width_; }
+  uint128 value() const { return value_; }
+
+  // Value as uint64; precondition: fits in 64 bits.
+  std::uint64_t ToUint64() const;
+
+  bool IsZero() const { return value_ == 0; }
+
+  // The canonical big-endian P4Runtime byte string (shortest encoding).
+  std::string ToCanonicalBytes() const;
+
+  // The big-endian byte string zero-padded to ceil(width/8) bytes.
+  std::string ToPaddedBytes() const;
+
+  // "0x..." hexadecimal with the width as a suffix, e.g. "0x0a000001/32".
+  std::string ToString() const;
+
+  // Bitwise operations preserve the width of *this.
+  BitString operator&(const BitString& other) const;
+  BitString operator|(const BitString& other) const;
+  BitString operator^(const BitString& other) const;
+  BitString operator~() const;
+
+  // True if this value matches `value` under `mask` (ternary semantics).
+  bool TernaryMatches(const BitString& value, const BitString& mask) const;
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.width_ == b.width_ && a.value_ == b.value_;
+  }
+  friend auto operator<=>(const BitString& a, const BitString& b) {
+    if (a.value_ != b.value_) return a.value_ < b.value_ ? -1 : 1;
+    return a.width_ < b.width_ ? -1 : (a.width_ > b.width_ ? 1 : 0);
+  }
+
+ private:
+  BitString(int width, uint128 value) : width_(width), value_(value) {}
+
+  int width_;
+  uint128 value_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitString& b);
+
+// True if `bytes` is the canonical (shortest) encoding of its value.
+bool IsCanonicalByteString(std::string_view bytes);
+
+// Mask with the low `width` bits set; width in [0, 128].
+uint128 LowBitMask(int width);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_BITSTRING_H_

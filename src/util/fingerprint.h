@@ -1,0 +1,38 @@
+// 64-bit FNV-1a fingerprinting, used to key the p4-symbolic test-packet
+// cache on (program, table entries, coverage goals) — see paper §6.3.
+#ifndef SWITCHV_UTIL_FINGERPRINT_H_
+#define SWITCHV_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace switchv {
+
+// Incremental FNV-1a hasher. Combine heterogeneous inputs by repeatedly
+// calling Add*; order matters.
+class Fingerprint {
+ public:
+  Fingerprint& AddBytes(std::string_view bytes) {
+    for (char c : bytes) Mix(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  Fingerprint& AddU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) Mix(static_cast<unsigned char>(v >> (i * 8)));
+    return *this;
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  void Mix(unsigned char byte) {
+    state_ ^= byte;
+    state_ *= 0x100000001b3ull;
+  }
+
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_FINGERPRINT_H_

@@ -1,0 +1,56 @@
+// Deterministic random number generation for fuzzing and workload synthesis.
+//
+// Every randomized component in this repo draws from an explicitly seeded
+// Rng so that fuzzing runs, generated workloads, and benchmark inputs are
+// reproducible — a requirement for regenerating the paper's tables.
+#ifndef SWITCHV_UTIL_RNG_H_
+#define SWITCHV_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/bitstring.h"
+
+namespace switchv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  std::uint64_t Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, size). Precondition: size > 0.
+  std::size_t Index(std::size_t size) {
+    return static_cast<std::size_t>(Uniform(0, size - 1));
+  }
+
+  // True with probability `p` in [0, 1].
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_) < p;
+  }
+
+  // A uniformly random value of the given bit width.
+  BitString Bits(int width) {
+    uint128 v = (static_cast<uint128>(engine_()) << 64) | engine_();
+    return BitString::FromUint(v, width);
+  }
+
+  // A uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_RNG_H_

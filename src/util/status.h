@@ -1,0 +1,154 @@
+// Status and StatusOr: explicit error propagation with gRPC canonical codes.
+//
+// The P4Runtime specification defines switch responses in terms of gRPC
+// canonical status codes (e.g. a write with an unknown table id must fail
+// with NOT_FOUND or INVALID_ARGUMENT). The SwitchV oracle reasons about
+// *which* codes are admissible for a request, so the code is part of the
+// domain model rather than incidental plumbing.
+#ifndef SWITCHV_UTIL_STATUS_H_
+#define SWITCHV_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace switchv {
+
+// The gRPC canonical status codes, numbered identically to grpc::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kCancelled = 1,
+  kUnknown = 2,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kAlreadyExists = 6,
+  kPermissionDenied = 7,
+  kResourceExhausted = 8,
+  kFailedPrecondition = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+  kUnavailable = 14,
+  kDataLoss = 15,
+  kUnauthenticated = 16,
+};
+
+// Human-readable name of a canonical code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+// A status result: either OK or an error code plus a message.
+class [[nodiscard]] Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  // Constructs a status with the given code and message. An OK code with a
+  // message is allowed but the message is ignored by comparisons.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnknownError(std::string message);
+Status AbortedError(std::string message);
+Status UnavailableError(std::string message);
+
+// A value-or-error result, analogous to absl::StatusOr<T>.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit conversions mirror absl::StatusOr for ergonomic returns.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() &&
+           "StatusOr may not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  // The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(value_);
+  }
+
+  // Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates an error status from an expression, analogous to
+// RETURN_IF_ERROR in Abseil-based codebases.
+#define SWITCHV_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    if (auto status_ = (expr); !status_.ok()) {       \
+      return status_;                                 \
+    }                                                 \
+  } while (false)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+// `lhs` may be a declaration, e.g. SWITCHV_ASSIGN_OR_RETURN(int x, F()).
+#define SWITCHV_INTERNAL_CONCAT2(a, b) a##b
+#define SWITCHV_INTERNAL_CONCAT(a, b) SWITCHV_INTERNAL_CONCAT2(a, b)
+#define SWITCHV_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SWITCHV_ASSIGN_OR_RETURN_IMPL(SWITCHV_INTERNAL_CONCAT(status_or_, __LINE__), \
+                                lhs, expr)
+#define SWITCHV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_STATUS_H_

@@ -1,0 +1,59 @@
+#include "util/strings.h"
+
+namespace switchv {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\n' ||
+          text[begin] == '\r')) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string BytesToHex(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+bool HasPrefix(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace switchv

@@ -1,0 +1,29 @@
+// Small string utilities shared across modules.
+#ifndef SWITCHV_UTIL_STRINGS_H_
+#define SWITCHV_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace switchv {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Lowercase hex of a byte string, e.g. "0a0001ff".
+std::string BytesToHex(std::string_view bytes);
+
+// True if `text` starts with / ends with the given prefix or suffix.
+bool HasPrefix(std::string_view text, std::string_view prefix);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_STRINGS_H_

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "p4constraints/bdd.h"
+#include "p4constraints/constraint_bdd.h"
+#include "p4constraints/eval.h"
+#include "p4constraints/parser.h"
+
+namespace switchv::p4constraints {
+namespace {
+
+TEST(Bdd, TerminalIdentities) {
+  BddManager m;
+  EXPECT_EQ(m.And(BddManager::kTrue, BddManager::kFalse), BddManager::kFalse);
+  EXPECT_EQ(m.Or(BddManager::kTrue, BddManager::kFalse), BddManager::kTrue);
+  EXPECT_EQ(m.Not(BddManager::kTrue), BddManager::kFalse);
+}
+
+TEST(Bdd, HashConsingGivesStructuralEquality) {
+  BddManager m;
+  const BddRef a = m.And(m.Var(0), m.Var(1));
+  const BddRef b = m.And(m.Var(1), m.Var(0));
+  EXPECT_EQ(a, b);
+  const BddRef c = m.Not(m.Or(m.Not(m.Var(0)), m.Not(m.Var(1))));
+  EXPECT_EQ(a, c);  // De Morgan
+}
+
+TEST(Bdd, SatCountSimple) {
+  BddManager m;
+  // x0 over 3 vars: 4 satisfying assignments.
+  EXPECT_DOUBLE_EQ(static_cast<double>(m.SatCount(m.Var(0), 3)), 4.0);
+  // x0 && x1 over 3 vars: 2.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(m.SatCount(m.And(m.Var(0), m.Var(1)), 3)), 2.0);
+  // x0 ^ x1 over 2 vars: 2.
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(m.SatCount(m.Xor(m.Var(0), m.Var(1)), 2)), 2.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(m.SatCount(BddManager::kTrue, 4)),
+                   16.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(m.SatCount(BddManager::kFalse, 4)),
+                   0.0);
+}
+
+TEST(Bdd, SampleSatisfiesFunction) {
+  BddManager m;
+  const BddRef f = m.Or(m.And(m.Var(0), m.Var(2)), m.Not(m.Var(1)));
+  Rng rng(7);
+  std::vector<bool> a;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(m.Sample(f, 4, rng, a));
+    const bool value = (a[0] && a[2]) || !a[1];
+    EXPECT_TRUE(value);
+  }
+}
+
+TEST(Bdd, SampleFailsOnUnsat) {
+  BddManager m;
+  Rng rng(7);
+  std::vector<bool> a;
+  EXPECT_FALSE(m.Sample(BddManager::kFalse, 4, rng, a));
+  const BddRef contradiction = m.And(m.Var(0), m.Not(m.Var(0)));
+  EXPECT_FALSE(m.Sample(contradiction, 4, rng, a));
+}
+
+TEST(Bdd, SampleIsRoughlyUniform) {
+  BddManager m;
+  // x0 || x1 over 2 vars: 3 solutions; each should appear ~1/3.
+  const BddRef f = m.Or(m.Var(0), m.Var(1));
+  Rng rng(11);
+  std::vector<bool> a;
+  int counts[4] = {0, 0, 0, 0};
+  const int kRuns = 3000;
+  for (int i = 0; i < kRuns; ++i) {
+    ASSERT_TRUE(m.Sample(f, 2, rng, a));
+    counts[(a[0] ? 2 : 0) + (a[1] ? 1 : 0)]++;
+  }
+  EXPECT_EQ(counts[0], 0);  // 00 is not a solution
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_GT(counts[s], kRuns / 5);
+    EXPECT_LT(counts[s], kRuns / 2);
+  }
+}
+
+TEST(Bdd, FlipNodeChangesFunction) {
+  BddManager m;
+  const BddRef f = m.And(m.Var(0), m.Var(1));
+  const auto nodes = m.ReachableInternalNodes(f);
+  ASSERT_FALSE(nodes.empty());
+  const BddRef flipped = m.FlipNode(f, nodes[0]);
+  EXPECT_NE(flipped, f);
+}
+
+TableSchema AclSchema() {
+  TableSchema schema;
+  schema.keys = {
+      {"vrf_id", 12, KeySchema::Kind::kExact},
+      {"dst_ip", 32, KeySchema::Kind::kLpm},
+      {"ether_type", 16, KeySchema::Kind::kTernary},
+      {"in_port", 4, KeySchema::Kind::kOptional},
+  };
+  return schema;
+}
+
+// Cross-check: every sample from the compiled BDD satisfies the constraint
+// per the reference evaluator, and every violating sample refutes it.
+TEST(ConstraintBdd, SamplesAgreeWithReferenceEvaluator) {
+  const std::string source =
+      "vrf_id != 0 && (ether_type::mask != 0 -> ether_type == 0x0800)";
+  auto compiled = ConstraintBdd::Compile(source, AclSchema());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  auto parsed = ParseConstraint(source, AclSchema());
+  ASSERT_TRUE(parsed.ok());
+
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto sample = compiled->SampleSatisfying(rng);
+    ASSERT_TRUE(sample.ok()) << sample.status();
+    auto verdict = EvalConstraint(*parsed, *sample);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_TRUE(*verdict) << "satisfying sample " << i
+                          << " violates the constraint";
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto sample = compiled->SampleViolating(rng);
+    ASSERT_TRUE(sample.ok()) << sample.status();
+    auto verdict = EvalConstraint(*parsed, *sample);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_FALSE(*verdict) << "violating sample " << i
+                           << " satisfies the constraint";
+  }
+}
+
+TEST(ConstraintBdd, SamplesAreWellFormed) {
+  auto compiled = ConstraintBdd::Compile("vrf_id != 0", AclSchema());
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    auto sample = compiled->SampleSatisfying(rng);
+    ASSERT_TRUE(sample.ok());
+    // Ternary canonical form: value under mask.
+    const KeyValuation& ether = sample->keys.at("ether_type");
+    EXPECT_EQ(ether.value & ~ether.mask, static_cast<uint128>(0));
+    // Optional: wildcard or exact.
+    const KeyValuation& port = sample->keys.at("in_port");
+    EXPECT_TRUE(port.mask == 0 || port.mask == 0xF);
+    // LPM: prefix within width, value within prefix.
+    const KeyValuation& dst = sample->keys.at("dst_ip");
+    EXPECT_LE(dst.prefix_len, 32);
+    EXPECT_EQ(dst.value & ~dst.mask, static_cast<uint128>(0));
+  }
+}
+
+TEST(ConstraintBdd, UnsatConstraintReportsNotFound) {
+  auto compiled = ConstraintBdd::Compile("vrf_id != vrf_id", AclSchema());
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(1);
+  EXPECT_EQ(compiled->SampleSatisfying(rng).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConstraintBdd, TautologyHasNoViolation) {
+  auto compiled = ConstraintBdd::Compile("true", AclSchema());
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(1);
+  EXPECT_EQ(compiled->SampleViolating(rng).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConstraintBdd, EmptyConstraintSamplesWellFormedEntries) {
+  auto compiled = ConstraintBdd::Compile("", AclSchema());
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(9);
+  auto sample = compiled->SampleSatisfying(rng);
+  ASSERT_TRUE(sample.ok());
+}
+
+TEST(ConstraintBdd, PrefixLengthConstraintsRespected) {
+  auto compiled =
+      ConstraintBdd::Compile("dst_ip::prefix_length == 24", AclSchema());
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    auto sample = compiled->SampleSatisfying(rng);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_EQ(sample->keys.at("dst_ip").prefix_len, 24);
+  }
+}
+
+}  // namespace
+}  // namespace switchv::p4constraints

@@ -1,0 +1,141 @@
+#include "util/bitstring.h"
+
+#include <gtest/gtest.h>
+
+namespace switchv {
+namespace {
+
+TEST(BitString, FromUintTruncatesToWidth) {
+  const BitString b = BitString::FromUint(0x1FF, 8);
+  EXPECT_EQ(b.ToUint64(), 0xFFu);
+  EXPECT_EQ(b.width(), 8);
+}
+
+TEST(BitString, CanonicalBytesAreShortest) {
+  EXPECT_EQ(BitString::FromUint(0, 32).ToCanonicalBytes(),
+            std::string("\0", 1));
+  EXPECT_EQ(BitString::FromUint(1, 32).ToCanonicalBytes(),
+            std::string("\1", 1));
+  EXPECT_EQ(BitString::FromUint(0x0A000001, 32).ToCanonicalBytes(),
+            std::string("\x0A\x00\x00\x01", 4));
+}
+
+TEST(BitString, PaddedBytesCoverFullWidth) {
+  EXPECT_EQ(BitString::FromUint(1, 32).ToPaddedBytes().size(), 4u);
+  EXPECT_EQ(BitString::FromUint(1, 12).ToPaddedBytes().size(), 2u);
+  EXPECT_EQ(BitString::FromUint(1, 1).ToPaddedBytes().size(), 1u);
+}
+
+TEST(BitString, FromBytesRoundTripsCanonical) {
+  const BitString original = BitString::FromUint(0xDEADBEEF, 32);
+  auto parsed = BitString::FromBytes(original.ToCanonicalBytes(), 32);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(BitString, FromBytesRejectsNonCanonical) {
+  // Leading zero byte: valid value, non-canonical encoding.
+  auto parsed = BitString::FromBytes(std::string("\x00\x01", 2), 32);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // But accepted when canonicality is not required.
+  auto lax = BitString::FromBytes(std::string("\x00\x01", 2), 32,
+                                  /*require_canonical=*/false);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax->ToUint64(), 1u);
+}
+
+TEST(BitString, FromBytesRejectsOverwideValue) {
+  auto parsed = BitString::FromBytes(std::string("\x01\x00", 2), 8);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitString, FromBytesRejectsEmpty) {
+  EXPECT_FALSE(BitString::FromBytes("", 8).ok());
+}
+
+TEST(BitString, FromBytesBoundaryFits) {
+  // 0xFF fits exactly in 8 bits.
+  auto parsed = BitString::FromBytes(std::string("\xFF", 1), 8);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToUint64(), 0xFFu);
+  // 0x1FF does not.
+  EXPECT_FALSE(BitString::FromBytes(std::string("\x01\xFF", 2), 8).ok());
+}
+
+TEST(BitString, Ipv4Parsing) {
+  auto addr = BitString::FromIpv4("10.0.0.1");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->ToUint64(), 0x0A000001u);
+  EXPECT_EQ(addr->width(), 32);
+  EXPECT_FALSE(BitString::FromIpv4("10.0.0").ok());
+  EXPECT_FALSE(BitString::FromIpv4("10.0.0.256").ok());
+  EXPECT_FALSE(BitString::FromIpv4("10.0.0.1.2").ok());
+}
+
+TEST(BitString, Ipv6Parsing) {
+  auto full = BitString::FromIpv6("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(full.ok());
+  auto compressed = BitString::FromIpv6("2001:db8::1");
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(*full, *compressed);
+  auto loopback = BitString::FromIpv6("::1");
+  ASSERT_TRUE(loopback.ok());
+  EXPECT_EQ(loopback->value(), static_cast<uint128>(1));
+  auto zero = BitString::FromIpv6("::");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->IsZero());
+  EXPECT_FALSE(BitString::FromIpv6("2001:db8::1::2").ok());
+  EXPECT_FALSE(BitString::FromIpv6("1:2:3:4:5:6:7").ok());
+}
+
+TEST(BitString, MacParsing) {
+  auto mac = BitString::FromMac("02:aa:00:00:00:01");
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac->ToUint64(), 0x02AA00000001ull);
+  EXPECT_FALSE(BitString::FromMac("02:aa:00:00:00").ok());
+  EXPECT_FALSE(BitString::FromMac("02:aa:00:00:00:xx").ok());
+}
+
+TEST(BitString, PrefixMask) {
+  EXPECT_EQ(BitString::PrefixMask(24, 32).ToUint64(), 0xFFFFFF00u);
+  EXPECT_EQ(BitString::PrefixMask(0, 32).ToUint64(), 0u);
+  EXPECT_EQ(BitString::PrefixMask(32, 32).ToUint64(), 0xFFFFFFFFu);
+  EXPECT_EQ(BitString::PrefixMask(64, 128),
+            BitString::FromUint(~static_cast<uint128>(0) << 64, 128));
+}
+
+TEST(BitString, TernaryMatches) {
+  const BitString field = BitString::FromUint(0x0A0000FF, 32);
+  const BitString value = BitString::FromUint(0x0A000000, 32);
+  const BitString mask = BitString::FromUint(0xFFFF0000, 32);
+  EXPECT_TRUE(field.TernaryMatches(value, mask));
+  EXPECT_FALSE(field.TernaryMatches(value, BitString::AllOnes(32)));
+}
+
+TEST(BitString, BitwiseOps) {
+  const BitString a = BitString::FromUint(0b1100, 4);
+  const BitString b = BitString::FromUint(0b1010, 4);
+  EXPECT_EQ((a & b).ToUint64(), 0b1000u);
+  EXPECT_EQ((a | b).ToUint64(), 0b1110u);
+  EXPECT_EQ((a ^ b).ToUint64(), 0b0110u);
+  EXPECT_EQ((~a).ToUint64(), 0b0011u);
+}
+
+TEST(BitString, WidthBounds) {
+  // Width 128 works end to end.
+  const BitString wide = BitString::AllOnes(128);
+  EXPECT_EQ(wide.ToPaddedBytes().size(), 16u);
+  auto round = BitString::FromBytes(wide.ToCanonicalBytes(), 128);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, wide);
+}
+
+TEST(IsCanonicalByteString, Rules) {
+  EXPECT_TRUE(IsCanonicalByteString(std::string("\x00", 1)));
+  EXPECT_TRUE(IsCanonicalByteString(std::string("\x01\x00", 2)));
+  EXPECT_FALSE(IsCanonicalByteString(std::string("\x00\x01", 2)));
+  EXPECT_FALSE(IsCanonicalByteString(""));
+}
+
+}  // namespace
+}  // namespace switchv

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include "bmv2/interpreter.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "models/test_packets.h"
+#include "p4runtime/entry_builder.h"
+
+namespace switchv::bmv2 {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+using p4rt::EntryBuilder;
+
+BitString U(uint128 v, int w) { return BitString::FromUint(v, w); }
+
+class Bmv2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    interpreter_ = std::make_unique<Interpreter>(
+        program_, models::SaiParserSpec(), models::DefaultCloneSessions());
+    info_ = p4ir::P4Info::FromProgram(program_);
+  }
+
+  // Installs the minimal chain to route 10.0.0.0/24 out of port 5:
+  // admit-all, vrf 1 via pre-ingress, route -> nexthop 1 -> neighbor 1 ->
+  // rif 1 (port 5).
+  void InstallRoutingChain() {
+    std::vector<p4rt::TableEntry> entries;
+    auto push = [&](StatusOr<p4rt::TableEntry> e) {
+      ASSERT_TRUE(e.ok()) << e.status();
+      entries.push_back(std::move(e).value());
+    };
+    push(EntryBuilder(info_, "l3_admit_tbl")
+             .Priority(1)
+             .Action("l3_admit")
+             .Build());
+    push(EntryBuilder(info_, "acl_pre_ingress_tbl")
+             .Priority(1)
+             .Action("set_vrf", {{"vrf_id", U(1, models::kVrfWidth)}})
+             .Build());
+    push(EntryBuilder(info_, "vrf_tbl")
+             .Exact("vrf_id", U(1, models::kVrfWidth))
+             .Action("no_action")
+             .Build());
+    push(EntryBuilder(info_, "ipv4_tbl")
+             .Exact("vrf_id", U(1, models::kVrfWidth))
+             .Lpm("ipv4_dst", U(0x0A000000, 32), 24)
+             .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+             .Build());
+    push(EntryBuilder(info_, "nexthop_tbl")
+             .Exact("nexthop_id", U(1, 16))
+             .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                     {"neighbor_id", U(1, 16)}})
+             .Build());
+    push(EntryBuilder(info_, "neighbor_tbl")
+             .Exact("router_interface_id", U(1, 16))
+             .Exact("neighbor_id", U(1, 16))
+             .Action("set_dst_mac", {{"dst_mac", U(0x0400000000AAull, 48)}})
+             .Build());
+    push(EntryBuilder(info_, "router_interface_tbl")
+             .Exact("router_interface_id", U(1, 16))
+             .Action("set_port_and_src_mac",
+                     {{"port", U(5, p4ir::kPortWidth)},
+                      {"src_mac", U(0x020000000001ull, 48)}})
+             .Build());
+    extra_entries_ = entries;
+    ASSERT_TRUE(interpreter_->InstallEntries(entries).ok());
+  }
+
+  void Reinstall(std::vector<p4rt::TableEntry> more) {
+    std::vector<p4rt::TableEntry> all = extra_entries_;
+    for (auto& e : more) all.push_back(std::move(e));
+    ASSERT_TRUE(interpreter_->InstallEntries(all).ok());
+  }
+
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+  std::unique_ptr<Interpreter> interpreter_;
+  std::vector<p4rt::TableEntry> extra_entries_;
+};
+
+TEST_F(Bmv2Test, RoutesMatchingPacket) {
+  InstallRoutingChain();
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;  // 10.0.0.66
+  const std::string bytes = models::BuildIpv4Packet(program_, spec);
+  auto outcome = interpreter_->Run(bytes, /*ingress_port=*/1, /*seed=*/0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->dropped);
+  EXPECT_EQ(outcome->egress_port, 5);
+  // Rewrites applied: dst MAC from neighbor, src MAC from RIF, TTL - 1.
+  const auto egress = packet::Parse(program_, models::SaiParserSpec(),
+                                    outcome->packet_bytes);
+  EXPECT_EQ(egress.fields.at("ethernet.dst_addr").ToUint64(),
+            0x0400000000AAull);
+  EXPECT_EQ(egress.fields.at("ethernet.src_addr").ToUint64(),
+            0x020000000001ull);
+  EXPECT_EQ(egress.fields.at("ipv4.ttl").ToUint64(), 63u);
+}
+
+TEST_F(Bmv2Test, UnroutedPacketDropsByDefault) {
+  InstallRoutingChain();
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0B000001;  // 11.0.0.1 — no route
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->dropped);
+}
+
+TEST_F(Bmv2Test, LongestPrefixWins) {
+  InstallRoutingChain();
+  // Add a /32 sending 10.0.0.7 to a different nexthop chain (reuse rif 1
+  // via nexthop 2? simplest: drop).
+  auto more = EntryBuilder(info_, "ipv4_tbl")
+                  .Exact("vrf_id", U(1, models::kVrfWidth))
+                  .Lpm("ipv4_dst", U(0x0A000007, 32), 32)
+                  .Action("drop_packet")
+                  .Build();
+  ASSERT_TRUE(more.ok());
+  Reinstall({*more});
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000007;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->dropped);  // /32 drop shadows the /24 route
+  spec.dst_ip = 0x0A000008;
+  outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec), 1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->dropped);
+}
+
+TEST_F(Bmv2Test, TtlTrapPuntsLowTtl) {
+  InstallRoutingChain();
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;
+  spec.ttl = 1;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->dropped);
+  EXPECT_TRUE(outcome->punted);
+}
+
+TEST_F(Bmv2Test, BroadcastDropped) {
+  InstallRoutingChain();
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0xFFFFFFFF;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->dropped);
+  EXPECT_FALSE(outcome->punted);
+}
+
+TEST_F(Bmv2Test, AclPriorityOrdering) {
+  InstallRoutingChain();
+  // Low priority: drop all IPv4. High priority: trap TCP port 179.
+  auto low = EntryBuilder(info_, "acl_ingress_tbl")
+                 .Ternary("ether_type", U(0x0800, 16), BitString::AllOnes(16))
+                 .Priority(1)
+                 .Action("acl_drop")
+                 .Build();
+  auto high = EntryBuilder(info_, "acl_ingress_tbl")
+                  .Ternary("ip_protocol", U(6, 8), BitString::AllOnes(8))
+                  .Ternary("l4_dst_port", U(179, 16), BitString::AllOnes(16))
+                  .Priority(10)
+                  .Action("acl_trap")
+                  .Build();
+  ASSERT_TRUE(low.ok() && high.ok());
+  Reinstall({*low, *high});
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;
+  spec.dst_port = 179;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->punted);  // high-priority trap wins
+  spec.dst_port = 80;
+  outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec), 1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->dropped);
+  EXPECT_FALSE(outcome->punted);  // falls to the drop-all entry
+}
+
+TEST_F(Bmv2Test, MirrorClonesPacket) {
+  InstallRoutingChain();
+  auto mirror = EntryBuilder(info_, "acl_ingress_tbl")
+                    .Ternary("ether_type", U(0x0800, 16),
+                             BitString::AllOnes(16))
+                    .Priority(3)
+                    .Action("acl_mirror", {{"mirror_port", U(11, 16)}})
+                    .Build();
+  auto session = EntryBuilder(info_, "mirror_session_tbl")
+                     .Exact("mirror_port", U(11, 16))
+                     .Action("set_clone_session", {{"session_id", U(2, 16)}})
+                     .Build();
+  ASSERT_TRUE(mirror.ok() && session.ok());
+  Reinstall({*mirror, *session});
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->dropped);
+  ASSERT_EQ(outcome->clones.size(), 1u);
+  EXPECT_EQ(outcome->clones[0].first, 102);  // session 2 -> port 102
+}
+
+TEST_F(Bmv2Test, WcmpEnumeratesMemberBehaviors) {
+  InstallRoutingChain();
+  // Second nexthop chain via port 9.
+  std::vector<p4rt::TableEntry> more;
+  auto push = [&](StatusOr<p4rt::TableEntry> e) {
+    ASSERT_TRUE(e.ok()) << e.status();
+    more.push_back(std::move(e).value());
+  };
+  push(EntryBuilder(info_, "nexthop_tbl")
+           .Exact("nexthop_id", U(2, 16))
+           .Action("set_nexthop", {{"router_interface_id", U(2, 16)},
+                                   {"neighbor_id", U(2, 16)}})
+           .Build());
+  push(EntryBuilder(info_, "neighbor_tbl")
+           .Exact("router_interface_id", U(2, 16))
+           .Exact("neighbor_id", U(2, 16))
+           .Action("set_dst_mac", {{"dst_mac", U(0x0400000000BBull, 48)}})
+           .Build());
+  push(EntryBuilder(info_, "router_interface_tbl")
+           .Exact("router_interface_id", U(2, 16))
+           .Action("set_port_and_src_mac",
+                   {{"port", U(9, p4ir::kPortWidth)},
+                    {"src_mac", U(0x020000000002ull, 48)}})
+           .Build());
+  push(EntryBuilder(info_, "wcmp_group_tbl")
+           .Exact("wcmp_group_id", U(1, 16))
+           .WeightedAction("set_nexthop_id", 1, {{"nexthop_id", U(1, 16)}})
+           .WeightedAction("set_nexthop_id", 2, {{"nexthop_id", U(2, 16)}})
+           .Build());
+  push(EntryBuilder(info_, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A010000, 32), 24)
+           .Action("set_wcmp_group_id", {{"wcmp_group_id", U(1, 16)}})
+           .Build());
+  Reinstall(std::move(more));
+
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A010005;
+  auto behaviors = interpreter_->EnumerateBehaviors(
+      models::BuildIpv4Packet(program_, spec), 1);
+  ASSERT_TRUE(behaviors.ok()) << behaviors.status();
+  // Two members -> exactly two distinct behaviors (ports 5 and 9).
+  ASSERT_EQ(behaviors->size(), 2u);
+  std::set<std::uint16_t> ports;
+  for (const auto& b : *behaviors) {
+    EXPECT_FALSE(b.dropped);
+    ports.insert(b.egress_port);
+  }
+  EXPECT_EQ(ports, (std::set<std::uint16_t>{5, 9}));
+}
+
+TEST_F(Bmv2Test, DeterministicPipelineHasSingleBehavior) {
+  InstallRoutingChain();
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;
+  auto behaviors = interpreter_->EnumerateBehaviors(
+      models::BuildIpv4Packet(program_, spec), 1);
+  ASSERT_TRUE(behaviors.ok());
+  EXPECT_EQ(behaviors->size(), 1u);
+}
+
+TEST_F(Bmv2Test, NonIpPacketNotRouted) {
+  InstallRoutingChain();
+  auto outcome = interpreter_->Run(models::BuildArpPacket(program_), 1, 0);
+  ASSERT_TRUE(outcome.ok());
+  // No route chain applies; ARP reaches the default egress port 0... the
+  // routing tables are guarded by ipv4/ipv6 validity, and nexthop_id stays
+  // 0, so the packet egresses unmodified on port 0 (a front-panel flood is
+  // out of scope for these models).
+  EXPECT_FALSE(outcome->punted);
+}
+
+TEST_F(Bmv2Test, EgressRifRewritesSrcMac) {
+  InstallRoutingChain();
+  auto egress = EntryBuilder(info_, "egress_rif_tbl")
+                    .Exact("out_port", U(5, p4ir::kPortWidth))
+                    .Action("set_egress_src_mac",
+                            {{"src_mac", U(0x02000000EEEEull, 48)}})
+                    .Build();
+  ASSERT_TRUE(egress.ok());
+  Reinstall({*egress});
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000042;
+  auto outcome = interpreter_->Run(models::BuildIpv4Packet(program_, spec),
+                                   1, 0);
+  ASSERT_TRUE(outcome.ok());
+  const auto parsed = packet::Parse(program_, models::SaiParserSpec(),
+                                    outcome->packet_bytes);
+  EXPECT_EQ(parsed.fields.at("ethernet.src_addr").ToUint64(),
+            0x02000000EEEEull);
+}
+
+TEST(Bmv2WanTest, TunnelEncapAndDecap) {
+  auto program = BuildSaiProgram(Role::kWan);
+  ASSERT_TRUE(program.ok()) << program.status();
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*program);
+  Interpreter interpreter(*program, models::SaiParserSpec());
+
+  std::vector<p4rt::TableEntry> entries;
+  auto push = [&](StatusOr<p4rt::TableEntry> e) {
+    ASSERT_TRUE(e.ok()) << e.status();
+    entries.push_back(std::move(e).value());
+  };
+  push(EntryBuilder(info, "l3_admit_tbl").Priority(1).Action("l3_admit")
+           .Build());
+  push(EntryBuilder(info, "acl_pre_ingress_tbl")
+           .Priority(1)
+           .Action("set_vrf", {{"vrf_id", U(1, models::kVrfWidth)}})
+           .Build());
+  push(EntryBuilder(info, "vrf_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Action("no_action")
+           .Build());
+  push(EntryBuilder(info, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A000000, 32), 24)
+           .Action("set_tunnel", {{"tunnel_id", U(1, 16)},
+                                  {"nexthop_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info, "tunnel_encap_tbl")
+           .Exact("tunnel_id", U(1, 16))
+           .Action("tunnel_encap", {{"src_ip", U(0xAC100001, 32)},
+                                    {"dst_ip", U(0xAC110001, 32)}})
+           .Build());
+  push(EntryBuilder(info, "nexthop_tbl")
+           .Exact("nexthop_id", U(1, 16))
+           .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                   {"neighbor_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info, "neighbor_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Exact("neighbor_id", U(1, 16))
+           .Action("set_dst_mac", {{"dst_mac", U(0x0400000000AAull, 48)}})
+           .Build());
+  push(EntryBuilder(info, "router_interface_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Action("set_port_and_src_mac",
+                   {{"port", U(7, p4ir::kPortWidth)},
+                    {"src_mac", U(0x020000000001ull, 48)}})
+           .Build());
+  ASSERT_TRUE(interpreter.InstallEntries(entries).ok());
+
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000099;
+  auto outcome =
+      interpreter.Run(models::BuildIpv4Packet(*program, spec), 1, 0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->dropped);
+  EXPECT_EQ(outcome->egress_port, 7);
+  const auto egress = packet::Parse(*program, models::SaiParserSpec(),
+                                    outcome->packet_bytes);
+  EXPECT_TRUE(egress.valid_headers.contains("inner_ipv4"));
+  EXPECT_EQ(egress.fields.at("ipv4.src_addr").ToUint64(), 0xAC100001u);
+  EXPECT_EQ(egress.fields.at("ipv4.dst_addr").ToUint64(), 0xAC110001u);
+  EXPECT_EQ(egress.fields.at("ipv4.protocol").ToUint64(), 4u);
+  EXPECT_EQ(egress.fields.at("inner_ipv4.dst_addr").ToUint64(), 0x0A000099u);
+}
+
+TEST(Bmv2ModelBugTest, OmittedTtlTrapDiverges) {
+  auto correct = BuildSaiProgram(Role::kMiddleblock);
+  models::ModelOptions buggy_options;
+  buggy_options.omit_ttl_trap = true;
+  auto buggy = BuildSaiProgram(Role::kMiddleblock, buggy_options);
+  ASSERT_TRUE(correct.ok() && buggy.ok());
+  EXPECT_NE(correct->Fingerprint(), buggy->Fingerprint());
+}
+
+}  // namespace
+}  // namespace switchv::bmv2

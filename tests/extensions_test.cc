@@ -1,0 +1,162 @@
+// Tests for the extension features: P4 source rendering (living
+// documentation), packet-cache persistence, and data-plane validation over
+// fuzzed state (§7).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/entry_gen.h"
+#include "p4ir/p4_source.h"
+#include "switchv/experiment.h"
+#include "symbolic/packet_gen.h"
+
+namespace switchv {
+namespace {
+
+TEST(P4Source, RendersTheMiddleblockModel) {
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  const std::string source = p4ir::ToP4Source(*model);
+  // Headers, tables, annotations, and control flow are all present.
+  EXPECT_NE(source.find("header ipv4_t {"), std::string::npos);
+  EXPECT_NE(source.find("bit<32> dst_addr;"), std::string::npos);
+  EXPECT_NE(source.find("@entry_restriction(\"vrf_id != 0\")"),
+            std::string::npos);
+  EXPECT_NE(source.find("table vrf_tbl {"), std::string::npos);
+  EXPECT_NE(source.find("@refers_to(vrf_tbl, vrf_id)"), std::string::npos);
+  EXPECT_NE(source.find("action set_nexthop_id("), std::string::npos);
+  EXPECT_NE(source.find("ipv4_tbl.apply();"), std::string::npos);
+  EXPECT_NE(source.find("if ipv4.isValid()"), std::string::npos);
+  EXPECT_NE(source.find("implementation = action_selector"),
+            std::string::npos);
+  // The fixed TTL trap shows up as documentation of switch behaviour.
+  EXPECT_NE(source.find("trap_ttl();"), std::string::npos);
+}
+
+TEST(P4Source, ModelVariantsRenderDifferently) {
+  auto correct = models::BuildSaiProgram(models::Role::kMiddleblock);
+  models::ModelOptions buggy_options;
+  buggy_options.omit_ttl_trap = true;
+  auto buggy = models::BuildSaiProgram(models::Role::kMiddleblock,
+                                       buggy_options);
+  ASSERT_TRUE(correct.ok() && buggy.ok());
+  const std::string correct_source = p4ir::ToP4Source(*correct);
+  const std::string buggy_source = p4ir::ToP4Source(*buggy);
+  EXPECT_NE(correct_source, buggy_source);
+  EXPECT_EQ(buggy_source.find("trap_ttl();"), std::string::npos);
+}
+
+TEST(PacketCachePersistence, SaveLoadRoundTrip) {
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  models::WorkloadSpec spec = ExperimentOptions::SmallWorkload();
+  spec.num_ipv4_routes = 8;
+  spec.num_ipv6_routes = 2;
+  spec.num_acl_ingress = 4;
+  spec.num_pre_ingress = 3;
+  spec.num_nexthops = 4;
+  spec.num_neighbors = 4;
+  auto entries = models::GenerateEntries(info, models::Role::kMiddleblock,
+                                         spec, 3);
+  ASSERT_TRUE(entries.ok());
+
+  symbolic::PacketCache cache;
+  symbolic::GenerationStats cold;
+  auto packets = symbolic::GeneratePackets(
+      *model, models::SaiParserSpec(), *entries,
+      symbolic::CoverageMode::kEntryCoverage, &cache, &cold);
+  ASSERT_TRUE(packets.ok());
+  ASSERT_FALSE(cold.cache_hit);
+
+  const std::string path =
+      ::testing::TempDir() + "/switchv_packet_cache_test.txt";
+  ASSERT_TRUE(cache.Save(path).ok());
+
+  // A fresh process (cache) loads the file and serves the lookup without
+  // any Z3 work.
+  symbolic::PacketCache reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), cache.size());
+  symbolic::GenerationStats warm;
+  auto cached = symbolic::GeneratePackets(
+      *model, models::SaiParserSpec(), *entries,
+      symbolic::CoverageMode::kEntryCoverage, &reloaded, &warm);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_EQ(cached->size(), packets->size());
+  for (std::size_t i = 0; i < packets->size(); ++i) {
+    EXPECT_EQ((*cached)[i].bytes, (*packets)[i].bytes) << i;
+    EXPECT_EQ((*cached)[i].ingress_port, (*packets)[i].ingress_port) << i;
+    EXPECT_EQ((*cached)[i].target_id, (*packets)[i].target_id) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PacketCachePersistence, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/switchv_garbage.txt";
+  {
+    std::ofstream file(path);
+    file << "not a cache file\n";
+  }
+  symbolic::PacketCache cache;
+  EXPECT_FALSE(cache.Load(path).ok());
+  EXPECT_FALSE(cache.Load(path + ".does-not-exist").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FuzzedStateDataplane, HealthySwitchStaysClean) {
+  // §7 extension: the dataplane phase runs against the state the fuzzer
+  // left behind. On a healthy switch this must still be incident-free.
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  models::WorkloadSpec workload = ExperimentOptions::SmallWorkload();
+  workload.num_ipv4_routes = 10;
+  workload.num_acl_ingress = 6;
+  auto entries = models::GenerateEntries(info, models::Role::kMiddleblock,
+                                         workload, 2);
+  ASSERT_TRUE(entries.ok());
+  NightlyOptions options;
+  options.control_plane.num_requests = 3;
+  options.control_plane.updates_per_request = 15;
+  options.run_dataplane = false;  // only the fuzzed-state dataplane pass
+  options.dataplane_on_fuzzed_state = true;
+  const NightlyReport report = RunNightlyValidation(
+      nullptr, *model, models::SaiParserSpec(), *entries, options);
+  for (const Incident& incident : report.incidents) {
+    ADD_FAILURE() << DetectorName(incident.detector) << ": "
+                  << incident.summary << " [" << incident.details << "]";
+  }
+  EXPECT_GT(report.packets_tested, 20);
+}
+
+TEST(FuzzedStateDataplane, FindsDataplaneBugOnFuzzedState) {
+  // The DSCP re-marking bug is found even when the forwarding state under
+  // test is fuzzer-produced rather than a clean replay.
+  const sut::BugInfo* bug = sut::FindBug(sut::Fault::kDscpRemarkedToZero);
+  ASSERT_NE(bug, nullptr);
+  auto model = ModelForBug(*bug);
+  ASSERT_TRUE(model.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  models::WorkloadSpec workload = ExperimentOptions::SmallWorkload();
+  workload.num_ipv4_routes = 10;
+  workload.num_acl_ingress = 6;
+  auto entries = models::GenerateEntries(info, models::Role::kMiddleblock,
+                                         workload, 2);
+  ASSERT_TRUE(entries.ok());
+  sut::FaultRegistry faults;
+  faults.Activate(bug->fault);
+  NightlyOptions options;
+  options.control_plane.num_requests = 3;
+  options.control_plane.updates_per_request = 15;
+  options.run_dataplane = false;
+  options.dataplane_on_fuzzed_state = true;
+  const NightlyReport report = RunNightlyValidation(
+      &faults, *model, models::SaiParserSpec(), *entries, options);
+  EXPECT_TRUE(report.bug_detected());
+}
+
+}  // namespace
+}  // namespace switchv

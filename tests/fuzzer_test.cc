@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fuzzer/generator.h"
+#include "fuzzer/oracle.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "p4runtime/validator.h"
+#include "sut/switch_stack.h"
+
+namespace switchv::fuzzer {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+
+class FuzzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+    state_ = std::make_unique<SwitchStateView>(info_);
+    // Seed the state with a small installed base so references resolve.
+    auto entries = models::GenerateEntries(
+        info_, Role::kMiddleblock, SmallSpec(), /*seed=*/3);
+    ASSERT_TRUE(entries.ok());
+    base_entries_ = std::move(entries).value();
+    state_->Reset(base_entries_);
+  }
+
+  static models::WorkloadSpec SmallSpec() {
+    models::WorkloadSpec spec;
+    spec.num_vrfs = 2;
+    spec.num_l3_admit = 2;
+    spec.num_pre_ingress = 4;
+    spec.num_ipv4_routes = 12;
+    spec.num_ipv6_routes = 4;
+    spec.num_wcmp_groups = 2;
+    spec.num_nexthops = 4;
+    spec.num_neighbors = 4;
+    spec.num_rifs = 3;
+    spec.num_acl_ingress = 5;
+    spec.num_mirror_sessions = 2;
+    spec.num_egress_rifs = 2;
+    return spec;
+  }
+
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+  std::unique_ptr<SwitchStateView> state_;
+  std::vector<p4rt::TableEntry> base_entries_;
+};
+
+TEST_F(FuzzerTest, StateViewTracksEntriesAndReferences) {
+  EXPECT_EQ(state_->TotalEntries(), base_entries_.size());
+  // VRF values are available as reference targets.
+  const auto vrfs = state_->KeyValues("vrf_tbl", "vrf_id");
+  EXPECT_EQ(vrfs.size(), 2u);
+  // A VRF referenced by routes is flagged as referenced.
+  for (const p4rt::TableEntry* entry :
+       state_->TableEntries(info_.FindTableByName("vrf_tbl")->id)) {
+    EXPECT_TRUE(state_->IsReferenced(*entry));
+  }
+  // An ACL entry is not referenced by anything.
+  for (const p4rt::TableEntry* entry :
+       state_->TableEntries(info_.FindTableByName("acl_ingress_tbl")->id)) {
+    EXPECT_FALSE(state_->IsReferenced(*entry));
+  }
+}
+
+TEST_F(FuzzerTest, ValidEntriesPassFullValidation) {
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/7);
+  int generated = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto entry = generator.GenerateValidEntry(*state_);
+    if (!entry.ok()) continue;
+    ++generated;
+    EXPECT_TRUE(p4rt::ValidateEntry(info_, *entry).ok())
+        << entry->ToString(&info_);
+  }
+  EXPECT_GT(generated, 250);
+}
+
+TEST_F(FuzzerTest, NaiveModeFrequentlyViolatesConstraints) {
+  // Paper §4.1: without constraint-aware generation, constrained tables
+  // frequently receive invalid (non-compliant) requests.
+  FuzzerOptions naive;
+  naive.use_bdd_for_constraints = false;
+  RequestGenerator generator(info_, naive, /*seed=*/7);
+  int constrained = 0;
+  int violations = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto entry = generator.GenerateValidEntry(*state_);
+    if (!entry.ok()) continue;
+    const p4ir::TableInfo* table = info_.FindTable(entry->table_id);
+    if (table->entry_restriction.empty()) continue;
+    ++constrained;
+    auto compliant = p4rt::IsConstraintCompliant(info_, *entry);
+    ASSERT_TRUE(compliant.ok());
+    if (!*compliant) ++violations;
+  }
+  EXPECT_GT(constrained, 20);
+  EXPECT_GT(violations, 0);
+}
+
+TEST_F(FuzzerTest, MutationsProduceInvalidRequests) {
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/11);
+  std::map<Mutation, int> produced;
+  std::map<Mutation, int> accepted_as_valid;
+  const auto batch = generator.GenerateBatch(*state_, 3000);
+  for (const AnnotatedUpdate& update : batch) {
+    if (!update.mutation.has_value()) continue;
+    ++produced[*update.mutation];
+    // Mutated inserts must fail full validation (the state-dependent
+    // mutations DuplicateEntry / DeleteNonExisting / InvalidReference are
+    // judged against switch state instead).
+    if (*update.mutation == Mutation::kDuplicateEntry ||
+        *update.mutation == Mutation::kDeleteNonExisting ||
+        *update.mutation == Mutation::kInvalidReference) {
+      continue;
+    }
+    if (p4rt::ValidateEntry(info_, update.update.entry).ok()) {
+      ++accepted_as_valid[*update.mutation];
+    }
+  }
+  // Most mutation kinds were exercised across 3000 updates.
+  EXPECT_GE(produced.size(), 12u);
+  for (const auto& [mutation, count] : accepted_as_valid) {
+    ADD_FAILURE() << MutationName(mutation) << " produced " << count
+                  << " entries that still pass validation";
+  }
+}
+
+TEST_F(FuzzerTest, BatchesAreOrderIndependent) {
+  // Intended-valid updates never reference values first provided inside
+  // the same batch (paper §4.4).
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/13);
+  const auto batch = generator.GenerateBatch(*state_, 500);
+  for (const AnnotatedUpdate& update : batch) {
+    if (update.mutation.has_value()) continue;
+    if (update.update.type != p4rt::UpdateType::kInsert) continue;
+    // All references must resolve against the PRE-batch state.
+    const p4ir::TableInfo* table =
+        info_.FindTable(update.update.entry.table_id);
+    ASSERT_NE(table, nullptr);
+    for (const p4rt::FieldMatch& m : update.update.entry.matches) {
+      const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
+      if (field == nullptr || !field->refers_to.has_value()) continue;
+      const auto pool =
+          state_->KeyValues(field->refers_to->table, field->refers_to->key);
+      EXPECT_NE(std::find(pool.begin(), pool.end(), m.value), pool.end())
+          << "in-batch dependency in "
+          << update.update.entry.ToString(&info_);
+    }
+  }
+}
+
+TEST_F(FuzzerTest, OracleAcceptsCorrectSwitch) {
+  // Drive a real healthy switch with fuzzed batches: zero findings.
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           models::kCpuPort);
+  ASSERT_TRUE(sut.SetForwardingPipelineConfig(info_).ok());
+  p4rt::WriteRequest seed;
+  for (const p4rt::TableEntry& entry : base_entries_) {
+    seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  ASSERT_TRUE(sut.Write(seed).all_ok());
+
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/17);
+  Oracle oracle(info_);
+  oracle.SyncState(base_entries_);
+  for (int round = 0; round < 10; ++round) {
+    const auto batch = generator.GenerateBatch(oracle.state(), 50);
+    p4rt::WriteRequest request;
+    for (const AnnotatedUpdate& update : batch) {
+      request.updates.push_back(update.update);
+    }
+    const p4rt::WriteResponse response = sut.Write(request);
+    const auto read = sut.Read(p4rt::ReadRequest{});
+    const auto findings = oracle.JudgeBatch(batch, response, read);
+    for (const Finding& finding : findings) {
+      ADD_FAILURE() << "round " << round << ": " << finding.message << " ["
+                    << finding.entry_text << "]";
+    }
+    if (!findings.empty()) break;
+  }
+}
+
+TEST_F(FuzzerTest, OracleFlagsWrongAcceptance) {
+  Oracle oracle(info_);
+  oracle.SyncState(base_entries_);
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/19);
+  // Build a batch with one guaranteed-invalid update (unknown table id).
+  auto valid = generator.GenerateValidEntry(*state_);
+  ASSERT_TRUE(valid.ok());
+  p4rt::TableEntry bogus = *valid;
+  bogus.table_id = 0x0BADF00D;
+  std::vector<AnnotatedUpdate> batch = {
+      AnnotatedUpdate{p4rt::Update{p4rt::UpdateType::kInsert, bogus},
+                      Mutation::kInvalidTableId}};
+  // Pretend the switch accepted it.
+  p4rt::WriteResponse response;
+  response.statuses = {OkStatus()};
+  p4rt::ReadResponse read;
+  for (const p4rt::TableEntry& e : base_entries_) read.entries.push_back(e);
+  const auto findings = oracle.JudgeBatch(batch, response,
+                                          StatusOr<p4rt::ReadResponse>(read));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("must reject"), std::string::npos);
+}
+
+TEST_F(FuzzerTest, OracleFlagsWrongRejection) {
+  Oracle oracle(info_);
+  oracle.SyncState(base_entries_);
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/23);
+  StatusOr<p4rt::TableEntry> fresh = NotFoundError("");
+  for (int i = 0; i < 50 && !fresh.ok(); ++i) {
+    auto candidate = generator.GenerateValidEntry(*state_);
+    if (candidate.ok() && !state_->Contains(*candidate)) fresh = candidate;
+  }
+  ASSERT_TRUE(fresh.ok());
+  std::vector<AnnotatedUpdate> batch = {AnnotatedUpdate{
+      p4rt::Update{p4rt::UpdateType::kInsert, *fresh}, std::nullopt}};
+  p4rt::WriteResponse response;
+  response.statuses = {InternalError("spurious failure")};
+  p4rt::ReadResponse read;
+  for (const p4rt::TableEntry& e : base_entries_) read.entries.push_back(e);
+  const auto findings = oracle.JudgeBatch(batch, response,
+                                          StatusOr<p4rt::ReadResponse>(read));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("must accept"), std::string::npos);
+}
+
+TEST_F(FuzzerTest, OracleFlagsStateDivergence) {
+  Oracle oracle(info_);
+  oracle.SyncState(base_entries_);
+  // Empty batch, but the read is missing an entry the oracle knows about.
+  p4rt::ReadResponse read;
+  for (std::size_t i = 0; i + 1 < base_entries_.size(); ++i) {
+    read.entries.push_back(base_entries_[i]);
+  }
+  const auto findings =
+      oracle.JudgeBatch({}, p4rt::WriteResponse{},
+                        StatusOr<p4rt::ReadResponse>(read));
+  ASSERT_FALSE(findings.empty());
+}
+
+TEST_F(FuzzerTest, ConstraintViolationMutationIsWellFormedButNonCompliant) {
+  RequestGenerator generator(info_, FuzzerOptions{}, /*seed=*/29);
+  int seen = 0;
+  const auto batch = generator.GenerateBatch(*state_, 3000);
+  for (const AnnotatedUpdate& update : batch) {
+    if (update.mutation != Mutation::kConstraintViolation) continue;
+    ++seen;
+    // Syntactically valid...
+    EXPECT_TRUE(
+        p4rt::ValidateEntrySyntax(info_, update.update.entry).ok())
+        << update.update.entry.ToString(&info_);
+    // ...but not constraint compliant.
+    auto compliant =
+        p4rt::IsConstraintCompliant(info_, update.update.entry);
+    ASSERT_TRUE(compliant.ok());
+    EXPECT_FALSE(*compliant) << update.update.entry.ToString(&info_);
+  }
+  EXPECT_GT(seen, 5);
+}
+
+}  // namespace
+}  // namespace switchv::fuzzer

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "p4runtime/validator.h"
+
+namespace switchv::models {
+namespace {
+
+TEST(SaiModel, BothRolesValidate) {
+  for (Role role : {Role::kMiddleblock, Role::kWan}) {
+    auto program = BuildSaiProgram(role);
+    ASSERT_TRUE(program.ok()) << RoleName(role) << ": " << program.status();
+  }
+}
+
+TEST(SaiModel, RolesShareCommonTablesButDiffer) {
+  auto mb = BuildSaiProgram(Role::kMiddleblock);
+  auto wan = BuildSaiProgram(Role::kWan);
+  ASSERT_TRUE(mb.ok() && wan.ok());
+  // Common SAI components exist in both instantiations.
+  for (const char* table :
+       {"vrf_tbl", "ipv4_tbl", "ipv6_tbl", "nexthop_tbl", "neighbor_tbl",
+        "router_interface_tbl", "wcmp_group_tbl", "acl_ingress_tbl",
+        "mirror_session_tbl", "egress_rif_tbl"}) {
+    EXPECT_NE(mb->FindTable(table), nullptr) << table;
+    EXPECT_NE(wan->FindTable(table), nullptr) << table;
+  }
+  // Role-specific: tunnels only in WAN.
+  EXPECT_EQ(mb->FindTable("tunnel_encap_tbl"), nullptr);
+  EXPECT_NE(wan->FindTable("tunnel_encap_tbl"), nullptr);
+  EXPECT_NE(wan->FindTable("decap_tbl"), nullptr);
+  // Role-specific ACL: WAN matches on more keys (expressivity/scalability
+  // trade-off, paper §3).
+  EXPECT_GT(wan->FindTable("acl_ingress_tbl")->keys.size(),
+            mb->FindTable("acl_ingress_tbl")->keys.size());
+  EXPECT_NE(mb->Fingerprint(), wan->Fingerprint());
+}
+
+TEST(SaiModel, PaperTableCountIsRealistic) {
+  // The paper reports 14 tables for the PINS models; ours are comparable.
+  auto mb = BuildSaiProgram(Role::kMiddleblock);
+  ASSERT_TRUE(mb.ok());
+  EXPECT_GE(mb->tables.size(), 12u);
+  auto wan = BuildSaiProgram(Role::kWan);
+  ASSERT_TRUE(wan.ok());
+  EXPECT_GE(wan->tables.size(), 14u);
+}
+
+TEST(SaiModel, VrfRestrictionPresent) {
+  auto mb = BuildSaiProgram(Role::kMiddleblock);
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(mb->FindTable("vrf_tbl")->entry_restriction, "vrf_id != 0");
+}
+
+TEST(SaiModel, RefersToAnnotationsPresent) {
+  auto mb = BuildSaiProgram(Role::kMiddleblock);
+  ASSERT_TRUE(mb.ok());
+  const p4ir::Table* ipv4 = mb->FindTable("ipv4_tbl");
+  ASSERT_NE(ipv4, nullptr);
+  const p4ir::KeyDef* vrf_key = ipv4->FindKey("vrf_id");
+  ASSERT_NE(vrf_key, nullptr);
+  ASSERT_TRUE(vrf_key->refers_to.has_value());
+  EXPECT_EQ(vrf_key->refers_to->table, "vrf_tbl");
+  EXPECT_FALSE(ipv4->param_refers_to.empty());
+}
+
+TEST(SaiModel, ModelBugVariantsDiffer) {
+  auto base = BuildSaiProgram(Role::kMiddleblock);
+  ASSERT_TRUE(base.ok());
+  for (int variant = 0; variant < 4; ++variant) {
+    ModelOptions options;
+    options.omit_ttl_trap = variant == 0;
+    options.omit_broadcast_drop = variant == 1;
+    options.acl_after_rewrite = variant == 2;
+    options.acl_wrong_icmp_field = variant == 3;
+    auto buggy = BuildSaiProgram(Role::kMiddleblock, options);
+    ASSERT_TRUE(buggy.ok()) << "variant " << variant << ": "
+                            << buggy.status();
+    EXPECT_NE(base->Fingerprint(), buggy->Fingerprint())
+        << "variant " << variant;
+  }
+}
+
+class EntryGenTest : public ::testing::TestWithParam<Role> {};
+
+TEST_P(EntryGenTest, GeneratedEntriesAreValid) {
+  const Role role = GetParam();
+  auto program = BuildSaiProgram(role);
+  ASSERT_TRUE(program.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*program);
+  const WorkloadSpec spec =
+      role == Role::kMiddleblock ? WorkloadSpec::Inst1() : WorkloadSpec::Inst2();
+  auto entries = GenerateEntries(info, role, spec, /*seed=*/1);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_EQ(static_cast<int>(entries->size()), spec.TotalEntries());
+  // Every generated entry is syntactically valid AND constraint compliant.
+  for (const p4rt::TableEntry& entry : *entries) {
+    const Status status = p4rt::ValidateEntry(info, entry);
+    EXPECT_TRUE(status.ok()) << entry.ToString(&info) << " -> " << status;
+  }
+}
+
+TEST_P(EntryGenTest, EntryIdentitiesAreUnique) {
+  const Role role = GetParam();
+  auto program = BuildSaiProgram(role);
+  ASSERT_TRUE(program.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*program);
+  const WorkloadSpec spec =
+      role == Role::kMiddleblock ? WorkloadSpec::Inst1() : WorkloadSpec::Inst2();
+  auto entries = GenerateEntries(info, role, spec, 1);
+  ASSERT_TRUE(entries.ok());
+  std::set<std::string> keys;
+  for (const p4rt::TableEntry& entry : *entries) {
+    EXPECT_TRUE(keys.insert(entry.KeyFingerprint()).second)
+        << "duplicate identity: " << entry.ToString(&info);
+  }
+}
+
+TEST_P(EntryGenTest, DeterministicInSeed) {
+  const Role role = GetParam();
+  auto program = BuildSaiProgram(role);
+  ASSERT_TRUE(program.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*program);
+  auto a = GenerateEntries(info, role, WorkloadSpec::Inst1(), 7);
+  auto b = GenerateEntries(info, role, WorkloadSpec::Inst1(), 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Roles, EntryGenTest,
+                         ::testing::Values(Role::kMiddleblock, Role::kWan),
+                         [](const auto& param) {
+                           return std::string(RoleName(param.param));
+                         });
+
+TEST(WorkloadSpec, PaperEntryCounts) {
+  // Table 3: Inst1 has 798 entries, Inst2 has 1314.
+  EXPECT_EQ(WorkloadSpec::Inst1().TotalEntries(), 798);
+  EXPECT_EQ(WorkloadSpec::Inst2().TotalEntries(), 1314);
+}
+
+}  // namespace
+}  // namespace switchv::models

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "p4constraints/eval.h"
+#include "p4constraints/parser.h"
+
+namespace switchv::p4constraints {
+namespace {
+
+TableSchema RoutingSchema() {
+  TableSchema schema;
+  schema.keys = {
+      {"vrf_id", 12, KeySchema::Kind::kExact},
+      {"dst_ip", 32, KeySchema::Kind::kLpm},
+      {"ether_type", 16, KeySchema::Kind::kTernary},
+      {"in_port", 16, KeySchema::Kind::kOptional},
+  };
+  return schema;
+}
+
+EntryValuation Valuation(uint128 vrf, uint128 ether_value,
+                         uint128 ether_mask) {
+  EntryValuation entry;
+  entry.keys["vrf_id"] = {true, vrf, 0xFFF, 0};
+  entry.keys["dst_ip"] = {true, 0x0A000000, 0xFFFFFF00, 24};
+  entry.keys["ether_type"] = {ether_mask != 0, ether_value, ether_mask, 0};
+  entry.keys["in_port"] = {false, 0, 0, 0};
+  entry.priority = 10;
+  return entry;
+}
+
+StatusOr<bool> Check(std::string_view source, const EntryValuation& entry) {
+  auto parsed = ParseConstraint(source, RoutingSchema());
+  if (!parsed.ok()) return parsed.status();
+  return EvalConstraint(*parsed, entry);
+}
+
+TEST(Parser, PaperExampleVrfNotZero) {
+  auto result = Check("vrf_id != 0", Valuation(1, 0, 0));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+  result = Check("vrf_id != 0", Valuation(0, 0, 0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(Parser, ImplicationWithMaskAttribute) {
+  const std::string constraint =
+      "ether_type::mask != 0 -> ether_type == 0x0800";
+  // Wildcard ether_type: antecedent false, constraint holds.
+  auto r = Check(constraint, Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+  // Masked to IPv4: holds.
+  r = Check(constraint, Valuation(1, 0x0800, 0xFFFF));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // Masked to IPv6: violated.
+  r = Check(constraint, Valuation(1, 0x86DD, 0xFFFF));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(Parser, PrefixLengthAttribute) {
+  auto r = Check("dst_ip::prefix_length >= 16", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+  r = Check("dst_ip::prefix_length == 32", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(Parser, PriorityBuiltin) {
+  auto r = Check("priority > 5 && priority <= 10", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+}
+
+TEST(Parser, OperatorPrecedenceAndParens) {
+  // && binds tighter than ||.
+  auto r = Check("vrf_id == 0 || vrf_id == 1 && priority == 10",
+                 Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  r = Check("(vrf_id == 0 || vrf_id == 1) && priority == 99",
+            Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(Parser, NegationAndLiterals) {
+  auto r = Check("!(vrf_id == 0) && true", Valuation(3, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  r = Check("false || !false", Valuation(3, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(Parser, HexLiterals) {
+  auto r = Check("ether_type == 0x86dd",
+                 Valuation(1, 0x86DD, 0xFFFF));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(Parser, Ipv4Literals) {
+  // dst_ip in the valuation is 10.0.0.0/24.
+  auto r = Check("dst_ip::value == 10.0.0.0", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+  r = Check("dst_ip::value != 10.0.0.1", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_FALSE(ParseConstraint("dst_ip::value == 10.0.0", RoutingSchema())
+                   .ok());
+}
+
+TEST(Parser, RejectsUnknownKey) {
+  EXPECT_FALSE(ParseConstraint("ghost == 1", RoutingSchema()).ok());
+}
+
+TEST(Parser, RejectsMaskOnExactKey) {
+  EXPECT_FALSE(ParseConstraint("vrf_id::mask == 1", RoutingSchema()).ok());
+}
+
+TEST(Parser, RejectsPrefixLengthOnTernaryKey) {
+  EXPECT_FALSE(
+      ParseConstraint("ether_type::prefix_length == 1", RoutingSchema())
+          .ok());
+}
+
+TEST(Parser, RejectsNonBooleanTopLevel) {
+  EXPECT_FALSE(ParseConstraint("vrf_id", RoutingSchema()).ok());
+}
+
+TEST(Parser, RejectsBooleanComparison) {
+  EXPECT_FALSE(
+      ParseConstraint("(vrf_id == 1) == (vrf_id == 2)", RoutingSchema())
+          .ok());
+}
+
+TEST(Parser, RejectsTrailingTokens) {
+  EXPECT_FALSE(ParseConstraint("vrf_id == 1 vrf_id", RoutingSchema()).ok());
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  EXPECT_FALSE(ParseConstraint("(vrf_id == 1", RoutingSchema()).ok());
+}
+
+TEST(Parser, ImpliesIsRightAssociative) {
+  // a -> b -> c parses as a -> (b -> c); with a true, b false, the whole
+  // is (false -> c) = true.
+  auto r = Check("vrf_id == 1 -> vrf_id == 2 -> priority == 99",
+                 Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+}
+
+TEST(Eval, OmittedTernaryKeyIsWildcard) {
+  // ether_type omitted: mask is 0.
+  auto r = Check("ether_type::mask == 0", Valuation(1, 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(Ast, ToStringRoundTripReadable) {
+  auto parsed = ParseConstraint("vrf_id != 0 && (priority > 1)",
+                                RoutingSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "((vrf_id != 0) && (priority > 1))");
+}
+
+}  // namespace
+}  // namespace switchv::p4constraints

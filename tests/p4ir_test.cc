@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "p4ir/builder.h"
+#include "p4ir/p4info.h"
+#include "p4ir/program.h"
+
+namespace switchv::p4ir {
+namespace {
+
+// A minimal valid program used across tests: one metadata field, one table.
+StatusOr<Program> TinyProgram() {
+  ProgramBuilder b("tiny");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddMetadata("m.x", 8);
+  b.AddAction("nop", {}, {});
+  b.AddAction("set_x", {ParamDef{"v", 8}},
+              {Statement::Assign("m.x", Expr::Param("v", 8))});
+  b.AddTable("t")
+      .Key("f", "h.f", 8, MatchKind::kExact)
+      .Action("set_x")
+      .DefaultAction("nop")
+      .Size(16);
+  b.SetIngress({ControlNode::ApplyTable("t")});
+  return std::move(b).Build();
+}
+
+TEST(Program, TinyProgramValidates) {
+  auto program = TinyProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->FieldWidth("h.f"), 8);
+  EXPECT_EQ(program->FieldWidth("m.x"), 8);
+  EXPECT_EQ(program->FieldWidth("nope"), 0);
+}
+
+TEST(Program, RejectsDuplicateTable) {
+  ProgramBuilder b("dup");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("t").Key("f", "h.f", 8, MatchKind::kExact).Action("nop")
+      .DefaultAction("nop").Size(1);
+  b.AddTable("t").Key("f", "h.f", 8, MatchKind::kExact).Action("nop")
+      .DefaultAction("nop").Size(1);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(Program, RejectsUnknownActionInTable) {
+  ProgramBuilder b("bad");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("t").Key("f", "h.f", 8, MatchKind::kExact).Action("ghost")
+      .DefaultAction("nop").Size(1);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(Program, RejectsTableAppliedTwice) {
+  ProgramBuilder b("twice");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("t").Key("f", "h.f", 8, MatchKind::kExact).Action("nop")
+      .DefaultAction("nop").Size(1);
+  b.SetIngress({ControlNode::ApplyTable("t"), ControlNode::ApplyTable("t")});
+  auto program = std::move(b).Build();
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("single-pass"),
+            std::string::npos);
+}
+
+TEST(Program, RejectsDanglingRefersTo) {
+  ProgramBuilder b("dangling");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("t")
+      .ReferencingKey("f", "h.f", 8, MatchKind::kExact, "ghost_tbl", "k")
+      .Action("nop")
+      .DefaultAction("nop")
+      .Size(1);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(Program, RejectsAssignmentWidthMismatch) {
+  ProgramBuilder b("widths");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("bad", {}, {Statement::Assign("h.f", Expr::ConstantU(1, 16))});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(Program, RejectsZeroSizeTable) {
+  ProgramBuilder b("zero");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("t").Key("f", "h.f", 8, MatchKind::kExact).Action("nop")
+      .DefaultAction("nop");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(Program, FingerprintStableAndSensitive) {
+  auto a = TinyProgram();
+  auto b = TinyProgram();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+  b->tables[0].size = 32;
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+}
+
+TEST(Expr, WidthRules) {
+  const Expr cmp = Expr::Eq(Expr::ConstantU(1, 8), Expr::ConstantU(2, 8));
+  EXPECT_EQ(cmp.width(), 1);
+  const Expr add = Expr::Binary(BinaryOp::kAdd, Expr::ConstantU(1, 8),
+                                Expr::ConstantU(2, 8));
+  EXPECT_EQ(add.width(), 8);
+  EXPECT_EQ(Expr::Valid("ipv4").width(), 1);
+}
+
+TEST(Expr, ToStringReadable) {
+  const Expr e = Expr::And(Expr::Valid("ipv4"),
+                           Expr::Eq(Expr::Field("ipv4.ttl", 8),
+                                    Expr::ConstantU(1, 8)));
+  EXPECT_EQ(e.ToString(), "(ipv4.isValid() && (ipv4.ttl == 0x1/8))");
+}
+
+TEST(P4Info, IdsAreDeterministicAndPrefixed) {
+  auto program = TinyProgram();
+  ASSERT_TRUE(program.ok());
+  const P4Info info = P4Info::FromProgram(*program);
+  ASSERT_EQ(info.tables().size(), 1u);
+  ASSERT_EQ(info.actions().size(), 2u);
+  EXPECT_EQ(info.tables()[0].id, P4Info::kTableIdBase + 1);
+  EXPECT_EQ(info.actions()[0].id, P4Info::kActionIdBase + 1);
+  EXPECT_EQ(info.FindTableByName("t")->id, info.tables()[0].id);
+  EXPECT_EQ(info.FindTable(info.tables()[0].id)->name, "t");
+  EXPECT_EQ(info.FindTable(9999), nullptr);
+}
+
+TEST(P4Info, MatchFieldAndParamIdsAreOneBased) {
+  auto program = TinyProgram();
+  ASSERT_TRUE(program.ok());
+  const P4Info info = P4Info::FromProgram(*program);
+  const TableInfo& t = info.tables()[0];
+  ASSERT_EQ(t.match_fields.size(), 1u);
+  EXPECT_EQ(t.match_fields[0].id, 1u);
+  const ActionInfo* set_x = info.FindActionByName("set_x");
+  ASSERT_NE(set_x, nullptr);
+  ASSERT_EQ(set_x->params.size(), 1u);
+  EXPECT_EQ(set_x->params[0].id, 1u);
+}
+
+TEST(P4Info, RequiresPriorityFollowsMatchKinds) {
+  ProgramBuilder b("prio");
+  b.AddHeader("h", {{"h.f", 8}});
+  b.AddAction("nop", {}, {});
+  b.AddTable("ternary_t")
+      .Key("f", "h.f", 8, MatchKind::kTernary)
+      .Action("nop").DefaultAction("nop").Size(4);
+  b.AddTable("exact_t")
+      .Key("f", "h.f", 8, MatchKind::kExact)
+      .Action("nop").DefaultAction("nop").Size(4);
+  auto program = std::move(b).Build();
+  ASSERT_TRUE(program.ok()) << program.status();
+  const P4Info info = P4Info::FromProgram(*program);
+  EXPECT_TRUE(info.FindTableByName("ternary_t")->requires_priority);
+  EXPECT_FALSE(info.FindTableByName("exact_t")->requires_priority);
+}
+
+}  // namespace
+}  // namespace switchv::p4ir

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "models/sai_model.h"
+#include "p4runtime/entry_builder.h"
+#include "p4runtime/decoded_entry.h"
+#include "p4runtime/validator.h"
+
+namespace switchv::p4rt {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+
+class P4RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+  }
+
+  BitString U(uint128 v, int w) const { return BitString::FromUint(v, w); }
+
+  StatusOr<TableEntry> VrfEntry(int vrf) const {
+    return EntryBuilder(info_, "vrf_tbl")
+        .Exact("vrf_id", U(vrf, models::kVrfWidth))
+        .Action("no_action")
+        .Build();
+  }
+
+  StatusOr<TableEntry> RouteEntry(int vrf, std::uint32_t dst, int plen,
+                                  int nexthop) const {
+    return EntryBuilder(info_, "ipv4_tbl")
+        .Exact("vrf_id", U(vrf, models::kVrfWidth))
+        .Lpm("ipv4_dst", U(dst, 32), plen)
+        .Action("set_nexthop_id", {{"nexthop_id", U(nexthop, 16)}})
+        .Build();
+  }
+
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+};
+
+TEST_F(P4RuntimeTest, ValidVrfEntryPasses) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_TRUE(ValidateEntry(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, Vrf0ViolatesEntryRestriction) {
+  auto entry = VrfEntry(0);
+  ASSERT_TRUE(entry.ok());
+  // Syntactically fine...
+  EXPECT_TRUE(ValidateEntrySyntax(info_, *entry).ok());
+  // ...but not constraint compliant (paper Figure 3, entry v2).
+  const Status status = ValidateEntry(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("entry_restriction"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, UnknownTableIdRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->table_id = 0x0BADF00D;
+  EXPECT_EQ(ValidateEntrySyntax(info_, *entry).code(), StatusCode::kNotFound);
+}
+
+TEST_F(P4RuntimeTest, UnknownActionIdRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->action.direct.action_id = 0x0BADF00D;
+  EXPECT_EQ(ValidateEntrySyntax(info_, *entry).code(), StatusCode::kNotFound);
+}
+
+TEST_F(P4RuntimeTest, OutOfScopeActionRejected) {
+  // l3_admit is a real action, but not permitted in vrf_tbl
+  // ("Invalid Table Action" mutation).
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->action.direct.action_id = info_.FindActionByName("l3_admit")->id;
+  const Status status = ValidateEntrySyntax(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("not permitted"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, MissingMandatoryExactMatchRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->matches.clear();
+  const Status status = ValidateEntrySyntax(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mandatory"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, DuplicateMatchFieldRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->matches.push_back(entry->matches[0]);
+  const Status status = ValidateEntrySyntax(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, NonCanonicalBytesRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->matches[0].value = std::string("\x00\x01", 2);  // leading zero
+  EXPECT_EQ(ValidateEntrySyntax(info_, *entry).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(P4RuntimeTest, OverwideValueRejected) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->matches[0].value = std::string("\xFF\xFF", 2);  // 16 bits into 12
+  EXPECT_EQ(ValidateEntrySyntax(info_, *entry).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(P4RuntimeTest, LpmPrefixRules) {
+  auto good = RouteEntry(1, 0x0A000000, 24, 5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(ValidateEntrySyntax(info_, *good).ok());
+
+  // Prefix length out of range.
+  auto bad_len = RouteEntry(1, 0x0A000000, 33, 5);
+  ASSERT_TRUE(bad_len.ok());
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *bad_len).ok());
+
+  // Host bits set beyond the prefix.
+  auto host_bits = RouteEntry(1, 0x0A000001, 24, 5);
+  ASSERT_TRUE(host_bits.ok());
+  const Status status = ValidateEntrySyntax(info_, *host_bits);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("outside the prefix"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, PriorityRequiredForTernaryTables) {
+  auto entry = EntryBuilder(info_, "acl_ingress_tbl")
+                   .Ternary("ether_type", U(0x0806, 16),
+                            BitString::AllOnes(16))
+                   .Action("acl_trap")
+                   .Build();
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *entry).ok());  // priority 0
+  entry->priority = 7;
+  EXPECT_TRUE(ValidateEntrySyntax(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, PriorityForbiddenForExactTables) {
+  auto entry = VrfEntry(1);
+  ASSERT_TRUE(entry.ok());
+  entry->priority = 5;
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, TernaryCanonicalFormEnforced) {
+  // value & ~mask != 0 is non-canonical.
+  auto entry = EntryBuilder(info_, "acl_ingress_tbl")
+                   .Ternary("ether_type", U(0x0806, 16), U(0xFF00, 16))
+                   .Priority(1)
+                   .Action("acl_drop")
+                   .Build();
+  ASSERT_TRUE(entry.ok());
+  const Status status = ValidateEntrySyntax(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("canonical"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, SelectorTableRequiresActionSet) {
+  // Direct action on a WCMP table ("Invalid Table Implementation").
+  auto entry = EntryBuilder(info_, "wcmp_group_tbl")
+                   .Exact("wcmp_group_id", U(1, 16))
+                   .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+                   .Build();
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, DirectTableRejectsActionSet) {
+  auto entry = EntryBuilder(info_, "vrf_tbl")
+                   .Exact("vrf_id", U(1, models::kVrfWidth))
+                   .WeightedAction("no_action", 1)
+                   .Build();
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, SelectorWeightMustBePositive) {
+  auto entry = EntryBuilder(info_, "wcmp_group_tbl")
+                   .Exact("wcmp_group_id", U(1, 16))
+                   .WeightedAction("set_nexthop_id", 0,
+                                   {{"nexthop_id", U(1, 16)}})
+                   .Build();
+  ASSERT_TRUE(entry.ok());
+  const Status status = ValidateEntrySyntax(info_, *entry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("positive"), std::string::npos);
+}
+
+TEST_F(P4RuntimeTest, SelectorGroupSizeAndWeightLimits) {
+  EntryBuilder too_many(info_, "wcmp_group_tbl");
+  too_many.Exact("wcmp_group_id", U(1, 16));
+  for (int i = 0; i < 17; ++i) {  // max_group_size = 16
+    too_many.WeightedAction("set_nexthop_id", 1, {{"nexthop_id", U(1, 16)}});
+  }
+  auto entry = too_many.Build();
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ValidateEntrySyntax(info_, *entry).code(),
+            StatusCode::kResourceExhausted);
+
+  auto heavy = EntryBuilder(info_, "wcmp_group_tbl")
+                   .Exact("wcmp_group_id", U(1, 16))
+                   .WeightedAction("set_nexthop_id", 200,
+                                   {{"nexthop_id", U(1, 16)}})
+                   .Build();
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(ValidateEntrySyntax(info_, *heavy).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(P4RuntimeTest, WrongParamCountRejected) {
+  auto entry = RouteEntry(1, 0x0A000000, 24, 5);
+  ASSERT_TRUE(entry.ok());
+  entry->action.direct.params.clear();
+  EXPECT_FALSE(ValidateEntrySyntax(info_, *entry).ok());
+}
+
+TEST_F(P4RuntimeTest, KeyFingerprintIdentity) {
+  auto a = RouteEntry(1, 0x0A000000, 24, 5);
+  auto b = RouteEntry(1, 0x0A000000, 24, 99);  // different action
+  auto c = RouteEntry(2, 0x0A000000, 24, 5);   // different vrf
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->KeyFingerprint(), b->KeyFingerprint());
+  EXPECT_NE(a->KeyFingerprint(), c->KeyFingerprint());
+  // Match order does not affect identity.
+  TableEntry reordered = *a;
+  std::swap(reordered.matches[0], reordered.matches[1]);
+  EXPECT_EQ(a->KeyFingerprint(), reordered.KeyFingerprint());
+}
+
+TEST_F(P4RuntimeTest, DecodeEntryRoundTrip) {
+  auto entry = RouteEntry(3, 0x0A010000, 16, 7);
+  ASSERT_TRUE(entry.ok());
+  auto decoded = DecodeEntry(info_, *entry);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->table_name, "ipv4_tbl");
+  ASSERT_EQ(decoded->matches.size(), 2u);
+  EXPECT_EQ(decoded->matches[0].value.ToUint64(), 3u);
+  EXPECT_EQ(decoded->matches[1].value.ToUint64(), 0x0A010000u);
+  EXPECT_EQ(decoded->matches[1].prefix_len, 16);
+  ASSERT_EQ(decoded->actions.size(), 1u);
+  EXPECT_EQ(decoded->actions[0].name, "set_nexthop_id");
+  ASSERT_EQ(decoded->actions[0].args.size(), 1u);
+  EXPECT_EQ(decoded->actions[0].args[0].ToUint64(), 7u);
+}
+
+TEST_F(P4RuntimeTest, EntryToStringIsReadable) {
+  auto entry = RouteEntry(1, 0x0A000000, 24, 5);
+  ASSERT_TRUE(entry.ok());
+  const std::string text = entry->ToString(&info_);
+  EXPECT_NE(text.find("ipv4_tbl"), std::string::npos);
+  EXPECT_NE(text.find("set_nexthop_id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace switchv::p4rt

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "models/sai_model.h"
+#include "models/test_packets.h"
+#include "packet/packet.h"
+
+namespace switchv::packet {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+
+class PacketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+  }
+  p4ir::Program program_;
+};
+
+TEST_F(PacketTest, Ipv4TcpParseRoundTrip) {
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A010203;
+  spec.ttl = 33;
+  const std::string bytes = models::BuildIpv4Packet(program_, spec);
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("ethernet"));
+  EXPECT_TRUE(parsed.valid_headers.contains("ipv4"));
+  EXPECT_TRUE(parsed.valid_headers.contains("tcp"));
+  EXPECT_FALSE(parsed.valid_headers.contains("udp"));
+  EXPECT_EQ(parsed.fields.at("ipv4.dst_addr").ToUint64(), 0x0A010203u);
+  EXPECT_EQ(parsed.fields.at("ipv4.ttl").ToUint64(), 33u);
+  EXPECT_EQ(parsed.fields.at("tcp.dst_port").ToUint64(), 443u);
+  EXPECT_EQ(parsed.payload, spec.payload);
+  EXPECT_EQ(Deparse(program_, parsed), bytes);
+}
+
+TEST_F(PacketTest, Ipv6UdpParseRoundTrip) {
+  models::Ipv6PacketSpec spec;
+  const std::string bytes = models::BuildIpv6Packet(program_, spec);
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("ipv6"));
+  EXPECT_TRUE(parsed.valid_headers.contains("udp"));
+  EXPECT_EQ(parsed.fields.at("ipv6.dst_addr").value(), spec.dst_ip);
+  EXPECT_EQ(parsed.fields.at("udp.dst_port").ToUint64(), 53u);
+  EXPECT_EQ(Deparse(program_, parsed), bytes);
+}
+
+TEST_F(PacketTest, ArpParses) {
+  const std::string bytes = models::BuildArpPacket(program_);
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("arp"));
+  EXPECT_EQ(parsed.fields.at("arp.opcode").ToUint64(), 1u);
+  EXPECT_EQ(parsed.fields.at("ethernet.ether_type").ToUint64(), 0x0806u);
+}
+
+TEST_F(PacketTest, UnknownEtherTypeStopsAtEthernet) {
+  models::Ipv4PacketSpec spec;
+  std::string bytes = models::BuildIpv4Packet(program_, spec);
+  // Corrupt the ether_type to an unhandled value.
+  bytes[12] = '\x12';
+  bytes[13] = '\x34';
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("ethernet"));
+  EXPECT_FALSE(parsed.valid_headers.contains("ipv4"));
+  // Everything after ethernet is payload.
+  EXPECT_EQ(parsed.payload.size(), bytes.size() - 14);
+}
+
+TEST_F(PacketTest, TruncatedHeaderNotMarkedValid) {
+  models::Ipv4PacketSpec spec;
+  spec.payload.clear();
+  std::string bytes = models::BuildIpv4Packet(program_, spec);
+  // Keep ethernet (14B) plus half an IPv4 header.
+  bytes.resize(14 + 10);
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("ethernet"));
+  EXPECT_FALSE(parsed.valid_headers.contains("ipv4"));
+  EXPECT_EQ(parsed.payload.size(), 10u);
+}
+
+TEST_F(PacketTest, EmptyPacketIsAllPayload) {
+  const ParsedPacket parsed = Parse(program_, ParserSpec::Sai(), "");
+  EXPECT_TRUE(parsed.valid_headers.empty());
+  EXPECT_TRUE(parsed.payload.empty());
+}
+
+TEST_F(PacketTest, InnerIpv4ParsedInWanRole) {
+  auto wan = BuildSaiProgram(Role::kWan);
+  ASSERT_TRUE(wan.ok()) << wan.status();
+  // Build an IP-in-IP packet: outer protocol 4, then a second IPv4 header.
+  models::Ipv4PacketSpec outer;
+  outer.protocol = 4;
+  outer.payload.clear();
+  std::string outer_bytes = models::BuildIpv4Packet(*wan, outer);
+  models::Ipv4PacketSpec inner;
+  inner.dst_ip = 0x0A0A0A0A;
+  inner.protocol = 17;
+  std::string inner_bytes = models::BuildIpv4Packet(*wan, inner);
+  // Strip the inner packet's ethernet header (14 bytes).
+  outer_bytes += inner_bytes.substr(14);
+  const ParsedPacket parsed =
+      Parse(*wan, ParserSpec::Sai(), outer_bytes);
+  EXPECT_TRUE(parsed.valid_headers.contains("ipv4"));
+  EXPECT_TRUE(parsed.valid_headers.contains("inner_ipv4"));
+  EXPECT_EQ(parsed.fields.at("inner_ipv4.dst_addr").ToUint64(), 0x0A0A0A0Au);
+}
+
+TEST(ForwardingOutcome, CanonicalDistinguishesBehaviors) {
+  ForwardingOutcome fwd;
+  fwd.egress_port = 3;
+  fwd.packet_bytes = "abc";
+  ForwardingOutcome drop;
+  drop.dropped = true;
+  ForwardingOutcome punt = fwd;
+  punt.punted = true;
+  EXPECT_NE(fwd.Canonical(), drop.Canonical());
+  EXPECT_NE(fwd.Canonical(), punt.Canonical());
+  EXPECT_EQ(fwd, fwd);
+}
+
+TEST(ForwardingOutcome, CloneOrderInsensitive) {
+  ForwardingOutcome a;
+  a.dropped = true;
+  a.clones = {{2, "x"}, {1, "y"}};
+  ForwardingOutcome b;
+  b.dropped = true;
+  b.clones = {{1, "y"}, {2, "x"}};
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace switchv::packet

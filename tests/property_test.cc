@@ -1,0 +1,357 @@
+// Property-based and parameterized sweep tests: randomized cross-checks of
+// independent implementations against each other.
+#include <gtest/gtest.h>
+
+#include "bmv2/interpreter.h"
+#include "fuzzer/generator.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "p4constraints/constraint_bdd.h"
+#include "p4runtime/validator.h"
+#include "sut/lpm_trie.h"
+#include "sut/switch_stack.h"
+#include "util/rng.h"
+
+namespace switchv {
+namespace {
+
+// A small production-like workload used by the randomized differential.
+models::WorkloadSpec SmallDifferentialWorkload();
+
+// ---------------------------------------------------------------------------
+// BitString: canonical encoding round-trips across every width.
+// ---------------------------------------------------------------------------
+
+class BitStringWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitStringWidthSweep, CanonicalRoundTripIsIdentity) {
+  const int width = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width));
+  for (int i = 0; i < 200; ++i) {
+    const BitString value = rng.Bits(width);
+    auto round = BitString::FromBytes(value.ToCanonicalBytes(), width);
+    ASSERT_TRUE(round.ok()) << value.ToString();
+    EXPECT_EQ(*round, value);
+    // Padded form parses too (leniently) and preserves the value.
+    auto padded = BitString::FromBytes(value.ToPaddedBytes(), width,
+                                       /*require_canonical=*/false);
+    ASSERT_TRUE(padded.ok());
+    EXPECT_EQ(padded->value(), value.value());
+  }
+}
+
+TEST_P(BitStringWidthSweep, PrefixMaskHasExpectedPopcount) {
+  const int width = GetParam();
+  for (int len = 0; len <= width; ++len) {
+    const BitString mask = BitString::PrefixMask(len, width);
+    int popcount = 0;
+    uint128 v = mask.value();
+    while (v != 0) {
+      popcount += static_cast<int>(v & 1);
+      v >>= 1;
+    }
+    EXPECT_EQ(popcount, len) << "width " << width << " len " << len;
+    // Prefix masks are downward closed: mask & ~shorter_mask has no high bits.
+    if (len > 0) {
+      const BitString shorter = BitString::PrefixMask(len - 1, width);
+      EXPECT_EQ((shorter & mask), shorter);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitStringWidthSweep,
+                         ::testing::Values(1, 3, 8, 9, 12, 16, 31, 32, 33,
+                                           48, 64, 65, 127, 128));
+
+// ---------------------------------------------------------------------------
+// LPM trie vs a linear-scan reference, random workloads.
+// ---------------------------------------------------------------------------
+
+class LpmTrieProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpmTrieProperty, AgreesWithLinearScan) {
+  const int width = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width) * 7919);
+  sut::LpmTrie<int> trie(width);
+  struct Prefix {
+    uint128 value;
+    int len;
+    int id;
+  };
+  std::vector<Prefix> prefixes;
+  for (int i = 0; i < 300; ++i) {
+    const int len = static_cast<int>(
+        rng.Uniform(0, static_cast<std::uint64_t>(width)));
+    const uint128 mask =
+        len == 0 ? 0
+                 : (LowBitMask(len) << (width - len)) & LowBitMask(width);
+    const uint128 value = rng.Bits(width).value() & mask;
+    // Overwrite semantics: keep the latest id for duplicate prefixes.
+    bool replaced = false;
+    for (Prefix& p : prefixes) {
+      if (p.len == len && p.value == value) {
+        p.id = i;
+        replaced = true;
+      }
+    }
+    if (!replaced) prefixes.push_back(Prefix{value, len, i});
+    trie.Insert(value, len, i);
+  }
+  auto linear_lookup = [&](uint128 key) -> const Prefix* {
+    const Prefix* best = nullptr;
+    for (const Prefix& p : prefixes) {
+      const uint128 mask =
+          p.len == 0
+              ? 0
+              : (LowBitMask(p.len) << (width - p.len)) & LowBitMask(width);
+      if ((key & mask) != p.value) continue;
+      if (best == nullptr || p.len > best->len) best = &p;
+    }
+    return best;
+  };
+  for (int i = 0; i < 500; ++i) {
+    // Half the keys are perturbed installed prefixes (interesting), half
+    // uniform random.
+    uint128 key;
+    if (i % 2 == 0 && !prefixes.empty()) {
+      const Prefix& p = prefixes[rng.Index(prefixes.size())];
+      key = p.value | (rng.Bits(width).value() &
+                       ~((p.len == 0 ? 0
+                                     : (LowBitMask(p.len) << (width - p.len))) &
+                         LowBitMask(width)));
+    } else {
+      key = rng.Bits(width).value();
+    }
+    const Prefix* expected = linear_lookup(key);
+    const int* got = trie.Lookup(key);
+    if (expected == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, expected->id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LpmTrieProperty,
+                         ::testing::Values(8, 32, 128));
+
+// ---------------------------------------------------------------------------
+// Constraint BDD vs the reference evaluator over randomly generated
+// constraints: every satisfying sample satisfies, every violating sample
+// violates.
+// ---------------------------------------------------------------------------
+
+class ConstraintFuzz : public ::testing::TestWithParam<int> {};
+
+// A random constraint generator over a fixed schema.
+std::string RandomConstraint(Rng& rng, int depth) {
+  static const char* kIntAtoms[] = {
+      "vrf_id", "ether_type", "ether_type::mask", "dst_ip::value",
+      "dst_ip::mask", "route::prefix_length", "priority",
+  };
+  static const char* kCmp[] = {"==", "!=", "<", "<=", ">", ">="};
+  if (depth <= 0 || rng.Chance(0.4)) {
+    const std::string lhs = kIntAtoms[rng.Index(std::size(kIntAtoms))];
+    const std::string op = kCmp[rng.Index(std::size(kCmp))];
+    const std::string rhs = std::to_string(rng.Uniform(0, 0xFFFF));
+    return "(" + lhs + " " + op + " " + rhs + ")";
+  }
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      return "(" + RandomConstraint(rng, depth - 1) + " && " +
+             RandomConstraint(rng, depth - 1) + ")";
+    case 1:
+      return "(" + RandomConstraint(rng, depth - 1) + " || " +
+             RandomConstraint(rng, depth - 1) + ")";
+    case 2:
+      return "(!" + RandomConstraint(rng, depth - 1) + ")";
+    default:
+      return "(" + RandomConstraint(rng, depth - 1) + " -> " +
+             RandomConstraint(rng, depth - 1) + ")";
+  }
+}
+
+TEST_P(ConstraintFuzz, BddSamplesAgreeWithEvaluator) {
+  p4constraints::TableSchema schema;
+  schema.keys = {
+      {"vrf_id", 12, p4constraints::KeySchema::Kind::kExact},
+      {"ether_type", 16, p4constraints::KeySchema::Kind::kTernary},
+      {"dst_ip", 32, p4constraints::KeySchema::Kind::kTernary},
+      {"route", 24, p4constraints::KeySchema::Kind::kLpm},
+  };
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::string source = RandomConstraint(rng, 3);
+  SCOPED_TRACE(source);
+  auto parsed = p4constraints::ParseConstraint(source, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto compiled = p4constraints::ConstraintBdd::Compile(source, schema);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  for (int i = 0; i < 20; ++i) {
+    auto sat = compiled->SampleSatisfying(rng);
+    if (sat.ok()) {
+      auto verdict = p4constraints::EvalConstraint(*parsed, *sat);
+      ASSERT_TRUE(verdict.ok());
+      EXPECT_TRUE(*verdict) << "sample " << i;
+    }
+    auto unsat = compiled->SampleViolating(rng);
+    if (unsat.ok()) {
+      auto verdict = p4constraints::EvalConstraint(*parsed, *unsat);
+      ASSERT_TRUE(verdict.ok());
+      EXPECT_FALSE(*verdict) << "sample " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintFuzz, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Mutation sweep: for every mutation kind, requests produced by that
+// mutation are never wrongly accepted by the healthy switch, and never
+// crash it.
+// ---------------------------------------------------------------------------
+
+class MutationSweep : public ::testing::TestWithParam<fuzzer::Mutation> {};
+
+TEST_P(MutationSweep, HealthySwitchRejectsMutatedRequests) {
+  const fuzzer::Mutation mutation = GetParam();
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  models::WorkloadSpec spec;
+  spec.num_ipv4_routes = 20;
+  auto base = models::GenerateEntries(info, models::Role::kMiddleblock, spec,
+                                      3);
+  ASSERT_TRUE(base.ok());
+
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           models::kCpuPort);
+  ASSERT_TRUE(sut.SetForwardingPipelineConfig(info).ok());
+  p4rt::WriteRequest seed;
+  for (const p4rt::TableEntry& entry : *base) {
+    seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  ASSERT_TRUE(sut.Write(seed).all_ok());
+
+  fuzzer::SwitchStateView state(info);
+  state.Reset(*base);
+  fuzzer::FuzzerOptions options;
+  options.invalid_probability = 1.0;  // only mutated requests
+  fuzzer::RequestGenerator generator(
+      info, options, static_cast<std::uint64_t>(mutation) + 100);
+  int exercised = 0;
+  for (int round = 0; round < 40 && exercised < 30; ++round) {
+    const auto batch = generator.GenerateBatch(state, 30);
+    for (const fuzzer::AnnotatedUpdate& update : batch) {
+      if (update.mutation != mutation) continue;
+      ++exercised;
+      p4rt::WriteRequest request;
+      request.updates.push_back(update.update);
+      const p4rt::WriteResponse response = sut.Write(request);
+      ASSERT_EQ(response.statuses.size(), 1u);
+      if (mutation == fuzzer::Mutation::kDuplicateEntry) {
+        EXPECT_EQ(response.statuses[0].code(), StatusCode::kAlreadyExists)
+            << update.update.entry.ToString(&info);
+      } else if (mutation == fuzzer::Mutation::kDeleteNonExisting) {
+        EXPECT_EQ(response.statuses[0].code(), StatusCode::kNotFound)
+            << update.update.entry.ToString(&info);
+      } else {
+        EXPECT_FALSE(response.statuses[0].ok())
+            << fuzzer::MutationName(mutation) << " accepted: "
+            << update.update.entry.ToString(&info);
+      }
+      // The switch stays responsive after the invalid request.
+      auto read = sut.Read(p4rt::ReadRequest{});
+      ASSERT_TRUE(read.ok());
+    }
+  }
+  EXPECT_GT(exercised, 0) << "mutation never produced a request";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMutations, MutationSweep,
+    ::testing::ValuesIn(std::begin(fuzzer::kAllMutations),
+                        std::end(fuzzer::kAllMutations)),
+    [](const auto& param) {
+      return std::string(fuzzer::MutationName(param.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Randomized dataplane differential: beyond the structured workloads, throw
+// randomized packets (valid and garbage) at both dataplanes.
+// ---------------------------------------------------------------------------
+
+class RandomPacketDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPacketDifferential, AsicMatchesReferenceOnRandomBytes) {
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  auto entries = models::GenerateEntries(
+      info, models::Role::kMiddleblock, SmallDifferentialWorkload(), 9);
+  ASSERT_TRUE(entries.ok());
+
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           models::kCpuPort);
+  ASSERT_TRUE(sut.SetForwardingPipelineConfig(info).ok());
+  p4rt::WriteRequest request;
+  for (const p4rt::TableEntry& entry : *entries) {
+    request.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  ASSERT_TRUE(sut.Write(request).all_ok());
+  bmv2::Interpreter reference(*model, models::SaiParserSpec(),
+                              models::DefaultCloneSessions());
+  ASSERT_TRUE(reference.InstallEntries(*entries).ok());
+
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  for (int i = 0; i < 150; ++i) {
+    // Random-length random bytes; half of them get a plausible Ethernet+IP
+    // prelude so deeper stages are reached.
+    std::string bytes;
+    const std::size_t len = rng.Uniform(0, 120);
+    for (std::size_t b = 0; b < len; ++b) {
+      bytes.push_back(static_cast<char>(rng.Uniform(0, 255)));
+    }
+    if (i % 2 == 0 && bytes.size() >= 34) {
+      bytes[12] = '\x08';
+      bytes[13] = '\x00';
+      bytes[14] = '\x45';
+    }
+    const auto port = static_cast<std::uint16_t>(rng.Uniform(1, 32));
+    const packet::ForwardingOutcome observed = sut.InjectPacket(bytes, port);
+    auto behaviors = reference.EnumerateBehaviors(bytes, port);
+    ASSERT_TRUE(behaviors.ok());
+    bool admissible = false;
+    for (const packet::ForwardingOutcome& b : *behaviors) {
+      if (b == observed) admissible = true;
+    }
+    EXPECT_TRUE(admissible)
+        << "packet " << i << " (" << bytes.size() << " bytes) diverges:\n"
+        << " observed " << observed.Canonical().substr(0, 120) << "\n"
+        << " expected " << (*behaviors)[0].Canonical().substr(0, 120);
+    if (!admissible) break;
+  }
+}
+
+models::WorkloadSpec SmallDifferentialWorkload() {
+  models::WorkloadSpec spec;
+  spec.num_vrfs = 3;
+  spec.num_ipv4_routes = 24;
+  spec.num_ipv6_routes = 8;
+  spec.num_wcmp_groups = 3;
+  spec.num_nexthops = 8;
+  spec.num_neighbors = 6;
+  spec.num_rifs = 5;
+  spec.num_acl_ingress = 8;
+  spec.num_pre_ingress = 5;
+  spec.num_l3_admit = 3;
+  spec.num_mirror_sessions = 2;
+  spec.num_egress_rifs = 3;
+  return spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPacketDifferential,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace switchv

@@ -1,0 +1,128 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/fingerprint.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace switchv {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad field");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad field");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  SWITCHV_ASSIGN_OR_RETURN(int half, Half(x));
+  SWITCHV_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StatusCodeName, CoversCanonicalCodes) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+}
+
+TEST(Strings, Split) {
+  const auto pieces = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(Strings, BytesToHex) {
+  EXPECT_EQ(BytesToHex(std::string("\x0A\xFF", 2)), "0aff");
+}
+
+TEST(Fingerprint, OrderSensitive) {
+  Fingerprint a;
+  a.AddBytes("x").AddBytes("y");
+  Fingerprint b;
+  b.AddBytes("y").AddBytes("x");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, Deterministic) {
+  Fingerprint a;
+  a.AddU64(7).AddBytes("table");
+  Fingerprint b;
+  b.AddU64(7).AddBytes("table");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, BitsRespectWidth) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Bits(12).width(), 12);
+    EXPECT_LE(rng.Bits(12).ToUint64(), 0xFFFu);
+  }
+}
+
+}  // namespace
+}  // namespace switchv

@@ -1,0 +1,537 @@
+#include <gtest/gtest.h>
+
+#include "bmv2/interpreter.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "models/test_packets.h"
+#include "p4runtime/entry_builder.h"
+#include "sut/bug_catalog.h"
+#include "sut/lpm_trie.h"
+#include "sut/switch_stack.h"
+#include "util/rng.h"
+
+namespace switchv::sut {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+using p4rt::EntryBuilder;
+
+BitString U(uint128 v, int w) { return BitString::FromUint(v, w); }
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie<int> trie(32);
+  trie.Insert(0x0A000000, 8, 1);
+  trie.Insert(0x0A010000, 16, 2);
+  trie.Insert(0x0A010200, 24, 3);
+  EXPECT_EQ(*trie.Lookup(0x0A010203), 3);
+  EXPECT_EQ(*trie.Lookup(0x0A01FF00), 2);
+  EXPECT_EQ(*trie.Lookup(0x0AFF0000), 1);
+  EXPECT_EQ(trie.Lookup(0x0B000000), nullptr);
+}
+
+TEST(LpmTrie, DefaultRouteAndHostRoute) {
+  LpmTrie<int> trie(32);
+  trie.Insert(0, 0, 42);  // default route
+  trie.Insert(0x0A000001, 32, 7);
+  EXPECT_EQ(*trie.Lookup(0x0A000001), 7);
+  EXPECT_EQ(*trie.Lookup(0xDEADBEEF), 42);
+}
+
+TEST(LpmTrie, RemoveRestoresShorterPrefix) {
+  LpmTrie<int> trie(32);
+  trie.Insert(0x0A000000, 8, 1);
+  trie.Insert(0x0A000000, 24, 2);
+  EXPECT_EQ(*trie.Lookup(0x0A000005), 2);
+  EXPECT_TRUE(trie.Remove(0x0A000000, 24));
+  EXPECT_EQ(*trie.Lookup(0x0A000005), 1);
+  EXPECT_FALSE(trie.Remove(0x0A000000, 24));
+  EXPECT_EQ(trie.size(), 1);
+}
+
+TEST(LpmTrie, Ipv6Width) {
+  LpmTrie<int> trie(128);
+  const uint128 base = static_cast<uint128>(0x20010db8u) << 96;
+  trie.Insert(base, 32, 1);
+  trie.Insert(base | (static_cast<uint128>(1) << 64), 64, 2);
+  EXPECT_EQ(*trie.Lookup(base | (static_cast<uint128>(1) << 64) | 99), 2);
+  EXPECT_EQ(*trie.Lookup(base | 99), 1);
+}
+
+TEST(BugCatalogTest, CoversBothStacksAndAllComponents) {
+  int pins = 0;
+  int cerberus = 0;
+  std::set<Component> components;
+  for (const BugInfo& bug : BugCatalog()) {
+    (bug.stack == Stack::kPins ? pins : cerberus)++;
+    components.insert(bug.component);
+    EXPECT_EQ(FindBug(bug.fault), &bug);
+  }
+  EXPECT_GE(pins, 25);
+  EXPECT_GE(cerberus, 7);
+  // Every Table-1 component bucket is represented.
+  for (Component c :
+       {Component::kP4RuntimeServer, Component::kGnmi,
+        Component::kOrchestrationAgent, Component::kSyncdBinary,
+        Component::kSwitchLinux, Component::kHardware,
+        Component::kP4Toolchain, Component::kInputP4Program,
+        Component::kSwitchSoftware, Component::kBmv2Simulator}) {
+    EXPECT_TRUE(components.contains(c)) << ComponentName(c);
+  }
+}
+
+TEST(BugCatalogTest, ResolutionShapeMatchesPaper) {
+  // Figure 7 / §6.1: the majority of PINS bugs resolved within 14 days,
+  // about a third within 5 days, and a few unresolved.
+  int pins_total = 0;
+  int within_14 = 0;
+  int within_5 = 0;
+  int unresolved = 0;
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.stack != Stack::kPins) continue;
+    ++pins_total;
+    if (bug.days_to_resolution < 0) {
+      ++unresolved;
+      continue;
+    }
+    if (bug.days_to_resolution <= 14) ++within_14;
+    if (bug.days_to_resolution <= 5) ++within_5;
+  }
+  EXPECT_GT(within_14 * 2, pins_total);           // majority <= 14 days
+  EXPECT_GT(within_5 * 4, pins_total);            // roughly a third <= 5
+  EXPECT_GE(unresolved, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property: a healthy switch agrees with the reference
+// simulator on every packet, across the full production-like workload.
+// This is the core soundness property of the whole setup: with no faults,
+// SwitchV must find nothing.
+// ---------------------------------------------------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<Role> {};
+
+TEST_P(DifferentialTest, HealthySwitchMatchesReference) {
+  const Role role = GetParam();
+  auto program = BuildSaiProgram(role);
+  ASSERT_TRUE(program.ok()) << program.status();
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*program);
+  const models::WorkloadSpec spec = role == Role::kMiddleblock
+                                        ? models::WorkloadSpec::Inst1()
+                                        : models::WorkloadSpec::Inst2();
+  auto entries = models::GenerateEntries(info, role, spec, /*seed=*/11);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+
+  SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                      models::kCpuPort);
+  ASSERT_TRUE(sut.SetForwardingPipelineConfig(info).ok());
+  p4rt::WriteRequest request;
+  for (const p4rt::TableEntry& entry : *entries) {
+    request.updates.push_back(
+        p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  const p4rt::WriteResponse response = sut.Write(request);
+  for (std::size_t i = 0; i < response.statuses.size(); ++i) {
+    ASSERT_TRUE(response.statuses[i].ok())
+        << "insert " << i << " ("
+        << request.updates[i].entry.ToString(&info)
+        << "): " << response.statuses[i];
+  }
+
+  bmv2::Interpreter reference(*program, models::SaiParserSpec(),
+                              models::DefaultCloneSessions());
+  ASSERT_TRUE(reference.InstallEntries(*entries).ok());
+
+  // A spread of packets: routed, unrouted, low TTL, broadcast, ACL hits,
+  // IPv6, ARP — across several ingress ports.
+  Rng rng(99);
+  int checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::string bytes;
+    if (i % 7 == 6) {
+      models::Ipv6PacketSpec spec6;
+      const uint128 base = static_cast<uint128>(0x20010db8u) << 96;
+      spec6.dst_ip = base | (rng.Bits(80).value());
+      bytes = models::BuildIpv6Packet(*program, spec6);
+    } else if (i % 11 == 10) {
+      bytes = models::BuildArpPacket(*program);
+    } else {
+      models::Ipv4PacketSpec spec4;
+      spec4.dst_ip = (10u << 24) |
+                     static_cast<std::uint32_t>(rng.Uniform(0, 1 << 24));
+      if (i % 5 == 0) spec4.dst_ip = 0xFFFFFFFF;
+      if (i % 13 == 0) spec4.ttl = static_cast<int>(rng.Uniform(0, 2));
+      if (i % 3 == 0) spec4.protocol = 17;
+      if (i % 17 == 0) {
+        spec4.protocol = 1;  // ICMP echo (hits acl_copy entries)
+      }
+      spec4.dst_port = i % 2 == 0 ? 179 : 443;
+      bytes = models::BuildIpv4Packet(*program, spec4);
+    }
+    const auto port =
+        static_cast<std::uint16_t>(rng.Uniform(1, models::kNumFrontPanelPorts));
+    const packet::ForwardingOutcome observed = sut.InjectPacket(bytes, port);
+    auto behaviors = reference.EnumerateBehaviors(bytes, port);
+    ASSERT_TRUE(behaviors.ok()) << behaviors.status();
+    bool admissible = false;
+    for (const packet::ForwardingOutcome& expected : *behaviors) {
+      if (expected == observed) admissible = true;
+    }
+    EXPECT_TRUE(admissible)
+        << "packet " << i << " on port " << port << "\n observed: "
+        << observed.Canonical() << "\n expected one of "
+        << behaviors->size() << " behaviors, first: "
+        << (*behaviors)[0].Canonical();
+    if (admissible) ++checked;
+  }
+  EXPECT_EQ(checked, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roles, DifferentialTest,
+                         ::testing::Values(Role::kMiddleblock, Role::kWan),
+                         [](const auto& param) {
+                           return std::string(RoleName(param.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Targeted fault behaviour tests.
+// ---------------------------------------------------------------------------
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok());
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+  }
+
+  std::unique_ptr<SwitchUnderTest> MakeSut() {
+    auto sut = std::make_unique<SwitchUnderTest>(
+        &faults_, models::DefaultCloneSessions(), models::kCpuPort);
+    EXPECT_TRUE(sut->SetForwardingPipelineConfig(info_).ok());
+    return sut;
+  }
+
+  p4rt::TableEntry Vrf(int v) {
+    auto entry = EntryBuilder(info_, "vrf_tbl")
+                     .Exact("vrf_id", U(v, models::kVrfWidth))
+                     .Action("no_action")
+                     .Build();
+    EXPECT_TRUE(entry.ok());
+    return *entry;
+  }
+
+  static p4rt::WriteRequest Inserts(std::vector<p4rt::TableEntry> entries) {
+    p4rt::WriteRequest request;
+    for (auto& e : entries) {
+      request.updates.push_back(
+          p4rt::Update{p4rt::UpdateType::kInsert, std::move(e)});
+    }
+    return request;
+  }
+
+  FaultRegistry faults_;
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+};
+
+TEST_F(FaultTest, HealthyInsertAndDelete) {
+  auto sut = MakeSut();
+  auto response = sut->Write(Inserts({Vrf(1)}));
+  EXPECT_TRUE(response.all_ok());
+  p4rt::WriteRequest del;
+  del.updates.push_back(p4rt::Update{p4rt::UpdateType::kDelete, Vrf(1)});
+  EXPECT_TRUE(sut->Write(del).all_ok());
+}
+
+TEST_F(FaultTest, DuplicateInsertIsAlreadyExists) {
+  auto sut = MakeSut();
+  EXPECT_TRUE(sut->Write(Inserts({Vrf(1)})).all_ok());
+  auto response = sut->Write(Inserts({Vrf(1)}));
+  EXPECT_EQ(response.statuses[0].code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FaultTest, DuplicateEntryWrongCodeFault) {
+  faults_.Activate(Fault::kDuplicateEntryWrongCode);
+  auto sut = MakeSut();
+  EXPECT_TRUE(sut->Write(Inserts({Vrf(1)})).all_ok());
+  auto response = sut->Write(Inserts({Vrf(1)}));
+  EXPECT_EQ(response.statuses[0].code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultTest, ReferentialIntegrityEnforced) {
+  auto sut = MakeSut();
+  // Route referencing VRF 1 before it exists: rejected.
+  auto route = EntryBuilder(info_, "ipv4_tbl")
+                   .Exact("vrf_id", U(1, models::kVrfWidth))
+                   .Lpm("ipv4_dst", U(0x0A000000, 32), 24)
+                   .Action("drop_packet")
+                   .Build();
+  ASSERT_TRUE(route.ok());
+  auto response = sut->Write(Inserts({*route}));
+  EXPECT_EQ(response.statuses[0].code(), StatusCode::kInvalidArgument);
+  // After the VRF exists, the same insert succeeds.
+  EXPECT_TRUE(sut->Write(Inserts({Vrf(1)})).all_ok());
+  EXPECT_TRUE(sut->Write(Inserts({*route})).all_ok());
+  // Deleting the referenced VRF while the route exists: rejected (in use).
+  p4rt::WriteRequest del;
+  del.updates.push_back(p4rt::Update{p4rt::UpdateType::kDelete, Vrf(1)});
+  EXPECT_EQ(sut->Write(del).statuses[0].code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultTest, DeleteNonExistingFailsBatchFault) {
+  faults_.Activate(Fault::kDeleteNonExistingFailsBatch);
+  auto sut = MakeSut();
+  p4rt::WriteRequest request;
+  request.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, Vrf(1)});
+  request.updates.push_back(p4rt::Update{p4rt::UpdateType::kDelete, Vrf(9)});
+  auto response = sut->Write(request);
+  // The whole batch aborts, including the valid insert.
+  EXPECT_EQ(response.statuses[0].code(), StatusCode::kAborted);
+  EXPECT_EQ(response.statuses[1].code(), StatusCode::kAborted);
+  auto read = sut->Read(p4rt::ReadRequest{});
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->entries.empty());
+}
+
+TEST_F(FaultTest, P4InfoZeroByteIdsFailsConfigPush) {
+  faults_.Activate(Fault::kP4InfoZeroByteIds);
+  SwitchUnderTest sut(&faults_, models::DefaultCloneSessions(),
+                      models::kCpuPort);
+  EXPECT_EQ(sut.SetForwardingPipelineConfig(info_).code(),
+            StatusCode::kInternal);
+}
+
+TEST_F(FaultTest, SwallowedConfigPushBreaksWrites) {
+  faults_.Activate(Fault::kP4InfoPushFailureSwallowed);
+  auto sut = MakeSut();  // push "succeeds"
+  auto response = sut->Write(Inserts({Vrf(1)}));
+  EXPECT_FALSE(response.all_ok());
+}
+
+TEST_F(FaultTest, ModifyKeepsOldParamsFault) {
+  auto sut = MakeSut();
+  auto rif = EntryBuilder(info_, "router_interface_tbl")
+                 .Exact("router_interface_id", U(1, 16))
+                 .Action("set_port_and_src_mac",
+                         {{"port", U(5, 16)}, {"src_mac", U(0xAA, 48)}})
+                 .Build();
+  ASSERT_TRUE(rif.ok());
+  ASSERT_TRUE(sut->Write(Inserts({*rif})).all_ok());
+  auto modified = EntryBuilder(info_, "router_interface_tbl")
+                      .Exact("router_interface_id", U(1, 16))
+                      .Action("set_port_and_src_mac",
+                              {{"port", U(9, 16)}, {"src_mac", U(0xBB, 48)}})
+                      .Build();
+  ASSERT_TRUE(modified.ok());
+  p4rt::WriteRequest mod;
+  mod.updates.push_back(p4rt::Update{p4rt::UpdateType::kModify, *modified});
+
+  // With the fault active, the MODIFY is acknowledged but the read-back
+  // still returns the old parameters.
+  faults_.Activate(Fault::kModifyKeepsOldActionParams);
+  ASSERT_TRUE(sut->Write(mod).all_ok());
+  auto faulty_read = sut->Read(p4rt::ReadRequest{});
+  ASSERT_TRUE(faulty_read.ok());
+  EXPECT_EQ(faulty_read->entries[0], *rif);
+
+  // Healthy behaviour: the new parameters stick.
+  faults_.Deactivate(Fault::kModifyKeepsOldActionParams);
+  ASSERT_TRUE(sut->Write(mod).all_ok());
+  auto healthy_read = sut->Read(p4rt::ReadRequest{});
+  ASSERT_TRUE(healthy_read.ok());
+  EXPECT_EQ(healthy_read->entries[0], *modified);
+}
+
+TEST_F(FaultTest, ReadTernaryUnsupportedStripsFields) {
+  faults_.Activate(Fault::kReadTernaryUnsupported);
+  auto sut = MakeSut();
+  auto acl = EntryBuilder(info_, "acl_ingress_tbl")
+                 .Ternary("ether_type", U(0x0806, 16), BitString::AllOnes(16))
+                 .Priority(1)
+                 .Action("acl_trap")
+                 .Build();
+  ASSERT_TRUE(acl.ok());
+  ASSERT_TRUE(sut->Write(Inserts({*acl})).all_ok());
+  auto read = sut->Read(p4rt::ReadRequest{});
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->entries.size(), 1u);
+  EXPECT_TRUE(read->entries[0].matches.empty());  // ternary field dropped
+}
+
+TEST_F(FaultTest, AclTableNameWrongCaseRejectsAclInserts) {
+  faults_.Activate(Fault::kAclTableNameWrongCase);
+  auto sut = MakeSut();
+  auto acl = EntryBuilder(info_, "acl_ingress_tbl")
+                 .Ternary("ether_type", U(0x0806, 16), BitString::AllOnes(16))
+                 .Priority(1)
+                 .Action("acl_trap")
+                 .Build();
+  ASSERT_TRUE(acl.ok());
+  auto response = sut->Write(Inserts({*acl}));
+  EXPECT_EQ(response.statuses[0].code(), StatusCode::kInternal);
+  // Non-ACL tables unaffected.
+  EXPECT_TRUE(sut->Write(Inserts({Vrf(1)})).all_ok());
+}
+
+TEST_F(FaultTest, ConstraintCheckSkippedAcceptsVrf0) {
+  faults_.Activate(Fault::kConstraintCheckSkipped);
+  auto sut = MakeSut();
+  auto response = sut->Write(Inserts({Vrf(0)}));  // violates vrf_id != 0
+  EXPECT_TRUE(response.all_ok());
+}
+
+TEST_F(FaultTest, PacketOutPuntedBackFault) {
+  faults_.Activate(Fault::kPacketOutPuntedBack);
+  auto sut = MakeSut();
+  models::Ipv4PacketSpec spec;
+  ASSERT_TRUE(sut->PacketOut(p4rt::PacketOut{
+                              models::BuildIpv4Packet(program_, spec), 3,
+                              false})
+                  .ok());
+  EXPECT_EQ(sut->DrainEgress().size(), 1u);
+  EXPECT_EQ(sut->DrainPacketIns().size(), 1u);  // looped back
+}
+
+TEST_F(FaultTest, PortSyncRestartBreaksPacketIo) {
+  faults_.Activate(Fault::kPortSyncDaemonRestart);
+  auto sut = MakeSut();
+  models::Ipv4PacketSpec spec;
+  spec.ttl = 1;  // would normally punt via the TTL trap
+  auto outcome =
+      sut->InjectPacket(models::BuildIpv4Packet(program_, spec), 1);
+  EXPECT_FALSE(outcome.punted);
+  EXPECT_TRUE(sut->DrainPacketIns().empty());
+}
+
+TEST_F(FaultTest, GnmiConfigTreeSetAndGet) {
+  auto sut = MakeSut();
+  EXPECT_TRUE(sut->gnmi().Set("/system/config/hostname", "dut").ok());
+  auto value = sut->gnmi().Get("/system/config/hostname");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "dut");
+  EXPECT_EQ(sut->gnmi().Get("/no/such/path").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(sut->gnmi().Set("relative/path", "x").ok());
+}
+
+TEST_F(FaultTest, GnmiPortSpeedBreaksPuntAfterReconfig) {
+  faults_.Activate(Fault::kGnmiPortSpeedBreaksPunt);
+  auto sut = MakeSut();
+  models::Ipv4PacketSpec spec;
+  spec.ttl = 1;  // punts via the TTL trap
+  // Before any port-speed reconfiguration the punt path works.
+  auto outcome =
+      sut->InjectPacket(models::BuildIpv4Packet(program_, spec), 1);
+  EXPECT_TRUE(outcome.punted);
+  sut->DrainPacketIns();
+  // The reconfiguration corrupts the punt path.
+  ASSERT_TRUE(sut->ApplyStandardBringUpConfig().ok());
+  outcome = sut->InjectPacket(models::BuildIpv4Packet(program_, spec), 1);
+  EXPECT_FALSE(outcome.punted);
+  EXPECT_TRUE(sut->DrainPacketIns().empty());
+}
+
+TEST_F(FaultTest, LldpDaemonInjectsPacketIns) {
+  faults_.Activate(Fault::kLldpDaemonPunts);
+  auto sut = MakeSut();
+  sut->Tick();
+  const auto packet_ins = sut->DrainPacketIns();
+  ASSERT_EQ(packet_ins.size(), 1u);
+  // LLDP ethertype 0x88CC at offset 12.
+  EXPECT_EQ(static_cast<unsigned char>(packet_ins[0].payload[12]), 0x88);
+  EXPECT_EQ(static_cast<unsigned char>(packet_ins[0].payload[13]), 0xCC);
+}
+
+TEST_F(FaultTest, VrfDeleteBrokenFault) {
+  faults_.Activate(Fault::kVrfDeleteBroken);
+  auto sut = MakeSut();
+  ASSERT_TRUE(sut->Write(Inserts({Vrf(1)})).all_ok());
+  p4rt::WriteRequest del;
+  del.updates.push_back(p4rt::Update{p4rt::UpdateType::kDelete, Vrf(1)});
+  EXPECT_EQ(sut->Write(del).statuses[0].code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultTest, WcmpRejectsDuplicateActionsFault) {
+  faults_.Activate(Fault::kWcmpRejectsDuplicateActions);
+  auto sut = MakeSut();
+  // Install the nexthop chain the group references.
+  auto rif = EntryBuilder(info_, "router_interface_tbl")
+                 .Exact("router_interface_id", U(1, 16))
+                 .Action("set_port_and_src_mac",
+                         {{"port", U(5, 16)}, {"src_mac", U(0xAA, 48)}})
+                 .Build();
+  auto neighbor = EntryBuilder(info_, "neighbor_tbl")
+                      .Exact("router_interface_id", U(1, 16))
+                      .Exact("neighbor_id", U(1, 16))
+                      .Action("set_dst_mac", {{"dst_mac", U(0xBB, 48)}})
+                      .Build();
+  auto nexthop = EntryBuilder(info_, "nexthop_tbl")
+                     .Exact("nexthop_id", U(1, 16))
+                     .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                             {"neighbor_id", U(1, 16)}})
+                     .Build();
+  ASSERT_TRUE(rif.ok() && neighbor.ok() && nexthop.ok());
+  ASSERT_TRUE(sut->Write(Inserts({*rif, *neighbor, *nexthop})).all_ok());
+  // A valid group whose two buckets use the same action: must be accepted
+  // per the spec, but the faulty OA rejects it.
+  auto group = EntryBuilder(info_, "wcmp_group_tbl")
+                   .Exact("wcmp_group_id", U(1, 16))
+                   .WeightedAction("set_nexthop_id", 1,
+                                   {{"nexthop_id", U(1, 16)}})
+                   .WeightedAction("set_nexthop_id", 1,
+                                   {{"nexthop_id", U(1, 16)}})
+                   .Build();
+  ASSERT_TRUE(group.ok());
+  auto response = sut->Write(Inserts({*group}));
+  EXPECT_FALSE(response.all_ok());
+}
+
+TEST_F(FaultTest, CursedPortDropsPackets) {
+  faults_.Activate(Fault::kCursedPortDropsPackets);
+  auto sut = MakeSut();
+  // Route to the cursed port (5) via rif 1.
+  std::vector<p4rt::TableEntry> chain;
+  auto push = [&](StatusOr<p4rt::TableEntry> e) {
+    ASSERT_TRUE(e.ok()) << e.status();
+    chain.push_back(std::move(e).value());
+  };
+  push(EntryBuilder(info_, "l3_admit_tbl").Priority(1).Action("l3_admit")
+           .Build());
+  push(Vrf(1));  // must precede the pre-ingress entry that references it
+  push(EntryBuilder(info_, "acl_pre_ingress_tbl")
+           .Priority(1)
+           .Action("set_vrf", {{"vrf_id", U(1, models::kVrfWidth)}})
+           .Build());
+  push(EntryBuilder(info_, "router_interface_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Action("set_port_and_src_mac",
+                   {{"port", U(5, 16)}, {"src_mac", U(0xAA, 48)}})
+           .Build());
+  push(EntryBuilder(info_, "neighbor_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Exact("neighbor_id", U(1, 16))
+           .Action("set_dst_mac", {{"dst_mac", U(0xBB, 48)}})
+           .Build());
+  push(EntryBuilder(info_, "nexthop_tbl")
+           .Exact("nexthop_id", U(1, 16))
+           .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                   {"neighbor_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info_, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A000000, 32), 24)
+           .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+           .Build());
+  ASSERT_TRUE(sut->Write(Inserts(chain)).all_ok());
+  models::Ipv4PacketSpec spec;
+  spec.dst_ip = 0x0A000001;
+  auto outcome =
+      sut->InjectPacket(models::BuildIpv4Packet(program_, spec), 1);
+  EXPECT_TRUE(outcome.dropped);  // interference on port 5
+}
+
+}  // namespace
+}  // namespace switchv::sut

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "switchv/experiment.h"
+
+namespace switchv {
+namespace {
+
+// gtest parameter names must be alphanumeric.
+std::string TestName(std::string name) {
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name.substr(0, 48);
+}
+
+// Shared fast configuration: a small forwarding state and a short fuzzing
+// campaign. The full-scale runs live in bench/.
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 12;
+  options.nightly.control_plane.updates_per_request = 40;
+  options.nightly.dataplane.packet_out_ports = 2;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Soundness: SwitchV reports nothing on a healthy switch.
+// ---------------------------------------------------------------------------
+
+class HealthyNightlyTest : public ::testing::TestWithParam<models::Role> {};
+
+TEST_P(HealthyNightlyTest, NoIncidentsOnHealthySwitch) {
+  const models::Role role = GetParam();
+  auto model = models::BuildSaiProgram(role);
+  ASSERT_TRUE(model.ok()) << model.status();
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
+  models::WorkloadSpec workload = ExperimentOptions::SmallWorkload();
+  if (role == models::Role::kWan) {
+    workload.num_decap = 3;
+    workload.num_tunnels = 6;
+  }
+  auto entries = models::GenerateEntries(info, role, workload, /*seed=*/2);
+  ASSERT_TRUE(entries.ok());
+
+  const NightlyReport report = RunNightlyValidation(
+      nullptr, *model, models::SaiParserSpec(), *entries,
+      FastOptions().nightly);
+  for (const Incident& incident : report.incidents) {
+    ADD_FAILURE() << DetectorName(incident.detector) << ": "
+                  << incident.summary << " [" << incident.details << "]";
+  }
+  EXPECT_GT(report.fuzzed_updates, 100);
+  EXPECT_GT(report.packets_tested, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roles, HealthyNightlyTest,
+                         ::testing::Values(models::Role::kMiddleblock,
+                                           models::Role::kWan),
+                         [](const auto& param) {
+                           return std::string(models::RoleName(param.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Detection: every injected catalog bug is found. The full 40-bug sweep is
+// bench/table1_bugs_by_component; here we check a representative slice
+// covering every component bucket and both detectors.
+// ---------------------------------------------------------------------------
+
+class BugDetectionTest : public ::testing::TestWithParam<sut::Fault> {};
+
+TEST_P(BugDetectionTest, NightlyRunDetectsInjectedBug) {
+  const sut::BugInfo* bug = sut::FindBug(GetParam());
+  ASSERT_NE(bug, nullptr);
+  auto result = RunNightlyForBug(*bug, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->detected)
+      << bug->name << " was not detected by the nightly run";
+  if (result->detected) {
+    SCOPED_TRACE(result->first_incident);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Slice, BugDetectionTest,
+    ::testing::Values(
+        // One per component bucket, mixing expected detectors.
+        sut::Fault::kDeleteNonExistingFailsBatch,   // P4RT server / fuzzer
+        sut::Fault::kReadTernaryUnsupported,        // P4RT server / reads
+        sut::Fault::kGnmiPortSpeedBreaksPunt,       // gNMI / symbolic
+        sut::Fault::kWcmpUpdateRemovesMembers,      // OA / symbolic
+        sut::Fault::kDscpRemarkedToZero,            // SyncD / symbolic
+        sut::Fault::kLldpDaemonPunts,               // Switch Linux
+        sut::Fault::kAsicCapacityBelowGuarantee,    // Hardware / fuzzer
+        sut::Fault::kP4InfoZeroByteIds,             // Toolchain
+        sut::Fault::kModelMissingTtlTrap,           // Input P4 program
+        sut::Fault::kEncapReversedDstIp,            // Cerberus software
+        sut::Fault::kBmv2RejectsValidOptional),     // Simulator
+    [](const auto& param) {
+      return TestName(sut::FindBug(param.param)->name);
+    });
+
+// ---------------------------------------------------------------------------
+// Trivial suite (§6.2).
+// ---------------------------------------------------------------------------
+
+TEST(TrivialSuiteTest, HealthySwitchPassesAllSixTests) {
+  auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+  ASSERT_TRUE(model.ok());
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           model->cpu_port);
+  const TrivialSuiteReport report =
+      RunTrivialSuite(sut, *model, models::SaiParserSpec());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(report.passed[static_cast<std::size_t>(i)])
+        << "trivial test " << i + 1 << " failed: "
+        << report.failure_details[static_cast<std::size_t>(i)];
+  }
+  EXPECT_FALSE(report.FirstFailing().has_value());
+}
+
+TEST(TrivialSuiteTest, WanRolePassesToo) {
+  auto model = models::BuildSaiProgram(models::Role::kWan);
+  ASSERT_TRUE(model.ok());
+  sut::SwitchUnderTest sut(nullptr, models::DefaultCloneSessions(),
+                           model->cpu_port);
+  const TrivialSuiteReport report =
+      RunTrivialSuite(sut, *model, models::SaiParserSpec());
+  EXPECT_TRUE(report.all_passed())
+      << (report.FirstFailing().has_value()
+              ? std::string(sut::TrivialTestName(*report.FirstFailing()))
+              : "");
+}
+
+struct TrivialCase {
+  sut::Fault fault;
+  sut::TrivialTest expected_first_failure;
+};
+
+class TrivialSuiteFaultTest : public ::testing::TestWithParam<TrivialCase> {};
+
+TEST_P(TrivialSuiteFaultTest, FirstFailingTestMatches) {
+  const TrivialCase& test_case = GetParam();
+  const sut::BugInfo* bug = sut::FindBug(test_case.fault);
+  ASSERT_NE(bug, nullptr);
+  auto first = RunTrivialSuiteForBug(*bug);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, test_case.expected_first_failure)
+      << bug->name << ": first failing test is "
+      << sut::TrivialTestName(*first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TrivialSuiteFaultTest,
+    ::testing::Values(
+        // Config-push bugs die on test 1.
+        TrivialCase{sut::Fault::kP4InfoZeroByteIds,
+                    sut::TrivialTest::kSetP4Info},
+        // ACL-entry rejection dies on test 2.
+        TrivialCase{sut::Fault::kAclTableNameWrongCase,
+                    sut::TrivialTest::kTableEntryProgramming},
+        TrivialCase{sut::Fault::kAclKeySpaceCharRejected,
+                    sut::TrivialTest::kTableEntryProgramming},
+        // Swallowed config push: writes fail afterwards (test 2).
+        TrivialCase{sut::Fault::kP4InfoPushFailureSwallowed,
+                    sut::TrivialTest::kTableEntryProgramming},
+        // Stripped ternary reads die on test 3.
+        TrivialCase{sut::Fault::kReadTernaryUnsupported,
+                    sut::TrivialTest::kReadAllTables},
+        // Broken punt paths die on test 4.
+        TrivialCase{sut::Fault::kPortSyncDaemonRestart,
+                    sut::TrivialTest::kPacketIn},
+        TrivialCase{sut::Fault::kGnmiPortSpeedBreaksPunt,
+                    sut::TrivialTest::kPacketIn},
+        // Wrong-ICMP-field model bug: the model disagrees with the switch
+        // on the punt packet (paper Appendix A attribution).
+        TrivialCase{sut::Fault::kModelWrongIcmpField,
+                    sut::TrivialTest::kPacketIn},
+        // Deep bugs are invisible to the trivial suite.
+        TrivialCase{sut::Fault::kModifyKeepsOldActionParams,
+                    sut::TrivialTest::kNone},
+        TrivialCase{sut::Fault::kAclResourceLeak, sut::TrivialTest::kNone},
+        TrivialCase{sut::Fault::kEncapReversedDstIp,
+                    sut::TrivialTest::kNone}),
+    [](const auto& param) {
+      return TestName(sut::FindBug(param.param.fault)->name);
+    });
+
+}  // namespace
+}  // namespace switchv

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "bmv2/interpreter.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "p4runtime/entry_builder.h"
+#include "symbolic/packet_gen.h"
+
+namespace switchv::symbolic {
+namespace {
+
+using models::BuildSaiProgram;
+using models::Role;
+using p4rt::EntryBuilder;
+
+BitString U(uint128 v, int w) { return BitString::FromUint(v, w); }
+
+// The minimal entry chain from the bmv2 tests: routes 10.0.0.0/24 via
+// nexthop 1 out of port 5, with a /32 drop shadow at 10.0.0.7.
+std::vector<p4rt::TableEntry> RoutingChain(const p4ir::P4Info& info) {
+  std::vector<p4rt::TableEntry> entries;
+  auto push = [&](StatusOr<p4rt::TableEntry> e) {
+    EXPECT_TRUE(e.ok()) << e.status();
+    entries.push_back(std::move(e).value());
+  };
+  push(EntryBuilder(info, "l3_admit_tbl").Priority(1).Action("l3_admit")
+           .Build());
+  push(EntryBuilder(info, "acl_pre_ingress_tbl")
+           .Priority(1)
+           .Action("set_vrf", {{"vrf_id", U(1, models::kVrfWidth)}})
+           .Build());
+  push(EntryBuilder(info, "vrf_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Action("no_action")
+           .Build());
+  push(EntryBuilder(info, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A000000, 32), 24)
+           .Action("set_nexthop_id", {{"nexthop_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A000007, 32), 32)
+           .Action("drop_packet")
+           .Build());
+  push(EntryBuilder(info, "nexthop_tbl")
+           .Exact("nexthop_id", U(1, 16))
+           .Action("set_nexthop", {{"router_interface_id", U(1, 16)},
+                                   {"neighbor_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info, "neighbor_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Exact("neighbor_id", U(1, 16))
+           .Action("set_dst_mac", {{"dst_mac", U(0x0400000000AAull, 48)}})
+           .Build());
+  push(EntryBuilder(info, "router_interface_tbl")
+           .Exact("router_interface_id", U(1, 16))
+           .Action("set_port_and_src_mac",
+                   {{"port", U(5, p4ir::kPortWidth)},
+                    {"src_mac", U(0x020000000001ull, 48)}})
+           .Build());
+  return entries;
+}
+
+class SymbolicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = BuildSaiProgram(Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+  }
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+};
+
+// The paper's §5 worked example: generating a packet that matches the /24
+// route requires the solver to *negate* the higher-priority /32 entry.
+TEST_F(SymbolicTest, LpmShadowingRequiresNegation) {
+  const auto entries = RoutingChain(info_);
+  SymbolicExecutor executor(program_, models::SaiParserSpec());
+  ASSERT_TRUE(executor.Execute(entries).ok());
+
+  // ipv4_tbl entries: index 0 is the /24, index 1 the /32 shadow.
+  auto guard24 = executor.TargetGuard("ipv4_tbl.entry[0]");
+  auto guard32 = executor.TargetGuard("ipv4_tbl.entry[1]");
+  ASSERT_TRUE(guard24.ok() && guard32.ok());
+
+  auto packet24 = executor.SolvePacket(*guard24, "ipv4_tbl.entry[0]");
+  ASSERT_TRUE(packet24.ok()) << packet24.status();
+  auto packet32 = executor.SolvePacket(*guard32, "ipv4_tbl.entry[1]");
+  ASSERT_TRUE(packet32.ok()) << packet32.status();
+
+  // The /24 packet's destination must be inside 10.0.0.0/24 but NOT the
+  // shadowed host 10.0.0.7 — the solver had to negate the longer prefix
+  // (the last conjunct of T[i1] in the paper's example).
+  const auto parsed24 = packet::Parse(program_, models::SaiParserSpec(),
+                                      packet24->bytes);
+  const std::uint64_t dst24 =
+      parsed24.fields.at("ipv4.dst_addr").ToUint64();
+  EXPECT_EQ(dst24 & 0xFFFFFF00u, 0x0A000000u);
+  EXPECT_NE(dst24, 0x0A000007u)
+      << "solver failed to avoid the higher-priority /32";
+  // The /32 packet's destination is exactly 10.0.0.7 and drops.
+  const auto parsed32 = packet::Parse(program_, models::SaiParserSpec(),
+                                      packet32->bytes);
+  EXPECT_EQ(parsed32.fields.at("ipv4.dst_addr").ToUint64(), 0x0A000007u);
+  bmv2::Interpreter reference(program_, models::SaiParserSpec());
+  ASSERT_TRUE(reference.InstallEntries(entries).ok());
+  auto outcome32 =
+      reference.Run(packet32->bytes, packet32->ingress_port, 0);
+  ASSERT_TRUE(outcome32.ok());
+  EXPECT_TRUE(outcome32->dropped);
+
+  // A custom goal pinning the forwarding path end-to-end: match the /24,
+  // survive the TTL trap, egress on port 5.
+  z3::context& ctx = executor.ctx();
+  const z3::expr forwarded_goal =
+      *guard24 &&
+      executor.OutputField(p4ir::kDropField) == ctx.bv_val(0, 1) &&
+      executor.OutputField(p4ir::kEgressPortField) ==
+          ctx.bv_val(5, p4ir::kPortWidth);
+  auto forwarded = executor.SolvePacket(forwarded_goal, "fwd24");
+  ASSERT_TRUE(forwarded.ok()) << forwarded.status();
+  auto outcome_fwd =
+      reference.Run(forwarded->bytes, forwarded->ingress_port, 0);
+  ASSERT_TRUE(outcome_fwd.ok());
+  EXPECT_FALSE(outcome_fwd->dropped);
+  EXPECT_EQ(outcome_fwd->egress_port, 5);
+}
+
+TEST_F(SymbolicTest, GeneratedPacketsAreWellFormed) {
+  const auto entries = RoutingChain(info_);
+  auto packets = GeneratePackets(program_, models::SaiParserSpec(), entries,
+                                 CoverageMode::kEntryCoverage);
+  ASSERT_TRUE(packets.ok()) << packets.status();
+  ASSERT_FALSE(packets->empty());
+  for (const TestPacket& packet : *packets) {
+    // Every packet parses back consistently (parser well-formedness).
+    const auto parsed = packet::Parse(program_, models::SaiParserSpec(),
+                                      packet.bytes);
+    EXPECT_TRUE(parsed.valid_headers.contains("ethernet")) << packet.target_id;
+    EXPECT_GE(packet.ingress_port, 1);
+    EXPECT_LE(packet.ingress_port, 32);
+  }
+}
+
+TEST_F(SymbolicTest, EntryCoverageHitsEveryReachableEntry) {
+  const auto entries = RoutingChain(info_);
+  GenerationStats stats;
+  auto packets = GeneratePackets(program_, models::SaiParserSpec(), entries,
+                                 CoverageMode::kEntryCoverage, nullptr,
+                                 &stats);
+  ASSERT_TRUE(packets.ok()) << packets.status();
+  // Targets = one per installed entry + one miss per table + the built-in
+  // boundary-value assertions.
+  const int tables = static_cast<int>(program_.tables.size());
+  EXPECT_GE(stats.targets_total, static_cast<int>(entries.size()) + tables);
+  EXPECT_LE(stats.targets_total,
+            static_cast<int>(entries.size()) + tables + 8);
+  // Run each packet through the reference and record which entries from
+  // our chain it actually exercises.
+  bmv2::Interpreter reference(program_, models::SaiParserSpec());
+  ASSERT_TRUE(reference.InstallEntries(entries).ok());
+  int routed = 0;
+  int dropped = 0;
+  for (const TestPacket& packet : *packets) {
+    auto outcome = reference.Run(packet.bytes, packet.ingress_port, 0);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->dropped) {
+      ++dropped;
+    } else {
+      ++routed;
+    }
+  }
+  EXPECT_GT(routed, 0);
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(stats.targets_covered, static_cast<int>(entries.size()) / 2);
+}
+
+TEST_F(SymbolicTest, BranchCoverageAddsConditionalTargets) {
+  const auto entries = RoutingChain(info_);
+  GenerationStats entry_stats;
+  auto entry_packets =
+      GeneratePackets(program_, models::SaiParserSpec(), entries,
+                      CoverageMode::kEntryCoverage, nullptr, &entry_stats);
+  GenerationStats branch_stats;
+  auto branch_packets = GeneratePackets(
+      program_, models::SaiParserSpec(), entries,
+      CoverageMode::kBranchAndEntryCoverage, nullptr, &branch_stats);
+  ASSERT_TRUE(entry_packets.ok() && branch_packets.ok());
+  EXPECT_GT(branch_stats.targets_total, entry_stats.targets_total);
+}
+
+TEST_F(SymbolicTest, CacheSkipsSolverOnUnchangedInputs) {
+  const auto entries = RoutingChain(info_);
+  PacketCache cache;
+  GenerationStats cold;
+  auto first = GeneratePackets(program_, models::SaiParserSpec(), entries,
+                               CoverageMode::kEntryCoverage, &cache, &cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.solver_queries, 0);
+
+  GenerationStats warm;
+  auto second = GeneratePackets(program_, models::SaiParserSpec(), entries,
+                                CoverageMode::kEntryCoverage, &cache, &warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.solver_queries, 0);
+  ASSERT_EQ(first->size(), second->size());
+
+  // Changing an entry invalidates the cache.
+  auto changed = entries;
+  changed.pop_back();
+  GenerationStats retry;
+  auto third = GeneratePackets(program_, models::SaiParserSpec(), changed,
+                               CoverageMode::kEntryCoverage, &cache, &retry);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(retry.cache_hit);
+}
+
+TEST_F(SymbolicTest, InfeasibleTargetsReported) {
+  // vrf 2 route without pre-ingress assigning vrf 2: unreachable.
+  std::vector<p4rt::TableEntry> entries = RoutingChain(info_);
+  auto vrf2 = EntryBuilder(info_, "vrf_tbl")
+                  .Exact("vrf_id", U(2, models::kVrfWidth))
+                  .Action("no_action")
+                  .Build();
+  auto route2 = EntryBuilder(info_, "ipv4_tbl")
+                    .Exact("vrf_id", U(2, models::kVrfWidth))
+                    .Lpm("ipv4_dst", U(0x0B000000, 32), 24)
+                    .Action("drop_packet")
+                    .Build();
+  ASSERT_TRUE(vrf2.ok() && route2.ok());
+  entries.push_back(*vrf2);
+  entries.push_back(*route2);
+  GenerationStats stats;
+  auto packets = GeneratePackets(program_, models::SaiParserSpec(), entries,
+                                 CoverageMode::kEntryCoverage, nullptr,
+                                 &stats);
+  ASSERT_TRUE(packets.ok());
+  EXPECT_GT(stats.targets_infeasible, 0);
+}
+
+TEST_F(SymbolicTest, CustomAssertionOverInputsAndOutputs) {
+  const auto entries = RoutingChain(info_);
+  SymbolicExecutor executor(program_, models::SaiParserSpec());
+  ASSERT_TRUE(executor.Execute(entries).ok());
+  // Engineer-style custom goal (§5 "Coverage Constraints"): a forwarded
+  // (not dropped) IPv4 packet whose TTL is exactly 9 on output — meaning
+  // input TTL 10 through the decrementing rewrite.
+  z3::context& ctx = executor.ctx();
+  const z3::expr goal =
+      executor.OutputField(p4ir::kDropField) == ctx.bv_val(0, 1) &&
+      executor.InputValid("ipv4") &&
+      executor.OutputField("ipv4.ttl") == ctx.bv_val(9, 8);
+  auto packet = executor.SolvePacket(goal, "custom");
+  ASSERT_TRUE(packet.ok()) << packet.status();
+  const auto parsed = packet::Parse(program_, models::SaiParserSpec(),
+                                    packet->bytes);
+  EXPECT_EQ(parsed.fields.at("ipv4.ttl").ToUint64(), 10u);
+}
+
+TEST_F(SymbolicTest, WcmpMembersAreAllReachable) {
+  std::vector<p4rt::TableEntry> entries = RoutingChain(info_);
+  auto push = [&](StatusOr<p4rt::TableEntry> e) {
+    ASSERT_TRUE(e.ok()) << e.status();
+    entries.push_back(std::move(e).value());
+  };
+  push(EntryBuilder(info_, "wcmp_group_tbl")
+           .Exact("wcmp_group_id", U(1, 16))
+           .WeightedAction("set_nexthop_id", 1, {{"nexthop_id", U(1, 16)}})
+           .WeightedAction("set_nexthop_id", 3, {{"nexthop_id", U(1, 16)}})
+           .Build());
+  push(EntryBuilder(info_, "ipv4_tbl")
+           .Exact("vrf_id", U(1, models::kVrfWidth))
+           .Lpm("ipv4_dst", U(0x0A010000, 32), 24)
+           .Action("set_wcmp_group_id", {{"wcmp_group_id", U(1, 16)}})
+           .Build());
+  SymbolicExecutor executor(program_, models::SaiParserSpec());
+  ASSERT_TRUE(executor.Execute(entries).ok());
+  auto guard = executor.TargetGuard("wcmp_group_tbl.entry[0]");
+  ASSERT_TRUE(guard.ok());
+  auto packet = executor.SolvePacket(*guard, "wcmp");
+  ASSERT_TRUE(packet.ok()) << packet.status();
+}
+
+TEST_F(SymbolicTest, ScaledWorkloadEntryCoverage) {
+  // A scaled-down production-like workload (the full Inst1 run lives in
+  // bench/table3_symbolic_perf, matching the paper's multi-minute numbers):
+  // generation must succeed end to end and cover a large majority of
+  // entries (some are legitimately shadowed or unreachable).
+  models::WorkloadSpec spec = models::WorkloadSpec::Inst1();
+  spec.num_ipv4_routes = 40;
+  spec.num_ipv6_routes = 16;
+  spec.num_pre_ingress = 8;
+  spec.num_acl_ingress = 8;
+  spec.num_nexthops = 12;
+  spec.num_neighbors = 8;
+  auto entries =
+      models::GenerateEntries(info_, Role::kMiddleblock, spec, 5);
+  ASSERT_TRUE(entries.ok());
+  GenerationStats stats;
+  auto packets = GeneratePackets(program_, models::SaiParserSpec(), *entries,
+                                 CoverageMode::kEntryCoverage, nullptr,
+                                 &stats);
+  ASSERT_TRUE(packets.ok()) << packets.status();
+  EXPECT_GE(stats.targets_total,
+            static_cast<int>(entries->size()) +
+                static_cast<int>(program_.tables.size()));
+  // Unreferenced WCMP groups/nexthops/neighbors and shadowed routes are
+  // legitimately unreachable; the paper's goal is "every *reachable* entry".
+  EXPECT_GT(stats.targets_covered, stats.targets_total * 6 / 10);
+  EXPECT_EQ(stats.targets_covered + stats.targets_infeasible,
+            stats.targets_total);
+}
+
+}  // namespace
+}  // namespace switchv::symbolic
