@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bdd_fuzzer.dir/ablation_bdd_fuzzer.cc.o"
+  "CMakeFiles/ablation_bdd_fuzzer.dir/ablation_bdd_fuzzer.cc.o.d"
+  "ablation_bdd_fuzzer"
+  "ablation_bdd_fuzzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bdd_fuzzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

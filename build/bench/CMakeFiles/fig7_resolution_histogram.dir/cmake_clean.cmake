@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_resolution_histogram.dir/fig7_resolution_histogram.cc.o"
+  "CMakeFiles/fig7_resolution_histogram.dir/fig7_resolution_histogram.cc.o.d"
+  "fig7_resolution_histogram"
+  "fig7_resolution_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resolution_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bugs_by_component.dir/table1_bugs_by_component.cc.o"
+  "CMakeFiles/table1_bugs_by_component.dir/table1_bugs_by_component.cc.o.d"
+  "table1_bugs_by_component"
+  "table1_bugs_by_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bugs_by_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

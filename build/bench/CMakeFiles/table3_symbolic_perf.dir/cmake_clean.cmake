@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_symbolic_perf.dir/table3_symbolic_perf.cc.o"
+  "CMakeFiles/table3_symbolic_perf.dir/table3_symbolic_perf.cc.o.d"
+  "table3_symbolic_perf"
+  "table3_symbolic_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_symbolic_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_playground.dir/constraint_playground.cpp.o"
+  "CMakeFiles/constraint_playground.dir/constraint_playground.cpp.o.d"
+  "constraint_playground"
+  "constraint_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_diff.dir/dataplane_diff.cpp.o"
+  "CMakeFiles/dataplane_diff.dir/dataplane_diff.cpp.o.d"
+  "dataplane_diff"
+  "dataplane_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

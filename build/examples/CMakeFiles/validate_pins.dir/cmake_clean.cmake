@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_pins.dir/validate_pins.cpp.o"
+  "CMakeFiles/validate_pins.dir/validate_pins.cpp.o.d"
+  "validate_pins"
+  "validate_pins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

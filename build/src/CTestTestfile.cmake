@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("p4ir")
+subdirs("p4constraints")
+subdirs("p4runtime")
+subdirs("packet")
+subdirs("bmv2")
+subdirs("models")
+subdirs("sut")
+subdirs("fuzzer")
+subdirs("symbolic")
+subdirs("switchv")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_bmv2.dir/interpreter.cc.o"
+  "CMakeFiles/switchv_bmv2.dir/interpreter.cc.o.d"
+  "libswitchv_bmv2.a"
+  "libswitchv_bmv2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_bmv2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

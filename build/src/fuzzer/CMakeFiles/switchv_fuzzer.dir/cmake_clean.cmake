@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_fuzzer.dir/generator.cc.o"
+  "CMakeFiles/switchv_fuzzer.dir/generator.cc.o.d"
+  "CMakeFiles/switchv_fuzzer.dir/oracle.cc.o"
+  "CMakeFiles/switchv_fuzzer.dir/oracle.cc.o.d"
+  "CMakeFiles/switchv_fuzzer.dir/state.cc.o"
+  "CMakeFiles/switchv_fuzzer.dir/state.cc.o.d"
+  "libswitchv_fuzzer.a"
+  "libswitchv_fuzzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_fuzzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/entry_gen.cc" "src/models/CMakeFiles/switchv_models.dir/entry_gen.cc.o" "gcc" "src/models/CMakeFiles/switchv_models.dir/entry_gen.cc.o.d"
+  "/root/repo/src/models/sai_model.cc" "src/models/CMakeFiles/switchv_models.dir/sai_model.cc.o" "gcc" "src/models/CMakeFiles/switchv_models.dir/sai_model.cc.o.d"
+  "/root/repo/src/models/test_packets.cc" "src/models/CMakeFiles/switchv_models.dir/test_packets.cc.o" "gcc" "src/models/CMakeFiles/switchv_models.dir/test_packets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/switchv_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4runtime/CMakeFiles/switchv_p4runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/switchv_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmv2/CMakeFiles/switchv_bmv2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4constraints/CMakeFiles/switchv_p4constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

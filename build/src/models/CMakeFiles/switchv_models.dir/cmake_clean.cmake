@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_models.dir/entry_gen.cc.o"
+  "CMakeFiles/switchv_models.dir/entry_gen.cc.o.d"
+  "CMakeFiles/switchv_models.dir/sai_model.cc.o"
+  "CMakeFiles/switchv_models.dir/sai_model.cc.o.d"
+  "CMakeFiles/switchv_models.dir/test_packets.cc.o"
+  "CMakeFiles/switchv_models.dir/test_packets.cc.o.d"
+  "libswitchv_models.a"
+  "libswitchv_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

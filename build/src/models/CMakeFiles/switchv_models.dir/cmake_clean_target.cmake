@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswitchv_models.a"
+)

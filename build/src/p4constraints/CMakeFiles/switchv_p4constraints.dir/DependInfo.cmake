@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4constraints/ast.cc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/ast.cc.o" "gcc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/ast.cc.o.d"
+  "/root/repo/src/p4constraints/bdd.cc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/bdd.cc.o" "gcc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/bdd.cc.o.d"
+  "/root/repo/src/p4constraints/constraint_bdd.cc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/constraint_bdd.cc.o" "gcc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/constraint_bdd.cc.o.d"
+  "/root/repo/src/p4constraints/eval.cc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/eval.cc.o" "gcc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/eval.cc.o.d"
+  "/root/repo/src/p4constraints/parser.cc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/parser.cc.o" "gcc" "src/p4constraints/CMakeFiles/switchv_p4constraints.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

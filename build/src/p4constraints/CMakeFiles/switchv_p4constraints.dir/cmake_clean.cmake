@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_p4constraints.dir/ast.cc.o"
+  "CMakeFiles/switchv_p4constraints.dir/ast.cc.o.d"
+  "CMakeFiles/switchv_p4constraints.dir/bdd.cc.o"
+  "CMakeFiles/switchv_p4constraints.dir/bdd.cc.o.d"
+  "CMakeFiles/switchv_p4constraints.dir/constraint_bdd.cc.o"
+  "CMakeFiles/switchv_p4constraints.dir/constraint_bdd.cc.o.d"
+  "CMakeFiles/switchv_p4constraints.dir/eval.cc.o"
+  "CMakeFiles/switchv_p4constraints.dir/eval.cc.o.d"
+  "CMakeFiles/switchv_p4constraints.dir/parser.cc.o"
+  "CMakeFiles/switchv_p4constraints.dir/parser.cc.o.d"
+  "libswitchv_p4constraints.a"
+  "libswitchv_p4constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_p4constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

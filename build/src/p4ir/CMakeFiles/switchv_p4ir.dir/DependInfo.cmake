@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4ir/builder.cc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/builder.cc.o" "gcc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/builder.cc.o.d"
+  "/root/repo/src/p4ir/expr.cc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/expr.cc.o" "gcc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/expr.cc.o.d"
+  "/root/repo/src/p4ir/p4_source.cc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/p4_source.cc.o" "gcc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/p4_source.cc.o.d"
+  "/root/repo/src/p4ir/p4info.cc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/p4info.cc.o" "gcc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/p4info.cc.o.d"
+  "/root/repo/src/p4ir/program.cc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/program.cc.o" "gcc" "src/p4ir/CMakeFiles/switchv_p4ir.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_p4ir.dir/builder.cc.o"
+  "CMakeFiles/switchv_p4ir.dir/builder.cc.o.d"
+  "CMakeFiles/switchv_p4ir.dir/expr.cc.o"
+  "CMakeFiles/switchv_p4ir.dir/expr.cc.o.d"
+  "CMakeFiles/switchv_p4ir.dir/p4_source.cc.o"
+  "CMakeFiles/switchv_p4ir.dir/p4_source.cc.o.d"
+  "CMakeFiles/switchv_p4ir.dir/p4info.cc.o"
+  "CMakeFiles/switchv_p4ir.dir/p4info.cc.o.d"
+  "CMakeFiles/switchv_p4ir.dir/program.cc.o"
+  "CMakeFiles/switchv_p4ir.dir/program.cc.o.d"
+  "libswitchv_p4ir.a"
+  "libswitchv_p4ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_p4ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for switchv_p4ir.
+# This may be replaced when dependencies are built.

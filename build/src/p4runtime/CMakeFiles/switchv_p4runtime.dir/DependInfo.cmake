@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4runtime/decoded_entry.cc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/decoded_entry.cc.o" "gcc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/decoded_entry.cc.o.d"
+  "/root/repo/src/p4runtime/entry_builder.cc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/entry_builder.cc.o" "gcc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/entry_builder.cc.o.d"
+  "/root/repo/src/p4runtime/messages.cc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/messages.cc.o" "gcc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/messages.cc.o.d"
+  "/root/repo/src/p4runtime/validator.cc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/validator.cc.o" "gcc" "src/p4runtime/CMakeFiles/switchv_p4runtime.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/switchv_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4constraints/CMakeFiles/switchv_p4constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

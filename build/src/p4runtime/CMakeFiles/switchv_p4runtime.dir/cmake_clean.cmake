@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_p4runtime.dir/decoded_entry.cc.o"
+  "CMakeFiles/switchv_p4runtime.dir/decoded_entry.cc.o.d"
+  "CMakeFiles/switchv_p4runtime.dir/entry_builder.cc.o"
+  "CMakeFiles/switchv_p4runtime.dir/entry_builder.cc.o.d"
+  "CMakeFiles/switchv_p4runtime.dir/messages.cc.o"
+  "CMakeFiles/switchv_p4runtime.dir/messages.cc.o.d"
+  "CMakeFiles/switchv_p4runtime.dir/validator.cc.o"
+  "CMakeFiles/switchv_p4runtime.dir/validator.cc.o.d"
+  "libswitchv_p4runtime.a"
+  "libswitchv_p4runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_p4runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

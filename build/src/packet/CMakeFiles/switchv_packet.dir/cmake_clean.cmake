@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_packet.dir/packet.cc.o"
+  "CMakeFiles/switchv_packet.dir/packet.cc.o.d"
+  "libswitchv_packet.a"
+  "libswitchv_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

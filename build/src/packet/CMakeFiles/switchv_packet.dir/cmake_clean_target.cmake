@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswitchv_packet.a"
+)

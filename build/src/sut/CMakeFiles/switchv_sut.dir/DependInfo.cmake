@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sut/asic.cc" "src/sut/CMakeFiles/switchv_sut.dir/asic.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/asic.cc.o.d"
+  "/root/repo/src/sut/bug_catalog.cc" "src/sut/CMakeFiles/switchv_sut.dir/bug_catalog.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/bug_catalog.cc.o.d"
+  "/root/repo/src/sut/gnmi.cc" "src/sut/CMakeFiles/switchv_sut.dir/gnmi.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/gnmi.cc.o.d"
+  "/root/repo/src/sut/orchestration.cc" "src/sut/CMakeFiles/switchv_sut.dir/orchestration.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/orchestration.cc.o.d"
+  "/root/repo/src/sut/p4rt_server.cc" "src/sut/CMakeFiles/switchv_sut.dir/p4rt_server.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/p4rt_server.cc.o.d"
+  "/root/repo/src/sut/switch_linux.cc" "src/sut/CMakeFiles/switchv_sut.dir/switch_linux.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/switch_linux.cc.o.d"
+  "/root/repo/src/sut/switch_stack.cc" "src/sut/CMakeFiles/switchv_sut.dir/switch_stack.cc.o" "gcc" "src/sut/CMakeFiles/switchv_sut.dir/switch_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4runtime/CMakeFiles/switchv_p4runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4ir/CMakeFiles/switchv_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/switchv_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmv2/CMakeFiles/switchv_bmv2.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4constraints/CMakeFiles/switchv_p4constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_sut.dir/asic.cc.o"
+  "CMakeFiles/switchv_sut.dir/asic.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/bug_catalog.cc.o"
+  "CMakeFiles/switchv_sut.dir/bug_catalog.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/gnmi.cc.o"
+  "CMakeFiles/switchv_sut.dir/gnmi.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/orchestration.cc.o"
+  "CMakeFiles/switchv_sut.dir/orchestration.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/p4rt_server.cc.o"
+  "CMakeFiles/switchv_sut.dir/p4rt_server.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/switch_linux.cc.o"
+  "CMakeFiles/switchv_sut.dir/switch_linux.cc.o.d"
+  "CMakeFiles/switchv_sut.dir/switch_stack.cc.o"
+  "CMakeFiles/switchv_sut.dir/switch_stack.cc.o.d"
+  "libswitchv_sut.a"
+  "libswitchv_sut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_sut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchv/control_plane.cc" "src/switchv/CMakeFiles/switchv_switchv.dir/control_plane.cc.o" "gcc" "src/switchv/CMakeFiles/switchv_switchv.dir/control_plane.cc.o.d"
+  "/root/repo/src/switchv/dataplane.cc" "src/switchv/CMakeFiles/switchv_switchv.dir/dataplane.cc.o" "gcc" "src/switchv/CMakeFiles/switchv_switchv.dir/dataplane.cc.o.d"
+  "/root/repo/src/switchv/experiment.cc" "src/switchv/CMakeFiles/switchv_switchv.dir/experiment.cc.o" "gcc" "src/switchv/CMakeFiles/switchv_switchv.dir/experiment.cc.o.d"
+  "/root/repo/src/switchv/nightly.cc" "src/switchv/CMakeFiles/switchv_switchv.dir/nightly.cc.o" "gcc" "src/switchv/CMakeFiles/switchv_switchv.dir/nightly.cc.o.d"
+  "/root/repo/src/switchv/trivial_suite.cc" "src/switchv/CMakeFiles/switchv_switchv.dir/trivial_suite.cc.o" "gcc" "src/switchv/CMakeFiles/switchv_switchv.dir/trivial_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzzer/CMakeFiles/switchv_fuzzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/switchv_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sut/CMakeFiles/switchv_sut.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/switchv_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmv2/CMakeFiles/switchv_bmv2.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4runtime/CMakeFiles/switchv_p4runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4ir/CMakeFiles/switchv_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/switchv_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4constraints/CMakeFiles/switchv_p4constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

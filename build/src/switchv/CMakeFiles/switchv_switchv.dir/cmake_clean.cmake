@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_switchv.dir/control_plane.cc.o"
+  "CMakeFiles/switchv_switchv.dir/control_plane.cc.o.d"
+  "CMakeFiles/switchv_switchv.dir/dataplane.cc.o"
+  "CMakeFiles/switchv_switchv.dir/dataplane.cc.o.d"
+  "CMakeFiles/switchv_switchv.dir/experiment.cc.o"
+  "CMakeFiles/switchv_switchv.dir/experiment.cc.o.d"
+  "CMakeFiles/switchv_switchv.dir/nightly.cc.o"
+  "CMakeFiles/switchv_switchv.dir/nightly.cc.o.d"
+  "CMakeFiles/switchv_switchv.dir/trivial_suite.cc.o"
+  "CMakeFiles/switchv_switchv.dir/trivial_suite.cc.o.d"
+  "libswitchv_switchv.a"
+  "libswitchv_switchv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_switchv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/executor.cc" "src/symbolic/CMakeFiles/switchv_symbolic.dir/executor.cc.o" "gcc" "src/symbolic/CMakeFiles/switchv_symbolic.dir/executor.cc.o.d"
+  "/root/repo/src/symbolic/packet_gen.cc" "src/symbolic/CMakeFiles/switchv_symbolic.dir/packet_gen.cc.o" "gcc" "src/symbolic/CMakeFiles/switchv_symbolic.dir/packet_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4runtime/CMakeFiles/switchv_p4runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4ir/CMakeFiles/switchv_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/switchv_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/switchv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4constraints/CMakeFiles/switchv_p4constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

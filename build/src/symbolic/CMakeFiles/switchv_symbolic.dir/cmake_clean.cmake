@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_symbolic.dir/executor.cc.o"
+  "CMakeFiles/switchv_symbolic.dir/executor.cc.o.d"
+  "CMakeFiles/switchv_symbolic.dir/packet_gen.cc.o"
+  "CMakeFiles/switchv_symbolic.dir/packet_gen.cc.o.d"
+  "libswitchv_symbolic.a"
+  "libswitchv_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

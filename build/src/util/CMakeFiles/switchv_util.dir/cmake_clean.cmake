@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_util.dir/bitstring.cc.o"
+  "CMakeFiles/switchv_util.dir/bitstring.cc.o.d"
+  "CMakeFiles/switchv_util.dir/status.cc.o"
+  "CMakeFiles/switchv_util.dir/status.cc.o.d"
+  "CMakeFiles/switchv_util.dir/strings.cc.o"
+  "CMakeFiles/switchv_util.dir/strings.cc.o.d"
+  "libswitchv_util.a"
+  "libswitchv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmv2_test.dir/bmv2_test.cc.o"
+  "CMakeFiles/bmv2_test.dir/bmv2_test.cc.o.d"
+  "bmv2_test"
+  "bmv2_test.pdb"
+  "bmv2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmv2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4constraints_test.dir/p4constraints_test.cc.o"
+  "CMakeFiles/p4constraints_test.dir/p4constraints_test.cc.o.d"
+  "p4constraints_test"
+  "p4constraints_test.pdb"
+  "p4constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

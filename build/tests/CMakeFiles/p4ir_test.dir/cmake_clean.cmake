@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4ir_test.dir/p4ir_test.cc.o"
+  "CMakeFiles/p4ir_test.dir/p4ir_test.cc.o.d"
+  "p4ir_test"
+  "p4ir_test.pdb"
+  "p4ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

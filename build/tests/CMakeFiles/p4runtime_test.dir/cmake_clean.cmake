@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4runtime_test.dir/p4runtime_test.cc.o"
+  "CMakeFiles/p4runtime_test.dir/p4runtime_test.cc.o.d"
+  "p4runtime_test"
+  "p4runtime_test.pdb"
+  "p4runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sut_test.dir/sut_test.cc.o"
+  "CMakeFiles/sut_test.dir/sut_test.cc.o.d"
+  "sut_test"
+  "sut_test.pdb"
+  "sut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

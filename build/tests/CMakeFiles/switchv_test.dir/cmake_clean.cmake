@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchv_test.dir/switchv_test.cc.o"
+  "CMakeFiles/switchv_test.dir/switchv_test.cc.o.d"
+  "switchv_test"
+  "switchv_test.pdb"
+  "switchv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
