@@ -32,6 +32,12 @@ Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
   if (!p4rt::ValidateEntrySyntax(info_, entry).ok()) {
     return {Kind::kMustReject, std::nullopt, "syntactically invalid"};
   }
+  const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+  if (table == nullptr) {
+    // Syntax validation rejects unknown tables, but never rely on that for
+    // a pointer dereference.
+    return {Kind::kMustReject, std::nullopt, "unknown table"};
+  }
   auto compliant = p4rt::IsConstraintCompliant(info_, entry);
   if (!compliant.ok() || !*compliant) {
     return {Kind::kMustReject, std::nullopt, "violates @entry_restriction"};
@@ -39,14 +45,12 @@ Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
   // Referential integrity against the expected pre-state.
   bool dangling = false;
   {
-    SwitchStateView probe = expected;
     // A reference is dangling iff none of the installed entries provides
-    // the referenced value. Reuse the view's bookkeeping by asking for the
-    // pool of each referenced key.
-    const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
+    // the referenced value. `KeyValues` is a read-only query, so ask
+    // `expected` directly.
     auto check_value = [&](const p4ir::RefersTo& target,
                            const std::string& value) {
-      const auto pool = probe.KeyValues(target.table, target.key);
+      const auto pool = expected.KeyValues(target.table, target.key);
       bool found = false;
       for (const std::string& v : pool) {
         if (v == value) found = true;
@@ -92,7 +96,6 @@ Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
     return {Kind::kMustReject, StatusCode::kAlreadyExists,
             "duplicate insert"};
   }
-  const p4ir::TableInfo* table = info_.FindTable(entry.table_id);
   if (expected.Count(entry.table_id) >= table->size) {
     // Beyond the guaranteed size: accept-or-reject is under-specified.
     return {Kind::kEither, std::nullopt, "insert beyond guaranteed size"};
@@ -107,6 +110,17 @@ std::vector<Finding> Oracle::JudgeBatch(
   std::vector<Finding> findings;
   SwitchStateView expected = state_;
 
+  // The P4Runtime spec requires exactly one status per update. A switch
+  // that returns a short (or long) status vector has violated the protocol;
+  // report it as a finding rather than silently truncating the judgment.
+  if (response.statuses.size() != batch.size()) {
+    findings.push_back(Finding{
+        "P4Runtime protocol violation: write response carries " +
+            std::to_string(response.statuses.size()) +
+            " statuses for a batch of " + std::to_string(batch.size()) +
+            " updates (the spec requires exactly one status per update)",
+        std::nullopt, "", 0});
+  }
   for (std::size_t i = 0; i < batch.size() && i < response.statuses.size();
        ++i) {
     const AnnotatedUpdate& annotated = batch[i];
@@ -119,7 +133,8 @@ std::vector<Finding> Oracle::JudgeBatch(
               "switch rejected a request it must accept (" +
                   expectation.reason + "): " + status.ToString(),
               annotated.mutation,
-              annotated.update.entry.ToString(&info_)});
+              annotated.update.entry.ToString(&info_),
+              annotated.update.entry.table_id});
         }
         break;
       case Expectation::Kind::kMustReject:
@@ -128,7 +143,8 @@ std::vector<Finding> Oracle::JudgeBatch(
               "switch accepted a request it must reject (" +
                   expectation.reason + ")",
               annotated.mutation,
-              annotated.update.entry.ToString(&info_)});
+              annotated.update.entry.ToString(&info_),
+              annotated.update.entry.table_id});
         } else if (expectation.required_code.has_value() &&
                    status.code() != *expectation.required_code) {
           findings.push_back(Finding{
@@ -137,7 +153,8 @@ std::vector<Finding> Oracle::JudgeBatch(
                   std::string(StatusCodeName(*expectation.required_code)) +
                   ", got " + std::string(StatusCodeName(status.code())),
               annotated.mutation,
-              annotated.update.entry.ToString(&info_)});
+              annotated.update.entry.ToString(&info_),
+              annotated.update.entry.table_id});
         }
         break;
       case Expectation::Kind::kEither:
@@ -146,7 +163,8 @@ std::vector<Finding> Oracle::JudgeBatch(
               "insert beyond guarantee rejected with unexpected code: " +
                   status.ToString(),
               annotated.mutation,
-              annotated.update.entry.ToString(&info_)});
+              annotated.update.entry.ToString(&info_),
+              annotated.update.entry.table_id});
         }
         break;
     }
@@ -180,7 +198,7 @@ std::vector<Finding> Oracle::JudgeBatch(
         findings.push_back(Finding{
             "entry acknowledged by the switch is missing from the read-back "
             "state",
-            std::nullopt, want->ToString(&info_)});
+            std::nullopt, want->ToString(&info_), want->table_id});
       }
     } else if (!(*got == *want)) {
       if (++divergences <= 5) {
@@ -188,7 +206,8 @@ std::vector<Finding> Oracle::JudgeBatch(
             "read-back entry differs from the acknowledged one",
             std::nullopt,
             "want " + want->ToString(&info_) + "; got " +
-                got->ToString(&info_)});
+                got->ToString(&info_),
+            want->table_id});
       }
     }
   }
@@ -198,7 +217,7 @@ std::vector<Finding> Oracle::JudgeBatch(
         findings.push_back(Finding{
             "read-back state contains an entry the switch never "
             "acknowledged",
-            std::nullopt, got->ToString(&info_)});
+            std::nullopt, got->ToString(&info_), got->table_id});
       }
     }
   }

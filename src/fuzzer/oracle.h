@@ -24,6 +24,7 @@ struct Finding {
   std::string message;
   std::optional<Mutation> mutation;  // the mutation behind the request
   std::string entry_text;            // offending entry, human-readable
+  std::uint32_t table_id = 0;        // table involved, 0 if not entry-bound
 };
 
 class Oracle {

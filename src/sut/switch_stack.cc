@@ -35,15 +35,18 @@ Status SwitchUnderTest::SetForwardingPipelineConfig(
 
 p4rt::WriteResponse SwitchUnderTest::Write(
     const p4rt::WriteRequest& request) {
+  ++io_.writes;
   return server_->Write(request);
 }
 
 StatusOr<p4rt::ReadResponse> SwitchUnderTest::Read(
     const p4rt::ReadRequest& request) {
+  ++io_.reads;
   return server_->Read(request);
 }
 
 Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
+  ++io_.packet_outs;
   if (!switch_linux_->packet_io_healthy()) {
     return OkStatus();  // accepted, silently lost: the IO path is down
   }
@@ -70,6 +73,7 @@ Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
 
 packet::ForwardingOutcome SwitchUnderTest::InjectPacket(
     std::string_view bytes, std::uint16_t ingress_port) {
+  ++io_.packets_injected;
   packet::ForwardingOutcome outcome = asic_->Forward(bytes, ingress_port);
   const bool punt_path_up =
       switch_linux_->packet_io_healthy() && !gnmi_->punt_path_corrupted();

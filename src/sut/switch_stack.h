@@ -19,6 +19,16 @@
 
 namespace switchv::sut {
 
+// Per-instance I/O tally. The stack is single-threaded (each campaign shard
+// owns its own instance), so plain integers suffice; the campaign engine
+// scrapes these into its thread-safe metrics after the shard completes.
+struct IoCounters {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packet_outs = 0;
+};
+
 class SwitchUnderTest {
  public:
   // `faults` may be nullptr for a healthy switch and must outlive the
@@ -56,6 +66,8 @@ class SwitchUnderTest {
   AsicSimulator& asic() { return *asic_; }
   GnmiServer& gnmi() { return *gnmi_; }
 
+  const IoCounters& io_counters() const { return io_; }
+
   // Standard bring-up: hostname plus port-speed config for the front-panel
   // ports, as a provisioning system would push before validation starts.
   Status ApplyStandardBringUpConfig(int num_ports = 8);
@@ -67,6 +79,7 @@ class SwitchUnderTest {
 
   const FaultRegistry* faults_;
   std::uint16_t cpu_port_;
+  IoCounters io_;
   std::unique_ptr<AsicSimulator> asic_;
   std::unique_ptr<SyncdBinary> syncd_;
   std::unique_ptr<OrchestrationAgent> agent_;

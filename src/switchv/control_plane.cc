@@ -6,6 +6,7 @@ ControlPlaneResult RunControlPlaneValidation(
     sut::SwitchUnderTest& sut, const p4ir::P4Info& info,
     const ControlPlaneOptions& options) {
   ControlPlaneResult result;
+  Metrics* metrics = options.metrics;
   fuzzer::RequestGenerator generator(info, options.fuzzer, options.seed);
   fuzzer::Oracle oracle(info);
 
@@ -22,13 +23,27 @@ ControlPlaneResult RunControlPlaneValidation(
     for (const fuzzer::AnnotatedUpdate& annotated : batch) {
       request.updates.push_back(annotated.update);
     }
-    const p4rt::WriteResponse response = sut.Write(request);
+    p4rt::WriteResponse response;
+    {
+      ScopedTimer timer(metrics ? &metrics->switch_write_ns : nullptr);
+      response = sut.Write(request);
+    }
     result.updates_sent += static_cast<int>(batch.size());
     ++result.requests_sent;
+    if (metrics != nullptr) {
+      metrics->Add(metrics->updates_sent, batch.size());
+      metrics->Add(metrics->requests_sent, 1);
+    }
 
     const auto post_read = sut.Read(p4rt::ReadRequest{});
-    std::vector<fuzzer::Finding> findings =
-        oracle.JudgeBatch(batch, response, post_read);
+    std::vector<fuzzer::Finding> findings;
+    {
+      ScopedTimer timer(metrics ? &metrics->oracle_ns : nullptr);
+      findings = oracle.JudgeBatch(batch, response, post_read);
+    }
+    if (metrics != nullptr) {
+      metrics->Add(metrics->oracle_findings, findings.size());
+    }
     for (fuzzer::Finding& finding : findings) {
       if (static_cast<int>(result.incidents.size()) >=
           options.max_incidents) {
@@ -41,11 +56,16 @@ ControlPlaneResult RunControlPlaneValidation(
       }
       result.incidents.push_back(Incident{Detector::kFuzzer,
                                           std::move(finding.message),
-                                          std::move(details)});
+                                          std::move(details),
+                                          finding.table_id});
     }
     if (static_cast<int>(result.incidents.size()) >= options.max_incidents) {
       break;
     }
+  }
+  if (metrics != nullptr) {
+    metrics->Add(metrics->generated_valid, generator.generated_valid());
+    metrics->Add(metrics->generated_invalid, generator.generated_invalid());
   }
   return result;
 }

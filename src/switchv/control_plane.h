@@ -9,6 +9,7 @@
 #include "fuzzer/oracle.h"
 #include "sut/switch_stack.h"
 #include "switchv/incident.h"
+#include "switchv/metrics.h"
 
 namespace switchv {
 
@@ -21,6 +22,8 @@ struct ControlPlaneOptions {
   std::uint64_t seed = 1;
   // Stop after this many incidents (a buggy switch floods otherwise).
   int max_incidents = 25;
+  // Optional campaign telemetry sink (thread-safe; shared across shards).
+  Metrics* metrics = nullptr;
 };
 
 struct ControlPlaneResult {

@@ -42,11 +42,14 @@ DataplaneResult RunDataplaneValidation(
     const std::vector<p4rt::TableEntry>& entries,
     const DataplaneOptions& options) {
   DataplaneResult result;
+  Metrics* metrics = options.metrics;
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
-  auto report = [&](std::string summary, std::string details) {
+  auto report = [&](std::string summary, std::string details,
+                    std::uint32_t table_id = 0) {
     if (static_cast<int>(result.incidents.size()) < options.max_incidents) {
-      result.incidents.push_back(Incident{
-          Detector::kSymbolic, std::move(summary), std::move(details)});
+      result.incidents.push_back(Incident{Detector::kSymbolic,
+                                          std::move(summary),
+                                          std::move(details), table_id});
     }
   };
 
@@ -70,7 +73,7 @@ DataplaneResult RunDataplaneValidation(
       } else {
         report("switch rejected a table entry of the replayed forwarding "
                "state: " + response.statuses[i].ToString(),
-               entries[i].ToString(&info));
+               entries[i].ToString(&info), entries[i].table_id);
       }
     }
   }
@@ -92,7 +95,8 @@ DataplaneResult RunDataplaneValidation(
       if (!response.statuses[i].ok()) {
         report("idempotent MODIFY resync rejected: " +
                    response.statuses[i].ToString(),
-               resync.updates[i].entry.ToString(&info));
+               resync.updates[i].entry.ToString(&info),
+               resync.updates[i].entry.table_id);
       }
     }
   }
@@ -130,7 +134,8 @@ DataplaneResult RunDataplaneValidation(
         if (!response.statuses[i].ok()) {
           report("delete/re-insert churn failed: " +
                      response.statuses[i].ToString(),
-                 batch->updates[i].entry.ToString(&info));
+                 batch->updates[i].entry.ToString(&info),
+                 batch->updates[i].entry.table_id);
         }
       }
     }
@@ -151,7 +156,7 @@ DataplaneResult RunDataplaneValidation(
       for (const p4rt::TableEntry& entry : accepted) {
         if (!observed.contains(entry.KeyFingerprint())) {
           report("accepted entry missing from read-back state",
-                 entry.ToString(&info));
+                 entry.ToString(&info), entry.table_id);
         }
       }
     }
@@ -162,36 +167,77 @@ DataplaneResult RunDataplaneValidation(
   // bugs found this way).
   bmv2::Interpreter reference(model, parser,
                               models::DefaultCloneSessions());
-  if (Status status = InstallIntoReference(reference, accepted,
-                                           options.simulator_faults);
-      !status.ok()) {
+  // All reference-simulator work (entry install + behaviour enumeration)
+  // is accounted to the reference timer.
+  auto enumerate = [&](std::string_view bytes, std::uint16_t port) {
+    ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr);
+    return reference.EnumerateBehaviors(bytes, port);
+  };
+  Status install_status;
+  {
+    ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr);
+    install_status = InstallIntoReference(reference, accepted,
+                                          options.simulator_faults);
+  }
+  if (!install_status.ok()) {
     report("reference simulator rejected valid entries: " +
-               status.ToString(),
+               install_status.ToString(),
            "BMv2/simulator defect (entries are valid per the P4 program)");
     return result;
   }
 
-  // Phase 4: generate test packets from the model + installed state.
-  auto packets =
-      symbolic::GeneratePackets(model, parser, accepted, options.coverage,
-                                options.cache, &result.generation);
-  if (!packets.ok()) {
-    report("test packet generation failed: " + packets.status().ToString(),
-           "");
-    return result;
+  // Phase 4: obtain test packets — either the campaign-precomputed list,
+  // or generated here from the model + installed state.
+  const std::vector<symbolic::TestPacket>* packets =
+      options.precomputed_packets;
+  std::vector<symbolic::TestPacket> generated;
+  if (packets == nullptr) {
+    StatusOr<std::vector<symbolic::TestPacket>> generation_result =
+        OkStatus();
+    {
+      ScopedTimer timer(metrics ? &metrics->generation_ns : nullptr);
+      generation_result =
+          symbolic::GeneratePackets(model, parser, accepted,
+                                    options.coverage, options.cache,
+                                    &result.generation);
+    }
+    if (!generation_result.ok()) {
+      report("test packet generation failed: " +
+                 generation_result.status().ToString(),
+             "");
+      return result;
+    }
+    generated = *std::move(generation_result);
+    packets = &generated;
+    if (metrics != nullptr) {
+      metrics->Add(metrics->solver_queries,
+                   static_cast<std::uint64_t>(result.generation.solver_queries));
+      if (result.generation.cache_hit) {
+        metrics->Add(metrics->generation_cache_hits, 1);
+      }
+    }
   }
+  // This shard's packet subset (round-robin partition across dataplane
+  // shards; the identity partition when packet_shards == 1).
+  auto in_shard = [&](std::size_t index) {
+    return static_cast<int>(index %
+                            static_cast<std::size_t>(options.packet_shards)) ==
+           options.packet_shard;
+  };
 
   // Phase 5: differential packet testing.
   sut.DrainPacketIns();  // discard anything stale
   // Let the OS daemons get several scheduling quanta during the run; any
   // traffic they originate lands on the packet-in channel as noise.
   for (int tick = 0; tick < 6; ++tick) sut.Tick();
-  for (const symbolic::TestPacket& packet : *packets) {
+  for (std::size_t index = 0; index < packets->size(); ++index) {
+    if (!in_shard(index)) continue;
+    const symbolic::TestPacket& packet = (*packets)[index];
     const packet::ForwardingOutcome observed =
         sut.InjectPacket(packet.bytes, packet.ingress_port);
     ++result.packets_tested;
-    auto behaviors =
-        reference.EnumerateBehaviors(packet.bytes, packet.ingress_port);
+    if (metrics != nullptr) metrics->Add(metrics->packets_tested, 1);
+    auto behaviors = enumerate(packet.bytes, packet.ingress_port);
     if (!behaviors.ok()) {
       report("reference simulator failed on a test packet: " +
                  behaviors.status().ToString(),
@@ -226,9 +272,10 @@ DataplaneResult RunDataplaneValidation(
     // over the punt verdicts recorded in phase 5 is equivalent; we use the
     // queue length delta instead).
     const std::vector<p4rt::PacketIn> packet_ins = sut.DrainPacketIns();
-    for (const symbolic::TestPacket& packet : *packets) {
-      auto behaviors =
-          reference.EnumerateBehaviors(packet.bytes, packet.ingress_port);
+    for (std::size_t index = 0; index < packets->size(); ++index) {
+      if (!in_shard(index)) continue;
+      const symbolic::TestPacket& packet = (*packets)[index];
+      auto behaviors = enumerate(packet.bytes, packet.ingress_port);
       if (behaviors.ok() && !behaviors->empty() && (*behaviors)[0].punted) {
         ++expected_punts;
       }
@@ -252,7 +299,9 @@ DataplaneResult RunDataplaneValidation(
   // one packet that traverses a WCMP group, derive many distinct flows
   // from it (vary hash inputs only), and check the switch uses more than
   // one member when the model says more than one outcome is possible.
-  for (const symbolic::TestPacket& packet : *packets) {
+  for (std::size_t index = 0; index < packets->size(); ++index) {
+    if (!in_shard(index)) continue;
+    const symbolic::TestPacket& packet = (*packets)[index];
     if (!packet.target_id.starts_with("wcmp_group_tbl.entry[")) continue;
     packet::ParsedPacket base =
         packet::Parse(model, parser, packet.bytes);
@@ -283,8 +332,7 @@ DataplaneResult RunDataplaneValidation(
             BitString::FromUint(20000 + variant * 7, 16);
       }
       const std::string bytes = packet::Deparse(model, mutated);
-      auto behaviors =
-          reference.EnumerateBehaviors(bytes, packet.ingress_port);
+      auto behaviors = enumerate(bytes, packet.ingress_port);
       if (!behaviors.ok()) continue;
       bool forwarded_somewhere = false;
       for (const packet::ForwardingOutcome& b : *behaviors) {
@@ -332,8 +380,15 @@ DataplaneResult RunDataplaneValidation(
   // Phase 7: packet-out. Direct packet-outs must egress on the requested
   // port and must not come back as packet-ins; submit-to-ingress must
   // traverse the pipeline like a normal packet.
-  if (!packets->empty()) {
-    const symbolic::TestPacket& probe = (*packets)[0];
+  const symbolic::TestPacket* probe_packet = nullptr;
+  for (std::size_t index = 0; index < packets->size(); ++index) {
+    if (in_shard(index)) {
+      probe_packet = &(*packets)[index];
+      break;
+    }
+  }
+  if (probe_packet != nullptr) {
+    const symbolic::TestPacket& probe = *probe_packet;
     for (int port = 1; port <= options.packet_out_ports; ++port) {
       sut.DrainEgress();
       sut.DrainPacketIns();
@@ -357,8 +412,7 @@ DataplaneResult RunDataplaneValidation(
     {
       sut.DrainEgress();
       (void)sut.PacketOut(p4rt::PacketOut{probe.bytes, 0, true});
-      auto behaviors =
-          reference.EnumerateBehaviors(probe.bytes, model.cpu_port);
+      auto behaviors = enumerate(probe.bytes, model.cpu_port);
       const auto egress = sut.DrainEgress();
       if (behaviors.ok()) {
         bool expect_forward = false;

@@ -14,6 +14,7 @@
 #include "bmv2/interpreter.h"
 #include "sut/switch_stack.h"
 #include "switchv/incident.h"
+#include "switchv/metrics.h"
 #include "symbolic/packet_gen.h"
 
 namespace switchv {
@@ -31,6 +32,17 @@ struct DataplaneOptions {
   // behind by a fuzzing campaign, §7's "pass these entries to
   // p4-symbolic"): skip the installation phase and validate in place.
   bool entries_preinstalled = false;
+  // Campaign-engine hooks. With `precomputed_packets` set, symbolic
+  // generation is skipped and the given packets are used instead (the
+  // engine generates once per campaign and fans the list out to shards).
+  // The shard tests the packet subset {i : i % packet_shards ==
+  // packet_shard}; per-switch phases (install, resync, churn, read-back,
+  // packet-out) always run whole — they define the instance's state.
+  const std::vector<symbolic::TestPacket>* precomputed_packets = nullptr;
+  int packet_shard = 0;
+  int packet_shards = 1;
+  // Optional campaign telemetry sink (thread-safe; shared across shards).
+  Metrics* metrics = nullptr;
 };
 
 struct DataplaneResult {

@@ -1,0 +1,318 @@
+#include "switchv/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "models/sai_model.h"
+#include "util/rng.h"
+
+namespace switchv {
+
+namespace {
+
+struct ShardSpec {
+  enum class Kind { kControlPlane, kDataplane };
+  Kind kind = Kind::kControlPlane;
+  int index = 0;  // global shard index
+  const sut::FaultRegistry* faults = nullptr;
+  // Control-plane shards: this shard's slice of the fuzzing campaign.
+  int num_requests = 0;
+  std::uint64_t seed = 0;
+  // Dataplane shards: this shard's packet partition.
+  int packet_shard = 0;
+  int packet_shards = 1;
+};
+
+struct ShardResult {
+  std::vector<Incident> incidents;
+  int fuzzed_updates = 0;
+  int packets_tested = 0;
+  symbolic::GenerationStats generation;
+};
+
+void ScrapeSwitchIo(const sut::SwitchUnderTest& sut, Metrics& metrics) {
+  const sut::IoCounters& io = sut.io_counters();
+  metrics.Add(metrics.switch_writes, io.writes);
+  metrics.Add(metrics.switch_reads, io.reads);
+  metrics.Add(metrics.switch_packets_injected, io.packets_injected);
+}
+
+ShardResult RunControlPlaneShard(const ShardSpec& spec,
+                                 const p4ir::Program& model,
+                                 const p4ir::P4Info& info,
+                                 const packet::ParserSpec& parser,
+                                 const std::vector<p4rt::TableEntry>& entries,
+                                 const CampaignOptions& options,
+                                 Metrics& metrics) {
+  ShardResult result;
+  sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
+                           model.cpu_port);
+  const Status config = sut.SetForwardingPipelineConfig(info);
+  if (!config.ok()) {
+    result.incidents.push_back(Incident{
+        Detector::kFuzzer,
+        "switch rejected a valid forwarding pipeline config: " +
+            config.ToString(),
+        "SetForwardingPipelineConfig"});
+    return result;
+  }
+  (void)sut.ApplyStandardBringUpConfig();
+  // Seed with the replayed state so the fuzzer starts from a realistic
+  // switch, then fuzz.
+  p4rt::WriteRequest seed;
+  for (const p4rt::TableEntry& entry : entries) {
+    seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+  }
+  (void)sut.Write(seed);  // failures surface via the oracle's read-sync
+
+  ControlPlaneOptions control = options.control_plane;
+  control.num_requests = spec.num_requests;
+  control.seed = spec.seed;
+  control.metrics = &metrics;
+  ControlPlaneResult fuzzed = RunControlPlaneValidation(sut, info, control);
+  result.fuzzed_updates = fuzzed.updates_sent;
+  for (Incident& incident : fuzzed.incidents) {
+    result.incidents.push_back(std::move(incident));
+  }
+
+  if (options.dataplane_on_fuzzed_state && result.incidents.empty()) {
+    // §7 extension: validate the forwarding behaviour of the state the
+    // fuzzing campaign left behind, in place.
+    auto fuzzed_state = sut.Read(p4rt::ReadRequest{});
+    if (fuzzed_state.ok()) {
+      DataplaneOptions dataplane = options.dataplane;
+      dataplane.simulator_faults = spec.faults;
+      dataplane.entries_preinstalled = true;
+      dataplane.precomputed_packets = nullptr;
+      dataplane.packet_shard = 0;
+      dataplane.packet_shards = 1;
+      dataplane.metrics = &metrics;
+      DataplaneResult data = RunDataplaneValidation(
+          sut, model, parser, fuzzed_state->entries, dataplane);
+      result.packets_tested += data.packets_tested;
+      for (Incident& incident : data.incidents) {
+        result.incidents.push_back(std::move(incident));
+      }
+    }
+  }
+  ScrapeSwitchIo(sut, metrics);
+  return result;
+}
+
+ShardResult RunDataplaneShard(
+    const ShardSpec& spec, const p4ir::Program& model,
+    const p4ir::P4Info& info, const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const std::vector<symbolic::TestPacket>* precomputed,
+    const CampaignOptions& options, Metrics& metrics) {
+  ShardResult result;
+  sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
+                           model.cpu_port);
+  const Status config = sut.SetForwardingPipelineConfig(info);
+  if (!config.ok()) {
+    result.incidents.push_back(Incident{
+        Detector::kSymbolic,
+        "data-plane validation could not configure the switch: " +
+            config.ToString(),
+        "SetForwardingPipelineConfig"});
+    return result;
+  }
+  (void)sut.ApplyStandardBringUpConfig();
+  DataplaneOptions dataplane = options.dataplane;
+  dataplane.simulator_faults = spec.faults;
+  dataplane.precomputed_packets = precomputed;
+  dataplane.packet_shard = spec.packet_shard;
+  dataplane.packet_shards = spec.packet_shards;
+  dataplane.metrics = &metrics;
+  DataplaneResult data =
+      RunDataplaneValidation(sut, model, parser, entries, dataplane);
+  result.packets_tested = data.packets_tested;
+  result.generation = data.generation;
+  for (Incident& incident : data.incidents) {
+    result.incidents.push_back(std::move(incident));
+  }
+  ScrapeSwitchIo(sut, metrics);
+  return result;
+}
+
+}  // namespace
+
+std::vector<Incident> CampaignReport::Incidents() const {
+  std::vector<Incident> incidents;
+  incidents.reserve(groups.size());
+  for (const IncidentGroup& group : groups) {
+    incidents.push_back(group.exemplar);
+  }
+  return incidents;
+}
+
+std::set<std::uint64_t> CampaignReport::FingerprintSet() const {
+  std::set<std::uint64_t> fingerprints;
+  for (const IncidentGroup& group : groups) {
+    fingerprints.insert(group.fingerprint);
+  }
+  return fingerprints;
+}
+
+CampaignReport RunValidationCampaign(
+    const sut::FaultRegistry* faults, const p4ir::Program& model,
+    const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const CampaignOptions& options) {
+  const auto campaign_start = std::chrono::steady_clock::now();
+  CampaignReport report;
+  Metrics metrics;
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+
+  // ---- Shard decomposition: a pure function of the options. ----
+  // Never more fuzzing shards than requests; at least one shard per enabled
+  // phase so configuration failures still surface.
+  const int control_shards =
+      options.run_control_plane
+          ? std::clamp(options.control_plane_shards, 1,
+                       std::max(1, options.control_plane.num_requests))
+          : 0;
+  const int dataplane_shards =
+      options.run_dataplane ? std::max(1, options.dataplane_shards) : 0;
+  const int total_shards = control_shards + dataplane_shards;
+
+  std::vector<ShardSpec> shards;
+  shards.reserve(static_cast<std::size_t>(total_shards));
+  for (int i = 0; i < control_shards; ++i) {
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::kControlPlane;
+    spec.index = static_cast<int>(shards.size());
+    // Distribute the campaign's request budget as evenly as possible.
+    const int base = options.control_plane.num_requests / control_shards;
+    const int remainder = options.control_plane.num_requests % control_shards;
+    spec.num_requests = base + (i < remainder ? 1 : 0);
+    // A single-shard campaign fuzzes with the campaign seed verbatim, so it
+    // reproduces the historical (pre-engine) request stream bit-for-bit;
+    // split campaigns derive statistically independent per-shard streams.
+    spec.seed = control_shards == 1
+                    ? options.seed
+                    : ShardSeed(options.seed, static_cast<std::uint64_t>(i));
+    shards.push_back(spec);
+  }
+  for (int i = 0; i < dataplane_shards; ++i) {
+    ShardSpec spec;
+    spec.kind = ShardSpec::Kind::kDataplane;
+    spec.index = static_cast<int>(shards.size());
+    spec.packet_shard = i;
+    spec.packet_shards = dataplane_shards;
+    shards.push_back(spec);
+  }
+  for (ShardSpec& spec : shards) {
+    auto it = options.shard_faults.find(spec.index);
+    spec.faults = it != options.shard_faults.end() ? it->second : faults;
+  }
+
+  // ---- Pre-phase: generate the campaign's test packets once when the
+  // dataplane is split, so shards share one (expensive) Z3 pass. ----
+  std::vector<symbolic::TestPacket> campaign_packets;
+  const std::vector<symbolic::TestPacket>* precomputed = nullptr;
+  std::vector<Incident> pre_phase_incidents;
+  if (dataplane_shards > 1) {
+    StatusOr<std::vector<symbolic::TestPacket>> generated = [&] {
+      ScopedTimer timer(&metrics.generation_ns);
+      return symbolic::GeneratePackets(model, parser, entries,
+                                       options.dataplane.coverage,
+                                       options.dataplane.cache,
+                                       &report.generation);
+    }();
+    if (generated.ok()) {
+      campaign_packets = std::move(generated).value();
+      precomputed = &campaign_packets;
+      metrics.Add(metrics.solver_queries,
+                  static_cast<std::uint64_t>(report.generation.solver_queries));
+      if (report.generation.cache_hit) {
+        metrics.Add(metrics.generation_cache_hits, 1);
+      }
+    } else {
+      Incident incident{Detector::kSymbolic,
+                        "test packet generation failed: " +
+                            generated.status().ToString(),
+                        ""};
+      incident.shard = control_shards;  // first dataplane shard
+      pre_phase_incidents.push_back(std::move(incident));
+    }
+  }
+
+  // ---- Execution: workers drain the shard queue. ----
+  std::vector<ShardResult> results(shards.size());
+  std::atomic<std::size_t> next_shard{0};
+  auto worker = [&]() {
+    for (std::size_t i = next_shard.fetch_add(1); i < shards.size();
+         i = next_shard.fetch_add(1)) {
+      const ShardSpec& spec = shards[i];
+      if (spec.kind == ShardSpec::Kind::kControlPlane) {
+        results[i] = RunControlPlaneShard(spec, model, info, parser, entries,
+                                          options, metrics);
+      } else if (precomputed != nullptr || pre_phase_incidents.empty()) {
+        results[i] = RunDataplaneShard(spec, model, info, parser, entries,
+                                       precomputed, options, metrics);
+      }
+      metrics.Add(metrics.shards_completed, 1);
+    }
+  };
+  const int workers =
+      std::clamp(options.parallelism, 1, std::max(1, total_shards));
+  if (workers == 1) {
+    worker();  // run inline: no thread overhead for sequential campaigns
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // ---- Merge: deterministic shard order, incident pipeline dedup. ----
+  std::map<std::uint64_t, std::size_t> group_by_fingerprint;
+  std::uint64_t raw_incidents = 0;
+  auto absorb = [&](Incident incident, int shard_index) {
+    incident.shard = shard_index;
+    ++raw_incidents;
+    const std::uint64_t fingerprint = IncidentFingerprint(incident);
+    auto [it, inserted] =
+        group_by_fingerprint.try_emplace(fingerprint, report.groups.size());
+    if (inserted) {
+      IncidentGroup group;
+      group.exemplar = std::move(incident);
+      group.fingerprint = fingerprint;
+      report.groups.push_back(std::move(group));
+    }
+    IncidentGroup& group = report.groups[it->second];
+    ++group.occurrences;
+    if (group.shards.empty() || group.shards.back() != shard_index) {
+      group.shards.push_back(shard_index);
+    }
+  };
+  for (Incident& incident : pre_phase_incidents) {
+    const int shard_index = incident.shard;
+    absorb(std::move(incident), shard_index);
+  }
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    for (Incident& incident : results[i].incidents) {
+      absorb(std::move(incident), shards[i].index);
+    }
+    report.fuzzed_updates += results[i].fuzzed_updates;
+    report.packets_tested += results[i].packets_tested;
+    if (shards[i].kind == ShardSpec::Kind::kDataplane &&
+        dataplane_shards == 1) {
+      report.generation = results[i].generation;
+    }
+  }
+  report.shards_run = total_shards;
+  metrics.Add(metrics.incidents_raised, raw_incidents);
+  metrics.Add(metrics.incidents_unique, report.groups.size());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    campaign_start)
+          .count();
+  report.metrics = metrics.Snapshot(wall_seconds);
+  return report;
+}
+
+}  // namespace switchv

@@ -1,0 +1,96 @@
+// The campaign engine (paper §5 "p4-symbolic", §8 "Deployment"): production
+// SwitchV shards fuzzing and symbolic campaigns across many testbeds in
+// parallel and aggregates bug reports centrally. This module is that
+// architecture in-process: a nightly validation run is decomposed into
+// independent, deterministic *campaign shards*, executed on a worker pool,
+// and merged through the incident pipeline (fingerprint → dedup →
+// occurrence counts) with unified telemetry.
+//
+// Shard model:
+//   * A control-plane shard runs its slice of the fuzzing campaign against
+//     its own SwitchUnderTest, with a RequestGenerator seeded via splitmix
+//     from (campaign seed, shard index) — see util/rng.h. Each shard owns
+//     its generator, oracle, and (inside the generator) BDD managers:
+//     ConstraintBdd is thread-hostile, so one per fuzzing thread.
+//   * A dataplane shard validates a round-robin subset of the campaign's
+//     test packets against its own SwitchUnderTest + reference interpreter.
+//     Packets are generated once, on the campaign thread, when more than
+//     one dataplane shard exists.
+//
+// Determinism: the shard decomposition and every shard's behaviour are pure
+// functions of (options, seed); `parallelism` only chooses how many worker
+// threads drain the shard queue. The merged, deduped incident-fingerprint
+// set is therefore identical for parallelism 1 and N.
+#ifndef SWITCHV_SWITCHV_ENGINE_H_
+#define SWITCHV_SWITCHV_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "switchv/control_plane.h"
+#include "switchv/dataplane.h"
+
+namespace switchv {
+
+struct CampaignOptions {
+  // Worker threads executing shards. Results are bit-identical for any
+  // value; only wall-clock changes.
+  int parallelism = 1;
+  // Fuzzing-campaign split: control_plane.num_requests is divided across
+  // this many shards, each drawing from its own derived seed.
+  int control_plane_shards = 1;
+  // Differential-testing split: shard k of M tests packets {i : i % M == k}.
+  int dataplane_shards = 1;
+  // Campaign seed; shard i fuzzes with ShardSeed(seed, i).
+  std::uint64_t seed = 1;
+
+  ControlPlaneOptions control_plane;  // campaign-wide totals
+  DataplaneOptions dataplane;
+  bool run_control_plane = true;
+  bool run_dataplane = true;
+  // §7 extension: after its fuzzing slice, a control-plane shard also
+  // validates the forwarding behaviour of the state it left on its switch.
+  bool dataplane_on_fuzzed_state = false;
+
+  // Per-shard fault-registry views, keyed by global shard index. Shards
+  // absent from the map see the campaign-level registry. This models a
+  // fleet where individual testbeds carry different switch builds; the
+  // shard-isolation tests are built on it.
+  std::map<int, const sut::FaultRegistry*> shard_faults;
+};
+
+struct CampaignReport {
+  // Deduped incident classes, in deterministic merge order (control-plane
+  // shards by index, then dataplane shards; within a shard, raise order).
+  std::vector<IncidentGroup> groups;
+  MetricsSnapshot metrics;
+  int shards_run = 0;
+  int fuzzed_updates = 0;
+  int packets_tested = 0;
+  symbolic::GenerationStats generation;
+
+  bool bug_detected() const { return !groups.empty(); }
+  std::optional<Detector> first_detector() const {
+    if (groups.empty()) return std::nullopt;
+    return groups.front().exemplar.detector;
+  }
+  // Exemplar incidents in merge order (one per group).
+  std::vector<Incident> Incidents() const;
+  // The campaign's deduped fingerprint set — the determinism invariant.
+  std::set<std::uint64_t> FingerprintSet() const;
+};
+
+// Runs a full validation campaign of a switch built with the given fault
+// set against the given model and forwarding state. `faults` may be nullptr
+// (healthy fleet); `entries` is the production-like replay state, shared
+// immutably by all shards.
+CampaignReport RunValidationCampaign(
+    const sut::FaultRegistry* faults, const p4ir::Program& model,
+    const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const CampaignOptions& options);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_ENGINE_H_

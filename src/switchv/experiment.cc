@@ -88,11 +88,16 @@ StatusOr<std::vector<BugRunResult>> RunFullSweep(
     SWITCHV_ASSIGN_OR_RETURN(BugRunResult result,
                              RunNightlyForBug(bug, shared));
     if (progress != nullptr) {
+      int raised = 0;
+      for (const IncidentGroup& group : result.report.groups) {
+        raised += group.occurrences;
+      }
       *progress << "  " << bug.name << ": "
                 << (result.detected
                         ? std::string(DetectorName(*result.detector))
                         : "NOT DETECTED")
-                << " (" << result.incident_count << " incidents)\n";
+                << " (" << result.incident_count << " incident classes, "
+                << raised << " raised)\n";
       progress->flush();
     }
     results.push_back(std::move(result));

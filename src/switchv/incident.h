@@ -4,11 +4,22 @@
 // for a human to root-cause; the root cause may be in the switch, the P4
 // model, the oracle, or the reference simulator — SwitchV only reports the
 // divergence.
+//
+// Production SwitchV aggregates incidents centrally across many testbeds
+// (§8); a single buggy switch floods the report with thousands of repeats of
+// the same divergence. The incident pipeline therefore fingerprints every
+// incident over (detector, summary shape, table id) and dedups repeats into
+// `IncidentGroup`s carrying occurrence counts — the campaign engine's merge
+// stage is built on these types.
 #ifndef SWITCHV_SWITCHV_INCIDENT_H_
 #define SWITCHV_SWITCHV_INCIDENT_H_
 
+#include <cctype>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/fingerprint.h"
 
 namespace switchv {
 
@@ -22,6 +33,60 @@ struct Incident {
   Detector detector;
   std::string summary;  // one-line description of the divergence
   std::string details;  // offending request/packet, observed vs expected
+  // P4 table involved, when the raising component knows it (0 otherwise).
+  // Part of the fingerprint: the same divergence on two tables is two bugs.
+  std::uint32_t table_id = 0;
+  // Campaign shard that raised the incident; -1 outside campaign runs.
+  int shard = -1;
+};
+
+// Collapses the variable parts of a summary so repeats of one divergence
+// fingerprint identically: every run of decimal digits (entry ids, counts)
+// and every 0x-prefixed hex run (addresses, byte dumps) becomes a single
+// '#'. "entry 17 missing" and "entry 23 missing" share a shape.
+inline std::string IncidentSummaryShape(std::string_view summary) {
+  std::string shape;
+  shape.reserve(summary.size());
+  for (std::size_t i = 0; i < summary.size();) {
+    if (summary.compare(i, 2, "0x") == 0 && i + 2 < summary.size() &&
+        std::isxdigit(static_cast<unsigned char>(summary[i + 2]))) {
+      i += 2;
+      while (i < summary.size() &&
+             std::isxdigit(static_cast<unsigned char>(summary[i]))) {
+        ++i;
+      }
+      shape.push_back('#');
+    } else if (std::isdigit(static_cast<unsigned char>(summary[i]))) {
+      while (i < summary.size() &&
+             std::isdigit(static_cast<unsigned char>(summary[i]))) {
+        ++i;
+      }
+      shape.push_back('#');
+    } else {
+      shape.push_back(summary[i]);
+      ++i;
+    }
+  }
+  return shape;
+}
+
+// Stable identity of a divergence class: detector + summary shape + table.
+// Deliberately excludes `details` (always entry/packet-specific) and `shard`
+// (the same bug found by two shards is one bug).
+inline std::uint64_t IncidentFingerprint(const Incident& incident) {
+  return Fingerprint()
+      .AddU64(static_cast<std::uint64_t>(incident.detector))
+      .AddBytes(IncidentSummaryShape(incident.summary))
+      .AddU64(incident.table_id)
+      .digest();
+}
+
+// One deduped divergence class in a campaign report.
+struct IncidentGroup {
+  Incident exemplar;  // first occurrence in deterministic merge order
+  std::uint64_t fingerprint = 0;
+  int occurrences = 0;
+  std::vector<int> shards;  // sorted, unique shard indices that saw it
 };
 
 }  // namespace switchv

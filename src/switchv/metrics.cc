@@ -1,0 +1,65 @@
+#include "switchv/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace switchv {
+
+namespace {
+
+double Seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace
+
+MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
+  MetricsSnapshot s;
+  s.shards_completed = shards_completed.load(std::memory_order_relaxed);
+  s.wall_seconds = wall_seconds;
+  s.updates_sent = updates_sent.load(std::memory_order_relaxed);
+  s.requests_sent = requests_sent.load(std::memory_order_relaxed);
+  s.generated_valid = generated_valid.load(std::memory_order_relaxed);
+  s.generated_invalid = generated_invalid.load(std::memory_order_relaxed);
+  s.oracle_findings = oracle_findings.load(std::memory_order_relaxed);
+  s.packets_tested = packets_tested.load(std::memory_order_relaxed);
+  s.solver_queries = solver_queries.load(std::memory_order_relaxed);
+  s.generation_cache_hits =
+      generation_cache_hits.load(std::memory_order_relaxed);
+  s.switch_writes = switch_writes.load(std::memory_order_relaxed);
+  s.switch_reads = switch_reads.load(std::memory_order_relaxed);
+  s.switch_packets_injected =
+      switch_packets_injected.load(std::memory_order_relaxed);
+  s.incidents_raised = incidents_raised.load(std::memory_order_relaxed);
+  s.incidents_unique = incidents_unique.load(std::memory_order_relaxed);
+  s.switch_write_ns = switch_write_ns.load(std::memory_order_relaxed);
+  s.oracle_ns = oracle_ns.load(std::memory_order_relaxed);
+  s.reference_ns = reference_ns.load(std::memory_order_relaxed);
+  s.generation_ns = generation_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << std::fixed;
+  out << "campaign stats: " << shards_completed << " shards, wall "
+      << std::setprecision(2) << wall_seconds << "s\n";
+  out << "  control-plane: " << updates_sent << " updates / " << requests_sent
+      << " requests (" << std::setprecision(0) << updates_per_second()
+      << " updates/s), generator " << generated_valid << " valid + "
+      << generated_invalid << " mutated, oracle " << oracle_findings
+      << " findings\n";
+  out << "  data-plane:    " << packets_tested << " packets ("
+      << std::setprecision(0) << packets_per_second() << " packets/s), "
+      << solver_queries << " solver queries, " << generation_cache_hits
+      << " cache hits\n";
+  out << "  switch io:     " << switch_writes << " writes, " << switch_reads
+      << " reads, " << switch_packets_injected << " packets injected\n";
+  out << "  phase time:    " << std::setprecision(3) << "switch-write "
+      << Seconds(switch_write_ns) << "s, oracle " << Seconds(oracle_ns)
+      << "s, reference-sim " << Seconds(reference_ns) << "s, packet-gen "
+      << Seconds(generation_ns) << "s\n";
+  out << "  incidents:     " << incidents_raised << " raised -> "
+      << incidents_unique << " unique fingerprints";
+  return out.str();
+}
+
+}  // namespace switchv

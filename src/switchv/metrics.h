@@ -1,0 +1,130 @@
+// Campaign telemetry (paper §8 "Deployment"): SwitchV's production fleet
+// aggregates per-run statistics — updates/sec, packets/sec, time spent in
+// the oracle vs. the reference simulator vs. the solver — so regressions in
+// validation throughput are visible. This is the reproduction's equivalent:
+// a thread-safe bag of counters and phase timers that every campaign shard
+// writes into and every campaign emits as a structured stats block.
+//
+// `Metrics` is the live, atomic object shared across shard worker threads;
+// `MetricsSnapshot` is the plain-value copy embedded in reports.
+#ifndef SWITCHV_SWITCHV_METRICS_H_
+#define SWITCHV_SWITCHV_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace switchv {
+
+// Plain-value copy of the counters plus derived rates. Copyable, printable.
+struct MetricsSnapshot {
+  // Campaign shape.
+  std::uint64_t shards_completed = 0;
+  double wall_seconds = 0;
+
+  // Control-plane (p4-fuzzer) counters.
+  std::uint64_t updates_sent = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t generated_valid = 0;
+  std::uint64_t generated_invalid = 0;
+  std::uint64_t oracle_findings = 0;
+
+  // Data-plane (p4-symbolic) counters.
+  std::uint64_t packets_tested = 0;
+  std::uint64_t solver_queries = 0;
+  std::uint64_t generation_cache_hits = 0;
+
+  // Switch-under-test I/O.
+  std::uint64_t switch_writes = 0;
+  std::uint64_t switch_reads = 0;
+  std::uint64_t switch_packets_injected = 0;
+
+  // Incident pipeline.
+  std::uint64_t incidents_raised = 0;   // raw, before dedup
+  std::uint64_t incidents_unique = 0;   // distinct fingerprints
+
+  // Phase timers (nanoseconds, summed across shards — with parallelism > 1
+  // the sum exceeds wall time; that is the point of sharding).
+  std::uint64_t switch_write_ns = 0;
+  std::uint64_t oracle_ns = 0;
+  std::uint64_t reference_ns = 0;
+  std::uint64_t generation_ns = 0;
+
+  double updates_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(updates_sent) / wall_seconds
+                            : 0;
+  }
+  double packets_per_second() const {
+    return wall_seconds > 0
+               ? static_cast<double>(packets_tested) / wall_seconds
+               : 0;
+  }
+
+  // The structured stats block every campaign emits, e.g.:
+  //   campaign stats: 5 shards, wall 1.84s
+  //     control-plane: 2000 updates / 40 requests (1087 updates/s), ...
+  std::string ToString() const;
+};
+
+// Thread-safe telemetry sink. All counters are relaxed atomics: shards only
+// ever add, and readers snapshot after the worker pool joins (or tolerate a
+// slightly stale view mid-run).
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> shards_completed{0};
+  std::atomic<std::uint64_t> updates_sent{0};
+  std::atomic<std::uint64_t> requests_sent{0};
+  std::atomic<std::uint64_t> generated_valid{0};
+  std::atomic<std::uint64_t> generated_invalid{0};
+  std::atomic<std::uint64_t> oracle_findings{0};
+  std::atomic<std::uint64_t> packets_tested{0};
+  std::atomic<std::uint64_t> solver_queries{0};
+  std::atomic<std::uint64_t> generation_cache_hits{0};
+  std::atomic<std::uint64_t> switch_writes{0};
+  std::atomic<std::uint64_t> switch_reads{0};
+  std::atomic<std::uint64_t> switch_packets_injected{0};
+  std::atomic<std::uint64_t> incidents_raised{0};
+  std::atomic<std::uint64_t> incidents_unique{0};
+  std::atomic<std::uint64_t> switch_write_ns{0};
+  std::atomic<std::uint64_t> oracle_ns{0};
+  std::atomic<std::uint64_t> reference_ns{0};
+  std::atomic<std::uint64_t> generation_ns{0};
+
+  void Add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot(double wall_seconds) const;
+};
+
+// Accumulates wall time into an atomic nanosecond counter on destruction.
+// Null-safe: a null sink makes the timer a no-op, so instrumented code paths
+// work unchanged when no metrics are attached.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::atomic<std::uint64_t>* sink_ns)
+      : sink_(sink_ns),
+        start_(sink_ns != nullptr ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_METRICS_H_

@@ -1,7 +1,5 @@
 #include "switchv/nightly.h"
 
-#include "models/sai_model.h"
-
 namespace switchv {
 
 NightlyReport RunNightlyValidation(
@@ -9,76 +7,28 @@ NightlyReport RunNightlyValidation(
     const packet::ParserSpec& parser,
     const std::vector<p4rt::TableEntry>& entries,
     const NightlyOptions& options) {
+  CampaignOptions campaign;
+  campaign.parallelism = options.parallelism;
+  campaign.control_plane_shards = options.control_plane_shards;
+  campaign.dataplane_shards = options.dataplane_shards;
+  campaign.seed = options.campaign_seed != 0 ? options.campaign_seed
+                                             : options.control_plane.seed;
+  campaign.control_plane = options.control_plane;
+  campaign.dataplane = options.dataplane;
+  campaign.run_control_plane = options.run_control_plane;
+  campaign.run_dataplane = options.run_dataplane;
+  campaign.dataplane_on_fuzzed_state = options.dataplane_on_fuzzed_state;
+
+  CampaignReport campaign_report =
+      RunValidationCampaign(faults, model, parser, entries, campaign);
+
   NightlyReport report;
-  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
-
-  if (options.run_control_plane) {
-    sut::SwitchUnderTest sut(faults, models::DefaultCloneSessions(),
-                             model.cpu_port);
-    const Status config = sut.SetForwardingPipelineConfig(info);
-    if (!config.ok()) {
-      report.incidents.push_back(Incident{
-          Detector::kFuzzer,
-          "switch rejected a valid forwarding pipeline config: " +
-              config.ToString(),
-          "SetForwardingPipelineConfig"});
-    } else {
-      (void)sut.ApplyStandardBringUpConfig();
-      // Seed with the replayed state so the fuzzer starts from a realistic
-      // switch, then fuzz.
-      p4rt::WriteRequest seed;
-      for (const p4rt::TableEntry& entry : entries) {
-        seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
-      }
-      (void)sut.Write(seed);  // failures surface via the oracle's read-sync
-      ControlPlaneResult control =
-          RunControlPlaneValidation(sut, info, options.control_plane);
-      report.fuzzed_updates = control.updates_sent;
-      for (Incident& incident : control.incidents) {
-        report.incidents.push_back(std::move(incident));
-      }
-      if (options.dataplane_on_fuzzed_state && control.incidents.empty()) {
-        // §7 extension: validate the forwarding behaviour of the state the
-        // fuzzing campaign left behind, in place.
-        auto fuzzed_state = sut.Read(p4rt::ReadRequest{});
-        if (fuzzed_state.ok()) {
-          DataplaneOptions dataplane = options.dataplane;
-          dataplane.simulator_faults = faults;
-          dataplane.entries_preinstalled = true;
-          DataplaneResult fuzzed = RunDataplaneValidation(
-              sut, model, parser, fuzzed_state->entries, dataplane);
-          report.packets_tested += fuzzed.packets_tested;
-          for (Incident& incident : fuzzed.incidents) {
-            report.incidents.push_back(std::move(incident));
-          }
-        }
-      }
-    }
-  }
-
-  if (options.run_dataplane) {
-    sut::SwitchUnderTest sut(faults, models::DefaultCloneSessions(),
-                             model.cpu_port);
-    const Status config = sut.SetForwardingPipelineConfig(info);
-    if (!config.ok()) {
-      report.incidents.push_back(Incident{
-          Detector::kSymbolic,
-          "data-plane validation could not configure the switch: " +
-              config.ToString(),
-          "SetForwardingPipelineConfig"});
-      return report;
-    }
-    (void)sut.ApplyStandardBringUpConfig();
-    DataplaneOptions dataplane = options.dataplane;
-    dataplane.simulator_faults = faults;
-    DataplaneResult data =
-        RunDataplaneValidation(sut, model, parser, entries, dataplane);
-    report.packets_tested = data.packets_tested;
-    report.generation = data.generation;
-    for (Incident& incident : data.incidents) {
-      report.incidents.push_back(std::move(incident));
-    }
-  }
+  report.incidents = campaign_report.Incidents();
+  report.groups = std::move(campaign_report.groups);
+  report.metrics = campaign_report.metrics;
+  report.fuzzed_updates = campaign_report.fuzzed_updates;
+  report.packets_tested = campaign_report.packets_tested;
+  report.generation = campaign_report.generation;
   return report;
 }
 

@@ -2,13 +2,18 @@
 // plane validation (p4-fuzzer) followed by data-plane validation
 // (p4-symbolic), each against a fresh switch instance, with unified
 // incident reporting.
+//
+// Since the campaign-engine refactor this is a thin wrapper over
+// RunValidationCampaign (switchv/engine.h): a nightly run is a campaign,
+// and the sharding/parallelism knobs below pass straight through. The
+// defaults (one shard per phase, one worker) reproduce the original
+// sequential nightly exactly.
 #ifndef SWITCHV_SWITCHV_NIGHTLY_H_
 #define SWITCHV_SWITCHV_NIGHTLY_H_
 
 #include <optional>
 
-#include "switchv/control_plane.h"
-#include "switchv/dataplane.h"
+#include "switchv/engine.h"
 
 namespace switchv {
 
@@ -22,10 +27,25 @@ struct NightlyOptions {
   // only against the clean replayed state) — fuzzed entries exercise
   // additional control paths during data-plane validation.
   bool dataplane_on_fuzzed_state = false;
+
+  // Campaign-engine knobs (see CampaignOptions for semantics).
+  int parallelism = 1;
+  int control_plane_shards = 1;
+  int dataplane_shards = 1;
+  // Campaign seed for shard-seed derivation; 0 means "use
+  // control_plane.seed", which keeps single-shard runs reproducing the
+  // historical request stream.
+  std::uint64_t campaign_seed = 0;
 };
 
 struct NightlyReport {
+  // Deduped incident exemplars, in deterministic merge order. With the
+  // default single-shard options each divergence class appears once here
+  // where the pre-engine nightly could repeat it; `groups` carries the
+  // occurrence counts.
   std::vector<Incident> incidents;
+  std::vector<IncidentGroup> groups;
+  MetricsSnapshot metrics;
   int fuzzed_updates = 0;
   int packets_tested = 0;
   symbolic::GenerationStats generation;

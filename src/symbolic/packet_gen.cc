@@ -10,6 +10,7 @@ namespace switchv::symbolic {
 
 bool PacketCache::Lookup(std::uint64_t key, std::vector<TestPacket>* packets,
                          GenerationStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) return false;
   *packets = it->second.packets;
@@ -24,6 +25,7 @@ bool PacketCache::Lookup(std::uint64_t key, std::vector<TestPacket>* packets,
 void PacketCache::Store(std::uint64_t key,
                         const std::vector<TestPacket>& packets,
                         const GenerationStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_[key] = CacheEntry{packets, stats};
 }
 
@@ -54,6 +56,7 @@ Status PacketCache::Save(const std::string& path) const {
     return InternalError("cannot open cache file for writing: " + path);
   }
   file << "switchv-packet-cache-v1\n";
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, entry] : cache_) {
     file << "workload " << key << " " << entry.packets.size() << " "
          << entry.stats.targets_total << " " << entry.stats.targets_covered
@@ -77,6 +80,7 @@ Status PacketCache::Load(const std::string& path) {
   if (header != "switchv-packet-cache-v1") {
     return InvalidArgumentError("unrecognized cache file format: " + path);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   std::string line;
   while (std::getline(file, line)) {
     std::istringstream workload(line);

@@ -9,6 +9,7 @@
 #define SWITCHV_SYMBOLIC_PACKET_GEN_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "symbolic/executor.h"
@@ -31,7 +32,9 @@ struct GenerationStats {
   bool cache_hit = false;
 };
 
-// Packet cache. Thread-compatible. Persistable to disk, so nightly runs
+// Packet cache. Thread-safe: campaign shards running on a worker pool may
+// share one cache (e.g. control-plane shards validating their fuzzed state
+// while a dataplane shard generates). Persistable to disk, so nightly runs
 // whose specifications did not change skip Z3 entirely even across process
 // restarts (§6.3 "Caching").
 class PacketCache {
@@ -40,7 +43,10 @@ class PacketCache {
               GenerationStats* stats) const;
   void Store(std::uint64_t key, const std::vector<TestPacket>& packets,
              const GenerationStats& stats);
-  std::size_t size() const { return cache_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
   // Saves to / loads from a simple line-oriented text file. Load merges
   // into the current contents.
@@ -52,6 +58,7 @@ class PacketCache {
     std::vector<TestPacket> packets;
     GenerationStats stats;
   };
+  mutable std::mutex mu_;
   std::map<std::uint64_t, CacheEntry> cache_;
 };
 

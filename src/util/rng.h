@@ -14,6 +14,24 @@
 
 namespace switchv {
 
+// SplitMix64 finalizer (Steele et al.): a cheap, high-quality mix used to
+// derive independent seeds. Campaign shards seed their generators with
+// ShardSeed(campaign_seed, shard_index) so that (a) every shard draws from a
+// statistically independent stream and (b) the decomposition is a pure
+// function of the campaign seed — execution order and thread count never
+// change what a shard generates.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t ShardSeed(std::uint64_t campaign_seed,
+                               std::uint64_t shard_index) {
+  return SplitMix64(SplitMix64(campaign_seed) ^ SplitMix64(~shard_index));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -1,0 +1,215 @@
+// Campaign-engine tests: determinism across parallelism levels, shard
+// isolation of fault-registry views, incident fingerprint dedup, and
+// telemetry consistency.
+#include <gtest/gtest.h>
+
+#include "switchv/experiment.h"
+
+namespace switchv {
+namespace {
+
+// One model + replay state shared by every test in this file (building the
+// SAI program and workload is comparatively expensive).
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model_);
+    auto entries =
+        models::GenerateEntries(info, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(), /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete entries_;
+    model_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  // A short sharded campaign; tests toggle phases and parallelism.
+  static CampaignOptions FastCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.control_plane_shards = 4;
+    options.dataplane_shards = 2;
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 40;
+    options.dataplane.packet_out_ports = 2;
+    return options;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  static p4ir::Program* model_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* EngineTest::model_ = nullptr;
+std::vector<p4rt::TableEntry>* EngineTest::entries_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Determinism: `parallelism` must not change the campaign's findings — the
+// deduped fingerprint set, the per-group occurrence counts, and the shards
+// that saw each group are bit-identical for 1 worker and 4.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ParallelismDoesNotChangeFindings) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+  symbolic::PacketCache cache;
+
+  CampaignOptions options = FastCampaign();
+  options.dataplane.cache = &cache;  // second run skips Z3
+  options.parallelism = 1;
+  const CampaignReport sequential = Run(&faults, options);
+  options.parallelism = 4;
+  const CampaignReport parallel = Run(&faults, options);
+
+  EXPECT_TRUE(sequential.bug_detected());
+  EXPECT_EQ(sequential.FingerprintSet(), parallel.FingerprintSet());
+  ASSERT_EQ(sequential.groups.size(), parallel.groups.size());
+  for (std::size_t i = 0; i < sequential.groups.size(); ++i) {
+    SCOPED_TRACE(sequential.groups[i].exemplar.summary);
+    EXPECT_EQ(sequential.groups[i].fingerprint, parallel.groups[i].fingerprint);
+    EXPECT_EQ(sequential.groups[i].occurrences, parallel.groups[i].occurrences);
+    EXPECT_EQ(sequential.groups[i].shards, parallel.groups[i].shards);
+  }
+  EXPECT_EQ(sequential.fuzzed_updates, parallel.fuzzed_updates);
+  EXPECT_EQ(sequential.packets_tested, parallel.packets_tested);
+  EXPECT_EQ(sequential.metrics.updates_sent, parallel.metrics.updates_sent);
+}
+
+TEST_F(EngineTest, HealthyCampaignStaysClean) {
+  CampaignOptions options = FastCampaign();
+  options.parallelism = 4;
+  const CampaignReport report = Run(nullptr, options);
+  for (const IncidentGroup& group : report.groups) {
+    ADD_FAILURE() << DetectorName(group.exemplar.detector) << ": "
+                  << group.exemplar.summary;
+  }
+  EXPECT_FALSE(report.bug_detected());
+  EXPECT_EQ(report.shards_run, 6);  // 4 control + 2 dataplane
+  EXPECT_GT(report.fuzzed_updates, 100);
+  EXPECT_GT(report.packets_tested, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Shard isolation: a fault injected into one shard's registry view is
+// attributed to that shard and no other.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, FaultInOneShardViewIsAttributedToThatShardOnly) {
+  sut::FaultRegistry faulty;
+  faulty.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions options = FastCampaign();
+  options.run_dataplane = false;  // control-plane fault; keep the run short
+  options.parallelism = 4;
+  options.shard_faults[1] = &faulty;  // control shard 1 of 0..3
+  const CampaignReport report = Run(nullptr, options);
+
+  EXPECT_TRUE(report.bug_detected());
+  for (const IncidentGroup& group : report.groups) {
+    EXPECT_EQ(group.shards, std::vector<int>{1})
+        << group.exemplar.summary << " attributed to a healthy shard";
+    EXPECT_EQ(group.exemplar.shard, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incident pipeline: repeats of one divergence class collapse into a single
+// group that carries the occurrence count.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, RepeatedIncidentsDedupIntoGroupsWithCounts) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions options = FastCampaign();
+  options.run_dataplane = false;
+  options.parallelism = 4;
+  const CampaignReport report = Run(&faults, options);
+
+  ASSERT_TRUE(report.bug_detected());
+  int raised = 0;
+  for (const IncidentGroup& group : report.groups) {
+    raised += group.occurrences;
+    EXPECT_GE(group.occurrences, 1);
+    EXPECT_FALSE(group.shards.empty());
+  }
+  // Every shard fuzzes deletes, so the same divergence class recurs across
+  // shards but appears once in the report.
+  EXPECT_GT(raised, static_cast<int>(report.groups.size()));
+  EXPECT_EQ(report.metrics.incidents_raised,
+            static_cast<std::uint64_t>(raised));
+  EXPECT_EQ(report.metrics.incidents_unique, report.groups.size());
+}
+
+TEST(IncidentFingerprintTest, SummaryShapeCollapsesVariableParts) {
+  EXPECT_EQ(IncidentSummaryShape("entry 17 missing"),
+            IncidentSummaryShape("entry 23 missing"));
+  EXPECT_EQ(IncidentSummaryShape("payload 0xdead beef"),
+            IncidentSummaryShape("payload 0xf00d beef"));
+  EXPECT_NE(IncidentSummaryShape("entry accepted"),
+            IncidentSummaryShape("entry rejected"));
+
+  Incident a{Detector::kFuzzer, "entry 17 missing", "details A"};
+  Incident b{Detector::kFuzzer, "entry 23 missing", "details B"};
+  b.shard = 3;
+  EXPECT_EQ(IncidentFingerprint(a), IncidentFingerprint(b));
+  // Same divergence on another table (or seen by another detector) is
+  // another bug.
+  Incident c = a;
+  c.table_id = 42;
+  EXPECT_NE(IncidentFingerprint(a), IncidentFingerprint(c));
+  Incident d = a;
+  d.detector = Detector::kSymbolic;
+  EXPECT_NE(IncidentFingerprint(a), IncidentFingerprint(d));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the shared metrics sink sums correctly across shards.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, MetricsSumAcrossShards) {
+  CampaignOptions options = FastCampaign();
+  options.parallelism = 2;
+  const CampaignReport report = Run(nullptr, options);
+
+  const MetricsSnapshot& metrics = report.metrics;
+  EXPECT_EQ(metrics.shards_completed,
+            static_cast<std::uint64_t>(report.shards_run));
+  EXPECT_EQ(metrics.updates_sent,
+            static_cast<std::uint64_t>(report.fuzzed_updates));
+  EXPECT_EQ(metrics.requests_sent,
+            static_cast<std::uint64_t>(options.control_plane.num_requests));
+  EXPECT_EQ(metrics.packets_tested,
+            static_cast<std::uint64_t>(report.packets_tested));
+  EXPECT_EQ(metrics.incidents_raised, 0u);
+  EXPECT_EQ(metrics.incidents_unique, 0u);
+  // Every shard owns a switch and drives it over P4Runtime.
+  EXPECT_GT(metrics.switch_writes, 0u);
+  EXPECT_GT(metrics.switch_reads, 0u);
+  EXPECT_GT(metrics.switch_packets_injected, 0u);
+  // Phase timers observed the instrumented sections.
+  EXPECT_GT(metrics.switch_write_ns, 0u);
+  EXPECT_GT(metrics.oracle_ns, 0u);
+  EXPECT_GT(metrics.reference_ns, 0u);
+  EXPECT_GT(metrics.wall_seconds, 0.0);
+  EXPECT_GT(metrics.updates_per_second(), 0.0);
+  // The human-readable block mentions the headline rates.
+  const std::string text = metrics.ToString();
+  EXPECT_NE(text.find("updates/s"), std::string::npos);
+  EXPECT_NE(text.find("packets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace switchv
