@@ -17,6 +17,9 @@
 #include "p4runtime/validator.h"
 #include "sut/lpm_trie.h"
 #include "sut/switch_stack.h"
+#include "switchv/metrics.h"
+#include "switchv/recorder.h"
+#include "switchv/trace.h"
 #include "symbolic/executor.h"
 
 namespace switchv {
@@ -238,6 +241,55 @@ void BM_WriteBatchEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50);
 }
 BENCHMARK(BM_WriteBatchEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Observability overhead. The disabled-span benchmark is the guard behind
+// the "near-zero cost when tracing is off" claim: a null track must reduce
+// a ScopedSpan to a pointer check.
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  TraceTrack* track = nullptr;
+  for (auto _ : state) {
+    ScopedSpan span(track, "disabled", "bench");
+    span.AddArg("key", std::uint64_t{1});
+    benchmark::DoNotOptimize(span.enabled());
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  Tracer tracer;
+  TraceTrack track(&tracer, 0);
+  for (auto _ : state) {
+    ScopedSpan span(&track, "enabled", "bench");
+    span.AddArg("key", std::uint64_t{1});
+    benchmark::DoNotOptimize(span.enabled());
+  }
+}
+BENCHMARK(BM_ScopedSpanEnabled);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  std::uint64_t ns = 1;
+  for (auto _ : state) {
+    hist.Record(ns);
+    ns = ns * 2654435761u % 100000000u;  // spread across buckets
+  }
+  benchmark::DoNotOptimize(hist.Snapshot());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  sut::StackProbe probe;
+  probe.BeginOperation();
+  probe.BeginUnit();
+  probe.Reach(sut::SutLayer::kAsic);
+  FlightRecorder recorder(32);
+  for (auto _ : state) {
+    recorder.RecordOperation(FlightEvent::Kind::kWrite, probe, 0,
+                             "bench batch");
+  }
+  benchmark::DoNotOptimize(recorder.total_recorded());
+}
+BENCHMARK(BM_FlightRecorderRecord);
 
 void BM_SymbolicExecutePipeline(benchmark::State& state) {
   const Env& env = Env::Get();

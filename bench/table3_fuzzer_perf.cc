@@ -16,10 +16,18 @@
 // Default: 100 requests per program (5k updates). SWITCHV_FULL_TABLE3=1
 // runs the paper's 1000 requests (~50k updates).
 //
+// Besides the human-readable table, the run drops machine-readable
+// telemetry for per-PR bench trajectories and the Perfetto recipe in
+// EXPERIMENTS.md:
+//   BENCH_fuzzer.json        updates/s, packets/s, phase p50/p90/p99
+//   BENCH_fuzzer_trace.json  Chrome trace of the campaign-scaling run
+//   BENCH_fuzzer.prom        Prometheus text exposition of the same run
+//
 //   $ ./table3_fuzzer_perf
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <thread>
@@ -36,6 +44,7 @@ struct RowResult {
   int updates = 0;
   double seconds = 0;
   int incidents = 0;
+  MetricsSnapshot metrics;
 };
 
 StatusOr<RowResult> RunInstantiation(const std::string& name,
@@ -49,10 +58,12 @@ StatusOr<RowResult> RunInstantiation(const std::string& name,
                            model.cpu_port);
   SWITCHV_RETURN_IF_ERROR(sut.SetForwardingPipelineConfig(info));
 
+  Metrics metrics;
   ControlPlaneOptions options;
   options.num_requests = requests;
   options.updates_per_request = 50;
   options.seed = 7;
+  options.metrics = &metrics;
   const auto start = std::chrono::steady_clock::now();
   const ControlPlaneResult result =
       RunControlPlaneValidation(sut, info, options);
@@ -61,13 +72,15 @@ StatusOr<RowResult> RunInstantiation(const std::string& name,
                     .count();
   row.updates = result.updates_sent;
   row.incidents = static_cast<int>(result.incidents.size());
+  row.metrics = metrics.Snapshot(row.seconds);
   return row;
 }
 
 // Campaign-engine scaling: the same sharded campaign with 1 worker and 4.
 // The shard decomposition is fixed, so the deduped incident-fingerprint set
-// must match exactly; only wall clock may differ.
-Status RunCampaignScaling() {
+// must match exactly; only wall clock may differ. The parallel run is
+// traced; returns its metrics snapshot for BENCH_fuzzer.json.
+StatusOr<MetricsSnapshot> RunCampaignScaling() {
   SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model,
                            models::BuildSaiProgram(models::Role::kMiddleblock));
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
@@ -96,14 +109,19 @@ Status RunCampaignScaling() {
   options.parallelism = 1;
   const CampaignReport sequential = RunValidationCampaign(
       nullptr, model, models::SaiParserSpec(), entries, options);
+  Tracer tracer;
   options.parallelism = 4;
+  options.tracer = &tracer;
   const CampaignReport parallel = RunValidationCampaign(
       nullptr, model, models::SaiParserSpec(), entries, options);
+  options.tracer = nullptr;
 
   if (sequential.FingerprintSet() != parallel.FingerprintSet()) {
     return InternalError(
         "parallelism changed the campaign's deduped fingerprint set");
   }
+  std::ofstream("BENCH_fuzzer_trace.json") << tracer.ToChromeJson();
+  std::ofstream("BENCH_fuzzer.prom") << parallel.metrics.ToPrometheus();
   std::cout << "  parallelism 1: wall " << std::fixed << std::setprecision(2)
             << sequential.metrics.wall_seconds << "s, "
             << std::setprecision(0) << sequential.metrics.updates_per_second()
@@ -121,7 +139,9 @@ Status RunCampaignScaling() {
             << ", identical fingerprint set ("
             << parallel.FingerprintSet().size() << " incident classes)\n\n";
   std::cout << parallel.metrics.ToString() << "\n";
-  return OkStatus();
+  std::cout << "wrote BENCH_fuzzer_trace.json (load in ui.perfetto.dev) and "
+               "BENCH_fuzzer.prom\n";
+  return parallel.metrics;
 }
 
 }  // namespace
@@ -138,6 +158,7 @@ int main() {
             << std::setw(16) << "Fuzzed Entries" << std::setw(12)
             << "Entries/s" << std::setw(12) << "Incidents" << "\n";
   double rate[2] = {0, 0};
+  std::string program_json[2];
   const struct {
     const char* name;
     models::Role role;
@@ -152,6 +173,7 @@ int main() {
       return 1;
     }
     rate[i] = row->updates / row->seconds;
+    program_json[i] = row->metrics.ToJson();
     std::cout << std::left << std::setw(10) << row->name << std::right
               << std::setw(16) << row->updates << std::setw(12) << std::fixed
               << std::setprecision(0) << rate[i] << std::setw(12)
@@ -165,9 +187,14 @@ int main() {
             << "shape check: Inst1/Inst2 rate ratio = " << std::fixed
             << std::setprecision(2) << rate[0] / rate[1]
             << " (paper: 1.01 — program-independent throughput)\n";
-  if (const Status status = RunCampaignScaling(); !status.ok()) {
-    std::cerr << status << "\n";
+  const auto campaign = RunCampaignScaling();
+  if (!campaign.ok()) {
+    std::cerr << campaign.status() << "\n";
     return 1;
   }
+  std::ofstream("BENCH_fuzzer.json")
+      << "{\"inst1\":" << program_json[0] << ",\"inst2\":" << program_json[1]
+      << ",\"campaign\":" << campaign->ToJson() << "}";
+  std::cout << "wrote BENCH_fuzzer.json\n";
   return 0;
 }

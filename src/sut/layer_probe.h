@@ -1,0 +1,140 @@
+// Layer-attribution probe for the switch-under-test stack.
+//
+// The paper's Table 1 attributes every bug to the SUT layer it lived in
+// (SONiC application / orchestration / SAI-SDK / ASIC). The reproduction's
+// analogue: each layer of the stack marks the probe as a control-plane
+// update or data-plane packet crosses it, so every operation knows the
+// deepest layer it reached and — for rejected updates — the deepest layer
+// the failing update got to before it stopped. The SwitchV harness copies
+// this into incident reports and trace spans.
+//
+// The probe is per-SwitchUnderTest and single-threaded (each campaign shard
+// owns its own stack instance), so plain integers suffice. Layers hold a
+// nullable pointer; all call sites go through the null-safe free functions
+// below, making the probe zero-cost when absent.
+#ifndef SWITCHV_SUT_LAYER_PROBE_H_
+#define SWITCHV_SUT_LAYER_PROBE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace switchv::sut {
+
+// Stack depth, ordered top (controller-facing) to bottom (hardware).
+// kNone means "no SUT layer involved" (e.g. a reference-simulator defect).
+enum class SutLayer {
+  kNone = 0,
+  kP4rtServer = 1,
+  kOrchestration = 2,
+  kSyncdSai = 3,
+  kAsic = 4,
+};
+
+inline constexpr int kNumSutLayers = 5;  // including kNone
+
+inline std::string_view SutLayerName(SutLayer layer) {
+  switch (layer) {
+    case SutLayer::kP4rtServer:
+      return "p4rt-server";
+    case SutLayer::kOrchestration:
+      return "orchestration";
+    case SutLayer::kSyncdSai:
+      return "syncd-sai";
+    case SutLayer::kAsic:
+      return "asic";
+    case SutLayer::kNone:
+      break;
+  }
+  return "unattributed";
+}
+
+// One *operation* is a top-level API call on the stack (a Write batch, a
+// Read, an injected packet, a packet-out); one *unit* is an individual
+// update within a batch (or the packet itself). Layers call Reach() as the
+// unit enters them; the P4Runtime server brackets units and notes failures.
+class StackProbe {
+ public:
+  void BeginOperation() {
+    op_deepest_ = SutLayer::kNone;
+    op_failed_deepest_ = SutLayer::kNone;
+    unit_deepest_ = SutLayer::kNone;
+    units_ = 0;
+    failed_units_ = 0;
+    op_touches_.fill(0);
+  }
+
+  void BeginUnit() {
+    unit_deepest_ = SutLayer::kNone;
+    ++units_;
+  }
+
+  void Reach(SutLayer layer) {
+    if (layer > unit_deepest_) unit_deepest_ = layer;
+    if (layer > op_deepest_) op_deepest_ = layer;
+    ++op_touches_[static_cast<int>(layer)];
+    ++total_touches_[static_cast<int>(layer)];
+  }
+
+  // Called when the current unit's final status is a failure: the deepest
+  // layer the unit entered is where it stopped.
+  void NoteUnitFailure() {
+    ++failed_units_;
+    if (unit_deepest_ > op_failed_deepest_) {
+      op_failed_deepest_ = unit_deepest_;
+    }
+  }
+
+  // Deepest layer any unit of the current operation reached.
+  SutLayer op_deepest() const { return op_deepest_; }
+  // Deepest layer a *failed* unit of the current operation reached (kNone
+  // when every unit succeeded).
+  SutLayer op_failed_deepest() const { return op_failed_deepest_; }
+  int units() const { return units_; }
+  int failed_units() const { return failed_units_; }
+  std::uint64_t op_touches(SutLayer layer) const {
+    return op_touches_[static_cast<int>(layer)];
+  }
+  std::uint64_t total_touches(SutLayer layer) const {
+    return total_touches_[static_cast<int>(layer)];
+  }
+
+  // Compact per-operation crossing counts for span annotation, e.g.
+  // "p4rt-server:50 orchestration:43 syncd-sai:12 asic:41".
+  std::string OpLayersSummary() const {
+    std::string out;
+    for (int i = 1; i < kNumSutLayers; ++i) {
+      if (op_touches_[i] == 0) continue;
+      if (!out.empty()) out += ' ';
+      out += SutLayerName(static_cast<SutLayer>(i));
+      out += ':';
+      out += std::to_string(op_touches_[i]);
+    }
+    return out;
+  }
+
+ private:
+  SutLayer op_deepest_ = SutLayer::kNone;
+  SutLayer op_failed_deepest_ = SutLayer::kNone;
+  SutLayer unit_deepest_ = SutLayer::kNone;
+  int units_ = 0;
+  int failed_units_ = 0;
+  std::array<std::uint64_t, kNumSutLayers> op_touches_{};
+  std::array<std::uint64_t, kNumSutLayers> total_touches_{};
+};
+
+// Null-safe call sites for layers holding an optional probe.
+inline void ProbeReach(StackProbe* probe, SutLayer layer) {
+  if (probe != nullptr) probe->Reach(layer);
+}
+inline void ProbeBeginUnit(StackProbe* probe) {
+  if (probe != nullptr) probe->BeginUnit();
+}
+inline void ProbeNoteUnitFailure(StackProbe* probe) {
+  if (probe != nullptr) probe->NoteUnitFailure();
+}
+
+}  // namespace switchv::sut
+
+#endif  // SWITCHV_SUT_LAYER_PROBE_H_

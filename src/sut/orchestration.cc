@@ -12,7 +12,8 @@ using p4rt::DecodedEntry;
 
 StatusOr<std::uint64_t> SyncdBinary::AddAclRule(AclStage stage,
                                                 const AclRule& rule) {
-  auto handle = asic_.AddAclRule(stage, rule);
+  ProbeReach(probe_, SutLayer::kSyncdSai);
+  auto handle = asic().AddAclRule(stage, rule);
   if (handle.ok() && stage == AclStage::kIngress &&
       faulty(Fault::kAclResourceLeak)) {
     // Each installation leaves invalid shadow entries behind in the TCAM
@@ -25,7 +26,8 @@ StatusOr<std::uint64_t> SyncdBinary::AddAclRule(AclStage stage,
 }
 
 Status SyncdBinary::RemoveAclRule(AclStage stage, std::uint64_t handle) {
-  SWITCHV_RETURN_IF_ERROR(asic_.RemoveAclRule(stage, handle));
+  ProbeReach(probe_, SutLayer::kSyncdSai);
+  SWITCHV_RETURN_IF_ERROR(asic().RemoveAclRule(stage, handle));
   if (faulty(Fault::kAclResourceLeak) && stage == AclStage::kIngress) {
     // Cleanup does not return the TCAM slot to the free pool.
     asic_.LeakIngressAclSlot();
@@ -35,16 +37,18 @@ Status SyncdBinary::RemoveAclRule(AclStage stage, std::uint64_t handle) {
 
 Status SyncdBinary::SetMirrorSession(std::uint32_t mirror_port,
                                      std::uint16_t session) {
+  ProbeReach(probe_, SutLayer::kSyncdSai);
   auto it = pre_config_.find(session);
   if (it == pre_config_.end()) {
     return OkStatus();  // unconfigured session: cloning is a no-op
   }
-  return asic_.SetMirrorSession(mirror_port, it->second);
+  return asic().SetMirrorSession(mirror_port, it->second);
 }
 
 Status SyncdBinary::RemoveMirrorSession(std::uint32_t mirror_port) {
+  ProbeReach(probe_, SutLayer::kSyncdSai);
   // Removing a session that never reached hardware is a no-op.
-  const Status status = asic_.RemoveMirrorSession(mirror_port);
+  const Status status = asic().RemoveMirrorSession(mirror_port);
   if (status.code() == StatusCode::kNotFound) return OkStatus();
   return status;
 }
@@ -54,6 +58,7 @@ Status SyncdBinary::RemoveMirrorSession(std::uint32_t mirror_port) {
 // ---------------------------------------------------------------------------
 
 Status OrchestrationAgent::ConfigureTables(const p4ir::P4Info& info) {
+  ProbeReach(probe_, SutLayer::kOrchestration);
   configured_tables_.clear();
   table_key_names_.clear();
   table_key_kinds_.clear();
@@ -191,6 +196,7 @@ StatusOr<AclRule> OrchestrationAgent::ToAclRule(
 
 Status OrchestrationAgent::Insert(const std::string& table_name,
                                   const DecodedEntry& entry) {
+  ProbeReach(probe_, SutLayer::kOrchestration);
   if (!configured_) {
     return FailedPreconditionError("orchagent: no pipeline config");
   }
@@ -201,12 +207,15 @@ Status OrchestrationAgent::Insert(const std::string& table_name,
 }
 
 Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
-  AsicSimulator& asic = syncd_.asic();
+  // Hardware is reached per-table through syncd_.asic() — the accessor
+  // marks the syncd/SAI + ASIC layers, so paths that bail out before
+  // programming (unknown table, acknowledged-but-ignored faults) keep
+  // their shallower attribution.
   const std::string& table = entry.table_name;
   const KeyView keys{table_key_names_.at(table), entry};
 
   if (table == "vrf_tbl") {
-    return asic.CreateVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
+    return syncd_.asic().CreateVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
   }
   if (table == "ipv4_tbl" || table == "ipv6_tbl") {
     SWITCHV_ASSIGN_OR_RETURN(RouteAction action,
@@ -214,12 +223,12 @@ Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
     const auto vrf = static_cast<std::uint32_t>(keys.Value("vrf_id"));
     if (table == "ipv4_tbl") {
       const p4rt::DecodedMatch* dst = keys.Find("ipv4_dst");
-      return asic.AddIpv4Route(
+      return syncd_.asic().AddIpv4Route(
           vrf, static_cast<std::uint32_t>(dst->value.ToUint64()),
           dst->present ? dst->prefix_len : 0, action);
     }
     const p4rt::DecodedMatch* dst = keys.Find("ipv6_dst");
-    return asic.AddIpv6Route(vrf, dst->value.value(),
+    return syncd_.asic().AddIpv6Route(vrf, dst->value.value(),
                              dst->present ? dst->prefix_len : 0, action);
   }
   if (table == "wcmp_group_tbl") {
@@ -245,25 +254,25 @@ Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
     }
     const auto group_id = static_cast<std::uint32_t>(
         keys.Value("wcmp_group_id"));
-    SWITCHV_RETURN_IF_ERROR(asic.SetWcmpGroup(group_id, std::move(members)));
+    SWITCHV_RETURN_IF_ERROR(syncd_.asic().SetWcmpGroup(group_id, std::move(members)));
     wcmp_members_in_use_ += member_count;
     wcmp_member_counts_[EntryKey(entry)] = member_count;
     return OkStatus();
   }
   if (table == "nexthop_tbl") {
-    return asic.SetNexthop(
+    return syncd_.asic().SetNexthop(
         static_cast<std::uint32_t>(keys.Value("nexthop_id")),
         static_cast<std::uint32_t>(entry.actions[0].args[0].ToUint64()),
         static_cast<std::uint32_t>(entry.actions[0].args[1].ToUint64()));
   }
   if (table == "neighbor_tbl") {
-    return asic.SetNeighbor(
+    return syncd_.asic().SetNeighbor(
         static_cast<std::uint32_t>(keys.Value("router_interface_id")),
         static_cast<std::uint32_t>(keys.Value("neighbor_id")),
         entry.actions[0].args[0].ToUint64());
   }
   if (table == "router_interface_tbl") {
-    return asic.SetRif(
+    return syncd_.asic().SetRif(
         static_cast<std::uint32_t>(keys.Value("router_interface_id")),
         static_cast<std::uint16_t>(entry.actions[0].args[0].ToUint64()),
         entry.actions[0].args[1].ToUint64());
@@ -277,16 +286,16 @@ Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
         static_cast<std::uint16_t>(entry.actions[0].args[0].ToUint64()));
   }
   if (table == "egress_rif_tbl") {
-    return asic.SetEgressRif(
+    return syncd_.asic().SetEgressRif(
         static_cast<std::uint16_t>(keys.Value("out_port")),
         entry.actions[0].args[0].ToUint64());
   }
   if (table == "decap_tbl") {
-    return asic.AddDecapEndpoint(
+    return syncd_.asic().AddDecapEndpoint(
         static_cast<std::uint32_t>(keys.Value("dst_ip")));
   }
   if (table == "tunnel_encap_tbl") {
-    return asic.SetTunnel(
+    return syncd_.asic().SetTunnel(
         static_cast<std::uint32_t>(keys.Value("tunnel_id")),
         static_cast<std::uint32_t>(entry.actions[0].args[0].ToUint64()),
         static_cast<std::uint32_t>(entry.actions[0].args[1].ToUint64()));
@@ -306,6 +315,7 @@ Status OrchestrationAgent::InsertImpl(const DecodedEntry& entry) {
 
 Status OrchestrationAgent::Delete(const std::string& table_name,
                                   const DecodedEntry& entry) {
+  ProbeReach(probe_, SutLayer::kOrchestration);
   if (!configured_) {
     return FailedPreconditionError("orchagent: no pipeline config");
   }
@@ -316,23 +326,22 @@ Status OrchestrationAgent::Delete(const std::string& table_name,
 }
 
 Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
-  AsicSimulator& asic = syncd_.asic();
   const std::string& table = entry.table_name;
   const KeyView keys{table_key_names_.at(table), entry};
 
   if (table == "vrf_tbl") {
-    return asic.RemoveVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
+    return syncd_.asic().RemoveVrf(static_cast<std::uint32_t>(keys.Value("vrf_id")));
   }
   if (table == "ipv4_tbl") {
     const p4rt::DecodedMatch* dst = keys.Find("ipv4_dst");
-    return asic.RemoveIpv4Route(
+    return syncd_.asic().RemoveIpv4Route(
         static_cast<std::uint32_t>(keys.Value("vrf_id")),
         static_cast<std::uint32_t>(dst->value.ToUint64()),
         dst->present ? dst->prefix_len : 0);
   }
   if (table == "ipv6_tbl") {
     const p4rt::DecodedMatch* dst = keys.Find("ipv6_dst");
-    return asic.RemoveIpv6Route(
+    return syncd_.asic().RemoveIpv6Route(
         static_cast<std::uint32_t>(keys.Value("vrf_id")), dst->value.value(),
         dst->present ? dst->prefix_len : 0);
   }
@@ -344,7 +353,7 @@ Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
       wcmp_member_counts_.erase(EntryKey(entry));
       return OkStatus();
     }
-    SWITCHV_RETURN_IF_ERROR(asic.RemoveWcmpGroup(
+    SWITCHV_RETURN_IF_ERROR(syncd_.asic().RemoveWcmpGroup(
         static_cast<std::uint32_t>(keys.Value("wcmp_group_id"))));
     auto it = wcmp_member_counts_.find(EntryKey(entry));
     if (it != wcmp_member_counts_.end()) {
@@ -355,16 +364,16 @@ Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
     return OkStatus();
   }
   if (table == "nexthop_tbl") {
-    return asic.RemoveNexthop(
+    return syncd_.asic().RemoveNexthop(
         static_cast<std::uint32_t>(keys.Value("nexthop_id")));
   }
   if (table == "neighbor_tbl") {
-    return asic.RemoveNeighbor(
+    return syncd_.asic().RemoveNeighbor(
         static_cast<std::uint32_t>(keys.Value("router_interface_id")),
         static_cast<std::uint32_t>(keys.Value("neighbor_id")));
   }
   if (table == "router_interface_tbl") {
-    return asic.RemoveRif(
+    return syncd_.asic().RemoveRif(
         static_cast<std::uint32_t>(keys.Value("router_interface_id")));
   }
   if (table == "mirror_session_tbl") {
@@ -373,15 +382,15 @@ Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
         static_cast<std::uint32_t>(keys.Value("mirror_port")));
   }
   if (table == "egress_rif_tbl") {
-    return asic.RemoveEgressRif(
+    return syncd_.asic().RemoveEgressRif(
         static_cast<std::uint16_t>(keys.Value("out_port")));
   }
   if (table == "decap_tbl") {
-    return asic.RemoveDecapEndpoint(
+    return syncd_.asic().RemoveDecapEndpoint(
         static_cast<std::uint32_t>(keys.Value("dst_ip")));
   }
   if (table == "tunnel_encap_tbl") {
-    return asic.RemoveTunnel(
+    return syncd_.asic().RemoveTunnel(
         static_cast<std::uint32_t>(keys.Value("tunnel_id")));
   }
   if (IsAclTable(table)) {
@@ -402,6 +411,7 @@ Status OrchestrationAgent::DeleteImpl(const DecodedEntry& entry) {
 Status OrchestrationAgent::Modify(const std::string& table_name,
                                   const DecodedEntry& old_entry,
                                   const DecodedEntry& new_entry) {
+  ProbeReach(probe_, SutLayer::kOrchestration);
   if (!configured_) {
     return FailedPreconditionError("orchagent: no pipeline config");
   }

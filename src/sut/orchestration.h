@@ -22,6 +22,7 @@
 #include "p4runtime/decoded_entry.h"
 #include "sut/asic.h"
 #include "sut/fault.h"
+#include "sut/layer_probe.h"
 
 namespace switchv::sut {
 
@@ -33,7 +34,18 @@ class SyncdBinary {
               const FaultRegistry* faults)
       : asic_(asic), pre_config_(std::move(pre_config)), faults_(faults) {}
 
-  AsicSimulator& asic() { return asic_; }
+  void set_probe(StackProbe* probe) { probe_ = probe; }
+
+  // The SAI adapter is the only path to the hardware: taking this accessor
+  // means an ASIC operation is about to be issued, so it marks both the
+  // syncd/SAI and ASIC layers on the attribution probe. Callers that stop
+  // short of hardware (e.g. a mirror session with no replication-engine
+  // config) must not take it.
+  AsicSimulator& asic() {
+    ProbeReach(probe_, SutLayer::kSyncdSai);
+    ProbeReach(probe_, SutLayer::kAsic);
+    return asic_;
+  }
 
   StatusOr<std::uint64_t> AddAclRule(AclStage stage, const AclRule& rule);
   Status RemoveAclRule(AclStage stage, std::uint64_t handle);
@@ -53,12 +65,15 @@ class SyncdBinary {
   AsicSimulator& asic_;
   bmv2::CloneSessionMap pre_config_;
   const FaultRegistry* faults_;
+  StackProbe* probe_ = nullptr;
 };
 
 class OrchestrationAgent {
  public:
   OrchestrationAgent(SyncdBinary& syncd, const FaultRegistry* faults)
       : syncd_(syncd), faults_(faults) {}
+
+  void set_probe(StackProbe* probe) { probe_ = probe; }
 
   // Applies the pipeline config: records the translatable tables. Entries
   // for unconfigured tables are rejected (this is where the server's
@@ -96,6 +111,7 @@ class OrchestrationAgent {
 
   SyncdBinary& syncd_;
   const FaultRegistry* faults_;
+  StackProbe* probe_ = nullptr;
   bool configured_ = false;
   std::set<std::string> configured_tables_;
   // Key layout per table: match-field names in P4Info order.

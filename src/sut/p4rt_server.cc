@@ -12,9 +12,12 @@ using p4rt::TableEntry;
 
 Status P4RuntimeServer::SetForwardingPipelineConfig(
     const p4rt::ForwardingPipelineConfig& config) {
+  ProbeBeginUnit(probe_);
+  ProbeReach(probe_, SutLayer::kP4rtServer);
   if (faulty(Fault::kP4InfoZeroByteIds)) {
     // The toolchain-produced IDs (0x02000001, ...) contain embedded zero
     // bytes, which the broken ID codec rejects.
+    ProbeNoteUnitFailure(probe_);
     return InternalError(
         "failed to parse P4Info: unexpected zero byte in object id");
   }
@@ -28,7 +31,9 @@ Status P4RuntimeServer::SetForwardingPipelineConfig(
     // usable table configuration.
     return OkStatus();
   }
-  return agent_.ConfigureTables(*p4info_);
+  const Status status = agent_.ConfigureTables(*p4info_);
+  if (!status.ok()) ProbeNoteUnitFailure(probe_);
+  return status;
 }
 
 std::string P4RuntimeServer::AgentTableName(
@@ -229,9 +234,19 @@ Status P4RuntimeServer::ApplyDelete(const TableEntry& entry) {
 p4rt::WriteResponse P4RuntimeServer::Write(const p4rt::WriteRequest& request) {
   p4rt::WriteResponse response;
   response.statuses.resize(request.updates.size());
+  // Every update in a rejected batch still reached (and failed at) the
+  // application layer — the probe records one failed unit per update.
+  const auto all_failed_here = [&] {
+    for (std::size_t i = 0; i < request.updates.size(); ++i) {
+      ProbeBeginUnit(probe_);
+      ProbeReach(probe_, SutLayer::kP4rtServer);
+      ProbeNoteUnitFailure(probe_);
+    }
+  };
   if (!p4info_.has_value()) {
     std::fill(response.statuses.begin(), response.statuses.end(),
               FailedPreconditionError("no forwarding pipeline config"));
+    all_failed_here();
     return response;
   }
   if (faulty(Fault::kDeleteNonExistingFailsBatch)) {
@@ -240,6 +255,7 @@ p4rt::WriteResponse P4RuntimeServer::Write(const p4rt::WriteRequest& request) {
           !store_.contains(update.entry.KeyFingerprint())) {
         std::fill(response.statuses.begin(), response.statuses.end(),
                   AbortedError("batch aborted: delete of missing entry"));
+        all_failed_here();
         return response;
       }
     }
@@ -247,6 +263,8 @@ p4rt::WriteResponse P4RuntimeServer::Write(const p4rt::WriteRequest& request) {
   int ipv4_deletes_in_batch = 0;
   for (std::size_t i = 0; i < request.updates.size(); ++i) {
     const p4rt::Update& update = request.updates[i];
+    ProbeBeginUnit(probe_);
+    ProbeReach(probe_, SutLayer::kP4rtServer);
     switch (update.type) {
       case p4rt::UpdateType::kInsert:
         response.statuses[i] = ApplyInsert(update.entry);
@@ -277,13 +295,17 @@ p4rt::WriteResponse P4RuntimeServer::Write(const p4rt::WriteRequest& request) {
         break;
       }
     }
+    if (!response.statuses[i].ok()) ProbeNoteUnitFailure(probe_);
   }
   return response;
 }
 
 StatusOr<p4rt::ReadResponse> P4RuntimeServer::Read(
     const p4rt::ReadRequest& request) const {
+  ProbeBeginUnit(probe_);
+  ProbeReach(probe_, SutLayer::kP4rtServer);
   if (!p4info_.has_value()) {
+    ProbeNoteUnitFailure(probe_);
     return FailedPreconditionError("no forwarding pipeline config");
   }
   std::vector<const StoredEntry*> stored;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "p4runtime/messages.h"
+#include "sut/layer_probe.h"
 #include "sut/orchestration.h"
 
 namespace switchv::sut {
@@ -28,6 +29,11 @@ class P4RuntimeServer {
  public:
   P4RuntimeServer(OrchestrationAgent& agent, const FaultRegistry* faults)
       : agent_(agent), faults_(faults) {}
+
+  // Optional layer-attribution probe (owned by SwitchUnderTest). The server
+  // brackets per-update units and marks its own depth; deeper layers mark
+  // theirs through their own probe pointers.
+  void set_probe(StackProbe* probe) { probe_ = probe; }
 
   // Pushes the pipeline config (P4Info). Configures the orchestration
   // agent's table translations.
@@ -75,6 +81,7 @@ class P4RuntimeServer {
 
   OrchestrationAgent& agent_;
   const FaultRegistry* faults_;
+  StackProbe* probe_ = nullptr;
   std::optional<p4ir::P4Info> p4info_;
 
   struct StoredEntry {

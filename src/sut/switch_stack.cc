@@ -13,6 +13,9 @@ SwitchUnderTest::SwitchUnderTest(const FaultRegistry* faults,
   server_ = std::make_unique<P4RuntimeServer>(*agent_, faults);
   gnmi_ = std::make_unique<GnmiServer>(faults);
   switch_linux_ = std::make_unique<SwitchLinux>(faults);
+  server_->set_probe(&probe_);
+  agent_->set_probe(&probe_);
+  syncd_->set_probe(&probe_);
 }
 
 Status SwitchUnderTest::ApplyStandardBringUpConfig(int num_ports) {
@@ -29,6 +32,7 @@ Status SwitchUnderTest::ApplyStandardBringUpConfig(int num_ports) {
 
 Status SwitchUnderTest::SetForwardingPipelineConfig(
     const p4ir::P4Info& p4info) {
+  probe_.BeginOperation();
   return server_->SetForwardingPipelineConfig(
       p4rt::ForwardingPipelineConfig{p4info, /*cookie=*/0});
 }
@@ -36,25 +40,35 @@ Status SwitchUnderTest::SetForwardingPipelineConfig(
 p4rt::WriteResponse SwitchUnderTest::Write(
     const p4rt::WriteRequest& request) {
   ++io_.writes;
+  probe_.BeginOperation();
   return server_->Write(request);
 }
 
 StatusOr<p4rt::ReadResponse> SwitchUnderTest::Read(
     const p4rt::ReadRequest& request) {
   ++io_.reads;
+  probe_.BeginOperation();
   return server_->Read(request);
 }
 
 Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
   ++io_.packet_outs;
+  probe_.BeginOperation();
+  probe_.BeginUnit();
+  probe_.Reach(SutLayer::kP4rtServer);
   if (!switch_linux_->packet_io_healthy()) {
     return OkStatus();  // accepted, silently lost: the IO path is down
   }
   if (packet.submit_to_ingress) {
+    // The submit-to-ingress decision is made by the SAI hostif layer
+    // (whether the CPU port is L3-enabled) before the packet can enter the
+    // pipeline — a drop here attributes to syncd/SAI.
+    probe_.Reach(SutLayer::kSyncdSai);
     if (faulty(Fault::kSubmitToIngressNotL3Enabled)) {
       return OkStatus();  // dropped: L3 not enabled for the CPU port
     }
-    // Runs the full pipeline as if arriving on the CPU port.
+    // Runs the full pipeline as if arriving on the CPU port. (InjectPacket
+    // restarts the probe operation; its deeper attribution stands.)
     const packet::ForwardingOutcome outcome =
         InjectPacket(packet.payload, cpu_port_);
     if (!outcome.dropped) {
@@ -62,6 +76,9 @@ Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
     }
     return OkStatus();
   }
+  // Direct packet-out: the hostif TX path hands the frame to the port.
+  probe_.Reach(SutLayer::kSyncdSai);
+  probe_.Reach(SutLayer::kAsic);
   egress_queue_.emplace_back(packet.egress_port, packet.payload);
   if (faulty(Fault::kPacketOutPuntedBack)) {
     // A misbehaving application loops the packet back to the controller.
@@ -74,6 +91,10 @@ Status SwitchUnderTest::PacketOut(const p4rt::PacketOut& packet) {
 packet::ForwardingOutcome SwitchUnderTest::InjectPacket(
     std::string_view bytes, std::uint16_t ingress_port) {
   ++io_.packets_injected;
+  probe_.BeginOperation();
+  probe_.BeginUnit();
+  // A front-panel packet bypasses the control layers and hits the pipeline.
+  probe_.Reach(SutLayer::kAsic);
   packet::ForwardingOutcome outcome = asic_->Forward(bytes, ingress_port);
   const bool punt_path_up =
       switch_linux_->packet_io_healthy() && !gnmi_->punt_path_corrupted();

@@ -14,6 +14,7 @@
 
 #include "bmv2/interpreter.h"
 #include "sut/gnmi.h"
+#include "sut/layer_probe.h"
 #include "sut/p4rt_server.h"
 #include "sut/switch_linux.h"
 
@@ -68,6 +69,12 @@ class SwitchUnderTest {
 
   const IoCounters& io_counters() const { return io_; }
 
+  // Layer-attribution probe (sut/layer_probe.h): tracks the deepest stack
+  // layer each control-plane update / data-plane packet reached. Reset at
+  // the start of every top-level API call; the harness reads it right
+  // after the call returns.
+  const StackProbe& probe() const { return probe_; }
+
   // Standard bring-up: hostname plus port-speed config for the front-panel
   // ports, as a provisioning system would push before validation starts.
   Status ApplyStandardBringUpConfig(int num_ports = 8);
@@ -80,6 +87,7 @@ class SwitchUnderTest {
   const FaultRegistry* faults_;
   std::uint16_t cpu_port_;
   IoCounters io_;
+  StackProbe probe_;
   std::unique_ptr<AsicSimulator> asic_;
   std::unique_ptr<SyncdBinary> syncd_;
   std::unique_ptr<OrchestrationAgent> agent_;

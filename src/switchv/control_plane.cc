@@ -1,5 +1,7 @@
 #include "switchv/control_plane.h"
 
+#include <string>
+
 namespace switchv {
 
 ControlPlaneResult RunControlPlaneValidation(
@@ -7,6 +9,8 @@ ControlPlaneResult RunControlPlaneValidation(
     const ControlPlaneOptions& options) {
   ControlPlaneResult result;
   Metrics* metrics = options.metrics;
+  TraceTrack* trace = options.trace;
+  FlightRecorder* recorder = options.recorder;
   fuzzer::RequestGenerator generator(info, options.fuzzer, options.seed);
   fuzzer::Oracle oracle(info);
 
@@ -17,17 +21,40 @@ ControlPlaneResult RunControlPlaneValidation(
   }
 
   for (int i = 0; i < options.num_requests; ++i) {
-    const std::vector<fuzzer::AnnotatedUpdate> batch =
-        generator.GenerateBatch(oracle.state(), options.updates_per_request);
+    ScopedSpan batch_span(trace, "fuzz-batch " + std::to_string(i),
+                          "control-plane");
+    std::vector<fuzzer::AnnotatedUpdate> batch;
+    {
+      ScopedSpan span(trace, "generate", "control-plane");
+      batch = generator.GenerateBatch(oracle.state(),
+                                      options.updates_per_request);
+    }
     p4rt::WriteRequest request;
     for (const fuzzer::AnnotatedUpdate& annotated : batch) {
       request.updates.push_back(annotated.update);
     }
     p4rt::WriteResponse response;
     {
-      ScopedTimer timer(metrics ? &metrics->switch_write_ns : nullptr);
+      ScopedSpan span(trace, "switch-write", "control-plane");
+      ScopedTimer timer(metrics ? &metrics->switch_write_ns : nullptr,
+                        metrics ? &metrics->switch_write_hist : nullptr);
       response = sut.Write(request);
+      span.AddArg("layers", sut.probe().OpLayersSummary());
     }
+    int rejected = 0;
+    for (const Status& status : response.statuses) {
+      if (!status.ok()) ++rejected;
+    }
+    if (recorder != nullptr) {
+      recorder->RecordOperation(FlightEvent::Kind::kWrite, sut.probe(),
+                                rejected, "fuzz batch " + std::to_string(i));
+    }
+    // The write's layer attribution outlives the probe state (the post-read
+    // below restarts the operation): capture it now for incident reports.
+    const sut::SutLayer write_layer =
+        sut.probe().op_failed_deepest() != sut::SutLayer::kNone
+            ? sut.probe().op_failed_deepest()
+            : sut.probe().op_deepest();
     result.updates_sent += static_cast<int>(batch.size());
     ++result.requests_sent;
     if (metrics != nullptr) {
@@ -36,14 +63,23 @@ ControlPlaneResult RunControlPlaneValidation(
     }
 
     const auto post_read = sut.Read(p4rt::ReadRequest{});
+    if (recorder != nullptr) {
+      recorder->RecordOperation(FlightEvent::Kind::kRead, sut.probe(),
+                                post_read.ok() ? 0 : 1, "post-batch read");
+    }
     std::vector<fuzzer::Finding> findings;
     {
-      ScopedTimer timer(metrics ? &metrics->oracle_ns : nullptr);
+      ScopedSpan span(trace, "oracle", "control-plane");
+      ScopedTimer timer(metrics ? &metrics->oracle_ns : nullptr,
+                        metrics ? &metrics->oracle_hist : nullptr);
       findings = oracle.JudgeBatch(batch, response, post_read);
+      span.AddArg("findings", static_cast<std::uint64_t>(findings.size()));
     }
     if (metrics != nullptr) {
       metrics->Add(metrics->oracle_findings, findings.size());
     }
+    batch_span.AddArg("updates", static_cast<std::uint64_t>(batch.size()));
+    batch_span.AddArg("rejected", static_cast<std::uint64_t>(rejected));
     for (fuzzer::Finding& finding : findings) {
       if (static_cast<int>(result.incidents.size()) >=
           options.max_incidents) {
@@ -54,10 +90,11 @@ ControlPlaneResult RunControlPlaneValidation(
         details += " [mutation: " +
                    std::string(fuzzer::MutationName(*finding.mutation)) + "]";
       }
-      result.incidents.push_back(Incident{Detector::kFuzzer,
-                                          std::move(finding.message),
-                                          std::move(details),
-                                          finding.table_id});
+      Incident incident{Detector::kFuzzer, std::move(finding.message),
+                        std::move(details), finding.table_id};
+      incident.layer = write_layer;
+      if (recorder != nullptr) incident.replay_trace = recorder->Render();
+      result.incidents.push_back(std::move(incident));
     }
     if (static_cast<int>(result.incidents.size()) >= options.max_incidents) {
       break;

@@ -10,6 +10,8 @@
 #include "sut/switch_stack.h"
 #include "switchv/incident.h"
 #include "switchv/metrics.h"
+#include "switchv/recorder.h"
+#include "switchv/trace.h"
 
 namespace switchv {
 
@@ -24,6 +26,12 @@ struct ControlPlaneOptions {
   int max_incidents = 25;
   // Optional campaign telemetry sink (thread-safe; shared across shards).
   Metrics* metrics = nullptr;
+  // Optional span track (single-threaded, owned by the calling shard);
+  // null disables tracing at near-zero cost.
+  TraceTrack* trace = nullptr;
+  // Optional flight recorder; when set, every incident carries a rendered
+  // replay of the last N switch operations.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct ControlPlaneResult {

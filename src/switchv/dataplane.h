@@ -15,6 +15,8 @@
 #include "sut/switch_stack.h"
 #include "switchv/incident.h"
 #include "switchv/metrics.h"
+#include "switchv/recorder.h"
+#include "switchv/trace.h"
 #include "symbolic/packet_gen.h"
 
 namespace switchv {
@@ -43,6 +45,12 @@ struct DataplaneOptions {
   int packet_shards = 1;
   // Optional campaign telemetry sink (thread-safe; shared across shards).
   Metrics* metrics = nullptr;
+  // Optional span track (single-threaded, owned by the calling shard);
+  // null disables tracing at near-zero cost.
+  TraceTrack* trace = nullptr;
+  // Optional flight recorder; when set, every incident carries a rendered
+  // replay of the last N switch operations.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct DataplaneResult {

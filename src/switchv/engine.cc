@@ -39,6 +39,13 @@ void ScrapeSwitchIo(const sut::SwitchUnderTest& sut, Metrics& metrics) {
   metrics.Add(metrics.switch_packets_injected, io.packets_injected);
 }
 
+// Attribution of the probe's current operation (see dataplane.cc).
+sut::SutLayer ProbeLayer(const sut::StackProbe& probe) {
+  return probe.op_failed_deepest() != sut::SutLayer::kNone
+             ? probe.op_failed_deepest()
+             : probe.op_deepest();
+}
+
 ShardResult RunControlPlaneShard(const ShardSpec& spec,
                                  const p4ir::Program& model,
                                  const p4ir::P4Info& info,
@@ -47,15 +54,28 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
                                  const CampaignOptions& options,
                                  Metrics& metrics) {
   ShardResult result;
+  // Each shard owns its (single-threaded) trace track and flight recorder;
+  // the track pushes completed spans into the shared, mutex-guarded tracer.
+  TraceTrack track(options.tracer, spec.index);
+  TraceTrack* trace = options.tracer != nullptr ? &track : nullptr;
+  FlightRecorder recorder(options.flight_recorder_capacity);
+  ScopedSpan shard_span(trace, "control-plane shard", "shard");
+  shard_span.AddArg("requests", static_cast<std::uint64_t>(spec.num_requests));
+  shard_span.AddArg("seed", spec.seed);
   sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
                            model.cpu_port);
   const Status config = sut.SetForwardingPipelineConfig(info);
+  recorder.RecordOperation(FlightEvent::Kind::kConfigPush, sut.probe(),
+                           config.ok() ? 0 : 1, "pipeline config push");
   if (!config.ok()) {
-    result.incidents.push_back(Incident{
+    Incident incident{
         Detector::kFuzzer,
         "switch rejected a valid forwarding pipeline config: " +
             config.ToString(),
-        "SetForwardingPipelineConfig"});
+        "SetForwardingPipelineConfig"};
+    incident.layer = ProbeLayer(sut.probe());
+    incident.replay_trace = recorder.Render();
+    result.incidents.push_back(std::move(incident));
     return result;
   }
   (void)sut.ApplyStandardBringUpConfig();
@@ -66,11 +86,15 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
     seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
   }
   (void)sut.Write(seed);  // failures surface via the oracle's read-sync
+  recorder.RecordOperation(FlightEvent::Kind::kWrite, sut.probe(),
+                           sut.probe().failed_units(), "replay-state seed");
 
   ControlPlaneOptions control = options.control_plane;
   control.num_requests = spec.num_requests;
   control.seed = spec.seed;
   control.metrics = &metrics;
+  control.trace = trace;
+  control.recorder = &recorder;
   ControlPlaneResult fuzzed = RunControlPlaneValidation(sut, info, control);
   result.fuzzed_updates = fuzzed.updates_sent;
   for (Incident& incident : fuzzed.incidents) {
@@ -89,6 +113,8 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
       dataplane.packet_shard = 0;
       dataplane.packet_shards = 1;
       dataplane.metrics = &metrics;
+      dataplane.trace = trace;
+      dataplane.recorder = &recorder;
       DataplaneResult data = RunDataplaneValidation(
           sut, model, parser, fuzzed_state->entries, dataplane);
       result.packets_tested += data.packets_tested;
@@ -108,15 +134,28 @@ ShardResult RunDataplaneShard(
     const std::vector<symbolic::TestPacket>* precomputed,
     const CampaignOptions& options, Metrics& metrics) {
   ShardResult result;
+  TraceTrack track(options.tracer, spec.index);
+  TraceTrack* trace = options.tracer != nullptr ? &track : nullptr;
+  FlightRecorder recorder(options.flight_recorder_capacity);
+  ScopedSpan shard_span(trace, "dataplane shard", "shard");
+  shard_span.AddArg("packet_shard",
+                    static_cast<std::uint64_t>(spec.packet_shard));
+  shard_span.AddArg("packet_shards",
+                    static_cast<std::uint64_t>(spec.packet_shards));
   sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
                            model.cpu_port);
   const Status config = sut.SetForwardingPipelineConfig(info);
+  recorder.RecordOperation(FlightEvent::Kind::kConfigPush, sut.probe(),
+                           config.ok() ? 0 : 1, "pipeline config push");
   if (!config.ok()) {
-    result.incidents.push_back(Incident{
+    Incident incident{
         Detector::kSymbolic,
         "data-plane validation could not configure the switch: " +
             config.ToString(),
-        "SetForwardingPipelineConfig"});
+        "SetForwardingPipelineConfig"};
+    incident.layer = ProbeLayer(sut.probe());
+    incident.replay_trace = recorder.Render();
+    result.incidents.push_back(std::move(incident));
     return result;
   }
   (void)sut.ApplyStandardBringUpConfig();
@@ -126,6 +165,8 @@ ShardResult RunDataplaneShard(
   dataplane.packet_shard = spec.packet_shard;
   dataplane.packet_shards = spec.packet_shards;
   dataplane.metrics = &metrics;
+  dataplane.trace = trace;
+  dataplane.recorder = &recorder;
   DataplaneResult data =
       RunDataplaneValidation(sut, model, parser, entries, dataplane);
   result.packets_tested = data.packets_tested;
@@ -164,6 +205,12 @@ CampaignReport RunValidationCampaign(
   const auto campaign_start = std::chrono::steady_clock::now();
   CampaignReport report;
   Metrics metrics;
+  // Campaign-level trace track (shard -1): brackets the whole run and the
+  // shared packet-generation pre-phase.
+  TraceTrack campaign_track(options.tracer, /*shard=*/-1);
+  TraceTrack* campaign_trace =
+      options.tracer != nullptr ? &campaign_track : nullptr;
+  ScopedSpan campaign_span(campaign_trace, "campaign", "campaign");
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
 
   // ---- Shard decomposition: a pure function of the options. ----
@@ -177,6 +224,9 @@ CampaignReport RunValidationCampaign(
   const int dataplane_shards =
       options.run_dataplane ? std::max(1, options.dataplane_shards) : 0;
   const int total_shards = control_shards + dataplane_shards;
+  campaign_span.AddArg("shards", static_cast<std::uint64_t>(total_shards));
+  campaign_span.AddArg("parallelism",
+                       static_cast<std::uint64_t>(options.parallelism));
 
   std::vector<ShardSpec> shards;
   shards.reserve(static_cast<std::size_t>(total_shards));
@@ -216,7 +266,8 @@ CampaignReport RunValidationCampaign(
   std::vector<Incident> pre_phase_incidents;
   if (dataplane_shards > 1) {
     StatusOr<std::vector<symbolic::TestPacket>> generated = [&] {
-      ScopedTimer timer(&metrics.generation_ns);
+      ScopedSpan span(campaign_trace, "generate-packets", "campaign");
+      ScopedTimer timer(&metrics.generation_ns, &metrics.generation_hist);
       return symbolic::GeneratePackets(model, parser, entries,
                                        options.dataplane.coverage,
                                        options.dataplane.cache,
@@ -236,6 +287,11 @@ CampaignReport RunValidationCampaign(
                             generated.status().ToString(),
                         ""};
       incident.shard = control_shards;  // first dataplane shard
+      // A generator defect never touched the switch: layer stays kNone and
+      // the replay trace is an (empty) recorder rendering, so the report
+      // format is uniform across incident classes.
+      incident.replay_trace =
+          FlightRecorder(options.flight_recorder_capacity).Render();
       pre_phase_incidents.push_back(std::move(incident));
     }
   }

@@ -58,6 +58,16 @@ struct CampaignOptions {
   // fleet where individual testbeds carry different switch builds; the
   // shard-isolation tests are built on it.
   std::map<int, const sut::FaultRegistry*> shard_faults;
+
+  // Optional campaign-wide span sink (switchv/trace.h). When set, the
+  // campaign thread and every shard record spans into it; export with
+  // Tracer::ToChromeJson() after the run. Null = tracing disabled at
+  // near-zero cost. Trace *content* (span identity, nesting, names) is
+  // deterministic across parallelism; only timestamps vary.
+  Tracer* tracer = nullptr;
+  // Ring-buffer capacity of each shard's flight recorder: the last N switch
+  // operations replayed in every incident report.
+  int flight_recorder_capacity = 32;
 };
 
 struct CampaignReport {

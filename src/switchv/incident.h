@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sut/layer_probe.h"
 #include "util/fingerprint.h"
 
 namespace switchv {
@@ -38,6 +39,16 @@ struct Incident {
   std::uint32_t table_id = 0;
   // Campaign shard that raised the incident; -1 outside campaign runs.
   int shard = -1;
+  // Deepest SUT layer the triggering operation reached — the reproduction's
+  // per-incident analogue of the paper's Table 1 layer attribution. kNone
+  // means unattributed (e.g. a generator defect that never touched the
+  // switch). Excluded from the fingerprint: attribution annotates a
+  // divergence class, it does not define one.
+  sut::SutLayer layer = sut::SutLayer::kNone;
+  // Flight-recorder excerpt: the last N switch operations before the
+  // incident (switchv/recorder.h), rendered for the report. Excluded from
+  // the fingerprint, like `details`.
+  std::string replay_trace;
 };
 
 // Collapses the variable parts of a summary so repeats of one divergence

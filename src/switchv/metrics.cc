@@ -1,7 +1,10 @@
 #include "switchv/metrics.h"
 
+#include <cstdint>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+#include <string>
 
 namespace switchv {
 
@@ -9,7 +12,74 @@ namespace {
 
 double Seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
 
+// Prometheus wants finite floats with no locale surprises; fixed precision
+// keeps the output diffable across runs.
+void AppendDouble(std::ostringstream& out, double value) {
+  out << std::fixed << std::setprecision(6) << value;
+}
+
+struct PhaseHistogram {
+  const char* name;
+  const HistogramSnapshot* hist;
+  std::uint64_t total_ns;
+};
+
 }  // namespace
+
+std::uint64_t HistogramBucketUpperNs(int i) {
+  if (i >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(1000) << i;
+}
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  int bucket = 0;
+  while (bucket < kHistogramBuckets - 1 &&
+         ns > HistogramBucketUpperNs(bucket)) {
+    ++bucket;
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t HistogramSnapshot::PercentileNs(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the requested observation (1-based, ceil).
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(count) + 0.999999);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (rank <= next) {
+      const std::uint64_t lower = i == 0 ? 0 : HistogramBucketUpperNs(i - 1);
+      std::uint64_t upper = HistogramBucketUpperNs(i);
+      // Overflow bucket has no finite upper bound; report its lower edge.
+      if (i == kHistogramBuckets - 1) return lower;
+      // Linear interpolation inside the bucket.
+      const double fraction =
+          static_cast<double>(rank - cumulative) /
+          static_cast<double>(counts[i]);
+      return lower + static_cast<std::uint64_t>(
+                         fraction * static_cast<double>(upper - lower));
+    }
+    cumulative = next;
+  }
+  return 0;
+}
 
 MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   MetricsSnapshot s;
@@ -34,6 +104,10 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   s.oracle_ns = oracle_ns.load(std::memory_order_relaxed);
   s.reference_ns = reference_ns.load(std::memory_order_relaxed);
   s.generation_ns = generation_ns.load(std::memory_order_relaxed);
+  s.switch_write_hist = switch_write_hist.Snapshot();
+  s.oracle_hist = oracle_hist.Snapshot();
+  s.reference_hist = reference_hist.Snapshot();
+  s.generation_hist = generation_hist.Snapshot();
   return s;
 }
 
@@ -57,8 +131,154 @@ std::string MetricsSnapshot::ToString() const {
       << Seconds(switch_write_ns) << "s, oracle " << Seconds(oracle_ns)
       << "s, reference-sim " << Seconds(reference_ns) << "s, packet-gen "
       << Seconds(generation_ns) << "s\n";
+  const PhaseHistogram phases[] = {
+      {"switch-write", &switch_write_hist, switch_write_ns},
+      {"oracle", &oracle_hist, oracle_ns},
+      {"reference-sim", &reference_hist, reference_ns},
+      {"packet-gen", &generation_hist, generation_ns},
+  };
+  bool any_latency = false;
+  for (const PhaseHistogram& phase : phases) {
+    if (phase.hist->count == 0) continue;
+    out << (any_latency ? ", " : "  phase latency: ");
+    any_latency = true;
+    out << phase.name << " p50/p90/p99 "
+        << phase.hist->PercentileNs(0.50) / 1000 << "/"
+        << phase.hist->PercentileNs(0.90) / 1000 << "/"
+        << phase.hist->PercentileNs(0.99) / 1000 << "us";
+  }
+  if (any_latency) out << "\n";
   out << "  incidents:     " << incidents_raised << " raised -> "
       << incidents_unique << " unique fingerprints";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream out;
+  const auto counter = [&out](const char* name, const char* help,
+                              std::uint64_t value) {
+    out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  };
+  const auto gauge = [&out](const char* name, const char* help,
+                            double value) {
+    out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " ";
+    AppendDouble(out, value);
+    out << "\n";
+  };
+
+  gauge("switchv_campaign_wall_seconds", "Campaign wall-clock duration.",
+        wall_seconds > 0 ? wall_seconds : 0);
+  counter("switchv_shards_completed_total", "Validation shards completed.",
+          shards_completed);
+  counter("switchv_updates_sent_total",
+          "Control-plane updates sent to the switch.", updates_sent);
+  counter("switchv_requests_sent_total",
+          "Control-plane write requests sent to the switch.", requests_sent);
+  counter("switchv_generated_valid_total",
+          "Fuzzer-generated well-formed updates.", generated_valid);
+  counter("switchv_generated_invalid_total",
+          "Fuzzer-generated mutated (intentionally invalid) updates.",
+          generated_invalid);
+  counter("switchv_oracle_findings_total",
+          "Oracle findings before incident dedup.", oracle_findings);
+  counter("switchv_packets_tested_total",
+          "Data-plane packets differentially tested.", packets_tested);
+  counter("switchv_solver_queries_total", "Symbolic solver queries.",
+          solver_queries);
+  counter("switchv_generation_cache_hits_total",
+          "Packet-generation cache hits.", generation_cache_hits);
+  counter("switchv_switch_writes_total", "P4Runtime Write calls.",
+          switch_writes);
+  counter("switchv_switch_reads_total", "P4Runtime Read calls.",
+          switch_reads);
+  counter("switchv_switch_packets_injected_total",
+          "Packets injected into the SUT dataplane.",
+          switch_packets_injected);
+  counter("switchv_incidents_raised_total", "Incidents raised before dedup.",
+          incidents_raised);
+  counter("switchv_incidents_unique_total",
+          "Distinct incident fingerprints.", incidents_unique);
+  gauge("switchv_updates_per_second", "Control-plane update throughput.",
+        updates_per_second());
+  gauge("switchv_packets_per_second", "Data-plane packet throughput.",
+        packets_per_second());
+
+  const PhaseHistogram phases[] = {
+      {"switch_write", &switch_write_hist, switch_write_ns},
+      {"oracle", &oracle_hist, oracle_ns},
+      {"reference_sim", &reference_hist, reference_ns},
+      {"packet_gen", &generation_hist, generation_ns},
+  };
+  for (const PhaseHistogram& phase : phases) {
+    const std::string name =
+        std::string("switchv_phase_") + phase.name + "_seconds";
+    out << "# HELP " << name << " Per-call latency of the " << phase.name
+        << " phase.\n";
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += phase.hist->counts[i];
+      out << name << "_bucket{le=\"";
+      if (i == kHistogramBuckets - 1) {
+        out << "+Inf";
+      } else {
+        AppendDouble(out, Seconds(HistogramBucketUpperNs(i)));
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum ";
+    AppendDouble(out, Seconds(phase.hist->sum_ns));
+    out << "\n";
+    out << name << "_count " << phase.hist->count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "{";
+  out << "\"wall_seconds\":" << wall_seconds;
+  out << ",\"shards_completed\":" << shards_completed;
+  out << ",\"updates_sent\":" << updates_sent;
+  out << ",\"requests_sent\":" << requests_sent;
+  out << ",\"updates_per_second\":" << updates_per_second();
+  out << ",\"packets_tested\":" << packets_tested;
+  out << ",\"packets_per_second\":" << packets_per_second();
+  out << ",\"generated_valid\":" << generated_valid;
+  out << ",\"generated_invalid\":" << generated_invalid;
+  out << ",\"oracle_findings\":" << oracle_findings;
+  out << ",\"solver_queries\":" << solver_queries;
+  out << ",\"generation_cache_hits\":" << generation_cache_hits;
+  out << ",\"switch_writes\":" << switch_writes;
+  out << ",\"switch_reads\":" << switch_reads;
+  out << ",\"switch_packets_injected\":" << switch_packets_injected;
+  out << ",\"incidents_raised\":" << incidents_raised;
+  out << ",\"incidents_unique\":" << incidents_unique;
+  const PhaseHistogram phases[] = {
+      {"switch_write", &switch_write_hist, switch_write_ns},
+      {"oracle", &oracle_hist, oracle_ns},
+      {"reference_sim", &reference_hist, reference_ns},
+      {"packet_gen", &generation_hist, generation_ns},
+  };
+  out << ",\"phases\":{";
+  bool first = true;
+  for (const PhaseHistogram& phase : phases) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << phase.name << "\":{";
+    out << "\"total_ns\":" << phase.total_ns;
+    out << ",\"count\":" << phase.hist->count;
+    out << ",\"p50_ns\":" << phase.hist->PercentileNs(0.50);
+    out << ",\"p90_ns\":" << phase.hist->PercentileNs(0.90);
+    out << ",\"p99_ns\":" << phase.hist->PercentileNs(0.99);
+    out << "}";
+  }
+  out << "}}";
   return out.str();
 }
 

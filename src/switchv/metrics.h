@@ -2,20 +2,65 @@
 // aggregates per-run statistics — updates/sec, packets/sec, time spent in
 // the oracle vs. the reference simulator vs. the solver — so regressions in
 // validation throughput are visible. This is the reproduction's equivalent:
-// a thread-safe bag of counters and phase timers that every campaign shard
-// writes into and every campaign emits as a structured stats block.
+// a thread-safe bag of counters, phase timers, and fixed-bucket latency
+// histograms that every campaign shard writes into and every campaign emits
+// as a structured stats block.
 //
 // `Metrics` is the live, atomic object shared across shard worker threads;
-// `MetricsSnapshot` is the plain-value copy embedded in reports.
+// `MetricsSnapshot` is the plain-value copy embedded in reports, with three
+// export formats: the human-readable stats block (`ToString`), Prometheus
+// text exposition (`ToPrometheus`), and machine-readable JSON for bench
+// trajectories (`ToJson` — what BENCH_fuzzer.json is made of).
 #ifndef SWITCHV_SWITCHV_METRICS_H_
 #define SWITCHV_SWITCHV_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
 
 namespace switchv {
+
+// ---------------------------------------------------------------------------
+// Fixed-bucket latency histograms
+// ---------------------------------------------------------------------------
+
+// Bucket layout shared by the live histogram and its snapshot: 26
+// exponential buckets with upper bounds 1µs·2^i (1µs .. ~33.6s) plus one
+// overflow bucket. Fixed buckets keep recording lock-free (one relaxed
+// fetch_add) and make percentile math deterministic.
+inline constexpr int kHistogramBuckets = 27;
+
+// Upper bound (ns) of bucket `i`; the overflow bucket returns UINT64_MAX.
+std::uint64_t HistogramBucketUpperNs(int i);
+
+// Plain-value copy. Percentiles interpolate linearly within the bucket the
+// requested rank falls into — exact enough for p50/p90/p99 dashboards and
+// fully deterministic (no sampling).
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+
+  // p in (0, 1], e.g. 0.5 / 0.9 / 0.99. Returns 0 for an empty histogram.
+  std::uint64_t PercentileNs(double p) const;
+};
+
+// Thread-safe recording sink (relaxed atomics, like the counters).
+class LatencyHistogram {
+ public:
+  void Record(std::uint64_t ns);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
 
 // Plain-value copy of the counters plus derived rates. Copyable, printable.
 struct MetricsSnapshot {
@@ -51,21 +96,41 @@ struct MetricsSnapshot {
   std::uint64_t reference_ns = 0;
   std::uint64_t generation_ns = 0;
 
+  // Per-phase latency distributions (p50/p90/p99 in the exports).
+  HistogramSnapshot switch_write_hist;
+  HistogramSnapshot oracle_hist;
+  HistogramSnapshot reference_hist;
+  HistogramSnapshot generation_hist;
+
+  // Derived rates guard a zero/negative wall clock (instant campaigns must
+  // not leak inf/nan into the stats block or the exporters).
   double updates_per_second() const {
-    return wall_seconds > 0 ? static_cast<double>(updates_sent) / wall_seconds
-                            : 0;
+    return SafeRate(static_cast<double>(updates_sent), wall_seconds);
   }
   double packets_per_second() const {
-    return wall_seconds > 0
-               ? static_cast<double>(packets_tested) / wall_seconds
-               : 0;
+    return SafeRate(static_cast<double>(packets_tested), wall_seconds);
+  }
+  static double SafeRate(double numerator, double denominator) {
+    return denominator > 0 ? numerator / denominator : 0;
   }
 
   // The structured stats block every campaign emits, e.g.:
   //   campaign stats: 5 shards, wall 1.84s
   //     control-plane: 2000 updates / 40 requests (1087 updates/s), ...
   std::string ToString() const;
+
+  // Prometheus text exposition (format 0.0.4): counters, gauges, and the
+  // four phase histograms in cumulative-bucket form, seconds-based.
+  std::string ToPrometheus() const;
+
+  // Machine-readable stats for per-PR bench trajectories: rates, totals,
+  // and per-phase p50/p90/p99 in nanoseconds.
+  std::string ToJson() const;
 };
+
+// ---------------------------------------------------------------------------
+// Live sink
+// ---------------------------------------------------------------------------
 
 // Thread-safe telemetry sink. All counters are relaxed atomics: shards only
 // ever add, and readers snapshot after the worker pool joins (or tolerate a
@@ -91,6 +156,11 @@ class Metrics {
   std::atomic<std::uint64_t> reference_ns{0};
   std::atomic<std::uint64_t> generation_ns{0};
 
+  LatencyHistogram switch_write_hist;
+  LatencyHistogram oracle_hist;
+  LatencyHistogram reference_hist;
+  LatencyHistogram generation_hist;
+
   void Add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
     counter.fetch_add(n, std::memory_order_relaxed);
   }
@@ -98,23 +168,31 @@ class Metrics {
   MetricsSnapshot Snapshot(double wall_seconds) const;
 };
 
-// Accumulates wall time into an atomic nanosecond counter on destruction.
-// Null-safe: a null sink makes the timer a no-op, so instrumented code paths
-// work unchanged when no metrics are attached.
+// Accumulates wall time into an atomic nanosecond counter — and optionally
+// a latency histogram — on destruction. Null-safe: a null sink makes the
+// timer a no-op, so instrumented code paths work unchanged when no metrics
+// are attached.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::atomic<std::uint64_t>* sink_ns)
+  explicit ScopedTimer(std::atomic<std::uint64_t>* sink_ns,
+                       LatencyHistogram* histogram = nullptr)
       : sink_(sink_ns),
-        start_(sink_ns != nullptr ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{}) {}
+        histogram_(histogram),
+        start_(sink_ns != nullptr || histogram != nullptr
+                   ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{}) {}
   ~ScopedTimer() {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && histogram_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    sink_->fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()),
-        std::memory_order_relaxed);
+    const auto elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    if (sink_ != nullptr) {
+      sink_->fetch_add(elapsed_ns, std::memory_order_relaxed);
+    }
+    if (histogram_ != nullptr) {
+      histogram_->Record(elapsed_ns);
+    }
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -122,6 +200,7 @@ class ScopedTimer {
 
  private:
   std::atomic<std::uint64_t>* sink_;
+  LatencyHistogram* histogram_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -18,6 +18,8 @@ NightlyReport RunNightlyValidation(
   campaign.run_control_plane = options.run_control_plane;
   campaign.run_dataplane = options.run_dataplane;
   campaign.dataplane_on_fuzzed_state = options.dataplane_on_fuzzed_state;
+  campaign.tracer = options.tracer;
+  campaign.flight_recorder_capacity = options.flight_recorder_capacity;
 
   CampaignReport campaign_report =
       RunValidationCampaign(faults, model, parser, entries, campaign);

@@ -36,6 +36,10 @@ struct NightlyOptions {
   // control_plane.seed", which keeps single-shard runs reproducing the
   // historical request stream.
   std::uint64_t campaign_seed = 0;
+
+  // Observability knobs (see CampaignOptions for semantics).
+  Tracer* tracer = nullptr;
+  int flight_recorder_capacity = 32;
 };
 
 struct NightlyReport {

@@ -1,0 +1,91 @@
+#include "switchv/recorder.h"
+
+#include <sstream>
+
+namespace switchv {
+
+std::string_view FlightEventKindName(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kConfigPush:
+      return "config-push";
+    case FlightEvent::Kind::kWrite:
+      return "write";
+    case FlightEvent::Kind::kRead:
+      return "read";
+    case FlightEvent::Kind::kPacket:
+      return "packet";
+    case FlightEvent::Kind::kPacketOut:
+      return "packet-out";
+  }
+  return "?";
+}
+
+void FlightRecorder::Record(FlightEvent event) {
+  event.seq = ++next_seq_;
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    ring_.push_back(std::move(event));
+    write_pos_ = ring_.size() % static_cast<std::size_t>(capacity_);
+    return;
+  }
+  ring_[write_pos_] = std::move(event);
+  write_pos_ = (write_pos_ + 1) % ring_.size();
+}
+
+void FlightRecorder::RecordOperation(FlightEvent::Kind kind,
+                                     const sut::StackProbe& probe,
+                                     int rejected, std::string note) {
+  FlightEvent event;
+  event.kind = kind;
+  event.units = probe.units();
+  event.rejected = rejected;
+  event.deepest = probe.op_deepest();
+  event.failed_deepest = probe.op_failed_deepest();
+  event.note = std::move(note);
+  Record(std::move(event));
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(ring_.size());
+  if (static_cast<int>(ring_.size()) < capacity_) {
+    events = ring_;
+    return events;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(write_pos_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::string FlightRecorder::Render() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "flight recorder (last " << events.size() << " of " << next_seq_
+      << " operations):";
+  if (events.empty()) {
+    out << " (no switch operations recorded)";
+    return out.str();
+  }
+  for (const FlightEvent& event : events) {
+    out << "\n  #" << event.seq << " " << FlightEventKindName(event.kind);
+    const bool batched = event.kind == FlightEvent::Kind::kWrite ||
+                         event.kind == FlightEvent::Kind::kConfigPush;
+    if (batched && event.units > 0) {
+      out << " " << event.units
+          << (event.units == 1 ? " update" : " updates");
+    }
+    if (event.rejected > 0) {
+      out << " (" << event.rejected << " rejected)";
+    }
+    out << " reached=" << SutLayerName(event.deepest);
+    if (event.failed_deepest != sut::SutLayer::kNone) {
+      out << " failed@=" << SutLayerName(event.failed_deepest);
+    }
+    if (!event.note.empty()) {
+      out << "  " << event.note;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace switchv

@@ -1,0 +1,83 @@
+// Flight recorder: the bounded replay trace behind every incident.
+//
+// When production SwitchV reports a divergence, the first question an
+// operator asks is "what did the controller do to the switch right before
+// this?" (paper §8 — incident logs exist to be root-caused by humans). The
+// flight recorder answers it: each campaign shard keeps a small ring buffer
+// of the control-plane updates and data-plane packets it sent, each stamped
+// with the deepest SUT layer the operation reached (sut/layer_probe.h).
+// Every incident the shard raises carries a rendering of this buffer plus
+// the layer attribution — the reproduction's analogue of the paper's
+// Table 1 layer split, derived per incident instead of per bug.
+//
+// One recorder per shard, single-threaded, always on (a bounded ring of
+// small structs is noise next to a switch write); capacity is a
+// CampaignOptions knob.
+#ifndef SWITCHV_SWITCHV_RECORDER_H_
+#define SWITCHV_SWITCHV_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sut/layer_probe.h"
+
+namespace switchv {
+
+struct FlightEvent {
+  enum class Kind {
+    kConfigPush,
+    kWrite,
+    kRead,
+    kPacket,
+    kPacketOut,
+  };
+  Kind kind = Kind::kWrite;
+  // Monotonic per-recorder sequence number, assigned by Record(); survives
+  // wraparound so a rendered excerpt shows how far into the run it sits.
+  std::uint64_t seq = 0;
+  int units = 0;     // updates in the batch / 1 for packets
+  int rejected = 0;  // units with a non-ok status
+  sut::SutLayer deepest = sut::SutLayer::kNone;
+  sut::SutLayer failed_deepest = sut::SutLayer::kNone;
+  std::string note;  // short content summary ("fuzz batch 7", target id...)
+};
+
+std::string_view FlightEventKindName(FlightEvent::Kind kind);
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // Records one event, overwriting the oldest once the ring is full.
+  void Record(FlightEvent event);
+
+  // Convenience: stamps kind/units/rejected/note plus the probe's
+  // per-operation layer summary.
+  void RecordOperation(FlightEvent::Kind kind, const sut::StackProbe& probe,
+                       int rejected, std::string note);
+
+  // Buffered events, oldest first.
+  std::vector<FlightEvent> Snapshot() const;
+
+  // Human-readable excerpt for incident reports, oldest first, e.g.:
+  //   flight recorder (last 3 of 41 operations):
+  //     #39 write  50 updates (12 rejected)  reached=asic failed@=p4rt-server  fuzz batch 38
+  //     #40 read                             reached=p4rt-server
+  //     #41 packet                           reached=asic  target ipv4_tbl.entry[3]
+  std::string Render() const;
+
+  std::uint64_t total_recorded() const { return next_seq_; }
+  int capacity() const { return capacity_; }
+
+ private:
+  const int capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<FlightEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t write_pos_ = 0;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_RECORDER_H_

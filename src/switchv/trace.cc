@@ -1,0 +1,113 @@
+#include "switchv/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace switchv {
+
+namespace {
+
+// Chrome trace_event timestamps are microseconds; emit three decimals so
+// sub-microsecond spans stay visible.
+std::string NsToUsField(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buffer;
+}
+
+// Shard index -> trace tid. The campaign-level track (-1) is tid 0; shard
+// k is tid k+1, so timeline rows line up with shard indices.
+int ShardTid(int shard) { return shard + 1; }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::vector<TraceSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  return spans;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceSpan> spans = Spans();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first, one per distinct track, so Perfetto labels
+  // the rows. Deterministic: spans are sorted, shards emitted in order.
+  std::set<int> named;
+  for (const TraceSpan& span : spans) {
+    if (!named.insert(span.shard).second) continue;
+    if (!first) out << ",";
+    first = false;
+    const std::string label =
+        span.shard < 0 ? "campaign" : "shard " + std::to_string(span.shard);
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":"
+        << ShardTid(span.shard) << ",\"args\":{\"name\":\"" << label
+        << "\"}}";
+  }
+  for (const TraceSpan& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+        << JsonEscape(span.category) << "\",\"ph\":\"X\",\"ts\":"
+        << NsToUsField(span.start_ns) << ",\"dur\":"
+        << NsToUsField(span.duration_ns) << ",\"pid\":0,\"tid\":"
+        << ShardTid(span.shard) << ",\"args\":{\"seq\":\"" << span.seq
+        << "\"";
+    for (const auto& [key, value] : span.args) {
+      out << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+          << "\"";
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace switchv

@@ -1,0 +1,167 @@
+// Span tracing for validation campaigns (paper §8 "Deployment").
+//
+// An incident report says *what* diverged; operators also need to see
+// *where validation time goes* — how long each shard spent fuzzing vs. in
+// the oracle vs. waiting on Z3, and which SUT layers its traffic crossed.
+// This module records that as a tree of spans per campaign:
+//
+//   campaign
+//   ├─ generate-packets            (campaign thread, dataplane pre-phase)
+//   ├─ shard 0 (control-plane)
+//   │  ├─ fuzz-batch 0  ├─ generate ├─ switch-write ├─ oracle
+//   │  └─ ...
+//   └─ shard 4 (dataplane)
+//      ├─ install ├─ resync ├─ churn ├─ read-back ├─ reference-install
+//      └─ packet-test
+//
+// Design constraints (all load-bearing for the engine):
+//   * Thread-safe: shard workers record concurrently into one `Tracer`
+//     (a mutex-guarded sink; spans are assembled lock-free on the shard's
+//     own `TraceTrack` and pushed once, at close).
+//   * Near-zero cost when disabled: a null `TraceTrack*` makes every
+//     `ScopedSpan` a pointer check (benchmarked in bench/micro_benchmarks).
+//   * Deterministic content: span identity is (shard, per-track sequence),
+//     both pure functions of the campaign options. Exports order spans by
+//     that identity, so trace *content* is identical for parallelism 1 and
+//     N; only timestamps differ.
+//
+// Export: Chrome trace_event JSON — load the file in chrome://tracing or
+// https://ui.perfetto.dev to see the campaign on a timeline.
+#ifndef SWITCHV_SWITCHV_TRACE_H_
+#define SWITCHV_SWITCHV_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace switchv {
+
+// One completed span. `seq` numbers spans per track in open order starting
+// at 1; `parent_seq` is the enclosing open span on the same track (0 =
+// track root). Times are nanoseconds relative to the tracer's epoch.
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  int shard = -1;  // -1 = the campaign-level track
+  std::uint64_t seq = 0;
+  std::uint64_t parent_seq = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Campaign-wide span sink. Thread-safe; one per campaign run.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Record(TraceSpan span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(span));
+  }
+
+  // All recorded spans in deterministic order: (shard, seq).
+  std::vector<TraceSpan> Spans() const;
+
+  // Chrome trace_event JSON ("X" complete events, one tid per shard).
+  // Deterministic event order; timestamps are the only run-varying part.
+  std::string ToChromeJson() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+// A shard's handle into the tracer. Single-threaded (each shard owns one),
+// which makes sequence numbers — and therefore trace content — independent
+// of worker-pool scheduling.
+class TraceTrack {
+ public:
+  TraceTrack(Tracer* tracer, int shard) : tracer_(tracer), shard_(shard) {}
+
+  Tracer* tracer() const { return tracer_; }
+  int shard() const { return shard_; }
+  bool enabled() const { return tracer_ != nullptr; }
+
+  // ScopedSpan internals.
+  std::uint64_t OpenSpan() {
+    const std::uint64_t seq = next_seq_++;
+    open_.push_back(seq);
+    return seq;
+  }
+  std::uint64_t CurrentParent() const {
+    return open_.empty() ? 0 : open_.back();
+  }
+  void CloseSpan() { open_.pop_back(); }
+
+ private:
+  Tracer* tracer_;
+  int shard_;
+  std::uint64_t next_seq_ = 1;
+  std::vector<std::uint64_t> open_;
+};
+
+// RAII span. A null track disables it entirely — construction is a pointer
+// copy and a branch, so instrumented code paths cost ~nothing untraced.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceTrack* track, std::string_view name,
+             std::string_view category)
+      : track_(track) {
+    if (track_ == nullptr) return;
+    span_.parent_seq = track_->CurrentParent();
+    span_.seq = track_->OpenSpan();
+    span_.shard = track_->shard();
+    span_.name = name;
+    span_.category = category;
+    span_.start_ns = track_->tracer()->NowNs();
+  }
+
+  ~ScopedSpan() {
+    if (track_ == nullptr) return;
+    span_.duration_ns = track_->tracer()->NowNs() - span_.start_ns;
+    track_->CloseSpan();
+    track_->tracer()->Record(std::move(span_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool enabled() const { return track_ != nullptr; }
+
+  void AddArg(std::string_view key, std::string_view value) {
+    if (track_ == nullptr) return;
+    span_.args.emplace_back(std::string(key), std::string(value));
+  }
+  void AddArg(std::string_view key, std::uint64_t value) {
+    if (track_ == nullptr) return;
+    span_.args.emplace_back(std::string(key), std::to_string(value));
+  }
+
+ private:
+  TraceTrack* track_;
+  TraceSpan span_;
+};
+
+// Escapes a string for embedding in a JSON string literal (shared with the
+// metrics exporters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_TRACE_H_

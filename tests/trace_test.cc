@@ -1,0 +1,823 @@
+// Observability tests: latency-histogram math, flight-recorder ring
+// semantics, span-nesting determinism across parallelism levels, exporter
+// round-trips (Chrome trace_event JSON, Prometheus text exposition), and
+// per-incident layer attribution + replay traces.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "switchv/experiment.h"
+#include "switchv/recorder.h"
+#include "switchv/trace.h"
+
+namespace switchv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser, test-only: enough of RFC 8259 to round-trip the
+// exporters. Parsing (not substring matching) is the point — a malformed
+// escape or a missing comma must fail the test.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  static std::optional<JsonValue> Parse(std::string_view text) {
+    JsonParser parser(text);
+    std::optional<JsonValue> value = parser.ParseValue();
+    if (!value.has_value()) return std::nullopt;
+    parser.SkipSpace();
+    if (parser.pos_ != text.size()) return std::nullopt;  // trailing junk
+    return value;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (Consume('}')) return value;
+    while (true) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value() || !Consume(':')) return std::nullopt;
+      std::optional<JsonValue> member = ParseValue();
+      if (!member.has_value()) return std::nullopt;
+      value.object.emplace_back(std::move(key->string), *std::move(member));
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (Consume(']')) return value;
+    while (true) {
+      std::optional<JsonValue> element = ParseValue();
+      if (!element.has_value()) return std::nullopt;
+      value.array.push_back(*std::move(element));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.string.push_back('"'); break;
+        case '\\': value.string.push_back('\\'); break;
+        case '/': value.string.push_back('/'); break;
+        case 'n': value.string.push_back('\n'); break;
+        case 't': value.string.push_back('\t'); break;
+        case 'r': value.string.push_back('\r'); break;
+        case 'b': value.string.push_back('\b'); break;
+        case 'f': value.string.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return std::nullopt;
+            }
+            code = code * 16 +
+                   (std::isdigit(static_cast<unsigned char>(h))
+                        ? static_cast<unsigned>(h - '0')
+                        : static_cast<unsigned>(std::tolower(h) - 'a') + 10);
+          }
+          // The exporters only emit \u00xx (control characters).
+          value.string.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseBool() {
+    SkipSpace();
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      value.boolean = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNull() {
+    SkipSpace();
+    if (text_.compare(pos_, 4, "null") != 0) return std::nullopt;
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    try {
+      value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsAreExponentialFromOneMicrosecond) {
+  EXPECT_EQ(HistogramBucketUpperNs(0), 1000u);           // 1µs
+  EXPECT_EQ(HistogramBucketUpperNs(1), 2000u);           // 2µs
+  EXPECT_EQ(HistogramBucketUpperNs(10), 1024u * 1000u);  // ~1ms
+  EXPECT_EQ(HistogramBucketUpperNs(kHistogramBuckets - 2),
+            static_cast<std::uint64_t>(1000) << (kHistogramBuckets - 2));
+  EXPECT_EQ(HistogramBucketUpperNs(kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramTest, RecordFillsTheRightBucket) {
+  LatencyHistogram hist;
+  hist.Record(0);        // bucket 0
+  hist.Record(1000);     // still bucket 0 (inclusive upper bound)
+  hist.Record(1001);     // bucket 1
+  hist.Record(5000000);  // 5ms -> bucket with upper 8.192ms = bucket 13
+  hist.Record(std::numeric_limits<std::uint64_t>::max());  // overflow
+  const HistogramSnapshot s = hist.Snapshot();
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[13], 1u);
+  EXPECT_EQ(s.counts[kHistogramBuckets - 1], 1u);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBucket) {
+  LatencyHistogram hist;
+  // 100 observations in bucket 1 (1000, 2000]: ranks spread linearly.
+  for (int i = 0; i < 100; ++i) hist.Record(1500);
+  const HistogramSnapshot s = hist.Snapshot();
+  // p50 -> rank 50 of 100 -> 50% through (1000, 2000].
+  EXPECT_EQ(s.PercentileNs(0.50), 1500u);
+  EXPECT_EQ(s.PercentileNs(0.90), 1900u);
+  EXPECT_EQ(s.PercentileNs(1.00), 2000u);
+}
+
+TEST(HistogramTest, PercentileSpansBuckets) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(500);    // bucket 0
+  for (int i = 0; i < 10; ++i) hist.Record(900000);  // bucket 10
+  const HistogramSnapshot s = hist.Snapshot();
+  EXPECT_LE(s.PercentileNs(0.50), 1000u);
+  const std::uint64_t p99 = s.PercentileNs(0.99);
+  EXPECT_GT(p99, HistogramBucketUpperNs(9));
+  EXPECT_LE(p99, HistogramBucketUpperNs(10));
+}
+
+TEST(HistogramTest, EmptyAndOverflowEdgeCases) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Snapshot().PercentileNs(0.50), 0u);
+  // Overflow-only histogram: percentile reports the finite lower edge, not
+  // UINT64_MAX.
+  hist.Record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(hist.Snapshot().PercentileNs(0.99),
+            HistogramBucketUpperNs(kHistogramBuckets - 2));
+}
+
+TEST(MetricsTest, ZeroWallClockYieldsZeroRatesNotInfNan) {
+  MetricsSnapshot s;
+  s.updates_sent = 1000;
+  s.packets_tested = 500;
+  s.wall_seconds = 0;
+  EXPECT_EQ(s.updates_per_second(), 0);
+  EXPECT_EQ(s.packets_per_second(), 0);
+  s.wall_seconds = -1;  // clock went backwards; still no inf/nan
+  EXPECT_EQ(s.updates_per_second(), 0);
+  for (const std::string& exported :
+       {s.ToString(), s.ToPrometheus(), s.ToJson()}) {
+    EXPECT_EQ(exported.find("inf"), std::string::npos) << exported;
+    EXPECT_EQ(exported.find("nan"), std::string::npos) << exported;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestAndGlobalSequence) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    FlightEvent event;
+    event.kind = FlightEvent::Kind::kWrite;
+    event.units = i;
+    recorder.Record(std::move(event));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first; sequence numbers survive the wraparound.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::uint64_t>(7 + i));
+    EXPECT_EQ(events[i].units, 6 + i);
+  }
+  const std::string rendered = recorder.Render();
+  EXPECT_NE(rendered.find("last 4 of 10 operations"), std::string::npos)
+      << rendered;
+}
+
+TEST(FlightRecorderTest, CapacityClampsToAtLeastOne) {
+  FlightRecorder recorder(/*capacity=*/0);
+  EXPECT_EQ(recorder.capacity(), 1);
+  recorder.Record(FlightEvent{});
+  recorder.Record(FlightEvent{});
+  ASSERT_EQ(recorder.Snapshot().size(), 1u);
+  EXPECT_EQ(recorder.Snapshot()[0].seq, 2u);
+}
+
+TEST(FlightRecorderTest, RenderShowsLayerAttributionAndFailures) {
+  sut::StackProbe probe;
+  probe.BeginOperation();
+  probe.BeginUnit();
+  probe.Reach(sut::SutLayer::kP4rtServer);
+  probe.Reach(sut::SutLayer::kOrchestration);
+  probe.Reach(sut::SutLayer::kSyncdSai);
+  probe.BeginUnit();
+  probe.Reach(sut::SutLayer::kP4rtServer);
+  probe.NoteUnitFailure();
+
+  FlightRecorder recorder(/*capacity=*/8);
+  recorder.RecordOperation(FlightEvent::Kind::kWrite, probe, /*rejected=*/1,
+                           "fuzz batch 3");
+  const std::string rendered = recorder.Render();
+  EXPECT_NE(rendered.find("write"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("2 updates"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("(1 rejected)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("reached=syncd-sai"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("failed@=p4rt-server"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("fuzz batch 3"), std::string::npos) << rendered;
+}
+
+// ---------------------------------------------------------------------------
+// Layer probe
+// ---------------------------------------------------------------------------
+
+TEST(LayerProbeTest, TracksDeepestAndFailedDeepestPerOperation) {
+  sut::StackProbe probe;
+  probe.BeginOperation();
+  probe.BeginUnit();
+  probe.Reach(sut::SutLayer::kP4rtServer);
+  probe.Reach(sut::SutLayer::kAsic);
+  EXPECT_EQ(probe.op_deepest(), sut::SutLayer::kAsic);
+  EXPECT_EQ(probe.op_failed_deepest(), sut::SutLayer::kNone);
+
+  probe.BeginUnit();
+  probe.Reach(sut::SutLayer::kP4rtServer);
+  probe.Reach(sut::SutLayer::kOrchestration);
+  probe.NoteUnitFailure();
+  EXPECT_EQ(probe.op_failed_deepest(), sut::SutLayer::kOrchestration);
+  EXPECT_EQ(probe.units(), 2);
+  EXPECT_EQ(probe.failed_units(), 1);
+
+  // A new operation resets per-operation state.
+  probe.BeginOperation();
+  EXPECT_EQ(probe.op_deepest(), sut::SutLayer::kNone);
+  EXPECT_EQ(probe.units(), 0);
+
+  const std::string summary = probe.OpLayersSummary();
+  EXPECT_EQ(summary, "");  // nothing reached yet this operation
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+TraceSpan MakeSpan(std::string name, std::string category, int shard,
+                   std::uint64_t seq, std::uint64_t parent_seq,
+                   std::uint64_t start_ns, std::uint64_t duration_ns) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.shard = shard;
+  span.seq = seq;
+  span.parent_seq = parent_seq;
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  return span;
+}
+
+TEST(TraceTest, ChromeJsonGolden) {
+  Tracer tracer;
+  // Recorded out of order on purpose: export must sort by (shard, seq).
+  TraceSpan child = MakeSpan("switch-\"write\"", "control-plane", 0, 2, 1,
+                             2500, 1000500);
+  child.args.emplace_back("layers", "p4rt-server:1");
+  tracer.Record(std::move(child));
+  tracer.Record(MakeSpan("campaign", "campaign", -1, 1, 0, 1000, 2500500));
+  tracer.Record(MakeSpan("fuzz-batch 0", "control-plane", 0, 1, 0, 2000,
+                         2000000));
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"campaign\"}},"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"shard 0\"}},"
+      "{\"name\":\"campaign\",\"cat\":\"campaign\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":2500.500,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"seq\":\"1\"}},"
+      "{\"name\":\"fuzz-batch 0\",\"cat\":\"control-plane\",\"ph\":\"X\","
+      "\"ts\":2.000,\"dur\":2000.000,\"pid\":0,\"tid\":1,"
+      "\"args\":{\"seq\":\"1\"}},"
+      "{\"name\":\"switch-\\\"write\\\"\",\"cat\":\"control-plane\","
+      "\"ph\":\"X\",\"ts\":2.500,\"dur\":1000.500,\"pid\":0,\"tid\":1,"
+      "\"args\":{\"seq\":\"2\",\"layers\":\"p4rt-server:1\"}}"
+      "]}";
+  EXPECT_EQ(tracer.ToChromeJson(), expected);
+
+  // And the golden string itself must be valid JSON.
+  const std::optional<JsonValue> parsed = JsonParser::Parse(expected);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), 5u);
+  EXPECT_EQ(events->array[4].Find("name")->string, "switch-\"write\"");
+}
+
+TEST(TraceTest, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // Round-trip through the parser.
+  const std::string nasty = "he said \"hi\\there\"\n\x02";
+  const std::optional<JsonValue> parsed =
+      JsonParser::Parse("\"" + JsonEscape(nasty) + "\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string, nasty);
+}
+
+TEST(TraceTest, ScopedSpanOnNullTrackIsANoOp) {
+  ScopedSpan span(nullptr, "ignored", "ignored");
+  EXPECT_FALSE(span.enabled());
+  span.AddArg("key", "value");  // must not crash
+}
+
+TEST(TraceTest, NestedScopedSpansRecordParentage) {
+  Tracer tracer;
+  TraceTrack track(&tracer, /*shard=*/3);
+  {
+    ScopedSpan outer(&track, "outer", "test");
+    {
+      ScopedSpan inner(&track, "inner", "test");
+    }
+    ScopedSpan sibling(&track, "sibling", "test");
+  }
+  const std::vector<TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by seq: outer=1, inner=2, sibling=3.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_seq, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_seq, 1u);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent_seq, 1u);
+  for (const TraceSpan& span : spans) EXPECT_EQ(span.shard, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+// Parses "name value" and "name{le=\"...\"} value" lines; returns false on
+// any malformed line. Histogram buckets are collected per metric name in
+// file order.
+struct PrometheusText {
+  std::map<std::string, double> scalars;  // plain name -> value
+  std::map<std::string, std::vector<std::pair<std::string, double>>> buckets;
+
+  static std::optional<PrometheusText> Parse(const std::string& text) {
+    PrometheusText result;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string::npos) return std::nullopt;
+      const std::string name = line.substr(0, space);
+      double value = 0;
+      try {
+        std::size_t consumed = 0;
+        value = std::stod(line.substr(space + 1), &consumed);
+        if (consumed != line.size() - space - 1) return std::nullopt;
+      } catch (...) {
+        return std::nullopt;
+      }
+      const std::size_t brace = name.find('{');
+      if (brace == std::string::npos) {
+        result.scalars[name] = value;
+        continue;
+      }
+      // Only the `le` label is emitted; anything else is malformed.
+      const std::string base = name.substr(0, brace);
+      const std::string label = name.substr(brace);
+      if (label.substr(0, 5) != "{le=\"" || label.back() != '}') {
+        return std::nullopt;
+      }
+      const std::string le = label.substr(5, label.size() - 7);
+      result.buckets[base].emplace_back(le, value);
+    }
+    return result;
+  }
+};
+
+TEST(MetricsTest, PrometheusExportParsesAndHistogramsAreCumulative) {
+  Metrics metrics;
+  metrics.Add(metrics.updates_sent, 480);
+  metrics.Add(metrics.packets_tested, 120);
+  metrics.Add(metrics.incidents_raised, 3);
+  for (int i = 0; i < 50; ++i) metrics.switch_write_hist.Record(1500);
+  for (int i = 0; i < 5; ++i) metrics.switch_write_hist.Record(90000);
+  metrics.oracle_hist.Record(40000);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot(/*wall_seconds=*/1.5);
+  const std::optional<PrometheusText> parsed =
+      PrometheusText::Parse(snapshot.ToPrometheus());
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->scalars.at("switchv_updates_sent_total"), 480);
+  EXPECT_EQ(parsed->scalars.at("switchv_packets_tested_total"), 120);
+  EXPECT_NEAR(parsed->scalars.at("switchv_updates_per_second"), 320, 1e-6);
+
+  for (const char* phase :
+       {"switchv_phase_switch_write_seconds",
+        "switchv_phase_oracle_seconds",
+        "switchv_phase_reference_sim_seconds",
+        "switchv_phase_packet_gen_seconds"}) {
+    SCOPED_TRACE(phase);
+    const auto it = parsed->buckets.find(std::string(phase) + "_bucket");
+    ASSERT_NE(it, parsed->buckets.end());
+    ASSERT_EQ(it->second.size(), static_cast<std::size_t>(kHistogramBuckets));
+    double previous = 0;
+    for (const auto& [le, cumulative] : it->second) {
+      EXPECT_GE(cumulative, previous);  // cumulative buckets never decrease
+      previous = cumulative;
+    }
+    EXPECT_EQ(it->second.back().first, "+Inf");
+    // The +Inf bucket equals _count — the Prometheus histogram invariant.
+    EXPECT_EQ(it->second.back().second,
+              parsed->scalars.at(std::string(phase) + "_count"));
+  }
+  EXPECT_EQ(parsed->scalars.at("switchv_phase_switch_write_seconds_count"),
+            55);
+  EXPECT_EQ(parsed->scalars.at("switchv_phase_oracle_seconds_count"), 1);
+}
+
+TEST(MetricsTest, JsonExportRoundTripsThroughParser) {
+  Metrics metrics;
+  metrics.Add(metrics.updates_sent, 2000);
+  metrics.Add(metrics.requests_sent, 40);
+  for (int i = 0; i < 100; ++i) metrics.switch_write_hist.Record(3000);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot(/*wall_seconds=*/2.0);
+  const std::optional<JsonValue> parsed =
+      JsonParser::Parse(snapshot.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("updates_sent")->number, 2000);
+  EXPECT_EQ(parsed->Find("updates_per_second")->number, 1000);
+  const JsonValue* phases = parsed->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  const JsonValue* write_phase = phases->Find("switch_write");
+  ASSERT_NE(write_phase, nullptr);
+  EXPECT_EQ(write_phase->Find("count")->number, 100);
+  EXPECT_GT(write_phase->Find("p50_ns")->number, 2000);
+  EXPECT_LE(write_phase->Find("p99_ns")->number, 4096);
+}
+
+// ---------------------------------------------------------------------------
+// Incident fingerprints must ignore the new observability fields
+// ---------------------------------------------------------------------------
+
+TEST(IncidentTest, FingerprintIgnoresLayerAndReplayTrace) {
+  Incident a{Detector::kFuzzer, "entry 17 missing", "details", 42};
+  Incident b = a;
+  b.layer = sut::SutLayer::kAsic;
+  b.replay_trace = "flight recorder (last 3 of 41 operations): ...";
+  b.details = "other details";
+  b.shard = 5;
+  EXPECT_EQ(IncidentFingerprint(a), IncidentFingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign integration: trace determinism, attribution, exports
+// ---------------------------------------------------------------------------
+
+class TraceCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model_);
+    auto entries =
+        models::GenerateEntries(info, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(), /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete entries_;
+    model_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  static CampaignOptions FastCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.control_plane_shards = 4;
+    options.dataplane_shards = 2;
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 40;
+    options.dataplane.packet_out_ports = 2;
+    return options;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  static p4ir::Program* model_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* TraceCampaignTest::model_ = nullptr;
+std::vector<p4rt::TableEntry>* TraceCampaignTest::entries_ = nullptr;
+
+// Span content — (shard, seq, parent_seq, name, category, args) — must be a
+// pure function of the options: running the same control-plane campaign
+// with 1 worker and 4 yields identical span sets, timestamps aside. The
+// campaign-level track is compared without args (its `parallelism` arg is
+// the one legitimate difference).
+TEST_F(TraceCampaignTest, SpanContentIsIdenticalAcrossParallelism) {
+  using SpanKey =
+      std::tuple<int, std::uint64_t, std::uint64_t, std::string, std::string,
+                 std::vector<std::pair<std::string, std::string>>>;
+  const auto skeleton = [](const Tracer& tracer) {
+    std::vector<SpanKey> keys;
+    for (const TraceSpan& span : tracer.Spans()) {
+      keys.emplace_back(span.shard, span.seq, span.parent_seq, span.name,
+                        span.category,
+                        span.shard < 0
+                            ? std::vector<std::pair<std::string, std::string>>{}
+                            : span.args);
+    }
+    return keys;
+  };
+
+  CampaignOptions options = FastCampaign();
+  options.run_dataplane = false;  // keep the comparison Z3-free
+
+  Tracer sequential_tracer;
+  options.tracer = &sequential_tracer;
+  options.parallelism = 1;
+  Run(nullptr, options);
+
+  Tracer parallel_tracer;
+  options.tracer = &parallel_tracer;
+  options.parallelism = 4;
+  Run(nullptr, options);
+
+  const std::vector<SpanKey> sequential = skeleton(sequential_tracer);
+  const std::vector<SpanKey> parallel = skeleton(parallel_tracer);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+
+  // Spot-check the expected shape: one campaign root, four shard roots,
+  // nested fuzz batches with switch-write/oracle children.
+  int shard_roots = 0, batches = 0;
+  for (const TraceSpan& span : sequential_tracer.Spans()) {
+    if (span.name == "control-plane shard") ++shard_roots;
+    if (span.name.rfind("fuzz-batch", 0) == 0) {
+      ++batches;
+      EXPECT_EQ(span.parent_seq, 1u);  // nested under the shard root
+    }
+  }
+  EXPECT_EQ(shard_roots, 4);
+  EXPECT_EQ(batches, 12);  // num_requests split across shards
+}
+
+// The acceptance bar from the paper's Table 1: a fault injected at the
+// syncd/SAI layer must be *attributed* to that layer in the incident.
+TEST_F(TraceCampaignTest, SaiLayerFaultIsAttributedToSyncdSai) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kSubmitToIngressNotL3Enabled);
+  symbolic::PacketCache cache;
+
+  CampaignOptions options = FastCampaign();
+  options.run_control_plane = false;
+  options.dataplane_shards = 1;
+  options.dataplane.cache = &cache;
+  const CampaignReport report = Run(&faults, options);
+
+  ASSERT_TRUE(report.bug_detected());
+  bool found = false;
+  for (const Incident& incident : report.Incidents()) {
+    if (incident.summary.find("submit-to-ingress packet was dropped") ==
+        std::string::npos) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(incident.layer, sut::SutLayer::kSyncdSai)
+        << "attributed to " << sut::SutLayerName(incident.layer);
+    EXPECT_FALSE(incident.replay_trace.empty());
+    EXPECT_NE(incident.replay_trace.find("submit-to-ingress"),
+              std::string::npos)
+        << incident.replay_trace;
+    EXPECT_NE(incident.replay_trace.find("reached=syncd-sai"),
+              std::string::npos)
+        << incident.replay_trace;
+  }
+  EXPECT_TRUE(found);
+}
+
+// Control-plane faults surface at the P4Runtime front-end; and *every*
+// incident a campaign raises must carry a non-empty replay trace.
+TEST_F(TraceCampaignTest, EveryIncidentCarriesReplayTraceAndAttribution) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions options = FastCampaign();
+  options.run_dataplane = false;
+  options.flight_recorder_capacity = 8;
+  const CampaignReport report = Run(&faults, options);
+
+  ASSERT_TRUE(report.bug_detected());
+  for (const Incident& incident : report.Incidents()) {
+    SCOPED_TRACE(incident.summary);
+    EXPECT_FALSE(incident.replay_trace.empty());
+    EXPECT_NE(incident.replay_trace.find("flight recorder"),
+              std::string::npos);
+    EXPECT_EQ(incident.layer, sut::SutLayer::kP4rtServer)
+        << "attributed to " << sut::SutLayerName(incident.layer);
+  }
+}
+
+// A traced campaign fills the per-phase latency histograms.
+TEST_F(TraceCampaignTest, CampaignPopulatesPhaseHistograms) {
+  CampaignOptions options = FastCampaign();
+  options.run_dataplane = false;
+  const CampaignReport report = Run(nullptr, options);
+  EXPECT_GT(report.metrics.switch_write_hist.count, 0u);
+  EXPECT_GT(report.metrics.oracle_hist.count, 0u);
+  // Fuzz-batch writes are histogram-timed; the per-shard replay-state seed
+  // write is not, so the histogram undershoots the raw write counter.
+  EXPECT_EQ(report.metrics.switch_write_hist.count,
+            static_cast<std::uint64_t>(FastCampaign().control_plane.num_requests));
+  EXPECT_LT(report.metrics.switch_write_hist.count,
+            report.metrics.switch_writes);
+}
+
+// End-to-end smoke: a 1-shard nightly with tracing on produces a parseable
+// Chrome trace and parseable Prometheus text.
+TEST_F(TraceCampaignTest, NightlyRunExportsParseableTraceAndPrometheus) {
+  Tracer tracer;
+  NightlyOptions options;
+  options.control_plane.num_requests = 6;
+  options.control_plane.updates_per_request = 30;
+  options.run_dataplane = false;
+  options.tracer = &tracer;
+
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+  const NightlyReport report = RunNightlyValidation(
+      &faults, *model_, models::SaiParserSpec(), *entries_, options);
+
+  ASSERT_TRUE(report.bug_detected());
+  for (const Incident& incident : report.incidents) {
+    EXPECT_FALSE(incident.replay_trace.empty());
+    EXPECT_NE(incident.layer, sut::SutLayer::kNone);
+  }
+
+  // Chrome trace: parses, and contains the campaign + shard tracks.
+  const std::optional<JsonValue> trace =
+      JsonParser::Parse(tracer.ToChromeJson());
+  ASSERT_TRUE(trace.has_value());
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_campaign = false, saw_batch = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string == "campaign") saw_campaign = true;
+    if (name->string.rfind("fuzz-batch", 0) == 0) saw_batch = true;
+  }
+  EXPECT_TRUE(saw_campaign);
+  EXPECT_TRUE(saw_batch);
+
+  // Prometheus text: parses, with consistent totals.
+  const std::optional<PrometheusText> prom =
+      PrometheusText::Parse(report.metrics.ToPrometheus());
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_EQ(prom->scalars.at("switchv_updates_sent_total"),
+            static_cast<double>(report.metrics.updates_sent));
+  EXPECT_GT(prom->scalars.at("switchv_incidents_raised_total"), 0);
+}
+
+}  // namespace
+}  // namespace switchv
