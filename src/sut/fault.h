@@ -72,6 +72,11 @@ enum class Fault {
   kBmv2RejectsValidOptional,      // simulator rejects valid optional match
 };
 
+// Number of faults in the catalog; wire-format parsers bounds-check
+// serialized fault ids against this.
+inline constexpr int kNumFaults =
+    static_cast<int>(Fault::kBmv2RejectsValidOptional) + 1;
+
 // The set of active faults. Layers consult this at the point where the
 // fault's behaviour lives; no fault logic runs when the set is empty.
 class FaultRegistry {
@@ -81,6 +86,9 @@ class FaultRegistry {
   void Clear() { active_.clear(); }
   bool active(Fault fault) const { return active_.contains(fault); }
   bool empty() const { return active_.empty(); }
+  // The active set, sorted: the shard wire format ships a registry view to
+  // out-of-process workers as a fault-id list.
+  const std::set<Fault>& active_set() const { return active_; }
 
  private:
   std::set<Fault> active_;

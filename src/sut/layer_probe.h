@@ -24,15 +24,20 @@ namespace switchv::sut {
 
 // Stack depth, ordered top (controller-facing) to bottom (hardware).
 // kNone means "no SUT layer involved" (e.g. a reference-simulator defect).
+// kHarness is not a stack layer at all: it marks incidents synthesized by
+// the validation harness itself (a crashed or hung out-of-process shard
+// worker), so operators can separate infrastructure losses from switch
+// bugs at a glance. The probe never Reach()es it.
 enum class SutLayer {
   kNone = 0,
   kP4rtServer = 1,
   kOrchestration = 2,
   kSyncdSai = 3,
   kAsic = 4,
+  kHarness = 5,
 };
 
-inline constexpr int kNumSutLayers = 5;  // including kNone
+inline constexpr int kNumSutLayers = 6;  // including kNone and kHarness
 
 inline std::string_view SutLayerName(SutLayer layer) {
   switch (layer) {
@@ -44,6 +49,8 @@ inline std::string_view SutLayerName(SutLayer layer) {
       return "syncd-sai";
     case SutLayer::kAsic:
       return "asic";
+    case SutLayer::kHarness:
+      return "harness";
     case SutLayer::kNone:
       break;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "models/sai_model.h"
@@ -32,6 +33,22 @@ struct ShardResult {
   symbolic::GenerationStats generation;
 };
 
+// The campaign-immutable context a shard executes against. Bundled so the
+// in-process pool and the worker-process entry point (ExecuteShardSpec)
+// drive the exact same shard implementation — the engine's conformance
+// guarantee is structural, not duplicated logic kept in sync by hand.
+struct ShardEnv {
+  const p4ir::Program& model;
+  const p4ir::P4Info& info;
+  const packet::ParserSpec& parser;
+  const std::vector<p4rt::TableEntry>& entries;
+  const ControlPlaneOptions& control_plane;
+  const DataplaneOptions& dataplane;
+  bool dataplane_on_fuzzed_state;
+  Tracer* tracer;
+  int flight_recorder_capacity;
+};
+
 void ScrapeSwitchIo(const sut::SwitchUnderTest& sut, Metrics& metrics) {
   const sut::IoCounters& io = sut.io_counters();
   metrics.Add(metrics.switch_writes, io.writes);
@@ -46,28 +63,30 @@ sut::SutLayer ProbeLayer(const sut::StackProbe& probe) {
              : probe.op_deepest();
 }
 
-ShardResult RunControlPlaneShard(const ShardSpec& spec,
-                                 const p4ir::Program& model,
-                                 const p4ir::P4Info& info,
-                                 const packet::ParserSpec& parser,
-                                 const std::vector<p4rt::TableEntry>& entries,
-                                 const CampaignOptions& options,
-                                 Metrics& metrics) {
+// A shard that fails with a Status (as opposed to raising incidents) could
+// not be provisioned at all: that is a harness defect, not a detector
+// finding. RunControlPlaneShard/RunDataplaneShard return the status so an
+// out-of-process worker exits nonzero with the rendered error; the engine
+// converts it into a synthetic harness incident either way.
+StatusOr<ShardResult> RunControlPlaneShard(
+    const ShardSpec& spec, const ShardEnv& env, Metrics& metrics) {
   ShardResult result;
   // Each shard owns its (single-threaded) trace track and flight recorder;
   // the track pushes completed spans into the shared, mutex-guarded tracer.
-  TraceTrack track(options.tracer, spec.index);
-  TraceTrack* trace = options.tracer != nullptr ? &track : nullptr;
-  FlightRecorder recorder(options.flight_recorder_capacity);
+  TraceTrack track(env.tracer, spec.index);
+  TraceTrack* trace = env.tracer != nullptr ? &track : nullptr;
+  FlightRecorder recorder(env.flight_recorder_capacity);
   ScopedSpan shard_span(trace, "control-plane shard", "shard");
   shard_span.AddArg("requests", static_cast<std::uint64_t>(spec.num_requests));
   shard_span.AddArg("seed", spec.seed);
   sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
-                           model.cpu_port);
-  const Status config = sut.SetForwardingPipelineConfig(info);
+                           env.model.cpu_port);
+  const Status config = sut.SetForwardingPipelineConfig(env.info);
   recorder.RecordOperation(FlightEvent::Kind::kConfigPush, sut.probe(),
                            config.ok() ? 0 : 1, "pipeline config push");
   if (!config.ok()) {
+    // A rejected (valid) config is a detector finding about the switch, so
+    // it stays an incident — unlike the bring-up failure below.
     Incident incident{
         Detector::kFuzzer,
         "switch rejected a valid forwarding pipeline config: " +
@@ -78,35 +97,44 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
     result.incidents.push_back(std::move(incident));
     return result;
   }
-  (void)sut.ApplyStandardBringUpConfig();
+  const Status bring_up = sut.ApplyStandardBringUpConfig();
+  if (!bring_up.ok()) {
+    // The bring-up config is harness-authored: it failing means the shard
+    // never reached a valid starting state, and everything it would have
+    // observed is noise.
+    return Status(bring_up.code(),
+                  "standard bring-up config failed on control-plane shard " +
+                      std::to_string(spec.index) + ": " + bring_up.message());
+  }
   // Seed with the replayed state so the fuzzer starts from a realistic
   // switch, then fuzz.
   p4rt::WriteRequest seed;
-  for (const p4rt::TableEntry& entry : entries) {
+  for (const p4rt::TableEntry& entry : env.entries) {
     seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
   }
   (void)sut.Write(seed);  // failures surface via the oracle's read-sync
   recorder.RecordOperation(FlightEvent::Kind::kWrite, sut.probe(),
                            sut.probe().failed_units(), "replay-state seed");
 
-  ControlPlaneOptions control = options.control_plane;
+  ControlPlaneOptions control = env.control_plane;
   control.num_requests = spec.num_requests;
   control.seed = spec.seed;
   control.metrics = &metrics;
   control.trace = trace;
   control.recorder = &recorder;
-  ControlPlaneResult fuzzed = RunControlPlaneValidation(sut, info, control);
+  ControlPlaneResult fuzzed =
+      RunControlPlaneValidation(sut, env.info, control);
   result.fuzzed_updates = fuzzed.updates_sent;
   for (Incident& incident : fuzzed.incidents) {
     result.incidents.push_back(std::move(incident));
   }
 
-  if (options.dataplane_on_fuzzed_state && result.incidents.empty()) {
+  if (env.dataplane_on_fuzzed_state && result.incidents.empty()) {
     // §7 extension: validate the forwarding behaviour of the state the
     // fuzzing campaign left behind, in place.
     auto fuzzed_state = sut.Read(p4rt::ReadRequest{});
     if (fuzzed_state.ok()) {
-      DataplaneOptions dataplane = options.dataplane;
+      DataplaneOptions dataplane = env.dataplane;
       dataplane.simulator_faults = spec.faults;
       dataplane.entries_preinstalled = true;
       dataplane.precomputed_packets = nullptr;
@@ -116,7 +144,7 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
       dataplane.trace = trace;
       dataplane.recorder = &recorder;
       DataplaneResult data = RunDataplaneValidation(
-          sut, model, parser, fuzzed_state->entries, dataplane);
+          sut, env.model, env.parser, fuzzed_state->entries, dataplane);
       result.packets_tested += data.packets_tested;
       for (Incident& incident : data.incidents) {
         result.incidents.push_back(std::move(incident));
@@ -127,24 +155,21 @@ ShardResult RunControlPlaneShard(const ShardSpec& spec,
   return result;
 }
 
-ShardResult RunDataplaneShard(
-    const ShardSpec& spec, const p4ir::Program& model,
-    const p4ir::P4Info& info, const packet::ParserSpec& parser,
-    const std::vector<p4rt::TableEntry>& entries,
-    const std::vector<symbolic::TestPacket>* precomputed,
-    const CampaignOptions& options, Metrics& metrics) {
+StatusOr<ShardResult> RunDataplaneShard(
+    const ShardSpec& spec, const ShardEnv& env,
+    const std::vector<symbolic::TestPacket>* precomputed, Metrics& metrics) {
   ShardResult result;
-  TraceTrack track(options.tracer, spec.index);
-  TraceTrack* trace = options.tracer != nullptr ? &track : nullptr;
-  FlightRecorder recorder(options.flight_recorder_capacity);
+  TraceTrack track(env.tracer, spec.index);
+  TraceTrack* trace = env.tracer != nullptr ? &track : nullptr;
+  FlightRecorder recorder(env.flight_recorder_capacity);
   ScopedSpan shard_span(trace, "dataplane shard", "shard");
   shard_span.AddArg("packet_shard",
                     static_cast<std::uint64_t>(spec.packet_shard));
   shard_span.AddArg("packet_shards",
                     static_cast<std::uint64_t>(spec.packet_shards));
   sut::SwitchUnderTest sut(spec.faults, models::DefaultCloneSessions(),
-                           model.cpu_port);
-  const Status config = sut.SetForwardingPipelineConfig(info);
+                           env.model.cpu_port);
+  const Status config = sut.SetForwardingPipelineConfig(env.info);
   recorder.RecordOperation(FlightEvent::Kind::kConfigPush, sut.probe(),
                            config.ok() ? 0 : 1, "pipeline config push");
   if (!config.ok()) {
@@ -158,8 +183,13 @@ ShardResult RunDataplaneShard(
     result.incidents.push_back(std::move(incident));
     return result;
   }
-  (void)sut.ApplyStandardBringUpConfig();
-  DataplaneOptions dataplane = options.dataplane;
+  const Status bring_up = sut.ApplyStandardBringUpConfig();
+  if (!bring_up.ok()) {
+    return Status(bring_up.code(),
+                  "standard bring-up config failed on dataplane shard " +
+                      std::to_string(spec.index) + ": " + bring_up.message());
+  }
+  DataplaneOptions dataplane = env.dataplane;
   dataplane.simulator_faults = spec.faults;
   dataplane.precomputed_packets = precomputed;
   dataplane.packet_shard = spec.packet_shard;
@@ -168,7 +198,8 @@ ShardResult RunDataplaneShard(
   dataplane.trace = trace;
   dataplane.recorder = &recorder;
   DataplaneResult data =
-      RunDataplaneValidation(sut, model, parser, entries, dataplane);
+      RunDataplaneValidation(sut, env.model, env.parser, env.entries,
+                             dataplane);
   result.packets_tested = data.packets_tested;
   result.generation = data.generation;
   for (Incident& incident : data.incidents) {
@@ -176,6 +207,158 @@ ShardResult RunDataplaneShard(
   }
   ScrapeSwitchIo(sut, metrics);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-process execution
+// ---------------------------------------------------------------------------
+
+WireShardSpec MakeWireSpec(const ShardSpec& spec,
+                           const ShardScenario& scenario,
+                           const CampaignOptions& options,
+                           const std::vector<symbolic::TestPacket>* packets) {
+  WireShardSpec wire;
+  wire.kind = spec.kind == ShardSpec::Kind::kControlPlane
+                  ? WireShardSpec::Kind::kControlPlane
+                  : WireShardSpec::Kind::kDataplane;
+  wire.index = spec.index;
+  wire.scenario = scenario;
+  if (spec.faults != nullptr) {
+    wire.faults.assign(spec.faults->active_set().begin(),
+                       spec.faults->active_set().end());
+  }
+  wire.control_plane = options.control_plane;
+  wire.control_plane.num_requests = spec.num_requests;
+  wire.control_plane.seed = spec.seed;
+  wire.dataplane = options.dataplane;
+  wire.dataplane.packet_shard = spec.packet_shard;
+  wire.dataplane.packet_shards = spec.packet_shards;
+  wire.dataplane_on_fuzzed_state = options.dataplane_on_fuzzed_state;
+  wire.flight_recorder_capacity = options.flight_recorder_capacity;
+  wire.trace = options.tracer != nullptr;
+  if (spec.kind == ShardSpec::Kind::kDataplane && packets != nullptr) {
+    wire.has_packets = true;
+    wire.packets = *packets;
+  }
+  return wire;
+}
+
+Incident HarnessIncident(std::string summary, std::string details,
+                         int flight_recorder_capacity) {
+  Incident incident{Detector::kHarness, std::move(summary),
+                    std::move(details)};
+  // kHarness detector + kHarness layer: these fingerprint into their own
+  // dedup classes and the report attributes them to the harness, not to any
+  // layer of the switch stack.
+  incident.layer = sut::SutLayer::kHarness;
+  // Uniform report format across incident classes: an (empty) recorder
+  // rendering, as with pre-phase incidents.
+  incident.replay_trace = FlightRecorder(flight_recorder_capacity).Render();
+  return incident;
+}
+
+ShardResult LostShard(int index, const Status& status,
+                      const CampaignOptions& options, Metrics& metrics) {
+  metrics.Add(metrics.shards_lost, 1);
+  ShardResult result;
+  result.incidents.push_back(HarnessIncident(
+      "campaign shard " + std::to_string(index) +
+          " lost: " + status.ToString(),
+      "shard ran in-process; nothing to retry",
+      options.flight_recorder_capacity));
+  return result;
+}
+
+// Runs one shard through a worker process, retrying failed attempts up to
+// the configured bound. A shard whose every attempt fails is converted into
+// a synthetic harness incident — the campaign completes regardless of what
+// individual workers do.
+ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
+                              const CampaignOptions& options,
+                              const std::vector<symbolic::TestPacket>* packets,
+                              Metrics& metrics) {
+  const std::string payload =
+      SerializeShardSpec(
+          MakeWireSpec(spec, *options.scenario, options, packets)) +
+      "\n";
+  const int attempts = 1 + std::max(0, options.shard_retries);
+  std::string summary;
+  std::string details;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) metrics.Add(metrics.worker_retries, 1);
+    const WorkerProcessResult proc =
+        RunWorkerProcess(binary, options.worker_extra_args, payload,
+                         options.shard_timeout_seconds);
+    std::string note;
+    if (proc.outcome == WorkerProcessResult::Outcome::kExited &&
+        proc.exit_code == 0) {
+      // The result is the last non-empty stdout line (workers may log above
+      // it); the worker's stdout is untrusted — it may have died mid-write.
+      std::string_view out = proc.stdout_data;
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.remove_suffix(1);
+      }
+      const std::size_t newline = out.rfind('\n');
+      const std::string_view line =
+          newline == std::string_view::npos ? out : out.substr(newline + 1);
+      StatusOr<WireShardResult> parsed = ParseShardResult(line);
+      if (parsed.ok()) {
+        WireShardResult& wire = parsed.value();
+        metrics.Merge(wire.metrics);
+        if (options.tracer != nullptr) {
+          for (TraceSpan& span : wire.spans) {
+            options.tracer->Record(std::move(span));
+          }
+        }
+        ShardResult result;
+        result.incidents = std::move(wire.incidents);
+        result.fuzzed_updates = wire.fuzzed_updates;
+        result.packets_tested = wire.packets_tested;
+        result.generation = wire.generation;
+        return result;
+      }
+      metrics.Add(metrics.worker_crashes, 1);
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker returned an unparseable result";
+      note = parsed.status().ToString();
+    } else if (proc.outcome == WorkerProcessResult::Outcome::kTimedOut) {
+      metrics.Add(metrics.worker_timeouts, 1);
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker timed out";
+      note = "killed after exceeding the shard deadline";
+    } else if (proc.outcome == WorkerProcessResult::Outcome::kSignaled) {
+      metrics.Add(metrics.worker_crashes, 1);
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker crashed";
+      note = "terminated by signal " + std::to_string(proc.term_signal);
+    } else if (proc.outcome == WorkerProcessResult::Outcome::kExited) {
+      metrics.Add(metrics.worker_crashes, 1);
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker exited with an error";
+      note = "exit code " + std::to_string(proc.exit_code);
+    } else {
+      metrics.Add(metrics.worker_crashes, 1);
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker could not be spawned";
+      note = proc.error;
+    }
+    if (!details.empty()) details += "; ";
+    details += "attempt " + std::to_string(attempt) + ": " + note;
+  }
+  metrics.Add(metrics.shards_lost, 1);
+  ShardResult result;
+  result.incidents.push_back(HarnessIncident(
+      std::move(summary), std::move(details),
+      options.flight_recorder_capacity));
+  return result;
+}
+
+// Resolves the worker binary for subprocess execution: the explicit option
+// wins, then $SWITCHV_SHARD_WORKER. Empty = fall back to in-process.
+std::string ResolveWorkerBinary(const CampaignOptions& options) {
+  if (!options.worker_binary.empty()) return options.worker_binary;
+  const char* env = std::getenv("SWITCHV_SHARD_WORKER");
+  return env != nullptr ? env : "";
 }
 
 }  // namespace
@@ -197,6 +380,66 @@ std::set<std::uint64_t> CampaignReport::FingerprintSet() const {
   return fingerprints;
 }
 
+StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec) {
+  const auto shard_start = std::chrono::steady_clock::now();
+  SWITCHV_ASSIGN_OR_RETURN(
+      const p4ir::Program model,
+      models::BuildSaiProgram(spec.scenario.role, spec.scenario.model));
+  const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+  const packet::ParserSpec parser = models::SaiParserSpec();
+  SWITCHV_ASSIGN_OR_RETURN(
+      const std::vector<p4rt::TableEntry> entries,
+      models::GenerateEntries(info, spec.scenario.role, spec.scenario.workload,
+                              spec.scenario.entry_seed));
+  sut::FaultRegistry registry;
+  for (const sut::Fault fault : spec.faults) registry.Activate(fault);
+
+  Metrics metrics;
+  Tracer tracer;
+  ShardEnv env{model,
+               info,
+               parser,
+               entries,
+               spec.control_plane,
+               spec.dataplane,
+               spec.dataplane_on_fuzzed_state,
+               spec.trace ? &tracer : nullptr,
+               spec.flight_recorder_capacity};
+  ShardSpec shard;
+  shard.kind = spec.kind == WireShardSpec::Kind::kControlPlane
+                   ? ShardSpec::Kind::kControlPlane
+                   : ShardSpec::Kind::kDataplane;
+  shard.index = spec.index;
+  shard.faults = registry.empty() ? nullptr : &registry;
+  shard.num_requests = spec.control_plane.num_requests;
+  shard.seed = spec.control_plane.seed;
+  shard.packet_shard = spec.dataplane.packet_shard;
+  shard.packet_shards = spec.dataplane.packet_shards;
+  const std::vector<symbolic::TestPacket>* precomputed =
+      spec.has_packets ? &spec.packets : nullptr;
+
+  SWITCHV_ASSIGN_OR_RETURN(
+      ShardResult result,
+      shard.kind == ShardSpec::Kind::kControlPlane
+          ? RunControlPlaneShard(shard, env, metrics)
+          : RunDataplaneShard(shard, env, precomputed, metrics));
+
+  WireShardResult out;
+  out.index = spec.index;
+  out.incidents = std::move(result.incidents);
+  for (Incident& incident : out.incidents) incident.shard = spec.index;
+  out.fuzzed_updates = result.fuzzed_updates;
+  out.packets_tested = result.packets_tested;
+  out.generation = result.generation;
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    shard_start)
+          .count();
+  out.metrics = metrics.Snapshot(wall_seconds);
+  out.spans = tracer.Spans();
+  return out;
+}
+
 CampaignReport RunValidationCampaign(
     const sut::FaultRegistry* faults, const p4ir::Program& model,
     const packet::ParserSpec& parser,
@@ -212,6 +455,15 @@ CampaignReport RunValidationCampaign(
       options.tracer != nullptr ? &campaign_track : nullptr;
   ScopedSpan campaign_span(campaign_trace, "campaign", "campaign");
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
+
+  // Out-of-process execution needs a scenario recipe (workers rebuild the
+  // campaign inputs from it) and a worker binary; with either missing the
+  // campaign silently runs in-process, which is behaviourally identical.
+  const std::string worker_binary = ResolveWorkerBinary(options);
+  const bool subprocess =
+      options.execution == CampaignOptions::Execution::kSubprocess &&
+      options.scenario.has_value() && !worker_binary.empty();
+  campaign_span.AddArg("execution", subprocess ? "subprocess" : "in-process");
 
   // ---- Shard decomposition: a pure function of the options. ----
   // Never more fuzzing shards than requests; at least one shard per enabled
@@ -260,7 +512,10 @@ CampaignReport RunValidationCampaign(
   }
 
   // ---- Pre-phase: generate the campaign's test packets once when the
-  // dataplane is split, so shards share one (expensive) Z3 pass. ----
+  // dataplane is split, so shards share one (expensive) Z3 pass. In
+  // subprocess mode the packets fan out inside each shard spec — workers
+  // never repeat the Z3 pass, and the merged telemetry counts it once,
+  // exactly as in-process execution does. ----
   std::vector<symbolic::TestPacket> campaign_packets;
   const std::vector<symbolic::TestPacket>* precomputed = nullptr;
   std::vector<Incident> pre_phase_incidents;
@@ -297,18 +552,42 @@ CampaignReport RunValidationCampaign(
   }
 
   // ---- Execution: workers drain the shard queue. ----
+  ShardEnv env{model,
+               info,
+               parser,
+               entries,
+               options.control_plane,
+               options.dataplane,
+               options.dataplane_on_fuzzed_state,
+               options.tracer,
+               options.flight_recorder_capacity};
   std::vector<ShardResult> results(shards.size());
   std::atomic<std::size_t> next_shard{0};
   auto worker = [&]() {
     for (std::size_t i = next_shard.fetch_add(1); i < shards.size();
          i = next_shard.fetch_add(1)) {
       const ShardSpec& spec = shards[i];
-      if (spec.kind == ShardSpec::Kind::kControlPlane) {
-        results[i] = RunControlPlaneShard(spec, model, info, parser, entries,
-                                          options, metrics);
-      } else if (precomputed != nullptr || pre_phase_incidents.empty()) {
-        results[i] = RunDataplaneShard(spec, model, info, parser, entries,
-                                       precomputed, options, metrics);
+      const bool run_this_shard =
+          spec.kind == ShardSpec::Kind::kControlPlane ||
+          precomputed != nullptr || pre_phase_incidents.empty();
+      if (run_this_shard) {
+        if (subprocess) {
+          results[i] =
+              RunShardViaWorker(spec, worker_binary, options,
+                                spec.kind == ShardSpec::Kind::kDataplane
+                                    ? precomputed
+                                    : nullptr,
+                                metrics);
+        } else {
+          StatusOr<ShardResult> outcome =
+              spec.kind == ShardSpec::Kind::kControlPlane
+                  ? RunControlPlaneShard(spec, env, metrics)
+                  : RunDataplaneShard(spec, env, precomputed, metrics);
+          results[i] = outcome.ok()
+                           ? std::move(outcome).value()
+                           : LostShard(spec.index, outcome.status(), options,
+                                       metrics);
+        }
       }
       metrics.Add(metrics.shards_completed, 1);
     }

@@ -30,6 +30,7 @@
 
 #include "switchv/control_plane.h"
 #include "switchv/dataplane.h"
+#include "switchv/shard_io.h"
 
 namespace switchv {
 
@@ -52,6 +53,32 @@ struct CampaignOptions {
   // §7 extension: after its fuzzing slice, a control-plane shard also
   // validates the forwarding behaviour of the state it left on its switch.
   bool dataplane_on_fuzzed_state = false;
+
+  // ---- Execution substrate ----
+  // kInProcess runs shards on worker threads (above). kSubprocess runs each
+  // shard in its own `switchv_shard_worker` process via the wire protocol in
+  // switchv/shard_io.h: a crashed or wedged switch instance loses one shard,
+  // never the campaign. The merged report is byte-identical in both modes —
+  // same fingerprints, same group counts, same merged histogram totals.
+  enum class Execution { kInProcess, kSubprocess };
+  Execution execution = Execution::kInProcess;
+  // How workers rebuild the campaign's model, parser, and replay entries
+  // from first principles (construction is deterministic in these fields).
+  // Required for kSubprocess: without it — or without a resolvable worker
+  // binary — the campaign falls back to in-process execution, which is
+  // behaviourally identical.
+  std::optional<ShardScenario> scenario;
+  // Path to the worker binary; empty consults $SWITCHV_SHARD_WORKER.
+  std::string worker_binary;
+  // Wall-clock deadline per worker attempt; an overrunning worker is
+  // SIGKILLed and the attempt counts as a timeout.
+  double shard_timeout_seconds = 120;
+  // Failed shard attempts are retried this many times before the shard is
+  // declared lost and a synthetic harness incident takes its place.
+  int shard_retries = 1;
+  // Extra argv entries for every worker (test hooks: --abort-on-shard=N,
+  // --hang-on-shard=N).
+  std::vector<std::string> worker_extra_args;
 
   // Per-shard fault-registry views, keyed by global shard index. Shards
   // absent from the map see the campaign-level registry. This models a
@@ -100,6 +127,17 @@ CampaignReport RunValidationCampaign(
     const packet::ParserSpec& parser,
     const std::vector<p4rt::TableEntry>& entries,
     const CampaignOptions& options);
+
+// Executes exactly one wire shard spec in the calling process: rebuilds the
+// scenario (model, parser, entries, fault registry) from the recipe, runs
+// the shard, and returns its complete output — incidents, counters, a full
+// telemetry snapshot, and trace spans when the spec asked for them. This is
+// the body of the `switchv_shard_worker` binary; it lives here so worker
+// and engine share one shard implementation (the conformance guarantee is
+// structural, not tested-into-existence). Fails with a Status — which the
+// worker renders to stderr before exiting nonzero — when the scenario
+// cannot be provisioned.
+StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec);
 
 }  // namespace switchv
 

@@ -24,10 +24,22 @@
 
 namespace switchv {
 
-enum class Detector { kFuzzer, kSymbolic };
+// kHarness incidents are synthesized by the campaign engine itself — a
+// crashed, hung, or unprovisionable shard worker — not by a validation
+// component. They carry their own detector value so they fingerprint into
+// their own dedup classes, never merging with model/switch divergences.
+enum class Detector { kFuzzer, kSymbolic, kHarness };
 
 inline std::string_view DetectorName(Detector detector) {
-  return detector == Detector::kFuzzer ? "p4-fuzzer" : "p4-symbolic";
+  switch (detector) {
+    case Detector::kFuzzer:
+      return "p4-fuzzer";
+    case Detector::kSymbolic:
+      return "p4-symbolic";
+    case Detector::kHarness:
+      break;
+  }
+  return "harness";
 }
 
 struct Incident {

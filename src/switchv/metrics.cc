@@ -43,6 +43,17 @@ void LatencyHistogram::Record(std::uint64_t ns) {
   sum_ns_.fetch_add(ns, std::memory_order_relaxed);
 }
 
+void LatencyHistogram::Merge(const HistogramSnapshot& snapshot) {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (snapshot.counts[i] != 0) {
+      counts_[i].fetch_add(snapshot.counts[i], std::memory_order_relaxed);
+    }
+  }
+  if (snapshot.sum_ns != 0) {
+    sum_ns_.fetch_add(snapshot.sum_ns, std::memory_order_relaxed);
+  }
+}
+
 HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot s;
   for (int i = 0; i < kHistogramBuckets; ++i) {
@@ -81,6 +92,32 @@ std::uint64_t HistogramSnapshot::PercentileNs(double p) const {
   return 0;
 }
 
+void Metrics::Merge(const MetricsSnapshot& s) {
+  Add(updates_sent, s.updates_sent);
+  Add(requests_sent, s.requests_sent);
+  Add(generated_valid, s.generated_valid);
+  Add(generated_invalid, s.generated_invalid);
+  Add(oracle_findings, s.oracle_findings);
+  Add(packets_tested, s.packets_tested);
+  Add(solver_queries, s.solver_queries);
+  Add(generation_cache_hits, s.generation_cache_hits);
+  Add(switch_writes, s.switch_writes);
+  Add(switch_reads, s.switch_reads);
+  Add(switch_packets_injected, s.switch_packets_injected);
+  Add(shards_lost, s.shards_lost);
+  Add(worker_crashes, s.worker_crashes);
+  Add(worker_timeouts, s.worker_timeouts);
+  Add(worker_retries, s.worker_retries);
+  Add(switch_write_ns, s.switch_write_ns);
+  Add(oracle_ns, s.oracle_ns);
+  Add(reference_ns, s.reference_ns);
+  Add(generation_ns, s.generation_ns);
+  switch_write_hist.Merge(s.switch_write_hist);
+  oracle_hist.Merge(s.oracle_hist);
+  reference_hist.Merge(s.reference_hist);
+  generation_hist.Merge(s.generation_hist);
+}
+
 MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   MetricsSnapshot s;
   s.shards_completed = shards_completed.load(std::memory_order_relaxed);
@@ -100,6 +137,10 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
       switch_packets_injected.load(std::memory_order_relaxed);
   s.incidents_raised = incidents_raised.load(std::memory_order_relaxed);
   s.incidents_unique = incidents_unique.load(std::memory_order_relaxed);
+  s.shards_lost = shards_lost.load(std::memory_order_relaxed);
+  s.worker_crashes = worker_crashes.load(std::memory_order_relaxed);
+  s.worker_timeouts = worker_timeouts.load(std::memory_order_relaxed);
+  s.worker_retries = worker_retries.load(std::memory_order_relaxed);
   s.switch_write_ns = switch_write_ns.load(std::memory_order_relaxed);
   s.oracle_ns = oracle_ns.load(std::memory_order_relaxed);
   s.reference_ns = reference_ns.load(std::memory_order_relaxed);
@@ -148,6 +189,11 @@ std::string MetricsSnapshot::ToString() const {
         << phase.hist->PercentileNs(0.99) / 1000 << "us";
   }
   if (any_latency) out << "\n";
+  if (shards_lost + worker_crashes + worker_timeouts + worker_retries > 0) {
+    out << "  harness:       " << shards_lost << " lost shards ("
+        << worker_crashes << " crashes, " << worker_timeouts
+        << " timeouts, " << worker_retries << " retries)\n";
+  }
   out << "  incidents:     " << incidents_raised << " raised -> "
       << incidents_unique << " unique fingerprints";
   return out.str();
@@ -202,6 +248,17 @@ std::string MetricsSnapshot::ToPrometheus() const {
           incidents_raised);
   counter("switchv_incidents_unique_total",
           "Distinct incident fingerprints.", incidents_unique);
+  counter("switchv_shards_lost_total",
+          "Shards lost after exhausting worker retries.", shards_lost);
+  counter("switchv_worker_crashes_total",
+          "Shard worker attempts that crashed or exited nonzero.",
+          worker_crashes);
+  counter("switchv_worker_timeouts_total",
+          "Shard worker attempts killed on the per-shard timeout.",
+          worker_timeouts);
+  counter("switchv_worker_retries_total",
+          "Shard re-executions after a lost worker attempt.",
+          worker_retries);
   gauge("switchv_updates_per_second", "Control-plane update throughput.",
         updates_per_second());
   gauge("switchv_packets_per_second", "Data-plane packet throughput.",
@@ -259,6 +316,10 @@ std::string MetricsSnapshot::ToJson() const {
   out << ",\"switch_packets_injected\":" << switch_packets_injected;
   out << ",\"incidents_raised\":" << incidents_raised;
   out << ",\"incidents_unique\":" << incidents_unique;
+  out << ",\"shards_lost\":" << shards_lost;
+  out << ",\"worker_crashes\":" << worker_crashes;
+  out << ",\"worker_timeouts\":" << worker_timeouts;
+  out << ",\"worker_retries\":" << worker_retries;
   const PhaseHistogram phases[] = {
       {"switch_write", &switch_write_hist, switch_write_ns},
       {"oracle", &oracle_hist, oracle_ns},
@@ -277,6 +338,59 @@ std::string MetricsSnapshot::ToJson() const {
     out << ",\"p90_ns\":" << phase.hist->PercentileNs(0.90);
     out << ",\"p99_ns\":" << phase.hist->PercentileNs(0.99);
     out << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToWireJson() const {
+  std::ostringstream out;
+  out << "{";
+  const auto field = [&out](const char* name, std::uint64_t value,
+                            bool first = false) {
+    if (!first) out << ",";
+    out << "\"" << name << "\":" << value;
+  };
+  field("shards_completed", shards_completed, /*first=*/true);
+  field("updates_sent", updates_sent);
+  field("requests_sent", requests_sent);
+  field("generated_valid", generated_valid);
+  field("generated_invalid", generated_invalid);
+  field("oracle_findings", oracle_findings);
+  field("packets_tested", packets_tested);
+  field("solver_queries", solver_queries);
+  field("generation_cache_hits", generation_cache_hits);
+  field("switch_writes", switch_writes);
+  field("switch_reads", switch_reads);
+  field("switch_packets_injected", switch_packets_injected);
+  field("incidents_raised", incidents_raised);
+  field("incidents_unique", incidents_unique);
+  field("shards_lost", shards_lost);
+  field("worker_crashes", worker_crashes);
+  field("worker_timeouts", worker_timeouts);
+  field("worker_retries", worker_retries);
+  field("switch_write_ns", switch_write_ns);
+  field("oracle_ns", oracle_ns);
+  field("reference_ns", reference_ns);
+  field("generation_ns", generation_ns);
+  const PhaseHistogram phases[] = {
+      {"switch_write", &switch_write_hist, switch_write_ns},
+      {"oracle", &oracle_hist, oracle_ns},
+      {"reference_sim", &reference_hist, reference_ns},
+      {"generation", &generation_hist, generation_ns},
+  };
+  out << ",\"hists\":{";
+  bool first = true;
+  for (const PhaseHistogram& phase : phases) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << phase.name << "\":{\"sum_ns\":" << phase.hist->sum_ns
+        << ",\"counts\":[";
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (i > 0) out << ",";
+      out << phase.hist->counts[i];
+    }
+    out << "]}";
   }
   out << "}}";
   return out.str();

@@ -52,6 +52,11 @@ class LatencyHistogram {
  public:
   void Record(std::uint64_t ns);
   HistogramSnapshot Snapshot() const;
+  // Adds a snapshot's buckets and sum into this histogram — how the
+  // campaign engine folds an out-of-process shard's telemetry back into
+  // the campaign sink. Exact: bucket counts add, so the merged histogram
+  // is identical to recording the same observations locally.
+  void Merge(const HistogramSnapshot& snapshot);
 
  private:
   std::array<std::atomic<std::uint64_t>, kHistogramBuckets> counts_{};
@@ -88,6 +93,14 @@ struct MetricsSnapshot {
   // Incident pipeline.
   std::uint64_t incidents_raised = 0;   // raw, before dedup
   std::uint64_t incidents_unique = 0;   // distinct fingerprints
+
+  // Harness health (subprocess execution, switchv/shard_io.h). A lost
+  // shard is one whose worker process never returned a result across all
+  // retry attempts; crashes/timeouts count every failed attempt.
+  std::uint64_t shards_lost = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_timeouts = 0;
+  std::uint64_t worker_retries = 0;
 
   // Phase timers (nanoseconds, summed across shards — with parallelism > 1
   // the sum exceeds wall time; that is the point of sharding).
@@ -126,6 +139,13 @@ struct MetricsSnapshot {
   // Machine-readable stats for per-PR bench trajectories: rates, totals,
   // and per-phase p50/p90/p99 in nanoseconds.
   std::string ToJson() const;
+
+  // Lossless single-line JSON for the shard wire protocol: every counter
+  // plus full per-phase bucket arrays, so a parent process can merge a
+  // worker's telemetry exactly (shard_io.cc parses it back). Unlike
+  // ToJson(), carries no derived rates and no percentiles — those are
+  // recomputed after the merge.
+  std::string ToWireJson() const;
 };
 
 // ---------------------------------------------------------------------------
@@ -151,6 +171,10 @@ class Metrics {
   std::atomic<std::uint64_t> switch_packets_injected{0};
   std::atomic<std::uint64_t> incidents_raised{0};
   std::atomic<std::uint64_t> incidents_unique{0};
+  std::atomic<std::uint64_t> shards_lost{0};
+  std::atomic<std::uint64_t> worker_crashes{0};
+  std::atomic<std::uint64_t> worker_timeouts{0};
+  std::atomic<std::uint64_t> worker_retries{0};
   std::atomic<std::uint64_t> switch_write_ns{0};
   std::atomic<std::uint64_t> oracle_ns{0};
   std::atomic<std::uint64_t> reference_ns{0};
@@ -164,6 +188,12 @@ class Metrics {
   void Add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
     counter.fetch_add(n, std::memory_order_relaxed);
   }
+
+  // Adds a (worker-process) snapshot's counters and histogram buckets into
+  // this live sink. Skips campaign-scope fields the engine owns
+  // (shards_completed, incidents_raised/unique, wall time): those are
+  // accounted once, at merge, regardless of where the shard ran.
+  void Merge(const MetricsSnapshot& snapshot);
 
   MetricsSnapshot Snapshot(double wall_seconds) const;
 };

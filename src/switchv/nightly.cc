@@ -20,6 +20,11 @@ NightlyReport RunNightlyValidation(
   campaign.dataplane_on_fuzzed_state = options.dataplane_on_fuzzed_state;
   campaign.tracer = options.tracer;
   campaign.flight_recorder_capacity = options.flight_recorder_capacity;
+  campaign.execution = options.execution;
+  campaign.scenario = options.scenario;
+  campaign.worker_binary = options.worker_binary;
+  campaign.shard_timeout_seconds = options.shard_timeout_seconds;
+  campaign.shard_retries = options.shard_retries;
 
   CampaignReport campaign_report =
       RunValidationCampaign(faults, model, parser, entries, campaign);

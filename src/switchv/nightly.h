@@ -40,6 +40,15 @@ struct NightlyOptions {
   // Observability knobs (see CampaignOptions for semantics).
   Tracer* tracer = nullptr;
   int flight_recorder_capacity = 32;
+
+  // Execution-substrate knobs (see CampaignOptions for semantics): run each
+  // campaign shard in its own `switchv_shard_worker` process so a crashed
+  // or wedged switch instance loses one shard, never the nightly run.
+  CampaignOptions::Execution execution = CampaignOptions::Execution::kInProcess;
+  std::optional<ShardScenario> scenario;
+  std::string worker_binary;
+  double shard_timeout_seconds = 120;
+  int shard_retries = 1;
 };
 
 struct NightlyReport {

@@ -1,0 +1,1166 @@
+#include "switchv/shard_io.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace switchv {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model. The wire format is machine-written JSON on
+// one line; this parser exists to *reject* everything else — truncated
+// writes from a dying worker, stray log lines, hostile garbage — with a
+// Status instead of undefined behaviour. Numbers keep their raw token so
+// 64-bit seeds never lose precision through a double.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string number;  // raw token, e.g. "18446744073709551615" or "0.3"
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  static StatusOr<Json> Parse(std::string_view text) {
+    JsonReader reader(text);
+    SWITCHV_ASSIGN_OR_RETURN(Json value, reader.ParseValue());
+    reader.SkipSpace();
+    if (reader.pos_ != text.size()) {
+      return InvalidArgumentError("trailing bytes after JSON document at " +
+                                  reader.Context());
+    }
+    return value;
+  }
+
+ private:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  // Nesting cap: a garbage payload of ten thousand '[' must fail cleanly,
+  // not exhaust the stack.
+  static constexpr int kMaxDepth = 64;
+
+  std::string Context() const {
+    return "offset " + std::to_string(pos_) + " of " +
+           std::to_string(text_.size());
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<Json> ParseValue() {
+    if (++depth_ > kMaxDepth) {
+      return InvalidArgumentError("JSON nesting exceeds depth limit");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("truncated JSON: value expected at " +
+                                  Context());
+    }
+    StatusOr<Json> value = [&]() -> StatusOr<Json> {
+      switch (text_[pos_]) {
+        case '{':
+          return ParseObject();
+        case '[':
+          return ParseArray();
+        case '"':
+          return ParseString();
+        case 't':
+        case 'f':
+          return ParseBool();
+        case 'n':
+          return ParseNull();
+        default:
+          return ParseNumber();
+      }
+    }();
+    --depth_;
+    return value;
+  }
+
+  StatusOr<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json value;
+    value.type = Json::Type::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return InvalidArgumentError("truncated JSON: object key expected at " +
+                                    Context());
+      }
+      SWITCHV_ASSIGN_OR_RETURN(Json key, ParseString());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return InvalidArgumentError("truncated JSON: ':' expected at " +
+                                    Context());
+      }
+      ++pos_;
+      SWITCHV_ASSIGN_OR_RETURN(Json element, ParseValue());
+      value.object.emplace_back(std::move(key.str), std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("truncated JSON: unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return value;
+      }
+      return InvalidArgumentError("malformed JSON object at " + Context());
+    }
+  }
+
+  StatusOr<Json> ParseArray() {
+    ++pos_;  // '['
+    Json value;
+    value.type = Json::Type::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      SWITCHV_ASSIGN_OR_RETURN(Json element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return InvalidArgumentError("truncated JSON: unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return value;
+      }
+      return InvalidArgumentError("malformed JSON array at " + Context());
+    }
+  }
+
+  StatusOr<Json> ParseString() {
+    ++pos_;  // '"'
+    Json value;
+    value.type = Json::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return value;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"':
+            value.str.push_back('"');
+            break;
+          case '\\':
+            value.str.push_back('\\');
+            break;
+          case '/':
+            value.str.push_back('/');
+            break;
+          case 'n':
+            value.str.push_back('\n');
+            break;
+          case 't':
+            value.str.push_back('\t');
+            break;
+          case 'r':
+            value.str.push_back('\r');
+            break;
+          case 'b':
+            value.str.push_back('\b');
+            break;
+          case 'f':
+            value.str.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return InvalidArgumentError("truncated \\u escape at " +
+                                          Context());
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return InvalidArgumentError("bad \\u escape at " + Context());
+              }
+            }
+            pos_ += 4;
+            // The writer only emits \u00XX for control bytes; reject the
+            // rest rather than hand-roll UTF-8 encoding.
+            if (code > 0xFF) {
+              return InvalidArgumentError(
+                  "unsupported \\u escape above U+00FF at " + Context());
+            }
+            value.str.push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return InvalidArgumentError("unknown escape at " + Context());
+        }
+        continue;
+      }
+      value.str.push_back(c);
+      ++pos_;
+    }
+    return InvalidArgumentError("truncated JSON: unterminated string");
+  }
+
+  StatusOr<Json> ParseBool() {
+    Json value;
+    value.type = Json::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return InvalidArgumentError("malformed JSON literal at " + Context());
+  }
+
+  StatusOr<Json> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json{};
+    }
+    return InvalidArgumentError("malformed JSON literal at " + Context());
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgumentError("malformed JSON value at " + Context());
+    }
+    Json value;
+    value.type = Json::Type::kNumber;
+    value.number = std::string(text_.substr(start, pos_ - start));
+    // Validate the token now so field accessors can convert unchecked.
+    errno = 0;
+    char* end = nullptr;
+    std::strtod(value.number.c_str(), &end);
+    if (end != value.number.c_str() + value.number.size() || errno == ERANGE) {
+      return InvalidArgumentError("malformed JSON number '" + value.number +
+                                  "'");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Typed field accessors: every lookup failure names the missing/mistyped
+// key so a rejected payload is diagnosable from the status alone.
+// ---------------------------------------------------------------------------
+
+StatusOr<const Json*> Require(const Json& parent, std::string_view key,
+                              Json::Type type, const char* what) {
+  if (parent.type != Json::Type::kObject) {
+    return InvalidArgumentError(std::string(what) + ": not a JSON object");
+  }
+  const Json* value = parent.Find(key);
+  if (value == nullptr) {
+    return InvalidArgumentError(std::string(what) + ": missing field '" +
+                                std::string(key) + "'");
+  }
+  if (value->type != type) {
+    return InvalidArgumentError(std::string(what) + ": field '" +
+                                std::string(key) + "' has the wrong type");
+  }
+  return value;
+}
+
+Status GetU64(const Json& parent, std::string_view key, const char* what,
+              std::uint64_t& out) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json* value,
+                           Require(parent, key, Json::Type::kNumber, what));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->number.c_str(), &end,
+                                                  10);
+  if (end != value->number.c_str() + value->number.size() ||
+      errno == ERANGE || value->number[0] == '-') {
+    return InvalidArgumentError(std::string(what) + ": field '" +
+                                std::string(key) +
+                                "' is not a 64-bit unsigned integer");
+  }
+  out = static_cast<std::uint64_t>(parsed);
+  return OkStatus();
+}
+
+Status GetInt(const Json& parent, std::string_view key, const char* what,
+              int& out) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json* value,
+                           Require(parent, key, Json::Type::kNumber, what));
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->number.c_str(), &end, 10);
+  if (end != value->number.c_str() + value->number.size() ||
+      errno == ERANGE || parsed < INT32_MIN || parsed > INT32_MAX) {
+    return InvalidArgumentError(std::string(what) + ": field '" +
+                                std::string(key) + "' is not a 32-bit integer");
+  }
+  out = static_cast<int>(parsed);
+  return OkStatus();
+}
+
+Status GetDouble(const Json& parent, std::string_view key, const char* what,
+                 double& out) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json* value,
+                           Require(parent, key, Json::Type::kNumber, what));
+  out = std::strtod(value->number.c_str(), nullptr);
+  return OkStatus();
+}
+
+Status GetBool(const Json& parent, std::string_view key, const char* what,
+               bool& out) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json* value,
+                           Require(parent, key, Json::Type::kBool, what));
+  out = value->boolean;
+  return OkStatus();
+}
+
+Status GetString(const Json& parent, std::string_view key, const char* what,
+                 std::string& out) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json* value,
+                           Require(parent, key, Json::Type::kString, what));
+  out = value->str;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Scalar writers. Doubles are printed with max_digits10 so fuzzer
+// probabilities round-trip bit-exactly; uint64 values print as integers.
+// ---------------------------------------------------------------------------
+
+void WriteDouble(std::ostringstream& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+std::string HexError(std::string_view hex) {
+  const std::string prefix(hex.substr(0, 16));
+  return "bad hex packet bytes '" + prefix + (hex.size() > 16 ? "..." : "") +
+         "'";
+}
+
+StatusOr<std::string> HexToBytes(std::string_view hex) {
+  if (hex.size() % 2 != 0) return InvalidArgumentError(HexError(hex));
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return InvalidArgumentError(HexError(hex));
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Enum name maps. Names, not ordinals, go on the wire wherever a stable
+// name exists — a renumbered enum must not silently reinterpret old
+// payloads.
+// ---------------------------------------------------------------------------
+
+StatusOr<WireShardSpec::Kind> ParseKindName(std::string_view name) {
+  if (name == ShardKindName(WireShardSpec::Kind::kControlPlane)) {
+    return WireShardSpec::Kind::kControlPlane;
+  }
+  if (name == ShardKindName(WireShardSpec::Kind::kDataplane)) {
+    return WireShardSpec::Kind::kDataplane;
+  }
+  return InvalidArgumentError("unknown shard kind '" + std::string(name) +
+                              "'");
+}
+
+StatusOr<models::Role> ParseRoleName(std::string_view name) {
+  for (const models::Role role :
+       {models::Role::kMiddleblock, models::Role::kWan}) {
+    if (name == models::RoleName(role)) return role;
+  }
+  return InvalidArgumentError("unknown model role '" + std::string(name) +
+                              "'");
+}
+
+std::string_view CoverageName(symbolic::CoverageMode mode) {
+  return mode == symbolic::CoverageMode::kEntryCoverage ? "entry"
+                                                        : "branch-and-entry";
+}
+
+StatusOr<symbolic::CoverageMode> ParseCoverageName(std::string_view name) {
+  for (const symbolic::CoverageMode mode :
+       {symbolic::CoverageMode::kEntryCoverage,
+        symbolic::CoverageMode::kBranchAndEntryCoverage}) {
+    if (name == CoverageName(mode)) return mode;
+  }
+  return InvalidArgumentError("unknown coverage mode '" + std::string(name) +
+                              "'");
+}
+
+StatusOr<Detector> ParseDetectorName(std::string_view name) {
+  for (const Detector detector :
+       {Detector::kFuzzer, Detector::kSymbolic, Detector::kHarness}) {
+    if (name == DetectorName(detector)) return detector;
+  }
+  return InvalidArgumentError("unknown detector '" + std::string(name) + "'");
+}
+
+StatusOr<sut::SutLayer> ParseLayerName(std::string_view name) {
+  for (int i = 0; i < sut::kNumSutLayers; ++i) {
+    const auto layer = static_cast<sut::SutLayer>(i);
+    if (name == sut::SutLayerName(layer)) return layer;
+  }
+  return InvalidArgumentError("unknown SUT layer '" + std::string(name) +
+                              "'");
+}
+
+// ---------------------------------------------------------------------------
+// Sub-object writers/parsers shared by spec and result.
+// ---------------------------------------------------------------------------
+
+void WriteIncident(std::ostringstream& out, const Incident& incident) {
+  out << "{\"detector\":\"" << DetectorName(incident.detector)
+      << "\",\"summary\":\"" << JsonEscape(incident.summary)
+      << "\",\"details\":\"" << JsonEscape(incident.details)
+      << "\",\"table_id\":" << incident.table_id
+      << ",\"shard\":" << incident.shard << ",\"layer\":\""
+      << sut::SutLayerName(incident.layer) << "\",\"replay_trace\":\""
+      << JsonEscape(incident.replay_trace) << "\"}";
+}
+
+StatusOr<Incident> ParseIncident(const Json& json) {
+  constexpr const char* kWhat = "shard incident";
+  Incident incident{Detector::kFuzzer, "", ""};
+  std::string name;
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "detector", kWhat, name));
+  SWITCHV_ASSIGN_OR_RETURN(incident.detector, ParseDetectorName(name));
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "summary", kWhat, incident.summary));
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "details", kWhat, incident.details));
+  std::uint64_t table_id = 0;
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "table_id", kWhat, table_id));
+  if (table_id > UINT32_MAX) {
+    return InvalidArgumentError("shard incident: table_id out of range");
+  }
+  incident.table_id = static_cast<std::uint32_t>(table_id);
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "shard", kWhat, incident.shard));
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "layer", kWhat, name));
+  SWITCHV_ASSIGN_OR_RETURN(incident.layer, ParseLayerName(name));
+  SWITCHV_RETURN_IF_ERROR(
+      GetString(json, "replay_trace", kWhat, incident.replay_trace));
+  return incident;
+}
+
+void WriteSpan(std::ostringstream& out, const TraceSpan& span) {
+  out << "{\"name\":\"" << JsonEscape(span.name) << "\",\"category\":\""
+      << JsonEscape(span.category) << "\",\"shard\":" << span.shard
+      << ",\"seq\":" << span.seq << ",\"parent_seq\":" << span.parent_seq
+      << ",\"start_ns\":" << span.start_ns << ",\"duration_ns\":"
+      << span.duration_ns << ",\"args\":[";
+  bool first = true;
+  for (const auto& [key, value] : span.args) {
+    if (!first) out << ",";
+    first = false;
+    out << "[\"" << JsonEscape(key) << "\",\"" << JsonEscape(value) << "\"]";
+  }
+  out << "]}";
+}
+
+StatusOr<TraceSpan> ParseSpan(const Json& json) {
+  constexpr const char* kWhat = "shard span";
+  TraceSpan span;
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "name", kWhat, span.name));
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "category", kWhat, span.category));
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "shard", kWhat, span.shard));
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "seq", kWhat, span.seq));
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "parent_seq", kWhat, span.parent_seq));
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "start_ns", kWhat, span.start_ns));
+  SWITCHV_RETURN_IF_ERROR(
+      GetU64(json, "duration_ns", kWhat, span.duration_ns));
+  SWITCHV_ASSIGN_OR_RETURN(const Json* args,
+                           Require(json, "args", Json::Type::kArray, kWhat));
+  for (const Json& pair : args->array) {
+    if (pair.type != Json::Type::kArray || pair.array.size() != 2 ||
+        pair.array[0].type != Json::Type::kString ||
+        pair.array[1].type != Json::Type::kString) {
+      return InvalidArgumentError("shard span: malformed args pair");
+    }
+    span.args.emplace_back(pair.array[0].str, pair.array[1].str);
+  }
+  return span;
+}
+
+Status ParseHistogram(const Json& hists, const char* name,
+                      HistogramSnapshot& out) {
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* hist, Require(hists, name, Json::Type::kObject,
+                                "shard metrics histogram"));
+  SWITCHV_RETURN_IF_ERROR(GetU64(*hist, "sum_ns", name, out.sum_ns));
+  SWITCHV_ASSIGN_OR_RETURN(const Json* counts,
+                           Require(*hist, "counts", Json::Type::kArray, name));
+  if (counts->array.size() != static_cast<std::size_t>(kHistogramBuckets)) {
+    return InvalidArgumentError(std::string(name) +
+                                ": histogram bucket count mismatch");
+  }
+  out.count = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const Json& bucket = counts->array[static_cast<std::size_t>(i)];
+    if (bucket.type != Json::Type::kNumber) {
+      return InvalidArgumentError(std::string(name) +
+                                  ": histogram bucket is not a number");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(bucket.number.c_str(), &end, 10);
+    if (end != bucket.number.c_str() + bucket.number.size() ||
+        errno == ERANGE || bucket.number[0] == '-') {
+      return InvalidArgumentError(std::string(name) +
+                                  ": histogram bucket is not a u64");
+    }
+    out.counts[static_cast<std::size_t>(i)] = parsed;
+    out.count += parsed;
+  }
+  return OkStatus();
+}
+
+Status ParseWireMetrics(const Json& json, MetricsSnapshot& out) {
+  constexpr const char* kWhat = "shard metrics";
+  const struct {
+    const char* key;
+    std::uint64_t* field;
+  } counters[] = {
+      {"shards_completed", &out.shards_completed},
+      {"updates_sent", &out.updates_sent},
+      {"requests_sent", &out.requests_sent},
+      {"generated_valid", &out.generated_valid},
+      {"generated_invalid", &out.generated_invalid},
+      {"oracle_findings", &out.oracle_findings},
+      {"packets_tested", &out.packets_tested},
+      {"solver_queries", &out.solver_queries},
+      {"generation_cache_hits", &out.generation_cache_hits},
+      {"switch_writes", &out.switch_writes},
+      {"switch_reads", &out.switch_reads},
+      {"switch_packets_injected", &out.switch_packets_injected},
+      {"incidents_raised", &out.incidents_raised},
+      {"incidents_unique", &out.incidents_unique},
+      {"shards_lost", &out.shards_lost},
+      {"worker_crashes", &out.worker_crashes},
+      {"worker_timeouts", &out.worker_timeouts},
+      {"worker_retries", &out.worker_retries},
+      {"switch_write_ns", &out.switch_write_ns},
+      {"oracle_ns", &out.oracle_ns},
+      {"reference_ns", &out.reference_ns},
+      {"generation_ns", &out.generation_ns},
+  };
+  for (const auto& counter : counters) {
+    SWITCHV_RETURN_IF_ERROR(GetU64(json, counter.key, kWhat, *counter.field));
+  }
+  SWITCHV_ASSIGN_OR_RETURN(const Json* hists,
+                           Require(json, "hists", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(
+      ParseHistogram(*hists, "switch_write", out.switch_write_hist));
+  SWITCHV_RETURN_IF_ERROR(ParseHistogram(*hists, "oracle", out.oracle_hist));
+  SWITCHV_RETURN_IF_ERROR(
+      ParseHistogram(*hists, "reference_sim", out.reference_hist));
+  SWITCHV_RETURN_IF_ERROR(
+      ParseHistogram(*hists, "generation", out.generation_hist));
+  return OkStatus();
+}
+
+// Wire version tags. Bump on any incompatible change so a mixed-version
+// fleet fails loudly instead of mis-merging.
+constexpr int kSpecVersion = 1;
+constexpr int kResultVersion = 1;
+
+}  // namespace
+
+std::string_view ShardKindName(WireShardSpec::Kind kind) {
+  return kind == WireShardSpec::Kind::kControlPlane ? "control-plane"
+                                                    : "dataplane";
+}
+
+std::string SerializeShardSpec(const WireShardSpec& spec) {
+  std::ostringstream out;
+  out << "{\"switchv_shard_spec\":" << kSpecVersion << ",\"kind\":\""
+      << ShardKindName(spec.kind) << "\",\"index\":" << spec.index;
+
+  out << ",\"scenario\":{\"role\":\"" << models::RoleName(spec.scenario.role)
+      << "\",\"entry_seed\":" << spec.scenario.entry_seed << ",\"model\":{"
+      << "\"omit_ttl_trap\":" << (spec.scenario.model.omit_ttl_trap ? "true"
+                                                                    : "false")
+      << ",\"omit_broadcast_drop\":"
+      << (spec.scenario.model.omit_broadcast_drop ? "true" : "false")
+      << ",\"acl_after_rewrite\":"
+      << (spec.scenario.model.acl_after_rewrite ? "true" : "false")
+      << ",\"acl_wrong_icmp_field\":"
+      << (spec.scenario.model.acl_wrong_icmp_field ? "true" : "false") << "}";
+  const models::WorkloadSpec& w = spec.scenario.workload;
+  out << ",\"workload\":{\"num_vrfs\":" << w.num_vrfs
+      << ",\"num_l3_admit\":" << w.num_l3_admit
+      << ",\"num_pre_ingress\":" << w.num_pre_ingress
+      << ",\"num_ipv4_routes\":" << w.num_ipv4_routes
+      << ",\"num_ipv6_routes\":" << w.num_ipv6_routes
+      << ",\"num_wcmp_groups\":" << w.num_wcmp_groups
+      << ",\"num_nexthops\":" << w.num_nexthops
+      << ",\"num_neighbors\":" << w.num_neighbors
+      << ",\"num_rifs\":" << w.num_rifs
+      << ",\"num_acl_ingress\":" << w.num_acl_ingress
+      << ",\"num_mirror_sessions\":" << w.num_mirror_sessions
+      << ",\"num_egress_rifs\":" << w.num_egress_rifs
+      << ",\"num_decap\":" << w.num_decap
+      << ",\"num_tunnels\":" << w.num_tunnels << "}}";
+
+  out << ",\"faults\":[";
+  bool first = true;
+  for (const sut::Fault fault : spec.faults) {
+    if (!first) out << ",";
+    first = false;
+    out << static_cast<int>(fault);
+  }
+  out << "]";
+
+  const ControlPlaneOptions& cp = spec.control_plane;
+  out << ",\"control_plane\":{\"num_requests\":" << cp.num_requests
+      << ",\"updates_per_request\":" << cp.updates_per_request
+      << ",\"seed\":" << cp.seed << ",\"max_incidents\":" << cp.max_incidents
+      << ",\"fuzzer\":{\"invalid_probability\":";
+  WriteDouble(out, cp.fuzzer.invalid_probability);
+  out << ",\"delete_probability\":";
+  WriteDouble(out, cp.fuzzer.delete_probability);
+  out << ",\"modify_probability\":";
+  WriteDouble(out, cp.fuzzer.modify_probability);
+  out << ",\"use_bdd_for_constraints\":"
+      << (cp.fuzzer.use_bdd_for_constraints ? "true" : "false")
+      << ",\"priority_table_bias\":";
+  WriteDouble(out, cp.fuzzer.priority_table_bias);
+  out << "}}";
+
+  const DataplaneOptions& dp = spec.dataplane;
+  out << ",\"dataplane\":{\"coverage\":\"" << CoverageName(dp.coverage)
+      << "\",\"max_incidents\":" << dp.max_incidents
+      << ",\"packet_out_ports\":" << dp.packet_out_ports
+      << ",\"packet_shard\":" << dp.packet_shard
+      << ",\"packet_shards\":" << dp.packet_shards << "}";
+
+  out << ",\"dataplane_on_fuzzed_state\":"
+      << (spec.dataplane_on_fuzzed_state ? "true" : "false")
+      << ",\"flight_recorder_capacity\":" << spec.flight_recorder_capacity
+      << ",\"trace\":" << (spec.trace ? "true" : "false");
+
+  if (spec.has_packets) {
+    out << ",\"packets\":[";
+    first = true;
+    for (const symbolic::TestPacket& packet : spec.packets) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"bytes_hex\":\"" << BytesToHex(packet.bytes)
+          << "\",\"ingress_port\":" << packet.ingress_port
+          << ",\"target_id\":\"" << JsonEscape(packet.target_id) << "\"}";
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+StatusOr<WireShardSpec> ParseShardSpec(std::string_view line) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json json, JsonReader::Parse(line));
+  constexpr const char* kWhat = "shard spec";
+  int version = 0;
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "switchv_shard_spec", kWhat, version));
+  if (version != kSpecVersion) {
+    return InvalidArgumentError("unsupported shard-spec version " +
+                                std::to_string(version));
+  }
+  WireShardSpec spec;
+  std::string name;
+  SWITCHV_RETURN_IF_ERROR(GetString(json, "kind", kWhat, name));
+  SWITCHV_ASSIGN_OR_RETURN(spec.kind, ParseKindName(name));
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "index", kWhat, spec.index));
+
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* scenario,
+      Require(json, "scenario", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(GetString(*scenario, "role", kWhat, name));
+  SWITCHV_ASSIGN_OR_RETURN(spec.scenario.role, ParseRoleName(name));
+  SWITCHV_RETURN_IF_ERROR(
+      GetU64(*scenario, "entry_seed", kWhat, spec.scenario.entry_seed));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* model,
+      Require(*scenario, "model", Json::Type::kObject, kWhat));
+  models::ModelOptions& mo = spec.scenario.model;
+  SWITCHV_RETURN_IF_ERROR(
+      GetBool(*model, "omit_ttl_trap", kWhat, mo.omit_ttl_trap));
+  SWITCHV_RETURN_IF_ERROR(
+      GetBool(*model, "omit_broadcast_drop", kWhat, mo.omit_broadcast_drop));
+  SWITCHV_RETURN_IF_ERROR(
+      GetBool(*model, "acl_after_rewrite", kWhat, mo.acl_after_rewrite));
+  SWITCHV_RETURN_IF_ERROR(GetBool(*model, "acl_wrong_icmp_field", kWhat,
+                                  mo.acl_wrong_icmp_field));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* workload,
+      Require(*scenario, "workload", Json::Type::kObject, kWhat));
+  models::WorkloadSpec& w = spec.scenario.workload;
+  const struct {
+    const char* key;
+    int* field;
+  } workload_fields[] = {
+      {"num_vrfs", &w.num_vrfs},
+      {"num_l3_admit", &w.num_l3_admit},
+      {"num_pre_ingress", &w.num_pre_ingress},
+      {"num_ipv4_routes", &w.num_ipv4_routes},
+      {"num_ipv6_routes", &w.num_ipv6_routes},
+      {"num_wcmp_groups", &w.num_wcmp_groups},
+      {"num_nexthops", &w.num_nexthops},
+      {"num_neighbors", &w.num_neighbors},
+      {"num_rifs", &w.num_rifs},
+      {"num_acl_ingress", &w.num_acl_ingress},
+      {"num_mirror_sessions", &w.num_mirror_sessions},
+      {"num_egress_rifs", &w.num_egress_rifs},
+      {"num_decap", &w.num_decap},
+      {"num_tunnels", &w.num_tunnels},
+  };
+  for (const auto& field : workload_fields) {
+    SWITCHV_RETURN_IF_ERROR(GetInt(*workload, field.key, kWhat, *field.field));
+  }
+
+  SWITCHV_ASSIGN_OR_RETURN(const Json* faults,
+                           Require(json, "faults", Json::Type::kArray, kWhat));
+  for (const Json& fault : faults->array) {
+    if (fault.type != Json::Type::kNumber) {
+      return InvalidArgumentError("shard spec: fault id is not a number");
+    }
+    const long id = std::strtol(fault.number.c_str(), nullptr, 10);
+    if (id < 0 || id >= sut::kNumFaults) {
+      return InvalidArgumentError("shard spec: fault id " +
+                                  std::to_string(id) + " out of range");
+    }
+    spec.faults.push_back(static_cast<sut::Fault>(id));
+  }
+
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* cp,
+      Require(json, "control_plane", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(*cp, "num_requests", kWhat, spec.control_plane.num_requests));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*cp, "updates_per_request", kWhat,
+                                 spec.control_plane.updates_per_request));
+  SWITCHV_RETURN_IF_ERROR(GetU64(*cp, "seed", kWhat, spec.control_plane.seed));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(*cp, "max_incidents", kWhat, spec.control_plane.max_incidents));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* fuzzer, Require(*cp, "fuzzer", Json::Type::kObject, kWhat));
+  fuzzer::FuzzerOptions& fo = spec.control_plane.fuzzer;
+  SWITCHV_RETURN_IF_ERROR(GetDouble(*fuzzer, "invalid_probability", kWhat,
+                                    fo.invalid_probability));
+  SWITCHV_RETURN_IF_ERROR(
+      GetDouble(*fuzzer, "delete_probability", kWhat, fo.delete_probability));
+  SWITCHV_RETURN_IF_ERROR(
+      GetDouble(*fuzzer, "modify_probability", kWhat, fo.modify_probability));
+  SWITCHV_RETURN_IF_ERROR(GetBool(*fuzzer, "use_bdd_for_constraints", kWhat,
+                                  fo.use_bdd_for_constraints));
+  SWITCHV_RETURN_IF_ERROR(GetDouble(*fuzzer, "priority_table_bias", kWhat,
+                                    fo.priority_table_bias));
+
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* dp, Require(json, "dataplane", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(GetString(*dp, "coverage", kWhat, name));
+  SWITCHV_ASSIGN_OR_RETURN(spec.dataplane.coverage, ParseCoverageName(name));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(*dp, "max_incidents", kWhat, spec.dataplane.max_incidents));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*dp, "packet_out_ports", kWhat,
+                                 spec.dataplane.packet_out_ports));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(*dp, "packet_shard", kWhat, spec.dataplane.packet_shard));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(*dp, "packet_shards", kWhat, spec.dataplane.packet_shards));
+
+  SWITCHV_RETURN_IF_ERROR(GetBool(json, "dataplane_on_fuzzed_state", kWhat,
+                                  spec.dataplane_on_fuzzed_state));
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "flight_recorder_capacity", kWhat,
+                                 spec.flight_recorder_capacity));
+  SWITCHV_RETURN_IF_ERROR(GetBool(json, "trace", kWhat, spec.trace));
+
+  if (const Json* packets = json.Find("packets"); packets != nullptr) {
+    if (packets->type != Json::Type::kArray) {
+      return InvalidArgumentError("shard spec: 'packets' is not an array");
+    }
+    spec.has_packets = true;
+    spec.packets.reserve(packets->array.size());
+    for (const Json& packet : packets->array) {
+      symbolic::TestPacket parsed;
+      std::string hex;
+      SWITCHV_RETURN_IF_ERROR(GetString(packet, "bytes_hex", kWhat, hex));
+      SWITCHV_ASSIGN_OR_RETURN(parsed.bytes, HexToBytes(hex));
+      int port = 0;
+      SWITCHV_RETURN_IF_ERROR(GetInt(packet, "ingress_port", kWhat, port));
+      if (port < 0 || port > UINT16_MAX) {
+        return InvalidArgumentError("shard spec: ingress_port out of range");
+      }
+      parsed.ingress_port = static_cast<std::uint16_t>(port);
+      SWITCHV_RETURN_IF_ERROR(
+          GetString(packet, "target_id", kWhat, parsed.target_id));
+      spec.packets.push_back(std::move(parsed));
+    }
+  }
+  return spec;
+}
+
+std::string SerializeShardResult(const WireShardResult& result) {
+  std::ostringstream out;
+  out << "{\"switchv_shard_result\":" << kResultVersion
+      << ",\"index\":" << result.index << ",\"incidents\":[";
+  bool first = true;
+  for (const Incident& incident : result.incidents) {
+    if (!first) out << ",";
+    first = false;
+    WriteIncident(out, incident);
+  }
+  out << "],\"fuzzed_updates\":" << result.fuzzed_updates
+      << ",\"packets_tested\":" << result.packets_tested
+      << ",\"generation\":{\"targets_total\":" << result.generation.targets_total
+      << ",\"targets_covered\":" << result.generation.targets_covered
+      << ",\"targets_infeasible\":" << result.generation.targets_infeasible
+      << ",\"solver_queries\":" << result.generation.solver_queries
+      << ",\"cache_hit\":" << (result.generation.cache_hit ? "true" : "false")
+      << "},\"metrics\":" << result.metrics.ToWireJson() << ",\"spans\":[";
+  first = true;
+  for (const TraceSpan& span : result.spans) {
+    if (!first) out << ",";
+    first = false;
+    WriteSpan(out, span);
+  }
+  out << "]}";
+  return out.str();
+}
+
+StatusOr<WireShardResult> ParseShardResult(std::string_view line) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json json, JsonReader::Parse(line));
+  constexpr const char* kWhat = "shard result";
+  int version = 0;
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(json, "switchv_shard_result", kWhat, version));
+  if (version != kResultVersion) {
+    return InvalidArgumentError("unsupported shard-result version " +
+                                std::to_string(version));
+  }
+  WireShardResult result;
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "index", kWhat, result.index));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* incidents,
+      Require(json, "incidents", Json::Type::kArray, kWhat));
+  result.incidents.reserve(incidents->array.size());
+  for (const Json& incident : incidents->array) {
+    SWITCHV_ASSIGN_OR_RETURN(Incident parsed, ParseIncident(incident));
+    result.incidents.push_back(std::move(parsed));
+  }
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(json, "fuzzed_updates", kWhat, result.fuzzed_updates));
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(json, "packets_tested", kWhat, result.packets_tested));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* generation,
+      Require(json, "generation", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*generation, "targets_total", kWhat,
+                                 result.generation.targets_total));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*generation, "targets_covered", kWhat,
+                                 result.generation.targets_covered));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*generation, "targets_infeasible", kWhat,
+                                 result.generation.targets_infeasible));
+  SWITCHV_RETURN_IF_ERROR(GetInt(*generation, "solver_queries", kWhat,
+                                 result.generation.solver_queries));
+  SWITCHV_RETURN_IF_ERROR(
+      GetBool(*generation, "cache_hit", kWhat, result.generation.cache_hit));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* metrics,
+      Require(json, "metrics", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(ParseWireMetrics(*metrics, result.metrics));
+  SWITCHV_ASSIGN_OR_RETURN(const Json* spans,
+                           Require(json, "spans", Json::Type::kArray, kWhat));
+  result.spans.reserve(spans->array.size());
+  for (const Json& span : spans->array) {
+    SWITCHV_ASSIGN_OR_RETURN(TraceSpan parsed, ParseSpan(span));
+    result.spans.push_back(std::move(parsed));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Worker process runner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// A worker can die before draining its stdin; the resulting EPIPE must
+// surface as a write error, not a SIGPIPE that kills the campaign.
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+
+// Reaps the child, waiting at most until `deadline`; SIGKILLs on overrun.
+// Returns the waitpid status and sets `killed` if the deadline fired.
+int ReapChild(pid_t pid, std::chrono::steady_clock::time_point deadline,
+              bool* killed) {
+  int status = 0;
+  while (true) {
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) return status;
+    if (reaped < 0 && errno != EINTR) return -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (!*killed) {
+        ::kill(pid, SIGKILL);
+        *killed = true;
+        // The kill makes the child reapable almost immediately; extend the
+        // deadline slightly so the blocking reap below cannot hang.
+        deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      } else {
+        // SIGKILL cannot be ignored; if the child is still not reapable it
+        // is stuck in the kernel — abandon it rather than hang the shard.
+        return -1;
+      }
+    }
+    ::usleep(2000);
+  }
+}
+
+}  // namespace
+
+WorkerProcessResult RunWorkerProcess(const std::string& binary,
+                                     const std::vector<std::string>& extra_args,
+                                     std::string_view stdin_payload,
+                                     double timeout_seconds) {
+  IgnoreSigpipeOnce();
+  WorkerProcessResult result;
+
+  int in_pipe[2] = {-1, -1};   // parent writes spec -> child stdin
+  int out_pipe[2] = {-1, -1};  // child stdout -> parent reads result
+  if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) {
+    result.error = std::string("pipe: ") + std::strerror(errno);
+    CloseFd(in_pipe[0]);
+    CloseFd(in_pipe[1]);
+    return result;
+  }
+
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const std::string& arg : extra_args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    result.error = std::string("fork: ") + std::strerror(errno);
+    CloseFd(in_pipe[0]);
+    CloseFd(in_pipe[1]);
+    CloseFd(out_pipe[0]);
+    CloseFd(out_pipe[1]);
+    return result;
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout (stderr is inherited) and exec.
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execv(binary.c_str(), argv.data());
+    // Exec failed; 127 is the shell's convention for "command not found".
+    std::fprintf(stderr, "switchv shard worker exec '%s' failed: %s\n",
+                 binary.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+
+  // Parent.
+  CloseFd(in_pipe[0]);
+  CloseFd(out_pipe[1]);
+  int write_fd = in_pipe[1];
+  int read_fd = out_pipe[0];
+  ::fcntl(write_fd, F_SETFL, O_NONBLOCK);
+  ::fcntl(read_fd, F_SETFL, O_NONBLOCK);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds > 0 ? timeout_seconds
+                                                            : 0.001));
+  std::size_t written = 0;
+  bool timed_out = false;
+  char buffer[65536];
+
+  // One poll loop drives both directions: the spec may exceed the pipe
+  // buffer (packet-laden dataplane shards), so the parent must keep
+  // draining stdout while it is still feeding stdin.
+  while (read_fd >= 0) {
+    struct pollfd fds[2];
+    int nfds = 0;
+    int read_slot = -1;
+    int write_slot = -1;
+    if (read_fd >= 0) {
+      read_slot = nfds;
+      fds[nfds].fd = read_fd;
+      fds[nfds].events = POLLIN;
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    if (write_fd >= 0) {
+      write_slot = nfds;
+      fds[nfds].fd = write_fd;
+      fds[nfds].events = POLLOUT;
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      timed_out = true;
+      break;
+    }
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = ::poll(fds, static_cast<nfds_t>(nfds),
+                             remaining_ms > 0 ? remaining_ms : 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      timed_out = true;
+      break;
+    }
+    if (write_slot >= 0 &&
+        (fds[write_slot].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      const ssize_t n =
+          ::write(write_fd, stdin_payload.data() + written,
+                  stdin_payload.size() - written);
+      if (n > 0) written += static_cast<std::size_t>(n);
+      const bool failed = n < 0 && errno != EAGAIN && errno != EINTR;
+      if (failed || written >= stdin_payload.size()) {
+        CloseFd(write_fd);  // EOF tells the worker the spec is complete
+      }
+    }
+    if (read_slot >= 0 && (fds[read_slot].revents & (POLLIN | POLLHUP)) != 0) {
+      const ssize_t n = ::read(read_fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        result.stdout_data.append(buffer, static_cast<std::size_t>(n));
+      } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+        CloseFd(read_fd);  // EOF: the child closed stdout (usually: exited)
+      }
+    }
+  }
+  CloseFd(write_fd);
+  CloseFd(read_fd);
+
+  bool killed = false;
+  if (timed_out) {
+    ::kill(pid, SIGKILL);
+    killed = true;
+  }
+  const int status = ReapChild(
+      pid,
+      timed_out ? std::chrono::steady_clock::now() + std::chrono::seconds(5)
+                : deadline,
+      &killed);
+  if (timed_out || (killed && !timed_out)) {
+    result.outcome = WorkerProcessResult::Outcome::kTimedOut;
+    return result;
+  }
+  if (status >= 0 && WIFEXITED(status)) {
+    result.outcome = WorkerProcessResult::Outcome::kExited;
+    result.exit_code = WEXITSTATUS(status);
+    return result;
+  }
+  if (status >= 0 && WIFSIGNALED(status)) {
+    result.outcome = WorkerProcessResult::Outcome::kSignaled;
+    result.term_signal = WTERMSIG(status);
+    return result;
+  }
+  result.outcome = WorkerProcessResult::Outcome::kSpawnFailed;
+  result.error = "worker process could not be reaped";
+  return result;
+}
+
+}  // namespace switchv

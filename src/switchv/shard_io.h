@@ -1,0 +1,137 @@
+// Wire protocol for out-of-process campaign shards.
+//
+// Production SwitchV runs its nightly campaigns across a fleet of testbeds
+// (paper §8): the orchestrator must outlive any single wedged or crashed
+// switch instance. The in-process worker pool (switchv/engine.h) cannot —
+// a SUT abort takes the whole campaign down. This module is the seam that
+// fixes that: a campaign shard, today a struct passed to a function, is
+// serialized to one line of JSON, executed by a `switchv_shard_worker`
+// process, and its results (incident list, counters, telemetry snapshot,
+// trace spans) come back as one line of JSON on stdout.
+//
+// Format invariants (all load-bearing for the engine's conformance
+// guarantee — a campaign report must be byte-identical whether its shards
+// ran in-process or out-of-process):
+//   * Lossless: every field that influences shard behaviour round-trips
+//     exactly, including fuzzer probabilities (printed with max_digits10)
+//     and 64-bit seeds (never routed through a double).
+//   * Self-describing: specs and results carry a version tag; parsers
+//     reject unknown versions, truncated payloads, and garbage with a
+//     clear Status — never a crash (the parent treats a worker's stdout as
+//     untrusted: the worker may have died mid-write).
+//   * Line-delimited: one JSON object per line, so the stream composes
+//     with pipes, files, and (later) sockets between hosts.
+#ifndef SWITCHV_SWITCHV_SHARD_IO_H_
+#define SWITCHV_SWITCHV_SHARD_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "models/entry_gen.h"
+#include "switchv/control_plane.h"
+#include "switchv/dataplane.h"
+
+namespace switchv {
+
+// How a worker process rebuilds the campaign's scenario — the P4 model,
+// parser, and replayed forwarding state — from first principles. Model
+// construction and entry generation are deterministic in these fields, so
+// shipping the recipe instead of the artifacts keeps specs small and the
+// rebuilt scenario bit-identical to the parent's.
+struct ShardScenario {
+  models::Role role = models::Role::kMiddleblock;
+  models::ModelOptions model;       // "Input P4 Program" bug knobs
+  models::WorkloadSpec workload;    // forwarding-state shape
+  std::uint64_t entry_seed = 1;
+};
+
+// Everything a worker process needs to run exactly one campaign shard.
+// Mirrors the engine's internal shard decomposition; the embedded option
+// structs are serialized by value only — their pointer members (metrics,
+// trace, recorder, caches) are process-local and always null on the wire.
+struct WireShardSpec {
+  enum class Kind { kControlPlane, kDataplane };
+  Kind kind = Kind::kControlPlane;
+  int index = 0;  // global shard index (merge identity)
+  ShardScenario scenario;
+  // This shard's fault-registry view (sorted ids); empty = healthy stack.
+  std::vector<sut::Fault> faults;
+  // Control-plane shards: num_requests/seed are this shard's slice, not
+  // campaign totals.
+  ControlPlaneOptions control_plane;
+  // Dataplane shards: packet_shard/packet_shards carry the partition.
+  DataplaneOptions dataplane;
+  bool dataplane_on_fuzzed_state = false;
+  int flight_recorder_capacity = 32;
+  // Record spans in the worker and ship them back in the result.
+  bool trace = false;
+  // Campaign pre-phase packets (split-dataplane campaigns generate once,
+  // in the parent, and fan the list out — same as in-process execution).
+  bool has_packets = false;
+  std::vector<symbolic::TestPacket> packets;
+};
+
+std::string_view ShardKindName(WireShardSpec::Kind kind);
+
+// A worker's complete output for one shard.
+struct WireShardResult {
+  int index = 0;
+  std::vector<Incident> incidents;
+  int fuzzed_updates = 0;
+  int packets_tested = 0;
+  symbolic::GenerationStats generation;
+  // The worker's full telemetry (counters + histogram buckets); the parent
+  // folds it into the campaign sink with Metrics::Merge. wall_seconds is
+  // worker-local and ignored on merge.
+  MetricsSnapshot metrics;
+  // Shard spans when the spec asked for tracing; identity ((shard, seq),
+  // names, nesting) is deterministic, timestamps are worker-relative.
+  std::vector<TraceSpan> spans;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization. Each Serialize* emits exactly one line (no trailing
+// newline); each Parse* accepts exactly one line and reports malformed
+// input — truncation, garbage, wrong version, out-of-range enums — as
+// INVALID_ARGUMENT with the offending context.
+// ---------------------------------------------------------------------------
+
+std::string SerializeShardSpec(const WireShardSpec& spec);
+StatusOr<WireShardSpec> ParseShardSpec(std::string_view line);
+
+std::string SerializeShardResult(const WireShardResult& result);
+StatusOr<WireShardResult> ParseShardResult(std::string_view line);
+
+// ---------------------------------------------------------------------------
+// Worker process runner: fork/exec with piped stdin/stdout, a wall-clock
+// deadline, and SIGKILL on overrun. The harness side of crash isolation.
+// ---------------------------------------------------------------------------
+
+struct WorkerProcessResult {
+  enum class Outcome {
+    kExited,       // child exited; see exit_code
+    kSignaled,     // child died on a signal (crash); see term_signal
+    kTimedOut,     // deadline hit; child was SIGKILLed
+    kSpawnFailed,  // never started; see error
+  };
+  Outcome outcome = Outcome::kSpawnFailed;
+  int exit_code = -1;
+  int term_signal = 0;
+  std::string stdout_data;  // everything the child wrote before the end
+  std::string error;        // spawn-failure detail
+};
+
+// Runs `binary` with `extra_args`, writes `stdin_payload` to its stdin
+// (then EOF), and drains stdout until the child exits or
+// `timeout_seconds` elapses. Never throws and never blocks past the
+// deadline; the caller classifies the outcome. stderr is inherited so a
+// failing worker's rendered error lands in the campaign log.
+WorkerProcessResult RunWorkerProcess(const std::string& binary,
+                                     const std::vector<std::string>& extra_args,
+                                     std::string_view stdin_payload,
+                                     double timeout_seconds);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_SHARD_IO_H_

@@ -1,9 +1,15 @@
 // Campaign-engine tests: determinism across parallelism levels, shard
-// isolation of fault-registry views, incident fingerprint dedup, and
-// telemetry consistency.
+// isolation of fault-registry views, incident fingerprint dedup, telemetry
+// consistency, and in-process/subprocess execution conformance.
 #include <gtest/gtest.h>
 
 #include "switchv/experiment.h"
+
+// Baked in by tests/CMakeLists.txt; the subprocess tests are skipped when
+// the worker binary is unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
 
 namespace switchv {
 namespace {
@@ -46,6 +52,24 @@ class EngineTest : public ::testing::Test {
                             const CampaignOptions& options) {
     return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
                                  *entries_, options);
+  }
+
+  // The recipe matching the fixture's model and entries exactly: shard
+  // workers rebuild the same scenario from it.
+  static ShardScenario Scenario() {
+    ShardScenario scenario;
+    scenario.role = models::Role::kMiddleblock;
+    scenario.workload = ExperimentOptions::SmallWorkload();
+    scenario.entry_seed = 2;
+    return scenario;
+  }
+
+  static CampaignOptions SubprocessCampaign() {
+    CampaignOptions options = FastCampaign();
+    options.execution = CampaignOptions::Execution::kSubprocess;
+    options.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+    options.scenario = Scenario();
+    return options;
   }
 
   static p4ir::Program* model_;
@@ -209,6 +233,168 @@ TEST_F(EngineTest, MetricsSumAcrossShards) {
   const std::string text = metrics.ToString();
   EXPECT_NE(text.find("updates/s"), std::string::npos);
   EXPECT_NE(text.find("packets"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Execution conformance: a fixed-seed campaign yields the identical report
+// whether shards run on worker threads or in worker processes — same
+// fingerprints, same group counts, same merged (count-based) telemetry.
+// Timing-based fields (wall clock, phase ns, histogram sums) are excluded:
+// only their count structure is deterministic.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, SubprocessExecutionMatchesInProcessByteForByte) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions options = FastCampaign();
+  options.parallelism = 2;
+  const CampaignReport in_process = Run(&faults, options);
+
+  CampaignOptions sub = SubprocessCampaign();
+  sub.parallelism = 2;
+  Tracer tracer;
+  sub.tracer = &tracer;
+  const CampaignReport subprocess = Run(&faults, sub);
+
+  // No worker was lost: the harness stayed out of the findings.
+  EXPECT_EQ(subprocess.metrics.shards_lost, 0u);
+  EXPECT_EQ(subprocess.metrics.worker_crashes, 0u);
+  EXPECT_EQ(subprocess.metrics.worker_timeouts, 0u);
+
+  ASSERT_TRUE(in_process.bug_detected());
+  EXPECT_EQ(in_process.FingerprintSet(), subprocess.FingerprintSet());
+  ASSERT_EQ(in_process.groups.size(), subprocess.groups.size());
+  for (std::size_t i = 0; i < in_process.groups.size(); ++i) {
+    SCOPED_TRACE(in_process.groups[i].exemplar.summary);
+    EXPECT_EQ(in_process.groups[i].fingerprint,
+              subprocess.groups[i].fingerprint);
+    EXPECT_EQ(in_process.groups[i].occurrences,
+              subprocess.groups[i].occurrences);
+    EXPECT_EQ(in_process.groups[i].shards, subprocess.groups[i].shards);
+    EXPECT_EQ(in_process.groups[i].exemplar.summary,
+              subprocess.groups[i].exemplar.summary);
+    EXPECT_EQ(in_process.groups[i].exemplar.shard,
+              subprocess.groups[i].exemplar.shard);
+    EXPECT_EQ(in_process.groups[i].exemplar.layer,
+              subprocess.groups[i].exemplar.layer);
+  }
+  EXPECT_EQ(in_process.shards_run, subprocess.shards_run);
+  EXPECT_EQ(in_process.fuzzed_updates, subprocess.fuzzed_updates);
+  EXPECT_EQ(in_process.packets_tested, subprocess.packets_tested);
+  EXPECT_EQ(in_process.generation.targets_total,
+            subprocess.generation.targets_total);
+  EXPECT_EQ(in_process.generation.targets_covered,
+            subprocess.generation.targets_covered);
+
+  // Count-based metrics merge exactly across the process boundary.
+  const MetricsSnapshot& a = in_process.metrics;
+  const MetricsSnapshot& b = subprocess.metrics;
+  EXPECT_EQ(a.shards_completed, b.shards_completed);
+  EXPECT_EQ(a.updates_sent, b.updates_sent);
+  EXPECT_EQ(a.requests_sent, b.requests_sent);
+  EXPECT_EQ(a.generated_valid, b.generated_valid);
+  EXPECT_EQ(a.generated_invalid, b.generated_invalid);
+  EXPECT_EQ(a.oracle_findings, b.oracle_findings);
+  EXPECT_EQ(a.packets_tested, b.packets_tested);
+  EXPECT_EQ(a.solver_queries, b.solver_queries);
+  EXPECT_EQ(a.switch_writes, b.switch_writes);
+  EXPECT_EQ(a.switch_reads, b.switch_reads);
+  EXPECT_EQ(a.switch_packets_injected, b.switch_packets_injected);
+  EXPECT_EQ(a.incidents_raised, b.incidents_raised);
+  EXPECT_EQ(a.incidents_unique, b.incidents_unique);
+  // Merged histogram totals: the same observations were recorded, so the
+  // observation counts match (latencies land in run-dependent buckets).
+  EXPECT_EQ(a.switch_write_hist.count, b.switch_write_hist.count);
+  EXPECT_EQ(a.oracle_hist.count, b.oracle_hist.count);
+  EXPECT_EQ(a.reference_hist.count, b.reference_hist.count);
+  EXPECT_EQ(a.generation_hist.count, b.generation_hist.count);
+
+  // Worker spans came back over the wire into the campaign tracer: every
+  // shard contributed, under its own shard id.
+  std::set<int> span_shards;
+  for (const TraceSpan& span : tracer.Spans()) span_shards.insert(span.shard);
+  for (int shard = 0; shard < subprocess.shards_run; ++shard) {
+    EXPECT_TRUE(span_shards.contains(shard))
+        << "no spans shipped back for shard " << shard;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash isolation: a worker killed mid-shard loses that shard — and only
+// that shard. The campaign completes, retries up to the bound, counts the
+// loss in Metrics, and synthesizes a layer-attributed harness incident that
+// cannot merge with model-bug dedup classes.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, CrashedWorkerLosesOneShardNotTheCampaign) {
+  CampaignOptions options = SubprocessCampaign();
+  options.run_dataplane = false;
+  options.control_plane_shards = 2;
+  options.shard_retries = 1;
+  options.worker_extra_args = {"--abort-on-shard=1"};
+  const CampaignReport report = Run(nullptr, options);
+
+  EXPECT_EQ(report.shards_run, 2);
+  EXPECT_EQ(report.metrics.shards_completed, 2u);
+  EXPECT_EQ(report.metrics.shards_lost, 1u);
+  EXPECT_EQ(report.metrics.worker_crashes, 2u);  // initial attempt + 1 retry
+  EXPECT_EQ(report.metrics.worker_retries, 1u);
+  EXPECT_EQ(report.metrics.worker_timeouts, 0u);
+  // Shard 0's worker ran to completion and its results merged.
+  EXPECT_GT(report.fuzzed_updates, 0);
+
+  ASSERT_EQ(report.groups.size(), 1u);
+  const IncidentGroup& group = report.groups.front();
+  EXPECT_EQ(group.exemplar.detector, Detector::kHarness);
+  EXPECT_EQ(group.exemplar.layer, sut::SutLayer::kHarness);
+  EXPECT_EQ(group.shards, std::vector<int>{1});
+  EXPECT_EQ(group.occurrences, 1);
+  EXPECT_NE(group.exemplar.summary.find("crashed"), std::string::npos)
+      << group.exemplar.summary;
+  EXPECT_NE(group.exemplar.details.find("attempt 2"), std::string::npos)
+      << group.exemplar.details;
+}
+
+TEST_F(EngineTest, HungWorkerIsKilledAndCountedAsTimeout) {
+  CampaignOptions options = SubprocessCampaign();
+  options.run_dataplane = false;
+  options.control_plane_shards = 2;
+  // Keep the healthy shard comfortably under the deadline; the hang fires
+  // before any real work, so only the stuck worker pays the full wait.
+  options.control_plane.num_requests = 4;
+  options.control_plane.updates_per_request = 10;
+  options.shard_timeout_seconds = 10;
+  options.shard_retries = 0;
+  options.worker_extra_args = {"--hang-on-shard=0"};
+  const CampaignReport report = Run(nullptr, options);
+
+  EXPECT_EQ(report.metrics.shards_lost, 1u);
+  EXPECT_EQ(report.metrics.worker_timeouts, 1u);
+  EXPECT_EQ(report.metrics.worker_retries, 0u);
+  EXPECT_EQ(report.metrics.worker_crashes, 0u);
+  EXPECT_GT(report.fuzzed_updates, 0);  // the other shard completed
+
+  ASSERT_EQ(report.groups.size(), 1u);
+  const IncidentGroup& group = report.groups.front();
+  EXPECT_EQ(group.exemplar.detector, Detector::kHarness);
+  EXPECT_EQ(group.exemplar.layer, sut::SutLayer::kHarness);
+  EXPECT_EQ(group.shards, std::vector<int>{0});
+  EXPECT_NE(group.exemplar.summary.find("timed out"), std::string::npos)
+      << group.exemplar.summary;
+}
+
+// A harness incident and a detector incident occupy disjoint fingerprint
+// classes even with identical text: losing workers can never mask (or merge
+// into) a model bug.
+TEST(HarnessIncidentTest, HarnessDetectorFingerprintsSeparately) {
+  Incident detector_finding{Detector::kFuzzer, "shard 1 lost: worker crashed",
+                            ""};
+  Incident harness_finding{Detector::kHarness, "shard 1 lost: worker crashed",
+                           ""};
+  harness_finding.layer = sut::SutLayer::kHarness;
+  EXPECT_NE(IncidentFingerprint(detector_finding),
+            IncidentFingerprint(harness_finding));
 }
 
 }  // namespace

@@ -1,0 +1,360 @@
+// Shard wire-protocol tests: lossless round-trips for every spec kind and a
+// fully-populated incident/result, rejection (never a crash) of truncated
+// and garbage payloads, and the worker process runner's outcome
+// classification.
+#include <gtest/gtest.h>
+
+#include "switchv/shard_io.h"
+
+namespace switchv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec round-trips
+// ---------------------------------------------------------------------------
+
+WireShardSpec ControlPlaneSpec() {
+  WireShardSpec spec;
+  spec.kind = WireShardSpec::Kind::kControlPlane;
+  spec.index = 3;
+  spec.scenario.role = models::Role::kWan;
+  spec.scenario.model.omit_ttl_trap = true;
+  spec.scenario.model.acl_wrong_icmp_field = true;
+  spec.scenario.workload.num_ipv4_routes = 123;
+  spec.scenario.workload.num_decap = 7;
+  // 64-bit seed with the high bit set: must never round through a double.
+  spec.scenario.entry_seed = 0xDEADBEEFCAFEF00DULL;
+  spec.faults = {sut::Fault::kDeleteNonExistingFailsBatch,
+                 sut::Fault::kAclResourceLeak,
+                 sut::Fault::kBmv2RejectsValidOptional};
+  spec.control_plane.num_requests = 5;
+  spec.control_plane.updates_per_request = 17;
+  spec.control_plane.seed = 0xFFFFFFFFFFFFFF15ULL;
+  spec.control_plane.max_incidents = 9;
+  // Probabilities that do not terminate in binary: exact round-trip needs
+  // max_digits10 printing.
+  spec.control_plane.fuzzer.invalid_probability = 0.1234567891011;
+  spec.control_plane.fuzzer.delete_probability = 1.0 / 3.0;
+  spec.control_plane.fuzzer.modify_probability = 0.0;
+  spec.control_plane.fuzzer.use_bdd_for_constraints = false;
+  spec.control_plane.fuzzer.priority_table_bias = 2.0 / 7.0;
+  spec.dataplane_on_fuzzed_state = true;
+  spec.flight_recorder_capacity = 5;
+  spec.trace = true;
+  return spec;
+}
+
+TEST(ShardIoSpecTest, ControlPlaneSpecRoundTrips) {
+  const WireShardSpec spec = ControlPlaneSpec();
+  const std::string line = SerializeShardSpec(spec);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "spec must be one line";
+
+  const StatusOr<WireShardSpec> parsed = ParseShardSpec(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, spec.kind);
+  EXPECT_EQ(parsed->index, spec.index);
+  EXPECT_EQ(parsed->scenario.role, spec.scenario.role);
+  EXPECT_EQ(parsed->scenario.model.omit_ttl_trap, true);
+  EXPECT_EQ(parsed->scenario.model.omit_broadcast_drop, false);
+  EXPECT_EQ(parsed->scenario.model.acl_after_rewrite, false);
+  EXPECT_EQ(parsed->scenario.model.acl_wrong_icmp_field, true);
+  EXPECT_EQ(parsed->scenario.workload.num_ipv4_routes, 123);
+  EXPECT_EQ(parsed->scenario.workload.num_decap, 7);
+  EXPECT_EQ(parsed->scenario.workload.num_vrfs,
+            spec.scenario.workload.num_vrfs);
+  EXPECT_EQ(parsed->scenario.entry_seed, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(parsed->faults, spec.faults);
+  EXPECT_EQ(parsed->control_plane.num_requests, 5);
+  EXPECT_EQ(parsed->control_plane.updates_per_request, 17);
+  EXPECT_EQ(parsed->control_plane.seed, 0xFFFFFFFFFFFFFF15ULL);
+  EXPECT_EQ(parsed->control_plane.max_incidents, 9);
+  EXPECT_EQ(parsed->control_plane.fuzzer.invalid_probability,
+            0.1234567891011);
+  EXPECT_EQ(parsed->control_plane.fuzzer.delete_probability, 1.0 / 3.0);
+  EXPECT_EQ(parsed->control_plane.fuzzer.modify_probability, 0.0);
+  EXPECT_EQ(parsed->control_plane.fuzzer.use_bdd_for_constraints, false);
+  EXPECT_EQ(parsed->control_plane.fuzzer.priority_table_bias, 2.0 / 7.0);
+  EXPECT_EQ(parsed->dataplane_on_fuzzed_state, true);
+  EXPECT_EQ(parsed->flight_recorder_capacity, 5);
+  EXPECT_EQ(parsed->trace, true);
+  EXPECT_FALSE(parsed->has_packets);
+  // Wire specs never carry process-local pointers.
+  EXPECT_EQ(parsed->control_plane.metrics, nullptr);
+  EXPECT_EQ(parsed->dataplane.metrics, nullptr);
+  EXPECT_EQ(parsed->dataplane.precomputed_packets, nullptr);
+}
+
+TEST(ShardIoSpecTest, DataplaneSpecWithPacketsRoundTrips) {
+  WireShardSpec spec;
+  spec.kind = WireShardSpec::Kind::kDataplane;
+  spec.index = 4;
+  spec.dataplane.coverage = symbolic::CoverageMode::kBranchAndEntryCoverage;
+  spec.dataplane.max_incidents = 3;
+  spec.dataplane.packet_out_ports = 2;
+  spec.dataplane.packet_shard = 1;
+  spec.dataplane.packet_shards = 2;
+  spec.has_packets = true;
+  // Raw packet bytes: NULs, high bytes, and a target id with JSON
+  // metacharacters all survive the wire.
+  symbolic::TestPacket packet;
+  packet.bytes = std::string("\x00\xff\x01\x7f\"\\\n", 7);
+  packet.ingress_port = 65535;
+  packet.target_id = "table \"ipv4\"\nbranch\t3";
+  spec.packets.push_back(packet);
+  spec.packets.push_back(symbolic::TestPacket{});
+
+  const StatusOr<WireShardSpec> parsed =
+      ParseShardSpec(SerializeShardSpec(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->kind, WireShardSpec::Kind::kDataplane);
+  EXPECT_EQ(parsed->dataplane.coverage,
+            symbolic::CoverageMode::kBranchAndEntryCoverage);
+  EXPECT_EQ(parsed->dataplane.max_incidents, 3);
+  EXPECT_EQ(parsed->dataplane.packet_out_ports, 2);
+  EXPECT_EQ(parsed->dataplane.packet_shard, 1);
+  EXPECT_EQ(parsed->dataplane.packet_shards, 2);
+  ASSERT_TRUE(parsed->has_packets);
+  ASSERT_EQ(parsed->packets.size(), 2u);
+  EXPECT_EQ(parsed->packets[0].bytes, packet.bytes);
+  EXPECT_EQ(parsed->packets[0].ingress_port, 65535);
+  EXPECT_EQ(parsed->packets[0].target_id, packet.target_id);
+  EXPECT_EQ(parsed->packets[1].bytes, "");
+}
+
+// ---------------------------------------------------------------------------
+// Result round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ShardIoResultTest, FullyPopulatedResultRoundTrips) {
+  WireShardResult result;
+  result.index = 2;
+  Incident incident{Detector::kHarness,
+                    "summary with \"quotes\",\nnewline and \x01 control",
+                    "details line 1\nline 2\ttabbed"};
+  incident.table_id = 0xFFFFFFFFu;
+  incident.shard = 2;
+  incident.layer = sut::SutLayer::kHarness;
+  incident.replay_trace = "op 1: write\nop 2: read\n";
+  result.incidents.push_back(incident);
+  Incident second{Detector::kSymbolic, "packet diverged", "..."};
+  second.layer = sut::SutLayer::kAsic;
+  result.incidents.push_back(second);
+  result.fuzzed_updates = 412;
+  result.packets_tested = 37;
+  result.generation.targets_total = 40;
+  result.generation.targets_covered = 37;
+  result.generation.targets_infeasible = 3;
+  result.generation.solver_queries = 41;
+  result.generation.cache_hit = true;
+
+  Metrics metrics;
+  metrics.Add(metrics.updates_sent, 412);
+  metrics.Add(metrics.oracle_findings, 2);
+  metrics.Add(metrics.switch_writes, 99);
+  metrics.Add(metrics.worker_retries, 1);
+  metrics.Add(metrics.oracle_ns, 123456789);
+  metrics.oracle_hist.Record(1500);
+  metrics.oracle_hist.Record(3000000);
+  metrics.switch_write_hist.Record(999);
+  result.metrics = metrics.Snapshot(/*wall_seconds=*/1.5);
+
+  TraceSpan span;
+  span.name = "control-plane shard";
+  span.category = "shard";
+  span.shard = 2;
+  span.seq = 7;
+  span.parent_seq = 3;
+  span.start_ns = 0xFFFFFFFFFFFFULL;
+  span.duration_ns = 42;
+  span.args.emplace_back("seed", "17");
+  span.args.emplace_back("note", "args with \"quotes\"");
+  result.spans.push_back(span);
+
+  const std::string line = SerializeShardResult(result);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "result must be one line";
+  const StatusOr<WireShardResult> parsed = ParseShardResult(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ(parsed->index, 2);
+  ASSERT_EQ(parsed->incidents.size(), 2u);
+  const Incident& roundtrip = parsed->incidents[0];
+  EXPECT_EQ(roundtrip.detector, Detector::kHarness);
+  EXPECT_EQ(roundtrip.summary, incident.summary);
+  EXPECT_EQ(roundtrip.details, incident.details);
+  EXPECT_EQ(roundtrip.table_id, 0xFFFFFFFFu);
+  EXPECT_EQ(roundtrip.shard, 2);
+  EXPECT_EQ(roundtrip.layer, sut::SutLayer::kHarness);
+  EXPECT_EQ(roundtrip.replay_trace, incident.replay_trace);
+  // The fingerprint — the merge identity — survives the wire.
+  EXPECT_EQ(IncidentFingerprint(roundtrip), IncidentFingerprint(incident));
+  EXPECT_EQ(parsed->incidents[1].detector, Detector::kSymbolic);
+  EXPECT_EQ(parsed->incidents[1].layer, sut::SutLayer::kAsic);
+
+  EXPECT_EQ(parsed->fuzzed_updates, 412);
+  EXPECT_EQ(parsed->packets_tested, 37);
+  EXPECT_EQ(parsed->generation.targets_total, 40);
+  EXPECT_EQ(parsed->generation.targets_covered, 37);
+  EXPECT_EQ(parsed->generation.targets_infeasible, 3);
+  EXPECT_EQ(parsed->generation.solver_queries, 41);
+  EXPECT_TRUE(parsed->generation.cache_hit);
+
+  EXPECT_EQ(parsed->metrics.updates_sent, 412u);
+  EXPECT_EQ(parsed->metrics.oracle_findings, 2u);
+  EXPECT_EQ(parsed->metrics.switch_writes, 99u);
+  EXPECT_EQ(parsed->metrics.worker_retries, 1u);
+  EXPECT_EQ(parsed->metrics.oracle_ns, 123456789u);
+  EXPECT_EQ(parsed->metrics.oracle_hist.count, 2u);
+  EXPECT_EQ(parsed->metrics.oracle_hist.sum_ns, 1500u + 3000000u);
+  EXPECT_EQ(parsed->metrics.oracle_hist.counts,
+            result.metrics.oracle_hist.counts);
+  EXPECT_EQ(parsed->metrics.switch_write_hist.count, 1u);
+  // wall_seconds is worker-local and deliberately not on the wire.
+  EXPECT_EQ(parsed->metrics.wall_seconds, 0.0);
+
+  ASSERT_EQ(parsed->spans.size(), 1u);
+  EXPECT_EQ(parsed->spans[0].name, span.name);
+  EXPECT_EQ(parsed->spans[0].category, span.category);
+  EXPECT_EQ(parsed->spans[0].shard, 2);
+  EXPECT_EQ(parsed->spans[0].seq, 7u);
+  EXPECT_EQ(parsed->spans[0].parent_seq, 3u);
+  EXPECT_EQ(parsed->spans[0].start_ns, span.start_ns);
+  EXPECT_EQ(parsed->spans[0].duration_ns, 42u);
+  EXPECT_EQ(parsed->spans[0].args, span.args);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: truncated and garbage payloads produce a clear status, never a
+// crash. A worker can die mid-write, so every prefix of a valid line must
+// be handled.
+// ---------------------------------------------------------------------------
+
+TEST(ShardIoRejectionTest, EveryTruncationOfAValidSpecIsRejected) {
+  WireShardSpec spec = ControlPlaneSpec();
+  spec.has_packets = true;
+  symbolic::TestPacket packet;
+  packet.bytes = "\xab\xcd";
+  spec.packets.push_back(packet);
+  const std::string line = SerializeShardSpec(spec);
+  ASSERT_TRUE(ParseShardSpec(line).ok());
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    const StatusOr<WireShardSpec> parsed =
+        ParseShardSpec(std::string_view(line).substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(ShardIoRejectionTest, EveryTruncationOfAValidResultIsRejected) {
+  WireShardResult result;
+  result.index = 1;
+  Incident incident{Detector::kFuzzer, "entry 17 missing", "details"};
+  result.incidents.push_back(incident);
+  result.metrics = Metrics().Snapshot(0);
+  const std::string line = SerializeShardResult(result);
+  ASSERT_TRUE(ParseShardResult(line).ok());
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    const StatusOr<WireShardResult> parsed =
+        ParseShardResult(std::string_view(line).substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(ShardIoRejectionTest, GarbagePayloadsAreRejectedWithClearStatus) {
+  const std::string_view garbage[] = {
+      "",
+      "not json at all",
+      "{}",
+      "null",
+      "[1,2,3]",
+      R"({"switchv_shard_spec":"one"})",
+      R"({"wrong_tag":1})",
+      "{\"switchv_shard_spec\":1,\"kind\":\"warp-drive\"}",
+      "\"just a string\"",
+      "{\"switchv_shard_spec\":1",  // unterminated object
+      "{\"a\":\"unterminated string",
+      "{\"a\":1e999}",  // number out of double range
+  };
+  for (const std::string_view payload : garbage) {
+    const StatusOr<WireShardSpec> spec = ParseShardSpec(payload);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << payload;
+    EXPECT_FALSE(spec.status().message().empty());
+    EXPECT_FALSE(ParseShardResult(payload).ok());
+  }
+}
+
+TEST(ShardIoRejectionTest, DeeplyNestedGarbageHitsTheDepthLimitCleanly) {
+  const std::string bomb(10000, '[');
+  EXPECT_FALSE(ParseShardSpec(bomb).ok());
+  const std::string object_bomb = [] {
+    std::string s;
+    for (int i = 0; i < 10000; ++i) s += "{\"a\":";
+    return s;
+  }();
+  EXPECT_FALSE(ParseShardSpec(object_bomb).ok());
+}
+
+TEST(ShardIoRejectionTest, UnknownVersionAndOutOfRangeEnumsAreRejected) {
+  const std::string line = SerializeShardSpec(ControlPlaneSpec());
+  // Version bump: a mixed-version fleet must fail loudly.
+  std::string wrong_version = line;
+  const std::string tag = "\"switchv_shard_spec\":1";
+  wrong_version.replace(wrong_version.find(tag), tag.size(),
+                        "\"switchv_shard_spec\":99");
+  const StatusOr<WireShardSpec> version = ParseShardSpec(wrong_version);
+  ASSERT_FALSE(version.ok());
+  EXPECT_NE(version.status().message().find("version"), std::string::npos);
+
+  // Fault ids are bounds-checked against the catalog.
+  std::string bad_fault = line;
+  const std::string faults = "\"faults\":[";
+  bad_fault.replace(bad_fault.find(faults), faults.size(),
+                    "\"faults\":[9999,");
+  const StatusOr<WireShardSpec> fault = ParseShardSpec(bad_fault);
+  ASSERT_FALSE(fault.ok());
+  EXPECT_NE(fault.status().message().find("fault"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Worker process runner
+// ---------------------------------------------------------------------------
+
+TEST(WorkerProcessTest, EchoBinaryRoundTripsStdinToStdout) {
+  // /bin/cat is the identity worker: payload in, payload out, exit 0.
+  const WorkerProcessResult result =
+      RunWorkerProcess("/bin/cat", {}, "hello shard protocol\n",
+                       /*timeout_seconds=*/30);
+  EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kExited);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_data, "hello shard protocol\n");
+}
+
+TEST(WorkerProcessTest, LargePayloadDoesNotDeadlockThePipes) {
+  // Larger than any pipe buffer in both directions: the runner must
+  // interleave writing stdin with draining stdout.
+  const std::string payload(4 * 1024 * 1024, 'x');
+  const WorkerProcessResult result =
+      RunWorkerProcess("/bin/cat", {}, payload, /*timeout_seconds=*/60);
+  EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kExited);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_data.size(), payload.size());
+}
+
+TEST(WorkerProcessTest, MissingBinaryReportsExecFailure) {
+  const WorkerProcessResult result = RunWorkerProcess(
+      "/nonexistent/switchv_worker", {}, "", /*timeout_seconds=*/30);
+  EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kExited);
+  EXPECT_EQ(result.exit_code, 127);
+}
+
+TEST(WorkerProcessTest, HungWorkerIsKilledAtTheDeadline) {
+  const auto start = std::chrono::steady_clock::now();
+  const WorkerProcessResult result =
+      RunWorkerProcess("/bin/sleep", {"30"}, "", /*timeout_seconds=*/0.5);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kTimedOut);
+  EXPECT_LT(elapsed, 15.0) << "runner must not wait for the full sleep";
+}
+
+}  // namespace
+}  // namespace switchv

@@ -1,0 +1,77 @@
+// switchv_shard_worker: runs exactly one campaign shard from a serialized
+// spec (switchv/shard_io.h).
+//
+// Protocol: one ShardSpec line on stdin; on success, one ShardResult line
+// on stdout and exit 0. Any failure — unparseable spec, unprovisionable
+// scenario — renders to stderr and exits nonzero; the parent engine
+// classifies the exit and synthesizes a harness incident. The worker never
+// writes anything but the result line to stdout.
+//
+// Test hooks (crash/timeout injection for the engine's isolation tests):
+//   --abort-on-shard=N   abort() after parsing a spec with index N
+//   --hang-on-shard=N    block forever after parsing a spec with index N
+// Both fire after the spec is parsed, so the parent's spec write always
+// completes and the failure is attributable to the shard, not the pipe.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "switchv/engine.h"
+
+namespace {
+
+bool ParseIntFlag(std::string_view arg, std::string_view name, int* out) {
+  if (arg.substr(0, name.size()) != name) return false;
+  *out = std::atoi(std::string(arg.substr(name.size())).c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int abort_on_shard = -1;
+  int hang_on_shard = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (ParseIntFlag(arg, "--abort-on-shard=", &abort_on_shard)) continue;
+    if (ParseIntFlag(arg, "--hang-on-shard=", &hang_on_shard)) continue;
+    std::fprintf(stderr, "switchv_shard_worker: unknown flag '%s'\n",
+                 argv[i]);
+    return 2;
+  }
+
+  std::string line;
+  if (!std::getline(std::cin, line) || line.empty()) {
+    std::fprintf(stderr,
+                 "switchv_shard_worker: expected a shard spec on stdin\n");
+    return 1;
+  }
+  const switchv::StatusOr<switchv::WireShardSpec> spec =
+      switchv::ParseShardSpec(line);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "switchv_shard_worker: bad shard spec: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  if (spec->index == abort_on_shard) {
+    std::abort();
+  }
+  if (spec->index == hang_on_shard) {
+    while (true) pause();  // until the parent's deadline SIGKILLs us
+  }
+
+  const switchv::StatusOr<switchv::WireShardResult> result =
+      switchv::ExecuteShardSpec(*spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "switchv_shard_worker: shard %d failed: %s\n",
+                 spec->index, result.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << switchv::SerializeShardResult(*result) << "\n" << std::flush;
+  return 0;
+}
