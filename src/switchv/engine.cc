@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "models/sai_model.h"
+#include "switchv/shard_transport.h"
 #include "util/rng.h"
 
 namespace switchv {
@@ -269,6 +271,29 @@ ShardResult LostShard(int index, const Status& status,
   return result;
 }
 
+// Parses a worker's result line and folds its telemetry into the campaign:
+// Metrics::Merge for the counter/histogram snapshot, tracer record for the
+// shard's spans. Shared by the subprocess pool and the remote dispatcher —
+// both substrates merge *exactly* the same way, which is what keeps the
+// campaign report byte-identical across them.
+StatusOr<ShardResult> AbsorbWireResultLine(std::string_view line,
+                                           const CampaignOptions& options,
+                                           Metrics& metrics) {
+  SWITCHV_ASSIGN_OR_RETURN(WireShardResult wire, ParseShardResult(line));
+  metrics.Merge(wire.metrics);
+  if (options.tracer != nullptr) {
+    for (TraceSpan& span : wire.spans) {
+      options.tracer->Record(std::move(span));
+    }
+  }
+  ShardResult result;
+  result.incidents = std::move(wire.incidents);
+  result.fuzzed_updates = wire.fuzzed_updates;
+  result.packets_tested = wire.packets_tested;
+  result.generation = wire.generation;
+  return result;
+}
+
 // Runs one shard through a worker process, retrying failed attempts up to
 // the configured bound. A shard whose every attempt fails is converted into
 // a synthetic harness incident — the campaign completes regardless of what
@@ -301,21 +326,10 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
       const std::size_t newline = out.rfind('\n');
       const std::string_view line =
           newline == std::string_view::npos ? out : out.substr(newline + 1);
-      StatusOr<WireShardResult> parsed = ParseShardResult(line);
+      StatusOr<ShardResult> parsed =
+          AbsorbWireResultLine(line, options, metrics);
       if (parsed.ok()) {
-        WireShardResult& wire = parsed.value();
-        metrics.Merge(wire.metrics);
-        if (options.tracer != nullptr) {
-          for (TraceSpan& span : wire.spans) {
-            options.tracer->Record(std::move(span));
-          }
-        }
-        ShardResult result;
-        result.incidents = std::move(wire.incidents);
-        result.fuzzed_updates = wire.fuzzed_updates;
-        result.packets_tested = wire.packets_tested;
-        result.generation = wire.generation;
-        return result;
+        return std::move(parsed).value();
       }
       metrics.Add(metrics.worker_crashes, 1);
       summary = "campaign shard " + std::to_string(spec.index) +
@@ -341,6 +355,174 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
       summary = "campaign shard " + std::to_string(spec.index) +
                 " lost: worker could not be spawned";
       note = proc.error;
+    }
+    if (!details.empty()) details += "; ";
+    details += "attempt " + std::to_string(attempt) + ": " + note;
+  }
+  metrics.Add(metrics.shards_lost, 1);
+  ShardResult result;
+  result.incidents.push_back(HarnessIncident(
+      std::move(summary), std::move(details),
+      options.flight_recorder_capacity));
+  return result;
+}
+
+// The endpoint pool for remote execution. Dispatch is work-stealing by
+// construction: shards queue globally, and each acquire picks the live
+// host with the fewest in-flight shards, so an idle (fast) host takes the
+// next shard while a slow one is still busy. A host that fails at the
+// transport level `max_failures` times in a row is retired for the rest of
+// the campaign — one dead or flapping endpoint cannot stall the run.
+class RemoteHostPool {
+ public:
+  RemoteHostPool(const std::vector<std::string>& endpoints, int max_failures)
+      : max_failures_(std::max(1, max_failures)) {
+    hosts_.reserve(endpoints.size());
+    for (const std::string& endpoint : endpoints) {
+      hosts_.push_back(Host{endpoint});
+    }
+  }
+
+  // Index of the least-loaded live host, or -1 when every host is retired.
+  int Acquire() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
+      if (hosts_[i].retired) continue;
+      if (best < 0 || hosts_[i].inflight < hosts_[best].inflight) best = i;
+    }
+    if (best >= 0) ++hosts_[best].inflight;
+    return best;
+  }
+
+  // `transport_ok` is false when the call failed at the transport level
+  // (connect failure, dropped or silent connection) — worker failures
+  // reported in-band do not count against the host.
+  void Release(int index, bool transport_ok) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Host& host = hosts_[static_cast<std::size_t>(index)];
+    --host.inflight;
+    if (transport_ok) {
+      host.consecutive_failures = 0;
+      return;
+    }
+    if (++host.consecutive_failures >= max_failures_) host.retired = true;
+  }
+
+  const std::string& endpoint(int index) const {
+    return hosts_[static_cast<std::size_t>(index)].endpoint;
+  }
+
+  std::uint64_t retired_count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t retired = 0;
+    for (const Host& host : hosts_) {
+      if (host.retired) ++retired;
+    }
+    return retired;
+  }
+
+ private:
+  struct Host {
+    std::string endpoint;
+    int inflight = 0;
+    int consecutive_failures = 0;
+    bool retired = false;
+  };
+  mutable std::mutex mu_;
+  std::vector<Host> hosts_;
+  const int max_failures_;
+};
+
+// Runs one shard through the remote host pool. Two nested failure scopes,
+// both bounded:
+//   * transport failures (connection refused/dropped/silent) redial — on
+//     the now-least-loaded host — up to `remote_reconnects` times, resending
+//     the same idempotency key so a host that already finished the shard
+//     replays its cached result;
+//   * worker failures (the host ran the attempt; the subprocess crashed,
+//     timed out, or wrote garbage) consume a shard retry, exactly like the
+//     local subprocess path.
+// When both bounds are exhausted — or every host is retired — the shard
+// degrades to the same synthetic kHarness incident as a lost local worker:
+// a torn-down fleet costs findings, never the campaign.
+ShardResult RunShardViaRemote(const ShardSpec& spec,
+                              const CampaignOptions& options,
+                              RemoteHostPool& pool,
+                              const std::vector<symbolic::TestPacket>* packets,
+                              Metrics& metrics) {
+  RemoteShardRequest request;
+  request.campaign_id =
+      options.campaign_id != 0 ? options.campaign_id : options.seed;
+  request.shard = spec.index;
+  request.timeout_seconds = options.shard_timeout_seconds;
+  request.spec_line =
+      SerializeShardSpec(MakeWireSpec(spec, *options.scenario, options,
+                                      packets));
+  const int attempts = 1 + std::max(0, options.shard_retries);
+  const int dials = 1 + std::max(0, options.remote_reconnects);
+  std::string summary;
+  std::string details;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) metrics.Add(metrics.worker_retries, 1);
+    request.attempt = attempt;
+    std::string note;
+    for (int dial = 1; dial <= dials; ++dial) {
+      if (dial > 1) metrics.Add(metrics.remote_reconnects, 1);
+      const int host = pool.Acquire();
+      if (host < 0) {
+        metrics.Add(metrics.shards_lost, 1);
+        ShardResult result;
+        result.incidents.push_back(HarnessIncident(
+            "campaign shard " + std::to_string(spec.index) +
+                " lost: every worker host is retired",
+            details.empty() ? "no live endpoints remained in the pool"
+                            : details,
+            options.flight_recorder_capacity));
+        return result;
+      }
+      const RemoteCallOutcome call =
+          CallRemoteShard(pool.endpoint(host), request,
+                          options.remote_heartbeat_timeout_seconds);
+      pool.Release(host,
+                   call.kind != RemoteCallOutcome::Kind::kTransport);
+      if (call.kind == RemoteCallOutcome::Kind::kResult) {
+        StatusOr<ShardResult> parsed =
+            AbsorbWireResultLine(call.result_line, options, metrics);
+        if (parsed.ok()) {
+          return std::move(parsed).value();
+        }
+        metrics.Add(metrics.worker_crashes, 1);
+        summary = "campaign shard " + std::to_string(spec.index) +
+                  " lost: remote worker returned an unparseable result";
+        note = parsed.status().ToString();
+        break;  // a worker failure consumes the attempt, not a redial
+      }
+      if (call.kind == RemoteCallOutcome::Kind::kWorkerError) {
+        if (call.error_kind == RemoteShardError::Kind::kTimeout) {
+          metrics.Add(metrics.worker_timeouts, 1);
+          summary = "campaign shard " + std::to_string(spec.index) +
+                    " lost: remote worker timed out";
+        } else {
+          metrics.Add(metrics.worker_crashes, 1);
+          summary = "campaign shard " + std::to_string(spec.index) +
+                    " lost: remote worker failed";
+        }
+        note = call.note;
+        break;
+      }
+      if (call.kind == RemoteCallOutcome::Kind::kTimeout) {
+        metrics.Add(metrics.worker_timeouts, 1);
+        summary = "campaign shard " + std::to_string(spec.index) +
+                  " lost: remote shard deadline expired";
+        note = call.note;
+        break;
+      }
+      // Transport failure: safe to resend — the shard is deterministic in
+      // the spec and the host dedupes by (campaign_id, shard, attempt).
+      summary = "campaign shard " + std::to_string(spec.index) +
+                " lost: worker hosts unreachable";
+      note = call.note;
     }
     if (!details.empty()) details += "; ";
     details += "attempt " + std::to_string(attempt) + ": " + note;
@@ -457,13 +639,24 @@ CampaignReport RunValidationCampaign(
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
 
   // Out-of-process execution needs a scenario recipe (workers rebuild the
-  // campaign inputs from it) and a worker binary; with either missing the
+  // campaign inputs from it) and a worker binary — or, for remote
+  // execution, at least one host endpoint; with either missing the
   // campaign silently runs in-process, which is behaviourally identical.
   const std::string worker_binary = ResolveWorkerBinary(options);
+  const bool remote =
+      options.execution == CampaignOptions::Execution::kRemote &&
+      options.scenario.has_value() && !options.remote_endpoints.empty();
   const bool subprocess =
       options.execution == CampaignOptions::Execution::kSubprocess &&
       options.scenario.has_value() && !worker_binary.empty();
-  campaign_span.AddArg("execution", subprocess ? "subprocess" : "in-process");
+  campaign_span.AddArg("execution", remote       ? "remote"
+                                    : subprocess ? "subprocess"
+                                                 : "in-process");
+  std::optional<RemoteHostPool> host_pool;
+  if (remote) {
+    host_pool.emplace(options.remote_endpoints,
+                      options.remote_host_max_failures);
+  }
 
   // ---- Shard decomposition: a pure function of the options. ----
   // Never more fuzzing shards than requests; at least one shard per enabled
@@ -571,7 +764,14 @@ CampaignReport RunValidationCampaign(
           spec.kind == ShardSpec::Kind::kControlPlane ||
           precomputed != nullptr || pre_phase_incidents.empty();
       if (run_this_shard) {
-        if (subprocess) {
+        if (remote) {
+          results[i] =
+              RunShardViaRemote(spec, options, *host_pool,
+                                spec.kind == ShardSpec::Kind::kDataplane
+                                    ? precomputed
+                                    : nullptr,
+                                metrics);
+        } else if (subprocess) {
           results[i] =
               RunShardViaWorker(spec, worker_binary, options,
                                 spec.kind == ShardSpec::Kind::kDataplane
@@ -640,6 +840,9 @@ CampaignReport RunValidationCampaign(
     }
   }
   report.shards_run = total_shards;
+  if (host_pool.has_value()) {
+    metrics.Add(metrics.hosts_retired, host_pool->retired_count());
+  }
   metrics.Add(metrics.incidents_raised, raw_incidents);
   metrics.Add(metrics.incidents_unique, report.groups.size());
   const double wall_seconds =

@@ -58,9 +58,13 @@ struct CampaignOptions {
   // kInProcess runs shards on worker threads (above). kSubprocess runs each
   // shard in its own `switchv_shard_worker` process via the wire protocol in
   // switchv/shard_io.h: a crashed or wedged switch instance loses one shard,
-  // never the campaign. The merged report is byte-identical in both modes —
-  // same fingerprints, same group counts, same merged histogram totals.
-  enum class Execution { kInProcess, kSubprocess };
+  // never the campaign. kRemote dispatches shards over TCP
+  // (switchv/shard_transport.h) to a pool of `switchv_worker_host` daemons,
+  // each of which runs them in worker subprocesses — the same crash
+  // isolation, spanning hosts. The merged report is byte-identical in all
+  // three modes — same fingerprints, same group counts, same merged
+  // histogram totals.
+  enum class Execution { kInProcess, kSubprocess, kRemote };
   Execution execution = Execution::kInProcess;
   // How workers rebuild the campaign's model, parser, and replay entries
   // from first principles (construction is deterministic in these fields).
@@ -79,6 +83,26 @@ struct CampaignOptions {
   // Extra argv entries for every worker (test hooks: --abort-on-shard=N,
   // --hang-on-shard=N).
   std::vector<std::string> worker_extra_args;
+
+  // ---- Remote execution (Execution::kRemote) ----
+  // `switchv_worker_host` endpoints ("host:port"). The dispatcher
+  // work-steals across them: an idle host takes the next queued shard.
+  // Required for kRemote; empty falls back to in-process execution.
+  std::vector<std::string> remote_endpoints;
+  // Idempotency-key prefix for shard resends: a host answers a repeated
+  // (campaign_id, shard, attempt, spec) from its result cache instead of
+  // re-running the shard. 0 derives the id from the campaign seed.
+  std::uint64_t campaign_id = 0;
+  // Transport-level reconnect-with-resend bound per shard attempt: a
+  // dropped or silent connection is redialed (possibly on another host)
+  // this many times before the attempt counts as failed.
+  int remote_reconnects = 2;
+  // Slow-host retirement: a host with this many *consecutive* transport
+  // failures is dropped from the pool for the rest of the campaign.
+  int remote_host_max_failures = 2;
+  // Liveness bound: hosts stream heartbeats while a shard runs; a
+  // connection silent for this long is declared dead and the shard resent.
+  double remote_heartbeat_timeout_seconds = 10;
 
   // Per-shard fault-registry views, keyed by global shard index. Shards
   // absent from the map see the campaign-level registry. This models a

@@ -141,6 +141,8 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   s.worker_crashes = worker_crashes.load(std::memory_order_relaxed);
   s.worker_timeouts = worker_timeouts.load(std::memory_order_relaxed);
   s.worker_retries = worker_retries.load(std::memory_order_relaxed);
+  s.remote_reconnects = remote_reconnects.load(std::memory_order_relaxed);
+  s.hosts_retired = hosts_retired.load(std::memory_order_relaxed);
   s.switch_write_ns = switch_write_ns.load(std::memory_order_relaxed);
   s.oracle_ns = oracle_ns.load(std::memory_order_relaxed);
   s.reference_ns = reference_ns.load(std::memory_order_relaxed);
@@ -193,6 +195,10 @@ std::string MetricsSnapshot::ToString() const {
     out << "  harness:       " << shards_lost << " lost shards ("
         << worker_crashes << " crashes, " << worker_timeouts
         << " timeouts, " << worker_retries << " retries)\n";
+  }
+  if (remote_reconnects + hosts_retired > 0) {
+    out << "  transport:     " << remote_reconnects << " reconnects, "
+        << hosts_retired << " hosts retired\n";
   }
   out << "  incidents:     " << incidents_raised << " raised -> "
       << incidents_unique << " unique fingerprints";
@@ -259,6 +265,13 @@ std::string MetricsSnapshot::ToPrometheus() const {
   counter("switchv_worker_retries_total",
           "Shard re-executions after a lost worker attempt.",
           worker_retries);
+  counter("switchv_remote_reconnects_total",
+          "Remote-shard redials after a dead or silent connection.",
+          remote_reconnects);
+  counter("switchv_hosts_retired_total",
+          "Worker hosts retired from the pool for repeated "
+          "transport failures.",
+          hosts_retired);
   gauge("switchv_updates_per_second", "Control-plane update throughput.",
         updates_per_second());
   gauge("switchv_packets_per_second", "Data-plane packet throughput.",
@@ -320,6 +333,8 @@ std::string MetricsSnapshot::ToJson() const {
   out << ",\"worker_crashes\":" << worker_crashes;
   out << ",\"worker_timeouts\":" << worker_timeouts;
   out << ",\"worker_retries\":" << worker_retries;
+  out << ",\"remote_reconnects\":" << remote_reconnects;
+  out << ",\"hosts_retired\":" << hosts_retired;
   const PhaseHistogram phases[] = {
       {"switch_write", &switch_write_hist, switch_write_ns},
       {"oracle", &oracle_hist, oracle_ns},

@@ -102,6 +102,13 @@ struct MetricsSnapshot {
   std::uint64_t worker_timeouts = 0;
   std::uint64_t worker_retries = 0;
 
+  // Remote-transport health (switchv/shard_transport.h). Campaign-side
+  // observations only — a worker host cannot see its own connection drop —
+  // so these never travel over the shard wire protocol and Merge() leaves
+  // them alone.
+  std::uint64_t remote_reconnects = 0;  // redials after a dead connection
+  std::uint64_t hosts_retired = 0;      // endpoints dropped from the pool
+
   // Phase timers (nanoseconds, summed across shards — with parallelism > 1
   // the sum exceeds wall time; that is the point of sharding).
   std::uint64_t switch_write_ns = 0;
@@ -175,6 +182,8 @@ class Metrics {
   std::atomic<std::uint64_t> worker_crashes{0};
   std::atomic<std::uint64_t> worker_timeouts{0};
   std::atomic<std::uint64_t> worker_retries{0};
+  std::atomic<std::uint64_t> remote_reconnects{0};
+  std::atomic<std::uint64_t> hosts_retired{0};
   std::atomic<std::uint64_t> switch_write_ns{0};
   std::atomic<std::uint64_t> oracle_ns{0};
   std::atomic<std::uint64_t> reference_ns{0};

@@ -25,6 +25,8 @@ NightlyReport RunNightlyValidation(
   campaign.worker_binary = options.worker_binary;
   campaign.shard_timeout_seconds = options.shard_timeout_seconds;
   campaign.shard_retries = options.shard_retries;
+  campaign.remote_endpoints = options.remote_endpoints;
+  campaign.campaign_id = options.campaign_id;
 
   CampaignReport campaign_report =
       RunValidationCampaign(faults, model, parser, entries, campaign);

@@ -49,6 +49,11 @@ struct NightlyOptions {
   std::string worker_binary;
   double shard_timeout_seconds = 120;
   int shard_retries = 1;
+  // Remote execution (Execution::kRemote): `switchv_worker_host` endpoints
+  // and the campaign's idempotency id — see CampaignOptions for the full
+  // transport knob set; the nightly keeps its defaults.
+  std::vector<std::string> remote_endpoints;
+  std::uint64_t campaign_id = 0;
 };
 
 struct NightlyReport {

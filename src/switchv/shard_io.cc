@@ -979,29 +979,37 @@ void IgnoreSigpipeOnce() {
   (void)ignored;
 }
 
-// Reaps the child, waiting at most until `deadline`; SIGKILLs on overrun.
-// Returns the waitpid status and sets `killed` if the deadline fired.
+// Reaps the child: polls for a voluntary exit until `deadline`, SIGKILLs
+// on overrun, then waits *unconditionally*. The child is always waitpid'd
+// on every path — a SIGKILLed-but-abandoned child would sit in the process
+// table as a zombie, and a nightly campaign times out enough wedged workers
+// for that to accumulate into pid exhaustion. SIGKILL cannot be caught or
+// ignored, so the final blocking wait terminates (the only exception — a
+// child wedged in uninterruptible kernel sleep — would leak a zombie either
+// way; waiting is the conservative choice). Returns the waitpid status and
+// sets `killed` if this function fired the kill.
 int ReapChild(pid_t pid, std::chrono::steady_clock::time_point deadline,
               bool* killed) {
   int status = 0;
-  while (true) {
+  while (!*killed) {
     const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
     if (reaped == pid) return status;
-    if (reaped < 0 && errno != EINTR) return -1;
+    if (reaped < 0 && errno == EINTR) continue;
+    if (reaped < 0) break;  // ECHILD: fall through to the final wait
     if (std::chrono::steady_clock::now() >= deadline) {
-      if (!*killed) {
-        ::kill(pid, SIGKILL);
-        *killed = true;
-        // The kill makes the child reapable almost immediately; extend the
-        // deadline slightly so the blocking reap below cannot hang.
-        deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-      } else {
-        // SIGKILL cannot be ignored; if the child is still not reapable it
-        // is stuck in the kernel — abandon it rather than hang the shard.
-        return -1;
-      }
+      ::kill(pid, SIGKILL);
+      *killed = true;
+      break;
     }
     ::usleep(2000);
+  }
+  // The child was SIGKILLed (here or by the caller before the call): block
+  // until it is reaped so no zombie survives the shard.
+  while (true) {
+    const pid_t reaped = ::waitpid(pid, &status, 0);
+    if (reaped == pid) return status;
+    if (reaped < 0 && errno == EINTR) continue;
+    return -1;  // ECHILD: already reaped elsewhere; nothing left to leak
   }
 }
 

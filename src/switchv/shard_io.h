@@ -20,7 +20,9 @@
 //     clear Status — never a crash (the parent treats a worker's stdout as
 //     untrusted: the worker may have died mid-write).
 //   * Line-delimited: one JSON object per line, so the stream composes
-//     with pipes, files, and (later) sockets between hosts.
+//     with pipes, files, and sockets between hosts — the TCP transport in
+//     switchv/shard_transport.h frames these same lines for
+//     Execution::kRemote without touching this format.
 #ifndef SWITCHV_SWITCHV_SHARD_IO_H_
 #define SWITCHV_SWITCHV_SHARD_IO_H_
 

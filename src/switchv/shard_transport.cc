@@ -1,0 +1,523 @@
+#include "switchv/shard_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace switchv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr char kMagic[4] = {'S', 'w', 'V', '1'};
+constexpr std::size_t kHeaderSize = 4 + 1 + 4;  // magic + type + length
+
+// Slack on top of the per-shard deadline for connection setup and result
+// transfer before the client gives up on a live connection.
+constexpr double kTransferSlackSeconds = 15.0;
+
+bool ValidFrameType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kShardRequest) &&
+         type <= static_cast<std::uint8_t>(FrameType::kHeartbeat);
+}
+
+Clock::time_point DeadlineAfter(double seconds) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds > 0 ? seconds : 0.001));
+}
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return remaining.count() > 0 ? static_cast<int>(remaining.count()) : 0;
+}
+
+void CloseSocket(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// ---- strict envelope scanning ----
+
+bool ConsumeLiteral(std::string_view& in, std::string_view literal) {
+  if (in.substr(0, literal.size()) != literal) return false;
+  in.remove_prefix(literal.size());
+  return true;
+}
+
+// Consumes digits up to the next space/newline/end into `token`.
+bool ConsumeToken(std::string_view& in, std::string_view& token) {
+  const std::size_t end = in.find_first_of(" \n");
+  token = in.substr(0, end);
+  in.remove_prefix(end == std::string_view::npos ? in.size() : end);
+  return !token.empty();
+}
+
+bool ConsumeU64(std::string_view& in, std::uint64_t& out) {
+  std::string_view token;
+  if (!ConsumeToken(in, token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ConsumeInt(std::string_view& in, int& out) {
+  std::string_view token;
+  if (!ConsumeToken(in, token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ConsumeDouble(std::string_view& in, double& out) {
+  std::string_view token;
+  if (!ConsumeToken(in, token)) return false;
+  const std::string buffer(token);  // strtod needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(buffer.c_str(), &end);
+  return errno == 0 && end == buffer.c_str() + buffer.size();
+}
+
+std::string_view ErrorKindName(RemoteShardError::Kind kind) {
+  switch (kind) {
+    case RemoteShardError::Kind::kCrash:
+      return "crash";
+    case RemoteShardError::Kind::kTimeout:
+      return "timeout";
+    case RemoteShardError::Kind::kExit:
+      return "exit";
+    case RemoteShardError::Kind::kSpawn:
+      return "spawn";
+    case RemoteShardError::Kind::kBadRequest:
+      return "bad-request";
+  }
+  return "crash";
+}
+
+bool ParseErrorKind(std::string_view name, RemoteShardError::Kind& out) {
+  for (const RemoteShardError::Kind kind :
+       {RemoteShardError::Kind::kCrash, RemoteShardError::Kind::kTimeout,
+        RemoteShardError::Kind::kExit, RemoteShardError::Kind::kSpawn,
+        RemoteShardError::Kind::kBadRequest}) {
+    if (name == ErrorKindName(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  frame.append(kMagic, sizeof(kMagic));
+  frame.push_back(static_cast<char>(type));
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact consumed bytes before the buffer doubles past them.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  if (!corrupt_.ok()) return corrupt_;
+  const std::size_t available = buffer_.size() - pos_;
+  if (available < kHeaderSize) return std::optional<Frame>();
+  const char* header = buffer_.data() + pos_;
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    corrupt_ = InvalidArgumentError("transport frame: bad magic");
+    return corrupt_;
+  }
+  const std::uint8_t type = static_cast<std::uint8_t>(header[4]);
+  if (!ValidFrameType(type)) {
+    corrupt_ = InvalidArgumentError("transport frame: unknown type " +
+                                    std::to_string(type));
+    return corrupt_;
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[5]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[6]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[7])) << 8) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[8]));
+  if (length > kMaxFramePayload) {
+    corrupt_ = InvalidArgumentError("transport frame: oversized payload (" +
+                                    std::to_string(length) + " bytes)");
+    return corrupt_;
+  }
+  if (available < kHeaderSize + length) return std::optional<Frame>();
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buffer_, pos_ + kHeaderSize, length);
+  pos_ += kHeaderSize + length;
+  return std::optional<Frame>(std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes
+// ---------------------------------------------------------------------------
+
+std::string SerializeRemoteRequest(const RemoteShardRequest& request) {
+  std::ostringstream out;
+  out << "switchv-shard-request 1 " << request.campaign_id << " "
+      << request.shard << " " << request.attempt << " "
+      << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << request.timeout_seconds << "\n"
+      << request.spec_line;
+  return out.str();
+}
+
+StatusOr<RemoteShardRequest> ParseRemoteRequest(std::string_view payload) {
+  RemoteShardRequest request;
+  std::string_view in = payload;
+  if (!ConsumeLiteral(in, "switchv-shard-request 1 ") ||
+      !ConsumeU64(in, request.campaign_id) || !ConsumeLiteral(in, " ") ||
+      !ConsumeInt(in, request.shard) || !ConsumeLiteral(in, " ") ||
+      !ConsumeInt(in, request.attempt) || !ConsumeLiteral(in, " ") ||
+      !ConsumeDouble(in, request.timeout_seconds) ||
+      !ConsumeLiteral(in, "\n")) {
+    return InvalidArgumentError("malformed remote shard request envelope");
+  }
+  if (in.empty()) {
+    return InvalidArgumentError("remote shard request carries no spec line");
+  }
+  request.spec_line.assign(in);
+  return request;
+}
+
+std::string SerializeRemoteError(const RemoteShardError& error) {
+  std::string out = "switchv-shard-error 1 ";
+  out.append(ErrorKindName(error.kind));
+  out.push_back('\n');
+  out.append(error.note);
+  return out;
+}
+
+StatusOr<RemoteShardError> ParseRemoteError(std::string_view payload) {
+  RemoteShardError error;
+  std::string_view in = payload;
+  std::string_view kind;
+  if (!ConsumeLiteral(in, "switchv-shard-error 1 ") ||
+      !ConsumeToken(in, kind) || !ParseErrorKind(kind, error.kind) ||
+      !ConsumeLiteral(in, "\n")) {
+    return InvalidArgumentError("malformed remote shard error envelope");
+  }
+  error.note.assign(in);
+  return error;
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+Status ParseEndpoint(std::string_view endpoint, std::string* host,
+                     int* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return InvalidArgumentError("endpoint '" + std::string(endpoint) +
+                                "' is not host:port");
+  }
+  const std::string_view port_text = endpoint.substr(colon + 1);
+  int parsed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), parsed);
+  if (ec != std::errc() || ptr != port_text.data() + port_text.size() ||
+      parsed < 1 || parsed > 65535) {
+    return InvalidArgumentError("endpoint '" + std::string(endpoint) +
+                                "' has an invalid port");
+  }
+  host->assign(endpoint.substr(0, colon));
+  *port = parsed;
+  return OkStatus();
+}
+
+StatusOr<int> ConnectTcp(const std::string& endpoint,
+                         double timeout_seconds) {
+  std::string host;
+  int port = 0;
+  SWITCHV_RETURN_IF_ERROR(ParseEndpoint(endpoint, &host, &port));
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    return UnavailableError("resolve " + endpoint + ": " + gai_strerror(rc));
+  }
+
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  Status last = UnavailableError("no addresses for " + endpoint);
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK,
+                      ai->ai_protocol);
+    if (fd < 0) {
+      last = UnavailableError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(resolved);
+      return fd;
+    }
+    if (errno == EINPROGRESS) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      while (true) {
+        const int ready = ::poll(&pfd, 1, RemainingMs(deadline));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready > 0) {
+          int error = 0;
+          socklen_t len = sizeof(error);
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+          if (error == 0) {
+            ::freeaddrinfo(resolved);
+            return fd;
+          }
+          last = UnavailableError("connect " + endpoint + ": " +
+                                  std::strerror(error));
+        } else {
+          last = UnavailableError("connect " + endpoint + ": timed out");
+        }
+        break;
+      }
+    } else {
+      last = UnavailableError("connect " + endpoint + ": " +
+                              std::strerror(errno));
+    }
+    CloseSocket(fd);
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+StatusOr<int> ListenTcp(const std::string& host, int port, int* bound_port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  struct addrinfo* resolved = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    return UnavailableError("resolve bind address '" + host +
+                            "': " + gai_strerror(rc));
+  }
+  Status last = UnavailableError("no bindable addresses for '" + host + "'");
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 64) != 0) {
+      last = UnavailableError(std::string("bind/listen: ") +
+                              std::strerror(errno));
+      CloseSocket(fd);
+      continue;
+    }
+    if (bound_port != nullptr) {
+      struct sockaddr_storage bound;
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                        &len) == 0) {
+        if (bound.ss_family == AF_INET) {
+          *bound_port = ntohs(
+              reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+        } else if (bound.ss_family == AF_INET6) {
+          *bound_port = ntohs(
+              reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+        }
+      }
+    }
+    ::freeaddrinfo(resolved);
+    return fd;
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+Status SendFrame(int fd, FrameType type, std::string_view payload,
+                 double timeout_seconds) {
+  const std::string frame = EncodeFrame(type, payload);
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int remaining = RemainingMs(deadline);
+      if (remaining == 0) return UnavailableError("send: timed out");
+      const int ready = ::poll(&pfd, 1, remaining);
+      if (ready < 0 && errno != EINTR) {
+        return UnavailableError(std::string("send poll: ") +
+                                std::strerror(errno));
+      }
+      if (ready == 0) return UnavailableError("send: timed out");
+      continue;
+    }
+    return UnavailableError(std::string("send: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
+                                  const RemoteShardRequest& request,
+                                  double heartbeat_timeout_seconds) {
+  RemoteCallOutcome outcome;
+  outcome.kind = RemoteCallOutcome::Kind::kTransport;
+
+  StatusOr<int> connected = ConnectTcp(endpoint, heartbeat_timeout_seconds);
+  if (!connected.ok()) {
+    outcome.note = connected.status().ToString();
+    return outcome;
+  }
+  int fd = connected.value();
+
+  const Status sent =
+      SendFrame(fd, FrameType::kShardRequest, SerializeRemoteRequest(request),
+                heartbeat_timeout_seconds);
+  if (!sent.ok()) {
+    outcome.note = sent.ToString();
+    CloseSocket(fd);
+    return outcome;
+  }
+
+  const auto shard_deadline =
+      DeadlineAfter(request.timeout_seconds + kTransferSlackSeconds);
+  auto idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
+  FrameDecoder decoder;
+  char buffer[65536];
+  while (true) {
+    // Drain every complete frame before touching the socket again.
+    while (true) {
+      StatusOr<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        outcome.note = next.status().ToString();
+        CloseSocket(fd);
+        return outcome;
+      }
+      if (!next->has_value()) break;
+      Frame& frame = **next;
+      switch (frame.type) {
+        case FrameType::kHeartbeat:
+          idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
+          break;
+        case FrameType::kShardResult:
+          outcome.kind = RemoteCallOutcome::Kind::kResult;
+          outcome.result_line = std::move(frame.payload);
+          CloseSocket(fd);
+          return outcome;
+        case FrameType::kShardError: {
+          StatusOr<RemoteShardError> error =
+              ParseRemoteError(frame.payload);
+          if (!error.ok()) {
+            outcome.note = error.status().ToString();
+          } else {
+            outcome.kind = RemoteCallOutcome::Kind::kWorkerError;
+            outcome.error_kind = error->kind;
+            outcome.note = std::move(error->note);
+          }
+          CloseSocket(fd);
+          return outcome;
+        }
+        case FrameType::kShardRequest:
+          outcome.note = "host sent an unexpected request frame";
+          CloseSocket(fd);
+          return outcome;
+      }
+    }
+    const auto now = Clock::now();
+    if (now >= shard_deadline) {
+      outcome.kind = RemoteCallOutcome::Kind::kTimeout;
+      outcome.note = "shard deadline expired awaiting the remote result";
+      CloseSocket(fd);
+      return outcome;
+    }
+    if (now >= idle_deadline) {
+      outcome.note = "connection went silent past the heartbeat timeout";
+      CloseSocket(fd);
+      return outcome;
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int wait_ms = std::min(RemainingMs(shard_deadline),
+                                 RemainingMs(idle_deadline));
+    const int ready = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      outcome.note = std::string("poll: ") + std::strerror(errno);
+      CloseSocket(fd);
+      return outcome;
+    }
+    if (ready == 0) continue;  // deadlines re-checked above
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      decoder.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    } else if (n == 0) {
+      outcome.note = "connection closed by the worker host";
+      CloseSocket(fd);
+      return outcome;
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      outcome.note = std::string("read: ") + std::strerror(errno);
+      CloseSocket(fd);
+      return outcome;
+    }
+  }
+}
+
+}  // namespace switchv

@@ -1,0 +1,166 @@
+// TCP transport for distributing campaign shards across hosts.
+//
+// The shard wire protocol (switchv/shard_io.h) is line-delimited precisely
+// so the pipe between engine and worker can become a socket. This module is
+// that socket: it frames the existing WireShardSpec/WireShardResult JSON
+// lines for transport between the campaign engine (dispatcher side) and a
+// `switchv_worker_host` daemon (serving side), which runs each shard in a
+// `switchv_shard_worker` subprocess for crash isolation.
+//
+// Frame layout (all integers big-endian):
+//   magic    4 bytes   "SwV1" — resynchronization guard; mid-stream garbage
+//                      is detected here, not by the JSON parser
+//   type     1 byte    FrameType
+//   length   4 bytes   payload size; capped at kMaxFramePayload so a
+//                      corrupt prefix cannot make the peer buffer gigabytes
+//   payload  `length` bytes
+//
+// Protocol, client view (one shard attempt):
+//   connect → kShardRequest → { kHeartbeat* } → kShardResult | kShardError
+// The host streams heartbeats while the shard subprocess runs; a silent
+// connection (no frame for the heartbeat timeout) or a dropped one is a
+// *transport* failure, distinct from a worker failure reported in-band via
+// kShardError. Transport failures are safe to resend: shard execution is
+// deterministic in the spec, and the host dedupes resends by the
+// idempotency key (campaign_id, shard, attempt, spec digest), replaying
+// the cached result instead of re-running the shard.
+//
+// Robustness contract (mirrors shard_io): every malformed input — truncated
+// frame, bad magic, unknown type, oversized length, malformed envelope —
+// yields INVALID_ARGUMENT (which the caller turns into a reconnect), never
+// a crash or an unbounded buffer.
+#ifndef SWITCHV_SWITCHV_SHARD_TRANSPORT_H_
+#define SWITCHV_SWITCHV_SHARD_TRANSPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace switchv {
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+enum class FrameType : std::uint8_t {
+  kShardRequest = 1,  // request envelope + '\n' + WireShardSpec line
+  kShardResult = 2,   // WireShardResult line
+  kShardError = 3,    // error envelope (worker failed; shard may be retried)
+  kHeartbeat = 4,     // empty payload; host liveness while a shard runs
+};
+
+// Payload cap: generously above any real spec (packet-laden dataplane
+// specs run to megabytes), far below "attacker-controlled allocation".
+inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;  // 256 MiB
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+// Encodes one frame, ready to write to a socket.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Incremental frame decoder: feed raw socket bytes in arbitrary splits,
+// pop complete frames. Once the stream is corrupt it stays corrupt — the
+// only recovery is a fresh connection.
+class FrameDecoder {
+ public:
+  // Appends bytes received from the socket.
+  void Feed(std::string_view bytes);
+
+  // The next complete frame; std::nullopt when more bytes are needed;
+  // INVALID_ARGUMENT when the stream is corrupt (bad magic, unknown frame
+  // type, oversized length).
+  StatusOr<std::optional<Frame>> Next();
+
+  // Bytes buffered but not yet consumed by a returned frame.
+  std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  Status corrupt_ = OkStatus();
+};
+
+// ---------------------------------------------------------------------------
+// Envelopes. The request header and error report are small fixed-shape
+// records; the framing already carries exact lengths, so they use a strict
+// one-line text form followed by raw bytes — no escaping layer to fuzz.
+// ---------------------------------------------------------------------------
+
+struct RemoteShardRequest {
+  // Idempotency key: a resend of the same (campaign_id, shard, attempt)
+  // with the same spec is answered from the host's result cache.
+  std::uint64_t campaign_id = 0;
+  int shard = 0;
+  int attempt = 0;
+  // Wall-clock deadline the host enforces on the shard subprocess.
+  double timeout_seconds = 120;
+  std::string spec_line;  // SerializeShardSpec output (no newline)
+};
+
+std::string SerializeRemoteRequest(const RemoteShardRequest& request);
+StatusOr<RemoteShardRequest> ParseRemoteRequest(std::string_view payload);
+
+struct RemoteShardError {
+  // Mirrors WorkerProcessResult::Outcome so the dispatcher counts remote
+  // worker failures in the same Metrics buckets as local subprocess ones.
+  enum class Kind { kCrash, kTimeout, kExit, kSpawn, kBadRequest };
+  Kind kind = Kind::kCrash;
+  std::string note;
+};
+
+std::string SerializeRemoteError(const RemoteShardError& error);
+StatusOr<RemoteShardError> ParseRemoteError(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Sockets (POSIX TCP). Every call is deadline-bounded; none throws.
+// ---------------------------------------------------------------------------
+
+// Splits "host:port". Rejects empty host, non-numeric or out-of-range port.
+Status ParseEndpoint(std::string_view endpoint, std::string* host, int* port);
+
+// Connects to "host:port" with a deadline. Returns the connected fd.
+StatusOr<int> ConnectTcp(const std::string& endpoint, double timeout_seconds);
+
+// Creates a listening socket bound to host:port (port 0 = ephemeral);
+// reports the actually-bound port via `bound_port`.
+StatusOr<int> ListenTcp(const std::string& host, int port, int* bound_port);
+
+// Writes the whole frame; partial writes are retried until the deadline.
+Status SendFrame(int fd, FrameType type, std::string_view payload,
+                 double timeout_seconds);
+
+// ---------------------------------------------------------------------------
+// Client: one shard attempt over one connection.
+// ---------------------------------------------------------------------------
+
+struct RemoteCallOutcome {
+  enum class Kind {
+    kResult,     // result_line holds the worker's WireShardResult line
+    kWorkerError,  // host ran the attempt; the worker failed (error below)
+    kTransport,  // connect/framing/connection failure — safe to resend
+    kTimeout,    // client-side shard deadline expired
+  };
+  Kind kind = Kind::kTransport;
+  std::string result_line;
+  RemoteShardError::Kind error_kind = RemoteShardError::Kind::kCrash;
+  std::string note;  // failure detail for the harness incident
+};
+
+// Dials `endpoint`, sends the request, and waits for the result:
+// heartbeats hold the connection live, `heartbeat_timeout_seconds` of
+// silence declares it dead (kTransport), and the overall per-shard
+// deadline — request.timeout_seconds plus transfer slack — caps the wait
+// (kTimeout). Never blocks past the deadline; never crashes the campaign.
+RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
+                                  const RemoteShardRequest& request,
+                                  double heartbeat_timeout_seconds);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_SHARD_TRANSPORT_H_

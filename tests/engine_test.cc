@@ -2,6 +2,12 @@
 // isolation of fault-registry views, incident fingerprint dedup, telemetry
 // consistency, and in-process/subprocess execution conformance.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <set>
+#include <sstream>
 
 #include "switchv/experiment.h"
 
@@ -9,6 +15,9 @@
 // the worker binary is unavailable (e.g. a hand-rolled compile).
 #ifndef SWITCHV_SHARD_WORKER_PATH
 #define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+#ifndef SWITCHV_WORKER_HOST_PATH
+#define SWITCHV_WORKER_HOST_PATH ""
 #endif
 
 namespace switchv {
@@ -382,6 +391,214 @@ TEST_F(EngineTest, HungWorkerIsKilledAndCountedAsTimeout) {
   EXPECT_EQ(group.shards, std::vector<int>{0});
   EXPECT_NE(group.exemplar.summary.find("timed out"), std::string::npos)
       << group.exemplar.summary;
+}
+
+// ---------------------------------------------------------------------------
+// Remote execution (switchv/shard_transport.h): shards dispatched over TCP
+// to `switchv_worker_host` daemons on loopback. These tests carry the
+// `remote` ctest label (tests/CMakeLists.txt) so `ctest -L remote` runs
+// the transport conformance suite alone, e.g. under ASan.
+// ---------------------------------------------------------------------------
+
+// Launches a switchv_worker_host on an ephemeral loopback port, parses the
+// endpoint it announces on stdout, and SIGKILLs + reaps it on destruction.
+class WorkerHost {
+ public:
+  explicit WorkerHost(std::vector<std::string> extra_flags = {}) {
+    int out[2] = {-1, -1};
+    if (::pipe(out) != 0) return;
+    std::vector<std::string> args = {
+        SWITCHV_WORKER_HOST_PATH,
+        "--port=0",
+        "--bind=127.0.0.1",
+        std::string("--worker=") + SWITCHV_SHARD_WORKER_PATH,
+        "--heartbeat-interval=0.2",
+    };
+    for (std::string& flag : extra_flags) args.push_back(std::move(flag));
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    if (pid_ > 0) {
+      // The endpoint announcement is the host's first stdout line.
+      std::string line;
+      char c = 0;
+      while (::read(out[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+      const std::string_view marker = "listening on ";
+      const std::size_t at = line.find(marker);
+      if (at != std::string::npos) {
+        endpoint_ = line.substr(at + marker.size());
+      }
+    }
+    ::close(out[0]);
+  }
+  ~WorkerHost() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+  }
+  WorkerHost(const WorkerHost&) = delete;
+  WorkerHost& operator=(const WorkerHost&) = delete;
+
+  bool ok() const { return !endpoint_.empty(); }
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  pid_t pid_ = -1;
+  std::string endpoint_;
+};
+
+// The deterministic projection of a campaign report, rendered to bytes:
+// every group in merge order with its full exemplar (summary, details,
+// replay trace, layer, shard), occurrence counts, and the count-based
+// telemetry. "Byte-identical across execution substrates" is asserted by
+// comparing these strings; timing-valued fields (wall clock, phase ns,
+// bucket placement) are the only exclusions — their *counts* are included.
+std::string RenderReport(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "shards=" << report.shards_run
+      << " fuzzed=" << report.fuzzed_updates
+      << " packets=" << report.packets_tested
+      << " targets=" << report.generation.targets_covered << "/"
+      << report.generation.targets_total
+      << " queries=" << report.generation.solver_queries << "\n";
+  for (const IncidentGroup& group : report.groups) {
+    out << "group " << group.fingerprint << " x" << group.occurrences
+        << " shards=[";
+    for (const int shard : group.shards) out << shard << ",";
+    out << "] detector=" << DetectorName(group.exemplar.detector)
+        << " layer=" << sut::SutLayerName(group.exemplar.layer)
+        << " shard=" << group.exemplar.shard << "\n"
+        << "summary: " << group.exemplar.summary << "\n"
+        << "details: " << group.exemplar.details << "\n"
+        << group.exemplar.replay_trace << "\n";
+  }
+  const MetricsSnapshot& m = report.metrics;
+  out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+      << m.requests_sent << " " << m.generated_valid << " "
+      << m.generated_invalid << " " << m.oracle_findings << " "
+      << m.packets_tested << " " << m.solver_queries << " "
+      << m.switch_writes << " " << m.switch_reads << " "
+      << m.switch_packets_injected << " " << m.incidents_raised << " "
+      << m.incidents_unique << "\n";
+  out << "hists " << m.switch_write_hist.count << " " << m.oracle_hist.count
+      << " " << m.reference_hist.count << " " << m.generation_hist.count
+      << "\n";
+  return out.str();
+}
+
+class RemoteExecutionTest : public EngineTest {
+ protected:
+  static CampaignOptions RemoteCampaign(
+      const std::vector<std::string>& endpoints) {
+    CampaignOptions options = FastCampaign();
+    options.execution = CampaignOptions::Execution::kRemote;
+    options.remote_endpoints = endpoints;
+    options.scenario = Scenario();
+    options.parallelism = 2;
+    return options;
+  }
+};
+
+// The acceptance invariant: one fixed-seed campaign, three substrates, one
+// report. The remote run spans a two-host loopback pool in which BOTH
+// hosts drop the connection (once) when asked for shard 2 — the dispatcher
+// must reconnect-and-resend through the idempotent result cache without
+// any of it showing in the merged report.
+TEST_F(RemoteExecutionTest, ReportByteIdenticalAcrossAllSubstrates) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions local = FastCampaign();
+  local.parallelism = 2;
+  const CampaignReport in_process = Run(&faults, local);
+
+  CampaignOptions sub = SubprocessCampaign();
+  sub.parallelism = 2;
+  const CampaignReport subprocess = Run(&faults, sub);
+
+  WorkerHost host_a({"--drop-once-on-shard=2"});
+  WorkerHost host_b({"--drop-once-on-shard=2"});
+  ASSERT_TRUE(host_a.ok() && host_b.ok())
+      << "worker hosts failed to start";
+  Tracer tracer;
+  CampaignOptions remote_options =
+      RemoteCampaign({host_a.endpoint(), host_b.endpoint()});
+  remote_options.tracer = &tracer;
+  const CampaignReport remote = Run(&faults, remote_options);
+
+  // The injected drop was exercised and fully absorbed by the transport:
+  // redials happened, no shard was lost, no worker failed.
+  EXPECT_GE(remote.metrics.remote_reconnects, 1u);
+  EXPECT_EQ(remote.metrics.shards_lost, 0u);
+  EXPECT_EQ(remote.metrics.worker_crashes, 0u);
+  EXPECT_EQ(remote.metrics.worker_timeouts, 0u);
+  EXPECT_EQ(remote.metrics.hosts_retired, 0u);
+
+  ASSERT_TRUE(in_process.bug_detected());
+  EXPECT_EQ(RenderReport(in_process), RenderReport(subprocess));
+  EXPECT_EQ(RenderReport(in_process), RenderReport(remote));
+
+  // Worker spans crossed the wire: every shard contributed under its id.
+  std::set<int> span_shards;
+  for (const TraceSpan& span : tracer.Spans()) span_shards.insert(span.shard);
+  for (int shard = 0; shard < remote.shards_run; ++shard) {
+    EXPECT_TRUE(span_shards.contains(shard))
+        << "no spans shipped back for shard " << shard;
+  }
+}
+
+// Slow-host retirement: a pool with one live host and one dead endpoint
+// (nothing listens on port 1) completes the campaign with the identical
+// report; the dead endpoint is retired after its consecutive transport
+// failures and counted in telemetry.
+TEST_F(RemoteExecutionTest, DeadEndpointIsRetiredAndCampaignCompletes) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions local = FastCampaign();
+  local.parallelism = 2;
+  const CampaignReport in_process = Run(&faults, local);
+
+  WorkerHost host;
+  ASSERT_TRUE(host.ok()) << "worker host failed to start";
+  CampaignOptions options =
+      RemoteCampaign({host.endpoint(), "127.0.0.1:1"});
+  options.remote_host_max_failures = 1;
+  const CampaignReport remote = Run(&faults, options);
+
+  EXPECT_EQ(remote.metrics.hosts_retired, 1u);
+  EXPECT_EQ(remote.metrics.shards_lost, 0u);
+  EXPECT_EQ(RenderReport(in_process), RenderReport(remote));
+}
+
+// A fleet that is entirely unreachable degrades to the synthetic-harness
+// incident path — lost shards, never a crashed or hanging campaign.
+TEST_F(RemoteExecutionTest, AllHostsDownDegradesToHarnessIncidents) {
+  CampaignOptions options = RemoteCampaign({"127.0.0.1:1"});
+  options.run_dataplane = false;
+  options.control_plane_shards = 2;
+  options.remote_host_max_failures = 1;
+  options.shard_retries = 0;
+  const CampaignReport report = Run(nullptr, options);
+
+  EXPECT_EQ(report.shards_run, 2);
+  EXPECT_EQ(report.metrics.shards_completed, 2u);
+  EXPECT_EQ(report.metrics.shards_lost, 2u);
+  ASSERT_EQ(report.groups.size(), 1u);  // same summary shape: one class
+  const IncidentGroup& group = report.groups.front();
+  EXPECT_EQ(group.exemplar.detector, Detector::kHarness);
+  EXPECT_EQ(group.exemplar.layer, sut::SutLayer::kHarness);
+  EXPECT_EQ(group.occurrences, 2);
 }
 
 // A harness incident and a detector incident occupy disjoint fingerprint

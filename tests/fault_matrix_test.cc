@@ -1,0 +1,158 @@
+// Fault-matrix conformance: every injectable fault in the catalog
+// (sut/fault.h), activated alone, is (a) detected by a small nightly
+// campaign, (b) by the expected detector, and (c) attributed to the
+// expected SUT layer — the reproduction's analogue of the paper's Table 1,
+// asserted fault by fault rather than printed. The campaign is fully
+// deterministic in its fixed seed, so the matrix below is exact, not a
+// tolerance band; a stack change that shifts any cell fails loudly here.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "switchv/experiment.h"
+
+namespace switchv {
+namespace {
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 12;
+  options.nightly.control_plane.updates_per_request = 40;
+  options.nightly.dataplane.packet_out_ports = 2;
+  return options;
+}
+
+// One row per fault: the detector that raises the campaign's *first*
+// incident and the SUT layer that incident is attributed to. The detector
+// here is the first to fire under the fixed-seed fast campaign — it can
+// differ from the catalog's expected_detector (which records the component
+// expected to find the bug in production) when the control-plane fuzzing
+// phase, which runs first, trips over a data-plane-class bug's control
+// surface. The layer column is the Table 1 attribution proper.
+struct MatrixRow {
+  sut::Fault fault;
+  Detector detector;
+  sut::SutLayer layer;
+};
+
+constexpr sut::SutLayer kP4rt = sut::SutLayer::kP4rtServer;
+constexpr sut::SutLayer kOrch = sut::SutLayer::kOrchestration;
+constexpr sut::SutLayer kSai = sut::SutLayer::kSyncdSai;
+constexpr sut::SutLayer kAsic = sut::SutLayer::kAsic;
+
+const MatrixRow kFaultMatrix[] = {
+    // ---- P4Runtime server ----
+    {sut::Fault::kDeleteNonExistingFailsBatch, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kModifyKeepsOldActionParams, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kP4InfoPushFailureSwallowed, Detector::kFuzzer, kOrch},
+    {sut::Fault::kReadTernaryUnsupported, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kAclTableNameWrongCase, Detector::kFuzzer, kOrch},
+    {sut::Fault::kDuplicateEntryWrongCode, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kPacketOutPuntedBack, Detector::kSymbolic, kAsic},
+    {sut::Fault::kAclKeySpaceCharRejected, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kBatchDeleteInconsistentState, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kConstraintCheckSkipped, Detector::kFuzzer, kP4rt},
+    // ---- gNMI ----
+    {sut::Fault::kGnmiPortSpeedBreaksPunt, Detector::kSymbolic, kAsic},
+    // ---- Orchestration agent ----
+    {sut::Fault::kWcmpPartialCleanup, Detector::kFuzzer, kAsic},
+    {sut::Fault::kWcmpRejectsDuplicateActions, Detector::kFuzzer, kOrch},
+    {sut::Fault::kWcmpUpdateRemovesMembers, Detector::kSymbolic, kAsic},
+    {sut::Fault::kVrfDeleteBroken, Detector::kFuzzer, kAsic},
+    {sut::Fault::kNeighborDanglingAccepted, Detector::kFuzzer, kP4rt},
+    {sut::Fault::kMirrorSessionIgnored, Detector::kSymbolic, kAsic},
+    // ---- SyncD / SAI ----
+    {sut::Fault::kAclResourceLeak, Detector::kFuzzer, kAsic},
+    {sut::Fault::kSubmitToIngressNotL3Enabled, Detector::kSymbolic, kSai},
+    {sut::Fault::kDscpRemarkedToZero, Detector::kSymbolic, kAsic},
+    {sut::Fault::kRouteDeleteLeavesStale, Detector::kFuzzer, kAsic},
+    {sut::Fault::kEgressRifStaleSrcMac, Detector::kSymbolic, kAsic},
+    // ---- Switch Linux ----
+    {sut::Fault::kPortSyncDaemonRestart, Detector::kSymbolic, kAsic},
+    {sut::Fault::kLldpDaemonPunts, Detector::kSymbolic, kAsic},
+    {sut::Fault::kIpv6RouterSolicitation, Detector::kSymbolic, kAsic},
+    // ---- Hardware ----
+    {sut::Fault::kAsicCapacityBelowGuarantee, Detector::kFuzzer, kAsic},
+    {sut::Fault::kCursedPortDropsPackets, Detector::kSymbolic, kAsic},
+    // ---- P4 toolchain ----
+    {sut::Fault::kP4InfoZeroByteIds, Detector::kFuzzer, kP4rt},
+    // ---- Input P4 program (model wrong, switch right: the divergence
+    // still surfaces at the layer whose behaviour the model mispredicts)
+    {sut::Fault::kModelMissingTtlTrap, Detector::kSymbolic, kAsic},
+    {sut::Fault::kModelMissingBroadcastDrop, Detector::kSymbolic, kAsic},
+    {sut::Fault::kModelAclAfterRewrite, Detector::kSymbolic, kAsic},
+    {sut::Fault::kModelWrongIcmpField, Detector::kSymbolic, kAsic},
+    // ---- Cerberus switch software ----
+    {sut::Fault::kEncapReversedDstIp, Detector::kSymbolic, kAsic},
+    {sut::Fault::kDecapSkipsTtlCopy, Detector::kSymbolic, kAsic},
+    {sut::Fault::kEncapWrongProtocol, Detector::kSymbolic, kAsic},
+    {sut::Fault::kAclPriorityInverted, Detector::kSymbolic, kAsic},
+    {sut::Fault::kLpmTreatsPrefixAsExact, Detector::kSymbolic, kAsic},
+    {sut::Fault::kWcmpSingleMemberOnly, Detector::kSymbolic, kAsic},
+    {sut::Fault::kCerberusRejectsMaxLenPrefix, Detector::kSymbolic, kP4rt},
+    {sut::Fault::kCerberusModelAclAfterRewrite, Detector::kSymbolic, kAsic},
+    // ---- BMv2 reference simulator: not a SUT layer, so unattributed ----
+    {sut::Fault::kBmv2RejectsValidOptional, Detector::kSymbolic,
+     sut::SutLayer::kNone},
+};
+
+const MatrixRow* FindRow(sut::Fault fault) {
+  for (const MatrixRow& row : kFaultMatrix) {
+    if (row.fault == fault) return &row;
+  }
+  return nullptr;
+}
+
+// Coverage is structural: the expectation table, the bug catalog, and the
+// Fault enum are three views of the same set. A fault added to the enum
+// without a catalog row or a matrix row fails here, before any campaign
+// runs.
+TEST(FaultMatrixTest, MatrixAndCatalogCoverEveryFault) {
+  EXPECT_EQ(static_cast<int>(std::size(kFaultMatrix)), sut::kNumFaults);
+  EXPECT_EQ(static_cast<int>(sut::BugCatalog().size()), sut::kNumFaults);
+  std::set<sut::Fault> seen;
+  for (int id = 0; id < sut::kNumFaults; ++id) {
+    const sut::Fault fault = static_cast<sut::Fault>(id);
+    EXPECT_NE(sut::FindBug(fault), nullptr) << "fault " << id
+                                            << " missing from the catalog";
+    EXPECT_NE(FindRow(fault), nullptr)
+        << "fault " << id << " missing from kFaultMatrix";
+    EXPECT_TRUE(seen.insert(fault).second);
+  }
+}
+
+// The matrix itself: one sweep over the whole catalog (sharing the
+// p4-symbolic packet cache across runs, as the nightly fleet does), then
+// one row of assertions per fault.
+TEST(FaultMatrixTest, EveryFaultIsDetectedWithExpectedDetectorAndLayer) {
+  auto results = RunFullSweep(FastOptions());
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), sut::BugCatalog().size());
+
+  std::set<sut::Fault> swept;
+  for (const BugRunResult& result : *results) {
+    SCOPED_TRACE(result.bug->name);
+    swept.insert(result.bug->fault);
+    const MatrixRow* row = FindRow(result.bug->fault);
+    ASSERT_NE(row, nullptr);
+
+    EXPECT_TRUE(result.detected) << "not detected by the nightly campaign";
+    if (!result.detected) continue;
+    ASSERT_TRUE(result.detector.has_value());
+    EXPECT_EQ(*result.detector, row->detector)
+        << "first incident from " << DetectorName(*result.detector)
+        << ", expected " << DetectorName(row->detector) << " — "
+        << result.first_incident;
+    ASSERT_FALSE(result.report.incidents.empty());
+    const Incident& first = result.report.incidents.front();
+    EXPECT_EQ(first.layer, row->layer)
+        << "attributed to " << sut::SutLayerName(first.layer)
+        << ", expected " << sut::SutLayerName(row->layer) << " — "
+        << first.summary;
+  }
+  EXPECT_EQ(static_cast<int>(swept.size()), sut::kNumFaults)
+      << "sweep skipped a fault";
+}
+
+}  // namespace
+}  // namespace switchv

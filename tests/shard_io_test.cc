@@ -3,8 +3,13 @@
 // and garbage payloads, and the worker process runner's outcome
 // classification.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <utility>
 
 #include "switchv/shard_io.h"
+#include "switchv/shard_transport.h"
 
 namespace switchv {
 namespace {
@@ -354,6 +359,202 @@ TEST(WorkerProcessTest, HungWorkerIsKilledAtTheDeadline) {
           .count();
   EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kTimedOut);
   EXPECT_LT(elapsed, 15.0) << "runner must not wait for the full sleep";
+}
+
+// The SIGKILL-on-timeout path must always reap the child. A worker-host
+// slot that leaks one zombie per timed-out shard exhausts the process
+// table over a nightly campaign; after a burst of timeouts there must be
+// no children left at all.
+TEST(WorkerProcessTest, TimedOutWorkersLeaveNoZombies) {
+  for (int i = 0; i < 8; ++i) {
+    const WorkerProcessResult result =
+        RunWorkerProcess("/bin/sleep", {"30"}, "", /*timeout_seconds=*/0.05);
+    EXPECT_EQ(result.outcome, WorkerProcessResult::Outcome::kTimedOut);
+  }
+  // With every child reaped, waitpid(-1) has nothing to report: ECHILD,
+  // not a pid (a zombie) and not 0 (a live straggler).
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing (switchv/shard_transport.h): the same never-crash
+// contract as the JSON layer, applied to the length-prefixed frames the
+// TCP transport wraps those lines in.
+// ---------------------------------------------------------------------------
+
+// Pops one frame from a decoder that must hold exactly one.
+Frame MustDecode(std::string_view bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  StatusOr<std::optional<Frame>> frame = decoder.Next();
+  EXPECT_TRUE(frame.ok()) << frame.status();
+  EXPECT_TRUE(frame->has_value());
+  return frame.ok() && frame->has_value() ? **std::move(frame) : Frame{};
+}
+
+TEST(FrameTest, EncodeDecodeRoundTripsEveryType) {
+  const std::pair<FrameType, std::string> cases[] = {
+      {FrameType::kShardRequest, "request payload"},
+      {FrameType::kShardResult, std::string("binary\x00payload", 14)},
+      {FrameType::kShardError, ""},
+      {FrameType::kHeartbeat, ""},
+  };
+  for (const auto& [type, payload] : cases) {
+    const Frame frame = MustDecode(EncodeFrame(type, payload));
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(FrameTest, EveryPrefixOfAValidFrameNeedsMoreBytes) {
+  // A truncated frame — any truncation — is "not yet", never a crash and
+  // never a phantom frame.
+  const std::string wire =
+      EncodeFrame(FrameType::kShardResult, "a result line with bytes");
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(wire).substr(0, len));
+    const StatusOr<std::optional<Frame>> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << "prefix of length " << len << ": "
+                            << frame.status();
+    EXPECT_FALSE(frame->has_value()) << "prefix of length " << len
+                                     << " produced a frame";
+  }
+}
+
+TEST(FrameTest, SplitReadsAcrossFrameBoundariesReassembleExactly) {
+  // Three frames fed one byte at a time — the worst TCP segmentation —
+  // must pop as exactly the three originals, in order.
+  const std::string wire = EncodeFrame(FrameType::kShardRequest, "spec") +
+                           EncodeFrame(FrameType::kHeartbeat, "") +
+                           EncodeFrame(FrameType::kShardResult, "result");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : wire) {
+    decoder.Feed(std::string_view(&byte, 1));
+    while (true) {
+      StatusOr<std::optional<Frame>> frame = decoder.Next();
+      ASSERT_TRUE(frame.ok()) << frame.status();
+      if (!frame->has_value()) break;
+      frames.push_back(**std::move(frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kShardRequest);
+  EXPECT_EQ(frames[0].payload, "spec");
+  EXPECT_EQ(frames[1].type, FrameType::kHeartbeat);
+  EXPECT_EQ(frames[1].payload, "");
+  EXPECT_EQ(frames[2].type, FrameType::kShardResult);
+  EXPECT_EQ(frames[2].payload, "result");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, OversizedLengthPrefixIsRejectedNotBuffered) {
+  // length = kMaxFramePayload + 1: must fail immediately on the header,
+  // not wait for 256 MiB that will never arrive.
+  std::string wire = EncodeFrame(FrameType::kShardResult, "");
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  wire[5] = static_cast<char>(huge >> 24);
+  wire[6] = static_cast<char>(huge >> 16);
+  wire[7] = static_cast<char>(huge >> 8);
+  wire[8] = static_cast<char>(huge);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  const StatusOr<std::optional<Frame>> frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, MidStreamGarbageCorruptsTheStreamPermanently) {
+  const std::string good = EncodeFrame(FrameType::kHeartbeat, "");
+  // Explicit lengths throughout: several entries carry embedded NULs.
+  const std::string_view garbage[] = {
+      {"GET / HTTP/1.1\r\n", 16},              // wrong protocol entirely
+      {"SwV2\x01\x00\x00\x00\x00", 9},         // wrong magic version
+      {"SwV1\x09\x00\x00\x00\x00", 9},         // right magic, unknown type 9
+      {"\x00\x00\x00\x00\x00\x00\x00\x00", 8}, // zeros
+  };
+  for (const std::string_view bad : garbage) {
+    FrameDecoder decoder;
+    decoder.Feed(good);     // one clean frame first
+    decoder.Feed(bad);      // then corruption mid-stream
+    decoder.Feed(good);     // and valid bytes after it
+    StatusOr<std::optional<Frame>> first = decoder.Next();
+    ASSERT_TRUE(first.ok() && first->has_value());
+    EXPECT_EQ((*first)->type, FrameType::kHeartbeat);
+    // The corruption is terminal: no resynchronization onto the trailing
+    // valid frame — every subsequent Next() reports the same corruption.
+    for (int i = 0; i < 3; ++i) {
+      const StatusOr<std::optional<Frame>> next = decoder.Next();
+      ASSERT_FALSE(next.ok()) << "garbage accepted: " << bad;
+      EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(FrameTest, EveryTruncationOfAValidRequestEnvelopeIsRejected) {
+  RemoteShardRequest request;
+  request.campaign_id = 0xDEADBEEFCAFEF00DULL;
+  request.shard = 7;
+  request.attempt = 2;
+  request.timeout_seconds = 120.5;
+  request.spec_line = SerializeShardSpec(ControlPlaneSpec());
+  const std::string payload = SerializeRemoteRequest(request);
+  const StatusOr<RemoteShardRequest> parsed = ParseRemoteRequest(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->campaign_id, request.campaign_id);
+  EXPECT_EQ(parsed->shard, request.shard);
+  EXPECT_EQ(parsed->attempt, request.attempt);
+  EXPECT_EQ(parsed->timeout_seconds, request.timeout_seconds);
+  EXPECT_EQ(parsed->spec_line, request.spec_line);
+  // The envelope header is rejected at every truncation point; the
+  // spec-line body is shard_io's responsibility (covered above).
+  const std::size_t header_end = payload.find('\n') + 1;
+  for (std::size_t len = 0; len < header_end; ++len) {
+    EXPECT_FALSE(
+        ParseRemoteRequest(std::string_view(payload).substr(0, len)).ok())
+        << "envelope prefix of length " << len << " accepted";
+  }
+}
+
+TEST(FrameTest, GarbageEnvelopesAreRejectedWithClearStatus) {
+  const std::string_view garbage[] = {
+      "",
+      "not an envelope",
+      "switchv-shard-request",                      // no fields
+      "switchv-shard-request 99 1 0 0 120\nspec",   // wrong version
+      "switchv-shard-request 1 x 0 0 120\nspec",    // non-numeric id
+      "switchv-shard-request 1 1 0 0\nspec",        // missing field
+      "switchv-shard-error 1 not-a-kind\nnote",     // unknown error kind
+      "switchv-shard-error 1\n",                    // missing kind
+  };
+  for (const std::string_view payload : garbage) {
+    const StatusOr<RemoteShardRequest> request = ParseRemoteRequest(payload);
+    EXPECT_FALSE(request.ok()) << "request accepted: " << payload;
+    EXPECT_FALSE(request.status().message().empty());
+    EXPECT_FALSE(ParseRemoteError(payload).ok())
+        << "error accepted: " << payload;
+  }
+}
+
+TEST(FrameTest, ErrorEnvelopeRoundTripsEveryKind) {
+  const RemoteShardError::Kind kinds[] = {
+      RemoteShardError::Kind::kCrash, RemoteShardError::Kind::kTimeout,
+      RemoteShardError::Kind::kExit, RemoteShardError::Kind::kSpawn,
+      RemoteShardError::Kind::kBadRequest,
+  };
+  for (const RemoteShardError::Kind kind : kinds) {
+    RemoteShardError error;
+    error.kind = kind;
+    error.note = "shard worker said:\nmulti-line\ndetail";
+    const StatusOr<RemoteShardError> parsed =
+        ParseRemoteError(SerializeRemoteError(error));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->kind, kind);
+    EXPECT_EQ(parsed->note, error.note);
+  }
 }
 
 }  // namespace

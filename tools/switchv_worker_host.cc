@@ -1,0 +1,332 @@
+// switchv_worker_host: serves campaign shards to remote engines over TCP.
+//
+// The host side of Execution::kRemote (switchv/shard_transport.h): accepts
+// connections from campaign dispatchers, and for every kShardRequest frame
+// runs the shard in a `switchv_shard_worker` subprocess — the same crash
+// isolation as local subprocess execution — streaming kHeartbeat frames
+// while it runs and answering with a kShardResult (the worker's result
+// line, forwarded verbatim) or a kShardError classifying the failure.
+//
+// Idempotency: results are cached by (campaign_id, shard, attempt, spec
+// digest). A dispatcher that lost the connection mid-transfer resends the
+// same key and gets the cached bytes back — the shard never runs twice, and
+// the merged campaign report stays byte-identical across reconnects.
+//
+// Flags:
+//   --port=N                listen port; 0 (default) picks an ephemeral one
+//   --bind=HOST             bind address (default 127.0.0.1)
+//   --worker=PATH           shard worker binary; default $SWITCHV_SHARD_WORKER
+//   --slots=N               max concurrent shard subprocesses (default: cores)
+//   --heartbeat-interval=S  seconds between heartbeats (default 1.0)
+//   --worker-arg=ARG        extra argv for every worker (repeatable)
+//   --drop-once-on-shard=N  test hook: close the connection (once) instead
+//                           of serving shard N — exercises reconnect/resend
+//
+// On startup the chosen endpoint is announced on stdout:
+//   switchv_worker_host listening on HOST:PORT
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "switchv/shard_io.h"
+#include "switchv/shard_transport.h"
+
+namespace {
+
+using switchv::Frame;
+using switchv::FrameDecoder;
+using switchv::FrameType;
+using switchv::RemoteShardError;
+using switchv::RemoteShardRequest;
+
+struct HostConfig {
+  std::string worker_binary;
+  std::vector<std::string> worker_args;
+  double heartbeat_interval = 1.0;
+  int drop_once_on_shard = -1;
+};
+
+HostConfig g_config;
+std::atomic<bool> g_drop_fired{false};
+
+// ---- shard-subprocess slots ----
+
+class SlotGate {
+ public:
+  void set_limit(int limit) { limit_ = limit > 0 ? limit : 1; }
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return in_use_ < limit_; });
+    ++in_use_;
+  }
+  void Release() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_use_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int limit_ = 1;
+  int in_use_ = 0;
+};
+
+SlotGate g_slots;
+
+// ---- idempotent result cache ----
+
+class ResultCache {
+ public:
+  bool Lookup(const std::string& key, std::string* result) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) return false;
+    *result = it->second;
+    return true;
+  }
+  void Insert(const std::string& key, const std::string& result) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!cache_.try_emplace(key, result).second) return;
+    order_.push_back(key);
+    while (order_.size() > kCapacity) {
+      cache_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 1024;
+  std::mutex mu_;
+  std::map<std::string, std::string> cache_;
+  std::deque<std::string> order_;
+};
+
+ResultCache g_results;
+
+std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string CacheKey(const RemoteShardRequest& request) {
+  return std::to_string(request.campaign_id) + ":" +
+         std::to_string(request.shard) + ":" +
+         std::to_string(request.attempt) + ":" +
+         std::to_string(Fnv1a(request.spec_line));
+}
+
+// The worker's result is the last non-empty stdout line (it may log above
+// it); forwarded verbatim — the dispatcher validates it, exactly as it
+// validates a local subprocess's stdout.
+std::string_view LastNonEmptyLine(std::string_view out) {
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.remove_suffix(1);
+  }
+  const std::size_t newline = out.rfind('\n');
+  return newline == std::string_view::npos ? out : out.substr(newline + 1);
+}
+
+// Runs the shard subprocess on a helper thread while this (connection)
+// thread streams heartbeats, so a long shard never trips the dispatcher's
+// liveness timer. Returns false when the connection is gone; the shard
+// still runs to completion and its result is cached for the resend.
+bool ServeRequest(int fd, const RemoteShardRequest& request) {
+  const std::string key = CacheKey(request);
+  std::string cached;
+  if (g_results.Lookup(key, &cached)) {
+    return switchv::SendFrame(fd, FrameType::kShardResult, cached, 30).ok();
+  }
+
+  g_slots.Acquire();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  switchv::WorkerProcessResult proc;
+  std::thread runner([&] {
+    proc = switchv::RunWorkerProcess(g_config.worker_binary,
+                                     g_config.worker_args,
+                                     request.spec_line + "\n",
+                                     request.timeout_seconds);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  bool peer_alive = true;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!done) {
+      cv.wait_for(lock, std::chrono::duration<double>(
+                            g_config.heartbeat_interval));
+      if (done) break;
+      lock.unlock();
+      if (peer_alive &&
+          !switchv::SendFrame(fd, FrameType::kHeartbeat, "", 5).ok()) {
+        peer_alive = false;  // dispatcher gone; finish and cache anyway
+      }
+      lock.lock();
+    }
+  }
+  runner.join();
+  g_slots.Release();
+
+  if (proc.outcome == switchv::WorkerProcessResult::Outcome::kExited &&
+      proc.exit_code == 0) {
+    const std::string result(LastNonEmptyLine(proc.stdout_data));
+    g_results.Insert(key, result);
+    if (!peer_alive) return false;
+    return switchv::SendFrame(fd, FrameType::kShardResult, result, 30).ok();
+  }
+
+  RemoteShardError error;
+  if (proc.outcome == switchv::WorkerProcessResult::Outcome::kTimedOut) {
+    error.kind = RemoteShardError::Kind::kTimeout;
+    error.note = "killed after exceeding the shard deadline";
+  } else if (proc.outcome ==
+             switchv::WorkerProcessResult::Outcome::kSignaled) {
+    error.kind = RemoteShardError::Kind::kCrash;
+    error.note = "terminated by signal " + std::to_string(proc.term_signal);
+  } else if (proc.outcome == switchv::WorkerProcessResult::Outcome::kExited) {
+    error.kind = RemoteShardError::Kind::kExit;
+    error.note = "exit code " + std::to_string(proc.exit_code);
+  } else {
+    error.kind = RemoteShardError::Kind::kSpawn;
+    error.note = proc.error;
+  }
+  if (!peer_alive) return false;
+  return switchv::SendFrame(fd, FrameType::kShardError,
+                            switchv::SerializeRemoteError(error), 30)
+      .ok();
+}
+
+void HandleConnection(int fd) {
+  FrameDecoder decoder;
+  char buffer[65536];
+  while (true) {
+    switchv::StatusOr<std::optional<Frame>> next = decoder.Next();
+    if (!next.ok()) break;  // corrupt stream: drop; the peer reconnects
+    if (next->has_value()) {
+      Frame& frame = **next;
+      if (frame.type == FrameType::kHeartbeat) continue;
+      if (frame.type != FrameType::kShardRequest) break;
+      switchv::StatusOr<RemoteShardRequest> request =
+          switchv::ParseRemoteRequest(frame.payload);
+      if (!request.ok()) {
+        RemoteShardError error;
+        error.kind = RemoteShardError::Kind::kBadRequest;
+        error.note = request.status().ToString();
+        (void)switchv::SendFrame(fd, FrameType::kShardError,
+                                 switchv::SerializeRemoteError(error), 5);
+        break;
+      }
+      if (request->shard == g_config.drop_once_on_shard &&
+          !g_drop_fired.exchange(true)) {
+        break;  // test hook: simulate the host dying mid-shard
+      }
+      if (!ServeRequest(fd, *request)) break;
+      continue;
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      decoder.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    } else if (n == 0 || errno != EINTR) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+bool ParseFlag(std::string_view arg, std::string_view name,
+               std::string_view* value) {
+  if (arg.substr(0, name.size()) != name) return false;
+  *value = arg.substr(name.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bind = "127.0.0.1";
+  int port = 0;
+  int slots = static_cast<int>(std::thread::hardware_concurrency());
+  const char* env_worker = std::getenv("SWITCHV_SHARD_WORKER");
+  g_config.worker_binary = env_worker != nullptr ? env_worker : "";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (ParseFlag(arg, "--port=", &value)) {
+      port = std::atoi(std::string(value).c_str());
+    } else if (ParseFlag(arg, "--bind=", &value)) {
+      bind = std::string(value);
+    } else if (ParseFlag(arg, "--worker=", &value)) {
+      g_config.worker_binary = std::string(value);
+    } else if (ParseFlag(arg, "--slots=", &value)) {
+      slots = std::atoi(std::string(value).c_str());
+    } else if (ParseFlag(arg, "--heartbeat-interval=", &value)) {
+      g_config.heartbeat_interval = std::atof(std::string(value).c_str());
+    } else if (ParseFlag(arg, "--worker-arg=", &value)) {
+      g_config.worker_args.emplace_back(value);
+    } else if (ParseFlag(arg, "--drop-once-on-shard=", &value)) {
+      g_config.drop_once_on_shard = std::atoi(std::string(value).c_str());
+    } else {
+      std::fprintf(stderr, "switchv_worker_host: unknown flag '%s'\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (g_config.worker_binary.empty()) {
+    std::fprintf(stderr,
+                 "switchv_worker_host: no worker binary (--worker= or "
+                 "$SWITCHV_SHARD_WORKER)\n");
+    return 2;
+  }
+  if (g_config.heartbeat_interval <= 0) g_config.heartbeat_interval = 1.0;
+  g_slots.set_limit(slots);
+
+  int bound_port = port;
+  const switchv::StatusOr<int> listener =
+      switchv::ListenTcp(bind, port, &bound_port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "switchv_worker_host: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("switchv_worker_host listening on %s:%d\n", bind.c_str(),
+              bound_port);
+  std::fflush(stdout);
+
+  while (true) {
+    const int client = ::accept(listener.value(), nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "switchv_worker_host: accept: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    std::thread(HandleConnection, client).detach();
+  }
+}
