@@ -4,15 +4,100 @@
 //   $ ./validate_pins               # healthy switch: expect a clean run
 //   $ ./validate_pins lldp-daemon-punts
 //   $ ./validate_pins list          # show all injectable bugs
+//
+// With --fleet local:N the run provisions N `switchv_worker_host`
+// processes on this machine (no hand-started daemons), dispatches the
+// campaign shards to them over the authenticated transport, and drains
+// the fleet afterwards. The report is byte-identical to the in-process
+// run. Binaries are found next to this one, or via $SWITCHV_WORKER_HOST /
+// $SWITCHV_SHARD_WORKER.
 
+#include <libgen.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "switchv/experiment.h"
+#include "switchv/fleet.h"
+#include "switchv/shard_io.h"
 
 using namespace switchv;
 
+namespace {
+
+// Resolves a sibling tool binary: $ENV_VAR first, then
+// <dir-of-this-binary>/../tools/<name>.
+std::string ResolveTool(const char* argv0, const char* env_var,
+                        const std::string& name) {
+  const char* env = std::getenv(env_var);
+  if (env != nullptr && *env != '\0') return env;
+  std::string self(argv0);
+  std::string dir(dirname(self.data()));
+  const std::string candidate = dir + "/../tools/" + name;
+  if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  return "";
+}
+
+// Builds and provisions a fleet for "--fleet local:N". Returns null (with
+// a message) when provisioning fails.
+std::unique_ptr<Fleet> ProvisionLocalFleet(const char* argv0,
+                                           const std::string& spec) {
+  int size = 2;
+  if (spec.rfind("local", 0) != 0) {
+    std::cerr << "unsupported --fleet spec '" << spec
+              << "' (expected local:N)\n";
+    return nullptr;
+  }
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string::npos) size = std::atoi(spec.c_str() + colon + 1);
+  if (size < 1) size = 1;
+
+  FleetOptions options;
+  options.backend = FleetOptions::Backend::kLocalProcess;
+  options.size = size;
+  options.host_binary =
+      ResolveTool(argv0, "SWITCHV_WORKER_HOST", "switchv_worker_host");
+  options.worker_binary =
+      ResolveTool(argv0, "SWITCHV_SHARD_WORKER", "switchv_shard_worker");
+  options.auth_secret = "validate-pins-local-fleet";
+  if (options.host_binary.empty() || options.worker_binary.empty()) {
+    std::cerr << "--fleet: could not locate switchv_worker_host / "
+                 "switchv_shard_worker (set $SWITCHV_WORKER_HOST and "
+                 "$SWITCHV_SHARD_WORKER)\n";
+    return nullptr;
+  }
+  auto fleet = std::make_unique<Fleet>(options);
+  const Status provisioned = fleet->Provision();
+  if (!provisioned.ok()) {
+    std::cerr << "--fleet: " << provisioned << "\n";
+    return nullptr;
+  }
+  std::cout << "provisioned " << size << " local worker host(s):";
+  for (const Fleet::HostInfo& host : fleet->Hosts()) {
+    std::cout << " " << host.endpoint;
+  }
+  std::cout << "\n";
+  return fleet;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string arg = argc > 1 ? argv[1] : "";
+  std::string arg;
+  std::string fleet_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    if (token.rfind("--fleet=", 0) == 0) {
+      fleet_spec = std::string(token.substr(std::strlen("--fleet=")));
+    } else if (token == "--fleet" && i + 1 < argc) {
+      fleet_spec = argv[++i];
+    } else {
+      arg = std::string(token);
+    }
+  }
   if (arg == "list") {
     for (const sut::BugInfo& bug : sut::BugCatalog()) {
       std::cout << bug.name << "  [" << ComponentName(bug.component) << ", "
@@ -25,6 +110,19 @@ int main(int argc, char** argv) {
   ExperimentOptions options;
   options.nightly.control_plane.num_requests = 20;
 
+  std::unique_ptr<Fleet> fleet;
+  if (!fleet_spec.empty()) {
+    fleet = ProvisionLocalFleet(argv[0], fleet_spec);
+    if (fleet == nullptr) return 2;
+    options.nightly.execution = CampaignOptions::Execution::kRemote;
+    options.nightly.fleet = fleet.get();
+    // Spread shards across the fleet; RunNightlyForBug builds the worker
+    // scenario automatically, and the healthy path below builds its own.
+    options.nightly.parallelism = 2;
+    options.nightly.control_plane_shards = 2;
+    options.nightly.dataplane_shards = 2;
+  }
+
   if (arg.empty()) {
     // Healthy run.
     auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
@@ -35,6 +133,13 @@ int main(int argc, char** argv) {
     const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model);
     auto entries = models::GenerateEntries(
         info, models::Role::kMiddleblock, options.workload, /*seed=*/1);
+    if (fleet != nullptr) {
+      ShardScenario scenario;
+      scenario.role = models::Role::kMiddleblock;
+      scenario.workload = options.workload;
+      scenario.entry_seed = 1;
+      options.nightly.scenario = scenario;
+    }
     const NightlyReport report =
         RunNightlyValidation(nullptr, *model, models::SaiParserSpec(),
                              *entries, options.nightly);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "models/sai_model.h"
+#include "switchv/fleet.h"
 #include "switchv/shard_transport.h"
 #include "util/rng.h"
 
@@ -367,75 +368,9 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
   return result;
 }
 
-// The endpoint pool for remote execution. Dispatch is work-stealing by
-// construction: shards queue globally, and each acquire picks the live
-// host with the fewest in-flight shards, so an idle (fast) host takes the
-// next shard while a slow one is still busy. A host that fails at the
-// transport level `max_failures` times in a row is retired for the rest of
-// the campaign — one dead or flapping endpoint cannot stall the run.
-class RemoteHostPool {
- public:
-  RemoteHostPool(const std::vector<std::string>& endpoints, int max_failures)
-      : max_failures_(std::max(1, max_failures)) {
-    hosts_.reserve(endpoints.size());
-    for (const std::string& endpoint : endpoints) {
-      hosts_.push_back(Host{endpoint});
-    }
-  }
-
-  // Index of the least-loaded live host, or -1 when every host is retired.
-  int Acquire() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    int best = -1;
-    for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
-      if (hosts_[i].retired) continue;
-      if (best < 0 || hosts_[i].inflight < hosts_[best].inflight) best = i;
-    }
-    if (best >= 0) ++hosts_[best].inflight;
-    return best;
-  }
-
-  // `transport_ok` is false when the call failed at the transport level
-  // (connect failure, dropped or silent connection) — worker failures
-  // reported in-band do not count against the host.
-  void Release(int index, bool transport_ok) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Host& host = hosts_[static_cast<std::size_t>(index)];
-    --host.inflight;
-    if (transport_ok) {
-      host.consecutive_failures = 0;
-      return;
-    }
-    if (++host.consecutive_failures >= max_failures_) host.retired = true;
-  }
-
-  const std::string& endpoint(int index) const {
-    return hosts_[static_cast<std::size_t>(index)].endpoint;
-  }
-
-  std::uint64_t retired_count() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    std::uint64_t retired = 0;
-    for (const Host& host : hosts_) {
-      if (host.retired) ++retired;
-    }
-    return retired;
-  }
-
- private:
-  struct Host {
-    std::string endpoint;
-    int inflight = 0;
-    int consecutive_failures = 0;
-    bool retired = false;
-  };
-  mutable std::mutex mu_;
-  std::vector<Host> hosts_;
-  const int max_failures_;
-};
-
-// Runs one shard through the remote host pool. Two nested failure scopes,
-// both bounded:
+// Runs one shard through the remote host pool (switchv/fleet.h: work-
+// stealing acquire, consecutive-failure retirement, cooldown probation).
+// Two nested failure scopes, both bounded:
 //   * transport failures (connection refused/dropped/silent) redial — on
 //     the now-least-loaded host — up to `remote_reconnects` times, resending
 //     the same idempotency key so a host that already finished the shard
@@ -446,9 +381,18 @@ class RemoteHostPool {
 // When both bounds are exhausted — or every host is retired — the shard
 // degrades to the same synthetic kHarness incident as a lost local worker:
 // a torn-down fleet costs findings, never the campaign.
+//
+// With a provisioned fleet, a release that *newly* retires a host also
+// replaces it: the fleet SIGKILLs the old process, brings a fresh one
+// through the bring-up gate, and the pool gains its endpoint while the
+// dead one is marked dead (probation must not resurrect a killed host).
+// A failed replacement — budget exhausted, bring-up timeout — leaves the
+// host retired, where probation can still re-admit it if it was merely
+// flapping.
 ShardResult RunShardViaRemote(const ShardSpec& spec,
                               const CampaignOptions& options,
-                              RemoteHostPool& pool,
+                              HostPool& pool, Fleet* fleet,
+                              const std::string& auth_secret,
                               const std::vector<symbolic::TestPacket>* packets,
                               Metrics& metrics) {
   RemoteShardRequest request;
@@ -483,9 +427,17 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
       }
       const RemoteCallOutcome call =
           CallRemoteShard(pool.endpoint(host), request,
-                          options.remote_heartbeat_timeout_seconds);
-      pool.Release(host,
-                   call.kind != RemoteCallOutcome::Kind::kTransport);
+                          options.remote_heartbeat_timeout_seconds,
+                          auth_secret);
+      const HostPool::ReleaseOutcome released = pool.Release(
+          host, call.kind != RemoteCallOutcome::Kind::kTransport);
+      if (released.newly_retired && fleet != nullptr) {
+        StatusOr<std::string> replacement = fleet->Replace(released.endpoint);
+        if (replacement.ok()) {
+          pool.MarkDead(released.endpoint);
+          pool.AddEndpoint(*replacement);
+        }
+      }
       if (call.kind == RemoteCallOutcome::Kind::kResult) {
         StatusOr<ShardResult> parsed =
             AbsorbWireResultLine(call.result_line, options, metrics);
@@ -643,19 +595,30 @@ CampaignReport RunValidationCampaign(
   // execution, at least one host endpoint; with either missing the
   // campaign silently runs in-process, which is behaviourally identical.
   const std::string worker_binary = ResolveWorkerBinary(options);
+  const std::vector<std::string> remote_endpoints =
+      options.fleet != nullptr ? options.fleet->Endpoints()
+                               : options.remote_endpoints;
   const bool remote =
       options.execution == CampaignOptions::Execution::kRemote &&
-      options.scenario.has_value() && !options.remote_endpoints.empty();
+      options.scenario.has_value() && !remote_endpoints.empty();
   const bool subprocess =
       options.execution == CampaignOptions::Execution::kSubprocess &&
       options.scenario.has_value() && !worker_binary.empty();
   campaign_span.AddArg("execution", remote       ? "remote"
                                     : subprocess ? "subprocess"
                                                  : "in-process");
-  std::optional<RemoteHostPool> host_pool;
+  const std::string remote_secret =
+      !options.remote_auth_secret.empty()
+          ? options.remote_auth_secret
+          : (options.fleet != nullptr ? options.fleet->options().auth_secret
+                                      : "");
+  std::optional<HostPool> host_pool;
   if (remote) {
-    host_pool.emplace(options.remote_endpoints,
-                      options.remote_host_max_failures);
+    HostPool::Options pool_options;
+    pool_options.max_consecutive_failures = options.remote_host_max_failures;
+    pool_options.probation_cooldown_seconds =
+        options.remote_host_probation_seconds;
+    host_pool.emplace(remote_endpoints, pool_options);
   }
 
   // ---- Shard decomposition: a pure function of the options. ----
@@ -705,14 +668,16 @@ CampaignReport RunValidationCampaign(
   }
 
   // ---- Pre-phase: generate the campaign's test packets once when the
-  // dataplane is split, so shards share one (expensive) Z3 pass. In
-  // subprocess mode the packets fan out inside each shard spec — workers
-  // never repeat the Z3 pass, and the merged telemetry counts it once,
-  // exactly as in-process execution does. ----
+  // dataplane is split — so shards share one (expensive) Z3 pass — and
+  // whenever shards run out of process, split or not: the packets fan out
+  // inside each shard spec, workers never repeat the Z3 pass, the parent's
+  // generation cache is shared across campaigns, and the merged telemetry
+  // counts the pass once, exactly as in-process execution does. ----
   std::vector<symbolic::TestPacket> campaign_packets;
   const std::vector<symbolic::TestPacket>* precomputed = nullptr;
   std::vector<Incident> pre_phase_incidents;
-  if (dataplane_shards > 1) {
+  if (dataplane_shards > 1 ||
+      (dataplane_shards == 1 && (remote || subprocess))) {
     StatusOr<std::vector<symbolic::TestPacket>> generated = [&] {
       ScopedSpan span(campaign_trace, "generate-packets", "campaign");
       ScopedTimer timer(&metrics.generation_ns, &metrics.generation_hist);
@@ -766,7 +731,8 @@ CampaignReport RunValidationCampaign(
       if (run_this_shard) {
         if (remote) {
           results[i] =
-              RunShardViaRemote(spec, options, *host_pool,
+              RunShardViaRemote(spec, options, *host_pool, options.fleet,
+                                remote_secret,
                                 spec.kind == ShardSpec::Kind::kDataplane
                                     ? precomputed
                                     : nullptr,
@@ -835,7 +801,9 @@ CampaignReport RunValidationCampaign(
     report.fuzzed_updates += results[i].fuzzed_updates;
     report.packets_tested += results[i].packets_tested;
     if (shards[i].kind == ShardSpec::Kind::kDataplane &&
-        dataplane_shards == 1) {
+        dataplane_shards == 1 && precomputed == nullptr) {
+      // With a pre-phase the generation stats are already in the report;
+      // the shard never generated.
       report.generation = results[i].generation;
     }
   }

@@ -34,6 +34,8 @@
 
 namespace switchv {
 
+class Fleet;  // switchv/fleet.h
+
 struct CampaignOptions {
   // Worker threads executing shards. Results are bit-identical for any
   // value; only wall-clock changes.
@@ -103,6 +105,22 @@ struct CampaignOptions {
   // Liveness bound: hosts stream heartbeats while a shard runs; a
   // connection silent for this long is declared dead and the shard resent.
   double remote_heartbeat_timeout_seconds = 10;
+  // A retired host is not gone for good: after this cooldown the pool
+  // routes one probe shard to it, and a success re-admits the host while a
+  // failure re-retires it with a fresh cooldown. <= 0 restores permanent
+  // retirement.
+  double remote_host_probation_seconds = 5;
+  // Provisioned fleet (switchv/fleet.h). When set, the dispatcher draws
+  // its endpoints from the fleet instead of `remote_endpoints`, and a
+  // newly *retired* host is replaced by a freshly provisioned one (budget
+  // permitting) — the pool grows a live endpoint where the static list
+  // would have shrunk. Not owned; must outlive the campaign.
+  Fleet* fleet = nullptr;
+  // Shared secret authenticating every transport frame (HMAC-SHA256; see
+  // shard_transport.h). Empty — the default — leaves the wire bytes
+  // exactly as the unauthenticated protocol. When empty and a fleet is
+  // set, the fleet's own auth_secret applies.
+  std::string remote_auth_secret;
 
   // Per-shard fault-registry views, keyed by global shard index. Shards
   // absent from the map see the campaign-level registry. This models a

@@ -24,8 +24,7 @@ models::Role RoleForStack(sut::Stack stack) {
                                     : models::Role::kWan;
 }
 
-StatusOr<p4ir::Program> ModelForBug(const sut::BugInfo& bug) {
-  const models::Role role = RoleForStack(bug.stack);
+models::ModelOptions ModelOptionsForBug(const sut::BugInfo& bug) {
   models::ModelOptions options;
   switch (bug.fault) {
     case sut::Fault::kModelMissingTtlTrap:
@@ -44,18 +43,29 @@ StatusOr<p4ir::Program> ModelForBug(const sut::BugInfo& bug) {
     default:
       break;  // the model is the intended specification
   }
-  return models::BuildSaiProgram(role, options);
+  return options;
+}
+
+StatusOr<p4ir::Program> ModelForBug(const sut::BugInfo& bug) {
+  return models::BuildSaiProgram(RoleForStack(bug.stack),
+                                 ModelOptionsForBug(bug));
+}
+
+models::WorkloadSpec WorkloadForBug(const sut::BugInfo& bug,
+                                    const ExperimentOptions& options) {
+  models::WorkloadSpec workload = options.workload;
+  if (bug.stack == sut::Stack::kCerberus) {
+    workload.num_decap = 3;
+    workload.num_tunnels = 6;
+  }
+  return workload;
 }
 
 StatusOr<BugRunResult> RunNightlyForBug(const sut::BugInfo& bug,
                                         const ExperimentOptions& options) {
   SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model, ModelForBug(bug));
   const p4ir::P4Info info = p4ir::P4Info::FromProgram(model);
-  models::WorkloadSpec workload = options.workload;
-  if (bug.stack == sut::Stack::kCerberus) {
-    workload.num_decap = 3;
-    workload.num_tunnels = 6;
-  }
+  const models::WorkloadSpec workload = WorkloadForBug(bug, options);
   SWITCHV_ASSIGN_OR_RETURN(
       std::vector<p4rt::TableEntry> entries,
       models::GenerateEntries(info, RoleForStack(bug.stack), workload,
@@ -63,8 +73,21 @@ StatusOr<BugRunResult> RunNightlyForBug(const sut::BugInfo& bug,
 
   sut::FaultRegistry faults;
   faults.Activate(bug.fault);
+  NightlyOptions nightly = options.nightly;
+  if (nightly.execution != CampaignOptions::Execution::kInProcess &&
+      !nightly.scenario.has_value()) {
+    // Out-of-process runs rebuild the campaign inputs from a recipe; the
+    // recipe is exactly the construction above, so workers reproduce the
+    // experiment's model, workload, and entries bit-for-bit.
+    ShardScenario scenario;
+    scenario.role = RoleForStack(bug.stack);
+    scenario.model = ModelOptionsForBug(bug);
+    scenario.workload = workload;
+    scenario.entry_seed = options.seed;
+    nightly.scenario = scenario;
+  }
   const NightlyReport report = RunNightlyValidation(
-      &faults, model, models::SaiParserSpec(), entries, options.nightly);
+      &faults, model, models::SaiParserSpec(), entries, nightly);
 
   BugRunResult result;
   result.bug = &bug;

@@ -30,10 +30,22 @@ struct ExperimentOptions {
 // Cerberus were more complex, with ... encapsulation and decapsulation").
 models::Role RoleForStack(sut::Stack stack);
 
+// Model knobs for a bug run: "Input P4 Program" bugs flip the knob that
+// plants the defect in the model itself; every other bug leaves the model
+// as the intended specification. Exposed separately from ModelForBug so a
+// ShardScenario (switchv/shard_io.h) can carry the same recipe to worker
+// processes.
+models::ModelOptions ModelOptionsForBug(const sut::BugInfo& bug);
+
 // Builds the input P4 model for a bug run. For "Input P4 Program" bugs the
 // model itself carries the defect (the switch is correct); for all other
 // bugs the model is the intended specification.
 StatusOr<p4ir::Program> ModelForBug(const sut::BugInfo& bug);
+
+// The workload a bug run validates against: the experiment workload, plus
+// the encap/decap state the Cerberus stack requires.
+models::WorkloadSpec WorkloadForBug(const sut::BugInfo& bug,
+                                    const ExperimentOptions& options);
 
 struct BugRunResult {
   const sut::BugInfo* bug = nullptr;

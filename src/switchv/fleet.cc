@@ -1,0 +1,464 @@
+#include "switchv/fleet.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "switchv/shard_transport.h"
+
+namespace switchv {
+
+namespace {
+
+using Clock = HostPool::Clock;
+
+Clock::time_point DeadlineAfter(double seconds) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                seconds > 0 ? seconds : 0.001));
+}
+
+double RemainingSeconds(Clock::time_point deadline) {
+  const double remaining =
+      std::chrono::duration<double>(deadline - Clock::now()).count();
+  return remaining > 0 ? remaining : 0;
+}
+
+// Asks the kernel for a currently-free TCP port. Inherently racy (the port
+// is released before the host binds it), which is why kLocalProcess avoids
+// it entirely by letting the host bind port 0 and announce the result; the
+// template backend has no announcement channel, so this is its best effort.
+StatusOr<int> PickFreePort(const std::string& host) {
+  int port = 0;
+  SWITCHV_ASSIGN_OR_RETURN(int fd, ListenTcp(host, 0, &port));
+  ::close(fd);
+  if (port <= 0) return UnavailableError("could not pick an ephemeral port");
+  return port;
+}
+
+std::string SubstitutePlaceholders(std::string text, const std::string& host,
+                                   int port) {
+  const auto replace_all = [&text](std::string_view needle,
+                                   const std::string& value) {
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      text.replace(pos, needle.size(), value);
+      pos += value.size();
+    }
+  };
+  replace_all("{host}", host);
+  replace_all("{port}", std::to_string(port));
+  return text;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HostPool
+// ---------------------------------------------------------------------------
+
+HostPool::HostPool(const std::vector<std::string>& endpoints, Options options)
+    : options_(options) {
+  hosts_.reserve(endpoints.size());
+  for (const std::string& endpoint : endpoints) {
+    Host host;
+    host.endpoint = endpoint;
+    hosts_.push_back(std::move(host));
+  }
+}
+
+int HostPool::AcquireAt(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Probation first: a cooled-down retired host gets exactly one probe
+  // shard (inflight must be 0 — the probe is the only traffic it sees
+  // until it proves itself).
+  if (options_.probation_cooldown_seconds > 0) {
+    const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(options_.probation_cooldown_seconds));
+    for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
+      Host& host = hosts_[static_cast<std::size_t>(i)];
+      if (host.state != State::kRetired || host.on_probation ||
+          host.inflight != 0) {
+        continue;
+      }
+      if (now - host.retired_at < cooldown) continue;
+      host.on_probation = true;
+      ++host.inflight;
+      return i;
+    }
+  }
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(hosts_.size()); ++i) {
+    const Host& host = hosts_[static_cast<std::size_t>(i)];
+    if (host.state != State::kLive) continue;
+    if (best < 0 ||
+        host.inflight < hosts_[static_cast<std::size_t>(best)].inflight) {
+      best = i;
+    }
+  }
+  if (best >= 0) ++hosts_[static_cast<std::size_t>(best)].inflight;
+  return best;
+}
+
+HostPool::ReleaseOutcome HostPool::ReleaseAt(int index, bool transport_ok,
+                                             Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ReleaseOutcome outcome;
+  Host& host = hosts_[static_cast<std::size_t>(index)];
+  --host.inflight;
+  if (host.on_probation) {
+    host.on_probation = false;
+    if (transport_ok) {
+      host.state = State::kLive;
+      host.consecutive_failures = 0;
+      ++probe_readmissions_;
+    } else {
+      host.retired_at = now;  // fresh cooldown; stays retired
+    }
+    return outcome;  // a probe verdict is never a *new* retirement
+  }
+  if (host.state != State::kLive) return outcome;  // replaced mid-flight
+  if (transport_ok) {
+    host.consecutive_failures = 0;
+    return outcome;
+  }
+  if (++host.consecutive_failures >=
+      std::max(1, options_.max_consecutive_failures)) {
+    host.state = State::kRetired;
+    host.retired_at = now;
+    ++retirements_;
+    outcome.newly_retired = true;
+    outcome.endpoint = host.endpoint;
+  }
+  return outcome;
+}
+
+int HostPool::AddEndpoint(const std::string& endpoint) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Host host;
+  host.endpoint = endpoint;
+  hosts_.push_back(std::move(host));
+  return static_cast<int>(hosts_.size()) - 1;
+}
+
+void HostPool::MarkDead(const std::string& endpoint) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Host& host : hosts_) {
+    if (host.endpoint == endpoint && host.state != State::kDead) {
+      host.state = State::kDead;
+      host.on_probation = false;
+    }
+  }
+}
+
+std::string HostPool::endpoint(int index) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hosts_[static_cast<std::size_t>(index)].endpoint;
+}
+
+std::uint64_t HostPool::retired_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return retirements_;
+}
+
+std::uint64_t HostPool::probe_readmissions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return probe_readmissions_;
+}
+
+std::size_t HostPool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hosts_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {
+  next_template_port_ = options_.base_port;
+}
+
+Fleet::~Fleet() { Drain(); }
+
+Status Fleet::Provision() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < options_.size; ++i) {
+    StatusOr<ManagedHost> host = LaunchHost();
+    if (!host.ok()) {
+      for (ManagedHost& started : hosts_) KillHost(started, /*graceful=*/false);
+      return host.status();
+    }
+    hosts_.push_back(std::move(host).value());
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> Fleet::Endpoints() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> endpoints;
+  for (const ManagedHost& host : hosts_) {
+    if (host.alive) endpoints.push_back(host.endpoint);
+  }
+  return endpoints;
+}
+
+std::vector<Fleet::HostInfo> Fleet::Hosts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HostInfo> hosts;
+  for (const ManagedHost& host : hosts_) {
+    if (host.alive) hosts.push_back(HostInfo{host.endpoint, host.pid});
+  }
+  return hosts;
+}
+
+StatusOr<std::string> Fleet::Replace(const std::string& endpoint) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ManagedHost* old_host = nullptr;
+  for (ManagedHost& host : hosts_) {
+    if (host.alive && host.endpoint == endpoint) {
+      old_host = &host;
+      break;
+    }
+  }
+  if (old_host == nullptr) {
+    return NotFoundError("fleet does not own endpoint " + endpoint);
+  }
+  if (reprovisions_ >= options_.reprovision_budget) {
+    return ResourceExhaustedError(
+        "reprovision budget (" + std::to_string(options_.reprovision_budget) +
+        ") exhausted");
+  }
+  // The old host is retired — presumed dead or misbehaving; no grace.
+  KillHost(*old_host, /*graceful=*/false);
+  SWITCHV_ASSIGN_OR_RETURN(ManagedHost fresh, LaunchHost());
+  ++reprovisions_;
+  std::string fresh_endpoint = fresh.endpoint;
+  hosts_.push_back(std::move(fresh));
+  return fresh_endpoint;
+}
+
+void Fleet::Drain() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // SIGTERM everyone first, grace once, then sweep with SIGKILL.
+  for (ManagedHost& host : hosts_) {
+    if (host.alive && host.pid > 0) ::kill(-host.pid, SIGTERM);
+  }
+  const auto grace_deadline = DeadlineAfter(2.0);
+  for (ManagedHost& host : hosts_) {
+    if (!host.alive) continue;
+    if (host.pid > 0) {
+      while (true) {
+        const pid_t reaped = ::waitpid(host.pid, nullptr, WNOHANG);
+        if (reaped == host.pid || (reaped < 0 && errno == ECHILD)) {
+          host.pid = -1;
+          break;
+        }
+        if (Clock::now() >= grace_deadline) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    KillHost(host, /*graceful=*/false);
+  }
+}
+
+int Fleet::reprovisions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reprovisions_;
+}
+
+void Fleet::KillHost(ManagedHost& host, bool graceful) {
+  if (host.alive && host.pid > 0) {
+    ::kill(-host.pid, graceful ? SIGTERM : SIGKILL);
+    ::kill(host.pid, graceful ? SIGTERM : SIGKILL);
+    while (::waitpid(host.pid, nullptr, 0) < 0 && errno == EINTR) {
+    }
+  }
+  host.pid = -1;
+  host.alive = false;
+}
+
+StatusOr<Fleet::ManagedHost> Fleet::LaunchHost() {
+  return options_.backend == FleetOptions::Backend::kLocalProcess
+             ? LaunchLocalProcess()
+             : LaunchCommandTemplate();
+}
+
+Status Fleet::AwaitHealthy(const std::string& endpoint,
+                           Clock::time_point deadline) {
+  const double interval =
+      options_.health_check_interval_seconds > 0
+          ? options_.health_check_interval_seconds
+          : 0.25;
+  Status last = UnavailableError("host " + endpoint + " never became healthy");
+  while (Clock::now() < deadline) {
+    const double remaining = RemainingSeconds(deadline);
+    last = ProbeWorkerHost(endpoint, options_.auth_secret,
+                           std::min(remaining, 2.0));
+    if (last.ok()) return OkStatus();
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(interval, RemainingSeconds(deadline))));
+  }
+  return DeadlineExceededError("host " + endpoint +
+                               " failed bring-up: " + last.ToString());
+}
+
+StatusOr<Fleet::ManagedHost> Fleet::LaunchLocalProcess() {
+  std::string binary = options_.host_binary;
+  if (binary.empty()) {
+    const char* env = std::getenv("SWITCHV_WORKER_HOST");
+    binary = env != nullptr ? env : "";
+  }
+  if (binary.empty()) {
+    return FailedPreconditionError(
+        "no worker-host binary (FleetOptions::host_binary or "
+        "$SWITCHV_WORKER_HOST)");
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return UnavailableError(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  std::vector<std::string> args;
+  args.push_back(binary);
+  args.push_back("--bind=" + options_.bind_host);
+  args.push_back("--port=0");  // announce the kernel-picked port on stdout
+  if (!options_.worker_binary.empty()) {
+    args.push_back("--worker=" + options_.worker_binary);
+  }
+  for (const std::string& extra : options_.host_extra_args) {
+    args.push_back(extra);
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return UnavailableError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: own process group (Drain kills the group), stdout → pipe,
+    // secret via the environment — never argv.
+    ::setpgid(0, 0);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    if (!options_.auth_secret.empty()) {
+      ::setenv("SWITCHV_FLEET_SECRET", options_.auth_secret.c_str(), 1);
+    } else {
+      ::unsetenv("SWITCHV_FLEET_SECRET");
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(pipe_fds[1]);
+
+  // Bring-up gate, stage 1: the endpoint announcement line.
+  const auto deadline = DeadlineAfter(options_.bring_up_timeout_seconds);
+  std::string announced;
+  std::string buffered;
+  char buffer[4096];
+  while (announced.empty()) {
+    const std::size_t newline = buffered.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffered.substr(0, newline);
+      buffered.erase(0, newline + 1);
+      const std::size_t marker = line.find("listening on ");
+      if (marker != std::string::npos) {
+        announced = line.substr(marker + std::strlen("listening on "));
+      }
+      continue;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) break;
+    struct pollfd pfd = {pipe_fds[0], POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    const ssize_t n = ::read(pipe_fds[0], buffer, sizeof(buffer));
+    if (n > 0) {
+      buffered.append(buffer, static_cast<std::size_t>(n));
+    } else {
+      break;  // EOF: the host died before announcing
+    }
+  }
+  ::close(pipe_fds[0]);
+  ManagedHost host;
+  host.pid = pid;
+  host.alive = true;
+  if (announced.empty()) {
+    KillHost(host, /*graceful=*/false);
+    return DeadlineExceededError(
+        "worker host never announced its endpoint (binary: " + binary + ")");
+  }
+  host.endpoint = announced;
+
+  // Stage 2: a hello round-trip with the campaign's credentials.
+  const Status healthy = AwaitHealthy(host.endpoint, deadline);
+  if (!healthy.ok()) {
+    KillHost(host, /*graceful=*/false);
+    return healthy;
+  }
+  return host;
+}
+
+StatusOr<Fleet::ManagedHost> Fleet::LaunchCommandTemplate() {
+  if (options_.command_template.empty()) {
+    return FailedPreconditionError(
+        "kCommandTemplate backend needs FleetOptions::command_template");
+  }
+  int port = 0;
+  if (options_.base_port > 0) {
+    port = next_template_port_++;
+  } else {
+    SWITCHV_ASSIGN_OR_RETURN(port, PickFreePort(options_.template_host));
+  }
+  const std::string command = SubstitutePlaceholders(
+      options_.command_template, options_.template_host, port);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return UnavailableError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::setpgid(0, 0);
+    if (!options_.auth_secret.empty()) {
+      ::setenv("SWITCHV_FLEET_SECRET", options_.auth_secret.c_str(), 1);
+    } else {
+      ::unsetenv("SWITCHV_FLEET_SECRET");
+    }
+    ::execl("/bin/sh", "sh", "-c", command.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  ManagedHost host;
+  host.pid = pid;
+  host.alive = true;
+  host.endpoint = options_.template_host + ":" + std::to_string(port);
+  const Status healthy = AwaitHealthy(
+      host.endpoint, DeadlineAfter(options_.bring_up_timeout_seconds));
+  if (!healthy.ok()) {
+    KillHost(host, /*graceful=*/false);
+    return healthy;
+  }
+  return host;
+}
+
+}  // namespace switchv

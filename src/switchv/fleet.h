@@ -1,0 +1,239 @@
+// Fleet provisioner and host pool for remote campaign execution.
+//
+// PR 5's remote dispatcher took a static list of `switchv_worker_host`
+// endpoints the operator had started by hand; a host that died stayed dead
+// for the rest of the campaign. This module closes that loop:
+//
+//   * `Fleet` launches, health-checks, drains, and *replaces* worker-host
+//     processes. Two backends: kLocalProcess forks `switchv_worker_host`
+//     directly (the one CI exercises), kCommandTemplate runs a user-supplied
+//     launch command with {host}/{port} placeholders (ssh wrappers,
+//     container runtimes). A host enters service only through the bring-up
+//     gate: process started, endpoint announced, and a hello round-trip
+//     answered within the bring-up deadline. Retired hosts are reprovisioned
+//     up to a budget; a torn-down fleet degrades the campaign to synthetic
+//     harness incidents, never a hang.
+//
+//   * `HostPool` is the dispatcher's endpoint selector: work-stealing
+//     acquire (least-loaded live host), consecutive-transport-failure
+//     retirement, and — new here — cooldown *probation*: a retired host is
+//     no longer gone for good; after the cooldown one probe shard is routed
+//     to it, and a success re-admits the host while a failure re-retires it
+//     with a fresh cooldown. A host that flapped during a transient network
+//     wobble rejoins the campaign instead of shrinking the fleet forever.
+//
+// Threading: HostPool is fully thread-safe (the dispatcher's worker threads
+// share it). Fleet::Replace is serialized internally; Provision and Drain
+// are called from the owning thread.
+#ifndef SWITCHV_SWITCHV_FLEET_H_
+#define SWITCHV_SWITCHV_FLEET_H_
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace switchv {
+
+// ---------------------------------------------------------------------------
+// HostPool
+// ---------------------------------------------------------------------------
+
+// Endpoint pool with work-stealing acquire, consecutive-failure retirement,
+// and cooldown probation. Time is injectable (AcquireAt/ReleaseAt) so the
+// probation state machine is testable without sleeping.
+class HostPool {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    // A host with this many *consecutive* transport failures is retired.
+    int max_consecutive_failures = 2;
+    // A retired host becomes probe-eligible after this cooldown; <= 0
+    // makes retirement permanent (the pre-probation behaviour).
+    double probation_cooldown_seconds = 5;
+  };
+
+  HostPool(const std::vector<std::string>& endpoints, Options options);
+
+  // Index of the host to dispatch to, or -1 when nothing is acquirable.
+  // Preference order: a retired host whose cooldown has elapsed (one probe
+  // shard, at most one in flight per host), else the least-loaded live
+  // host.
+  int Acquire() { return AcquireAt(Clock::now()); }
+  int AcquireAt(Clock::time_point now);
+
+  // `transport_ok` is false when the call failed at the transport level
+  // (connect failure, dropped or silent connection, authentication
+  // failure) — worker failures reported in-band do not count against the
+  // host. `newly_retired` flags the live→retired transition so the caller
+  // can trigger reprovisioning exactly once per retirement.
+  struct ReleaseOutcome {
+    bool newly_retired = false;
+    std::string endpoint;  // set when newly_retired
+  };
+  ReleaseOutcome Release(int index, bool transport_ok) {
+    return ReleaseAt(index, transport_ok, Clock::now());
+  }
+  ReleaseOutcome ReleaseAt(int index, bool transport_ok,
+                           Clock::time_point now);
+
+  // Adds a freshly provisioned endpoint to the pool, live immediately (it
+  // passed the fleet's bring-up gate). Returns its index.
+  int AddEndpoint(const std::string& endpoint);
+
+  // Permanently removes an endpoint from rotation — its replacement has
+  // been provisioned, so probation must never resurrect it.
+  void MarkDead(const std::string& endpoint);
+
+  std::string endpoint(int index) const;
+  // Cumulative live→retired transitions (probation re-retirement of an
+  // already-retired host does not count again).
+  std::uint64_t retired_count() const;
+  // Hosts re-admitted by a successful probation probe.
+  std::uint64_t probe_readmissions() const;
+  std::size_t size() const;
+
+ private:
+  enum class State { kLive, kRetired, kDead };
+  struct Host {
+    std::string endpoint;
+    State state = State::kLive;
+    int inflight = 0;
+    int consecutive_failures = 0;
+    bool on_probation = false;  // the single probe shard is in flight
+    Clock::time_point retired_at{};
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Host> hosts_;
+  const Options options_;
+  std::uint64_t retirements_ = 0;
+  std::uint64_t probe_readmissions_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+struct FleetOptions {
+  enum class Backend {
+    kLocalProcess,      // fork/exec switchv_worker_host on this machine
+    kCommandTemplate,   // run `command_template` via /bin/sh per host
+  };
+  Backend backend = Backend::kLocalProcess;
+
+  // Hosts brought up by Provision().
+  int size = 2;
+
+  // ---- kLocalProcess ----
+  // switchv_worker_host binary; empty consults $SWITCHV_WORKER_HOST.
+  std::string host_binary;
+  // Shard worker the hosts run; empty consults $SWITCHV_SHARD_WORKER
+  // (which the host binary also resolves itself).
+  std::string worker_binary;
+  // Extra argv for every host (test hooks: --drop-once-on-shard=N).
+  std::vector<std::string> host_extra_args;
+  std::string bind_host = "127.0.0.1";
+
+  // ---- kCommandTemplate ----
+  // Launch command with {host} and {port} placeholders, e.g.
+  //   "ssh testbed-{host} switchv_worker_host --bind=0.0.0.0 --port={port}"
+  // Run via `/bin/sh -c` in its own process group so Drain can tear down
+  // the whole command.
+  std::string command_template;
+  // The endpoint host the dispatcher dials for template-launched hosts.
+  std::string template_host = "127.0.0.1";
+  // First port for template hosts (incremented per launch); 0 asks the
+  // kernel for a free ephemeral port per host.
+  int base_port = 0;
+
+  // Shared secret for frame authentication (see shard_transport.h). Passed
+  // to local-process hosts via $SWITCHV_FLEET_SECRET — never argv, so it
+  // stays out of /proc/*/cmdline. Empty = unauthenticated (the default;
+  // wire bytes identical to the pre-auth protocol).
+  std::string auth_secret;
+
+  // Bring-up gate: a host that has not announced its endpoint *and*
+  // answered a hello within this deadline is killed and counts as a
+  // provisioning failure.
+  double bring_up_timeout_seconds = 10;
+  // Hello-probe retry interval during bring-up.
+  double health_check_interval_seconds = 0.25;
+
+  // Replace() calls honoured over the fleet's lifetime; further calls fail
+  // with RESOURCE_EXHAUSTED and the campaign degrades gracefully.
+  int reprovision_budget = 4;
+};
+
+// A provisioned fleet of worker hosts. Drains (SIGTERM, then SIGKILL) on
+// destruction; every child runs in its own process group so draining a
+// host also reaps anything it spawned.
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options);
+  ~Fleet();
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  struct HostInfo {
+    std::string endpoint;
+    pid_t pid = -1;
+  };
+
+  // Brings up `options.size` hosts through the bring-up gate. On any
+  // failure the already-started hosts are drained and the error returned.
+  Status Provision();
+
+  // Endpoints of the currently live (non-replaced) hosts.
+  std::vector<std::string> Endpoints() const;
+  // Endpoint/pid pairs of the live hosts (tests kill pids directly).
+  std::vector<HostInfo> Hosts() const;
+
+  // Replaces a retired host with a freshly provisioned one: the old
+  // process (group) is SIGKILLed and reaped, a new host is brought up
+  // through the same gate, and its endpoint returned. RESOURCE_EXHAUSTED
+  // once the reprovision budget is spent; NOT_FOUND for an endpoint this
+  // fleet does not own.
+  StatusOr<std::string> Replace(const std::string& endpoint);
+
+  // Stops every host: SIGTERM to the process group, a short grace period,
+  // then SIGKILL; all children reaped. Idempotent.
+  void Drain();
+
+  // Hosts successfully brought up by Replace().
+  int reprovisions() const;
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct ManagedHost {
+    std::string endpoint;
+    pid_t pid = -1;
+    bool alive = false;
+  };
+
+  // Launches one host through the bring-up gate (unlocked; callers
+  // serialize via mu_).
+  StatusOr<ManagedHost> LaunchHost();
+  StatusOr<ManagedHost> LaunchLocalProcess();
+  StatusOr<ManagedHost> LaunchCommandTemplate();
+  Status AwaitHealthy(const std::string& endpoint,
+                      HostPool::Clock::time_point deadline);
+  static void KillHost(ManagedHost& host, bool graceful);
+
+  mutable std::mutex mu_;
+  FleetOptions options_;
+  std::vector<ManagedHost> hosts_;
+  int reprovisions_ = 0;
+  int next_template_port_ = 0;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_FLEET_H_

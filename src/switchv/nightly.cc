@@ -27,6 +27,8 @@ NightlyReport RunNightlyValidation(
   campaign.shard_retries = options.shard_retries;
   campaign.remote_endpoints = options.remote_endpoints;
   campaign.campaign_id = options.campaign_id;
+  campaign.fleet = options.fleet;
+  campaign.remote_auth_secret = options.remote_auth_secret;
 
   CampaignReport campaign_report =
       RunValidationCampaign(faults, model, parser, entries, campaign);

@@ -54,6 +54,10 @@ struct NightlyOptions {
   // transport knob set; the nightly keeps its defaults.
   std::vector<std::string> remote_endpoints;
   std::uint64_t campaign_id = 0;
+  // Provisioned fleet and frame-authentication secret (see CampaignOptions
+  // and switchv/fleet.h). A set fleet supersedes `remote_endpoints`.
+  Fleet* fleet = nullptr;
+  std::string remote_auth_secret;
 };
 
 struct NightlyReport {

@@ -17,7 +17,11 @@
 #include <cstring>
 #include <iomanip>
 #include <limits>
+#include <random>
 #include <sstream>
+
+#include "util/hmac.h"
+#include "util/strings.h"
 
 namespace switchv {
 
@@ -34,7 +38,7 @@ constexpr double kTransferSlackSeconds = 15.0;
 
 bool ValidFrameType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kShardRequest) &&
-         type <= static_cast<std::uint8_t>(FrameType::kHeartbeat);
+         type <= static_cast<std::uint8_t>(FrameType::kHelloOk);
 }
 
 Clock::time_point DeadlineAfter(double seconds) {
@@ -96,6 +100,42 @@ bool ConsumeDouble(std::string_view& in, double& out) {
   errno = 0;
   out = std::strtod(buffer.c_str(), &end);
   return errno == 0 && end == buffer.c_str() + buffer.size();
+}
+
+bool HexToBytes(std::string_view hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int value = 0;
+    for (int j = 0; j < 2; ++j) {
+      const char c = hex[i + j];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        value |= c - 'a' + 10;
+      } else {
+        return false;
+      }
+    }
+    out->push_back(static_cast<char>(value));
+  }
+  return true;
+}
+
+void AppendBigEndian64(std::string& out, std::uint64_t value) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t ReadBigEndian64(std::string_view bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[i]);
+  }
+  return value;
 }
 
 std::string_view ErrorKindName(RemoteShardError::Kind kind) {
@@ -192,8 +232,124 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
 }
 
 // ---------------------------------------------------------------------------
+// Frame authentication
+// ---------------------------------------------------------------------------
+
+FrameAuthenticator::FrameAuthenticator(std::string secret, std::string nonce,
+                                       bool is_client)
+    : secret_(std::move(secret)), nonce_(std::move(nonce)) {
+  send_direction_ = is_client ? 'C' : 'S';
+  recv_direction_ = is_client ? 'S' : 'C';
+}
+
+std::string FrameAuthenticator::NewNonce() {
+  // std::random_device on Linux draws from the OS entropy pool; uniqueness
+  // is all the nonce needs (the MAC key stays secret).
+  std::random_device entropy;
+  std::string nonce;
+  nonce.reserve(16);
+  for (int word_index = 0; word_index < 4; ++word_index) {
+    const std::uint32_t word = entropy();
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      nonce.push_back(static_cast<char>((word >> shift) & 0xff));
+    }
+  }
+  return nonce;
+}
+
+std::string FrameAuthenticator::Mac(char direction, std::uint64_t seq,
+                                    FrameType type,
+                                    std::string_view payload) const {
+  std::string message;
+  message.reserve(nonce_.size() + 1 + 8 + 1 + payload.size());
+  message.append(nonce_);
+  message.push_back(direction);
+  AppendBigEndian64(message, seq);
+  message.push_back(static_cast<char>(type));
+  message.append(payload);
+  const auto digest = HmacSha256(secret_, message);
+  return std::string(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+}
+
+std::string FrameAuthenticator::Seal(FrameType type,
+                                     std::string_view payload) {
+  if (!enabled()) return std::string(payload);
+  const std::uint64_t seq = send_seq_++;
+  std::string sealed = Mac(send_direction_, seq, type, payload);
+  AppendBigEndian64(sealed, seq);
+  sealed.append(payload);
+  return sealed;
+}
+
+StatusOr<std::string> FrameAuthenticator::Open(FrameType type,
+                                               std::string_view sealed) {
+  if (!enabled()) return std::string(sealed);
+  if (sealed.size() < kAuthHeaderSize) {
+    return PermissionDeniedError("authenticated frame: truncated auth header");
+  }
+  const std::string_view mac = sealed.substr(0, kAuthMacSize);
+  const std::uint64_t seq = ReadBigEndian64(sealed.substr(kAuthMacSize, 8));
+  const std::string_view payload = sealed.substr(kAuthHeaderSize);
+  // MAC first (over the *claimed* sequence number), so a forged frame learns
+  // nothing about the expected sequence; then strict equality kills replays.
+  const std::string expected = Mac(recv_direction_, seq, type, payload);
+  if (!ConstantTimeEqual(mac, expected)) {
+    return PermissionDeniedError("authenticated frame: MAC mismatch");
+  }
+  if (seq != recv_seq_) {
+    return PermissionDeniedError("authenticated frame: sequence " +
+                                 std::to_string(seq) +
+                                 " replayed or out of order");
+  }
+  ++recv_seq_;
+  return std::string(payload);
+}
+
+StatusOr<FrameAuthenticator> AcceptAuthenticatedHello(
+    const std::string& secret, std::string_view sealed) {
+  // Bootstrap: the nonce the MAC is keyed on rides inside this very frame,
+  // in the clear portion past the auth header. Parse it, build the host-side
+  // authenticator, then verify the frame with it — a tampered nonce fails
+  // its own MAC.
+  if (sealed.size() < kAuthHeaderSize) {
+    return PermissionDeniedError("authenticated hello: truncated auth header");
+  }
+  StatusOr<HelloEnvelope> hello = ParseHello(sealed.substr(kAuthHeaderSize));
+  if (!hello.ok() || hello->nonce.empty()) {
+    return PermissionDeniedError("authenticated hello: malformed envelope");
+  }
+  FrameAuthenticator auth(secret, std::move(hello->nonce),
+                          /*is_client=*/false);
+  StatusOr<std::string> opened = auth.Open(FrameType::kHello, sealed);
+  if (!opened.ok()) return opened.status();
+  return auth;
+}
+
+// ---------------------------------------------------------------------------
 // Envelopes
 // ---------------------------------------------------------------------------
+
+std::string SerializeHello(const HelloEnvelope& hello) {
+  std::string out = "switchv-hello 1 ";
+  out.append(hello.nonce.empty() ? "-" : BytesToHex(hello.nonce));
+  return out;
+}
+
+StatusOr<HelloEnvelope> ParseHello(std::string_view payload) {
+  std::string_view in = payload;
+  std::string_view nonce_token;
+  if (!ConsumeLiteral(in, "switchv-hello 1 ") ||
+      !ConsumeToken(in, nonce_token) || !in.empty()) {
+    return InvalidArgumentError("malformed hello envelope");
+  }
+  HelloEnvelope hello;
+  if (nonce_token == "-") return hello;
+  if (!HexToBytes(nonce_token, &hello.nonce)) {
+    return InvalidArgumentError("malformed hello nonce");
+  }
+  return hello;
+}
 
 std::string SerializeRemoteRequest(const RemoteShardRequest& request) {
   std::ostringstream out;
@@ -416,9 +572,70 @@ Status SendFrame(int fd, FrameType type, std::string_view payload,
 // Client
 // ---------------------------------------------------------------------------
 
+namespace {
+
+double RemainingSeconds(Clock::time_point deadline) {
+  return RemainingMs(deadline) / 1000.0;
+}
+
+// Reads from `fd` until the decoder yields one complete frame or the
+// deadline passes.
+StatusOr<Frame> AwaitFrame(int fd, FrameDecoder& decoder,
+                           Clock::time_point deadline) {
+  char buffer[65536];
+  while (true) {
+    StatusOr<std::optional<Frame>> next = decoder.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    const int wait_ms = RemainingMs(deadline);
+    if (wait_ms == 0) {
+      return DeadlineExceededError("timed out awaiting a frame");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // deadline re-checked above
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      decoder.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    } else if (n == 0) {
+      return UnavailableError("connection closed awaiting a frame");
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return UnavailableError(std::string("read: ") + std::strerror(errno));
+    }
+  }
+}
+
+// Client half of the hello handshake: send the (possibly sealed) hello,
+// require the host's kHelloOk before the deadline. With authentication off
+// this is a plain liveness ping; with it on, a host holding the wrong key
+// cannot produce an acceptable kHelloOk.
+Status ClientHello(int fd, FrameAuthenticator& auth, FrameDecoder& decoder,
+                   Clock::time_point deadline) {
+  HelloEnvelope hello;
+  hello.nonce = auth.nonce();
+  SWITCHV_RETURN_IF_ERROR(
+      SendFrame(fd, FrameType::kHello,
+                auth.Seal(FrameType::kHello, SerializeHello(hello)),
+                RemainingSeconds(deadline)));
+  SWITCHV_ASSIGN_OR_RETURN(Frame frame, AwaitFrame(fd, decoder, deadline));
+  if (frame.type != FrameType::kHelloOk) {
+    return UnavailableError(
+        "host answered hello with frame type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  return auth.Open(FrameType::kHelloOk, frame.payload).status();
+}
+
+}  // namespace
+
 RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
                                   const RemoteShardRequest& request,
-                                  double heartbeat_timeout_seconds) {
+                                  double heartbeat_timeout_seconds,
+                                  const std::string& auth_secret) {
   RemoteCallOutcome outcome;
   outcome.kind = RemoteCallOutcome::Kind::kTransport;
 
@@ -429,9 +646,24 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
   }
   int fd = connected.value();
 
-  const Status sent =
-      SendFrame(fd, FrameType::kShardRequest, SerializeRemoteRequest(request),
-                heartbeat_timeout_seconds);
+  FrameDecoder decoder;
+  FrameAuthenticator auth;
+  if (!auth_secret.empty()) {
+    auth = FrameAuthenticator(auth_secret, FrameAuthenticator::NewNonce(),
+                              /*is_client=*/true);
+    const Status hello = ClientHello(
+        fd, auth, decoder, DeadlineAfter(heartbeat_timeout_seconds));
+    if (!hello.ok()) {
+      outcome.note = "authenticated hello failed: " + hello.ToString();
+      CloseSocket(fd);
+      return outcome;
+    }
+  }
+
+  const Status sent = SendFrame(
+      fd, FrameType::kShardRequest,
+      auth.Seal(FrameType::kShardRequest, SerializeRemoteRequest(request)),
+      heartbeat_timeout_seconds);
   if (!sent.ok()) {
     outcome.note = sent.ToString();
     CloseSocket(fd);
@@ -441,7 +673,6 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
   const auto shard_deadline =
       DeadlineAfter(request.timeout_seconds + kTransferSlackSeconds);
   auto idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
-  FrameDecoder decoder;
   char buffer[65536];
   while (true) {
     // Drain every complete frame before touching the socket again.
@@ -454,18 +685,31 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
       }
       if (!next->has_value()) break;
       Frame& frame = **next;
+      // Authenticate before any payload parsing; a frame that fails its MAC
+      // or sequence check kills the connection (kTransport → reconnect).
+      std::string payload;
+      if (auth.enabled()) {
+        StatusOr<std::string> opened = auth.Open(frame.type, frame.payload);
+        if (!opened.ok()) {
+          outcome.note = opened.status().ToString();
+          CloseSocket(fd);
+          return outcome;
+        }
+        payload = std::move(*opened);
+      } else {
+        payload = std::move(frame.payload);
+      }
       switch (frame.type) {
         case FrameType::kHeartbeat:
           idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
           break;
         case FrameType::kShardResult:
           outcome.kind = RemoteCallOutcome::Kind::kResult;
-          outcome.result_line = std::move(frame.payload);
+          outcome.result_line = std::move(payload);
           CloseSocket(fd);
           return outcome;
         case FrameType::kShardError: {
-          StatusOr<RemoteShardError> error =
-              ParseRemoteError(frame.payload);
+          StatusOr<RemoteShardError> error = ParseRemoteError(payload);
           if (!error.ok()) {
             outcome.note = error.status().ToString();
           } else {
@@ -477,7 +721,10 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
           return outcome;
         }
         case FrameType::kShardRequest:
-          outcome.note = "host sent an unexpected request frame";
+        case FrameType::kHello:
+        case FrameType::kHelloOk:
+          outcome.note = "host sent an unexpected frame type " +
+                         std::to_string(static_cast<int>(frame.type));
           CloseSocket(fd);
           return outcome;
       }
@@ -518,6 +765,24 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
       return outcome;
     }
   }
+}
+
+Status ProbeWorkerHost(const std::string& endpoint,
+                       const std::string& auth_secret,
+                       double timeout_seconds) {
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  StatusOr<int> connected = ConnectTcp(endpoint, timeout_seconds);
+  if (!connected.ok()) return connected.status();
+  int fd = connected.value();
+  FrameAuthenticator auth;
+  if (!auth_secret.empty()) {
+    auth = FrameAuthenticator(auth_secret, FrameAuthenticator::NewNonce(),
+                              /*is_client=*/true);
+  }
+  FrameDecoder decoder;
+  const Status hello = ClientHello(fd, auth, decoder, deadline);
+  CloseSocket(fd);
+  return hello;
 }
 
 }  // namespace switchv

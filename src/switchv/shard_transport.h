@@ -50,6 +50,9 @@ enum class FrameType : std::uint8_t {
   kShardResult = 2,   // WireShardResult line
   kShardError = 3,    // error envelope (worker failed; shard may be retried)
   kHeartbeat = 4,     // empty payload; host liveness while a shard runs
+  kHello = 5,         // hello envelope; opens a connection (health check /
+                      // authenticated session bring-up)
+  kHelloOk = 6,       // host's answer to a well-formed hello
 };
 
 // Payload cap: generously above any real spec (packet-laden dataplane
@@ -87,10 +90,91 @@ class FrameDecoder {
 };
 
 // ---------------------------------------------------------------------------
+// Frame authentication (HMAC-SHA256, MAC-then-frame). Opt-in per
+// connection for untrusted networks; with no shared secret the wire bytes
+// are exactly the unauthenticated "SwV1" protocol, unchanged.
+//
+// Sealed payload layout (inside the ordinary frame payload):
+//   mac      32 bytes   HMAC-SHA256(secret,
+//                           nonce || direction || seq_be8 || type || payload)
+//   seq      8 bytes    per-direction frame counter, big-endian, from 0
+//   payload  rest       the plaintext payload
+//
+// The connection nonce is chosen by the client and carried in its kHello
+// frame (which is itself sealed, seq 0, so a tampered nonce fails its own
+// MAC). `direction` is 'C' for client→host frames and 'S' for host→client,
+// so a frame can never be reflected back at its sender. Replay is dead on
+// both axes: a frame from another connection carries the wrong nonce (MAC
+// mismatch), and a frame repeated within a connection carries a stale
+// sequence number. Every verification failure — truncated auth header,
+// wrong MAC, wrong key, stale sequence — is PERMISSION_DENIED, raised
+// before any envelope or JSON parsing sees the payload.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kAuthMacSize = 32;                  // HMAC-SHA256
+inline constexpr std::size_t kAuthHeaderSize = kAuthMacSize + 8;  // + seq
+
+// One side of an authenticated connection. Single-threaded, like the
+// FrameDecoder it pairs with: all sends and receives of a connection happen
+// on the thread that owns it. Default-constructed = authentication off:
+// Seal/Open pass payloads through untouched.
+class FrameAuthenticator {
+ public:
+  FrameAuthenticator() = default;
+  // `nonce` is the connection nonce (raw bytes; the client draws it from
+  // NewNonce, the host takes it from the client's hello).
+  FrameAuthenticator(std::string secret, std::string nonce, bool is_client);
+
+  // A fresh 16-byte connection nonce from the OS entropy pool.
+  static std::string NewNonce();
+
+  bool enabled() const { return !secret_.empty(); }
+  const std::string& nonce() const { return nonce_; }
+
+  // Wraps a payload for sending (prepends MAC and sequence number).
+  std::string Seal(FrameType type, std::string_view payload);
+
+  // Verifies and strips the auth header of a received frame's payload.
+  // PERMISSION_DENIED on truncation, MAC mismatch (tampering or wrong
+  // key), or sequence regression (replay).
+  StatusOr<std::string> Open(FrameType type, std::string_view sealed);
+
+ private:
+  std::string Mac(char direction, std::uint64_t seq, FrameType type,
+                  std::string_view payload) const;
+
+  std::string secret_;
+  std::string nonce_;
+  char send_direction_ = 'C';
+  char recv_direction_ = 'S';
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+// Host-side bootstrap of an authenticated connection. The client's sealed
+// kHello carries the nonce its own MAC is keyed on (in the clear portion
+// past the auth header); this parses the nonce, builds the host-side
+// authenticator, and verifies the hello with it — returning the
+// authenticator already advanced past the hello on success, and
+// PERMISSION_DENIED on truncation, tampering, or a wrong key.
+StatusOr<FrameAuthenticator> AcceptAuthenticatedHello(
+    const std::string& secret, std::string_view sealed);
+
+// ---------------------------------------------------------------------------
 // Envelopes. The request header and error report are small fixed-shape
 // records; the framing already carries exact lengths, so they use a strict
 // one-line text form followed by raw bytes — no escaping layer to fuzz.
 // ---------------------------------------------------------------------------
+
+// The hello envelope: sent as the first frame of a connection for health
+// checks and, when authenticated, to carry the connection nonce. `nonce`
+// is empty on unauthenticated hellos (serialized as "-").
+struct HelloEnvelope {
+  std::string nonce;  // raw bytes; hex on the wire
+};
+
+std::string SerializeHello(const HelloEnvelope& hello);
+StatusOr<HelloEnvelope> ParseHello(std::string_view payload);
 
 struct RemoteShardRequest {
   // Idempotency key: a resend of the same (campaign_id, shard, attempt)
@@ -157,9 +241,23 @@ struct RemoteCallOutcome {
 // silence declares it dead (kTransport), and the overall per-shard
 // deadline — request.timeout_seconds plus transfer slack — caps the wait
 // (kTimeout). Never blocks past the deadline; never crashes the campaign.
+//
+// A non-empty `auth_secret` runs the connection authenticated: hello with
+// a fresh nonce, await the host's kHelloOk, then every frame sealed (see
+// FrameAuthenticator). Authentication failures — including a host that
+// rejects the secret — surface as kTransport, which is safe to resend.
 RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
                                   const RemoteShardRequest& request,
-                                  double heartbeat_timeout_seconds);
+                                  double heartbeat_timeout_seconds,
+                                  const std::string& auth_secret = "");
+
+// Health check, the fleet provisioner's bring-up gate: connect, send a
+// hello (authenticated when `auth_secret` is non-empty), and require the
+// host's kHelloOk within the deadline. OK exactly when a shard dispatched
+// to this endpoint would reach a live, correctly-keyed worker host.
+Status ProbeWorkerHost(const std::string& endpoint,
+                       const std::string& auth_secret,
+                       double timeout_seconds);
 
 }  // namespace switchv
 

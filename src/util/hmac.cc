@@ -1,0 +1,208 @@
+#include "util/hmac.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace switchv {
+
+namespace {
+
+// FIPS 180-4 §4.2.2: the first 32 bits of the fractional parts of the cube
+// roots of the first 64 primes.
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline std::uint32_t RotateRight(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+// Incremental SHA-256: the HMAC inner/outer hashes stream a padded key
+// block followed by the message without concatenating them into one buffer.
+class Sha256State {
+ public:
+  Sha256State() {
+    // FIPS 180-4 §5.3.3: fractional parts of the square roots of the first
+    // eight primes.
+    state_[0] = 0x6a09e667;
+    state_[1] = 0xbb67ae85;
+    state_[2] = 0x3c6ef372;
+    state_[3] = 0xa54ff53a;
+    state_[4] = 0x510e527f;
+    state_[5] = 0x9b05688c;
+    state_[6] = 0x1f83d9ab;
+    state_[7] = 0x5be0cd19;
+  }
+
+  void Update(const std::uint8_t* data, std::size_t size) {
+    total_bytes_ += size;
+    while (size > 0) {
+      const std::size_t take =
+          std::min(size, kSha256BlockSize - pending_size_);
+      std::memcpy(pending_ + pending_size_, data, take);
+      pending_size_ += take;
+      data += take;
+      size -= take;
+      if (pending_size_ == kSha256BlockSize) {
+        Compress(pending_);
+        pending_size_ = 0;
+      }
+    }
+  }
+
+  void Update(std::string_view data) {
+    Update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  std::array<std::uint8_t, kSha256DigestSize> Finish() {
+    // Padding (§5.1.1): 0x80, zeros to 56 mod 64, then the bit length as a
+    // 64-bit big-endian integer.
+    const std::uint64_t bit_length = total_bytes_ * 8;
+    const std::uint8_t one = 0x80;
+    Update(&one, 1);
+    const std::uint8_t zero = 0x00;
+    while (pending_size_ != kSha256BlockSize - 8) Update(&zero, 1);
+    std::uint8_t length_be[8];
+    for (int i = 0; i < 8; ++i) {
+      length_be[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+    }
+    Update(length_be, sizeof(length_be));
+
+    std::array<std::uint8_t, kSha256DigestSize> digest;
+    for (int i = 0; i < 8; ++i) {
+      digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+      digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+      digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+      digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    return digest;
+  }
+
+ private:
+  void Compress(const std::uint8_t* block) {
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * t + 3]);
+    }
+    for (int t = 16; t < 64; ++t) {
+      const std::uint32_t s0 = RotateRight(w[t - 15], 7) ^
+                               RotateRight(w[t - 15], 18) ^ (w[t - 15] >> 3);
+      const std::uint32_t s1 = RotateRight(w[t - 2], 17) ^
+                               RotateRight(w[t - 2], 19) ^ (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (int t = 0; t < 64; ++t) {
+      const std::uint32_t big_s1 =
+          RotateRight(e, 6) ^ RotateRight(e, 11) ^ RotateRight(e, 25);
+      const std::uint32_t choose = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + big_s1 + choose + kRoundConstants[t] +
+                                  w[t];
+      const std::uint32_t big_s0 =
+          RotateRight(a, 2) ^ RotateRight(a, 13) ^ RotateRight(a, 22);
+      const std::uint32_t majority = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = big_s0 + majority;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+  }
+
+  std::uint32_t state_[8];
+  std::uint8_t pending_[kSha256BlockSize];
+  std::size_t pending_size_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+std::string DigestToString(
+    const std::array<std::uint8_t, kSha256DigestSize>& digest) {
+  return std::string(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kSha256DigestSize> Sha256(std::string_view data) {
+  Sha256State state;
+  state.Update(data);
+  return state.Finish();
+}
+
+std::string Sha256Hex(std::string_view data) {
+  return BytesToHex(DigestToString(Sha256(data)));
+}
+
+std::array<std::uint8_t, kSha256DigestSize> HmacSha256(
+    std::string_view key, std::string_view message) {
+  // RFC 2104: K' = key hashed down to the block size if longer, then
+  // zero-padded to exactly one block.
+  std::uint8_t padded_key[kSha256BlockSize] = {};
+  if (key.size() > kSha256BlockSize) {
+    const auto hashed = Sha256(key);
+    std::memcpy(padded_key, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(padded_key, key.data(), key.size());
+  }
+
+  std::uint8_t inner_pad[kSha256BlockSize];
+  std::uint8_t outer_pad[kSha256BlockSize];
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    inner_pad[i] = padded_key[i] ^ 0x36;
+    outer_pad[i] = padded_key[i] ^ 0x5c;
+  }
+
+  Sha256State inner;
+  inner.Update(inner_pad, sizeof(inner_pad));
+  inner.Update(message);
+  const auto inner_digest = inner.Finish();
+
+  Sha256State outer;
+  outer.Update(outer_pad, sizeof(outer_pad));
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+std::string HmacSha256Hex(std::string_view key, std::string_view message) {
+  return BytesToHex(DigestToString(HmacSha256(key, message)));
+}
+
+bool ConstantTimeEqual(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned char>(a[i]) ^
+            static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace switchv

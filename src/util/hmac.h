@@ -1,0 +1,47 @@
+// SHA-256 and HMAC-SHA256, implemented from first principles (FIPS 180-4,
+// RFC 2104) so the shard transport can authenticate frames on untrusted
+// networks without pulling in a TLS dependency.
+//
+// Scope: message authentication of the fleet transport's "SwV1" frames
+// (switchv/shard_transport.h) under a pre-shared secret — integrity and
+// peer authentication, not confidentiality. Shard specs and results are
+// test artifacts, not secrets; what the transport must prevent is an
+// attacker injecting, tampering with, or replaying frames, and HMAC over a
+// per-connection nonce and sequence number does exactly that.
+//
+// Correctness is pinned by tests/hmac_test.cc against the FIPS 180-4
+// example digests and the RFC 4231 HMAC-SHA256 test vectors.
+#ifndef SWITCHV_UTIL_HMAC_H_
+#define SWITCHV_UTIL_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace switchv {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+// SHA-256 digest of `data` (FIPS 180-4).
+std::array<std::uint8_t, kSha256DigestSize> Sha256(std::string_view data);
+
+// Lowercase hex rendering of the digest, for logs and test vectors.
+std::string Sha256Hex(std::string_view data);
+
+// HMAC-SHA256(key, message) per RFC 2104: keys longer than the block size
+// are hashed first; shorter keys are zero-padded.
+std::array<std::uint8_t, kSha256DigestSize> HmacSha256(std::string_view key,
+                                                       std::string_view message);
+
+std::string HmacSha256Hex(std::string_view key, std::string_view message);
+
+// Constant-time byte-string comparison: the running time depends only on
+// the lengths, never on where the first mismatch sits. MAC verification
+// must use this — a short-circuiting memcmp leaks the mismatch position.
+bool ConstantTimeEqual(std::string_view a, std::string_view b);
+
+}  // namespace switchv
+
+#endif  // SWITCHV_UTIL_HMAC_H_

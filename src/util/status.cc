@@ -72,5 +72,11 @@ Status AbortedError(std::string message) {
 Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }
+Status PermissionDeniedError(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
 
 }  // namespace switchv

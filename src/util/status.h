@@ -83,6 +83,8 @@ Status InternalError(std::string message);
 Status UnknownError(std::string message);
 Status AbortedError(std::string message);
 Status UnavailableError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A value-or-error result, analogous to absl::StatusOr<T>.
 template <typename T>

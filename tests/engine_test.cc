@@ -6,10 +6,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <set>
 #include <sstream>
 
 #include "switchv/experiment.h"
+#include "switchv/fleet.h"
 
 // Baked in by tests/CMakeLists.txt; the subprocess tests are skipped when
 // the worker binary is unavailable (e.g. a hand-rolled compile).
@@ -579,6 +581,85 @@ TEST_F(RemoteExecutionTest, DeadEndpointIsRetiredAndCampaignCompletes) {
   EXPECT_EQ(remote.metrics.hosts_retired, 1u);
   EXPECT_EQ(remote.metrics.shards_lost, 0u);
   EXPECT_EQ(RenderReport(in_process), RenderReport(remote));
+}
+
+// Probation regression: retirement is no longer permanent. A retired host
+// sits out its cooldown (no acquires land on it), then gets exactly one
+// probe shard; a failed probe re-retires it with a fresh cooldown (and no
+// new retirement count), a successful probe re-admits it to the rotation.
+// Driven through the injectable-time API — no sleeping, no sockets.
+TEST_F(RemoteExecutionTest, RetiredHostRejoinsAfterCooldownProbation) {
+  using Clock = HostPool::Clock;
+  const Clock::time_point t0 = Clock::now();
+  const auto at = [&](double seconds) {
+    return t0 + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+  };
+
+  HostPool::Options pool_options;
+  pool_options.max_consecutive_failures = 1;
+  pool_options.probation_cooldown_seconds = 5;
+  HostPool pool({"hostA:1", "hostB:1"}, pool_options);
+
+  // One transport failure retires the host.
+  const int flaky = pool.AcquireAt(at(0));
+  ASSERT_GE(flaky, 0);
+  HostPool::ReleaseOutcome out =
+      pool.ReleaseAt(flaky, /*transport_ok=*/false, at(0.1));
+  EXPECT_TRUE(out.newly_retired);
+  EXPECT_EQ(out.endpoint, pool.endpoint(flaky));
+  EXPECT_EQ(pool.retired_count(), 1u);
+
+  // During the cooldown every acquire lands on the other host.
+  const int live_a = pool.AcquireAt(at(1));
+  const int live_b = pool.AcquireAt(at(4.9));
+  EXPECT_NE(live_a, flaky);
+  EXPECT_NE(live_b, flaky);
+  pool.ReleaseAt(live_a, /*transport_ok=*/true, at(4.95));
+  pool.ReleaseAt(live_b, /*transport_ok=*/true, at(4.95));
+
+  // After the cooldown: exactly one probe shard — a concurrent acquire
+  // while the probe is in flight still goes to the live host.
+  const int probe = pool.AcquireAt(at(5.2));
+  EXPECT_EQ(probe, flaky);
+  const int concurrent = pool.AcquireAt(at(5.3));
+  EXPECT_NE(concurrent, flaky);
+  pool.ReleaseAt(concurrent, /*transport_ok=*/true, at(5.4));
+
+  // A failed probe re-retires with a *fresh* cooldown; the retirement
+  // count does not move (this is not a new live->retired transition).
+  out = pool.ReleaseAt(probe, /*transport_ok=*/false, at(5.5));
+  EXPECT_FALSE(out.newly_retired);
+  EXPECT_EQ(pool.retired_count(), 1u);
+  EXPECT_EQ(pool.probe_readmissions(), 0u);
+  EXPECT_NE(pool.AcquireAt(at(10.0)), flaky);  // 5.5 + 5 has not elapsed
+
+  // The next probe succeeds and re-admits the host to normal rotation.
+  const int reprobe = pool.AcquireAt(at(10.6));
+  EXPECT_EQ(reprobe, flaky);
+  out = pool.ReleaseAt(reprobe, /*transport_ok=*/true, at(10.7));
+  EXPECT_FALSE(out.newly_retired);
+  EXPECT_EQ(pool.probe_readmissions(), 1u);
+  EXPECT_EQ(pool.retired_count(), 1u);
+  EXPECT_EQ(pool.AcquireAt(at(11)), flaky);  // idle again, least-loaded
+}
+
+// A non-positive cooldown restores the pre-probation contract: retirement
+// is permanent.
+TEST_F(RemoteExecutionTest, NonPositiveCooldownMakesRetirementPermanent) {
+  using Clock = HostPool::Clock;
+  const Clock::time_point t0 = Clock::now();
+  HostPool::Options pool_options;
+  pool_options.max_consecutive_failures = 1;
+  pool_options.probation_cooldown_seconds = 0;
+  HostPool pool({"hostA:1"}, pool_options);
+
+  const int only = pool.AcquireAt(t0);
+  ASSERT_GE(only, 0);
+  const HostPool::ReleaseOutcome out =
+      pool.ReleaseAt(only, /*transport_ok=*/false, t0 + std::chrono::seconds(1));
+  EXPECT_TRUE(out.newly_retired);
+  EXPECT_EQ(pool.AcquireAt(t0 + std::chrono::hours(1)), -1);
 }
 
 // A fleet that is entirely unreachable degrades to the synthetic-harness

@@ -8,8 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "switchv/experiment.h"
+
+// Baked in by tests/CMakeLists.txt; the subprocess sweep is skipped when
+// the worker binary is unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
 
 namespace switchv {
 namespace {
@@ -121,16 +128,14 @@ TEST(FaultMatrixTest, MatrixAndCatalogCoverEveryFault) {
   }
 }
 
-// The matrix itself: one sweep over the whole catalog (sharing the
-// p4-symbolic packet cache across runs, as the nightly fleet does), then
-// one row of assertions per fault.
-TEST(FaultMatrixTest, EveryFaultIsDetectedWithExpectedDetectorAndLayer) {
-  auto results = RunFullSweep(FastOptions());
-  ASSERT_TRUE(results.ok()) << results.status();
-  ASSERT_EQ(results->size(), sut::BugCatalog().size());
-
+// One row of assertions per fault: detected, by the expected detector,
+// attributed to the expected layer, no fault skipped. Shared between the
+// in-process and subprocess sweeps — the matrix is the contract, the
+// execution substrate must not move a cell.
+void ExpectSweepMatchesMatrix(const std::vector<BugRunResult>& results) {
+  ASSERT_EQ(results.size(), sut::BugCatalog().size());
   std::set<sut::Fault> swept;
-  for (const BugRunResult& result : *results) {
+  for (const BugRunResult& result : results) {
     SCOPED_TRACE(result.bug->name);
     swept.insert(result.bug->fault);
     const MatrixRow* row = FindRow(result.bug->fault);
@@ -152,6 +157,33 @@ TEST(FaultMatrixTest, EveryFaultIsDetectedWithExpectedDetectorAndLayer) {
   }
   EXPECT_EQ(static_cast<int>(swept.size()), sut::kNumFaults)
       << "sweep skipped a fault";
+}
+
+// The matrix itself: one sweep over the whole catalog (sharing the
+// p4-symbolic packet cache across runs, as the nightly fleet does), then
+// one row of assertions per fault.
+TEST(FaultMatrixTest, EveryFaultIsDetectedWithExpectedDetectorAndLayer) {
+  auto results = RunFullSweep(FastOptions());
+  ASSERT_TRUE(results.ok()) << results.status();
+  ExpectSweepMatchesMatrix(*results);
+}
+
+// The same matrix under subprocess execution: each bug's campaign shards
+// run in spawned `switchv_shard_worker` processes that rebuild the model,
+// workload, and entries from the scenario recipe RunNightlyForBug derives
+// per bug (experiment.cc). Test packets are still generated once in this
+// process against the shared cache — workers never run the solver. Every
+// detector and layer cell must match the in-process matrix.
+TEST(FaultMatrixTest, SubprocessSweepMatchesMatrix) {
+  if (std::string(SWITCHV_SHARD_WORKER_PATH).empty()) {
+    GTEST_SKIP() << "shard worker binary not baked in";
+  }
+  ExperimentOptions options = FastOptions();
+  options.nightly.execution = CampaignOptions::Execution::kSubprocess;
+  options.nightly.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+  auto results = RunFullSweep(options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ExpectSweepMatchesMatrix(*results);
 }
 
 }  // namespace

@@ -1,0 +1,267 @@
+// Fleet provisioner soak suite (ctest -L fleet): a fixed-seed campaign
+// dispatched over a provisioned local-process fleet — with worker hosts
+// SIGKILLed mid-campaign and reprovisioned — must produce a report
+// byte-identical to the in-process run. Also: reprovision-budget
+// exhaustion degrading to synthetic harness incidents, the command-
+// template backend, and wrong-secret probe rejection.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "switchv/experiment.h"
+#include "switchv/fleet.h"
+#include "switchv/shard_transport.h"
+
+// Baked in by tests/CMakeLists.txt; the suite skips when the tool
+// binaries are unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+#ifndef SWITCHV_WORKER_HOST_PATH
+#define SWITCHV_WORKER_HOST_PATH ""
+#endif
+
+namespace switchv {
+namespace {
+
+// One model + replay state shared by every test in this file (mirrors
+// EngineTest in engine_test.cc: building the SAI program and workload is
+// comparatively expensive).
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model_);
+    auto entries =
+        models::GenerateEntries(info, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(), /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete entries_;
+    model_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  void SetUp() override {
+    if (std::string(SWITCHV_WORKER_HOST_PATH).empty() ||
+        std::string(SWITCHV_SHARD_WORKER_PATH).empty()) {
+      GTEST_SKIP() << "tool binaries not baked in";
+    }
+  }
+
+  static CampaignOptions FastCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.control_plane_shards = 4;
+    options.dataplane_shards = 2;
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 40;
+    options.dataplane.packet_out_ports = 2;
+    return options;
+  }
+
+  // The recipe matching the fixture's model and entries exactly.
+  static ShardScenario Scenario() {
+    ShardScenario scenario;
+    scenario.role = models::Role::kMiddleblock;
+    scenario.workload = ExperimentOptions::SmallWorkload();
+    scenario.entry_seed = 2;
+    return scenario;
+  }
+
+  static CampaignOptions FleetCampaign(Fleet& fleet) {
+    CampaignOptions options = FastCampaign();
+    options.execution = CampaignOptions::Execution::kRemote;
+    options.fleet = &fleet;
+    options.scenario = Scenario();
+    options.parallelism = 2;
+    options.remote_host_max_failures = 1;
+    return options;
+  }
+
+  static FleetOptions LocalFleet(int size) {
+    FleetOptions options;
+    options.backend = FleetOptions::Backend::kLocalProcess;
+    options.size = size;
+    options.host_binary = SWITCHV_WORKER_HOST_PATH;
+    options.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+    options.host_extra_args = {"--heartbeat-interval=0.2"};
+    return options;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  static p4ir::Program* model_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* FleetTest::model_ = nullptr;
+std::vector<p4rt::TableEntry>* FleetTest::entries_ = nullptr;
+
+// Same deterministic projection as engine_test.cc: the byte-identity
+// invariant is asserted by comparing these strings.
+std::string RenderReport(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "shards=" << report.shards_run
+      << " fuzzed=" << report.fuzzed_updates
+      << " packets=" << report.packets_tested
+      << " targets=" << report.generation.targets_covered << "/"
+      << report.generation.targets_total
+      << " queries=" << report.generation.solver_queries << "\n";
+  for (const IncidentGroup& group : report.groups) {
+    out << "group " << group.fingerprint << " x" << group.occurrences
+        << " shards=[";
+    for (const int shard : group.shards) out << shard << ",";
+    out << "] detector=" << DetectorName(group.exemplar.detector)
+        << " layer=" << sut::SutLayerName(group.exemplar.layer)
+        << " shard=" << group.exemplar.shard << "\n"
+        << "summary: " << group.exemplar.summary << "\n"
+        << "details: " << group.exemplar.details << "\n"
+        << group.exemplar.replay_trace << "\n";
+  }
+  const MetricsSnapshot& m = report.metrics;
+  out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+      << m.requests_sent << " " << m.generated_valid << " "
+      << m.generated_invalid << " " << m.oracle_findings << " "
+      << m.packets_tested << " " << m.solver_queries << " "
+      << m.switch_writes << " " << m.switch_reads << " "
+      << m.switch_packets_injected << " " << m.incidents_raised << " "
+      << m.incidents_unique << "\n";
+  out << "hists " << m.switch_write_hist.count << " " << m.oracle_hist.count
+      << " " << m.reference_hist.count << " " << m.generation_hist.count
+      << "\n";
+  return out.str();
+}
+
+// The acceptance soak: a two-host authenticated fleet in which host 0 is
+// SIGKILLed before the first shard is dispatched and host 1 is SIGKILLed
+// mid-campaign by a background thread. Both kills retire the host at its
+// first transport failure (max_failures=1); the dispatcher reprovisions
+// through the fleet and reruns the interrupted shards on the replacements
+// via the idempotent result path. None of it may show in the merged
+// report: byte-identical to the in-process run, zero shards lost.
+TEST_F(FleetTest, KillAndReprovisionSoakMatchesInProcessReport) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions local = FastCampaign();
+  local.parallelism = 2;
+  const CampaignReport in_process = Run(&faults, local);
+
+  FleetOptions fleet_options = LocalFleet(2);
+  fleet_options.auth_secret = "fleet-soak-secret";
+  fleet_options.reprovision_budget = 4;
+  Fleet fleet(fleet_options);
+  const Status provisioned = fleet.Provision();
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+  const std::vector<Fleet::HostInfo> hosts = fleet.Hosts();
+  ASSERT_EQ(hosts.size(), 2u);
+
+  // Host 0 dies before the campaign ever dials it.
+  ::kill(hosts[0].pid, SIGKILL);
+  // Host 1 dies while the campaign is running (the parent's pre-phase
+  // packet generation alone outlasts this timer, so the kill always lands
+  // before the fleet drains; the pid is not reaped until the fleet
+  // replaces or drains it, so it cannot be recycled underneath us).
+  std::thread assassin([pid = hosts[1].pid] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    ::kill(pid, SIGKILL);
+  });
+
+  const CampaignReport remote = Run(&faults, FleetCampaign(fleet));
+  assassin.join();
+
+  EXPECT_GE(fleet.reprovisions(), 1);
+  EXPECT_GE(remote.metrics.hosts_retired, 1u);
+  EXPECT_EQ(remote.metrics.shards_lost, 0u);
+  ASSERT_TRUE(in_process.bug_detected());
+  EXPECT_EQ(RenderReport(in_process), RenderReport(remote));
+}
+
+// With the reprovision budget exhausted, a dead fleet degrades to the
+// synthetic-harness incident path: lost shards attributed to the harness
+// layer, never a crashed or hanging campaign.
+TEST_F(FleetTest, BudgetExhaustionDegradesToHarnessIncidents) {
+  FleetOptions fleet_options = LocalFleet(1);  // unauthenticated
+  fleet_options.reprovision_budget = 0;
+  Fleet fleet(fleet_options);
+  const Status provisioned = fleet.Provision();
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+
+  ::kill(fleet.Hosts()[0].pid, SIGKILL);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  CampaignOptions options = FleetCampaign(fleet);
+  options.run_dataplane = false;
+  options.control_plane_shards = 2;
+  options.shard_retries = 0;
+  const CampaignReport report = Run(nullptr, options);
+
+  EXPECT_EQ(fleet.reprovisions(), 0);
+  EXPECT_EQ(report.shards_run, 2);
+  EXPECT_EQ(report.metrics.shards_completed, 2u);
+  EXPECT_EQ(report.metrics.shards_lost, 2u);
+  ASSERT_EQ(report.groups.size(), 1u);
+  const IncidentGroup& group = report.groups.front();
+  EXPECT_EQ(group.exemplar.detector, Detector::kHarness);
+  EXPECT_EQ(group.exemplar.layer, sut::SutLayer::kHarness);
+  EXPECT_EQ(group.occurrences, 2);
+}
+
+// The command-template backend: the same worker host launched through
+// `/bin/sh -c` with {host}/{port} substitution, health-checked through the
+// identical bring-up gate, and torn down by Drain.
+TEST_F(FleetTest, CommandTemplateBackendProvisionsAndDrains) {
+  FleetOptions options;
+  options.backend = FleetOptions::Backend::kCommandTemplate;
+  options.size = 1;
+  options.command_template = std::string(SWITCHV_WORKER_HOST_PATH) +
+                             " --bind={host} --port={port} --worker=" +
+                             SWITCHV_SHARD_WORKER_PATH;
+  options.auth_secret = "template-secret";
+  Fleet fleet(options);
+  const Status provisioned = fleet.Provision();
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+  const std::vector<std::string> endpoints = fleet.Endpoints();
+  ASSERT_EQ(endpoints.size(), 1u);
+
+  EXPECT_TRUE(ProbeWorkerHost(endpoints[0], "template-secret", 5).ok());
+  fleet.Drain();
+  EXPECT_FALSE(ProbeWorkerHost(endpoints[0], "template-secret", 1).ok());
+}
+
+// Authentication is enforced at the door: a probe with the wrong secret
+// (or no secret) is rejected before any shard payload crosses the wire,
+// and the host keeps serving correctly-keyed clients afterwards.
+TEST_F(FleetTest, WrongSecretProbeIsRejected) {
+  FleetOptions fleet_options = LocalFleet(1);
+  fleet_options.auth_secret = "the-right-secret";
+  Fleet fleet(fleet_options);
+  const Status provisioned = fleet.Provision();
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+  const std::string endpoint = fleet.Endpoints()[0];
+
+  EXPECT_TRUE(ProbeWorkerHost(endpoint, "the-right-secret", 5).ok());
+  EXPECT_FALSE(ProbeWorkerHost(endpoint, "the-wrong-secret", 5).ok());
+  EXPECT_FALSE(ProbeWorkerHost(endpoint, "", 5).ok());
+  // The host is not wedged by the rejected clients.
+  EXPECT_TRUE(ProbeWorkerHost(endpoint, "the-right-secret", 5).ok());
+}
+
+}  // namespace
+}  // namespace switchv

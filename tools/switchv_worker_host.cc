@@ -21,6 +21,10 @@
 //   --worker-arg=ARG        extra argv for every worker (repeatable)
 //   --drop-once-on-shard=N  test hook: close the connection (once) instead
 //                           of serving shard N — exercises reconnect/resend
+//   --auth-secret=SECRET    require HMAC-SHA256 frame authentication with
+//                           this shared secret (default: the
+//                           $SWITCHV_FLEET_SECRET environment variable;
+//                           both empty = unauthenticated)
 //
 // On startup the chosen endpoint is announced on stdout:
 //   switchv_worker_host listening on HOST:PORT
@@ -59,6 +63,10 @@ struct HostConfig {
   std::vector<std::string> worker_args;
   double heartbeat_interval = 1.0;
   int drop_once_on_shard = -1;
+  // Shared secret for frame authentication (shard_transport.h). Non-empty
+  // makes every connection prove itself with a sealed hello before any
+  // request is parsed; empty serves the unauthenticated protocol.
+  std::string auth_secret;
 };
 
 HostConfig g_config;
@@ -152,11 +160,14 @@ std::string_view LastNonEmptyLine(std::string_view out) {
 // thread streams heartbeats, so a long shard never trips the dispatcher's
 // liveness timer. Returns false when the connection is gone; the shard
 // still runs to completion and its result is cached for the resend.
-bool ServeRequest(int fd, const RemoteShardRequest& request) {
+bool ServeRequest(int fd, const RemoteShardRequest& request,
+                  switchv::FrameAuthenticator& auth) {
   const std::string key = CacheKey(request);
   std::string cached;
   if (g_results.Lookup(key, &cached)) {
-    return switchv::SendFrame(fd, FrameType::kShardResult, cached, 30).ok();
+    return switchv::SendFrame(fd, FrameType::kShardResult,
+                              auth.Seal(FrameType::kShardResult, cached), 30)
+        .ok();
   }
 
   g_slots.Acquire();
@@ -184,7 +195,9 @@ bool ServeRequest(int fd, const RemoteShardRequest& request) {
       if (done) break;
       lock.unlock();
       if (peer_alive &&
-          !switchv::SendFrame(fd, FrameType::kHeartbeat, "", 5).ok()) {
+          !switchv::SendFrame(fd, FrameType::kHeartbeat,
+                              auth.Seal(FrameType::kHeartbeat, ""), 5)
+               .ok()) {
         peer_alive = false;  // dispatcher gone; finish and cache anyway
       }
       lock.lock();
@@ -198,7 +211,9 @@ bool ServeRequest(int fd, const RemoteShardRequest& request) {
     const std::string result(LastNonEmptyLine(proc.stdout_data));
     g_results.Insert(key, result);
     if (!peer_alive) return false;
-    return switchv::SendFrame(fd, FrameType::kShardResult, result, 30).ok();
+    return switchv::SendFrame(fd, FrameType::kShardResult,
+                              auth.Seal(FrameType::kShardResult, result), 30)
+        .ok();
   }
 
   RemoteShardError error;
@@ -217,36 +232,85 @@ bool ServeRequest(int fd, const RemoteShardRequest& request) {
     error.note = proc.error;
   }
   if (!peer_alive) return false;
-  return switchv::SendFrame(fd, FrameType::kShardError,
-                            switchv::SerializeRemoteError(error), 30)
+  return switchv::SendFrame(
+             fd, FrameType::kShardError,
+             auth.Seal(FrameType::kShardError,
+                       switchv::SerializeRemoteError(error)),
+             30)
       .ok();
 }
 
 void HandleConnection(int fd) {
   FrameDecoder decoder;
+  switchv::FrameAuthenticator auth;
+  bool hello_done = false;
   char buffer[65536];
   while (true) {
     switchv::StatusOr<std::optional<Frame>> next = decoder.Next();
     if (!next.ok()) break;  // corrupt stream: drop; the peer reconnects
     if (next->has_value()) {
       Frame& frame = **next;
+      if (!hello_done) {
+        if (!g_config.auth_secret.empty()) {
+          // Authentication required: the connection's first frame must be
+          // a sealed hello. Anything else — including a truncated,
+          // tampered, or wrongly-keyed hello — is PERMISSION_DENIED and
+          // the connection simply closes; no request is ever parsed.
+          if (frame.type != FrameType::kHello) break;
+          switchv::StatusOr<switchv::FrameAuthenticator> accepted =
+              switchv::AcceptAuthenticatedHello(g_config.auth_secret,
+                                                frame.payload);
+          if (!accepted.ok()) break;
+          auth = std::move(accepted).value();
+          hello_done = true;
+          if (!switchv::SendFrame(fd, FrameType::kHelloOk,
+                                  auth.Seal(FrameType::kHelloOk, ""), 5)
+                   .ok()) {
+            break;
+          }
+          continue;
+        }
+        hello_done = true;
+        if (frame.type == FrameType::kHello) {
+          // Unauthenticated hello: a health-check ping.
+          if (!switchv::ParseHello(frame.payload).ok()) break;
+          if (!switchv::SendFrame(fd, FrameType::kHelloOk, "", 5).ok()) break;
+          continue;
+        }
+        // Not a hello: fall through — the unauthenticated protocol opens
+        // with the request itself.
+      }
+      // Authenticated sessions verify every frame before parsing it.
+      std::string payload;
+      if (auth.enabled()) {
+        if (frame.type == FrameType::kHello) break;  // one hello per session
+        switchv::StatusOr<std::string> opened =
+            auth.Open(frame.type, frame.payload);
+        if (!opened.ok()) break;  // PERMISSION_DENIED: drop the connection
+        payload = std::move(*opened);
+      } else {
+        payload = std::move(frame.payload);
+      }
       if (frame.type == FrameType::kHeartbeat) continue;
       if (frame.type != FrameType::kShardRequest) break;
       switchv::StatusOr<RemoteShardRequest> request =
-          switchv::ParseRemoteRequest(frame.payload);
+          switchv::ParseRemoteRequest(payload);
       if (!request.ok()) {
         RemoteShardError error;
         error.kind = RemoteShardError::Kind::kBadRequest;
         error.note = request.status().ToString();
-        (void)switchv::SendFrame(fd, FrameType::kShardError,
-                                 switchv::SerializeRemoteError(error), 5);
+        (void)switchv::SendFrame(
+            fd, FrameType::kShardError,
+            auth.Seal(FrameType::kShardError,
+                      switchv::SerializeRemoteError(error)),
+            5);
         break;
       }
       if (request->shard == g_config.drop_once_on_shard &&
           !g_drop_fired.exchange(true)) {
         break;  // test hook: simulate the host dying mid-shard
       }
-      if (!ServeRequest(fd, *request)) break;
+      if (!ServeRequest(fd, *request, auth)) break;
       continue;
     }
     const ssize_t n = ::read(fd, buffer, sizeof(buffer));
@@ -274,6 +338,10 @@ int main(int argc, char** argv) {
   int slots = static_cast<int>(std::thread::hardware_concurrency());
   const char* env_worker = std::getenv("SWITCHV_SHARD_WORKER");
   g_config.worker_binary = env_worker != nullptr ? env_worker : "";
+  // The fleet provisioner hands the shared secret down via the environment
+  // so it never appears in /proc/*/cmdline; --auth-secret= overrides.
+  const char* env_secret = std::getenv("SWITCHV_FLEET_SECRET");
+  g_config.auth_secret = env_secret != nullptr ? env_secret : "";
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -292,6 +360,8 @@ int main(int argc, char** argv) {
       g_config.worker_args.emplace_back(value);
     } else if (ParseFlag(arg, "--drop-once-on-shard=", &value)) {
       g_config.drop_once_on_shard = std::atoi(std::string(value).c_str());
+    } else if (ParseFlag(arg, "--auth-secret=", &value)) {
+      g_config.auth_secret = std::string(value);
     } else {
       std::fprintf(stderr, "switchv_worker_host: unknown flag '%s'\n",
                    argv[i]);
