@@ -1,11 +1,18 @@
 // Microbenchmarks for the per-stage costs behind Table 3: value encoding,
 // constraint parsing/evaluation, BDD compilation and sampling, entry
 // validation and decoding, both dataplane implementations, LPM lookup,
-// fuzz-batch generation, and single-packet SMT solving.
+// fuzz-batch generation, and single-packet SMT solving. After the
+// benchmarks, the telemetry_overhead guard runs (and sets the exit code):
+// live metric/span streaming must add <2% to a shard's wall time.
 //
 //   $ ./micro_benchmarks
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 
 #include "bmv2/interpreter.h"
 #include "fuzzer/generator.h"
@@ -17,6 +24,7 @@
 #include "p4runtime/validator.h"
 #include "sut/lpm_trie.h"
 #include "sut/switch_stack.h"
+#include "switchv/engine.h"
 #include "switchv/metrics.h"
 #include "switchv/recorder.h"
 #include "switchv/trace.h"
@@ -315,7 +323,73 @@ void BM_SolveOnePacket(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveOnePacket)->Unit(benchmark::kMillisecond);
 
+// Telemetry-plane overhead guard, run after the benchmarks. A shard
+// executed with the live-sampling hook attached (the worker's
+// `--telemetry-interval` path: a sampler thread emitting metric deltas and
+// span batches while the shard runs) must cost within 2% of the same shard
+// with streaming off. Paired alternating trials with best-of-N per arm, so
+// one scheduler hiccup cannot fail the guard; a small absolute slack
+// absorbs timer jitter. The binary exits nonzero on a miss, which is what
+// lets CI treat the <2% claim as a regression gate rather than prose.
+int TelemetryOverheadGuard() {
+  WireShardSpec spec;
+  spec.kind = WireShardSpec::Kind::kControlPlane;
+  spec.scenario.entry_seed = 2;
+  spec.control_plane.num_requests = 60;
+  spec.control_plane.updates_per_request = 50;
+  spec.control_plane.seed = 11;
+
+  constexpr int kTrials = 5;
+  double best_off = 1e30;
+  double best_on = 1e30;
+  std::uint64_t samples = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const StatusOr<WireShardResult> off = ExecuteShardSpec(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    ShardTelemetryHook hook;
+    hook.interval_seconds = 0.01;
+    hook.emit = [&samples](const TelemetrySample&) { ++samples; };
+    const StatusOr<WireShardResult> on = ExecuteShardSpec(spec, &hook);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!off.ok() || !on.ok()) {
+      std::cerr << "telemetry_overhead guard: shard failed: "
+                << (off.ok() ? on.status() : off.status()) << "\n";
+      return 1;
+    }
+    if (on->fuzzed_updates != off->fuzzed_updates ||
+        on->incidents.size() != off->incidents.size()) {
+      std::cerr << "telemetry_overhead guard: sampling changed the shard "
+                   "result\n";
+      return 1;
+    }
+    best_off = std::min(
+        best_off, std::chrono::duration<double>(t1 - t0).count());
+    best_on = std::min(
+        best_on, std::chrono::duration<double>(t2 - t1).count());
+  }
+  if (samples < kTrials) {
+    // The final flush fires unconditionally, so fewer than one sample per
+    // trial means the sampler never ran at all.
+    std::cerr << "telemetry_overhead guard: sampler emitted nothing\n";
+    return 1;
+  }
+  const bool ok = best_on <= best_off * 1.02 + 0.002;
+  std::printf(
+      "telemetry_overhead: streaming off %.1fms, on %.1fms (%+.2f%%, "
+      "%llu samples) — %s (budget: +2%% of wall)\n",
+      best_off * 1e3, best_on * 1e3, (best_on / best_off - 1.0) * 1e2,
+      static_cast<unsigned long long>(samples), ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace switchv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return switchv::TelemetryOverheadGuard();
+}

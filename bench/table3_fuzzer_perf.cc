@@ -19,9 +19,12 @@
 // Besides the human-readable table, the run drops machine-readable
 // telemetry for per-PR bench trajectories and the Perfetto recipe in
 // EXPERIMENTS.md:
-//   BENCH_fuzzer.json        updates/s, packets/s, phase p50/p90/p99
-//   BENCH_fuzzer_trace.json  Chrome trace of the campaign-scaling run
-//   BENCH_fuzzer.prom        Prometheus text exposition of the same run
+//   BENCH_fuzzer.json         updates/s, packets/s, phase p50/p90/p99
+//   BENCH_fuzzer_trace.json   Chrome trace of the campaign-scaling run
+//   BENCH_fuzzer.prom         Prometheus text exposition of the same run
+//   BENCH_fuzzer_events.jsonl event journal of the same run (one JSON
+//                             object per line: campaign/shard lifecycle
+//                             with monotone coordinator timestamps)
 //
 //   $ ./table3_fuzzer_perf
 
@@ -34,6 +37,7 @@
 
 #include "models/entry_gen.h"
 #include "switchv/experiment.h"
+#include "switchv/telemetry.h"
 
 using namespace switchv;
 
@@ -110,11 +114,14 @@ StatusOr<MetricsSnapshot> RunCampaignScaling() {
   const CampaignReport sequential = RunValidationCampaign(
       nullptr, model, models::SaiParserSpec(), entries, options);
   Tracer tracer;
+  CampaignTelemetry telemetry;
   options.parallelism = 4;
   options.tracer = &tracer;
+  options.telemetry = &telemetry;
   const CampaignReport parallel = RunValidationCampaign(
       nullptr, model, models::SaiParserSpec(), entries, options);
   options.tracer = nullptr;
+  options.telemetry = nullptr;
 
   if (sequential.FingerprintSet() != parallel.FingerprintSet()) {
     return InternalError(
@@ -122,6 +129,7 @@ StatusOr<MetricsSnapshot> RunCampaignScaling() {
   }
   std::ofstream("BENCH_fuzzer_trace.json") << tracer.ToChromeJson();
   std::ofstream("BENCH_fuzzer.prom") << parallel.metrics.ToPrometheus();
+  std::ofstream("BENCH_fuzzer_events.jsonl") << telemetry.journal().ToJsonl();
   std::cout << "  parallelism 1: wall " << std::fixed << std::setprecision(2)
             << sequential.metrics.wall_seconds << "s, "
             << std::setprecision(0) << sequential.metrics.updates_per_second()
@@ -139,8 +147,8 @@ StatusOr<MetricsSnapshot> RunCampaignScaling() {
             << ", identical fingerprint set ("
             << parallel.FingerprintSet().size() << " incident classes)\n\n";
   std::cout << parallel.metrics.ToString() << "\n";
-  std::cout << "wrote BENCH_fuzzer_trace.json (load in ui.perfetto.dev) and "
-               "BENCH_fuzzer.prom\n";
+  std::cout << "wrote BENCH_fuzzer_trace.json (load in ui.perfetto.dev), "
+               "BENCH_fuzzer.prom and BENCH_fuzzer_events.jsonl\n";
   return parallel.metrics;
 }
 

@@ -11,18 +11,34 @@
 // the fleet afterwards. The report is byte-identical to the in-process
 // run. Binaries are found next to this one, or via $SWITCHV_WORKER_HOST /
 // $SWITCHV_SHARD_WORKER.
+//
+// Live telemetry (switchv/telemetry.h; strictly observational — the
+// report is byte-identical with it on or off):
+//   --watch              repaint a one-line campaign progress ticker
+//   --telemetry-port=N   serve GET /metrics (Prometheus), /status (JSON),
+//                        and /events?since=K (JSONL journal) on
+//                        127.0.0.1:N while the run is live (0 = pick an
+//                        ephemeral port and print it)
+//   --telemetry-linger=S keep the endpoint answering for S seconds after
+//                        the run (frozen final snapshot + full journal),
+//                        so scrapers racing a short campaign still land
 
 #include <libgen.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "switchv/experiment.h"
 #include "switchv/fleet.h"
 #include "switchv/shard_io.h"
+#include "switchv/telemetry.h"
+#include "switchv/telemetry_http.h"
 
 using namespace switchv;
 
@@ -42,9 +58,11 @@ std::string ResolveTool(const char* argv0, const char* env_var,
 }
 
 // Builds and provisions a fleet for "--fleet local:N". Returns null (with
-// a message) when provisioning fails.
+// a message) when provisioning fails. `journal` (nullable) receives the
+// host-launched / host-hello lifecycle events when telemetry is attached.
 std::unique_ptr<Fleet> ProvisionLocalFleet(const char* argv0,
-                                           const std::string& spec) {
+                                           const std::string& spec,
+                                           EventJournal* journal) {
   int size = 2;
   if (spec.rfind("local", 0) != 0) {
     std::cerr << "unsupported --fleet spec '" << spec
@@ -63,6 +81,7 @@ std::unique_ptr<Fleet> ProvisionLocalFleet(const char* argv0,
   options.worker_binary =
       ResolveTool(argv0, "SWITCHV_SHARD_WORKER", "switchv_shard_worker");
   options.auth_secret = "validate-pins-local-fleet";
+  options.journal = journal;
   if (options.host_binary.empty() || options.worker_binary.empty()) {
     std::cerr << "--fleet: could not locate switchv_worker_host / "
                  "switchv_shard_worker (set $SWITCHV_WORKER_HOST and "
@@ -83,17 +102,49 @@ std::unique_ptr<Fleet> ProvisionLocalFleet(const char* argv0,
   return fleet;
 }
 
+// Repaints the campaign progress line on stderr until destroyed.
+struct ProgressWatcher {
+  explicit ProgressWatcher(CampaignTelemetry* telemetry) {
+    thread = std::thread([this, telemetry] {
+      while (!stop.load()) {
+        std::cerr << "\r\x1b[K" << telemetry->ProgressLine() << std::flush;
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+      std::cerr << "\r\x1b[K" << telemetry->ProgressLine() << "\n";
+    });
+  }
+  ~ProgressWatcher() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string arg;
   std::string fleet_spec;
+  bool watch = false;
+  int telemetry_port = -1;  // -1 = HTTP endpoint disabled
+  int linger_seconds = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view token = argv[i];
     if (token.rfind("--fleet=", 0) == 0) {
       fleet_spec = std::string(token.substr(std::strlen("--fleet=")));
     } else if (token == "--fleet" && i + 1 < argc) {
       fleet_spec = argv[++i];
+    } else if (token == "--watch") {
+      watch = true;
+    } else if (token.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port =
+          std::atoi(std::string(token.substr(std::strlen("--telemetry-port=")))
+                        .c_str());
+    } else if (token.rfind("--telemetry-linger=", 0) == 0) {
+      linger_seconds = std::atoi(
+          std::string(token.substr(std::strlen("--telemetry-linger=")))
+              .c_str());
     } else {
       arg = std::string(token);
     }
@@ -110,9 +161,41 @@ int main(int argc, char** argv) {
   ExperimentOptions options;
   options.nightly.control_plane.num_requests = 20;
 
+  CampaignTelemetry telemetry;
+  TelemetryHttpServer http;
+  std::unique_ptr<ProgressWatcher> watcher;
+  if (watch || telemetry_port >= 0) {
+    options.nightly.telemetry = &telemetry;
+  }
+  if (telemetry_port >= 0) {
+    http.ServeCampaignTelemetry(&telemetry);
+    const Status started = http.Start(telemetry_port);
+    if (!started.ok()) {
+      std::cerr << "--telemetry-port: " << started << "\n";
+      return 2;
+    }
+    std::cout << "telemetry: http://127.0.0.1:" << http.port()
+              << "{/metrics,/status,/events?since=0}\n";
+  }
+  if (watch) watcher = std::make_unique<ProgressWatcher>(&telemetry);
+
+  // Campaign-completing paths exit through this: the endpoint stays up for
+  // the linger window so a scraper that raced a short campaign still gets
+  // the frozen final snapshot and the full journal.
+  const auto finish = [&](int code) {
+    if (linger_seconds > 0 && http.running()) {
+      std::cout << "telemetry: lingering " << linger_seconds << "s\n"
+                << std::flush;
+      std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+    }
+    return code;
+  };
+
   std::unique_ptr<Fleet> fleet;
   if (!fleet_spec.empty()) {
-    fleet = ProvisionLocalFleet(argv[0], fleet_spec);
+    fleet = ProvisionLocalFleet(
+        argv[0], fleet_spec,
+        options.nightly.telemetry != nullptr ? &telemetry.journal() : nullptr);
     if (fleet == nullptr) return 2;
     options.nightly.execution = CampaignOptions::Execution::kRemote;
     options.nightly.fleet = fleet.get();
@@ -152,7 +235,7 @@ int main(int argc, char** argv) {
       std::cout << "  [" << DetectorName(incident.detector) << "] "
                 << incident.summary << "\n";
     }
-    return report.incidents.empty() ? 0 : 1;
+    return finish(report.incidents.empty() ? 0 : 1);
   }
 
   // Run against one injected bug.
@@ -178,7 +261,7 @@ int main(int argc, char** argv) {
   }
   if (!result->detected) {
     std::cout << "NOT DETECTED by this nightly run\n";
-    return 1;
+    return finish(1);
   }
   std::cout << "DETECTED by "
             << DetectorName(*result->detector) << " ("
@@ -189,5 +272,5 @@ int main(int argc, char** argv) {
     std::cout << "  [" << DetectorName(incident.detector) << "] "
               << incident.summary << "\n      " << incident.details << "\n";
   }
-  return 0;
+  return finish(0);
 }

@@ -3,18 +3,33 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <thread>
 
 #include "models/sai_model.h"
 #include "switchv/fleet.h"
 #include "switchv/shard_transport.h"
+#include "switchv/telemetry.h"
 #include "util/rng.h"
 
 namespace switchv {
 
 namespace {
+
+// Telemetry-plane accessors, all null-safe: with options.telemetry unset
+// every call below degenerates to a pointer check, and nothing in the
+// campaign's behaviour — or its report — changes.
+EventJournal* JournalOf(const CampaignOptions& options) {
+  return options.telemetry != nullptr ? &options.telemetry->journal()
+                                      : nullptr;
+}
+
+std::uint64_t EffectiveCampaignId(const CampaignOptions& options) {
+  return options.campaign_id != 0 ? options.campaign_id : options.seed;
+}
 
 struct ShardSpec {
   enum class Kind { kControlPlane, kDataplane };
@@ -263,6 +278,8 @@ Incident HarnessIncident(std::string summary, std::string details,
 ShardResult LostShard(int index, const Status& status,
                       const CampaignOptions& options, Metrics& metrics) {
   metrics.Add(metrics.shards_lost, 1);
+  JournalAppend(JournalOf(options), JournalEventKind::kShardLost,
+                EffectiveCampaignId(options), index, "", status.ToString());
   ShardResult result;
   result.incidents.push_back(HarnessIncident(
       "campaign shard " + std::to_string(index) +
@@ -272,18 +289,65 @@ ShardResult LostShard(int index, const Status& status,
   return result;
 }
 
+// Cross-host trace stitching context for one absorbed shard attempt: which
+// host ran it, and the coordinator-clock window it ran inside. A worker's
+// span timestamps are relative to its own process epoch; the coordinator
+// rebases them by estimating the worker epoch at the round-trip midpoint —
+//   offset = dispatch + max(0, receive - dispatch - worker_wall) / 2
+// — the classic NTP-style symmetric-delay assumption, with worker_wall
+// taken from the shard's own wall-clock measurement.
+struct StitchContext {
+  std::string host;  // "" = subprocess on the coordinator's own box
+  std::uint64_t dispatch_ns = 0;  // coordinator clock, attempt sent
+  std::uint64_t receive_ns = 0;   // coordinator clock, result received
+};
+
 // Parses a worker's result line and folds its telemetry into the campaign:
 // Metrics::Merge for the counter/histogram snapshot, tracer record for the
 // shard's spans. Shared by the subprocess pool and the remote dispatcher —
 // both substrates merge *exactly* the same way, which is what keeps the
-// campaign report byte-identical across them.
+// campaign report byte-identical across them. `stitch` (optional) rebases
+// the spans into the coordinator clock and tags their origin host; it only
+// ever touches span timestamps/host, never anything the report renders.
 StatusOr<ShardResult> AbsorbWireResultLine(std::string_view line,
                                            const CampaignOptions& options,
-                                           Metrics& metrics) {
+                                           Metrics& metrics,
+                                           const StitchContext* stitch) {
   SWITCHV_ASSIGN_OR_RETURN(WireShardResult wire, ParseShardResult(line));
   metrics.Merge(wire.metrics);
   if (options.tracer != nullptr) {
+    std::uint64_t offset_ns = 0;
+    if (stitch != nullptr) {
+      const auto worker_wall_ns =
+          static_cast<std::uint64_t>(wire.metrics.wall_seconds * 1e9);
+      const std::uint64_t window_ns =
+          stitch->receive_ns > stitch->dispatch_ns
+              ? stitch->receive_ns - stitch->dispatch_ns
+              : 0;
+      const std::uint64_t slack_ns =
+          window_ns > worker_wall_ns ? window_ns - worker_wall_ns : 0;
+      offset_ns = stitch->dispatch_ns + slack_ns / 2;
+      // A cache-replayed result (idempotent resend after a dropped
+      // connection) arrives in a window far shorter than the shard
+      // actually ran; midpoint rebasing would then push its spans past the
+      // receive time, into the coordinator's future. Clamp so no span ends
+      // after the moment its result arrived — the execution genuinely
+      // happened earlier, during the original (interrupted) dial.
+      std::uint64_t max_end_ns = 0;
+      for (const TraceSpan& span : wire.spans) {
+        max_end_ns = std::max(max_end_ns, span.start_ns + span.duration_ns);
+      }
+      if (offset_ns + max_end_ns > stitch->receive_ns) {
+        offset_ns = max_end_ns < stitch->receive_ns
+                        ? stitch->receive_ns - max_end_ns
+                        : 0;
+      }
+    }
     for (TraceSpan& span : wire.spans) {
+      if (stitch != nullptr) {
+        span.start_ns += offset_ns;
+        span.host = stitch->host;
+      }
       options.tracer->Record(std::move(span));
     }
   }
@@ -308,13 +372,58 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
           MakeWireSpec(spec, *options.scenario, options, packets)) +
       "\n";
   const int attempts = 1 + std::max(0, options.shard_retries);
+  const bool telemetry = options.telemetry != nullptr &&
+                         options.telemetry_interval_seconds > 0;
+  std::vector<std::string> worker_args = options.worker_extra_args;
+  if (telemetry) {
+    worker_args.push_back(
+        "--telemetry-interval=" +
+        std::to_string(options.telemetry_interval_seconds));
+  }
   std::string summary;
   std::string details;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
-    if (attempt > 1) metrics.Add(metrics.worker_retries, 1);
+    if (attempt > 1) {
+      metrics.Add(metrics.worker_retries, 1);
+      JournalAppend(JournalOf(options), JournalEventKind::kShardRetried,
+                    EffectiveCampaignId(options), spec.index, "",
+                    "attempt " + std::to_string(attempt));
+    }
+    // Live streaming for the subprocess substrate: the worker's interim
+    // sample lines are parsed as they arrive and folded into this
+    // attempt's accumulator; the accumulator dies with the attempt, so
+    // once the authoritative result merges, nothing is double-counted.
+    std::uint64_t token = 0;
+    std::string sample_buffer;
+    std::function<void(std::string_view)> on_stdout;
+    if (telemetry) {
+      token = options.telemetry->BeginAttempt(spec.index, "");
+      on_stdout = [&options, &sample_buffer, token](std::string_view chunk) {
+        sample_buffer.append(chunk);
+        std::size_t newline;
+        while ((newline = sample_buffer.find('\n')) != std::string::npos) {
+          const std::string sample_line = sample_buffer.substr(0, newline);
+          sample_buffer.erase(0, newline + 1);
+          if (!LooksLikeTelemetrySample(sample_line)) continue;
+          StatusOr<TelemetrySample> sample =
+              ParseTelemetrySample(sample_line);
+          if (sample.ok()) {
+            options.telemetry->AccumulateDelta(token, sample->delta);
+          }
+        }
+      };
+    }
+    StitchContext stitch;
+    if (options.tracer != nullptr) {
+      stitch.dispatch_ns = options.tracer->NowNs();
+    }
     const WorkerProcessResult proc =
-        RunWorkerProcess(binary, options.worker_extra_args, payload,
-                         options.shard_timeout_seconds);
+        RunWorkerProcess(binary, worker_args, payload,
+                         options.shard_timeout_seconds, on_stdout);
+    if (options.tracer != nullptr) {
+      stitch.receive_ns = options.tracer->NowNs();
+    }
+    if (telemetry) options.telemetry->EndAttempt(token);
     std::string note;
     if (proc.outcome == WorkerProcessResult::Outcome::kExited &&
         proc.exit_code == 0) {
@@ -328,7 +437,7 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
       const std::string_view line =
           newline == std::string_view::npos ? out : out.substr(newline + 1);
       StatusOr<ShardResult> parsed =
-          AbsorbWireResultLine(line, options, metrics);
+          AbsorbWireResultLine(line, options, metrics, &stitch);
       if (parsed.ok()) {
         return std::move(parsed).value();
       }
@@ -361,6 +470,8 @@ ShardResult RunShardViaWorker(const ShardSpec& spec, const std::string& binary,
     details += "attempt " + std::to_string(attempt) + ": " + note;
   }
   metrics.Add(metrics.shards_lost, 1);
+  JournalAppend(JournalOf(options), JournalEventKind::kShardLost,
+                EffectiveCampaignId(options), spec.index, "", details);
   ShardResult result;
   result.incidents.push_back(HarnessIncident(
       std::move(summary), std::move(details),
@@ -403,12 +514,24 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
   request.spec_line =
       SerializeShardSpec(MakeWireSpec(spec, *options.scenario, options,
                                       packets));
+  const bool telemetry = options.telemetry != nullptr &&
+                         options.telemetry_interval_seconds > 0;
+  if (telemetry) {
+    // Opting in upgrades the request envelope to v2; the host streams
+    // interval deltas back on the heartbeat channel and echoes RTT pings.
+    request.telemetry_interval_seconds = options.telemetry_interval_seconds;
+  }
   const int attempts = 1 + std::max(0, options.shard_retries);
   const int dials = 1 + std::max(0, options.remote_reconnects);
   std::string summary;
   std::string details;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
-    if (attempt > 1) metrics.Add(metrics.worker_retries, 1);
+    if (attempt > 1) {
+      metrics.Add(metrics.worker_retries, 1);
+      JournalAppend(JournalOf(options), JournalEventKind::kShardRetried,
+                    EffectiveCampaignId(options), spec.index, "",
+                    "attempt " + std::to_string(attempt));
+    }
     request.attempt = attempt;
     std::string note;
     for (int dial = 1; dial <= dials; ++dial) {
@@ -416,6 +539,9 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
       const int host = pool.Acquire();
       if (host < 0) {
         metrics.Add(metrics.shards_lost, 1);
+        JournalAppend(JournalOf(options), JournalEventKind::kShardLost,
+                      EffectiveCampaignId(options), spec.index, "",
+                      "every worker host is retired");
         ShardResult result;
         result.incidents.push_back(HarnessIncident(
             "campaign shard " + std::to_string(spec.index) +
@@ -425,10 +551,41 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
             options.flight_recorder_capacity));
         return result;
       }
+      const std::string endpoint = pool.endpoint(host);
+      // The attempt accumulator is scoped to this dial: a redial re-runs
+      // (or replays) the shard from scratch on another host, so the
+      // half-streamed deltas from the dropped connection must not survive
+      // into the rolling view alongside the fresh stream.
+      std::uint64_t token = 0;
+      RemoteCallHooks hooks;
+      const RemoteCallHooks* hooks_ptr = nullptr;
+      if (telemetry) {
+        token = options.telemetry->BeginAttempt(spec.index, endpoint);
+        hooks.ping_interval_seconds = options.telemetry_interval_seconds;
+        hooks.on_telemetry = [&options, token](std::string_view payload) {
+          StatusOr<TelemetrySample> sample = ParseTelemetrySample(payload);
+          if (sample.ok()) {
+            options.telemetry->AccumulateDelta(token, sample->delta);
+          }
+        };
+        hooks.on_rtt = [&options, &endpoint](std::uint64_t rtt_ns) {
+          options.telemetry->RecordHeartbeatRtt(endpoint, rtt_ns);
+        };
+        hooks_ptr = &hooks;
+      }
+      StitchContext stitch;
+      stitch.host = endpoint;
+      if (options.tracer != nullptr) {
+        stitch.dispatch_ns = options.tracer->NowNs();
+      }
       const RemoteCallOutcome call =
-          CallRemoteShard(pool.endpoint(host), request,
+          CallRemoteShard(endpoint, request,
                           options.remote_heartbeat_timeout_seconds,
-                          auth_secret);
+                          auth_secret, hooks_ptr);
+      if (options.tracer != nullptr) {
+        stitch.receive_ns = options.tracer->NowNs();
+      }
+      if (telemetry) options.telemetry->EndAttempt(token);
       const HostPool::ReleaseOutcome released = pool.Release(
           host, call.kind != RemoteCallOutcome::Kind::kTransport);
       if (released.newly_retired && fleet != nullptr) {
@@ -436,11 +593,15 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
         if (replacement.ok()) {
           pool.MarkDead(released.endpoint);
           pool.AddEndpoint(*replacement);
+          JournalAppend(JournalOf(options),
+                        JournalEventKind::kHostReprovisioned,
+                        EffectiveCampaignId(options), spec.index,
+                        released.endpoint, "replaced by " + *replacement);
         }
       }
       if (call.kind == RemoteCallOutcome::Kind::kResult) {
         StatusOr<ShardResult> parsed =
-            AbsorbWireResultLine(call.result_line, options, metrics);
+            AbsorbWireResultLine(call.result_line, options, metrics, &stitch);
         if (parsed.ok()) {
           return std::move(parsed).value();
         }
@@ -480,6 +641,8 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
     details += "attempt " + std::to_string(attempt) + ": " + note;
   }
   metrics.Add(metrics.shards_lost, 1);
+  JournalAppend(JournalOf(options), JournalEventKind::kShardLost,
+                EffectiveCampaignId(options), spec.index, "", details);
   ShardResult result;
   result.incidents.push_back(HarnessIncident(
       std::move(summary), std::move(details),
@@ -515,6 +678,11 @@ std::set<std::uint64_t> CampaignReport::FingerprintSet() const {
 }
 
 StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec) {
+  return ExecuteShardSpec(spec, nullptr);
+}
+
+StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec,
+                                           const ShardTelemetryHook* hook) {
   const auto shard_start = std::chrono::steady_clock::now();
   SWITCHV_ASSIGN_OR_RETURN(
       const p4ir::Program model,
@@ -552,11 +720,66 @@ StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec) {
   const std::vector<symbolic::TestPacket>* precomputed =
       spec.has_packets ? &spec.packets : nullptr;
 
-  SWITCHV_ASSIGN_OR_RETURN(
-      ShardResult result,
+  // Live sampling: a sampler thread periodically emits the metric delta —
+  // and the spans closed — since the previous sample. The deltas are
+  // additive and a final flush runs after the shard completes, so the
+  // stream sums exactly to the shard's final snapshot regardless of how
+  // the interval aligned with the work.
+  const bool sampling = hook != nullptr && hook->interval_seconds > 0 &&
+                        hook->emit != nullptr;
+  std::thread sampler;
+  std::mutex sampler_mu;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+  MetricsSnapshot sample_base;
+  std::size_t span_cursor = 0;
+  std::uint64_t sample_seq = 0;
+  auto emit_sample = [&] {
+    const MetricsSnapshot now = metrics.Snapshot(0);
+    TelemetrySample sample;
+    sample.shard = spec.index;
+    sample.seq = ++sample_seq;
+    sample.delta = now.DeltaSince(sample_base);
+    sample.spans = tracer.SpansSince(&span_cursor);
+    sample_base = now;
+    hook->emit(sample);
+  };
+  if (sampling) {
+    sampler = std::thread([&] {
+      std::unique_lock<std::mutex> lock(sampler_mu);
+      const auto interval = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(hook->interval_seconds));
+      while (!sampler_stop) {
+        if (sampler_cv.wait_for(lock, interval,
+                                [&] { return sampler_stop; })) {
+          break;
+        }
+        emit_sample();
+      }
+    });
+  }
+  auto stop_sampler = [&] {
+    if (!sampler.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(sampler_mu);
+      sampler_stop = true;
+    }
+    sampler_cv.notify_all();
+    sampler.join();
+  };
+
+  StatusOr<ShardResult> run =
       shard.kind == ShardSpec::Kind::kControlPlane
           ? RunControlPlaneShard(shard, env, metrics)
-          : RunDataplaneShard(shard, env, precomputed, metrics));
+          : RunDataplaneShard(shard, env, precomputed, metrics);
+  stop_sampler();
+  if (!run.ok()) return run.status();
+  ShardResult result = std::move(run).value();
+  if (sampling) {
+    std::lock_guard<std::mutex> lock(sampler_mu);
+    emit_sample();  // final flush: nothing recorded is lost to alignment
+  }
 
   WireShardResult out;
   out.index = spec.index;
@@ -618,6 +841,8 @@ CampaignReport RunValidationCampaign(
     pool_options.max_consecutive_failures = options.remote_host_max_failures;
     pool_options.probation_cooldown_seconds =
         options.remote_host_probation_seconds;
+    pool_options.journal = JournalOf(options);
+    pool_options.campaign_id = EffectiveCampaignId(options);
     host_pool.emplace(remote_endpoints, pool_options);
   }
 
@@ -632,6 +857,10 @@ CampaignReport RunValidationCampaign(
   const int dataplane_shards =
       options.run_dataplane ? std::max(1, options.dataplane_shards) : 0;
   const int total_shards = control_shards + dataplane_shards;
+  if (options.telemetry != nullptr) {
+    options.telemetry->BeginCampaign(EffectiveCampaignId(options),
+                                     total_shards, &metrics);
+  }
   campaign_span.AddArg("shards", static_cast<std::uint64_t>(total_shards));
   campaign_span.AddArg("parallelism",
                        static_cast<std::uint64_t>(options.parallelism));
@@ -728,6 +957,14 @@ CampaignReport RunValidationCampaign(
       const bool run_this_shard =
           spec.kind == ShardSpec::Kind::kControlPlane ||
           precomputed != nullptr || pre_phase_incidents.empty();
+      if (options.telemetry != nullptr) {
+        options.telemetry->ShardStarted();
+        JournalAppend(JournalOf(options), JournalEventKind::kShardDispatched,
+                      EffectiveCampaignId(options), spec.index, "",
+                      remote       ? "remote"
+                      : subprocess ? "subprocess"
+                                   : "in-process");
+      }
       if (run_this_shard) {
         if (remote) {
           results[i] =
@@ -756,6 +993,11 @@ CampaignReport RunValidationCampaign(
         }
       }
       metrics.Add(metrics.shards_completed, 1);
+      if (options.telemetry != nullptr) {
+        JournalAppend(JournalOf(options), JournalEventKind::kShardCompleted,
+                      EffectiveCampaignId(options), spec.index, "", "");
+        options.telemetry->ShardFinished();
+      }
     }
   };
   const int workers =
@@ -779,6 +1021,16 @@ CampaignReport RunValidationCampaign(
     auto [it, inserted] =
         group_by_fingerprint.try_emplace(fingerprint, report.groups.size());
     if (inserted) {
+      if (options.telemetry != nullptr) {
+        const std::string detector(DetectorName(incident.detector));
+        const std::string layer(sut::SutLayerName(incident.layer));
+        JournalAppend(JournalOf(options),
+                      JournalEventKind::kIncidentFirstSeen,
+                      EffectiveCampaignId(options), shard_index, "",
+                      "fingerprint " + std::to_string(fingerprint) + " " +
+                          detector + "/" + layer);
+        options.telemetry->RecordIncidentClass(detector, layer);
+      }
       IncidentGroup group;
       group.exemplar = std::move(incident);
       group.fingerprint = fingerprint;
@@ -818,6 +1070,9 @@ CampaignReport RunValidationCampaign(
                                     campaign_start)
           .count();
   report.metrics = metrics.Snapshot(wall_seconds);
+  if (options.telemetry != nullptr) {
+    options.telemetry->EndCampaign(report.metrics);
+  }
   return report;
 }
 

@@ -34,7 +34,8 @@
 
 namespace switchv {
 
-class Fleet;  // switchv/fleet.h
+class Fleet;              // switchv/fleet.h
+class CampaignTelemetry;  // switchv/telemetry.h
 
 struct CampaignOptions {
   // Worker threads executing shards. Results are bit-identical for any
@@ -137,6 +138,19 @@ struct CampaignOptions {
   // Ring-buffer capacity of each shard's flight recorder: the last N switch
   // operations replayed in every incident report.
   int flight_recorder_capacity = 32;
+
+  // ---- Live telemetry plane (switchv/telemetry.h) ----
+  // When set, the campaign streams into it: rolling fleet-wide metrics
+  // (worker hosts piggyback interval deltas on their heartbeat channel),
+  // the structured event journal, per-host heartbeat RTTs, and cross-host
+  // span stitching (remote span timestamps rebased into the coordinator
+  // clock, host-tagged for per-host trace tracks). Strictly observational:
+  // the final report is byte-identical with telemetry on or off. Not
+  // owned; must outlive the campaign.
+  CampaignTelemetry* telemetry = nullptr;
+  // Interval between streamed worker samples and heartbeat RTT pings when
+  // the telemetry plane is attached. Ignored when `telemetry` is null.
+  double telemetry_interval_seconds = 0.5;
 };
 
 struct CampaignReport {
@@ -180,6 +194,24 @@ CampaignReport RunValidationCampaign(
 // worker renders to stderr before exiting nonzero — when the scenario
 // cannot be provisioned.
 StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec);
+
+// Live-sampling hook for out-of-process shard execution (the
+// `switchv_shard_worker --telemetry-interval=S` path): while the shard
+// runs, a sampler thread calls `emit` roughly every `interval_seconds`
+// with the metric delta — and any spans recorded — since the previous
+// sample. Samples are additive: accumulating all of a shard's deltas
+// reproduces its final snapshot exactly, and a final flush sample is
+// emitted before the function returns, so nothing recorded is ever lost
+// to interval alignment. `emit` runs on the sampler thread.
+struct ShardTelemetryHook {
+  double interval_seconds = 0;
+  std::function<void(const TelemetrySample& sample)> emit;
+};
+
+// As above, with live sampling when `hook` is non-null and enabled. The
+// returned result is identical either way — sampling only observes.
+StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec,
+                                           const ShardTelemetryHook* hook);
 
 }  // namespace switchv
 

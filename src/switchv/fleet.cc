@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "switchv/journal.h"
 #include "switchv/shard_transport.h"
 
 namespace switchv {
@@ -94,6 +95,9 @@ int HostPool::AcquireAt(Clock::time_point now) {
       if (now - host.retired_at < cooldown) continue;
       host.on_probation = true;
       ++host.inflight;
+      JournalAppend(options_.journal, JournalEventKind::kHostProbation,
+                    options_.campaign_id, -1, host.endpoint,
+                    "cooldown elapsed; routing one probe shard");
       return i;
     }
   }
@@ -122,6 +126,9 @@ HostPool::ReleaseOutcome HostPool::ReleaseAt(int index, bool transport_ok,
       host.state = State::kLive;
       host.consecutive_failures = 0;
       ++probe_readmissions_;
+      JournalAppend(options_.journal, JournalEventKind::kHostReadmitted,
+                    options_.campaign_id, -1, host.endpoint,
+                    "probe shard succeeded");
     } else {
       host.retired_at = now;  // fresh cooldown; stays retired
     }
@@ -139,6 +146,10 @@ HostPool::ReleaseOutcome HostPool::ReleaseAt(int index, bool transport_ok,
     ++retirements_;
     outcome.newly_retired = true;
     outcome.endpoint = host.endpoint;
+    JournalAppend(options_.journal, JournalEventKind::kHostRetired,
+                  options_.campaign_id, -1, host.endpoint,
+                  std::to_string(host.consecutive_failures) +
+                      " consecutive transport failures");
   }
   return outcome;
 }
@@ -408,6 +419,9 @@ StatusOr<Fleet::ManagedHost> Fleet::LaunchLocalProcess() {
         "worker host never announced its endpoint (binary: " + binary + ")");
   }
   host.endpoint = announced;
+  JournalAppend(options_.journal, JournalEventKind::kHostLaunched,
+                options_.campaign_id, -1, host.endpoint,
+                "pid " + std::to_string(pid));
 
   // Stage 2: a hello round-trip with the campaign's credentials.
   const Status healthy = AwaitHealthy(host.endpoint, deadline);
@@ -415,6 +429,9 @@ StatusOr<Fleet::ManagedHost> Fleet::LaunchLocalProcess() {
     KillHost(host, /*graceful=*/false);
     return healthy;
   }
+  JournalAppend(options_.journal, JournalEventKind::kHostHello,
+                options_.campaign_id, -1, host.endpoint,
+                "bring-up gate passed");
   return host;
 }
 
@@ -452,12 +469,18 @@ StatusOr<Fleet::ManagedHost> Fleet::LaunchCommandTemplate() {
   host.pid = pid;
   host.alive = true;
   host.endpoint = options_.template_host + ":" + std::to_string(port);
+  JournalAppend(options_.journal, JournalEventKind::kHostLaunched,
+                options_.campaign_id, -1, host.endpoint,
+                "pid " + std::to_string(pid));
   const Status healthy = AwaitHealthy(
       host.endpoint, DeadlineAfter(options_.bring_up_timeout_seconds));
   if (!healthy.ok()) {
     KillHost(host, /*graceful=*/false);
     return healthy;
   }
+  JournalAppend(options_.journal, JournalEventKind::kHostHello,
+                options_.campaign_id, -1, host.endpoint,
+                "bring-up gate passed");
   return host;
 }
 

@@ -40,6 +40,8 @@
 
 namespace switchv {
 
+class EventJournal;  // switchv/journal.h
+
 // ---------------------------------------------------------------------------
 // HostPool
 // ---------------------------------------------------------------------------
@@ -57,6 +59,12 @@ class HostPool {
     // A retired host becomes probe-eligible after this cooldown; <= 0
     // makes retirement permanent (the pre-probation behaviour).
     double probation_cooldown_seconds = 5;
+    // Optional event journal (switchv/journal.h): retire / probation /
+    // readmission transitions are appended as they happen. Not owned;
+    // null disables journaling.
+    EventJournal* journal = nullptr;
+    // Campaign identity stamped on journaled events.
+    std::uint64_t campaign_id = 0;
   };
 
   HostPool(const std::vector<std::string>& endpoints, Options options);
@@ -169,6 +177,14 @@ struct FleetOptions {
   // Replace() calls honoured over the fleet's lifetime; further calls fail
   // with RESOURCE_EXHAUSTED and the campaign degrades gracefully.
   int reprovision_budget = 4;
+
+  // Optional event journal (switchv/journal.h): host-launched and
+  // host-hello (bring-up gate passed) events are appended per launch,
+  // including launches on behalf of Replace(). Not owned; null disables
+  // journaling.
+  EventJournal* journal = nullptr;
+  // Campaign identity stamped on journaled events.
+  std::uint64_t campaign_id = 0;
 };
 
 // A provisioned fleet of worker hosts. Drains (SIGTERM, then SIGKILL) on

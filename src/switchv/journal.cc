@@ -1,0 +1,110 @@
+#include "switchv/journal.h"
+
+#include <sstream>
+
+#include "switchv/trace.h"  // JsonEscape
+
+namespace switchv {
+
+std::string_view JournalEventKindName(JournalEventKind kind) {
+  switch (kind) {
+    case JournalEventKind::kCampaignStarted:
+      return "campaign-started";
+    case JournalEventKind::kCampaignFinished:
+      return "campaign-finished";
+    case JournalEventKind::kHostLaunched:
+      return "host-launched";
+    case JournalEventKind::kHostHello:
+      return "host-hello";
+    case JournalEventKind::kHostRetired:
+      return "host-retired";
+    case JournalEventKind::kHostProbation:
+      return "host-probation";
+    case JournalEventKind::kHostReadmitted:
+      return "host-readmitted";
+    case JournalEventKind::kHostReprovisioned:
+      return "host-reprovisioned";
+    case JournalEventKind::kShardDispatched:
+      return "shard-dispatched";
+    case JournalEventKind::kShardRetried:
+      return "shard-retried";
+    case JournalEventKind::kShardCompleted:
+      return "shard-completed";
+    case JournalEventKind::kShardLost:
+      return "shard-lost";
+    case JournalEventKind::kIncidentFirstSeen:
+      return "incident-first-seen";
+  }
+  return "unknown";
+}
+
+std::string JournalEvent::ToJson() const {
+  std::ostringstream out;
+  out << "{\"seq\":" << seq << ",\"ts_ns\":" << ts_ns << ",\"event\":\""
+      << JournalEventKindName(kind) << "\",\"campaign_id\":" << campaign_id;
+  if (shard >= 0) out << ",\"shard\":" << shard;
+  if (!host.empty()) out << ",\"host\":\"" << JsonEscape(host) << "\"";
+  if (!detail.empty()) out << ",\"detail\":\"" << JsonEscape(detail) << "\"";
+  out << "}";
+  return out.str();
+}
+
+std::uint64_t EventJournal::Append(JournalEventKind kind,
+                                   std::uint64_t campaign_id, int shard,
+                                   std::string host, std::string detail) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalEvent event;
+  event.seq = events_.size() + 1;
+  // Clamp monotone under the mutex: steady_clock never goes backwards, but
+  // two appends can land in the same nanosecond — keep ts strictly ordered
+  // with seq so consumers may sort by either.
+  std::uint64_t ts = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+  if (ts <= last_ts_ns_) ts = last_ts_ns_ + 1;
+  last_ts_ns_ = ts;
+  event.ts_ns = ts;
+  event.kind = kind;
+  event.campaign_id = campaign_id;
+  event.shard = shard;
+  event.host = std::move(host);
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+  return events_.size();
+}
+
+std::size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t EventJournal::CountKind(JournalEventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t count = 0;
+  for (const JournalEvent& event : events_) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<JournalEvent> EventJournal::EventsSince(
+    std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (since >= events_.size()) return {};
+  return std::vector<JournalEvent>(
+      events_.begin() + static_cast<std::ptrdiff_t>(since), events_.end());
+}
+
+std::string EventJournal::ToJsonl() const { return ToJsonlSince(0); }
+
+std::string EventJournal::ToJsonlSince(std::uint64_t since) const {
+  std::string out;
+  for (const JournalEvent& event : EventsSince(since)) {
+    out += event.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace switchv

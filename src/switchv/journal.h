@@ -1,0 +1,101 @@
+// Structured campaign event journal (the telemetry plane's flight log).
+//
+// Metrics say how much work the fleet did; the journal says what *happened*
+// to it: hosts launched, proved themselves at hello, got retired, went on
+// probation, were readmitted or reprovisioned; shards dispatched, retried,
+// lost; incident fingerprints first seen. Each event carries a monotonic
+// coordinator-clock timestamp and full campaign/shard/host identity, and
+// renders as one JSON object per line (JSONL) — append-friendly for files,
+// range-queryable for the /events?since=N endpoint.
+//
+// Thread-safe: the engine's worker threads, the host pool (inside its own
+// mutex), and the fleet provisioner all append concurrently. Timestamps are
+// clamped monotone *under the journal mutex*, so the sequence order and the
+// timestamp order never disagree — consumers may sort by either.
+#ifndef SWITCHV_SWITCHV_JOURNAL_H_
+#define SWITCHV_SWITCHV_JOURNAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace switchv {
+
+enum class JournalEventKind {
+  kCampaignStarted,
+  kCampaignFinished,
+  kHostLaunched,      // fleet provisioner forked a worker host
+  kHostHello,         // the host passed the bring-up hello gate
+  kHostRetired,       // pool dropped the host (consecutive failures)
+  kHostProbation,     // cooled-down retired host got its probe shard
+  kHostReadmitted,    // the probe succeeded; host is live again
+  kHostReprovisioned, // fleet replaced a retired host with a fresh one
+  kShardDispatched,   // a shard attempt started (any substrate)
+  kShardRetried,      // a failed attempt is being retried
+  kShardCompleted,    // the shard's result was absorbed into the report
+  kShardLost,         // every attempt failed; synthetic harness incident
+  kIncidentFirstSeen, // a fingerprint's first occurrence this campaign
+};
+
+// Stable wire name ("host-retired", "shard-dispatched", ...).
+std::string_view JournalEventKindName(JournalEventKind kind);
+
+struct JournalEvent {
+  std::uint64_t seq = 0;    // 1-based append order
+  std::uint64_t ts_ns = 0;  // coordinator clock, monotone across events
+  JournalEventKind kind = JournalEventKind::kCampaignStarted;
+  std::uint64_t campaign_id = 0;
+  int shard = -1;      // -1 = not shard-scoped
+  std::string host;    // endpoint, when host-scoped
+  std::string detail;  // free-form context (error note, fingerprint, ...)
+
+  std::string ToJson() const;
+};
+
+class EventJournal {
+ public:
+  EventJournal() : epoch_(std::chrono::steady_clock::now()) {}
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Appends one event, stamping seq and a monotone timestamp. Returns the
+  // assigned seq.
+  std::uint64_t Append(JournalEventKind kind, std::uint64_t campaign_id = 0,
+                       int shard = -1, std::string host = "",
+                       std::string detail = "");
+
+  std::size_t size() const;
+  std::uint64_t CountKind(JournalEventKind kind) const;
+
+  // Events with seq > since, in order.
+  std::vector<JournalEvent> EventsSince(std::uint64_t since) const;
+
+  // One JSON object per line. ToJsonl() = ToJsonlSince(0).
+  std::string ToJsonl() const;
+  std::string ToJsonlSince(std::uint64_t since) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t last_ts_ns_ = 0;
+  std::vector<JournalEvent> events_;
+};
+
+// Null-safe append: telemetry is optional everywhere, so call sites guard
+// with this instead of sprinkling `if (journal != nullptr)`.
+inline void JournalAppend(EventJournal* journal, JournalEventKind kind,
+                          std::uint64_t campaign_id = 0, int shard = -1,
+                          std::string host = "", std::string detail = "") {
+  if (journal != nullptr) {
+    journal->Append(kind, campaign_id, shard, std::move(host),
+                    std::move(detail));
+  }
+}
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_JOURNAL_H_

@@ -154,6 +154,125 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   return s;
 }
 
+namespace {
+
+std::uint64_t ClampedSub(std::uint64_t now, std::uint64_t then) {
+  return now >= then ? now - then : 0;
+}
+
+HistogramSnapshot HistDelta(const HistogramSnapshot& now,
+                            const HistogramSnapshot& then) {
+  HistogramSnapshot delta;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    delta.counts[i] = ClampedSub(now.counts[i], then.counts[i]);
+    delta.count += delta.counts[i];
+  }
+  delta.sum_ns = ClampedSub(now.sum_ns, then.sum_ns);
+  return delta;
+}
+
+void HistAccumulate(HistogramSnapshot& into, const HistogramSnapshot& delta) {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    into.counts[i] += delta.counts[i];
+    into.count += delta.counts[i];
+  }
+  into.sum_ns += delta.sum_ns;
+}
+
+// One authoritative walk over every counter field, pairwise, so a new
+// counter cannot be subtracted in DeltaSince but forgotten in Accumulate
+// (or vice versa). `fn(mine, theirs)` runs once per field.
+template <typename Fn>
+void ZipCounterFields(MetricsSnapshot& a, const MetricsSnapshot& b, Fn&& fn) {
+  fn(a.shards_completed, b.shards_completed);
+  fn(a.updates_sent, b.updates_sent);
+  fn(a.requests_sent, b.requests_sent);
+  fn(a.generated_valid, b.generated_valid);
+  fn(a.generated_invalid, b.generated_invalid);
+  fn(a.oracle_findings, b.oracle_findings);
+  fn(a.packets_tested, b.packets_tested);
+  fn(a.solver_queries, b.solver_queries);
+  fn(a.generation_cache_hits, b.generation_cache_hits);
+  fn(a.switch_writes, b.switch_writes);
+  fn(a.switch_reads, b.switch_reads);
+  fn(a.switch_packets_injected, b.switch_packets_injected);
+  fn(a.incidents_raised, b.incidents_raised);
+  fn(a.incidents_unique, b.incidents_unique);
+  fn(a.shards_lost, b.shards_lost);
+  fn(a.worker_crashes, b.worker_crashes);
+  fn(a.worker_timeouts, b.worker_timeouts);
+  fn(a.worker_retries, b.worker_retries);
+  fn(a.remote_reconnects, b.remote_reconnects);
+  fn(a.hosts_retired, b.hosts_retired);
+  fn(a.switch_write_ns, b.switch_write_ns);
+  fn(a.oracle_ns, b.oracle_ns);
+  fn(a.reference_ns, b.reference_ns);
+  fn(a.generation_ns, b.generation_ns);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& prev) const {
+  MetricsSnapshot delta = *this;
+  ZipCounterFields(delta, prev,
+                   [](std::uint64_t& now, const std::uint64_t& then) {
+                     now = ClampedSub(now, then);
+                   });
+  delta.wall_seconds = 0;
+  delta.switch_write_hist = HistDelta(switch_write_hist,
+                                      prev.switch_write_hist);
+  delta.oracle_hist = HistDelta(oracle_hist, prev.oracle_hist);
+  delta.reference_hist = HistDelta(reference_hist, prev.reference_hist);
+  delta.generation_hist = HistDelta(generation_hist, prev.generation_hist);
+  return delta;
+}
+
+void MetricsSnapshot::Accumulate(const MetricsSnapshot& delta) {
+  ZipCounterFields(*this, delta,
+                   [](std::uint64_t& into, const std::uint64_t& from) {
+                     into += from;
+                   });
+  HistAccumulate(switch_write_hist, delta.switch_write_hist);
+  HistAccumulate(oracle_hist, delta.oracle_hist);
+  HistAccumulate(reference_hist, delta.reference_hist);
+  HistAccumulate(generation_hist, delta.generation_hist);
+}
+
+std::string PrometheusLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusSanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    const bool valid = alpha || digit || c == '_' || c == ':';
+    if (out.empty() && digit) out += '_';
+    out += valid ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
 std::string MetricsSnapshot::ToString() const {
   std::ostringstream out;
   out << std::fixed;

@@ -153,7 +153,38 @@ struct MetricsSnapshot {
   // ToJson(), carries no derived rates and no percentiles — those are
   // recomputed after the merge.
   std::string ToWireJson() const;
+
+  // Counter/histogram difference against an earlier snapshot of the same
+  // sink: every u64 counter, phase timer, and histogram bucket is
+  // subtracted (clamped at zero — the counters are monotone, the clamp only
+  // guards a torn relaxed read). wall_seconds is left at zero: deltas are
+  // interval-scoped, not campaign-scoped. The live-telemetry invariant is
+  //   prev.Accumulate(prev.DeltaSince(base)) == prev  (field-wise),
+  // so streaming per-interval deltas and merging them reproduces the final
+  // snapshot exactly.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& prev) const;
+
+  // Adds another snapshot's counters, phase timers, and histogram buckets
+  // into this one (plain values — the value-type sibling of
+  // Metrics::Merge, but without the engine-owned-field exclusions: deltas
+  // carry zeros there anyway). wall_seconds is not touched.
+  void Accumulate(const MetricsSnapshot& delta);
 };
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition helpers (text format 0.0.4)
+// ---------------------------------------------------------------------------
+
+// Escapes a label *value*: backslash, double-quote, and newline become
+// \\ \" \n — anything else (command-template host strings, incident
+// summaries) passes through verbatim.
+std::string PrometheusLabelEscape(std::string_view value);
+
+// Sanitizes a metric-name fragment derived from enum names (detector
+// "p4-fuzzer", layer "syncd-sai", ...) to [a-zA-Z_:][a-zA-Z0-9_:]*:
+// every invalid character becomes '_', and a leading digit is prefixed
+// with '_'. Empty input yields "_".
+std::string PrometheusSanitizeName(std::string_view name);
 
 // ---------------------------------------------------------------------------
 // Live sink

@@ -29,6 +29,8 @@ NightlyReport RunNightlyValidation(
   campaign.campaign_id = options.campaign_id;
   campaign.fleet = options.fleet;
   campaign.remote_auth_secret = options.remote_auth_secret;
+  campaign.telemetry = options.telemetry;
+  campaign.telemetry_interval_seconds = options.telemetry_interval_seconds;
 
   CampaignReport campaign_report =
       RunValidationCampaign(faults, model, parser, entries, campaign);

@@ -58,6 +58,11 @@ struct NightlyOptions {
   // and switchv/fleet.h). A set fleet supersedes `remote_endpoints`.
   Fleet* fleet = nullptr;
   std::string remote_auth_secret;
+
+  // Live telemetry plane (see CampaignOptions and switchv/telemetry.h).
+  // Strictly observational; the report is byte-identical on or off.
+  CampaignTelemetry* telemetry = nullptr;
+  double telemetry_interval_seconds = 0.5;
 };
 
 struct NightlyReport {

@@ -957,6 +957,63 @@ StatusOr<WireShardResult> ParseShardResult(std::string_view line) {
 }
 
 // ---------------------------------------------------------------------------
+// Live telemetry samples
+// ---------------------------------------------------------------------------
+
+namespace {
+// Bump together with any incompatible sample change; parsers reject other
+// versions (a stale host forwarding to a newer coordinator must fail
+// loudly, not merge garbage into the rolling view).
+constexpr int kTelemetryVersion = 1;
+constexpr std::string_view kTelemetryPreamble = "{\"switchv_telemetry\":";
+}  // namespace
+
+bool LooksLikeTelemetrySample(std::string_view line) {
+  return line.substr(0, kTelemetryPreamble.size()) == kTelemetryPreamble;
+}
+
+std::string SerializeTelemetrySample(const TelemetrySample& sample) {
+  std::ostringstream out;
+  out << kTelemetryPreamble << kTelemetryVersion
+      << ",\"shard\":" << sample.shard << ",\"seq\":" << sample.seq
+      << ",\"delta\":" << sample.delta.ToWireJson() << ",\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& span : sample.spans) {
+    if (!first) out << ",";
+    first = false;
+    WriteSpan(out, span);
+  }
+  out << "]}";
+  return out.str();
+}
+
+StatusOr<TelemetrySample> ParseTelemetrySample(std::string_view line) {
+  SWITCHV_ASSIGN_OR_RETURN(const Json json, JsonReader::Parse(line));
+  constexpr const char* kWhat = "telemetry sample";
+  int version = 0;
+  SWITCHV_RETURN_IF_ERROR(
+      GetInt(json, "switchv_telemetry", kWhat, version));
+  if (version != kTelemetryVersion) {
+    return InvalidArgumentError("unsupported telemetry-sample version " +
+                                std::to_string(version));
+  }
+  TelemetrySample sample;
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "shard", kWhat, sample.shard));
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "seq", kWhat, sample.seq));
+  SWITCHV_ASSIGN_OR_RETURN(
+      const Json* delta, Require(json, "delta", Json::Type::kObject, kWhat));
+  SWITCHV_RETURN_IF_ERROR(ParseWireMetrics(*delta, sample.delta));
+  SWITCHV_ASSIGN_OR_RETURN(const Json* spans,
+                           Require(json, "spans", Json::Type::kArray, kWhat));
+  sample.spans.reserve(spans->array.size());
+  for (const Json& span : spans->array) {
+    SWITCHV_ASSIGN_OR_RETURN(TraceSpan parsed, ParseSpan(span));
+    sample.spans.push_back(std::move(parsed));
+  }
+  return sample;
+}
+
+// ---------------------------------------------------------------------------
 // Worker process runner
 // ---------------------------------------------------------------------------
 
@@ -1019,6 +1076,14 @@ WorkerProcessResult RunWorkerProcess(const std::string& binary,
                                      const std::vector<std::string>& extra_args,
                                      std::string_view stdin_payload,
                                      double timeout_seconds) {
+  return RunWorkerProcess(binary, extra_args, stdin_payload, timeout_seconds,
+                          nullptr);
+}
+
+WorkerProcessResult RunWorkerProcess(
+    const std::string& binary, const std::vector<std::string>& extra_args,
+    std::string_view stdin_payload, double timeout_seconds,
+    const std::function<void(std::string_view)>& on_stdout) {
   IgnoreSigpipeOnce();
   WorkerProcessResult result;
 
@@ -1133,6 +1198,9 @@ WorkerProcessResult RunWorkerProcess(const std::string& binary,
     if (read_slot >= 0 && (fds[read_slot].revents & (POLLIN | POLLHUP)) != 0) {
       const ssize_t n = ::read(read_fd, buffer, sizeof(buffer));
       if (n > 0) {
+        if (on_stdout) {
+          on_stdout(std::string_view(buffer, static_cast<std::size_t>(n)));
+        }
         result.stdout_data.append(buffer, static_cast<std::size_t>(n));
       } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
         CloseFd(read_fd);  // EOF: the child closed stdout (usually: exited)

@@ -26,6 +26,8 @@
 #ifndef SWITCHV_SWITCHV_SHARD_IO_H_
 #define SWITCHV_SWITCHV_SHARD_IO_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -106,6 +108,32 @@ std::string SerializeShardResult(const WireShardResult& result);
 StatusOr<WireShardResult> ParseShardResult(std::string_view line);
 
 // ---------------------------------------------------------------------------
+// Live telemetry samples. A worker running with --telemetry-interval emits
+// these as *interim* stdout lines while the shard executes: each carries
+// the metric delta since the previous sample plus any spans recorded in
+// the interval. They are additive and observational — summing a shard's
+// deltas reproduces its final counters, and dropping any or all of them
+// loses nothing (the authoritative result line still carries the full
+// snapshot). The result line stays the *last* line, so parents that only
+// read the final line never see these.
+// ---------------------------------------------------------------------------
+
+struct TelemetrySample {
+  int shard = -1;
+  std::uint64_t seq = 0;  // 1-based per-shard sample index
+  MetricsSnapshot delta;  // counters/histograms since the previous sample
+  std::vector<TraceSpan> spans;
+};
+
+// Cheap sniff for dispatchers that see a mixed stdout stream: true iff the
+// line starts with the telemetry-sample preamble (full validation is still
+// ParseTelemetrySample's job).
+bool LooksLikeTelemetrySample(std::string_view line);
+
+std::string SerializeTelemetrySample(const TelemetrySample& sample);
+StatusOr<TelemetrySample> ParseTelemetrySample(std::string_view line);
+
+// ---------------------------------------------------------------------------
 // Worker process runner: fork/exec with piped stdin/stdout, a wall-clock
 // deadline, and SIGKILL on overrun. The harness side of crash isolation.
 // ---------------------------------------------------------------------------
@@ -133,6 +161,15 @@ WorkerProcessResult RunWorkerProcess(const std::string& binary,
                                      const std::vector<std::string>& extra_args,
                                      std::string_view stdin_payload,
                                      double timeout_seconds);
+
+// As above, but additionally invokes `on_stdout` with each chunk of child
+// stdout as it arrives (before it is appended to stdout_data). Used by the
+// worker host to forward interim telemetry lines while the shard is still
+// running; a null callback makes this identical to the overload above.
+WorkerProcessResult RunWorkerProcess(
+    const std::string& binary, const std::vector<std::string>& extra_args,
+    std::string_view stdin_payload, double timeout_seconds,
+    const std::function<void(std::string_view)>& on_stdout);
 
 }  // namespace switchv
 

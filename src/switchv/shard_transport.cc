@@ -38,7 +38,7 @@ constexpr double kTransferSlackSeconds = 15.0;
 
 bool ValidFrameType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kShardRequest) &&
-         type <= static_cast<std::uint8_t>(FrameType::kHelloOk);
+         type <= static_cast<std::uint8_t>(FrameType::kTelemetry);
 }
 
 Clock::time_point DeadlineAfter(double seconds) {
@@ -352,24 +352,42 @@ StatusOr<HelloEnvelope> ParseHello(std::string_view payload) {
 }
 
 std::string SerializeRemoteRequest(const RemoteShardRequest& request) {
+  // Version 1 when telemetry is off: a telemetry-disabled campaign puts
+  // byte-identical requests on the wire, and pre-telemetry hosts keep
+  // working. Version 2 appends the telemetry interval.
+  const bool telemetry = request.telemetry_interval_seconds > 0;
   std::ostringstream out;
-  out << "switchv-shard-request 1 " << request.campaign_id << " "
-      << request.shard << " " << request.attempt << " "
+  out << "switchv-shard-request " << (telemetry ? 2 : 1) << " "
+      << request.campaign_id << " " << request.shard << " "
+      << request.attempt << " "
       << std::setprecision(std::numeric_limits<double>::max_digits10)
-      << request.timeout_seconds << "\n"
-      << request.spec_line;
+      << request.timeout_seconds;
+  if (telemetry) out << " " << request.telemetry_interval_seconds;
+  out << "\n" << request.spec_line;
   return out.str();
 }
 
 StatusOr<RemoteShardRequest> ParseRemoteRequest(std::string_view payload) {
   RemoteShardRequest request;
   std::string_view in = payload;
-  if (!ConsumeLiteral(in, "switchv-shard-request 1 ") ||
-      !ConsumeU64(in, request.campaign_id) || !ConsumeLiteral(in, " ") ||
-      !ConsumeInt(in, request.shard) || !ConsumeLiteral(in, " ") ||
-      !ConsumeInt(in, request.attempt) || !ConsumeLiteral(in, " ") ||
-      !ConsumeDouble(in, request.timeout_seconds) ||
-      !ConsumeLiteral(in, "\n")) {
+  int version = 0;
+  if (!ConsumeLiteral(in, "switchv-shard-request ") ||
+      !ConsumeInt(in, version) || (version != 1 && version != 2) ||
+      !ConsumeLiteral(in, " ") || !ConsumeU64(in, request.campaign_id) ||
+      !ConsumeLiteral(in, " ") || !ConsumeInt(in, request.shard) ||
+      !ConsumeLiteral(in, " ") || !ConsumeInt(in, request.attempt) ||
+      !ConsumeLiteral(in, " ") ||
+      !ConsumeDouble(in, request.timeout_seconds)) {
+    return InvalidArgumentError("malformed remote shard request envelope");
+  }
+  if (version == 2 &&
+      (!ConsumeLiteral(in, " ") ||
+       !ConsumeDouble(in, request.telemetry_interval_seconds) ||
+       request.telemetry_interval_seconds <= 0)) {
+    return InvalidArgumentError(
+        "malformed remote shard request telemetry interval");
+  }
+  if (!ConsumeLiteral(in, "\n")) {
     return InvalidArgumentError("malformed remote shard request envelope");
   }
   if (in.empty()) {
@@ -635,7 +653,8 @@ Status ClientHello(int fd, FrameAuthenticator& auth, FrameDecoder& decoder,
 RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
                                   const RemoteShardRequest& request,
                                   double heartbeat_timeout_seconds,
-                                  const std::string& auth_secret) {
+                                  const std::string& auth_secret,
+                                  const RemoteCallHooks* hooks) {
   RemoteCallOutcome outcome;
   outcome.kind = RemoteCallOutcome::Kind::kTransport;
 
@@ -651,12 +670,19 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
   if (!auth_secret.empty()) {
     auth = FrameAuthenticator(auth_secret, FrameAuthenticator::NewNonce(),
                               /*is_client=*/true);
+    const auto hello_sent = Clock::now();
     const Status hello = ClientHello(
         fd, auth, decoder, DeadlineAfter(heartbeat_timeout_seconds));
     if (!hello.ok()) {
       outcome.note = "authenticated hello failed: " + hello.ToString();
       CloseSocket(fd);
       return outcome;
+    }
+    if (hooks != nullptr && hooks->on_rtt) {
+      hooks->on_rtt(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               hello_sent)
+              .count()));
     }
   }
 
@@ -673,6 +699,23 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
   const auto shard_deadline =
       DeadlineAfter(request.timeout_seconds + kTransferSlackSeconds);
   auto idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
+  // RTT sampling: with hooks attached the client also *sends* heartbeats —
+  // "ping <seq> <ns>" — which telemetry-capable hosts echo as pongs. The
+  // <ns> timestamp rides in the payload, so the pong itself carries
+  // everything needed to compute the round trip. Without hooks no ping is
+  // ever sent and the wire matches the pre-telemetry client exactly.
+  const bool pinging =
+      hooks != nullptr && hooks->ping_interval_seconds > 0;
+  const auto ping_epoch = Clock::now();
+  auto next_ping =
+      pinging ? DeadlineAfter(hooks->ping_interval_seconds) : Clock::time_point::max();
+  std::uint64_t ping_seq = 0;
+  const auto now_ping_ns = [&ping_epoch] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             ping_epoch)
+            .count());
+  };
   char buffer[65536];
   while (true) {
     // Drain every complete frame before touching the socket again.
@@ -700,8 +743,28 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
         payload = std::move(frame.payload);
       }
       switch (frame.type) {
-        case FrameType::kHeartbeat:
+        case FrameType::kHeartbeat: {
           idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
+          // A telemetry-capable host answers our pings with
+          // "pong <seq> <ns>", echoing the timestamp we sent.
+          std::string_view pong = payload;
+          std::uint64_t echo_seq = 0, echo_ns = 0;
+          if (hooks != nullptr && hooks->on_rtt &&
+              ConsumeLiteral(pong, "pong ") && ConsumeU64(pong, echo_seq) &&
+              ConsumeLiteral(pong, " ") && ConsumeU64(pong, echo_ns) &&
+              pong.empty()) {
+            const std::uint64_t now_ns = now_ping_ns();
+            if (now_ns >= echo_ns) hooks->on_rtt(now_ns - echo_ns);
+          }
+          break;
+        }
+        case FrameType::kTelemetry:
+          // Live sample from the running shard — proves host liveness just
+          // like a heartbeat does.
+          idle_deadline = DeadlineAfter(heartbeat_timeout_seconds);
+          if (hooks != nullptr && hooks->on_telemetry) {
+            hooks->on_telemetry(payload);
+          }
           break;
         case FrameType::kShardResult:
           outcome.kind = RemoteCallOutcome::Kind::kResult;
@@ -741,9 +804,24 @@ RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
       CloseSocket(fd);
       return outcome;
     }
+    if (pinging && now >= next_ping) {
+      const std::string ping = "ping " + std::to_string(++ping_seq) + " " +
+                               std::to_string(now_ping_ns());
+      const Status ping_sent =
+          SendFrame(fd, FrameType::kHeartbeat,
+                    auth.Seal(FrameType::kHeartbeat, ping),
+                    hooks->ping_interval_seconds);
+      if (!ping_sent.ok()) {
+        outcome.note = "heartbeat ping failed: " + ping_sent.ToString();
+        CloseSocket(fd);
+        return outcome;
+      }
+      next_ping = DeadlineAfter(hooks->ping_interval_seconds);
+    }
     struct pollfd pfd = {fd, POLLIN, 0};
-    const int wait_ms = std::min(RemainingMs(shard_deadline),
-                                 RemainingMs(idle_deadline));
+    int wait_ms = std::min(RemainingMs(shard_deadline),
+                           RemainingMs(idle_deadline));
+    if (pinging) wait_ms = std::min(wait_ms, RemainingMs(next_ping));
     const int ready = ::poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
     if (ready < 0) {
       if (errno == EINTR) continue;

@@ -33,6 +33,7 @@
 #define SWITCHV_SWITCHV_SHARD_TRANSPORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -53,6 +54,10 @@ enum class FrameType : std::uint8_t {
   kHello = 5,         // hello envelope; opens a connection (health check /
                       // authenticated session bring-up)
   kHelloOk = 6,       // host's answer to a well-formed hello
+  kTelemetry = 7,     // host → client: one TelemetrySample line (shard_io.h)
+                      // streamed while the shard runs; only sent when the
+                      // request opted in (telemetry_interval_seconds > 0),
+                      // so pre-telemetry clients never see it
 };
 
 // Payload cap: generously above any real spec (packet-laden dataplane
@@ -184,6 +189,12 @@ struct RemoteShardRequest {
   int attempt = 0;
   // Wall-clock deadline the host enforces on the shard subprocess.
   double timeout_seconds = 120;
+  // > 0 opts this attempt into live telemetry: the host runs the worker
+  // with --telemetry-interval and forwards each interim sample back as a
+  // kTelemetry frame. Serialized as an envelope-version-2 request; the
+  // default 0 keeps the version-1 envelope, so a telemetry-off campaign's
+  // wire bytes are identical to the pre-telemetry protocol.
+  double telemetry_interval_seconds = 0;
   std::string spec_line;  // SerializeShardSpec output (no newline)
 };
 
@@ -242,6 +253,23 @@ struct RemoteCallOutcome {
 // deadline — request.timeout_seconds plus transfer slack — caps the wait
 // (kTimeout). Never blocks past the deadline; never crashes the campaign.
 //
+// Observation hooks for the telemetry plane. All optional; with none set
+// (or a null hooks pointer) CallRemoteShard's wire behaviour is exactly
+// the pre-telemetry protocol.
+struct RemoteCallHooks {
+  // Called with each opened kTelemetry frame payload (one TelemetrySample
+  // line). Runs on the calling thread, between socket reads — keep it
+  // cheap.
+  std::function<void(std::string_view payload)> on_telemetry;
+  // Called with each measured round-trip time: once for the authenticated
+  // hello (when used) and once per answered heartbeat ping.
+  std::function<void(std::uint64_t rtt_ns)> on_rtt;
+  // > 0: while waiting for the result, send a "ping <seq> <ns>" heartbeat
+  // this often; a telemetry-capable host echoes "pong <seq> <ns>" (legacy
+  // hosts ignore client heartbeats, which merely disables RTT sampling).
+  double ping_interval_seconds = 0;
+};
+
 // A non-empty `auth_secret` runs the connection authenticated: hello with
 // a fresh nonce, await the host's kHelloOk, then every frame sealed (see
 // FrameAuthenticator). Authentication failures — including a host that
@@ -249,7 +277,8 @@ struct RemoteCallOutcome {
 RemoteCallOutcome CallRemoteShard(const std::string& endpoint,
                                   const RemoteShardRequest& request,
                                   double heartbeat_timeout_seconds,
-                                  const std::string& auth_secret = "");
+                                  const std::string& auth_secret = "",
+                                  const RemoteCallHooks* hooks = nullptr);
 
 // Health check, the fleet provisioner's bring-up gate: connect, send a
 // hello (authenticated when `auth_secret` is non-empty), and require the

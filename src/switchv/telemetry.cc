@@ -1,0 +1,341 @@
+#include "switchv/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "switchv/trace.h"  // JsonEscape
+
+namespace switchv {
+
+namespace {
+
+// Plain-value histogram record (the live LatencyHistogram is atomic; the
+// per-host RTT histograms live under the telemetry mutex, so a value-type
+// sibling is enough).
+void RecordInto(HistogramSnapshot& hist, std::uint64_t ns) {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (ns <= HistogramBucketUpperNs(i)) {
+      ++hist.counts[static_cast<std::size_t>(i)];
+      break;
+    }
+  }
+  ++hist.count;
+  hist.sum_ns += ns;
+}
+
+std::string SecondsField(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+void CampaignTelemetry::BeginCampaign(std::uint64_t campaign_id,
+                                      int total_shards, const Metrics* live) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    campaign_id_ = campaign_id;
+    total_shards_ = total_shards;
+    shards_in_flight_ = 0;
+    shards_done_ = 0;
+    running_ = true;
+    finished_ = false;
+    live_ = live;
+    started_ = std::chrono::steady_clock::now();
+    attempts_.clear();
+  }
+  journal_.Append(JournalEventKind::kCampaignStarted, campaign_id, -1, "",
+                  std::to_string(total_shards) + " shards");
+}
+
+void CampaignTelemetry::EndCampaign(const MetricsSnapshot& final_snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    final_ = final_snapshot;
+    finished_ = true;
+    running_ = false;
+    live_ = nullptr;
+    attempts_.clear();
+  }
+  journal_.Append(JournalEventKind::kCampaignFinished, campaign_id_, -1, "",
+                  std::to_string(final_snapshot.incidents_unique) +
+                      " unique incidents");
+}
+
+void CampaignTelemetry::ShardStarted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shards_in_flight_;
+}
+
+void CampaignTelemetry::ShardFinished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_in_flight_ = std::max(0, shards_in_flight_ - 1);
+  ++shards_done_;
+}
+
+std::uint64_t CampaignTelemetry::BeginAttempt(int shard,
+                                              const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_token_++;
+  Attempt& attempt = attempts_[token];
+  attempt.shard = shard;
+  attempt.host = host;
+  return token;
+}
+
+void CampaignTelemetry::AccumulateDelta(std::uint64_t token,
+                                        const MetricsSnapshot& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = attempts_.find(token);
+  if (it == attempts_.end()) return;  // attempt already ended; late frame
+  it->second.accumulated.Accumulate(delta);
+}
+
+void CampaignTelemetry::EndAttempt(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attempts_.erase(token);
+}
+
+void CampaignTelemetry::RecordHeartbeatRtt(const std::string& host,
+                                           std::uint64_t rtt_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordInto(heartbeat_rtt_[host], rtt_ns);
+}
+
+void CampaignTelemetry::RecordIncidentClass(const std::string& detector,
+                                            const std::string& layer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++incident_classes_[{detector, layer}];
+}
+
+double CampaignTelemetry::ElapsedSecondsLocked() const {
+  if (!running_) return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
+}
+
+MetricsSnapshot CampaignTelemetry::RollingSnapshotLocked() const {
+  if (finished_) return final_;
+  if (live_ == nullptr) return MetricsSnapshot{};
+  // Authoritative sink (merged shard results so far) plus the streamed
+  // deltas of every still-in-flight attempt. Accumulators die with their
+  // attempt, so a shard's work is counted from exactly one source at any
+  // moment: its live stream before the result lands, the sink after.
+  MetricsSnapshot rolling = live_->Snapshot(ElapsedSecondsLocked());
+  for (const auto& [token, attempt] : attempts_) {
+    rolling.Accumulate(attempt.accumulated);
+  }
+  return rolling;
+}
+
+MetricsSnapshot CampaignTelemetry::RollingSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RollingSnapshotLocked();
+}
+
+int CampaignTelemetry::shards_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_in_flight_;
+}
+
+int CampaignTelemetry::shards_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_done_;
+}
+
+std::string CampaignTelemetry::ToPrometheus() const {
+  MetricsSnapshot rolling;
+  std::uint64_t campaign_id;
+  int total_shards, in_flight, done;
+  bool running;
+  std::map<std::string, HistogramSnapshot> rtt;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> classes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rolling = RollingSnapshotLocked();
+    campaign_id = campaign_id_;
+    total_shards = total_shards_;
+    in_flight = shards_in_flight_;
+    done = shards_done_;
+    running = running_;
+    rtt = heartbeat_rtt_;
+    classes = incident_classes_;
+  }
+  std::ostringstream out;
+  out << rolling.ToPrometheus();
+
+  out << "# HELP switchv_campaign_running 1 while the campaign is live.\n"
+      << "# TYPE switchv_campaign_running gauge\n"
+      << "switchv_campaign_running{campaign_id=\"" << campaign_id << "\"} "
+      << (running ? 1 : 0) << "\n";
+  out << "# HELP switchv_shards_total Shards in the campaign plan.\n"
+      << "# TYPE switchv_shards_total gauge\n"
+      << "switchv_shards_total " << total_shards << "\n";
+  out << "# HELP switchv_shards_in_flight Shards currently executing.\n"
+      << "# TYPE switchv_shards_in_flight gauge\n"
+      << "switchv_shards_in_flight " << in_flight << "\n";
+  out << "# HELP switchv_shards_done Shards absorbed into the report.\n"
+      << "# TYPE switchv_shards_done gauge\n"
+      << "switchv_shards_done " << done << "\n";
+
+  if (!rtt.empty()) {
+    out << "# HELP switchv_heartbeat_rtt_seconds Heartbeat/hello round-trip "
+           "time per worker host.\n"
+        << "# TYPE switchv_heartbeat_rtt_seconds histogram\n";
+    for (const auto& [host, hist] : rtt) {
+      const std::string host_label =
+          "host=\"" + PrometheusLabelEscape(host) + "\"";
+      std::uint64_t cumulative = 0;
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        cumulative += hist.counts[static_cast<std::size_t>(i)];
+        const std::uint64_t upper = HistogramBucketUpperNs(i);
+        out << "switchv_heartbeat_rtt_seconds_bucket{" << host_label
+            << ",le=\"";
+        if (i == kHistogramBuckets - 1) {
+          out << "+Inf";
+        } else {
+          out << SecondsField(static_cast<double>(upper) / 1e9);
+        }
+        out << "\"} " << cumulative << "\n";
+      }
+      out << "switchv_heartbeat_rtt_seconds_sum{" << host_label << "} "
+          << SecondsField(static_cast<double>(hist.sum_ns) / 1e9) << "\n";
+      out << "switchv_heartbeat_rtt_seconds_count{" << host_label << "} "
+          << hist.count << "\n";
+    }
+  }
+
+  if (!classes.empty()) {
+    out << "# HELP switchv_incident_class_total First-seen incident "
+           "fingerprints by detector and SUT layer.\n"
+        << "# TYPE switchv_incident_class_total counter\n";
+    for (const auto& [key, count] : classes) {
+      out << "switchv_incident_class_total{detector=\""
+          << PrometheusLabelEscape(key.first) << "\",layer=\""
+          << PrometheusLabelEscape(key.second) << "\"} " << count << "\n";
+    }
+    // Per-class counters with the class baked into the metric name — the
+    // enum names carry dashes ("p4-fuzzer", "syncd-sai"), so the name goes
+    // through PrometheusSanitizeName to stay a legal identifier.
+    for (const auto& [key, count] : classes) {
+      out << PrometheusSanitizeName("switchv_incident_" + key.first + "_" +
+                                    key.second + "_total")
+          << " " << count << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string CampaignTelemetry::StatusJson() const {
+  MetricsSnapshot rolling;
+  std::uint64_t campaign_id;
+  int total_shards, in_flight, done;
+  bool running, finished;
+  double elapsed;
+  std::map<std::string, HistogramSnapshot> rtt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rolling = RollingSnapshotLocked();
+    campaign_id = campaign_id_;
+    total_shards = total_shards_;
+    in_flight = shards_in_flight_;
+    done = shards_done_;
+    running = running_;
+    finished = finished_;
+    elapsed = ElapsedSecondsLocked();
+    rtt = heartbeat_rtt_;
+  }
+  // Per-host state is derived from the journal (latest lifecycle event
+  // wins), so /status needs no extra coupling to the host pool.
+  std::map<std::string, std::string> host_state;
+  for (const JournalEvent& event : journal_.EventsSince(0)) {
+    if (event.host.empty()) continue;
+    switch (event.kind) {
+      case JournalEventKind::kHostLaunched:
+        host_state[event.host] = "launched";
+        break;
+      case JournalEventKind::kHostHello:
+        host_state[event.host] = "live";
+        break;
+      case JournalEventKind::kHostRetired:
+        host_state[event.host] = "retired";
+        break;
+      case JournalEventKind::kHostProbation:
+        host_state[event.host] = "probation";
+        break;
+      case JournalEventKind::kHostReadmitted:
+        host_state[event.host] = "live";
+        break;
+      case JournalEventKind::kHostReprovisioned:
+        host_state[event.host] = "reprovisioned";
+        break;
+      default:
+        break;
+    }
+  }
+  const double eta =
+      (running && done > 0 && done < total_shards)
+          ? elapsed / static_cast<double>(done) *
+                static_cast<double>(total_shards - done)
+          : 0;
+  std::ostringstream out;
+  out << "{\"campaign_id\":" << campaign_id << ",\"running\":"
+      << (running ? "true" : "false") << ",\"finished\":"
+      << (finished ? "true" : "false") << ",\"shards_total\":" << total_shards
+      << ",\"shards_in_flight\":" << in_flight << ",\"shards_done\":" << done
+      << ",\"elapsed_seconds\":" << SecondsField(elapsed)
+      << ",\"eta_seconds\":" << SecondsField(eta)
+      << ",\"updates_sent\":" << rolling.updates_sent
+      << ",\"packets_tested\":" << rolling.packets_tested
+      << ",\"incidents_unique\":" << rolling.incidents_unique
+      << ",\"journal_events\":" << journal_.size() << ",\"hosts\":[";
+  bool first = true;
+  for (const auto& [host, state] : host_state) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"endpoint\":\"" << JsonEscape(host) << "\",\"state\":\""
+        << state << "\"";
+    auto it = rtt.find(host);
+    if (it != rtt.end() && it->second.count > 0) {
+      out << ",\"heartbeat_rtt_p50_ns\":" << it->second.PercentileNs(0.5);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string CampaignTelemetry::ProgressLine() const {
+  MetricsSnapshot rolling;
+  std::uint64_t campaign_id;
+  int total_shards, in_flight, done;
+  double elapsed;
+  bool running;
+  std::size_t hosts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rolling = RollingSnapshotLocked();
+    campaign_id = campaign_id_;
+    total_shards = total_shards_;
+    in_flight = shards_in_flight_;
+    done = shards_done_;
+    elapsed = ElapsedSecondsLocked();
+    running = running_;
+    hosts = heartbeat_rtt_.size();
+  }
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "[campaign %llu] %d/%d shards done, %d in flight, "
+                "%llu updates, %llu incidents, %zu host(s), %.1fs%s",
+                static_cast<unsigned long long>(campaign_id), done,
+                total_shards, in_flight,
+                static_cast<unsigned long long>(rolling.updates_sent),
+                static_cast<unsigned long long>(rolling.incidents_unique),
+                hosts, elapsed, running ? "" : " (done)");
+  return buffer;
+}
+
+}  // namespace switchv

@@ -1,0 +1,136 @@
+// Live campaign telemetry plane (coordinator side).
+//
+// A validation campaign already produces an exact, deterministic report when
+// it *finishes*. This module is the "while it runs" view: worker hosts
+// stream interval metric deltas and span batches back on their heartbeat
+// channel, and the coordinator folds them into
+//
+//   * a rolling fleet-wide `MetricsSnapshot` (authoritative engine sink +
+//     in-flight per-attempt delta accumulators — never double-counted:
+//     an attempt's accumulator is discarded the moment its real result is
+//     merged, or its attempt fails),
+//   * per-host heartbeat round-trip histograms,
+//   * first-seen incident class counters (detector × SUT layer), and
+//   * the structured event journal (switchv/journal.h).
+//
+// Everything here is observational: the final campaign report is computed
+// from shard results exactly as before and is byte-identical whether a
+// CampaignTelemetry is attached or not.
+//
+// Thread-safe; one instance serves one campaign at a time but outlives it
+// (EndCampaign freezes the final snapshot so /metrics keeps answering after
+// the run completes).
+#ifndef SWITCHV_SWITCHV_TELEMETRY_H_
+#define SWITCHV_SWITCHV_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "switchv/journal.h"
+#include "switchv/metrics.h"
+
+namespace switchv {
+
+class CampaignTelemetry {
+ public:
+  CampaignTelemetry() = default;
+  CampaignTelemetry(const CampaignTelemetry&) = delete;
+  CampaignTelemetry& operator=(const CampaignTelemetry&) = delete;
+
+  // The campaign event journal. Host pool / fleet / engine all append here.
+  EventJournal& journal() { return journal_; }
+  const EventJournal& journal() const { return journal_; }
+
+  // -- campaign lifecycle ---------------------------------------------------
+
+  // `live` is the engine's authoritative metrics sink for the campaign; it
+  // must outlive the campaign (it does — RunValidationCampaign owns it).
+  void BeginCampaign(std::uint64_t campaign_id, int total_shards,
+                     const Metrics* live);
+
+  // Freezes the final snapshot (exactly what the report carries) and drops
+  // the live-sink pointer; RollingSnapshot() returns `final` from now on.
+  void EndCampaign(const MetricsSnapshot& final_snapshot);
+
+  // -- shard attempts -------------------------------------------------------
+
+  void ShardStarted();
+  void ShardFinished();
+
+  // An attempt accumulator holds the streamed deltas for one in-flight
+  // (shard, attempt). EndAttempt discards it — the authoritative result (or
+  // the retry) replaces it, which is what keeps the rolling view from
+  // double-counting. Tokens are never reused.
+  std::uint64_t BeginAttempt(int shard, const std::string& host);
+  void AccumulateDelta(std::uint64_t token, const MetricsSnapshot& delta);
+  void EndAttempt(std::uint64_t token);
+
+  // -- fleet health ---------------------------------------------------------
+
+  // Heartbeat (and hello) round-trip times, per host endpoint. Exported as
+  // switchv_heartbeat_rtt_seconds{host="..."} histograms.
+  void RecordHeartbeatRtt(const std::string& host, std::uint64_t rtt_ns);
+
+  // First-seen incident classes (detector name × SUT layer name, the
+  // human-readable enum names — sanitized/escaped at export time).
+  void RecordIncidentClass(const std::string& detector,
+                           const std::string& layer);
+
+  // -- views ----------------------------------------------------------------
+
+  // Rolling fleet-wide view: authoritative sink + in-flight deltas while
+  // running, the frozen final snapshot after EndCampaign.
+  MetricsSnapshot RollingSnapshot() const;
+
+  // Prometheus text exposition 0.0.4: the rolling snapshot's series plus
+  // campaign-progress gauges, per-host heartbeat RTT histograms, and
+  // incident-class counters.
+  std::string ToPrometheus() const;
+
+  // JSON status document for /status: campaign identity, shard progress,
+  // ETA, and per-host state derived from the journal.
+  std::string StatusJson() const;
+
+  // One terminal line for `validate_pins --watch` (no trailing newline).
+  std::string ProgressLine() const;
+
+  int shards_in_flight() const;
+  int shards_done() const;
+
+ private:
+  struct Attempt {
+    int shard = -1;
+    std::string host;
+    MetricsSnapshot accumulated;
+  };
+
+  double ElapsedSecondsLocked() const;
+  MetricsSnapshot RollingSnapshotLocked() const;
+
+  EventJournal journal_;
+
+  mutable std::mutex mu_;
+  std::uint64_t campaign_id_ = 0;
+  int total_shards_ = 0;
+  int shards_in_flight_ = 0;
+  int shards_done_ = 0;
+  bool running_ = false;
+  bool finished_ = false;
+  const Metrics* live_ = nullptr;
+  MetricsSnapshot final_;
+  std::chrono::steady_clock::time_point started_;
+  std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, Attempt> attempts_;
+  std::map<std::string, HistogramSnapshot> heartbeat_rtt_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t>
+      incident_classes_;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_TELEMETRY_H_

@@ -1,0 +1,190 @@
+#include "switchv/telemetry_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "switchv/telemetry.h"
+
+namespace switchv {
+
+namespace {
+
+constexpr std::size_t kMaxRequestHead = 16 * 1024;
+constexpr int kIoTimeoutMs = 5000;
+
+// Reads until the end-of-head marker or the cap; returns the head (without
+// any body — these endpoints are GET-only) or empty on error/timeout.
+std::string ReadRequestHead(int fd) {
+  std::string head;
+  char buffer[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() >= kMaxRequestHead) return "";
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kIoTimeoutMs);
+    if (ready <= 0) return "";
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return "";
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+void SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, int code, std::string_view reason,
+                  std::string_view content_type, std::string_view body) {
+  std::string head = "HTTP/1.0 " + std::to_string(code) + " " +
+                     std::string(reason) + "\r\nContent-Type: " +
+                     std::string(content_type) +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head);
+  SendAll(fd, body);
+}
+
+}  // namespace
+
+void TelemetryHttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void TelemetryHttpServer::ServeCampaignTelemetry(
+    CampaignTelemetry* telemetry) {
+  Handle("/metrics", [telemetry](std::string_view, std::string* type) {
+    *type = "text/plain; version=0.0.4; charset=utf-8";
+    return telemetry->ToPrometheus();
+  });
+  Handle("/status", [telemetry](std::string_view, std::string* type) {
+    *type = "application/json";
+    return telemetry->StatusJson();
+  });
+  Handle("/events", [telemetry](std::string_view query, std::string* type) {
+    *type = "application/x-ndjson";
+    std::uint64_t since = 0;
+    const std::string_view key = "since=";
+    std::size_t pos = query.find(key);
+    if (pos != std::string_view::npos) {
+      since = std::strtoull(std::string(query.substr(pos + key.size()))
+                                .c_str(),
+                            nullptr, 10);
+    }
+    return telemetry->journal().ToJsonlSince(since);
+  });
+}
+
+Status TelemetryHttpServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("telemetry http server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                         err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("getsockname: " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void TelemetryHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept(): shutdown makes the blocked call return with an error
+  // on Linux; closing afterwards releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TelemetryHttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listening socket down.
+      return;
+    }
+    // Serial handling is fine: the only clients are a scraper and curl.
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryHttpServer::ServeConnection(int fd) {
+  const std::string head = ReadRequestHead(fd);
+  if (head.empty()) return;
+  // Request line: METHOD SP TARGET SP VERSION
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendResponse(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    SendResponse(fd, 405, "Method Not Allowed", "text/plain",
+                 "GET only\n");
+    return;
+  }
+  const std::size_t qpos = target.find('?');
+  const std::string path =
+      qpos == std::string::npos ? target : target.substr(0, qpos);
+  const std::string query =
+      qpos == std::string::npos ? "" : target.substr(qpos + 1);
+  const auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    SendResponse(fd, 404, "Not Found", "text/plain", "not found\n");
+    return;
+  }
+  std::string content_type = "text/plain";
+  const std::string body = it->second(query, &content_type);
+  SendResponse(fd, 200, "OK", content_type, body);
+}
+
+}  // namespace switchv

@@ -1,0 +1,72 @@
+// Minimal embedded HTTP server for the telemetry plane.
+//
+// Serves GET-only plaintext endpoints from a dedicated accept thread over
+// blocking POSIX sockets — just enough HTTP/1.0 for `curl` and a Prometheus
+// scraper, with no external dependencies:
+//
+//   /metrics          Prometheus text exposition 0.0.4
+//   /status           JSON campaign status (shard progress, ETA, hosts)
+//   /events?since=N   event-journal JSONL with seq > N
+//
+// Deliberately boring: requests are handled serially (a scrape endpoint
+// has one or two clients), request heads are capped at 16 KiB, every
+// response closes the connection. Nothing here can touch campaign
+// correctness — handlers only read from CampaignTelemetry.
+#ifndef SWITCHV_SWITCHV_TELEMETRY_HTTP_H_
+#define SWITCHV_SWITCHV_TELEMETRY_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/status.h"
+
+namespace switchv {
+
+class CampaignTelemetry;
+
+class TelemetryHttpServer {
+ public:
+  // Handler: (query string after '?', possibly empty; out content type)
+  // -> response body. Registered per exact path.
+  using Handler =
+      std::function<std::string(std::string_view query, std::string* type)>;
+
+  TelemetryHttpServer() = default;
+  ~TelemetryHttpServer() { Stop(); }
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  // Register before Start (not thread-safe against a running server).
+  void Handle(std::string path, Handler handler);
+
+  // Registers the standard /metrics, /status, /events endpoints backed by
+  // `telemetry` (which must outlive the server).
+  void ServeCampaignTelemetry(CampaignTelemetry* telemetry);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  Status Start(int port);
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Idempotent; joins the accept thread.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace switchv
+
+#endif  // SWITCHV_SWITCHV_TELEMETRY_HTTP_H_

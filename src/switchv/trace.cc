@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -73,23 +74,51 @@ std::vector<TraceSpan> Tracer::Spans() const {
   return spans;
 }
 
+std::vector<TraceSpan> Tracer::SpansSince(std::size_t* cursor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (*cursor >= spans_.size()) return {};
+  std::vector<TraceSpan> fresh(spans_.begin() +
+                                   static_cast<std::ptrdiff_t>(*cursor),
+                               spans_.end());
+  *cursor = spans_.size();
+  return fresh;
+}
+
 std::string Tracer::ToChromeJson() const {
   const std::vector<TraceSpan> spans = Spans();
+  // One Chrome "process" per fleet host: the coordinator (host "") is pid
+  // 0, remote hosts get pids 1..N in sorted-endpoint order — so a stitched
+  // fleet trace shows every host as its own labelled track group.
+  std::map<std::string, int> host_pid;
+  for (const TraceSpan& span : spans) host_pid.emplace(span.host, 0);
+  int next_pid = 0;
+  for (auto& [host, pid] : host_pid) {
+    pid = host.empty() ? 0 : ++next_pid;
+  }
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  // Thread-name metadata first, one per distinct track, so Perfetto labels
-  // the rows. Deterministic: spans are sorted, shards emitted in order.
-  std::set<int> named;
+  // Process- and thread-name metadata first so Perfetto labels the rows.
+  // Deterministic: hosts in sorted order, then spans (already sorted).
+  for (const auto& [host, pid] : host_pid) {
+    if (!first) out << ",";
+    first = false;
+    const std::string label =
+        host.empty() ? "coordinator" : "host " + host;
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(label) << "\"}}";
+  }
+  std::set<std::pair<int, int>> named;  // (pid, tid)
   for (const TraceSpan& span : spans) {
-    if (!named.insert(span.shard).second) continue;
+    const int pid = host_pid[span.host];
+    if (!named.insert({pid, ShardTid(span.shard)}).second) continue;
     if (!first) out << ",";
     first = false;
     const std::string label =
         span.shard < 0 ? "campaign" : "shard " + std::to_string(span.shard);
-    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":"
-        << ShardTid(span.shard) << ",\"args\":{\"name\":\"" << label
-        << "\"}}";
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+        << ",\"tid\":" << ShardTid(span.shard) << ",\"args\":{\"name\":\""
+        << label << "\"}}";
   }
   for (const TraceSpan& span : spans) {
     if (!first) out << ",";
@@ -97,9 +126,9 @@ std::string Tracer::ToChromeJson() const {
     out << "{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
         << JsonEscape(span.category) << "\",\"ph\":\"X\",\"ts\":"
         << NsToUsField(span.start_ns) << ",\"dur\":"
-        << NsToUsField(span.duration_ns) << ",\"pid\":0,\"tid\":"
-        << ShardTid(span.shard) << ",\"args\":{\"seq\":\"" << span.seq
-        << "\"";
+        << NsToUsField(span.duration_ns) << ",\"pid\":" << host_pid[span.host]
+        << ",\"tid\":" << ShardTid(span.shard) << ",\"args\":{\"seq\":\""
+        << span.seq << "\"";
     for (const auto& [key, value] : span.args) {
       out << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
           << "\"";

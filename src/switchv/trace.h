@@ -52,6 +52,11 @@ struct TraceSpan {
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
   std::vector<std::pair<std::string, std::string>> args;
+  // Fleet provenance, assigned by the coordinator when it absorbs a remote
+  // shard's spans (never serialized on the shard wire — a worker does not
+  // know its own endpoint). Empty = recorded in the coordinator process.
+  // ToChromeJson renders each distinct host as its own process track.
+  std::string host;
 };
 
 // Campaign-wide span sink. Thread-safe; one per campaign run.
@@ -76,6 +81,12 @@ class Tracer {
 
   // All recorded spans in deterministic order: (shard, seq).
   std::vector<TraceSpan> Spans() const;
+
+  // Spans recorded since the cursor position, in record order, advancing
+  // the caller-owned cursor past them. The incremental sibling of Spans()
+  // for live telemetry samplers: repeated calls partition the record
+  // stream without copying the whole history each tick.
+  std::vector<TraceSpan> SpansSince(std::size_t* cursor) const;
 
   // Chrome trace_event JSON ("X" complete events, one tid per shard).
   // Deterministic event order; timestamps are the only run-varying part.

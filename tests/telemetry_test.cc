@@ -1,0 +1,750 @@
+// Live-telemetry plane suite (ctest -L telemetry).
+//
+// Unit layers: the Metrics merge algebra (commutative/associative,
+// histogram buckets included) and the delta/accumulate streaming
+// invariant; Prometheus label-value escaping and metric-name
+// sanitization; journal ordering; TelemetrySample and request-envelope
+// wire round-trips; the embedded HTTP server; rolling-view semantics.
+//
+// Acceptance: a two-host loopback fleet campaign with a host killed
+// before the first dispatch must (a) produce a report byte-identical to
+// the in-process telemetry-off run, (b) journal the full lifecycle —
+// dispatch, retire, reprovision — with monotone timestamps, (c) stitch
+// remote spans onto distinct per-host trace tracks in the coordinator
+// clock, and (d) serve a parseable /metrics exposition matching the
+// final rolling aggregate.
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "switchv/experiment.h"
+#include "switchv/fleet.h"
+#include "switchv/journal.h"
+#include "switchv/shard_io.h"
+#include "switchv/shard_transport.h"
+#include "switchv/telemetry.h"
+#include "switchv/telemetry_http.h"
+#include "switchv/trace.h"
+
+// Baked in by tests/CMakeLists.txt; the campaign tests skip when the tool
+// binaries are unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+#ifndef SWITCHV_WORKER_HOST_PATH
+#define SWITCHV_WORKER_HOST_PATH ""
+#endif
+
+namespace switchv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics merge algebra
+// ---------------------------------------------------------------------------
+
+// A pseudo-random snapshot: every counter, phase timer, and histogram
+// bucket populated (cache and transport counters included), wall left at
+// zero so the algebra comparisons are wall-free.
+MetricsSnapshot ArbitrarySnapshot(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto n = [&rng] { return rng() % 1000; };
+  MetricsSnapshot s;
+  s.shards_completed = n();
+  s.updates_sent = n();
+  s.requests_sent = n();
+  s.generated_valid = n();
+  s.generated_invalid = n();
+  s.oracle_findings = n();
+  s.packets_tested = n();
+  s.solver_queries = n();
+  s.generation_cache_hits = n();
+  s.switch_writes = n();
+  s.switch_reads = n();
+  s.switch_packets_injected = n();
+  s.incidents_raised = n();
+  s.incidents_unique = n();
+  s.shards_lost = n();
+  s.worker_crashes = n();
+  s.worker_timeouts = n();
+  s.worker_retries = n();
+  s.remote_reconnects = n();
+  s.hosts_retired = n();
+  s.switch_write_ns = n();
+  s.oracle_ns = n();
+  s.reference_ns = n();
+  s.generation_ns = n();
+  for (HistogramSnapshot* hist :
+       {&s.switch_write_hist, &s.oracle_hist, &s.reference_hist,
+        &s.generation_hist}) {
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      hist->counts[static_cast<std::size_t>(i)] = n();
+      hist->count += hist->counts[static_cast<std::size_t>(i)];
+    }
+    hist->sum_ns = n() * 1000;
+  }
+  return s;
+}
+
+// ToWireJson is the lossless projection (every counter + full bucket
+// arrays), which makes it the right equality for algebra properties.
+std::string Wire(const MetricsSnapshot& s) { return s.ToWireJson(); }
+
+TEST(MetricsAlgebraTest, AccumulateCommutes) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot a = ArbitrarySnapshot(seed);
+    const MetricsSnapshot b = ArbitrarySnapshot(seed + 1000);
+    MetricsSnapshot ab = a;
+    ab.Accumulate(b);
+    MetricsSnapshot ba = b;
+    ba.Accumulate(a);
+    ASSERT_EQ(Wire(ab), Wire(ba)) << "seed " << seed;
+  }
+}
+
+TEST(MetricsAlgebraTest, AccumulateAssociates) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot a = ArbitrarySnapshot(seed);
+    const MetricsSnapshot b = ArbitrarySnapshot(seed + 1000);
+    const MetricsSnapshot c = ArbitrarySnapshot(seed + 2000);
+    MetricsSnapshot left = a;  // (a + b) + c
+    left.Accumulate(b);
+    left.Accumulate(c);
+    MetricsSnapshot bc = b;  // a + (b + c)
+    bc.Accumulate(c);
+    MetricsSnapshot right = a;
+    right.Accumulate(bc);
+    ASSERT_EQ(Wire(left), Wire(right)) << "seed " << seed;
+  }
+}
+
+// The streaming invariant: base + (now - base) == now, field-wise, bucket
+// arrays included — this is what makes interval deltas lossless.
+TEST(MetricsAlgebraTest, DeltaAccumulateRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const MetricsSnapshot base = ArbitrarySnapshot(seed);
+    MetricsSnapshot now = base;
+    now.Accumulate(ArbitrarySnapshot(seed + 500));  // counters grew
+    const MetricsSnapshot delta = now.DeltaSince(base);
+    EXPECT_EQ(delta.wall_seconds, 0) << "deltas are interval-scoped";
+    MetricsSnapshot rebuilt = base;
+    rebuilt.Accumulate(delta);
+    ASSERT_EQ(Wire(rebuilt), Wire(now)) << "seed " << seed;
+  }
+}
+
+TEST(MetricsAlgebraTest, LiveMergeCommutes) {
+  const MetricsSnapshot a = ArbitrarySnapshot(7);
+  const MetricsSnapshot b = ArbitrarySnapshot(8);
+  Metrics ab;
+  ab.Merge(a);
+  ab.Merge(b);
+  Metrics ba;
+  ba.Merge(b);
+  ba.Merge(a);
+  EXPECT_EQ(Wire(ab.Snapshot(0)), Wire(ba.Snapshot(0)));
+}
+
+TEST(MetricsAlgebraTest, HistogramMergeOrderIndependent) {
+  const MetricsSnapshot x = ArbitrarySnapshot(9);
+  const MetricsSnapshot y = ArbitrarySnapshot(10);
+  const MetricsSnapshot z = ArbitrarySnapshot(11);
+  LatencyHistogram left;
+  left.Merge(x.oracle_hist);
+  left.Merge(y.oracle_hist);
+  left.Merge(z.oracle_hist);
+  LatencyHistogram right;
+  right.Merge(z.oracle_hist);
+  right.Merge(y.oracle_hist);
+  right.Merge(x.oracle_hist);
+  const HistogramSnapshot l = left.Snapshot();
+  const HistogramSnapshot r = right.Snapshot();
+  EXPECT_EQ(l.counts, r.counts);
+  EXPECT_EQ(l.count, r.count);
+  EXPECT_EQ(l.sum_ns, r.sum_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition hygiene
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, LabelValueEscaping) {
+  EXPECT_EQ(PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusLabelEscape("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(PrometheusLabelEscape("new\nline"), "new\\nline");
+  EXPECT_EQ(PrometheusLabelEscape("all\\\"\n"), "all\\\\\\\"\\n");
+}
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(PrometheusSanitizeName("p4-fuzzer"), "p4_fuzzer");
+  EXPECT_EQ(PrometheusSanitizeName("syncd-sai"), "syncd_sai");
+  EXPECT_EQ(PrometheusSanitizeName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(PrometheusSanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusSanitizeName(""), "_");
+  EXPECT_EQ(PrometheusSanitizeName("sp ace/slash"), "sp_ace_slash");
+}
+
+// Every non-comment exposition line must be `name value` or
+// `name{labels} value` with a name that is already a legal identifier —
+// the format 0.0.4 contract the CI curl check also asserts.
+void ExpectValidExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int series = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++series;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    EXPECT_EQ(PrometheusSanitizeName(name), name) << line;
+    EXPECT_FALSE(line.substr(space + 1).empty()) << line;
+  }
+  EXPECT_GT(series, 0) << "empty exposition";
+}
+
+TEST(PrometheusTest, IncidentClassSeriesAreSanitizedAndEscaped) {
+  Metrics live;
+  CampaignTelemetry telemetry;
+  telemetry.BeginCampaign(42, 1, &live);
+  telemetry.RecordIncidentClass("p4-fuzzer", "syncd-sai");
+  telemetry.RecordIncidentClass("evil\"detector\\n", "layer\nx");
+  telemetry.RecordHeartbeatRtt("127.0.0.1:1234", 1500000);
+  const std::string text = telemetry.ToPrometheus();
+  ExpectValidExposition(text);
+  EXPECT_NE(text.find("switchv_incident_p4_fuzzer_syncd_sai_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("detector=\"evil\\\"detector\\\\n\""),
+            std::string::npos);
+  EXPECT_NE(text.find("switchv_heartbeat_rtt_seconds_count"
+                      "{host=\"127.0.0.1:1234\"}"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------------
+
+TEST(JournalTest, ConcurrentAppendsStayMonotone) {
+  EventJournal journal;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&journal, t] {
+      for (int i = 0; i < 50; ++i) {
+        journal.Append(JournalEventKind::kShardDispatched, 1, t * 50 + i,
+                       "host" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  const std::vector<JournalEvent> events = journal.EventsSince(0);
+  ASSERT_EQ(events.size(), 200u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GT(events[i].ts_ns, events[i - 1].ts_ns)
+        << "timestamps must stay strictly monotone in seq order";
+  }
+}
+
+TEST(JournalTest, RangeQueriesAndKindCounts) {
+  EventJournal journal;
+  journal.Append(JournalEventKind::kCampaignStarted, 9);
+  journal.Append(JournalEventKind::kShardDispatched, 9, 0);
+  journal.Append(JournalEventKind::kShardDispatched, 9, 1);
+  journal.Append(JournalEventKind::kShardCompleted, 9, 0);
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardDispatched), 2u);
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardLost), 0u);
+  EXPECT_EQ(journal.EventsSince(2).size(), 2u);
+  EXPECT_EQ(journal.EventsSince(4).size(), 0u);
+  const std::string jsonl = journal.ToJsonlSince(3);
+  EXPECT_EQ(jsonl.find("\"seq\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"shard-completed\""), std::string::npos);
+}
+
+TEST(JournalTest, JsonlCarriesIdentityFields) {
+  EventJournal journal;
+  journal.Append(JournalEventKind::kHostRetired, 5, 3, "127.0.0.1:99",
+                 "2 consecutive \"failures\"");
+  const std::string jsonl = journal.ToJsonl();
+  EXPECT_NE(jsonl.find("\"event\":\"host-retired\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"campaign_id\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"shard\":3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"host\":\"127.0.0.1:99\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\\\"failures\\\""), std::string::npos)
+      << "details must be JSON-escaped";
+}
+
+// ---------------------------------------------------------------------------
+// Wire formats
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySampleTest, RoundTrips) {
+  TelemetrySample sample;
+  sample.shard = 4;
+  sample.seq = 17;
+  sample.delta = ArbitrarySnapshot(33);
+  TraceSpan span;
+  span.name = "fuzz-batch 0";
+  span.category = "control-plane";
+  span.shard = 4;
+  span.seq = 2;
+  span.parent_seq = 1;
+  span.start_ns = 1000;
+  span.duration_ns = 500;
+  sample.spans.push_back(span);
+
+  const std::string line = SerializeTelemetrySample(sample);
+  ASSERT_TRUE(LooksLikeTelemetrySample(line));
+  const StatusOr<TelemetrySample> parsed = ParseTelemetrySample(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->shard, 4);
+  EXPECT_EQ(parsed->seq, 17u);
+  EXPECT_EQ(Wire(parsed->delta), Wire(sample.delta));
+  ASSERT_EQ(parsed->spans.size(), 1u);
+  EXPECT_EQ(parsed->spans[0].name, "fuzz-batch 0");
+  EXPECT_EQ(parsed->spans[0].start_ns, 1000u);
+  EXPECT_EQ(parsed->spans[0].parent_seq, 1u);
+}
+
+TEST(TelemetrySampleTest, PreambleSniffingRejectsOtherLines) {
+  EXPECT_FALSE(LooksLikeTelemetrySample(""));
+  EXPECT_FALSE(LooksLikeTelemetrySample("{\"index\":0}"));
+  EXPECT_FALSE(LooksLikeTelemetrySample("worker log line"));
+}
+
+TEST(EnvelopeTest, V1IsByteIdenticalWhenTelemetryOff) {
+  RemoteShardRequest request;
+  request.campaign_id = 12;
+  request.shard = 3;
+  request.attempt = 2;
+  request.timeout_seconds = 5;
+  request.spec_line = "{\"spec\":true}";
+  const std::string wire = SerializeRemoteRequest(request);
+  EXPECT_EQ(wire, "switchv-shard-request 1 12 3 2 5\n{\"spec\":true}")
+      << "telemetry-off envelopes must not change on the wire";
+  const StatusOr<RemoteShardRequest> parsed = ParseRemoteRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->telemetry_interval_seconds, 0);
+}
+
+TEST(EnvelopeTest, V2RoundTripsTheInterval) {
+  RemoteShardRequest request;
+  request.campaign_id = 12;
+  request.shard = 3;
+  request.attempt = 1;
+  request.timeout_seconds = 5;
+  request.telemetry_interval_seconds = 0.25;
+  request.spec_line = "{\"spec\":true}";
+  const std::string wire = SerializeRemoteRequest(request);
+  EXPECT_EQ(wire.rfind("switchv-shard-request 2 ", 0), 0u) << wire;
+  const StatusOr<RemoteShardRequest> parsed = ParseRemoteRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->telemetry_interval_seconds, 0.25);
+  EXPECT_EQ(parsed->spec_line, "{\"spec\":true}");
+}
+
+TEST(EnvelopeTest, RejectsBadVersionsAndIntervals) {
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 2 1 0 1 5 0\n{}").ok())
+      << "v2 requires a positive interval";
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 2 1 0 1 5\n{}").ok())
+      << "v2 without an interval is malformed";
+  EXPECT_FALSE(ParseRemoteRequest("switchv-shard-request 3 1 0 1 5\n{}").ok())
+      << "unknown envelope versions are rejected";
+}
+
+// ---------------------------------------------------------------------------
+// Embedded HTTP server
+// ---------------------------------------------------------------------------
+
+// Minimal blocking request against 127.0.0.1:port; returns the raw
+// response (headers + body).
+std::string HttpRequest(int port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request_text.data(), request_text.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& target) {
+  return HttpRequest(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+std::string HttpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(HttpServerTest, ServesRegisteredPathsAndRejectsTheRest) {
+  TelemetryHttpServer server;
+  server.Handle("/ping", [](std::string_view query, std::string* type) {
+    *type = "text/plain";
+    return "pong:" + std::string(query);
+  });
+  const Status started = server.Start(0);
+  ASSERT_TRUE(started.ok()) << started;
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string ok = HttpGet(server.port(), "/ping?x=1");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("pong:x=1"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain"), std::string::npos) << ok;
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(
+      HttpRequest(server.port(), "POST /ping HTTP/1.0\r\n\r\n").find("405"),
+      std::string::npos);
+  EXPECT_NE(HttpRequest(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Rolling view semantics
+// ---------------------------------------------------------------------------
+
+TEST(CampaignTelemetryTest, RollingViewFoldsAndDiscardsAttemptDeltas) {
+  Metrics live;
+  CampaignTelemetry telemetry;
+  telemetry.BeginCampaign(77, 2, &live);
+  live.Add(live.updates_sent, 100);
+
+  const std::uint64_t token = telemetry.BeginAttempt(0, "hostA");
+  MetricsSnapshot delta;
+  delta.updates_sent = 40;
+  telemetry.AccumulateDelta(token, delta);
+  EXPECT_EQ(telemetry.RollingSnapshot().updates_sent, 140u)
+      << "rolling = authoritative sink + in-flight attempt deltas";
+
+  // The attempt ends (its real result merges into the sink): the
+  // accumulator is discarded, never double-counted.
+  telemetry.EndAttempt(token);
+  live.Add(live.updates_sent, 40);
+  EXPECT_EQ(telemetry.RollingSnapshot().updates_sent, 140u);
+
+  // A late sample for a dead token is a no-op.
+  telemetry.AccumulateDelta(token, delta);
+  EXPECT_EQ(telemetry.RollingSnapshot().updates_sent, 140u);
+
+  MetricsSnapshot final_snapshot;
+  final_snapshot.updates_sent = 140;
+  final_snapshot.wall_seconds = 1.5;
+  telemetry.EndCampaign(final_snapshot);
+  live.Add(live.updates_sent, 999);  // the sink is detached from the view
+  EXPECT_EQ(telemetry.RollingSnapshot().updates_sent, 140u);
+  EXPECT_EQ(telemetry.RollingSnapshot().wall_seconds, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign acceptance
+// ---------------------------------------------------------------------------
+
+// One model + replay state shared by every campaign test in this file
+// (mirrors FleetTest in fleet_test.cc: building the SAI program and
+// workload is comparatively expensive).
+class TelemetryCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    const p4ir::P4Info info = p4ir::P4Info::FromProgram(*model_);
+    auto entries =
+        models::GenerateEntries(info, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(), /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete entries_;
+    model_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  static bool ToolsAvailable() {
+    return !std::string(SWITCHV_WORKER_HOST_PATH).empty() &&
+           !std::string(SWITCHV_SHARD_WORKER_PATH).empty();
+  }
+
+  static CampaignOptions FastCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.control_plane_shards = 4;
+    options.dataplane_shards = 2;
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 40;
+    options.dataplane.packet_out_ports = 2;
+    options.parallelism = 2;
+    return options;
+  }
+
+  // The recipe matching the fixture's model and entries exactly.
+  static ShardScenario Scenario() {
+    ShardScenario scenario;
+    scenario.role = models::Role::kMiddleblock;
+    scenario.workload = ExperimentOptions::SmallWorkload();
+    scenario.entry_seed = 2;
+    return scenario;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  static p4ir::Program* model_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* TelemetryCampaignTest::model_ = nullptr;
+std::vector<p4rt::TableEntry>* TelemetryCampaignTest::entries_ = nullptr;
+
+// Same deterministic projection as engine_test.cc / fleet_test.cc: the
+// byte-identity invariant is asserted by comparing these strings.
+std::string RenderReport(const CampaignReport& report) {
+  std::ostringstream out;
+  out << "shards=" << report.shards_run
+      << " fuzzed=" << report.fuzzed_updates
+      << " packets=" << report.packets_tested
+      << " targets=" << report.generation.targets_covered << "/"
+      << report.generation.targets_total
+      << " queries=" << report.generation.solver_queries << "\n";
+  for (const IncidentGroup& group : report.groups) {
+    out << "group " << group.fingerprint << " x" << group.occurrences
+        << " shards=[";
+    for (const int shard : group.shards) out << shard << ",";
+    out << "] detector=" << DetectorName(group.exemplar.detector)
+        << " layer=" << sut::SutLayerName(group.exemplar.layer)
+        << " shard=" << group.exemplar.shard << "\n"
+        << "summary: " << group.exemplar.summary << "\n"
+        << "details: " << group.exemplar.details << "\n"
+        << group.exemplar.replay_trace << "\n";
+  }
+  const MetricsSnapshot& m = report.metrics;
+  out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+      << m.requests_sent << " " << m.generated_valid << " "
+      << m.generated_invalid << " " << m.oracle_findings << " "
+      << m.packets_tested << " " << m.solver_queries << " "
+      << m.switch_writes << " " << m.switch_reads << " "
+      << m.switch_packets_injected << " " << m.incidents_raised << " "
+      << m.incidents_unique << "\n";
+  out << "hists " << m.switch_write_hist.count << " " << m.oracle_hist.count
+      << " " << m.reference_hist.count << " " << m.generation_hist.count
+      << "\n";
+  return out.str();
+}
+
+// Telemetry is strictly observational: the in-process report with the
+// plane attached is byte-identical to the plain run, the journal carries
+// the shard lifecycle, and the frozen rolling view IS the report.
+TEST_F(TelemetryCampaignTest, InProcessReportIdenticalWithTelemetry) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  const CampaignOptions plain = FastCampaign();
+  const CampaignReport off = Run(&faults, plain);
+
+  CampaignTelemetry telemetry;
+  CampaignOptions instrumented = plain;
+  instrumented.telemetry = &telemetry;
+  instrumented.telemetry_interval_seconds = 0.05;
+  const CampaignReport on = Run(&faults, instrumented);
+
+  ASSERT_TRUE(off.bug_detected());
+  EXPECT_EQ(RenderReport(off), RenderReport(on));
+  const EventJournal& journal = telemetry.journal();
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kCampaignStarted), 1u);
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kCampaignFinished), 1u);
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardDispatched),
+            static_cast<std::uint64_t>(off.shards_run));
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardCompleted),
+            static_cast<std::uint64_t>(off.shards_run));
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kIncidentFirstSeen),
+            off.groups.size());
+  EXPECT_EQ(Wire(telemetry.RollingSnapshot()), Wire(on.metrics));
+}
+
+// Subprocess substrate: workers stream interval samples over stdout; the
+// report stays byte-identical and the samples never double-count.
+TEST_F(TelemetryCampaignTest, SubprocessStreamingKeepsReportIdentical) {
+  if (!ToolsAvailable()) GTEST_SKIP() << "tool binaries not baked in";
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  const CampaignOptions plain = FastCampaign();
+  const CampaignReport off = Run(&faults, plain);
+
+  CampaignTelemetry telemetry;
+  CampaignOptions streamed = plain;
+  streamed.execution = CampaignOptions::Execution::kSubprocess;
+  streamed.scenario = Scenario();
+  streamed.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+  streamed.telemetry = &telemetry;
+  streamed.telemetry_interval_seconds = 0.02;
+  const CampaignReport on = Run(&faults, streamed);
+
+  EXPECT_EQ(RenderReport(off), RenderReport(on));
+  EXPECT_EQ(Wire(telemetry.RollingSnapshot()), Wire(on.metrics));
+}
+
+// The ISSUE acceptance: a two-host loopback fleet campaign in which host 0
+// is SIGKILLed before the first dispatch, with the telemetry plane, the
+// tracer, and the HTTP endpoint all attached.
+TEST_F(TelemetryCampaignTest, TwoHostFleetAcceptance) {
+  if (!ToolsAvailable()) GTEST_SKIP() << "tool binaries not baked in";
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  const CampaignReport baseline = Run(&faults, FastCampaign());
+
+  CampaignTelemetry telemetry;
+  FleetOptions fleet_options;
+  fleet_options.backend = FleetOptions::Backend::kLocalProcess;
+  fleet_options.size = 2;
+  fleet_options.host_binary = SWITCHV_WORKER_HOST_PATH;
+  fleet_options.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+  fleet_options.host_extra_args = {"--heartbeat-interval=0.2"};
+  fleet_options.auth_secret = "telemetry-acceptance-secret";
+  fleet_options.reprovision_budget = 4;
+  fleet_options.journal = &telemetry.journal();
+  fleet_options.campaign_id = 7;  // matches EffectiveCampaignId of seed 7
+  Fleet fleet(fleet_options);
+  const Status provisioned = fleet.Provision();
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+  const std::vector<Fleet::HostInfo> hosts = fleet.Hosts();
+  ASSERT_EQ(hosts.size(), 2u);
+  // Host 0 dies before the first dial: its first shard fails at the
+  // transport, the pool retires it, and the fleet replaces it.
+  ::kill(hosts[0].pid, SIGKILL);
+
+  TelemetryHttpServer http;
+  http.ServeCampaignTelemetry(&telemetry);
+  ASSERT_TRUE(http.Start(0).ok());
+
+  Tracer tracer;
+  CampaignOptions options = FastCampaign();
+  options.execution = CampaignOptions::Execution::kRemote;
+  options.fleet = &fleet;
+  options.scenario = Scenario();
+  options.remote_host_max_failures = 1;
+  options.telemetry = &telemetry;
+  options.telemetry_interval_seconds = 0.05;
+  options.tracer = &tracer;
+  const CampaignReport report = Run(&faults, options);
+
+  // (a) Byte-identical report, despite the kill and the live streaming.
+  EXPECT_GE(fleet.reprovisions(), 1);
+  EXPECT_EQ(report.metrics.shards_lost, 0u);
+  EXPECT_EQ(RenderReport(baseline), RenderReport(report));
+
+  // (b) The journal saw the full lifecycle, timestamps monotone.
+  const EventJournal& journal = telemetry.journal();
+  EXPECT_GE(journal.CountKind(JournalEventKind::kHostLaunched), 3u)
+      << "2 provisioned + >=1 replacement";
+  EXPECT_GE(journal.CountKind(JournalEventKind::kHostHello), 3u);
+  EXPECT_GE(journal.CountKind(JournalEventKind::kHostRetired), 1u);
+  EXPECT_GE(journal.CountKind(JournalEventKind::kHostReprovisioned), 1u);
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardDispatched),
+            static_cast<std::uint64_t>(report.shards_run));
+  EXPECT_EQ(journal.CountKind(JournalEventKind::kShardCompleted),
+            static_cast<std::uint64_t>(report.shards_run));
+  const std::vector<JournalEvent> events = journal.EventsSince(0);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GT(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+
+  // (c) Stitched trace: remote spans landed host-tagged, from at least two
+  // distinct endpoints, rebased into the coordinator clock (inside the
+  // campaign span's window) — and ToChromeJson gives each host its own
+  // labelled process track.
+  std::uint64_t campaign_end_ns = 0;
+  for (const TraceSpan& span : tracer.Spans()) {
+    if (span.name == "campaign") {
+      campaign_end_ns = span.start_ns + span.duration_ns;
+    }
+  }
+  ASSERT_GT(campaign_end_ns, 0u);
+  std::set<std::string> span_hosts;
+  for (const TraceSpan& span : tracer.Spans()) {
+    if (!span.host.empty()) span_hosts.insert(span.host);
+    EXPECT_LE(span.start_ns, campaign_end_ns)
+        << "span " << span.name << " on host '" << span.host
+        << "' was not rebased into the coordinator clock";
+  }
+  EXPECT_GE(span_hosts.size(), 2u)
+      << "shards must have traced from both fleet hosts";
+  const std::string chrome = tracer.ToChromeJson();
+  for (const std::string& host : span_hosts) {
+    EXPECT_NE(chrome.find("host " + host), std::string::npos)
+        << "each fleet host gets its own labelled track";
+  }
+
+  // (d) /metrics parses and matches the frozen rolling aggregate; /status
+  // and /events agree with the journal.
+  const std::string exposition = HttpGet(http.port(), "/metrics");
+  ASSERT_NE(exposition.find("200 OK"), std::string::npos);
+  const std::string body = HttpBody(exposition);
+  ExpectValidExposition(body);
+  EXPECT_NE(body.find("switchv_updates_sent_total " +
+                      std::to_string(report.metrics.updates_sent)),
+            std::string::npos);
+  EXPECT_NE(body.find("switchv_heartbeat_rtt_seconds_count"),
+            std::string::npos)
+      << "heartbeat RTT histograms must be exported per host";
+  EXPECT_EQ(Wire(telemetry.RollingSnapshot()), Wire(report.metrics));
+
+  const std::string status = HttpGet(http.port(), "/status");
+  EXPECT_NE(status.find("\"finished\":true"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"shards_done\":" +
+                        std::to_string(report.shards_run)),
+            std::string::npos)
+      << status;
+
+  const std::string events_body = HttpBody(HttpGet(http.port(),
+                                                   "/events?since=0"));
+  std::size_t lines = 0;
+  for (const char c : events_body) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, journal.size());
+}
+
+}  // namespace
+}  // namespace switchv

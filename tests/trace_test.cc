@@ -411,6 +411,8 @@ TEST(TraceTest, ChromeJsonGolden) {
 
   const std::string expected =
       "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"coordinator\"}},"
       "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":0,"
       "\"args\":{\"name\":\"campaign\"}},"
       "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":1,"
@@ -432,8 +434,8 @@ TEST(TraceTest, ChromeJsonGolden) {
   ASSERT_TRUE(parsed.has_value());
   const JsonValue* events = parsed->Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  EXPECT_EQ(events->array.size(), 5u);
-  EXPECT_EQ(events->array[4].Find("name")->string, "switch-\"write\"");
+  EXPECT_EQ(events->array.size(), 6u);
+  EXPECT_EQ(events->array[5].Find("name")->string, "switch-\"write\"");
 }
 
 TEST(TraceTest, JsonEscapeHandlesControlAndQuoteCharacters) {

@@ -5,7 +5,11 @@
 // on stdout and exit 0. Any failure — unparseable spec, unprovisionable
 // scenario — renders to stderr and exits nonzero; the parent engine
 // classifies the exit and synthesizes a harness incident. The worker never
-// writes anything but the result line to stdout.
+// writes anything but protocol lines to stdout: with
+// --telemetry-interval=S (seconds, > 0) it additionally streams interim
+// TelemetrySample lines while the shard runs, and the result stays the
+// last non-empty line either way — parents that ignore telemetry parse
+// the stream unchanged.
 //
 // Test hooks (crash/timeout injection for the engine's isolation tests):
 //   --abort-on-shard=N   abort() after parsing a spec with index N
@@ -17,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -30,15 +35,26 @@ bool ParseIntFlag(std::string_view arg, std::string_view name, int* out) {
   return true;
 }
 
+bool ParseDoubleFlag(std::string_view arg, std::string_view name,
+                     double* out) {
+  if (arg.substr(0, name.size()) != name) return false;
+  *out = std::atof(std::string(arg.substr(name.size())).c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int abort_on_shard = -1;
   int hang_on_shard = -1;
+  double telemetry_interval = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (ParseIntFlag(arg, "--abort-on-shard=", &abort_on_shard)) continue;
     if (ParseIntFlag(arg, "--hang-on-shard=", &hang_on_shard)) continue;
+    if (ParseDoubleFlag(arg, "--telemetry-interval=", &telemetry_interval)) {
+      continue;
+    }
     std::fprintf(stderr, "switchv_shard_worker: unknown flag '%s'\n",
                  argv[i]);
     return 2;
@@ -65,13 +81,26 @@ int main(int argc, char** argv) {
     while (true) pause();  // until the parent's deadline SIGKILLs us
   }
 
+  // Interim samples are written whole-line-at-a-time under a mutex so the
+  // sampler thread's writes never interleave with the final result line.
+  std::mutex stdout_mu;
+  switchv::ShardTelemetryHook hook;
+  hook.interval_seconds = telemetry_interval;
+  hook.emit = [&stdout_mu](const switchv::TelemetrySample& sample) {
+    std::lock_guard<std::mutex> lock(stdout_mu);
+    std::cout << switchv::SerializeTelemetrySample(sample) << "\n"
+              << std::flush;
+  };
+
   const switchv::StatusOr<switchv::WireShardResult> result =
-      switchv::ExecuteShardSpec(*spec);
+      switchv::ExecuteShardSpec(*spec,
+                                telemetry_interval > 0 ? &hook : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "switchv_shard_worker: shard %d failed: %s\n",
                  spec->index, result.status().ToString().c_str());
     return 1;
   }
+  std::lock_guard<std::mutex> lock(stdout_mu);
   std::cout << switchv::SerializeShardResult(*result) << "\n" << std::flush;
   return 0;
 }

@@ -12,6 +12,12 @@
 // same key and gets the cached bytes back — the shard never runs twice, and
 // the merged campaign report stays byte-identical across reconnects.
 //
+// Live telemetry: a version-2 request (telemetry interval > 0) makes the
+// host run the worker with --telemetry-interval and forward each interim
+// sample line as a kTelemetry frame while the shard runs; it also answers
+// the dispatcher's "ping <seq> <ns>" heartbeats with matching pongs for RTT
+// sampling. Version-1 requests get the exact pre-telemetry behaviour.
+//
 // Flags:
 //   --port=N                listen port; 0 (default) picks an ephemeral one
 //   --bind=HOST             bind address (default 127.0.0.1)
@@ -39,6 +45,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -146,8 +153,9 @@ std::string CacheKey(const RemoteShardRequest& request) {
 }
 
 // The worker's result is the last non-empty stdout line (it may log above
-// it); forwarded verbatim — the dispatcher validates it, exactly as it
-// validates a local subprocess's stdout.
+// it — including interim telemetry samples); forwarded verbatim — the
+// dispatcher validates it, exactly as it validates a local subprocess's
+// stdout.
 std::string_view LastNonEmptyLine(std::string_view out) {
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
     out.remove_suffix(1);
@@ -156,18 +164,101 @@ std::string_view LastNonEmptyLine(std::string_view out) {
   return newline == std::string_view::npos ? out : out.substr(newline + 1);
 }
 
+// Serializes frame sends on one connection. Two threads write while a
+// shard runs — the connection thread (heartbeats, pongs, results) and the
+// worker-runner thread (forwarded telemetry samples) — and FrameAuthenticator
+// advances its send sequence on every Seal, so seal+send must be atomic.
+struct ConnectionSender {
+  int fd;
+  switchv::FrameAuthenticator& auth;
+  std::mutex mu;
+
+  bool Send(FrameType type, std::string_view payload, double timeout) {
+    const std::lock_guard<std::mutex> lock(mu);
+    return switchv::SendFrame(fd, type, auth.Seal(type, payload), timeout)
+        .ok();
+  }
+};
+
+// Drains whatever the dispatcher sent without blocking, answering
+// "ping <seq> <ns>" heartbeats with matching pongs (the client computes its
+// RTT from the echoed timestamp). Returns false when the connection is
+// closed, corrupt, fails authentication, or speaks out of turn — any frame
+// other than a heartbeat is a protocol violation while a shard runs.
+bool DrainIncoming(ConnectionSender& sender, FrameDecoder& decoder,
+                   switchv::FrameAuthenticator& auth) {
+  char buffer[4096];
+  while (true) {
+    const ssize_t n =
+        ::recv(sender.fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (n > 0) {
+      decoder.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    return false;
+  }
+  while (true) {
+    switchv::StatusOr<std::optional<Frame>> next = decoder.Next();
+    if (!next.ok()) return false;
+    if (!next->has_value()) return true;
+    Frame& frame = **next;
+    std::string payload;
+    if (auth.enabled()) {
+      switchv::StatusOr<std::string> opened =
+          auth.Open(frame.type, frame.payload);
+      if (!opened.ok()) return false;
+      payload = std::move(*opened);
+    } else {
+      payload = std::move(frame.payload);
+    }
+    if (frame.type != FrameType::kHeartbeat) return false;
+    if (payload.rfind("ping ", 0) == 0 &&
+        !sender.Send(FrameType::kHeartbeat, "pong " + payload.substr(5),
+                     5)) {
+      return false;
+    }
+  }
+}
+
 // Runs the shard subprocess on a helper thread while this (connection)
-// thread streams heartbeats, so a long shard never trips the dispatcher's
-// liveness timer. Returns false when the connection is gone; the shard
-// still runs to completion and its result is cached for the resend.
-bool ServeRequest(int fd, const RemoteShardRequest& request,
+// thread streams heartbeats and answers pings, so a long shard never trips
+// the dispatcher's liveness timer. Returns false when the connection is
+// gone; the shard still runs to completion and its result is cached for
+// the resend.
+bool ServeRequest(ConnectionSender& sender, FrameDecoder& decoder,
+                  const RemoteShardRequest& request,
                   switchv::FrameAuthenticator& auth) {
   const std::string key = CacheKey(request);
   std::string cached;
   if (g_results.Lookup(key, &cached)) {
-    return switchv::SendFrame(fd, FrameType::kShardResult,
-                              auth.Seal(FrameType::kShardResult, cached), 30)
-        .ok();
+    return sender.Send(FrameType::kShardResult, cached, 30);
+  }
+
+  // A version-2 request opts the shard into live telemetry: the worker
+  // emits interim sample lines on stdout, which are forwarded — from the
+  // runner thread, as they arrive — as kTelemetry frames. Send failures
+  // are ignored here: samples are observational, and connection death is
+  // detected by the heartbeat path.
+  std::vector<std::string> worker_args = g_config.worker_args;
+  const bool telemetry = request.telemetry_interval_seconds > 0;
+  std::string sample_buffer;
+  std::function<void(std::string_view)> on_stdout;
+  if (telemetry) {
+    worker_args.push_back("--telemetry-interval=" +
+                          std::to_string(request.telemetry_interval_seconds));
+    on_stdout = [&sender, &sample_buffer](std::string_view chunk) {
+      sample_buffer.append(chunk);
+      std::size_t newline;
+      while ((newline = sample_buffer.find('\n')) != std::string::npos) {
+        const std::string line = sample_buffer.substr(0, newline);
+        sample_buffer.erase(0, newline + 1);
+        if (switchv::LooksLikeTelemetrySample(line)) {
+          (void)sender.Send(FrameType::kTelemetry, line, 5);
+        }
+      }
+    };
   }
 
   g_slots.Acquire();
@@ -176,10 +267,9 @@ bool ServeRequest(int fd, const RemoteShardRequest& request,
   bool done = false;
   switchv::WorkerProcessResult proc;
   std::thread runner([&] {
-    proc = switchv::RunWorkerProcess(g_config.worker_binary,
-                                     g_config.worker_args,
+    proc = switchv::RunWorkerProcess(g_config.worker_binary, worker_args,
                                      request.spec_line + "\n",
-                                     request.timeout_seconds);
+                                     request.timeout_seconds, on_stdout);
     {
       const std::lock_guard<std::mutex> lock(mu);
       done = true;
@@ -188,17 +278,23 @@ bool ServeRequest(int fd, const RemoteShardRequest& request,
   });
   bool peer_alive = true;
   {
+    // Short wait slices keep ping→pong turnaround well under the client's
+    // RTT resolution; full heartbeats still go out once per interval.
     std::unique_lock<std::mutex> lock(mu);
+    auto last_beat = std::chrono::steady_clock::now();
     while (!done) {
-      cv.wait_for(lock, std::chrono::duration<double>(
-                            g_config.heartbeat_interval));
+      cv.wait_for(lock, std::chrono::milliseconds(20));
       if (done) break;
       lock.unlock();
-      if (peer_alive &&
-          !switchv::SendFrame(fd, FrameType::kHeartbeat,
-                              auth.Seal(FrameType::kHeartbeat, ""), 5)
-               .ok()) {
+      if (peer_alive && !DrainIncoming(sender, decoder, auth)) {
         peer_alive = false;  // dispatcher gone; finish and cache anyway
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (peer_alive &&
+          now - last_beat >= std::chrono::duration<double>(
+                                 g_config.heartbeat_interval)) {
+        if (!sender.Send(FrameType::kHeartbeat, "", 5)) peer_alive = false;
+        last_beat = now;
       }
       lock.lock();
     }
@@ -211,9 +307,7 @@ bool ServeRequest(int fd, const RemoteShardRequest& request,
     const std::string result(LastNonEmptyLine(proc.stdout_data));
     g_results.Insert(key, result);
     if (!peer_alive) return false;
-    return switchv::SendFrame(fd, FrameType::kShardResult,
-                              auth.Seal(FrameType::kShardResult, result), 30)
-        .ok();
+    return sender.Send(FrameType::kShardResult, result, 30);
   }
 
   RemoteShardError error;
@@ -232,17 +326,14 @@ bool ServeRequest(int fd, const RemoteShardRequest& request,
     error.note = proc.error;
   }
   if (!peer_alive) return false;
-  return switchv::SendFrame(
-             fd, FrameType::kShardError,
-             auth.Seal(FrameType::kShardError,
-                       switchv::SerializeRemoteError(error)),
-             30)
-      .ok();
+  return sender.Send(FrameType::kShardError,
+                     switchv::SerializeRemoteError(error), 30);
 }
 
 void HandleConnection(int fd) {
   FrameDecoder decoder;
   switchv::FrameAuthenticator auth;
+  ConnectionSender sender{fd, auth};
   bool hello_done = false;
   char buffer[65536];
   while (true) {
@@ -263,11 +354,7 @@ void HandleConnection(int fd) {
           if (!accepted.ok()) break;
           auth = std::move(accepted).value();
           hello_done = true;
-          if (!switchv::SendFrame(fd, FrameType::kHelloOk,
-                                  auth.Seal(FrameType::kHelloOk, ""), 5)
-                   .ok()) {
-            break;
-          }
+          if (!sender.Send(FrameType::kHelloOk, "", 5)) break;
           continue;
         }
         hello_done = true;
@@ -291,7 +378,17 @@ void HandleConnection(int fd) {
       } else {
         payload = std::move(frame.payload);
       }
-      if (frame.type == FrameType::kHeartbeat) continue;
+      if (frame.type == FrameType::kHeartbeat) {
+        // Client heartbeat between shards; answer pings so RTT sampling
+        // works even when no shard is in flight (legacy clients never send
+        // these, so the branch is dead on a telemetry-off wire).
+        if (payload.rfind("ping ", 0) == 0 &&
+            !sender.Send(FrameType::kHeartbeat, "pong " + payload.substr(5),
+                         5)) {
+          break;
+        }
+        continue;
+      }
       if (frame.type != FrameType::kShardRequest) break;
       switchv::StatusOr<RemoteShardRequest> request =
           switchv::ParseRemoteRequest(payload);
@@ -299,18 +396,15 @@ void HandleConnection(int fd) {
         RemoteShardError error;
         error.kind = RemoteShardError::Kind::kBadRequest;
         error.note = request.status().ToString();
-        (void)switchv::SendFrame(
-            fd, FrameType::kShardError,
-            auth.Seal(FrameType::kShardError,
-                      switchv::SerializeRemoteError(error)),
-            5);
+        (void)sender.Send(FrameType::kShardError,
+                          switchv::SerializeRemoteError(error), 5);
         break;
       }
       if (request->shard == g_config.drop_once_on_shard &&
           !g_drop_fired.exchange(true)) {
         break;  // test hook: simulate the host dying mid-shard
       }
-      if (!ServeRequest(fd, *request, auth)) break;
+      if (!ServeRequest(sender, decoder, *request, auth)) break;
       continue;
     }
     const ssize_t n = ::read(fd, buffer, sizeof(buffer));
