@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <set>
 
 #include "bmv2/interpreter.h"
 #include "fuzzer/generator.h"
@@ -227,6 +228,61 @@ void BM_FuzzerGenerateBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FuzzerGenerateBatch);
 
+void BM_OracleJudgeBatchUncached(benchmark::State& state) {
+  // Replays one recorded 50-update batch (duplicate inserts against a
+  // fixed installed state) through an uncached oracle: every update pays
+  // the full classification.
+  const Env& env = Env::Get();
+  fuzzer::Oracle oracle(env.info);
+  oracle.SyncState(env.entries);
+  std::vector<fuzzer::AnnotatedUpdate> batch;
+  p4rt::WriteResponse response;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(fuzzer::AnnotatedUpdate{
+        p4rt::Update{p4rt::UpdateType::kInsert,
+                     env.entries[i % env.entries.size()]},
+        std::nullopt});
+    response.statuses.push_back(AlreadyExistsError("duplicate insert"));
+  }
+  p4rt::ReadResponse read;
+  read.entries = env.entries;
+  const StatusOr<p4rt::ReadResponse> post_read = read;
+  for (auto _ : state) {
+    auto findings = oracle.JudgeBatch(batch, response, post_read);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_OracleJudgeBatchUncached);
+
+void BM_OracleJudgeBatchWarmCache(benchmark::State& state) {
+  // The same recorded batch through an oracle attached to a pre-warmed
+  // judgment cache: every update is a hit.
+  const Env& env = Env::Get();
+  fuzzer::JudgmentCache cache;
+  fuzzer::Oracle oracle(env.info, &cache);
+  oracle.SyncState(env.entries);
+  std::vector<fuzzer::AnnotatedUpdate> batch;
+  p4rt::WriteResponse response;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(fuzzer::AnnotatedUpdate{
+        p4rt::Update{p4rt::UpdateType::kInsert,
+                     env.entries[i % env.entries.size()]},
+        std::nullopt});
+    response.statuses.push_back(AlreadyExistsError("duplicate insert"));
+  }
+  p4rt::ReadResponse read;
+  read.entries = env.entries;
+  const StatusOr<p4rt::ReadResponse> post_read = read;
+  (void)oracle.JudgeBatch(batch, response, post_read);  // warm the cache
+  for (auto _ : state) {
+    auto findings = oracle.JudgeBatch(batch, response, post_read);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_OracleJudgeBatchWarmCache);
+
 void BM_WriteBatchEndToEnd(benchmark::State& state) {
   // One fuzz round against the full stack: generate, write, read, judge.
   const Env& env = Env::Get();
@@ -383,6 +439,143 @@ int TelemetryOverheadGuard() {
   return ok ? 0 : 1;
 }
 
+// Judgment-cache speedup guard, run after the benchmarks. Replays a
+// recorded oracle session — a fixed installed state plus batches of
+// duplicate inserts the switch rejects with ALREADY_EXISTS, so the state
+// never changes and every batch repeats identical classification work —
+// once through an uncached oracle (cold) and once through an oracle
+// attached to a pre-warmed shared judgment cache (warm). Warm-cache
+// JudgeBatch must be >= 5x faster at p50. Paired alternating trials with
+// the median over many replays per arm keep the guard robust on a loaded
+// single-core box; the binary exits nonzero on a miss so CI treats the
+// cache's speedup claim as a regression gate rather than prose.
+int OracleCacheSpeedupGuard() {
+  const Env& env = Env::Get();
+  // Compact constraint-heavy workload: mostly ACL entries, whose
+  // classification (syntax + @entry_restriction evaluation + reference
+  // checks) is the oracle's most expensive path, over a small installed
+  // state so the post-read digest pass (paid identically by both arms)
+  // stays negligible.
+  models::WorkloadSpec spec;
+  spec.num_vrfs = 2;
+  spec.num_l3_admit = 1;
+  spec.num_pre_ingress = 2;
+  spec.num_ipv4_routes = 4;
+  spec.num_ipv6_routes = 4;
+  spec.num_wcmp_groups = 2;
+  spec.num_nexthops = 4;
+  spec.num_neighbors = 2;
+  spec.num_rifs = 2;
+  spec.num_acl_ingress = 50;
+  spec.num_mirror_sessions = 1;
+  spec.num_egress_rifs = 1;
+  auto installed_or = models::GenerateEntries(
+      env.info, models::Role::kMiddleblock, spec, /*seed=*/5);
+  if (!installed_or.ok()) {
+    std::cerr << "oracle_cache guard: workload generation failed: "
+              << installed_or.status() << "\n";
+    return 1;
+  }
+  const std::vector<p4rt::TableEntry>& installed = *installed_or;
+
+  // The recorded batch: up to 50 of the costliest-to-classify entries
+  // (@entry_restriction ACLs, 128-bit IPv6 LPMs, WCMP one-shot action
+  // sets) re-inserted verbatim; the oracle must demand ALREADY_EXISTS and
+  // the response agrees, so no findings arise and no state is applied.
+  const std::set<std::uint32_t> expensive_tables = [&env] {
+    std::set<std::uint32_t> ids;
+    for (const char* name :
+         {"acl_ingress_tbl", "ipv6_tbl", "wcmp_group_tbl"}) {
+      const p4ir::TableInfo* table = env.info.FindTableByName(name);
+      if (table != nullptr) ids.insert(table->id);
+    }
+    return ids;
+  }();
+  std::vector<fuzzer::AnnotatedUpdate> batch;
+  p4rt::WriteResponse response;
+  for (const p4rt::TableEntry& entry : installed) {
+    if (!expensive_tables.contains(entry.table_id)) continue;
+    if (batch.size() == 50) break;
+    batch.push_back(fuzzer::AnnotatedUpdate{
+        p4rt::Update{p4rt::UpdateType::kInsert, entry}, std::nullopt});
+    response.statuses.push_back(AlreadyExistsError("duplicate insert"));
+  }
+  p4rt::ReadResponse read;
+  read.entries = installed;
+  const StatusOr<p4rt::ReadResponse> post_read = read;
+
+  fuzzer::JudgmentCache cache;
+  {
+    // Warm the shared cache once; the measured warm oracles then see only
+    // hits (the replayed state digests are deterministic).
+    fuzzer::Oracle warmup(env.info, &cache);
+    warmup.SyncState(installed);
+    if (!warmup.JudgeBatch(batch, response, post_read).empty()) {
+      std::cerr << "oracle_cache guard: recorded session unexpectedly "
+                   "produced findings\n";
+      return 1;
+    }
+    if (warmup.cache_stats().misses == 0) {
+      std::cerr << "oracle_cache guard: warm-up produced no cache misses\n";
+      return 1;
+    }
+  }
+
+  constexpr int kTrials = 7;
+  constexpr int kRepsPerTrial = 30;
+  std::vector<double> cold_seconds, warm_seconds;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    fuzzer::Oracle cold(env.info);
+    cold.SyncState(installed);
+    for (int rep = 0; rep < kRepsPerTrial; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto findings = cold.JudgeBatch(batch, response, post_read);
+      cold_seconds.push_back(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+      if (!findings.empty()) {
+        std::cerr << "oracle_cache guard: cold replay produced findings\n";
+        return 1;
+      }
+    }
+    fuzzer::Oracle warm(env.info, &cache);
+    warm.SyncState(installed);
+    for (int rep = 0; rep < kRepsPerTrial; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto findings = warm.JudgeBatch(batch, response, post_read);
+      warm_seconds.push_back(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+      if (!findings.empty()) {
+        std::cerr << "oracle_cache guard: warm replay produced findings "
+                     "(cached and uncached verdicts diverged)\n";
+        return 1;
+      }
+    }
+    if (warm.cache_stats().misses != 0 || warm.cache_stats().hits == 0) {
+      std::cerr << "oracle_cache guard: warm replay was not fully cached ("
+                << warm.cache_stats().hits << " hits, "
+                << warm.cache_stats().misses << " misses)\n";
+      return 1;
+    }
+  }
+  const auto p50 = [](std::vector<double>& samples) {
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end());
+    return samples[samples.size() / 2];
+  };
+  const double cold_p50 = p50(cold_seconds);
+  const double warm_p50 = p50(warm_seconds);
+  constexpr double kRequiredSpeedup = 5.0;
+  const bool ok = cold_p50 >= kRequiredSpeedup * warm_p50;
+  std::printf(
+      "oracle_cache: JudgeBatch p50 cold %.1fus, warm %.1fus (%.1fx) — %s "
+      "(gate: warm >= %.0fx faster)\n",
+      cold_p50 * 1e6, warm_p50 * 1e6, cold_p50 / warm_p50,
+      ok ? "PASS" : "FAIL", kRequiredSpeedup);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace switchv
 
@@ -391,5 +584,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return switchv::TelemetryOverheadGuard();
+  const int telemetry = switchv::TelemetryOverheadGuard();
+  const int oracle_cache = switchv::OracleCacheSpeedupGuard();
+  return telemetry != 0 ? telemetry : oracle_cache;
 }

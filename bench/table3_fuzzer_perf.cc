@@ -33,8 +33,10 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
+#include "fuzzer/judgment_cache.h"
 #include "models/entry_gen.h"
 #include "switchv/experiment.h"
 #include "switchv/telemetry.h"
@@ -63,11 +65,16 @@ StatusOr<RowResult> RunInstantiation(const std::string& name,
   SWITCHV_RETURN_IF_ERROR(sut.SetForwardingPipelineConfig(info));
 
   Metrics metrics;
+  fuzzer::JudgmentCache judgment_cache;
   ControlPlaneOptions options;
   options.num_requests = requests;
   options.updates_per_request = 50;
   options.seed = 7;
   options.metrics = &metrics;
+  // Production shards share a process-wide judgment cache (engine.cc);
+  // give the bench row the same configuration so its oracle cost is the
+  // deployed one, and so BENCH_fuzzer.json records the hit/miss traffic.
+  options.judgment_cache = &judgment_cache;
   const auto start = std::chrono::steady_clock::now();
   const ControlPlaneResult result =
       RunControlPlaneValidation(sut, info, options);
@@ -152,6 +159,79 @@ StatusOr<MetricsSnapshot> RunCampaignScaling() {
   return parallel.metrics;
 }
 
+// Pulls `updates_sent` and the oracle phase's `total_ns` out of one
+// instantiation object ("inst1"/"inst2") of a BENCH_fuzzer.json payload and
+// returns the oracle-phase throughput in updates per oracle-second.
+// Returns false if the payload lacks either field.
+bool OracleRate(const std::string& json, const std::string& inst,
+                double* updates_per_oracle_second) {
+  const std::size_t inst_pos = json.find("\"" + inst + "\":");
+  if (inst_pos == std::string::npos) return false;
+  const std::string updates_key = "\"updates_sent\":";
+  const std::string oracle_key = "\"oracle\":{\"total_ns\":";
+  const std::size_t u = json.find(updates_key, inst_pos);
+  const std::size_t o = json.find(oracle_key, inst_pos);
+  if (u == std::string::npos || o == std::string::npos) return false;
+  const double updates = std::atof(json.c_str() + u + updates_key.size());
+  const double oracle_ns = std::atof(json.c_str() + o + oracle_key.size());
+  if (updates <= 0 || oracle_ns <= 0) return false;
+  *updates_per_oracle_second = updates / (oracle_ns / 1e9);
+  return true;
+}
+
+// Perf gate for the incremental oracle + judgment cache: with
+// SWITCHV_BENCH_BASELINE pointing at a pre-change BENCH_fuzzer.json, the
+// oracle phase of both instantiation rows must sustain >= 10x the
+// baseline's updates per oracle-second. The oracle phase is gated (rather
+// than end-to-end updates/s) because the other phases — switch write/read
+// round-trips and the reference simulation — are outside the oracle's
+// control and would dilute a regression in it.
+int CheckOracleSpeedupGate(const std::string& current_json) {
+  const char* baseline_path = std::getenv("SWITCHV_BENCH_BASELINE");
+  if (baseline_path == nullptr) {
+    std::cout << "oracle speedup gate: skipped (set SWITCHV_BENCH_BASELINE "
+                 "to a pre-change BENCH_fuzzer.json to enforce >= 10x)\n";
+    return 0;
+  }
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "oracle speedup gate: FAIL — cannot read baseline "
+              << baseline_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string baseline_json = buffer.str();
+  constexpr double kRequiredSpeedup = 10.0;
+  int failures = 0;
+  for (const char* inst : {"inst1", "inst2"}) {
+    double base_rate = 0, current_rate = 0;
+    if (!OracleRate(baseline_json, inst, &base_rate)) {
+      std::cerr << "oracle speedup gate: FAIL — baseline " << baseline_path
+                << " has no oracle rate for " << inst << "\n";
+      ++failures;
+      continue;
+    }
+    if (!OracleRate(current_json, inst, &current_rate)) {
+      std::cerr << "oracle speedup gate: FAIL — current run has no oracle "
+                   "rate for "
+                << inst << "\n";
+      ++failures;
+      continue;
+    }
+    const double speedup = current_rate / base_rate;
+    const bool ok = speedup >= kRequiredSpeedup;
+    std::cout << "oracle speedup gate: " << (ok ? "PASS" : "FAIL") << " — "
+              << inst << " " << std::fixed << std::setprecision(0)
+              << base_rate << " -> " << current_rate
+              << " updates per oracle-second (" << std::setprecision(1)
+              << speedup << "x, need >= " << std::setprecision(0)
+              << kRequiredSpeedup << "x)\n";
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
@@ -200,9 +280,10 @@ int main() {
     std::cerr << campaign.status() << "\n";
     return 1;
   }
-  std::ofstream("BENCH_fuzzer.json")
-      << "{\"inst1\":" << program_json[0] << ",\"inst2\":" << program_json[1]
-      << ",\"campaign\":" << campaign->ToJson() << "}";
+  const std::string bench_json = "{\"inst1\":" + program_json[0] +
+                                 ",\"inst2\":" + program_json[1] +
+                                 ",\"campaign\":" + campaign->ToJson() + "}";
+  std::ofstream("BENCH_fuzzer.json") << bench_json;
   std::cout << "wrote BENCH_fuzzer.json\n";
-  return 0;
+  return CheckOracleSpeedupGate(bench_json);
 }

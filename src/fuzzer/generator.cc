@@ -57,12 +57,14 @@ StatusOr<p4rt::FieldMatch> RequestGenerator::GenerateMatch(
   p4rt::FieldMatch match;
   match.field_id = field.id;
   if (field.refers_to.has_value()) {
-    const std::vector<std::string> pool = state.KeyValues(
+    const std::size_t pool_size = state.KeyPoolSize(
         field.refers_to->table, field.refers_to->key);
-    if (pool.empty()) {
+    if (pool_size == 0) {
       return NotFoundError("no installed values for reference target");
     }
-    match.value = rng_.Pick(pool);
+    match.value = state.KeyValueAt(field.refers_to->table,
+                                   field.refers_to->key,
+                                   rng_.Index(pool_size));
     return match;
   }
   switch (field.kind) {
@@ -105,12 +107,13 @@ StatusOr<p4rt::ActionInvocation> RequestGenerator::GenerateAction(
     }
     std::string value;
     if (target != nullptr) {
-      const std::vector<std::string> pool =
-          state.KeyValues(target->table, target->key);
-      if (pool.empty()) {
+      const std::size_t pool_size =
+          state.KeyPoolSize(target->table, target->key);
+      if (pool_size == 0) {
         return NotFoundError("no installed values for param reference");
       }
-      value = rng_.Pick(pool);
+      value = state.KeyValueAt(target->table, target->key,
+                               rng_.Index(pool_size));
     } else {
       value = rng_.Bits(param.width).ToCanonicalBytes();
     }
@@ -140,12 +143,14 @@ StatusOr<p4rt::TableEntry> RequestGenerator::SampleConstrainedEntry(
     if (field.refers_to.has_value()) {
       // Referenced keys draw from the installed pool instead (our models
       // never constrain a referencing key).
-      const std::vector<std::string> pool = state.KeyValues(
+      const std::size_t pool_size = state.KeyPoolSize(
           field.refers_to->table, field.refers_to->key);
-      if (pool.empty()) {
+      if (pool_size == 0) {
         return NotFoundError("no installed values for reference target");
       }
-      match.value = rng_.Pick(pool);
+      match.value = state.KeyValueAt(field.refers_to->table,
+                                     field.refers_to->key,
+                                     rng_.Index(pool_size));
       entry.matches.push_back(std::move(match));
       continue;
     }

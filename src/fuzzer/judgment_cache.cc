@@ -1,0 +1,240 @@
+#include "fuzzer/judgment_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "util/fingerprint.h"
+
+namespace switchv::fuzzer {
+
+namespace {
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v & 0xff),
+                         static_cast<char>((v >> 8) & 0xff),
+                         static_cast<char>((v >> 16) & 0xff),
+                         static_cast<char>((v >> 24) & 0xff)};
+  out.append(bytes, 4);
+}
+
+void AppendI32(std::string& out, int v) {
+  AppendU32(out, static_cast<std::uint32_t>(v));
+}
+
+void AppendStr(std::string& out, const std::string& s) {
+  AppendU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void AppendAction(std::string& out, const p4rt::ActionInvocation& action) {
+  AppendU32(out, action.action_id);
+  AppendU32(out, static_cast<std::uint32_t>(action.params.size()));
+  for (const p4rt::ActionInvocation::Param& p : action.params) {
+    AppendU32(out, p.param_id);
+    AppendStr(out, p.value);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void AppendCanonicalEntryBytes(const p4rt::TableEntry& entry,
+                               std::string& out) {
+  AppendU32(out, entry.table_id);
+  AppendI32(out, entry.priority);
+  // Encode each match on its own, then sort the encodings: match order is
+  // semantically irrelevant, so permutations must share bytes. Each match
+  // encoding is self-delimiting (fixed-width ids, length-prefixed values),
+  // so concatenation under a count prefix stays injective. The pieces are
+  // packed into one scratch buffer and sorted as spans — this runs on
+  // every cached judgment, so per-match string allocations would dominate
+  // the hit path. The buffers are thread-local so the steady state is
+  // allocation-free.
+  thread_local std::string scratch;
+  thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  scratch.clear();
+  spans.clear();
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(scratch.size());
+    AppendU32(scratch, m.field_id);
+    AppendStr(scratch, m.value);
+    AppendStr(scratch, m.mask);
+    AppendI32(scratch, m.prefix_len);
+    spans.emplace_back(begin, static_cast<std::uint32_t>(scratch.size()));
+  }
+  std::sort(spans.begin(), spans.end(),
+            [&scratch](const auto& a, const auto& b) {
+              return std::string_view(scratch).substr(a.first,
+                                                      a.second - a.first) <
+                     std::string_view(scratch).substr(b.first,
+                                                      b.second - b.first);
+            });
+  AppendU32(out, static_cast<std::uint32_t>(spans.size()));
+  for (const auto& [begin, end] : spans) {
+    out.append(scratch, begin, end - begin);
+  }
+  out.push_back(entry.action.kind == p4rt::TableAction::Kind::kDirect ? 0
+                                                                      : 1);
+  if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+    AppendAction(out, entry.action.direct);
+  } else {
+    AppendU32(out, static_cast<std::uint32_t>(entry.action.action_set.size()));
+    for (const p4rt::WeightedAction& wa : entry.action.action_set) {
+      AppendAction(out, wa.action);
+      AppendI32(out, wa.weight);
+    }
+  }
+}
+
+}  // namespace
+
+std::string CanonicalEntryBytes(const p4rt::TableEntry& entry) {
+  std::string out;
+  out.reserve(96);
+  AppendCanonicalEntryBytes(entry, out);
+  return out;
+}
+
+std::string CanonicalUpdateBytes(const p4rt::Update& update) {
+  std::string out;
+  AppendCanonicalUpdateBytes(update, out);
+  return out;
+}
+
+void AppendCanonicalUpdateBytes(const p4rt::Update& update,
+                                std::string& out) {
+  out.reserve(out.size() + 104);
+  out.push_back(static_cast<char>(update.type));
+  AppendCanonicalEntryBytes(update.entry, out);
+}
+
+namespace {
+
+// Word-at-a-time 64-bit mixer (splitmix-style multiply + xor-shift).
+// EntryContentHash is only ever compared against other EntryContentHash
+// values (state digests, the oracle's post-read fast path), so it needs
+// speed and avalanche, not a stable external format: one multiply per
+// 8 input bytes beats byte-at-a-time FNV ~4x on the read-back digest
+// loop, the hottest code in a healthy-switch campaign.
+struct WordHash {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  void Add(std::uint64_t v) {
+    h = (h ^ v) * 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+  }
+  void AddBytes(std::string_view s) {
+    Add(s.size());  // length marker keeps ("ab","")/("a","b") distinct
+    while (s.size() >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, s.data(), 8);
+      Add(w);
+      s.remove_prefix(8);
+    }
+    if (!s.empty()) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, s.data(), s.size());
+      Add(w);
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t EntryContentHash(const p4rt::TableEntry& entry) {
+  // Single allocation-free pass — this runs once per installed entry per
+  // post-batch read, so it is the hottest loop in the oracle's fast path.
+  // Matches combine by an order-independent sum of per-match hashes
+  // (mirroring the sorted canonical encoding's order-insensitivity);
+  // everything else is hashed in a fixed field order with length markers,
+  // so distinct entries collide only with hash probability.
+  WordHash head;
+  head.Add(entry.table_id);
+  head.Add(static_cast<std::uint64_t>(entry.priority));
+  std::uint64_t match_sum = 0;
+  for (const p4rt::FieldMatch& m : entry.matches) {
+    WordHash piece;
+    piece.Add(m.field_id);
+    piece.AddBytes(m.value);
+    piece.AddBytes(m.mask);
+    piece.Add(static_cast<std::uint64_t>(m.prefix_len));
+    match_sum += piece.h;
+  }
+  head.Add(entry.matches.size());
+  head.Add(match_sum);
+  const auto add_action = [&head](const p4rt::ActionInvocation& action) {
+    head.Add(action.action_id);
+    head.Add(action.params.size());
+    for (const p4rt::ActionInvocation::Param& p : action.params) {
+      head.Add(p.param_id);
+      head.AddBytes(p.value);
+    }
+  };
+  if (entry.action.kind == p4rt::TableAction::Kind::kDirect) {
+    head.Add(0);
+    add_action(entry.action.direct);
+  } else {
+    head.Add(1);
+    head.Add(entry.action.action_set.size());
+    for (const p4rt::WeightedAction& wa : entry.action.action_set) {
+      add_action(wa.action);
+      head.Add(static_cast<std::uint64_t>(wa.weight));
+    }
+  }
+  return head.h;
+}
+
+JudgmentCache::JudgmentCache() : JudgmentCache(Options{}) {}
+
+JudgmentCache::JudgmentCache(Options options)
+    : per_stripe_cap_(std::max<std::size_t>(
+          1, options.max_entries /
+                 static_cast<std::size_t>(std::max(1, options.stripes)))),
+      stripes_(static_cast<std::size_t>(std::max(1, options.stripes))) {}
+
+JudgmentCache::Stripe& JudgmentCache::StripeFor(std::string_view key) {
+  return stripes_[std::hash<std::string_view>{}(key) % stripes_.size()];
+}
+
+bool JudgmentCache::Lookup(std::string_view key, Expectation* out,
+                           JudgmentCacheStats* stats) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    if (stats != nullptr) ++stats->misses;
+    return false;
+  }
+  if (stats != nullptr) ++stats->hits;
+  *out = it->second;
+  return true;
+}
+
+void JudgmentCache::Insert(std::string_view key, const Expectation& value,
+                           JudgmentCacheStats* stats) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto [it, inserted] = stripe.map.emplace(std::string(key), value);
+  if (!inserted) return;  // racing writer got there first
+  stripe.fifo.push_back(&it->first);
+  while (stripe.fifo.size() > per_stripe_cap_) {
+    const std::string* oldest = stripe.fifo.front();
+    stripe.fifo.pop_front();
+    stripe.map.erase(*oldest);
+    if (stats != nullptr) ++stats->evictions;
+  }
+}
+
+std::size_t JudgmentCache::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.map.size();
+  }
+  return total;
+}
+
+}  // namespace switchv::fuzzer

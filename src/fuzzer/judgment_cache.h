@@ -1,0 +1,129 @@
+// Shared memo for oracle judgments (ROADMAP item 1: per-core oracle speed).
+//
+// `Oracle::Classify` is a pure function of (update bytes, P4Info, contents
+// of the update's dependency tables): the entry's own table plus every
+// table it can refer to (@refers_to targets) or be referred from (reverse
+// referrers, consulted by delete judgments). `JudgmentCache` memoizes the
+// resulting admissible-behaviour verdict under a key that encodes exactly
+// those inputs:
+//
+//   key = CanonicalUpdateBytes(update)
+//       ‖ fnv64(P4Info fingerprint, {table id, table content digest}
+//               for every table in the dependency closure)
+//
+// The update bytes are kept verbatim (no hashing), so two distinct updates
+// can never alias a cache slot; only the dependency digest is compressed.
+// Table digests are order-independent sums of per-entry content hashes,
+// maintained incrementally by `SwitchStateView` — any insert, modify, or
+// delete in a dependency table changes the digest and thereby invalidates
+// every cached judgment that could observe it. Because digests are derived
+// from table *contents* (not per-view version counters), one cache can be
+// shared by every shard on a host: shards whose views agree on the
+// dependency tables share hits, shards that diverge cannot collide.
+//
+// Thread-safe via striped mutexes; bounded by FIFO eviction per stripe.
+#ifndef SWITCHV_FUZZER_JUDGMENT_CACHE_H_
+#define SWITCHV_FUZZER_JUDGMENT_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "p4runtime/messages.h"
+#include "util/status.h"
+
+namespace switchv::fuzzer {
+
+// What the spec requires for one update given the expected pre-state.
+// (Hoisted out of Oracle so judgments can live in the shared cache.)
+struct Expectation {
+  enum class Kind { kMustAccept, kMustReject, kEither };
+  Kind kind = Kind::kMustAccept;
+  // Required canonical code for rejections, when the spec pins one.
+  std::optional<StatusCode> required_code;
+  std::string reason;
+
+  friend bool operator==(const Expectation&, const Expectation&) = default;
+};
+
+// Injective canonical encoding of an entry / update: every variable-length
+// field is length-prefixed, so two distinct messages can never encode to
+// the same bytes. Match fields are encoded in sorted order (match-field
+// order is semantically irrelevant: entry identity, syntax validation, and
+// constraint evaluation are all set-based), so permuted-but-equal entries
+// share one cache line.
+std::string CanonicalEntryBytes(const p4rt::TableEntry& entry);
+std::string CanonicalUpdateBytes(const p4rt::Update& update);
+// In-place variant for the cache-key hot path: appends the update's
+// canonical bytes to `out` without intermediate strings.
+void AppendCanonicalUpdateBytes(const p4rt::Update& update, std::string& out);
+
+// Fast 64-bit content hash over the same canonical view of an entry — the
+// per-entry hash that `SwitchStateView` sums into per-table digests and the
+// oracle's post-read fast path recomputes for every read-back entry. Only
+// ever compared against other EntryContentHash values (no external format).
+std::uint64_t EntryContentHash(const p4rt::TableEntry& entry);
+
+// Per-caller cache traffic counters. Each oracle accumulates its own copy
+// (plain values, no atomics) so per-shard attribution survives the metrics
+// merge algebra: hits/misses/evictions add commutatively like every other
+// counter.
+struct JudgmentCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class JudgmentCache {
+ public:
+  struct Options {
+    // Total bound across stripes; FIFO eviction beyond it.
+    std::size_t max_entries = 1 << 17;
+    int stripes = 16;
+  };
+
+  JudgmentCache();  // defaults: Options{}
+  explicit JudgmentCache(Options options);
+
+  // Returns true and fills `*out` on a hit. `stats` (optional) is the
+  // caller's traffic accounting.
+  bool Lookup(std::string_view key, Expectation* out,
+              JudgmentCacheStats* stats);
+
+  // Inserts (first writer wins; a racing duplicate is dropped). Evictions
+  // are charged to the inserting caller's stats.
+  void Insert(std::string_view key, const Expectation& value,
+              JudgmentCacheStats* stats);
+
+  std::size_t size() const;
+
+ private:
+  // Transparent hashing: lookups take string_view without materializing a
+  // std::string.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Expectation, KeyHash, std::equal_to<>>
+        map;
+    std::deque<const std::string*> fifo;  // keys in insertion order
+  };
+
+  Stripe& StripeFor(std::string_view key);
+
+  std::size_t per_stripe_cap_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_JUDGMENT_CACHE_H_

@@ -1,11 +1,83 @@
 #include "fuzzer/oracle.h"
 
+#include <algorithm>
+
 #include "p4runtime/validator.h"
+#include "util/fingerprint.h"
 
 namespace switchv::fuzzer {
 
-Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
-                                     const SwitchStateView& expected) const {
+Oracle::Oracle(const p4ir::P4Info& info, JudgmentCache* cache)
+    : info_(info), state_(info), cache_(cache) {
+  // Forward references (who do I read when judging an insert/modify) and
+  // reverse references (who reads me when judging a delete), resolved to
+  // table ids once.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> forward;
+  for (const p4ir::TableInfo& table : info_.tables()) {
+    std::vector<std::uint32_t>& targets = forward[table.id];
+    auto add_target = [&](const p4ir::RefersTo& target) {
+      const p4ir::TableInfo* referred = info_.FindTableByName(target.table);
+      if (referred != nullptr) targets.push_back(referred->id);
+    };
+    for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+      if (field.refers_to.has_value()) add_target(*field.refers_to);
+    }
+    for (const p4ir::TableParamReference& r : table.param_references) {
+      add_target(r.target);
+    }
+  }
+  for (const p4ir::TableInfo& table : info_.tables()) {
+    std::vector<std::uint32_t> closure;
+    closure.push_back(table.id);
+    for (std::uint32_t target : forward[table.id]) closure.push_back(target);
+    for (const auto& [referrer, targets] : forward) {
+      if (std::find(targets.begin(), targets.end(), table.id) !=
+          targets.end()) {
+        closure.push_back(referrer);
+      }
+    }
+    std::sort(closure.begin(), closure.end());
+    closure.erase(std::unique(closure.begin(), closure.end()),
+                  closure.end());
+    dep_closure_[table.id] = std::move(closure);
+  }
+}
+
+const std::vector<std::uint32_t>& Oracle::DepClosure(
+    std::uint32_t table_id) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  auto it = dep_closure_.find(table_id);
+  // Unknown table: the judgment is state-independent (syntax rejection),
+  // so the key needs no table digests.
+  return it == dep_closure_.end() ? kEmpty : it->second;
+}
+
+Expectation Oracle::ClassifyCached(const p4rt::Update& update) {
+  if (cache_ == nullptr) return Classify(update, state_);
+  // The key never outlives this call (Lookup reads it, Insert copies it),
+  // so a reused thread-local buffer keeps the hit path allocation-free.
+  thread_local std::string key;
+  key.clear();
+  AppendCanonicalUpdateBytes(update, key);
+  Fingerprint digest;
+  digest.AddU64(info_.fingerprint());
+  for (std::uint32_t table_id : DepClosure(update.entry.table_id)) {
+    digest.AddU64(table_id);
+    digest.AddU64(state_.TableDigest(table_id));
+  }
+  const std::uint64_t d = digest.digest();
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>((d >> (i * 8)) & 0xff));
+  }
+  Expectation out;
+  if (cache_->Lookup(key, &out, &cache_stats_)) return out;
+  out = Classify(update, state_);
+  cache_->Insert(key, out, &cache_stats_);
+  return out;
+}
+
+Expectation Oracle::Classify(const p4rt::Update& update,
+                             const SwitchStateView& expected) const {
   using Kind = Expectation::Kind;
   const p4rt::TableEntry& entry = update.entry;
 
@@ -42,20 +114,16 @@ Oracle::Expectation Oracle::Classify(const p4rt::Update& update,
   if (!compliant.ok() || !*compliant) {
     return {Kind::kMustReject, std::nullopt, "violates @entry_restriction"};
   }
-  // Referential integrity against the expected pre-state.
+  // Referential integrity against the expected pre-state: a reference is
+  // dangling iff none of the installed entries provides the referenced
+  // value.
   bool dangling = false;
   {
-    // A reference is dangling iff none of the installed entries provides
-    // the referenced value. `KeyValues` is a read-only query, so ask
-    // `expected` directly.
     auto check_value = [&](const p4ir::RefersTo& target,
                            const std::string& value) {
-      const auto pool = expected.KeyValues(target.table, target.key);
-      bool found = false;
-      for (const std::string& v : pool) {
-        if (v == value) found = true;
+      if (!expected.HasKeyValue(target.table, target.key, value)) {
+        dangling = true;
       }
-      if (!found) dangling = true;
     };
     for (const p4rt::FieldMatch& m : entry.matches) {
       const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
@@ -108,7 +176,6 @@ std::vector<Finding> Oracle::JudgeBatch(
     const p4rt::WriteResponse& response,
     const StatusOr<p4rt::ReadResponse>& post_read) {
   std::vector<Finding> findings;
-  SwitchStateView expected = state_;
 
   // The P4Runtime spec requires exactly one status per update. A switch
   // that returns a short (or long) status vector has violated the protocol;
@@ -121,11 +188,14 @@ std::vector<Finding> Oracle::JudgeBatch(
             " updates (the spec requires exactly one status per update)",
         std::nullopt, "", 0});
   }
+  // Judge each update against the evolving expected state. The tracked
+  // view is advanced in place — it is re-synchronized to the authoritative
+  // read below, so there is nothing to restore on divergence.
   for (std::size_t i = 0; i < batch.size() && i < response.statuses.size();
        ++i) {
     const AnnotatedUpdate& annotated = batch[i];
     const Status& status = response.statuses[i];
-    const Expectation expectation = Classify(annotated.update, expected);
+    const Expectation expectation = ClassifyCached(annotated.update);
     switch (expectation.kind) {
       case Expectation::Kind::kMustAccept:
         if (!status.ok()) {
@@ -170,7 +240,7 @@ std::vector<Finding> Oracle::JudgeBatch(
     }
     // Track what the switch claims happened.
     if (status.ok()) {
-      expected.Apply(annotated.update);
+      state_.Apply(annotated.update);
     }
   }
 
@@ -180,19 +250,30 @@ std::vector<Finding> Oracle::JudgeBatch(
         "reading the switch state failed: " + post_read.status().ToString(),
         std::nullopt, ""});
     // Keep the expected state as the best available view.
-    std::vector<p4rt::TableEntry> entries;
-    for (const p4rt::TableEntry* e : expected.AllEntries()) {
-      entries.push_back(*e);
-    }
-    state_.Reset(entries);
     return findings;
   }
 
-  SwitchStateView observed(info_);
-  observed.Reset(post_read->entries);
+  // Fast path: if the read-back multiset of entries hashes to exactly the
+  // tracked view's content digest, the states agree — no divergence
+  // findings, and the view is already in sync.
+  std::uint64_t observed_digest = 0;
+  for (const p4rt::TableEntry& entry : post_read->entries) {
+    observed_digest += EntryContentHash(entry);
+  }
+  if (observed_digest == state_.TotalDigest()) {
+    return findings;
+  }
+
+  // Slow path: per-entry diff. Dedup the read by key fingerprint
+  // (last-wins, matching what a view rebuild would keep).
+  std::map<std::string, const p4rt::TableEntry*> observed;
+  for (const p4rt::TableEntry& entry : post_read->entries) {
+    observed[entry.KeyFingerprint()] = &entry;
+  }
   int divergences = 0;
-  for (const p4rt::TableEntry* want : expected.AllEntries()) {
-    const p4rt::TableEntry* got = observed.Find(*want);
+  for (const p4rt::TableEntry* want : state_.AllEntries()) {
+    auto it = observed.find(want->KeyFingerprint());
+    const p4rt::TableEntry* got = it == observed.end() ? nullptr : it->second;
     if (got == nullptr) {
       if (++divergences <= 5) {
         findings.push_back(Finding{
@@ -211,8 +292,8 @@ std::vector<Finding> Oracle::JudgeBatch(
       }
     }
   }
-  for (const p4rt::TableEntry* got : observed.AllEntries()) {
-    if (expected.Find(*got) == nullptr) {
+  for (const auto& [fingerprint, got] : observed) {
+    if (state_.FindByFingerprint(fingerprint) == nullptr) {
       if (++divergences <= 5) {
         findings.push_back(Finding{
             "read-back state contains an entry the switch never "
@@ -226,7 +307,7 @@ std::vector<Finding> Oracle::JudgeBatch(
         std::to_string(divergences) + " total state divergences in batch",
         std::nullopt, ""});
   }
-  state_.Reset(post_read->entries);
+  state_.SyncTo(observed);
   return findings;
 }
 

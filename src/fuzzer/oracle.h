@@ -7,14 +7,26 @@
 // the expected state implied by the switch's own responses, and then
 // *forgets* the prior state — avoiding the state explosion of tracking all
 // valid interleavings.
+//
+// The bookkeeping is incremental: the tracked view is mutated in place as
+// the switch acknowledges updates, the post-read comparison short-circuits
+// on content digests when the switch state matches expectations (the common
+// case on a healthy switch), and the final re-sync diffs instead of
+// rebuilding. Classification itself can be memoized through a shared
+// `JudgmentCache`: verdicts are keyed on canonical update bytes plus the
+// digests of the update's dependency tables, so a judgment is reused
+// exactly when nothing it could observe has changed — and produces
+// byte-identical findings to the uncached path by construction.
 #ifndef SWITCHV_FUZZER_ORACLE_H_
 #define SWITCHV_FUZZER_ORACLE_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fuzzer/generator.h"
+#include "fuzzer/judgment_cache.h"
 #include "fuzzer/state.h"
 
 namespace switchv::fuzzer {
@@ -29,7 +41,10 @@ struct Finding {
 
 class Oracle {
  public:
-  explicit Oracle(const p4ir::P4Info& info) : info_(info), state_(info) {}
+  // `cache` is optional; null judges every update from scratch. The cache
+  // may be shared with other oracles (other shards on this host) — hits
+  // and misses are accumulated per-oracle in `cache_stats()`.
+  explicit Oracle(const p4ir::P4Info& info, JudgmentCache* cache = nullptr);
 
   // Judges a batch given the switch's per-update statuses and the
   // post-batch read of all tables. Re-synchronizes the tracked state to
@@ -48,19 +63,24 @@ class Oracle {
     state_.Reset(entries);
   }
 
+  // Cache traffic attributed to this oracle (zeros when uncached).
+  const JudgmentCacheStats& cache_stats() const { return cache_stats_; }
+
  private:
-  // What the spec requires for one update given the expected pre-state.
-  struct Expectation {
-    enum class Kind { kMustAccept, kMustReject, kEither } kind;
-    // Required canonical code for rejections, when the spec pins one.
-    std::optional<StatusCode> required_code;
-    std::string reason;
-  };
   Expectation Classify(const p4rt::Update& update,
                        const SwitchStateView& expected) const;
+  // Memoized front-end for Classify against the current tracked state.
+  Expectation ClassifyCached(const p4rt::Update& update);
+  // Tables whose contents a judgment for `table_id` may observe: the table
+  // itself, its @refers_to targets, and its reverse referrers (delete
+  // judgments read referring tables). Precomputed from P4Info.
+  const std::vector<std::uint32_t>& DepClosure(std::uint32_t table_id) const;
 
   const p4ir::P4Info& info_;
   SwitchStateView state_;
+  JudgmentCache* cache_;
+  JudgmentCacheStats cache_stats_;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> dep_closure_;
 };
 
 }  // namespace switchv::fuzzer

@@ -1,39 +1,142 @@
 #include "fuzzer/state.h"
 
+#include <algorithm>
+
+#include "fuzzer/judgment_cache.h"
+
 namespace switchv::fuzzer {
+
+SwitchStateView::SwitchStateView(const p4ir::P4Info& info) : info_(&info) {
+  // Resolve, once, which (table, key) pools the program can ever query:
+  // the targets of @refers_to match annotations and action-param
+  // references. Provider indexing is restricted to the fields that feed
+  // those pools; everything else skips the index entirely on apply.
+  std::set<PoolKey> referenced_pools;
+  for (const p4ir::TableInfo& table : info.tables()) {
+    bool refers = false;
+    for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+      if (field.refers_to.has_value()) {
+        referenced_pools.insert(
+            PoolKey{field.refers_to->table, field.refers_to->key});
+        refers = true;
+      }
+    }
+    for (const p4ir::TableParamReference& r : table.param_references) {
+      referenced_pools.insert(PoolKey{r.target.table, r.target.key});
+      refers = true;
+    }
+    if (refers) referring_tables_.insert(table.id);
+  }
+  for (const p4ir::TableInfo& table : info.tables()) {
+    for (const p4ir::MatchFieldInfo& field : table.match_fields) {
+      if (referenced_pools.contains(PoolKey{table.name, field.name})) {
+        provider_fields_[table.id].push_back(field.id);
+      }
+    }
+  }
+}
+
+void SwitchStateView::AddDigest(const Stored& stored, int sign) {
+  const std::uint64_t h = stored.hash;
+  std::uint64_t& table_digest = digest_by_table_[stored.entry.table_id];
+  if (sign > 0) {
+    table_digest += h;
+    total_digest_ += h;
+  } else {
+    table_digest -= h;
+    total_digest_ -= h;
+  }
+}
+
+void SwitchStateView::InsertStored(const std::string& fingerprint,
+                                   Stored stored) {
+  auto [it, inserted] =
+      by_fingerprint_.insert_or_assign(fingerprint, std::move(stored));
+  (void)inserted;
+  const Stored& s = it->second;
+  by_table_[s.entry.table_id][fingerprint] = &s.entry;
+  ++count_by_table_[s.entry.table_id];
+  AddDigest(s, +1);
+  Index(s.entry, +1);
+}
+
+void SwitchStateView::EraseStored(
+    std::map<std::string, Stored>::iterator it) {
+  const Stored& s = it->second;
+  Index(s.entry, -1);
+  AddDigest(s, -1);
+  --count_by_table_[s.entry.table_id];
+  auto table_it = by_table_.find(s.entry.table_id);
+  if (table_it != by_table_.end()) {
+    table_it->second.erase(it->first);
+    if (table_it->second.empty()) by_table_.erase(table_it);
+  }
+  by_fingerprint_.erase(it);
+}
 
 void SwitchStateView::Reset(const std::vector<p4rt::TableEntry>& entries) {
   by_fingerprint_.clear();
+  by_table_.clear();
+  count_by_table_.clear();
+  digest_by_table_.clear();
+  total_digest_ = 0;
   providers_.clear();
   references_.clear();
   for (const p4rt::TableEntry& entry : entries) {
-    by_fingerprint_[entry.KeyFingerprint()] = entry;
-    Index(entry, +1);
+    const std::string fingerprint = entry.KeyFingerprint();
+    auto it = by_fingerprint_.find(fingerprint);
+    if (it != by_fingerprint_.end()) {
+      // Duplicate key in the input: last wins, like map assignment did.
+      EraseStored(it);
+    }
+    InsertStored(fingerprint, Stored{entry, EntryContentHash(entry)});
+  }
+}
+
+void SwitchStateView::SyncTo(
+    const std::map<std::string, const p4rt::TableEntry*>& observed) {
+  // Drop entries that vanished from the read.
+  for (auto it = by_fingerprint_.begin(); it != by_fingerprint_.end();) {
+    if (observed.contains(it->first)) {
+      ++it;
+    } else {
+      auto doomed = it++;
+      EraseStored(doomed);
+    }
+  }
+  // Add new entries; replace changed ones; leave identical ones untouched.
+  for (const auto& [fingerprint, entry] : observed) {
+    auto it = by_fingerprint_.find(fingerprint);
+    if (it != by_fingerprint_.end()) {
+      if (it->second.entry == *entry) continue;
+      EraseStored(it);
+    }
+    InsertStored(fingerprint, Stored{*entry, EntryContentHash(*entry)});
   }
 }
 
 void SwitchStateView::Apply(const p4rt::Update& update) {
   const std::string fingerprint = update.entry.KeyFingerprint();
   switch (update.type) {
-    case p4rt::UpdateType::kInsert:
-      by_fingerprint_[fingerprint] = update.entry;
-      Index(update.entry, +1);
+    case p4rt::UpdateType::kInsert: {
+      auto it = by_fingerprint_.find(fingerprint);
+      if (it != by_fingerprint_.end()) EraseStored(it);
+      InsertStored(fingerprint,
+                   Stored{update.entry, EntryContentHash(update.entry)});
       break;
+    }
     case p4rt::UpdateType::kModify: {
       auto it = by_fingerprint_.find(fingerprint);
       if (it != by_fingerprint_.end()) {
-        Index(it->second, -1);
-        it->second = update.entry;
-        Index(update.entry, +1);
+        EraseStored(it);
+        InsertStored(fingerprint,
+                     Stored{update.entry, EntryContentHash(update.entry)});
       }
       break;
     }
     case p4rt::UpdateType::kDelete: {
       auto it = by_fingerprint_.find(fingerprint);
-      if (it != by_fingerprint_.end()) {
-        Index(it->second, -1);
-        by_fingerprint_.erase(it);
-      }
+      if (it != by_fingerprint_.end()) EraseStored(it);
       break;
     }
   }
@@ -41,23 +144,28 @@ void SwitchStateView::Apply(const p4rt::Update& update) {
 
 const p4rt::TableEntry* SwitchStateView::Find(
     const p4rt::TableEntry& entry) const {
-  auto it = by_fingerprint_.find(entry.KeyFingerprint());
-  return it == by_fingerprint_.end() ? nullptr : &it->second;
+  return FindByFingerprint(entry.KeyFingerprint());
+}
+
+const p4rt::TableEntry* SwitchStateView::FindByFingerprint(
+    const std::string& fingerprint) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  return it == by_fingerprint_.end() ? nullptr : &it->second.entry;
 }
 
 int SwitchStateView::Count(std::uint32_t table_id) const {
-  int count = 0;
-  for (const auto& [fingerprint, entry] : by_fingerprint_) {
-    if (entry.table_id == table_id) ++count;
-  }
-  return count;
+  auto it = count_by_table_.find(table_id);
+  return it == count_by_table_.end() ? 0 : it->second;
 }
 
 std::vector<const p4rt::TableEntry*> SwitchStateView::TableEntries(
     std::uint32_t table_id) const {
   std::vector<const p4rt::TableEntry*> out;
-  for (const auto& [fingerprint, entry] : by_fingerprint_) {
-    if (entry.table_id == table_id) out.push_back(&entry);
+  auto it = by_table_.find(table_id);
+  if (it == by_table_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [fingerprint, entry] : it->second) {
+    out.push_back(entry);
   }
   return out;
 }
@@ -65,8 +173,8 @@ std::vector<const p4rt::TableEntry*> SwitchStateView::TableEntries(
 std::vector<const p4rt::TableEntry*> SwitchStateView::AllEntries() const {
   std::vector<const p4rt::TableEntry*> out;
   out.reserve(by_fingerprint_.size());
-  for (const auto& [fingerprint, entry] : by_fingerprint_) {
-    out.push_back(&entry);
+  for (const auto& [fingerprint, stored] : by_fingerprint_) {
+    out.push_back(&stored.entry);
   }
   return out;
 }
@@ -74,30 +182,74 @@ std::vector<const p4rt::TableEntry*> SwitchStateView::AllEntries() const {
 std::vector<std::string> SwitchStateView::KeyValues(
     const std::string& table, const std::string& key) const {
   std::vector<std::string> values;
-  for (const auto& [ref, count] : providers_) {
-    if (count > 0 && std::get<0>(ref) == table && std::get<1>(ref) == key) {
-      values.push_back(std::get<2>(ref));
-    }
+  auto it = providers_.find(PoolKey{table, key});
+  if (it == providers_.end()) return values;
+  values.reserve(it->second.size());
+  for (const auto& [value, count] : it->second) {
+    values.push_back(value);
   }
   return values;
 }
 
+std::size_t SwitchStateView::KeyPoolSize(const std::string& table,
+                                         const std::string& key) const {
+  auto it = providers_.find(PoolKey{table, key});
+  return it == providers_.end() ? 0 : it->second.size();
+}
+
+const std::string& SwitchStateView::KeyValueAt(const std::string& table,
+                                               const std::string& key,
+                                               std::size_t index) const {
+  auto it = providers_.find(PoolKey{table, key});
+  auto value_it = it->second.begin();
+  std::advance(value_it, static_cast<std::ptrdiff_t>(index));
+  return value_it->first;
+}
+
+bool SwitchStateView::HasKeyValue(const std::string& table,
+                                  const std::string& key,
+                                  const std::string& value) const {
+  auto it = providers_.find(PoolKey{table, key});
+  return it != providers_.end() && it->second.contains(value);
+}
+
 bool SwitchStateView::IsReferenced(const p4rt::TableEntry& entry) const {
   for (const RefKey& provided : ProvidedBy(entry)) {
-    auto refs = references_.find(provided);
-    if (refs == references_.end() || refs->second <= 0) continue;
-    auto providers = providers_.find(provided);
-    if (providers != providers_.end() && providers->second <= 1) return true;
+    const PoolKey pool{std::get<0>(provided), std::get<1>(provided)};
+    const std::string& value = std::get<2>(provided);
+    auto refs = references_.find(pool);
+    if (refs == references_.end()) continue;
+    auto ref_count = refs->second.find(value);
+    if (ref_count == refs->second.end() || ref_count->second <= 0) continue;
+    auto providers = providers_.find(pool);
+    if (providers == providers_.end()) continue;
+    auto provider_count = providers->second.find(value);
+    if (provider_count != providers->second.end() &&
+        provider_count->second <= 1) {
+      return true;
+    }
   }
   return false;
+}
+
+std::uint64_t SwitchStateView::TableDigest(std::uint32_t table_id) const {
+  auto it = digest_by_table_.find(table_id);
+  return it == digest_by_table_.end() ? 0 : it->second;
 }
 
 std::vector<SwitchStateView::RefKey> SwitchStateView::ProvidedBy(
     const p4rt::TableEntry& entry) const {
   std::vector<RefKey> provided;
+  const auto fields_it = provider_fields_.find(entry.table_id);
+  if (fields_it == provider_fields_.end()) return provided;
+  const std::vector<std::uint32_t>& provider_fields = fields_it->second;
   const p4ir::TableInfo* table = info_->FindTable(entry.table_id);
   if (table == nullptr) return provided;
   for (const p4rt::FieldMatch& m : entry.matches) {
+    if (std::find(provider_fields.begin(), provider_fields.end(),
+                  m.field_id) == provider_fields.end()) {
+      continue;
+    }
     const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
     if (field == nullptr) continue;
     provided.emplace_back(table->name, field->name, m.value);
@@ -137,11 +289,31 @@ std::vector<SwitchStateView::RefKey> SwitchStateView::ReferencesOf(
 }
 
 void SwitchStateView::Index(const p4rt::TableEntry& entry, int delta) {
-  for (const RefKey& provided : ProvidedBy(entry)) {
-    providers_[provided] += delta;
+  // Most tables neither provide a referenced pool nor reference one:
+  // skip the RefKey materialization entirely for them — this runs once
+  // per accepted update.
+  const bool provides = provider_fields_.contains(entry.table_id);
+  const bool refers = referring_tables_.contains(entry.table_id);
+  if (!provides && !refers) return;
+  auto bump = [delta](std::map<PoolKey, std::map<std::string, int>>& index,
+                      const RefKey& ref) {
+    const PoolKey pool{std::get<0>(ref), std::get<1>(ref)};
+    std::map<std::string, int>& values = index[pool];
+    int& count = values[std::get<2>(ref)];
+    count += delta;
+    // Erase spent values so pool size and iteration order track only the
+    // live (count > 0) pool.
+    if (count <= 0) values.erase(std::get<2>(ref));
+  };
+  if (provides) {
+    for (const RefKey& provided : ProvidedBy(entry)) {
+      bump(providers_, provided);
+    }
   }
-  for (const RefKey& ref : ReferencesOf(entry)) {
-    references_[ref] += delta;
+  if (refers) {
+    for (const RefKey& ref : ReferencesOf(entry)) {
+      bump(references_, ref);
+    }
   }
 }
 

@@ -4,13 +4,19 @@
 // installed entries, §4.4) and the oracle (to judge state-dependent
 // validity) work from this view. It is re-synchronized from a full switch
 // read after every batch, implementing the paper's "observe the actual
-// state, then forget the prior state" oracle design (§4.3).
+// state, then forget the prior state" oracle design (§4.3) — but the
+// re-sync is a diff, not a rebuild: only entries that actually changed are
+// re-indexed, and per-table content digests let the oracle (and the shared
+// judgment cache keyed on them) detect which tables are dirty since the
+// last sync.
 #ifndef SWITCHV_FUZZER_STATE_H_
 #define SWITCHV_FUZZER_STATE_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "p4runtime/messages.h"
@@ -19,10 +25,16 @@ namespace switchv::fuzzer {
 
 class SwitchStateView {
  public:
-  explicit SwitchStateView(const p4ir::P4Info& info) : info_(&info) {}
+  explicit SwitchStateView(const p4ir::P4Info& info);
 
   // Replaces the view with the given (read-back) entries.
   void Reset(const std::vector<p4rt::TableEntry>& entries);
+
+  // Incrementally re-synchronizes the view to a read-back state, given as
+  // a key-fingerprint → entry map (last-wins deduped, exactly what Reset
+  // would have kept). Entries already present and unchanged are not
+  // touched: only the diff is re-indexed and re-digested.
+  void SyncTo(const std::map<std::string, const p4rt::TableEntry*>& observed);
 
   // Applies one accepted update on top of the current view.
   void Apply(const p4rt::Update& update);
@@ -31,36 +43,84 @@ class SwitchStateView {
     return by_fingerprint_.contains(entry.KeyFingerprint());
   }
   const p4rt::TableEntry* Find(const p4rt::TableEntry& entry) const;
+  // Find with the key fingerprint already computed (the oracle's post-read
+  // diff computes every fingerprint exactly once).
+  const p4rt::TableEntry* FindByFingerprint(
+      const std::string& fingerprint) const;
 
   int Count(std::uint32_t table_id) const;
   std::size_t TotalEntries() const { return by_fingerprint_.size(); }
 
-  // All installed entries of one table.
+  // All installed entries of one table, in key-fingerprint order.
   std::vector<const p4rt::TableEntry*> TableEntries(
       std::uint32_t table_id) const;
   std::vector<const p4rt::TableEntry*> AllEntries() const;
 
   // Canonical byte values installed for (table, key): the candidate pool
-  // for @refers_to-respecting generation.
+  // for @refers_to-respecting generation. Sorted, distinct.
   std::vector<std::string> KeyValues(const std::string& table,
                                      const std::string& key) const;
+  // Indexed access to the same pool without materializing it: size, i-th
+  // value (same sorted order KeyValues returns), and membership.
+  std::size_t KeyPoolSize(const std::string& table,
+                          const std::string& key) const;
+  const std::string& KeyValueAt(const std::string& table,
+                                const std::string& key,
+                                std::size_t index) const;
+  bool HasKeyValue(const std::string& table, const std::string& key,
+                   const std::string& value) const;
 
   // True if deleting `entry` would leave a dangling reference (some other
   // installed entry references a value only this entry provides).
   bool IsReferenced(const p4rt::TableEntry& entry) const;
 
+  // Order-independent 64-bit content digest of one table's installed
+  // entries (sum of per-entry content hashes, maintained incrementally).
+  // Changes whenever any entry of the table is inserted, modified, or
+  // deleted; equal digests mean equal contents up to hash collision.
+  std::uint64_t TableDigest(std::uint32_t table_id) const;
+  // Same, over the whole view — the oracle's fast path compares this
+  // against the digest of a read-back state to skip the per-entry diff.
+  std::uint64_t TotalDigest() const { return total_digest_; }
+
   const p4ir::P4Info& info() const { return *info_; }
 
  private:
+  struct Stored {
+    p4rt::TableEntry entry;
+    std::uint64_t hash = 0;  // EntryContentHash(entry)
+  };
   using RefKey = std::tuple<std::string, std::string, std::string>;
+  using PoolKey = std::pair<std::string, std::string>;
   std::vector<RefKey> ProvidedBy(const p4rt::TableEntry& entry) const;
   std::vector<RefKey> ReferencesOf(const p4rt::TableEntry& entry) const;
   void Index(const p4rt::TableEntry& entry, int delta);
+  void AddDigest(const Stored& stored, int sign);
+  void InsertStored(const std::string& fingerprint, Stored stored);
+  void EraseStored(std::map<std::string, Stored>::iterator it);
 
   const p4ir::P4Info* info_;
-  std::map<std::string, p4rt::TableEntry> by_fingerprint_;
-  std::map<RefKey, int> providers_;
-  std::map<RefKey, int> references_;
+  std::map<std::string, Stored> by_fingerprint_;
+  // Per-table secondary index: key fingerprint → entry, same iteration
+  // order as a by_fingerprint_ scan but O(k) per table.
+  std::map<std::uint32_t, std::map<std::string, const p4rt::TableEntry*>>
+      by_table_;
+  std::map<std::uint32_t, int> count_by_table_;
+  std::map<std::uint32_t, std::uint64_t> digest_by_table_;
+  std::uint64_t total_digest_ = 0;
+  // (table, key) → value → provider/reference count. Zero-count values are
+  // erased, so map order == the sorted distinct pool.
+  std::map<PoolKey, std::map<std::string, int>> providers_;
+  std::map<PoolKey, std::map<std::string, int>> references_;
+  // Pools only ever get queried for @refers_to / param-reference targets
+  // (the generator builds references from them, the oracle checks dangling
+  // references against them), so providers_ indexes just those pools:
+  // table id → the match field ids of that table that feed a referenced
+  // pool. Tables absent from the map need no provider indexing at all.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> provider_fields_;
+  // Tables with any outgoing reference; all others skip reference
+  // indexing on insert/erase.
+  std::set<std::uint32_t> referring_tables_;
 };
 
 }  // namespace switchv::fuzzer

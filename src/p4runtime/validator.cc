@@ -1,23 +1,16 @@
 #include "p4runtime/validator.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <utility>
 
 #include "util/bitstring.h"
 
 namespace switchv::p4rt {
 
 namespace {
-
-// Parses canonical bytes into a BitString of the field's width.
-StatusOr<BitString> ParseValue(std::string_view bytes, int width,
-                               const std::string& what) {
-  auto parsed = BitString::FromBytes(bytes, width);
-  if (!parsed.ok()) {
-    return Status(parsed.status().code(),
-                  what + ": " + parsed.status().message());
-  }
-  return std::move(parsed).value();
-}
 
 Status ValidateActionInvocation(const p4ir::P4Info& info,
                                 const p4ir::TableInfo& table,
@@ -37,18 +30,26 @@ Status ValidateActionInvocation(const p4ir::P4Info& info,
                                 " params, got " +
                                 std::to_string(action.params.size()));
   }
-  std::set<std::uint32_t> seen;
-  for (const ActionInvocation::Param& p : action.params) {
-    if (!seen.insert(p.param_id).second) {
-      return InvalidArgumentError("duplicate param id in action " + ai->name);
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    const ActionInvocation::Param& p = action.params[i];
+    // Params are few; a linear scan beats a heap-allocated set here (this
+    // runs on every action of every judged and written update).
+    for (std::size_t j = 0; j < i; ++j) {
+      if (action.params[j].param_id == p.param_id) {
+        return InvalidArgumentError("duplicate param id in action " +
+                                    ai->name);
+      }
     }
     const p4ir::ActionParamInfo* pi = ai->FindParam(p.param_id);
     if (pi == nullptr) {
       return NotFoundError("unknown param id " + std::to_string(p.param_id) +
                            " for action " + ai->name);
     }
-    SWITCHV_RETURN_IF_ERROR(
-        ParseValue(p.value, pi->width, "param " + pi->name).status());
+    auto parsed = BitString::FromBytes(p.value, pi->width);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "param " + pi->name + ": " + parsed.status().message());
+    }
   }
   return OkStatus();
 }
@@ -61,12 +62,16 @@ Status ValidateEntrySyntax(const p4ir::P4Info& info, const TableEntry& entry) {
     return NotFoundError("unknown table id " + std::to_string(entry.table_id));
   }
 
-  std::set<std::uint32_t> seen_fields;
-  for (const FieldMatch& m : entry.matches) {
-    if (!seen_fields.insert(m.field_id).second) {
-      return InvalidArgumentError("duplicate match field id " +
-                                  std::to_string(m.field_id) + " in table " +
-                                  table->name);
+  for (std::size_t i = 0; i < entry.matches.size(); ++i) {
+    const FieldMatch& m = entry.matches[i];
+    // Matches are few; a linear scan beats a heap-allocated set here (this
+    // runs on every judged and written update).
+    for (std::size_t j = 0; j < i; ++j) {
+      if (entry.matches[j].field_id == m.field_id) {
+        return InvalidArgumentError("duplicate match field id " +
+                                    std::to_string(m.field_id) +
+                                    " in table " + table->name);
+      }
     }
     const p4ir::MatchFieldInfo* field = table->FindMatchField(m.field_id);
     if (field == nullptr) {
@@ -74,9 +79,16 @@ Status ValidateEntrySyntax(const p4ir::P4Info& info, const TableEntry& entry) {
                            std::to_string(m.field_id) + " in table " +
                            table->name);
     }
-    SWITCHV_ASSIGN_OR_RETURN(
-        BitString value,
-        ParseValue(m.value, field->width, "match field " + field->name));
+    auto parsed_value = BitString::FromBytes(m.value, field->width);
+    if (!parsed_value.ok()) {
+      // Build the contextual message only on failure; the old eager
+      // "match field " + name argument allocated on every success too.
+      return Status(parsed_value.status().code(), "match field " +
+                                                      field->name + ": " +
+                                                      parsed_value.status()
+                                                          .message());
+    }
+    const BitString value = std::move(parsed_value).value();
     switch (field->kind) {
       case p4ir::MatchKind::kExact:
         if (!m.mask.empty() || m.prefix_len != 0) {
@@ -107,9 +119,13 @@ Status ValidateEntrySyntax(const p4ir::P4Info& info, const TableEntry& entry) {
           return InvalidArgumentError("ternary match " + field->name +
                                       " must not carry a prefix length");
         }
-        SWITCHV_ASSIGN_OR_RETURN(
-            BitString mask,
-            ParseValue(m.mask, field->width, "mask of " + field->name));
+        auto parsed_mask = BitString::FromBytes(m.mask, field->width);
+        if (!parsed_mask.ok()) {
+          return Status(parsed_mask.status().code(),
+                        "mask of " + field->name + ": " +
+                            parsed_mask.status().message());
+        }
+        const BitString mask = std::move(parsed_mask).value();
         if (mask.IsZero()) {
           return InvalidArgumentError(
               "ternary match " + field->name +
@@ -268,13 +284,35 @@ StatusOr<bool> IsConstraintCompliant(const p4ir::P4Info& info,
     return NotFoundError("unknown table id");
   }
   if (table->entry_restriction.empty()) return true;
-  const p4constraints::TableSchema schema = SchemaForTable(*table);
-  SWITCHV_ASSIGN_OR_RETURN(
-      p4constraints::CExpr constraint,
-      p4constraints::ParseConstraint(table->entry_restriction, schema));
+  // Restrictions are fixed per (program, table), but this is the hottest
+  // call in both the SUT write path and the oracle: memoize the parsed AST
+  // keyed by (P4Info fingerprint, table id). shared_ptr hands callers a
+  // stable AST even if a concurrent pipeline push repopulates the memo.
+  static std::mutex* mu = new std::mutex;
+  static auto* parsed_memo =
+      new std::map<std::pair<std::uint64_t, std::uint32_t>,
+                   std::shared_ptr<const p4constraints::CExpr>>;
+  const std::pair<std::uint64_t, std::uint32_t> memo_key{info.fingerprint(),
+                                                         entry.table_id};
+  std::shared_ptr<const p4constraints::CExpr> constraint;
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    const auto it = parsed_memo->find(memo_key);
+    if (it != parsed_memo->end()) constraint = it->second;
+  }
+  if (constraint == nullptr) {
+    const p4constraints::TableSchema schema = SchemaForTable(*table);
+    SWITCHV_ASSIGN_OR_RETURN(
+        p4constraints::CExpr fresh,
+        p4constraints::ParseConstraint(table->entry_restriction, schema));
+    constraint =
+        std::make_shared<const p4constraints::CExpr>(std::move(fresh));
+    std::lock_guard<std::mutex> lock(*mu);
+    parsed_memo->emplace(memo_key, constraint);
+  }
   SWITCHV_ASSIGN_OR_RETURN(p4constraints::EntryValuation valuation,
                            EntryToValuation(info, entry));
-  return p4constraints::EvalConstraint(constraint, valuation);
+  return p4constraints::EvalConstraint(*constraint, valuation);
 }
 
 Status ValidateEntry(const p4ir::P4Info& info, const TableEntry& entry) {

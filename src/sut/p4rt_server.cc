@@ -23,6 +23,7 @@ Status P4RuntimeServer::SetForwardingPipelineConfig(
   }
   p4info_ = config.p4info;
   store_.clear();
+  count_by_table_.clear();
   providers_.clear();
   references_.clear();
   if (faulty(Fault::kP4InfoPushFailureSwallowed)) {
@@ -177,6 +178,7 @@ Status P4RuntimeServer::ApplyInsert(const TableEntry& entry) {
                            p4rt::DecodeEntry(*p4info_, entry));
   SWITCHV_RETURN_IF_ERROR(agent_.Insert(AgentTableName(*table), decoded));
   store_[fingerprint] = StoredEntry{entry, next_sequence_++};
+  ++count_by_table_[entry.table_id];
   IndexEntry(entry, +1);
   return OkStatus();
 }
@@ -227,6 +229,7 @@ Status P4RuntimeServer::ApplyDelete(const TableEntry& entry) {
                            p4rt::DecodeEntry(*p4info_, it->second.entry));
   SWITCHV_RETURN_IF_ERROR(agent_.Delete(AgentTableName(*table), decoded));
   IndexEntry(it->second.entry, -1);
+  --count_by_table_[it->second.entry.table_id];
   store_.erase(it);
   return OkStatus();
 }
@@ -350,11 +353,8 @@ std::vector<TableEntry> P4RuntimeServer::InstalledEntries() const {
 }
 
 int P4RuntimeServer::EntryCount(std::uint32_t table_id) const {
-  int count = 0;
-  for (const auto& [fingerprint, entry] : store_) {
-    if (entry.entry.table_id == table_id) ++count;
-  }
-  return count;
+  const auto it = count_by_table_.find(table_id);
+  return it != count_by_table_.end() ? it->second : 0;
 }
 
 }  // namespace switchv::sut

@@ -90,6 +90,9 @@ class P4RuntimeServer {
   };
   // Keyed by entry identity fingerprint.
   std::map<std::string, StoredEntry> store_;
+  // Live entries per table, maintained on insert/delete so the capacity
+  // check in ApplyInsert is O(log tables) instead of a full store scan.
+  std::map<std::uint32_t, int> count_by_table_;
   std::uint64_t next_sequence_ = 0;
   std::map<RefKey, int> providers_;
   std::map<RefKey, int> references_;

@@ -12,7 +12,8 @@ ControlPlaneResult RunControlPlaneValidation(
   TraceTrack* trace = options.trace;
   FlightRecorder* recorder = options.recorder;
   fuzzer::RequestGenerator generator(info, options.fuzzer, options.seed);
-  fuzzer::Oracle oracle(info);
+  fuzzer::Oracle oracle(
+      info, options.oracle_cache ? options.judgment_cache : nullptr);
 
   // Seed the oracle's view with whatever is already installed.
   auto initial = sut.Read(p4rt::ReadRequest{});
@@ -103,6 +104,10 @@ ControlPlaneResult RunControlPlaneValidation(
   if (metrics != nullptr) {
     metrics->Add(metrics->generated_valid, generator.generated_valid());
     metrics->Add(metrics->generated_invalid, generator.generated_invalid());
+    const fuzzer::JudgmentCacheStats& cache_stats = oracle.cache_stats();
+    metrics->Add(metrics->oracle_cache_hits, cache_stats.hits);
+    metrics->Add(metrics->oracle_cache_misses, cache_stats.misses);
+    metrics->Add(metrics->oracle_cache_evictions, cache_stats.evictions);
   }
   return result;
 }

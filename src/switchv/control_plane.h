@@ -32,6 +32,13 @@ struct ControlPlaneOptions {
   // Optional flight recorder; when set, every incident carries a rendered
   // replay of the last N switch operations.
   FlightRecorder* recorder = nullptr;
+  // Optional shared memo for oracle judgments (thread-safe; one per host,
+  // shared across every shard's oracle). Null judges from scratch.
+  fuzzer::JudgmentCache* judgment_cache = nullptr;
+  // Kill switch for conformance testing: when false the oracle ignores
+  // `judgment_cache` and classifies every update from scratch. Travels
+  // with the shard spec over the wire, so out-of-process workers honour it.
+  bool oracle_cache = true;
 };
 
 struct ControlPlaneResult {

@@ -67,6 +67,16 @@ struct ShardEnv {
   int flight_recorder_capacity;
 };
 
+// One judgment cache per host process, shared by every control-plane shard
+// the engine runs — in-process pool shards and worker-side ExecuteShardSpec
+// alike. Content-digest keys make the shared map safe across shards that
+// fuzz different scenarios (fuzzer/judgment_cache.h).
+fuzzer::JudgmentCache& ProcessJudgmentCache() {
+  static fuzzer::JudgmentCache* cache =
+      new fuzzer::JudgmentCache(fuzzer::JudgmentCache::Options{});
+  return *cache;
+}
+
 void ScrapeSwitchIo(const sut::SwitchUnderTest& sut, Metrics& metrics) {
   const sut::IoCounters& io = sut.io_counters();
   metrics.Add(metrics.switch_writes, io.writes);
@@ -140,6 +150,9 @@ StatusOr<ShardResult> RunControlPlaneShard(
   control.metrics = &metrics;
   control.trace = trace;
   control.recorder = &recorder;
+  if (control.oracle_cache && control.judgment_cache == nullptr) {
+    control.judgment_cache = &ProcessJudgmentCache();
+  }
   ControlPlaneResult fuzzed =
       RunControlPlaneValidation(sut, env.info, control);
   result.fuzzed_updates = fuzzed.updates_sent;

@@ -101,6 +101,9 @@ void Metrics::Merge(const MetricsSnapshot& s) {
   Add(packets_tested, s.packets_tested);
   Add(solver_queries, s.solver_queries);
   Add(generation_cache_hits, s.generation_cache_hits);
+  Add(oracle_cache_hits, s.oracle_cache_hits);
+  Add(oracle_cache_misses, s.oracle_cache_misses);
+  Add(oracle_cache_evictions, s.oracle_cache_evictions);
   Add(switch_writes, s.switch_writes);
   Add(switch_reads, s.switch_reads);
   Add(switch_packets_injected, s.switch_packets_injected);
@@ -131,6 +134,11 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   s.solver_queries = solver_queries.load(std::memory_order_relaxed);
   s.generation_cache_hits =
       generation_cache_hits.load(std::memory_order_relaxed);
+  s.oracle_cache_hits = oracle_cache_hits.load(std::memory_order_relaxed);
+  s.oracle_cache_misses =
+      oracle_cache_misses.load(std::memory_order_relaxed);
+  s.oracle_cache_evictions =
+      oracle_cache_evictions.load(std::memory_order_relaxed);
   s.switch_writes = switch_writes.load(std::memory_order_relaxed);
   s.switch_reads = switch_reads.load(std::memory_order_relaxed);
   s.switch_packets_injected =
@@ -193,6 +201,9 @@ void ZipCounterFields(MetricsSnapshot& a, const MetricsSnapshot& b, Fn&& fn) {
   fn(a.packets_tested, b.packets_tested);
   fn(a.solver_queries, b.solver_queries);
   fn(a.generation_cache_hits, b.generation_cache_hits);
+  fn(a.oracle_cache_hits, b.oracle_cache_hits);
+  fn(a.oracle_cache_misses, b.oracle_cache_misses);
+  fn(a.oracle_cache_evictions, b.oracle_cache_evictions);
   fn(a.switch_writes, b.switch_writes);
   fn(a.switch_reads, b.switch_reads);
   fn(a.switch_packets_injected, b.switch_packets_injected);
@@ -287,6 +298,11 @@ std::string MetricsSnapshot::ToString() const {
       << std::setprecision(0) << packets_per_second() << " packets/s), "
       << solver_queries << " solver queries, " << generation_cache_hits
       << " cache hits\n";
+  if (oracle_cache_hits + oracle_cache_misses + oracle_cache_evictions > 0) {
+    out << "  oracle cache:  " << oracle_cache_hits << " hits, "
+        << oracle_cache_misses << " misses, " << oracle_cache_evictions
+        << " evictions\n";
+  }
   out << "  switch io:     " << switch_writes << " writes, " << switch_reads
       << " reads, " << switch_packets_injected << " packets injected\n";
   out << "  phase time:    " << std::setprecision(3) << "switch-write "
@@ -362,6 +378,12 @@ std::string MetricsSnapshot::ToPrometheus() const {
           solver_queries);
   counter("switchv_generation_cache_hits_total",
           "Packet-generation cache hits.", generation_cache_hits);
+  counter("switchv_oracle_cache_hits_total",
+          "Oracle judgment-cache hits.", oracle_cache_hits);
+  counter("switchv_oracle_cache_misses_total",
+          "Oracle judgment-cache misses.", oracle_cache_misses);
+  counter("switchv_oracle_cache_evictions_total",
+          "Oracle judgment-cache evictions.", oracle_cache_evictions);
   counter("switchv_switch_writes_total", "P4Runtime Write calls.",
           switch_writes);
   counter("switchv_switch_reads_total", "P4Runtime Read calls.",
@@ -443,6 +465,9 @@ std::string MetricsSnapshot::ToJson() const {
   out << ",\"oracle_findings\":" << oracle_findings;
   out << ",\"solver_queries\":" << solver_queries;
   out << ",\"generation_cache_hits\":" << generation_cache_hits;
+  out << ",\"oracle_cache_hits\":" << oracle_cache_hits;
+  out << ",\"oracle_cache_misses\":" << oracle_cache_misses;
+  out << ",\"oracle_cache_evictions\":" << oracle_cache_evictions;
   out << ",\"switch_writes\":" << switch_writes;
   out << ",\"switch_reads\":" << switch_reads;
   out << ",\"switch_packets_injected\":" << switch_packets_injected;
@@ -494,6 +519,9 @@ std::string MetricsSnapshot::ToWireJson() const {
   field("packets_tested", packets_tested);
   field("solver_queries", solver_queries);
   field("generation_cache_hits", generation_cache_hits);
+  field("oracle_cache_hits", oracle_cache_hits);
+  field("oracle_cache_misses", oracle_cache_misses);
+  field("oracle_cache_evictions", oracle_cache_evictions);
   field("switch_writes", switch_writes);
   field("switch_reads", switch_reads);
   field("switch_packets_injected", switch_packets_injected);

@@ -85,6 +85,12 @@ struct MetricsSnapshot {
   std::uint64_t solver_queries = 0;
   std::uint64_t generation_cache_hits = 0;
 
+  // Oracle judgment-cache traffic (fuzzer/judgment_cache.h): memoized
+  // classification verdicts shared across every shard on a host.
+  std::uint64_t oracle_cache_hits = 0;
+  std::uint64_t oracle_cache_misses = 0;
+  std::uint64_t oracle_cache_evictions = 0;
+
   // Switch-under-test I/O.
   std::uint64_t switch_writes = 0;
   std::uint64_t switch_reads = 0;
@@ -204,6 +210,9 @@ class Metrics {
   std::atomic<std::uint64_t> packets_tested{0};
   std::atomic<std::uint64_t> solver_queries{0};
   std::atomic<std::uint64_t> generation_cache_hits{0};
+  std::atomic<std::uint64_t> oracle_cache_hits{0};
+  std::atomic<std::uint64_t> oracle_cache_misses{0};
+  std::atomic<std::uint64_t> oracle_cache_evictions{0};
   std::atomic<std::uint64_t> switch_writes{0};
   std::atomic<std::uint64_t> switch_reads{0};
   std::atomic<std::uint64_t> switch_packets_injected{0};

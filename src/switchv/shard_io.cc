@@ -609,6 +609,9 @@ Status ParseWireMetrics(const Json& json, MetricsSnapshot& out) {
       {"packets_tested", &out.packets_tested},
       {"solver_queries", &out.solver_queries},
       {"generation_cache_hits", &out.generation_cache_hits},
+      {"oracle_cache_hits", &out.oracle_cache_hits},
+      {"oracle_cache_misses", &out.oracle_cache_misses},
+      {"oracle_cache_evictions", &out.oracle_cache_evictions},
       {"switch_writes", &out.switch_writes},
       {"switch_reads", &out.switch_reads},
       {"switch_packets_injected", &out.switch_packets_injected},
@@ -694,6 +697,7 @@ std::string SerializeShardSpec(const WireShardSpec& spec) {
   out << ",\"control_plane\":{\"num_requests\":" << cp.num_requests
       << ",\"updates_per_request\":" << cp.updates_per_request
       << ",\"seed\":" << cp.seed << ",\"max_incidents\":" << cp.max_incidents
+      << ",\"oracle_cache\":" << (cp.oracle_cache ? "true" : "false")
       << ",\"fuzzer\":{\"invalid_probability\":";
   WriteDouble(out, cp.fuzzer.invalid_probability);
   out << ",\"delete_probability\":";
@@ -819,6 +823,8 @@ StatusOr<WireShardSpec> ParseShardSpec(std::string_view line) {
   SWITCHV_RETURN_IF_ERROR(GetU64(*cp, "seed", kWhat, spec.control_plane.seed));
   SWITCHV_RETURN_IF_ERROR(
       GetInt(*cp, "max_incidents", kWhat, spec.control_plane.max_incidents));
+  SWITCHV_RETURN_IF_ERROR(
+      GetBool(*cp, "oracle_cache", kWhat, spec.control_plane.oracle_cache));
   SWITCHV_ASSIGN_OR_RETURN(
       const Json* fuzzer, Require(*cp, "fuzzer", Json::Type::kObject, kWhat));
   fuzzer::FuzzerOptions& fo = spec.control_plane.fuzzer;

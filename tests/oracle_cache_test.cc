@@ -1,0 +1,751 @@
+// The cached-vs-uncached conformance wall for the incremental differential
+// oracle (fuzzer/oracle.h) and its shared judgment memo
+// (fuzzer/judgment_cache.h).
+//
+// The contract under test: the judgment cache is a pure optimization.
+// With the cache on, every campaign report — incident fingerprints, group
+// counts, rendered exemplars, count-valued telemetry — is byte-identical
+// to the uncached run, across the whole fault catalog and across every
+// execution substrate. The wall also pins the cache-key algebra (distinct
+// updates never alias, re-encoded equal entries always do), the
+// invalidation rule (dependency-table digests: no interleaving of
+// inserts/modifies/deletes can be served a stale verdict), and the
+// thread-safety of one cache shared by many shards.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzzer/judgment_cache.h"
+#include "switchv/experiment.h"
+
+// Baked in by tests/CMakeLists.txt; substrate sweeps are skipped when the
+// tool binaries are unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+#ifndef SWITCHV_WORKER_HOST_PATH
+#define SWITCHV_WORKER_HOST_PATH ""
+#endif
+
+namespace switchv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture: one model + replay state for every oracle-level test.
+// ---------------------------------------------------------------------------
+
+class OracleCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    info_ = new p4ir::P4Info(p4ir::P4Info::FromProgram(*model_));
+    auto entries =
+        models::GenerateEntries(*info_, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(), /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete info_;
+    delete entries_;
+    model_ = nullptr;
+    info_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  // A healthy switch seeded with the replay state, ready to fuzz.
+  static std::unique_ptr<sut::SwitchUnderTest> FreshSwitch() {
+    auto sut = std::make_unique<sut::SwitchUnderTest>(
+        nullptr, models::DefaultCloneSessions(), model_->cpu_port);
+    EXPECT_TRUE(sut->SetForwardingPipelineConfig(*info_).ok());
+    EXPECT_TRUE(sut->ApplyStandardBringUpConfig().ok());
+    p4rt::WriteRequest seed;
+    for (const p4rt::TableEntry& entry : *entries_) {
+      seed.updates.push_back(p4rt::Update{p4rt::UpdateType::kInsert, entry});
+    }
+    (void)sut->Write(seed);
+    return sut;
+  }
+
+  static p4ir::Program* model_;
+  static p4ir::P4Info* info_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* OracleCacheTest::model_ = nullptr;
+p4ir::P4Info* OracleCacheTest::info_ = nullptr;
+std::vector<p4rt::TableEntry>* OracleCacheTest::entries_ = nullptr;
+
+// One finding, rendered to comparable bytes.
+std::string RenderFinding(const fuzzer::Finding& f) {
+  std::string out = f.message + " | " + f.entry_text + " | " +
+                    std::to_string(f.table_id);
+  if (f.mutation.has_value()) {
+    out += " | ";
+    out += fuzzer::MutationName(*f.mutation);
+  }
+  return out;
+}
+
+std::vector<std::string> RenderFindings(
+    const std::vector<fuzzer::Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const fuzzer::Finding& f : findings) out.push_back(RenderFinding(f));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical-key algebra: the cache key's update-bytes component must be
+// injective over distinct updates and invariant over re-encodings of the
+// same entry (match order is semantically irrelevant).
+// ---------------------------------------------------------------------------
+
+TEST_F(OracleCacheTest, DistinctGeneratedUpdatesNeverShareAKey) {
+  fuzzer::SwitchStateView state(*info_);
+  state.Reset(*entries_);
+  fuzzer::RequestGenerator generator(*info_, fuzzer::FuzzerOptions{},
+                                     /*seed=*/11);
+  std::map<std::string, p4rt::Update> by_key;
+  int checked = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    for (const fuzzer::AnnotatedUpdate& annotated :
+         generator.GenerateBatch(state, 60)) {
+      const std::string key =
+          fuzzer::CanonicalUpdateBytes(annotated.update);
+      const auto [it, inserted] = by_key.emplace(key, annotated.update);
+      if (!inserted) {
+        // A key collision is only legal between semantically equal
+        // updates (same type, equal entries up to match order).
+        EXPECT_EQ(it->second.type, annotated.update.type);
+        EXPECT_EQ(fuzzer::CanonicalEntryBytes(it->second.entry),
+                  fuzzer::CanonicalEntryBytes(annotated.update.entry));
+        EXPECT_EQ(it->second.entry.KeyFingerprint(),
+                  annotated.update.entry.KeyFingerprint());
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(by_key.size(), 100u) << "generator produced too few distinct keys";
+}
+
+TEST_F(OracleCacheTest, ReencodedEqualEntriesAlwaysShareAKey) {
+  // Find a generated entry with at least two match fields and permute them:
+  // the canonical encoding must not change. Any semantic tweak must.
+  fuzzer::SwitchStateView state(*info_);
+  state.Reset(*entries_);
+  fuzzer::RequestGenerator generator(*info_, fuzzer::FuzzerOptions{},
+                                     /*seed=*/13);
+  p4rt::TableEntry multi_match;
+  bool found = false;
+  for (int batch = 0; batch < 20 && !found; ++batch) {
+    for (const fuzzer::AnnotatedUpdate& annotated :
+         generator.GenerateBatch(state, 60)) {
+      if (annotated.update.entry.matches.size() >= 2) {
+        multi_match = annotated.update.entry;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "no multi-match entry generated";
+
+  const std::string original = fuzzer::CanonicalEntryBytes(multi_match);
+  p4rt::TableEntry permuted = multi_match;
+  std::reverse(permuted.matches.begin(), permuted.matches.end());
+  EXPECT_EQ(fuzzer::CanonicalEntryBytes(permuted), original)
+      << "match order must not affect the canonical encoding";
+  EXPECT_EQ(fuzzer::EntryContentHash(permuted),
+            fuzzer::EntryContentHash(multi_match));
+
+  p4rt::TableEntry other_priority = multi_match;
+  other_priority.priority += 1;
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(other_priority), original);
+
+  p4rt::TableEntry other_value = multi_match;
+  other_value.matches[0].value.push_back('\x01');
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(other_value), original);
+
+  p4rt::TableEntry other_table = multi_match;
+  other_table.table_id += 1;
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(other_table), original);
+
+  // Update type is part of the key: the same entry as an insert, modify,
+  // and delete must occupy three distinct cache lines.
+  const p4rt::Update ins{p4rt::UpdateType::kInsert, multi_match};
+  const p4rt::Update mod{p4rt::UpdateType::kModify, multi_match};
+  const p4rt::Update del{p4rt::UpdateType::kDelete, multi_match};
+  EXPECT_NE(fuzzer::CanonicalUpdateBytes(ins),
+            fuzzer::CanonicalUpdateBytes(mod));
+  EXPECT_NE(fuzzer::CanonicalUpdateBytes(ins),
+            fuzzer::CanonicalUpdateBytes(del));
+  EXPECT_NE(fuzzer::CanonicalUpdateBytes(mod),
+            fuzzer::CanonicalUpdateBytes(del));
+}
+
+// An empty value and a missing match must not alias (length prefixes keep
+// the encoding injective even through empty strings).
+TEST_F(OracleCacheTest, EmptyFieldsDoNotAlias) {
+  p4rt::TableEntry a;
+  a.table_id = 1;
+  a.matches.push_back(p4rt::FieldMatch{/*field_id=*/1, "", "", 0});
+  p4rt::TableEntry b;
+  b.table_id = 1;
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(a), fuzzer::CanonicalEntryBytes(b));
+
+  // Value/mask boundary shuffling: ("ab","") vs ("a","b") vs ("","ab").
+  p4rt::TableEntry c = b;
+  c.matches.push_back(p4rt::FieldMatch{1, "ab", "", 0});
+  p4rt::TableEntry d = b;
+  d.matches.push_back(p4rt::FieldMatch{1, "a", "b", 0});
+  p4rt::TableEntry e = b;
+  e.matches.push_back(p4rt::FieldMatch{1, "", "ab", 0});
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(c), fuzzer::CanonicalEntryBytes(d));
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(d), fuzzer::CanonicalEntryBytes(e));
+  EXPECT_NE(fuzzer::CanonicalEntryBytes(c), fuzzer::CanonicalEntryBytes(e));
+}
+
+// ---------------------------------------------------------------------------
+// Staleness property: across random insert/modify/delete interleavings on
+// dependent tables, a cached oracle must judge every batch exactly like a
+// fresh, uncached oracle handed the same tracked state — the dependency
+// digests in the key must invalidate precisely when needed.
+// ---------------------------------------------------------------------------
+
+TEST_F(OracleCacheTest, RandomInterleavingsNeverServeAStaleJudgment) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto sut = FreshSwitch();
+    fuzzer::JudgmentCache cache;
+    fuzzer::Oracle cached(*info_, &cache);
+    auto initial = sut->Read(p4rt::ReadRequest{});
+    ASSERT_TRUE(initial.ok());
+    cached.SyncState(initial->entries);
+
+    // Delete-heavy mix: deletes + reinserts churn the @refers_to provider
+    // tables, which is exactly where a stale verdict would hide (a delete
+    // that dangled last batch may be fine this batch, and vice versa).
+    fuzzer::FuzzerOptions churn;
+    churn.delete_probability = 0.3;
+    churn.modify_probability = 0.2;
+    fuzzer::RequestGenerator generator(*info_, churn, seed);
+
+    for (int batch_index = 0; batch_index < 8; ++batch_index) {
+      const std::vector<fuzzer::AnnotatedUpdate> batch =
+          generator.GenerateBatch(cached.state(), 50);
+      p4rt::WriteRequest request;
+      for (const fuzzer::AnnotatedUpdate& annotated : batch) {
+        request.updates.push_back(annotated.update);
+      }
+      const p4rt::WriteResponse response = sut->Write(request);
+      const auto post_read = sut->Read(p4rt::ReadRequest{});
+
+      // The reference: a brand-new uncached oracle synced to the cached
+      // oracle's pre-batch view. Fresh state, no memo — by definition it
+      // cannot be stale.
+      fuzzer::Oracle fresh(*info_);
+      std::vector<p4rt::TableEntry> view;
+      for (const p4rt::TableEntry* entry : cached.state().AllEntries()) {
+        view.push_back(*entry);
+      }
+      fresh.SyncState(view);
+
+      const auto cached_findings =
+          cached.JudgeBatch(batch, response, post_read);
+      const auto fresh_findings = fresh.JudgeBatch(batch, response, post_read);
+      ASSERT_EQ(RenderFindings(cached_findings),
+                RenderFindings(fresh_findings))
+          << "cached oracle diverged on batch " << batch_index;
+    }
+    const fuzzer::JudgmentCacheStats& stats = cached.cache_stats();
+    EXPECT_GT(stats.hits + stats.misses, 0u);
+  }
+}
+
+// The memo must also survive *re-use across runs*: replaying the identical
+// request stream against an identical switch serves almost everything from
+// the warm cache, with findings identical to the cold run.
+TEST_F(OracleCacheTest, WarmReplayServesHitsAndIdenticalFindings) {
+  fuzzer::JudgmentCache cache;
+  std::vector<std::string> cold_findings;
+  std::vector<std::string> warm_findings;
+  fuzzer::JudgmentCacheStats cold_stats;
+  fuzzer::JudgmentCacheStats warm_stats;
+  for (int run = 0; run < 2; ++run) {
+    auto sut = FreshSwitch();
+    fuzzer::Oracle oracle(*info_, &cache);
+    auto initial = sut->Read(p4rt::ReadRequest{});
+    ASSERT_TRUE(initial.ok());
+    oracle.SyncState(initial->entries);
+    fuzzer::RequestGenerator generator(*info_, fuzzer::FuzzerOptions{},
+                                       /*seed=*/29);
+    std::vector<std::string> findings;
+    for (int batch_index = 0; batch_index < 4; ++batch_index) {
+      const auto batch = generator.GenerateBatch(oracle.state(), 50);
+      p4rt::WriteRequest request;
+      for (const fuzzer::AnnotatedUpdate& annotated : batch) {
+        request.updates.push_back(annotated.update);
+      }
+      const p4rt::WriteResponse response = sut->Write(request);
+      const auto post_read = sut->Read(p4rt::ReadRequest{});
+      for (std::string& rendered :
+           RenderFindings(oracle.JudgeBatch(batch, response, post_read))) {
+        findings.push_back(std::move(rendered));
+      }
+    }
+    if (run == 0) {
+      cold_findings = std::move(findings);
+      cold_stats = oracle.cache_stats();
+    } else {
+      warm_findings = std::move(findings);
+      warm_stats = oracle.cache_stats();
+    }
+  }
+  EXPECT_EQ(cold_findings, warm_findings);
+  EXPECT_EQ(cold_stats.hits, 0u) << "cold run cannot hit a fresh cache";
+  EXPECT_GT(cold_stats.misses, 0u);
+  EXPECT_GT(warm_stats.hits, 0u) << "identical replay must be served warm";
+  // The replay is deterministic: every judgment the cold run inserted is
+  // asked for again, so the warm run's misses can only be fewer.
+  EXPECT_LT(warm_stats.misses, cold_stats.misses);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: N shards hammering one shared cache. Runs in the normal
+// suite and — the actual point — under the SWITCHV_SANITIZE=thread CI job,
+// where any unsynchronized map access or torn stats update is fatal.
+// ---------------------------------------------------------------------------
+
+TEST_F(OracleCacheTest, SharedCacheSurvivesConcurrentShards) {
+  constexpr int kShards = 4;
+  fuzzer::JudgmentCache cache;
+  std::vector<fuzzer::JudgmentCacheStats> stats(kShards);
+  std::vector<std::vector<std::string>> findings(kShards);
+  std::vector<std::thread> shards;
+  for (int shard = 0; shard < kShards; ++shard) {
+    shards.emplace_back([&, shard] {
+      auto sut = FreshSwitch();
+      fuzzer::Oracle oracle(*info_, &cache);
+      auto initial = sut->Read(p4rt::ReadRequest{});
+      if (!initial.ok()) return;
+      oracle.SyncState(initial->entries);
+      // Half the shards replay one stream (contending on the same keys),
+      // half fuzz their own (contending on stripe locks only).
+      fuzzer::RequestGenerator generator(
+          *info_, fuzzer::FuzzerOptions{},
+          /*seed=*/shard < kShards / 2 ? 101 : 101 + shard);
+      for (int batch_index = 0; batch_index < 3; ++batch_index) {
+        const auto batch = generator.GenerateBatch(oracle.state(), 40);
+        p4rt::WriteRequest request;
+        for (const fuzzer::AnnotatedUpdate& annotated : batch) {
+          request.updates.push_back(annotated.update);
+        }
+        const p4rt::WriteResponse response = sut->Write(request);
+        const auto post_read = sut->Read(p4rt::ReadRequest{});
+        for (std::string& rendered :
+             RenderFindings(oracle.JudgeBatch(batch, response, post_read))) {
+          findings[shard].push_back(std::move(rendered));
+        }
+      }
+      stats[shard] = oracle.cache_stats();
+    });
+  }
+  for (std::thread& shard : shards) shard.join();
+
+  // A healthy switch: no shard may observe a divergence, cached or not.
+  for (int shard = 0; shard < kShards; ++shard) {
+    EXPECT_TRUE(findings[shard].empty())
+        << "shard " << shard << ": " << findings[shard].front();
+  }
+  // Per-shard stats are plain values merged by addition — the merged
+  // totals are the same regardless of accumulation order (the metrics
+  // merge algebra the campaign engine relies on), and every lookup is
+  // accounted exactly once.
+  fuzzer::JudgmentCacheStats forward;
+  fuzzer::JudgmentCacheStats backward;
+  std::uint64_t lookups = 0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    forward.hits += stats[shard].hits;
+    forward.misses += stats[shard].misses;
+    forward.evictions += stats[shard].evictions;
+    const fuzzer::JudgmentCacheStats& rev = stats[kShards - 1 - shard];
+    backward.hits += rev.hits;
+    backward.misses += rev.misses;
+    backward.evictions += rev.evictions;
+    lookups += stats[shard].hits + stats[shard].misses;
+  }
+  EXPECT_EQ(forward.hits, backward.hits);
+  EXPECT_EQ(forward.misses, backward.misses);
+  EXPECT_EQ(forward.evictions, backward.evictions);
+  EXPECT_GT(lookups, 0u);
+  // Every distinct key that was ever inserted is still bounded by the
+  // misses that created it.
+  EXPECT_LE(cache.size(), forward.misses);
+
+  // The live Metrics aggregate merges the same way: scraping the per-shard
+  // stats in either order yields one snapshot.
+  Metrics in_order;
+  Metrics reversed;
+  for (int shard = 0; shard < kShards; ++shard) {
+    in_order.Add(in_order.oracle_cache_hits, stats[shard].hits);
+    in_order.Add(in_order.oracle_cache_misses, stats[shard].misses);
+    in_order.Add(in_order.oracle_cache_evictions, stats[shard].evictions);
+    const fuzzer::JudgmentCacheStats& rev = stats[kShards - 1 - shard];
+    reversed.Add(reversed.oracle_cache_hits, rev.hits);
+    reversed.Add(reversed.oracle_cache_misses, rev.misses);
+    reversed.Add(reversed.oracle_cache_evictions, rev.evictions);
+  }
+  EXPECT_EQ(in_order.Snapshot(/*wall_seconds=*/0).ToWireJson(),
+            reversed.Snapshot(/*wall_seconds=*/0).ToWireJson());
+}
+
+// FIFO eviction keeps the cache bounded and charges the evicting caller.
+TEST_F(OracleCacheTest, EvictionBoundsTheCacheAndIsCounted) {
+  fuzzer::JudgmentCache::Options tiny;
+  tiny.max_entries = 32;
+  tiny.stripes = 4;
+  fuzzer::JudgmentCache cache(tiny);
+  fuzzer::JudgmentCacheStats stats;
+  fuzzer::Expectation verdict;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    if (!cache.Lookup(key, &verdict, &stats)) {
+      cache.Insert(key, fuzzer::Expectation{}, &stats);
+    }
+  }
+  EXPECT_LE(cache.size(), 32u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.misses, 1000u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level conformance: the full fault-catalog sweep, cached vs
+// uncached — the reproduction's Table 1 must not move a cell, and the
+// rendered nightly reports must match byte for byte.
+// ---------------------------------------------------------------------------
+
+ExperimentOptions FastOptions() {
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 12;
+  options.nightly.control_plane.updates_per_request = 40;
+  options.nightly.dataplane.packet_out_ports = 2;
+  return options;
+}
+
+// The deterministic projection of a nightly report (mirrors the campaign
+// projection in engine_test.cc): every group in merge order with its full
+// exemplar, plus the count-valued telemetry. Timing fields and the oracle
+// cache counters themselves are excluded — the latter are the *only*
+// fields allowed to differ between cached and uncached runs.
+std::string RenderNightly(const NightlyReport& report) {
+  std::ostringstream out;
+  out << "fuzzed=" << report.fuzzed_updates
+      << " packets=" << report.packets_tested
+      << " targets=" << report.generation.targets_covered << "/"
+      << report.generation.targets_total
+      << " queries=" << report.generation.solver_queries << "\n";
+  for (const IncidentGroup& group : report.groups) {
+    out << "group " << group.fingerprint << " x" << group.occurrences
+        << " shards=[";
+    for (const int shard : group.shards) out << shard << ",";
+    out << "] detector=" << DetectorName(group.exemplar.detector)
+        << " layer=" << sut::SutLayerName(group.exemplar.layer)
+        << " shard=" << group.exemplar.shard << "\n"
+        << "summary: " << group.exemplar.summary << "\n"
+        << "details: " << group.exemplar.details << "\n"
+        << group.exemplar.replay_trace << "\n";
+  }
+  const MetricsSnapshot& m = report.metrics;
+  out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+      << m.requests_sent << " " << m.generated_valid << " "
+      << m.generated_invalid << " " << m.oracle_findings << " "
+      << m.packets_tested << " " << m.solver_queries << " "
+      << m.switch_writes << " " << m.switch_reads << " "
+      << m.switch_packets_injected << " " << m.incidents_raised << " "
+      << m.incidents_unique << "\n";
+  out << "hists " << m.switch_write_hist.count << " " << m.oracle_hist.count
+      << " " << m.reference_hist.count << " " << m.generation_hist.count
+      << "\n";
+  return out.str();
+}
+
+std::set<std::uint64_t> Fingerprints(const NightlyReport& report) {
+  std::set<std::uint64_t> fingerprints;
+  for (const IncidentGroup& group : report.groups) {
+    fingerprints.insert(group.fingerprint);
+  }
+  return fingerprints;
+}
+
+TEST(OracleCacheConformanceTest, FaultCatalogSweepIsByteIdenticalUncached) {
+  auto cached = RunFullSweep(FastOptions());
+  ASSERT_TRUE(cached.ok()) << cached.status();
+
+  ExperimentOptions uncached_options = FastOptions();
+  uncached_options.nightly.control_plane.oracle_cache = false;
+  auto uncached = RunFullSweep(uncached_options);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+
+  ASSERT_EQ(cached->size(), sut::BugCatalog().size());
+  ASSERT_EQ(cached->size(), uncached->size());
+  std::uint64_t cached_traffic = 0;
+  for (std::size_t i = 0; i < cached->size(); ++i) {
+    const BugRunResult& with_cache = (*cached)[i];
+    const BugRunResult& without = (*uncached)[i];
+    SCOPED_TRACE(with_cache.bug->name);
+    ASSERT_EQ(with_cache.bug->fault, without.bug->fault);
+
+    EXPECT_EQ(with_cache.detected, without.detected);
+    EXPECT_EQ(with_cache.detector, without.detector);
+    EXPECT_EQ(with_cache.incident_count, without.incident_count);
+    EXPECT_EQ(with_cache.first_incident, without.first_incident);
+    EXPECT_EQ(Fingerprints(with_cache.report), Fingerprints(without.report));
+    EXPECT_EQ(RenderNightly(with_cache.report), RenderNightly(without.report));
+
+    cached_traffic += with_cache.report.metrics.oracle_cache_hits +
+                      with_cache.report.metrics.oracle_cache_misses;
+    EXPECT_EQ(without.report.metrics.oracle_cache_hits, 0u);
+    EXPECT_EQ(without.report.metrics.oracle_cache_misses, 0u);
+    EXPECT_EQ(without.report.metrics.oracle_cache_evictions, 0u);
+  }
+  // The cached sweep must actually have gone through the memo.
+  EXPECT_GT(cached_traffic, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Substrate conformance: cached and uncached reports are byte-identical in
+// all three execution modes, and to each other. The cached subprocess/
+// remote runs exercise the `oracle_cache` wire field (shard_io.cc) and the
+// per-worker process-wide cache (engine.cc).
+// ---------------------------------------------------------------------------
+
+class SubstrateConformanceTest : public OracleCacheTest {
+ protected:
+  static CampaignOptions FastCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.control_plane_shards = 4;
+    options.dataplane_shards = 1;
+    options.run_dataplane = false;  // the cache is a control-plane concern
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 40;
+    return options;
+  }
+
+  static ShardScenario Scenario() {
+    ShardScenario scenario;
+    scenario.role = models::Role::kMiddleblock;
+    scenario.workload = ExperimentOptions::SmallWorkload();
+    scenario.entry_seed = 2;
+    return scenario;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  // The campaign projection from engine_test.cc, verbatim.
+  static std::string RenderReport(const CampaignReport& report) {
+    std::ostringstream out;
+    out << "shards=" << report.shards_run
+        << " fuzzed=" << report.fuzzed_updates
+        << " packets=" << report.packets_tested
+        << " targets=" << report.generation.targets_covered << "/"
+        << report.generation.targets_total
+        << " queries=" << report.generation.solver_queries << "\n";
+    for (const IncidentGroup& group : report.groups) {
+      out << "group " << group.fingerprint << " x" << group.occurrences
+          << " shards=[";
+      for (const int shard : group.shards) out << shard << ",";
+      out << "] detector=" << DetectorName(group.exemplar.detector)
+          << " layer=" << sut::SutLayerName(group.exemplar.layer)
+          << " shard=" << group.exemplar.shard << "\n"
+          << "summary: " << group.exemplar.summary << "\n"
+          << "details: " << group.exemplar.details << "\n"
+          << group.exemplar.replay_trace << "\n";
+    }
+    const MetricsSnapshot& m = report.metrics;
+    out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+        << m.requests_sent << " " << m.generated_valid << " "
+        << m.generated_invalid << " " << m.oracle_findings << " "
+        << m.packets_tested << " " << m.solver_queries << " "
+        << m.switch_writes << " " << m.switch_reads << " "
+        << m.switch_packets_injected << " " << m.incidents_raised << " "
+        << m.incidents_unique << "\n";
+    out << "hists " << m.switch_write_hist.count << " "
+        << m.oracle_hist.count << " " << m.reference_hist.count << " "
+        << m.generation_hist.count << "\n";
+    return out.str();
+  }
+};
+
+// Launches a switchv_worker_host on an ephemeral loopback port (identical
+// to the engine_test helper): announces its endpoint on stdout, SIGKILLed
+// and reaped on destruction.
+class WorkerHost {
+ public:
+  WorkerHost() {
+    int out[2] = {-1, -1};
+    if (::pipe(out) != 0) return;
+    std::vector<std::string> args = {
+        SWITCHV_WORKER_HOST_PATH,
+        "--port=0",
+        "--bind=127.0.0.1",
+        std::string("--worker=") + SWITCHV_SHARD_WORKER_PATH,
+        "--heartbeat-interval=0.2",
+    };
+    std::vector<char*> argv;
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    if (pid_ > 0) {
+      std::string line;
+      char c = 0;
+      while (::read(out[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+      const std::string_view marker = "listening on ";
+      const std::size_t at = line.find(marker);
+      if (at != std::string::npos) {
+        endpoint_ = line.substr(at + marker.size());
+      }
+    }
+    ::close(out[0]);
+  }
+  ~WorkerHost() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+  }
+  WorkerHost(const WorkerHost&) = delete;
+  WorkerHost& operator=(const WorkerHost&) = delete;
+
+  bool ok() const { return !endpoint_.empty(); }
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  pid_t pid_ = -1;
+  std::string endpoint_;
+};
+
+TEST_F(SubstrateConformanceTest, CachedAndUncachedMatchOnEverySubstrate) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  std::vector<std::pair<std::string, std::string>> reports;
+
+  CampaignOptions in_process = FastCampaign();
+  in_process.parallelism = 2;
+  reports.emplace_back("in-process cached",
+                       RenderReport(Run(&faults, in_process)));
+  CampaignOptions in_process_off = in_process;
+  in_process_off.control_plane.oracle_cache = false;
+  reports.emplace_back("in-process uncached",
+                       RenderReport(Run(&faults, in_process_off)));
+
+  if (!std::string(SWITCHV_SHARD_WORKER_PATH).empty()) {
+    CampaignOptions subprocess = FastCampaign();
+    subprocess.execution = CampaignOptions::Execution::kSubprocess;
+    subprocess.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+    subprocess.scenario = Scenario();
+    subprocess.parallelism = 2;
+    reports.emplace_back("subprocess cached",
+                         RenderReport(Run(&faults, subprocess)));
+    CampaignOptions subprocess_off = subprocess;
+    subprocess_off.control_plane.oracle_cache = false;
+    reports.emplace_back("subprocess uncached",
+                         RenderReport(Run(&faults, subprocess_off)));
+  }
+
+  if (!std::string(SWITCHV_WORKER_HOST_PATH).empty()) {
+    WorkerHost host;
+    ASSERT_TRUE(host.ok()) << "worker host failed to start";
+    CampaignOptions remote = FastCampaign();
+    remote.execution = CampaignOptions::Execution::kRemote;
+    remote.remote_endpoints = {host.endpoint()};
+    remote.scenario = Scenario();
+    remote.parallelism = 2;
+    reports.emplace_back("remote cached",
+                         RenderReport(Run(&faults, remote)));
+    CampaignOptions remote_off = remote;
+    remote_off.control_plane.oracle_cache = false;
+    reports.emplace_back("remote uncached",
+                         RenderReport(Run(&faults, remote_off)));
+  }
+
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    SCOPED_TRACE(reports[i].first);
+    EXPECT_EQ(reports[0].second, reports[i].second)
+        << "report diverged from " << reports[0].first;
+  }
+}
+
+// The `oracle_cache` flag survives the spec wire round-trip.
+TEST(OracleCacheWireTest, SpecRoundTripCarriesTheKillSwitch) {
+  for (const bool enabled : {true, false}) {
+    WireShardSpec spec;
+    spec.kind = WireShardSpec::Kind::kControlPlane;
+    spec.scenario.role = models::Role::kMiddleblock;
+    spec.scenario.workload = ExperimentOptions::SmallWorkload();
+    spec.scenario.entry_seed = 2;
+    spec.control_plane.oracle_cache = enabled;
+    auto parsed = ParseShardSpec(SerializeShardSpec(spec));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->control_plane.oracle_cache, enabled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: `generation_cache_hits` was exported but never pinned by a
+// test. A warm packet cache shared across two identical campaigns must
+// register hits on the second run — and must not change the report.
+// ---------------------------------------------------------------------------
+
+class GenerationCacheTest : public OracleCacheTest {};
+
+TEST_F(GenerationCacheTest, WarmPacketCacheRegistersHits) {
+  symbolic::PacketCache packet_cache;
+  CampaignOptions options;
+  options.seed = 7;
+  options.run_control_plane = false;
+  options.dataplane_shards = 2;
+  options.dataplane.packet_out_ports = 2;
+  options.dataplane.cache = &packet_cache;
+
+  const CampaignReport cold = RunValidationCampaign(
+      nullptr, *model_, models::SaiParserSpec(), *entries_, options);
+  const CampaignReport warm = RunValidationCampaign(
+      nullptr, *model_, models::SaiParserSpec(), *entries_, options);
+
+  EXPECT_EQ(cold.metrics.generation_cache_hits, 0u)
+      << "cold run cannot hit an empty packet cache";
+  EXPECT_GT(warm.metrics.generation_cache_hits, 0u)
+      << "second run with a shared cache must skip regeneration";
+  EXPECT_EQ(cold.FingerprintSet(), warm.FingerprintSet());
+  EXPECT_EQ(cold.packets_tested, warm.packets_tested);
+}
+
+}  // namespace
+}  // namespace switchv
