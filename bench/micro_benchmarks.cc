@@ -15,6 +15,7 @@
 #include <iostream>
 #include <set>
 
+#include "bmv2/batch_interpreter.h"
 #include "bmv2/interpreter.h"
 #include "fuzzer/generator.h"
 #include "fuzzer/oracle.h"
@@ -183,6 +184,34 @@ void BM_Bmv2RunPacket(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Bmv2RunPacket);
+
+// A 64-packet batch through the bit-parallel lane engine (compare the
+// per-item time against BM_Bmv2RunPacket for the word-parallel win).
+void BM_Bmv2RunBatch64(benchmark::State& state) {
+  const Env& env = Env::Get();
+  bmv2::Interpreter interpreter(env.model, models::SaiParserSpec(),
+                                models::DefaultCloneSessions());
+  (void)interpreter.InstallEntries(env.entries);
+  bmv2::BatchInterpreter batch(interpreter);
+  std::vector<std::string> packets;
+  for (int i = 0; i < 64; ++i) {
+    models::Ipv4PacketSpec spec;
+    spec.dst_ip = 0x0A000000u + static_cast<std::uint32_t>(i * 37);
+    spec.src_ip = 0xC0A80100u + static_cast<std::uint32_t>(i);
+    packets.push_back(models::BuildIpv4Packet(env.model, spec));
+  }
+  std::vector<bmv2::BatchInterpreter::LanePacket> lanes;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    lanes.push_back({packets[i], static_cast<std::uint16_t>(1 + i % 4)});
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto outcomes = batch.RunBatch64(lanes, seed++);
+    benchmark::DoNotOptimize(outcomes);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Bmv2RunBatch64);
 
 void BM_AsicForwardPacket(benchmark::State& state) {
   const Env& env = Env::Get();
@@ -576,6 +605,97 @@ int OracleCacheSpeedupGuard() {
   return ok ? 0 : 1;
 }
 
+// Batch-lane speedup guard, run after the benchmarks. One RunBatch64 over
+// a 64-packet batch (routed and unrouted flows across the installed
+// routes) must be >= 4x faster than 64 scalar Runs of the same packets
+// with the same seeds — and byte-identical to them. Best-of-N paired
+// trials per arm keep the guard robust on a loaded box; the binary exits
+// nonzero on a miss so CI treats the word-parallel win as a regression
+// gate rather than prose.
+int BatchLaneSpeedupGuard() {
+  const Env& env = Env::Get();
+  bmv2::Interpreter interpreter(env.model, models::SaiParserSpec(),
+                                models::DefaultCloneSessions());
+  if (!interpreter.InstallEntries(env.entries).ok()) {
+    std::cerr << "batch_lane guard: entry install failed\n";
+    return 1;
+  }
+  bmv2::BatchInterpreter batch(interpreter);
+  std::vector<std::string> packets;
+  for (int i = 0; i < 64; ++i) {
+    models::Ipv4PacketSpec spec;
+    // Mix routed (10.x) and unrouted destinations, and vary the hash
+    // inputs so WCMP member selection is exercised per lane.
+    spec.dst_ip = (i % 3 == 0 ? 0x0B000000u : 0x0A000000u) +
+                  static_cast<std::uint32_t>(i * 37);
+    spec.src_ip = 0xC0A80100u + static_cast<std::uint32_t>(i);
+    spec.src_port = static_cast<std::uint16_t>(20000 + i * 7);
+    packets.push_back(models::BuildIpv4Packet(env.model, spec));
+  }
+  std::vector<bmv2::BatchInterpreter::LanePacket> lanes;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    lanes.push_back({packets[i], static_cast<std::uint16_t>(1 + i % 4)});
+  }
+
+  // Conformance before speed: the batch must be byte-identical to the 64
+  // scalar runs at every checked seed.
+  for (const std::uint64_t seed : {0ull, 1ull, 2ull}) {
+    const auto outcomes = batch.RunBatch64(lanes, seed);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const auto scalar =
+          interpreter.Run(lanes[i].bytes, lanes[i].ingress_port, seed);
+      const bool same =
+          outcomes[i].ok() == scalar.ok() &&
+          (!scalar.ok() || outcomes[i]->Canonical() == scalar->Canonical());
+      if (!same) {
+        std::cerr << "batch_lane guard: lane " << i << " seed " << seed
+                  << " diverged from scalar\n";
+        return 1;
+      }
+    }
+  }
+  if (batch.stats().lanes_run == 0) {
+    std::cerr << "batch_lane guard: every lane fell back to scalar\n";
+    return 1;
+  }
+
+  constexpr int kTrials = 7;
+  constexpr int kRepsPerTrial = 10;
+  double best_scalar = 1e30;
+  double best_batch = 1e30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kRepsPerTrial; ++rep) {
+      for (const auto& lane : lanes) {
+        auto outcome = interpreter.Run(lane.bytes, lane.ingress_port,
+                                       static_cast<std::uint64_t>(rep));
+        benchmark::DoNotOptimize(outcome);
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kRepsPerTrial; ++rep) {
+      auto outcomes =
+          batch.RunBatch64(lanes, static_cast<std::uint64_t>(rep));
+      benchmark::DoNotOptimize(outcomes);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    best_scalar = std::min(
+        best_scalar,
+        std::chrono::duration<double>(t1 - t0).count() / kRepsPerTrial);
+    best_batch = std::min(
+        best_batch,
+        std::chrono::duration<double>(t2 - t1).count() / kRepsPerTrial);
+  }
+  constexpr double kRequiredSpeedup = 4.0;
+  const bool ok = best_scalar >= kRequiredSpeedup * best_batch;
+  std::printf(
+      "batch_lane: 64 packets scalar %.1fus, RunBatch64 %.1fus (%.1fx) — "
+      "%s (gate: batch >= %.0fx faster)\n",
+      best_scalar * 1e6, best_batch * 1e6, best_scalar / best_batch,
+      ok ? "PASS" : "FAIL", kRequiredSpeedup);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace switchv
 
@@ -586,5 +706,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const int telemetry = switchv::TelemetryOverheadGuard();
   const int oracle_cache = switchv::OracleCacheSpeedupGuard();
-  return telemetry != 0 ? telemetry : oracle_cache;
+  const int batch_lane = switchv::BatchLaneSpeedupGuard();
+  if (telemetry != 0) return telemetry;
+  return oracle_cache != 0 ? oracle_cache : batch_lane;
 }

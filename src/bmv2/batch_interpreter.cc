@@ -1,0 +1,938 @@
+#include "bmv2/batch_interpreter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "util/strings.h"
+
+namespace switchv::bmv2 {
+
+using packet::ForwardingOutcome;
+
+namespace {
+
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+std::uint64_t LowLaneMask(int n) {
+  return n >= 64 ? kAllLanes : (std::uint64_t{1} << n) - 1;
+}
+
+int Popcount(std::uint64_t m) { return __builtin_popcountll(m); }
+
+}  // namespace
+
+BatchInterpreter::BatchInterpreter(const Interpreter& scalar)
+    : scalar_(scalar), program_(scalar.program_) {
+  fields_ = program_.AllFields();
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    field_index_.emplace(fields_[f].name, static_cast<int>(f));
+  }
+  for (const p4ir::HeaderDef& h : program_.headers) {
+    header_index_.emplace(h.name, static_cast<int>(header_names_.size()));
+    header_names_.push_back(h.name);
+  }
+  auto find_field = [&](const char* name) {
+    auto it = field_index_.find(name);
+    return it == field_index_.end() ? -1 : it->second;
+  };
+  ingress_port_f_ = find_field(p4ir::kIngressPortField);
+  egress_port_f_ = find_field(p4ir::kEgressPortField);
+  drop_f_ = find_field(p4ir::kDropField);
+  punt_f_ = find_field(p4ir::kPuntField);
+  clone_session_f_ = find_field(p4ir::kCloneSessionField);
+
+  const std::size_t slab = fields_.size() * kLaneCount;
+  tmpl_values_.resize(slab);
+  tmpl_widths_.resize(slab);
+  tmpl_valid_.resize(header_names_.size());
+  values_.resize(slab);
+  widths_.resize(slab);
+  valid_.resize(header_names_.size());
+
+  PrepareTables();
+  PreparePacketIo();
+}
+
+void BatchInterpreter::PreparePacketIo() {
+  // Zero-init template: every program field at its declared width, the
+  // width BitString::FromUint(0, f.width) would store.
+  decl_widths_.resize(fields_.size() * kLaneCount);
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    const std::uint8_t w = static_cast<std::uint8_t>(
+        BitString::FromUint(0, fields_[f].width).width());
+    std::memset(&decl_widths_[f * kLaneCount], w, kLaneCount);
+  }
+
+  io_plan_.resize(program_.headers.size());
+  for (std::size_t h = 0; h < program_.headers.size(); ++h) {
+    const p4ir::HeaderDef& header = program_.headers[h];
+    PlanHeader& plan = io_plan_[h];
+    for (const p4ir::FieldDef& f : header.fields) {
+      plan.total_bits += f.width;
+      auto it = field_index_.find(f.name);
+      if (it == field_index_.end()) {
+        // A header field outside AllFields() has no slab slot; scalar
+        // Parse would still read it. Nothing vector-side can be exact.
+        slab_io_ok_ = false;
+        continue;
+      }
+      plan.fields.emplace_back(it->second, f.width);
+    }
+    // Transitions keyed on this header, in spec order; first match wins,
+    // exactly as packet::Parse scans them. Select fields that are not
+    // program fields are skipped (scalar's fields.find would miss too —
+    // parsing this header inserted all *its* fields into the map).
+    const std::string prefix = header.name + ".";
+    for (const packet::ParseTransition& t : scalar_.parser_.transitions) {
+      if (!HasPrefix(t.select_field, prefix)) continue;
+      auto fit = field_index_.find(t.select_field);
+      if (fit == field_index_.end()) continue;
+      PlanTransition pt;
+      pt.field_index = fit->second;
+      pt.value = t.value;
+      auto hit = header_index_.find(t.next_header);
+      pt.next = hit == header_index_.end() ? -1 : hit->second;
+      plan.transitions.push_back(pt);
+    }
+  }
+  if (auto it = header_index_.find(scalar_.parser_.start_header);
+      it != header_index_.end()) {
+    parse_start_ = it->second;
+  }
+}
+
+void BatchInterpreter::PrepareTables() {
+  std::size_t max_keys = 0;
+  for (const p4ir::Table& table : program_.tables) {
+    PreparedTable pt;
+    pt.keys.resize(table.keys.size());
+    max_keys = std::max(max_keys, table.keys.size());
+    for (std::size_t k = 0; k < table.keys.size(); ++k) {
+      auto it = field_index_.find(table.keys[k].field);
+      if (it == field_index_.end()) {
+        // Scalar SelectEntry would throw on fields.at(); a validated
+        // program never reaches here — demote on apply.
+        pt.vectorizable = false;
+      } else {
+        pt.keys[k].field_index = it->second;
+      }
+    }
+    const std::vector<p4rt::DecodedEntry>* installed = nullptr;
+    if (auto it = scalar_.entries_.find(table.name);
+        it != scalar_.entries_.end()) {
+      installed = &it->second;
+    }
+    if (installed != nullptr && pt.vectorizable) {
+      pt.sorted.reserve(installed->size());
+      for (const p4rt::DecodedEntry& entry : *installed) {
+        if (entry.matches.size() != table.keys.size()) {
+          pt.vectorizable = false;
+          break;
+        }
+        PreparedEntry pe;
+        pe.entry = &entry;
+        pe.matches.resize(table.keys.size());
+        for (std::size_t k = 0; k < table.keys.size(); ++k) {
+          const p4rt::DecodedMatch& m = entry.matches[k];
+          pe.matches[k].present = m.present;
+          if (m.present) {
+            pe.matches[k].value = m.value.value();
+            pe.matches[k].mask = m.mask.value();
+            pt.keys[k].union_mask |= m.mask.value();
+          }
+        }
+        pt.sorted.push_back(std::move(pe));
+      }
+      // Descending precedence; stable so the first match in sorted order is
+      // exactly the entry scalar SelectEntry picks (strictly-greater key,
+      // earliest installed index among equals).
+      auto precedence = [&table](const PreparedEntry& pe) {
+        // Numerically larger priority wins (P4Runtime); longest prefix
+        // otherwise — the same keys scalar SelectEntry maximizes.
+        if (table.RequiresPriority()) return pe.entry->priority;
+        int prefix_sum = 0;
+        for (const p4rt::DecodedMatch& m : pe.entry->matches) {
+          if (m.present) prefix_sum += m.prefix_len;
+        }
+        return prefix_sum;
+      };
+      std::stable_sort(pt.sorted.begin(), pt.sorted.end(),
+                       [&](const PreparedEntry& a, const PreparedEntry& b) {
+                         return precedence(a) > precedence(b);
+                       });
+    }
+    plane_scratch_.resize(std::max(plane_scratch_.size(), max_keys));
+    entry_hit_scratch_.resize(
+        std::max(entry_hit_scratch_.size(), pt.sorted.size()), 0);
+    tables_.emplace(table.name, std::move(pt));
+  }
+}
+
+void BatchInterpreter::SetupLanes(std::span<const LanePacket> lanes) {
+  setup_fallback_ = 0;
+  std::fill(tmpl_valid_.begin(), tmpl_valid_.end(), 0);
+  // Zero-init all lanes at once: packet::Parse starts every program field
+  // at zero with its declared width.
+  std::memset(tmpl_values_.data(), 0, tmpl_values_.size() * sizeof(uint128));
+  std::memcpy(tmpl_widths_.data(), decl_widths_.data(), tmpl_widths_.size());
+  const int n = static_cast<int>(lanes.size());
+  for (int l = 0; l < n; ++l) {
+    lane_inputs_[l] = lanes[l];
+    if (!slab_io_ok_ || ingress_port_f_ < 0) {
+      // Programs the slabs cannot carry re-run scalar end to end.
+      setup_fallback_ |= std::uint64_t{1} << l;
+      payload_[l] = std::string_view();
+      continue;
+    }
+    const std::string_view bytes = lanes[l].bytes;
+    // Consecutive lanes of the same packet (the enumeration packer emits
+    // seed runs per packet) parse once: copy the previous lane's column.
+    if (l > 0 && bytes.data() == lanes[l - 1].bytes.data() &&
+        bytes.size() == lanes[l - 1].bytes.size() &&
+        lanes[l].ingress_port == lanes[l - 1].ingress_port) {
+      for (std::size_t f = 0; f < fields_.size(); ++f) {
+        tmpl_values_[f * kLaneCount + l] = tmpl_values_[f * kLaneCount + l - 1];
+      }
+      // Parse leaves every width at its declared value except the
+      // ingress-port metadata seeded below.
+      tmpl_widths_[static_cast<std::size_t>(ingress_port_f_) * kLaneCount +
+                   l] =
+          tmpl_widths_[static_cast<std::size_t>(ingress_port_f_) * kLaneCount +
+                       l - 1];
+      for (std::size_t h = 0; h < tmpl_valid_.size(); ++h) {
+        tmpl_valid_[h] |= ((tmpl_valid_[h] >> (l - 1)) & 1) << l;
+      }
+      payload_[l] = payload_[l - 1];
+      continue;
+    }
+    const std::size_t total_bits = bytes.size() * 8;
+    std::size_t bit_pos = 0;
+    // Slab-direct mirror of packet::Parse: walk the header chain with a
+    // big-endian bit cursor, breaking on a missing or truncated header
+    // (the partial header stays invalid, the cursor stays put).
+    int current = parse_start_;
+    while (current >= 0) {
+      const PlanHeader& plan = io_plan_[current];
+      if (bit_pos + static_cast<std::size_t>(plan.total_bits) > total_bits) {
+        break;
+      }
+      for (const auto& [fi, width] : plan.fields) {
+        uint128 value = 0;
+        for (int i = 0; i < width; ++i) {
+          const std::size_t byte = bit_pos >> 3;
+          const int bit = 7 - static_cast<int>(bit_pos & 7);
+          value = (value << 1) |
+                  ((static_cast<unsigned char>(bytes[byte]) >> bit) & 1);
+          ++bit_pos;
+        }
+        tmpl_values_[static_cast<std::size_t>(fi) * kLaneCount + l] = value;
+      }
+      tmpl_valid_[current] |= std::uint64_t{1} << l;
+      int next = -1;
+      for (const PlanTransition& t : plan.transitions) {
+        if (tmpl_values_[static_cast<std::size_t>(t.field_index) *
+                             kLaneCount +
+                         l] == t.value) {
+          next = t.next;
+          break;
+        }
+      }
+      current = next;
+    }
+    // Remaining whole bytes from the (byte-aligned) cursor; views into the
+    // caller's buffers, which outlive the batch call.
+    payload_[l] = bytes.substr(bit_pos / 8);
+    // Ingress-port metadata, as scalar Run seeds it before the pipeline.
+    tmpl_values_[static_cast<std::size_t>(ingress_port_f_) * kLaneCount + l] =
+        lanes[l].ingress_port;
+    tmpl_widths_[static_cast<std::size_t>(ingress_port_f_) * kLaneCount + l] =
+        static_cast<std::uint8_t>(
+            BitString::FromUint(lanes[l].ingress_port, p4ir::kPortWidth)
+                .width());
+  }
+}
+
+void BatchInterpreter::LoadField(int f, std::uint64_t& mask, EvalVec& out) {
+  const std::uint8_t* w = &widths_[static_cast<std::size_t>(f) * kLaneCount];
+  const uint128* v = &values_[static_cast<std::size_t>(f) * kLaneCount];
+  const int first = __builtin_ctzll(mask);
+  std::uint8_t uniform = w[first];
+  bool mixed = false;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    if (w[__builtin_ctzll(m)] != uniform) {
+      mixed = true;
+      break;
+    }
+  }
+  if (mixed) {
+    // Assignments store the expression's width, so lanes that took
+    // different action paths can disagree; keep the majority width
+    // vectorized and demote the rest (ties keep the lowest lane's width).
+    int best_count = 0;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const std::uint8_t cand = w[__builtin_ctzll(m)];
+      int c = 0;
+      for (std::uint64_t m2 = mask; m2 != 0; m2 &= m2 - 1) {
+        if (w[__builtin_ctzll(m2)] == cand) ++c;
+      }
+      if (c > best_count) {
+        best_count = c;
+        uniform = cand;
+      }
+    }
+    std::uint64_t keep = 0;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const int l = __builtin_ctzll(m);
+      if (w[l] == uniform) keep |= std::uint64_t{1} << l;
+    }
+    Demote(mask & ~keep);
+    mask = keep;
+  }
+  out.width = uniform;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    const int l = __builtin_ctzll(m);
+    out.v[l] = v[l];
+  }
+}
+
+void BatchInterpreter::StoreField(int f, std::uint64_t mask,
+                                  const EvalVec& value) {
+  std::uint8_t* w = &widths_[static_cast<std::size_t>(f) * kLaneCount];
+  uint128* v = &values_[static_cast<std::size_t>(f) * kLaneCount];
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    const int l = __builtin_ctzll(m);
+    v[l] = value.v[l];
+    w[l] = static_cast<std::uint8_t>(value.width);
+  }
+}
+
+void BatchInterpreter::EvalExprBatch(
+    const p4ir::Expr& expr, const std::map<std::string, BitString>* args,
+    std::uint64_t& mask, EvalVec& out) {
+  switch (expr.kind()) {
+    case p4ir::Expr::Kind::kConstant: {
+      const uint128 c = expr.constant().value();
+      out.width = expr.constant().width();
+      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        out.v[__builtin_ctzll(m)] = c;
+      }
+      return;
+    }
+    case p4ir::Expr::Kind::kField: {
+      auto it = field_index_.find(expr.name());
+      if (it == field_index_.end()) {
+        Demote(mask);
+        mask = 0;
+        return;
+      }
+      LoadField(it->second, mask, out);
+      return;
+    }
+    case p4ir::Expr::Kind::kParam: {
+      const BitString* bound = nullptr;
+      if (args != nullptr) {
+        if (auto it = args->find(expr.name()); it != args->end()) {
+          bound = &it->second;
+        }
+      }
+      if (bound == nullptr) {
+        Demote(mask);
+        mask = 0;
+        return;
+      }
+      out.width = bound->width();
+      const uint128 c = bound->value();
+      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        out.v[__builtin_ctzll(m)] = c;
+      }
+      return;
+    }
+    case p4ir::Expr::Kind::kValid: {
+      std::uint64_t bits = 0;
+      if (auto it = header_index_.find(expr.name());
+          it != header_index_.end()) {
+        bits = valid_[it->second];
+      }
+      out.width = 1;
+      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        const int l = __builtin_ctzll(m);
+        out.v[l] = (bits >> l) & 1;
+      }
+      return;
+    }
+    case p4ir::Expr::Kind::kUnary: {
+      EvalVec child;
+      EvalExprBatch(expr.children()[0], args, mask, child);
+      if (mask == 0) return;
+      if (expr.unary_op() == p4ir::UnaryOp::kLogicalNot) {
+        out.width = 1;
+        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+          const int l = __builtin_ctzll(m);
+          out.v[l] = child.v[l] == 0 ? 1 : 0;
+        }
+      } else {
+        out.width = child.width;
+        const uint128 wm = LowBitMask(child.width);
+        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+          const int l = __builtin_ctzll(m);
+          out.v[l] = ~child.v[l] & wm;
+        }
+      }
+      return;
+    }
+    case p4ir::Expr::Kind::kBinary: {
+      EvalVec a;
+      EvalExprBatch(expr.children()[0], args, mask, a);
+      if (mask == 0) return;
+      EvalVec b;
+      EvalExprBatch(expr.children()[1], args, mask, b);
+      if (mask == 0) return;
+      using Op = p4ir::BinaryOp;
+      const Op op = expr.binary_op();
+      switch (op) {
+        case Op::kEq:
+        case Op::kNe:
+        case Op::kLt:
+        case Op::kLe:
+        case Op::kGt:
+        case Op::kGe:
+        case Op::kAnd:
+        case Op::kOr: {
+          out.width = 1;
+          for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+            const int l = __builtin_ctzll(m);
+            const uint128 x = a.v[l];
+            const uint128 y = b.v[l];
+            bool r = false;
+            switch (op) {
+              case Op::kEq: r = x == y; break;
+              case Op::kNe: r = x != y; break;
+              case Op::kLt: r = x < y; break;
+              case Op::kLe: r = x <= y; break;
+              case Op::kGt: r = x > y; break;
+              case Op::kGe: r = x >= y; break;
+              case Op::kAnd: r = x != 0 && y != 0; break;
+              case Op::kOr: r = x != 0 || y != 0; break;
+              default: break;
+            }
+            out.v[l] = r ? 1 : 0;
+          }
+          return;
+        }
+        case Op::kBitAnd:
+        case Op::kBitOr:
+        case Op::kBitXor:
+        case Op::kAdd:
+        case Op::kSub: {
+          // Same-width semantics as BitString: the result keeps the left
+          // operand's width; the raw value is masked to it.
+          out.width = a.width;
+          const uint128 wm = LowBitMask(a.width);
+          for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+            const int l = __builtin_ctzll(m);
+            const uint128 x = a.v[l];
+            const uint128 y = b.v[l];
+            uint128 r = 0;
+            switch (op) {
+              case Op::kBitAnd: r = x & y; break;
+              case Op::kBitOr: r = x | y; break;
+              case Op::kBitXor: r = x ^ y; break;
+              case Op::kAdd: r = x + y; break;
+              case Op::kSub: r = x - y; break;
+              default: break;
+            }
+            out.v[l] = r & wm;
+          }
+          return;
+        }
+      }
+      Demote(mask);
+      mask = 0;
+      return;
+    }
+  }
+  Demote(mask);
+  mask = 0;
+}
+
+void BatchInterpreter::ApplyActionBatch(
+    const p4ir::Action& action, const std::vector<BitString>& arg_values,
+    std::uint64_t mask) {
+  if (arg_values.size() != action.params.size()) {
+    Demote(mask);
+    return;
+  }
+  std::map<std::string, BitString> args;
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    args.emplace(action.params[i].name, arg_values[i]);
+  }
+  for (const p4ir::Statement& stmt : action.body) {
+    mask &= live_;
+    if (mask == 0) return;
+    switch (stmt.kind) {
+      case p4ir::Statement::Kind::kAssign: {
+        EvalVec value;
+        std::uint64_t m = mask;
+        EvalExprBatch(*stmt.value, &args, m, value);
+        if (m == 0) break;
+        auto it = field_index_.find(stmt.target);
+        if (it == field_index_.end()) {
+          // Scalar would grow the field map with a non-program field; the
+          // slab cannot represent that, so those lanes re-run scalar.
+          Demote(m);
+          break;
+        }
+        StoreField(it->second, m, value);
+        break;
+      }
+      case p4ir::Statement::Kind::kSetValid: {
+        auto it = header_index_.find(stmt.target);
+        if (it == header_index_.end()) {
+          Demote(mask);
+          break;
+        }
+        if (stmt.valid) {
+          valid_[it->second] |= mask;
+        } else {
+          valid_[it->second] &= ~mask;
+        }
+        break;
+      }
+      case p4ir::Statement::Kind::kHash: {
+        auto it = field_index_.find(stmt.target);
+        if (it == field_index_.end()) {
+          Demote(mask);
+          break;
+        }
+        // Round-robin hashing, one counter per lane: draw k of a run with
+        // seed s yields s + k truncated to the destination width.
+        int width = fields_[it->second].width;
+        if (width < 1) width = 1;
+        if (width > BitString::kMaxWidth) width = BitString::kMaxWidth;
+        EvalVec value;
+        value.width = width;
+        const uint128 wm = LowBitMask(width);
+        for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+          const int l = __builtin_ctzll(m);
+          value.v[l] =
+              (static_cast<uint128>(lane_seeds_[l]) +
+               static_cast<uint128>(static_cast<std::uint64_t>(draws_[l]))) &
+              wm;
+          ++draws_[l];
+        }
+        StoreField(it->second, mask, value);
+        break;
+      }
+    }
+  }
+}
+
+void BatchInterpreter::ApplyTableBatch(const p4ir::Table& table,
+                                       std::uint64_t mask) {
+  auto pt_it = tables_.find(table.name);
+  if (pt_it == tables_.end() || !pt_it->second.vectorizable) {
+    Demote(mask);
+    return;
+  }
+  const PreparedTable& pt = pt_it->second;
+
+  std::uint64_t undecided = mask;
+  // (entry, lanes that selected it), in precedence order.
+  std::vector<std::pair<const PreparedEntry*, std::uint64_t>> hits;
+  if (Popcount(mask) < 24) {
+    // Small lane groups (divergent-branch subgroups, partial batches):
+    // the bit-sliced kernel costs O(entries × mask bits) word ops no
+    // matter how few lanes ask, so a scalar-shaped scan — one 128-bit op
+    // per (entry, key), first hit in the same precedence order wins — is
+    // cheaper below roughly the average entry-mask popcount.
+    touched_scratch_.clear();
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const int l = __builtin_ctzll(m);
+      for (std::size_t e = 0; e < pt.sorted.size(); ++e) {
+        const PreparedEntry& pe = pt.sorted[e];
+        bool hit = true;
+        for (std::size_t k = 0; k < pt.keys.size(); ++k) {
+          const PreparedMatch& pm = pe.matches[k];
+          if (!pm.present) continue;  // wildcard
+          const uint128 v =
+              values_[static_cast<std::size_t>(pt.keys[k].field_index) *
+                          kLaneCount +
+                      l];
+          if (((v ^ pm.value) & pm.mask) != 0) {
+            hit = false;
+            break;
+          }
+        }
+        if (hit) {
+          if (entry_hit_scratch_[e] == 0) touched_scratch_.push_back(e);
+          entry_hit_scratch_[e] |= std::uint64_t{1} << l;
+          undecided &= ~(std::uint64_t{1} << l);
+          break;
+        }
+      }
+    }
+    std::sort(touched_scratch_.begin(), touched_scratch_.end());
+    for (const std::size_t e : touched_scratch_) {
+      hits.emplace_back(&pt.sorted[e], entry_hit_scratch_[e]);
+      entry_hit_scratch_[e] = 0;
+    }
+  } else {
+    // Word-parallel entry selection: transpose each key's lanes once,
+    // then resolve all lanes against the precedence-sorted entries with
+    // one kernel call per (entry, key); lanes leave `undecided` at their
+    // first (= highest-precedence) hit.
+    for (std::size_t k = 0; k < pt.keys.size(); ++k) {
+      plane_scratch_[k].Transpose(
+          &values_[static_cast<std::size_t>(pt.keys[k].field_index) *
+                   kLaneCount],
+          mask, pt.keys[k].union_mask);
+    }
+    for (const PreparedEntry& pe : pt.sorted) {
+      if (undecided == 0) break;
+      std::uint64_t m = undecided;
+      for (std::size_t k = 0; k < pt.keys.size() && m != 0; ++k) {
+        const PreparedMatch& pm = pe.matches[k];
+        if (!pm.present) continue;  // wildcard
+        m = LaneTernaryMatch(plane_scratch_[k], pm.value, pm.mask, m);
+      }
+      if (m == 0) continue;
+      hits.emplace_back(&pe, m);
+      undecided &= ~m;
+    }
+  }
+
+  if (undecided != 0) {
+    const p4ir::Action* default_action =
+        program_.FindAction(table.default_action);
+    if (default_action == nullptr) {
+      Demote(undecided);
+    } else {
+      ApplyActionBatch(*default_action, table.default_action_args, undecided);
+    }
+  }
+
+  for (const auto& [pe, lanes] : hits) {
+    std::uint64_t m = lanes & live_;
+    if (m == 0) continue;
+    const p4rt::DecodedEntry& entry = *pe->entry;
+    if (!entry.is_action_set) {
+      const p4rt::DecodedAction& chosen = entry.actions[0];
+      const p4ir::Action* action = program_.FindAction(chosen.name);
+      if (action == nullptr) {
+        Demote(m);
+        continue;
+      }
+      ApplyActionBatch(*action, chosen.args, m);
+      continue;
+    }
+    // Weighted member selection by the next hash draw, per lane.
+    const int total = entry.TotalWeight();
+    if (total <= 0) {
+      Demote(m);
+      continue;
+    }
+    std::vector<std::uint64_t> member_lanes(entry.actions.size(), 0);
+    for (std::uint64_t rest = m; rest != 0; rest &= rest - 1) {
+      const int l = __builtin_ctzll(rest);
+      std::uint64_t draw =
+          (lane_seeds_[l] + static_cast<std::uint64_t>(draws_[l])) %
+          static_cast<std::uint64_t>(total);
+      ++draws_[l];
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < entry.actions.size(); ++i) {
+        if (draw < static_cast<std::uint64_t>(entry.actions[i].weight)) {
+          idx = i;
+          break;
+        }
+        draw -= static_cast<std::uint64_t>(entry.actions[i].weight);
+      }
+      member_lanes[idx] |= std::uint64_t{1} << l;
+    }
+    for (std::size_t i = 0; i < entry.actions.size(); ++i) {
+      if (member_lanes[i] == 0) continue;
+      const p4ir::Action* action = program_.FindAction(entry.actions[i].name);
+      if (action == nullptr) {
+        Demote(member_lanes[i]);
+        continue;
+      }
+      ApplyActionBatch(*action, entry.actions[i].args, member_lanes[i]);
+    }
+  }
+}
+
+void BatchInterpreter::ExecControlBatch(
+    const std::vector<p4ir::ControlNode>& nodes, std::uint64_t mask) {
+  for (const p4ir::ControlNode& node : nodes) {
+    mask &= live_;
+    if (mask == 0) return;
+    switch (node.kind) {
+      case p4ir::ControlNode::Kind::kApplyTable: {
+        const p4ir::Table* table = program_.FindTable(node.table);
+        if (table == nullptr) {
+          Demote(mask);
+          break;
+        }
+        ApplyTableBatch(*table, mask);
+        break;
+      }
+      case p4ir::ControlNode::Kind::kApplyAction: {
+        const p4ir::Action* action = program_.FindAction(node.action);
+        if (action == nullptr) {
+          Demote(mask);
+          break;
+        }
+        ApplyActionBatch(*action, node.action_args, mask);
+        break;
+      }
+      case p4ir::ControlNode::Kind::kIf: {
+        EvalVec cond;
+        std::uint64_t m = mask;
+        EvalExprBatch(*node.condition, nullptr, m, cond);
+        if (m == 0) break;
+        std::uint64_t then_mask = 0;
+        for (std::uint64_t rest = m; rest != 0; rest &= rest - 1) {
+          const int l = __builtin_ctzll(rest);
+          if (cond.v[l] != 0) then_mask |= std::uint64_t{1} << l;
+        }
+        const std::uint64_t else_mask = m & ~then_mask;
+        // Divergent conditional: both sides run under disjoint lane
+        // masks. Every state update (assignments, validity bits, hash
+        // draws, WCMP selection) is mask-guarded and per-lane, so each
+        // lane's trajectory is exactly its scalar one regardless of which
+        // branch the other lanes took.
+        if (then_mask != 0) ExecControlBatch(node.then_branch, then_mask);
+        if (else_mask != 0) ExecControlBatch(node.else_branch, else_mask);
+        break;
+      }
+    }
+  }
+}
+
+std::string BatchInterpreter::DeparseLane(int lane) const {
+  // Slab-direct mirror of packet::Deparse: valid headers in program
+  // declaration order, each field at its *stored* width (assignments keep
+  // the expression's width), bit-packed big-endian, then the payload.
+  // Slab values are invariantly masked to their stored width, as BitString
+  // values are to theirs.
+  std::string out;
+  int bit_fill = 0;
+  for (std::size_t h = 0; h < io_plan_.size(); ++h) {
+    if (((valid_[h] >> lane) & 1) == 0) continue;
+    for (const auto& [fi, decl_width] : io_plan_[h].fields) {
+      const uint128 value =
+          values_[static_cast<std::size_t>(fi) * kLaneCount + lane];
+      const int width =
+          widths_[static_cast<std::size_t>(fi) * kLaneCount + lane];
+      for (int i = width - 1; i >= 0; --i) {
+        const bool bit = (value >> i) & 1;
+        if (bit_fill == 0) out.push_back('\0');
+        out.back() = static_cast<char>(
+            static_cast<unsigned char>(out.back()) |
+            ((bit ? 1u : 0u) << (7 - bit_fill)));
+        bit_fill = (bit_fill + 1) & 7;
+      }
+    }
+  }
+  out.append(payload_[lane].data(), payload_[lane].size());
+  return out;
+}
+
+void BatchInterpreter::RunPass(std::uint64_t mask) {
+  std::memcpy(values_.data(), tmpl_values_.data(),
+              values_.size() * sizeof(uint128));
+  std::memcpy(widths_.data(), tmpl_widths_.data(), widths_.size());
+  std::copy(tmpl_valid_.begin(), tmpl_valid_.end(), valid_.begin());
+  draws_.fill(0);
+  live_ = mask;
+  fallback_ = 0;
+  ++stats_.batch_passes;
+
+  std::uint64_t forced = setup_fallback_ & mask;
+  if (force_scalar_fallback_) forced = mask;
+  if (forced != 0) Demote(forced);
+
+  // The forwarding-verdict metadata fields are read directly after each
+  // control block; a program missing them would throw in scalar Run's
+  // fields.at — demote everything in that (never-validated) case.
+  if (drop_f_ < 0 || punt_f_ < 0 || clone_session_f_ < 0 ||
+      egress_port_f_ < 0) {
+    Demote(live_);
+  }
+
+  ExecControlBatch(program_.ingress, live_);
+
+  // End of ingress: clones fire before the drop decision (mirroring
+  // survives drops, as in SAI), then punt and drop verdicts are read.
+  std::uint64_t dropped_at_ingress = 0;
+  for (std::uint64_t m = live_; m != 0; m &= m - 1) {
+    const int l = __builtin_ctzll(m);
+    ForwardingOutcome& out = pass_outcome_[l];
+    out = ForwardingOutcome{};
+    const uint128 session_value =
+        values_[static_cast<std::size_t>(clone_session_f_) * kLaneCount + l];
+    if (session_value != 0) {
+      auto it = scalar_.clone_sessions_.find(static_cast<std::uint16_t>(
+          static_cast<std::uint64_t>(session_value & LowBitMask(64))));
+      if (it != scalar_.clone_sessions_.end()) {
+        out.clones.emplace_back(it->second, DeparseLane(l));
+      }
+    }
+    out.punted =
+        values_[static_cast<std::size_t>(punt_f_) * kLaneCount + l] != 0;
+    if (values_[static_cast<std::size_t>(drop_f_) * kLaneCount + l] != 0) {
+      out.dropped = true;
+      pass_status_[l] = OkStatus();
+      dropped_at_ingress |= std::uint64_t{1} << l;
+    }
+  }
+  live_ &= ~dropped_at_ingress;
+
+  ExecControlBatch(program_.egress, live_);
+
+  for (std::uint64_t m = live_; m != 0; m &= m - 1) {
+    const int l = __builtin_ctzll(m);
+    ForwardingOutcome& out = pass_outcome_[l];
+    if (values_[static_cast<std::size_t>(drop_f_) * kLaneCount + l] != 0) {
+      out.dropped = true;
+      pass_status_[l] = OkStatus();
+      continue;
+    }
+    out.egress_port = static_cast<std::uint16_t>(static_cast<std::uint64_t>(
+        values_[static_cast<std::size_t>(egress_port_f_) * kLaneCount + l] &
+        LowBitMask(64)));
+    out.packet_bytes = DeparseLane(l);
+    pass_status_[l] = OkStatus();
+  }
+
+  stats_.lanes_run += static_cast<std::uint64_t>(
+      Popcount(mask & ~fallback_));
+  stats_.scalar_fallbacks += static_cast<std::uint64_t>(Popcount(fallback_));
+
+  // Demoted lanes re-run end to end through the scalar interpreter: Run is
+  // a pure function of (bytes, port, seed), so the re-run is byte-exact.
+  for (std::uint64_t m = fallback_; m != 0; m &= m - 1) {
+    const int l = __builtin_ctzll(m);
+    StatusOr<ForwardingOutcome> result = scalar_.Run(
+        lane_inputs_[l].bytes, lane_inputs_[l].ingress_port, lane_seeds_[l]);
+    if (result.ok()) {
+      pass_outcome_[l] = std::move(result).value();
+      pass_status_[l] = OkStatus();
+    } else {
+      pass_status_[l] = result.status();
+    }
+  }
+}
+
+std::vector<StatusOr<ForwardingOutcome>> BatchInterpreter::RunBatch64(
+    std::span<const LanePacket> lanes, std::uint64_t hash_seed) {
+  std::vector<StatusOr<ForwardingOutcome>> results;
+  results.reserve(lanes.size());
+  lane_seeds_.fill(hash_seed);
+  for (std::size_t base = 0; base < lanes.size(); base += kLaneCount) {
+    const std::size_t n = std::min<std::size_t>(kLaneCount,
+                                                lanes.size() - base);
+    SetupLanes(lanes.subspan(base, n));
+    RunPass(LowLaneMask(static_cast<int>(n)));
+    for (std::size_t l = 0; l < n; ++l) {
+      if (pass_status_[l].ok()) {
+        results.emplace_back(std::move(pass_outcome_[l]));
+      } else {
+        results.emplace_back(pass_status_[l]);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<StatusOr<std::vector<ForwardingOutcome>>>
+BatchInterpreter::EnumerateBehaviorsBatch(std::span<const LanePacket> lanes,
+                                          int max_runs) {
+  const std::size_t count = lanes.size();
+  std::vector<std::vector<ForwardingOutcome>> behaviors(count);
+  std::vector<std::set<std::string>> seen(count);
+  std::vector<int> repeats(count, 0);
+  std::vector<int> next_seed(count, 0);
+  std::vector<Status> lane_error(count, OkStatus());
+  std::vector<bool> done(count, false);
+  std::vector<std::size_t> pending(count);
+  for (std::size_t p = 0; p < count; ++p) pending[p] = p;
+
+  // Per packet this replicates scalar EnumerateBehaviors exactly: seeds
+  // 0, 1, 2, ... until 16 consecutive seeds add nothing new (or an error,
+  // or max_runs). Each pass packs (packet, seed) pairs — consecutive
+  // speculative seeds per packet — and results are consumed in per-packet
+  // seed order, so seeds past a packet's scalar stop point are simply
+  // discarded.
+  //
+  // The packing is depth-first over seeds: a deterministic packet stops
+  // after exactly 17 runs (one new behaviour + 16 repeats), so ~17
+  // consecutive seeds fill its whole enumeration in one pass with no
+  // speculation waste, and a pass carries only ~4 distinct packets.
+  // Lanes of the same packet take the same branches (hash draws aside),
+  // so pipeline divergence stays low and pass-fixed costs amortize —
+  // breadth-first packing (one seed each across dozens of diverse
+  // packets) splinters every conditional into tiny lane groups.
+  struct Slot {
+    std::size_t p;
+    int seed;
+  };
+  std::array<Slot, kLaneCount> slots;
+  std::array<LanePacket, kLaneCount> pass_lanes;
+  while (!pending.empty()) {
+    const int per = std::max<int>(
+        17, kLaneCount / static_cast<int>(pending.size()));
+    int used = 0;
+    for (std::size_t pi = 0; pi < pending.size() && used < kLaneCount;
+         ++pi) {
+      const std::size_t p = pending[pi];
+      for (int k = 0; k < per && used < kLaneCount; ++k) {
+        const int s = next_seed[p] + k;
+        if (s >= max_runs) break;
+        slots[used] = {p, s};
+        pass_lanes[used] = lanes[p];
+        lane_seeds_[used] = static_cast<std::uint64_t>(s);
+        ++used;
+      }
+    }
+    if (used == 0) break;  // every pending packet has exhausted max_runs
+    SetupLanes(std::span<const LanePacket>(pass_lanes.data(),
+                                           static_cast<std::size_t>(used)));
+    RunPass(LowLaneMask(used));
+    for (int i = 0; i < used; ++i) {
+      const auto [p, s] = slots[i];
+      if (done[p]) continue;  // past this packet's stop point: speculative
+      if (!pass_status_[i].ok()) {
+        lane_error[p] = pass_status_[i];
+        done[p] = true;
+        continue;
+      }
+      if (seen[p].insert(pass_outcome_[i].Canonical()).second) {
+        repeats[p] = 0;
+        behaviors[p].push_back(std::move(pass_outcome_[i]));
+      } else if (++repeats[p] >= 16) {
+        done[p] = true;
+      }
+      next_seed[p] = s + 1;
+    }
+    std::vector<std::size_t> still;
+    still.reserve(pending.size());
+    for (const std::size_t p : pending) {
+      if (!done[p] && next_seed[p] < max_runs) still.push_back(p);
+    }
+    pending = std::move(still);
+  }
+
+  std::vector<StatusOr<std::vector<ForwardingOutcome>>> results;
+  results.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    if (!lane_error[p].ok()) {
+      results.emplace_back(lane_error[p]);
+    } else {
+      results.emplace_back(std::move(behaviors[p]));
+    }
+  }
+  return results;
+}
+
+}  // namespace switchv::bmv2

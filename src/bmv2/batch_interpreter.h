@@ -1,0 +1,230 @@
+// Bit-parallel batch execution for the reference interpreter: up to 64
+// packets per pipeline pass.
+//
+// The match-action pipeline has the shape classic bit-parallel fault
+// simulation exploits — a topologically fixed table sequence evaluated over
+// independent per-packet values — so lane state is kept struct-of-arrays
+// (one uint128 per field per lane, one validity word per header) and table
+// lookups run through the transposed word-parallel kernels in
+// lane_kernels.h. Expression evaluation, action application, and WCMP
+// member selection are applied per lane group under a mask.
+//
+// Conformance contract: every lane result is byte-identical to the scalar
+// Interpreter — same ForwardingOutcome bytes, same error Status. Divergent
+// conditionals run both branches under disjoint lane masks (every state
+// update is mask-guarded and per-lane, so this is exact). Anything the
+// vector path cannot reproduce exactly (structurally broken
+// programs/entries, mixed dynamic field widths) demotes the affected lanes
+// to a full scalar Run for that seed; determinism of Run makes the re-run
+// exact. Drop/punt/clone divergence is handled by lane masks and never
+// falls back.
+#ifndef SWITCHV_BMV2_BATCH_INTERPRETER_H_
+#define SWITCHV_BMV2_BATCH_INTERPRETER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bmv2/interpreter.h"
+#include "bmv2/lane_kernels.h"
+
+namespace switchv::bmv2 {
+
+class BatchInterpreter {
+ public:
+  static constexpr int kLaneCount = 64;
+
+  struct LanePacket {
+    std::string_view bytes;
+    std::uint16_t ingress_port = 0;
+  };
+
+  // Merge-commutative run counters, folded into switchv::Metrics by the
+  // dataplane phase.
+  struct Stats {
+    std::uint64_t lanes_run = 0;         // lane-runs completed word-parallel
+    std::uint64_t scalar_fallbacks = 0;  // lane-runs demoted to scalar Run
+    std::uint64_t batch_passes = 0;      // vectorized pipeline passes
+  };
+
+  // Snapshots `scalar`'s installed entries (pre-sorted into precedence
+  // order, match values transposition-ready); construct after
+  // InstallEntries. `scalar` must outlive the batch interpreter. Not
+  // thread-safe: one instance per shard, like the interpreter it wraps.
+  explicit BatchInterpreter(const Interpreter& scalar);
+
+  // Runs every lane with the given hash seed; element i is byte-identical
+  // to scalar.Run(lanes[i].bytes, lanes[i].ingress_port, hash_seed).
+  // Accepts any lane count; batches of 64 are processed per pass.
+  std::vector<StatusOr<packet::ForwardingOutcome>> RunBatch64(
+      std::span<const LanePacket> lanes, std::uint64_t hash_seed);
+
+  // Per-lane behaviour enumeration; element i is byte-identical to
+  // scalar.EnumerateBehaviors(lanes[i].bytes, lanes[i].ingress_port,
+  // max_runs). (packet, seed) pairs are packed into full 64-lane passes
+  // with per-lane seeds, so pass-fixed costs amortize over ~64 lane-runs
+  // even when few packets are enumerated; per-packet results are consumed
+  // in seed order, replicating scalar termination exactly (seeds past a
+  // packet's stop point are speculative and discarded).
+  std::vector<StatusOr<std::vector<packet::ForwardingOutcome>>>
+  EnumerateBehaviorsBatch(std::span<const LanePacket> lanes,
+                          int max_runs = 160);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // Test hook: demote every lane to the scalar fallback at pass entry, so
+  // the fallback boundary can be exercised (and its counters pinned)
+  // without crafting divergent programs.
+  void set_force_scalar_fallback(bool force) {
+    force_scalar_fallback_ = force;
+  }
+
+ private:
+  // One evaluated expression across the batch: raw BitString values (always
+  // masked to `width`) for the lanes of the evaluation mask.
+  struct EvalVec {
+    std::array<uint128, kLaneCount> v;
+    int width = 1;
+  };
+
+  struct PreparedMatch {
+    bool present = false;
+    uint128 value = 0;
+    uint128 mask = 0;
+  };
+  struct PreparedEntry {
+    const p4rt::DecodedEntry* entry = nullptr;
+    std::vector<PreparedMatch> matches;  // parallel to the table's keys
+  };
+  struct PreparedKey {
+    int field_index = -1;
+    uint128 union_mask = 0;  // OR of all entry masks: bits worth transposing
+  };
+  struct PreparedTable {
+    std::vector<PreparedKey> keys;
+    std::vector<PreparedEntry> sorted;  // descending precedence, ties stable
+    bool vectorizable = true;  // false: always demote (malformed entries)
+  };
+
+  // Precompiled packet I/O, mirroring packet::Parse / packet::Deparse over
+  // the slabs so lane setup and egress assembly never build a field map.
+  struct PlanTransition {
+    int field_index = -1;  // select field (a field of this header)
+    uint128 value = 0;
+    int next = -1;  // header index to continue with; -1 stops parsing
+  };
+  struct PlanHeader {
+    int total_bits = 0;  // sum of declared widths: the truncation check
+    // Declaration-order (field index, declared width); shared by the
+    // parser (reads declared widths) and the deparser (reads stored
+    // widths from the slab).
+    std::vector<std::pair<int, int>> fields;
+    std::vector<PlanTransition> transitions;  // ParserSpec order
+  };
+
+  void PrepareTables();
+  void PreparePacketIo();
+  // Parses the chunk's packets into the template slabs; lanes whose setup
+  // cannot be represented are pre-demoted via `setup_fallback_`.
+  void SetupLanes(std::span<const LanePacket> lanes);
+  // One full pipeline pass over `mask`, each lane running with
+  // lane_seeds_[l] (callers fill it first — uniform for RunBatch64,
+  // per-(packet,seed) slots for enumeration); fills pass_outcome_ /
+  // pass_status_ for every lane in `mask` (vector path or scalar
+  // fallback) and updates stats_.
+  void RunPass(std::uint64_t mask);
+
+  void Demote(std::uint64_t lanes) {
+    live_ &= ~lanes;
+    fallback_ |= lanes;
+  }
+
+  // Evaluates `expr` for the lanes of `mask`. Shrinks `mask` when lanes are
+  // demoted (structural errors demote all of them; dynamic-width divergence
+  // demotes the minority); out.v[l] is defined for the surviving lanes.
+  void EvalExprBatch(const p4ir::Expr& expr,
+                     const std::map<std::string, BitString>* args,
+                     std::uint64_t& mask, EvalVec& out);
+  void ApplyActionBatch(const p4ir::Action& action,
+                        const std::vector<BitString>& arg_values,
+                        std::uint64_t mask);
+  void ApplyTableBatch(const p4ir::Table& table, std::uint64_t mask);
+  void ExecControlBatch(const std::vector<p4ir::ControlNode>& nodes,
+                        std::uint64_t mask);
+
+  // Reads field `f` for the lanes of `mask`: demotes lanes whose dynamic
+  // width departs from the lane-majority width (assignments store the
+  // expression's width, so lanes that took different action paths can
+  // disagree), then copies values. Mirrors scalar width semantics exactly
+  // for the surviving lanes.
+  void LoadField(int f, std::uint64_t& mask, EvalVec& out);
+  void StoreField(int f, std::uint64_t mask, const EvalVec& value);
+
+  // Serializes lane `lane`'s current slab state: valid headers in program
+  // declaration order at their stored (dynamic) widths, then the payload
+  // tail. Byte-identical to packet::Deparse of the reassembled lane.
+  std::string DeparseLane(int lane) const;
+
+  const Interpreter& scalar_;
+  const p4ir::Program& program_;
+
+  std::vector<p4ir::FieldDef> fields_;  // Program::AllFields() order
+  std::map<std::string, int> field_index_;
+  std::vector<std::string> header_names_;
+  std::map<std::string, int> header_index_;
+  std::map<std::string, PreparedTable> tables_;
+  int ingress_port_f_ = -1;
+  int egress_port_f_ = -1;
+  int drop_f_ = -1;
+  int punt_f_ = -1;
+  int clone_session_f_ = -1;
+
+  // Packet I/O plans, one per program header (parallel to header_names_).
+  std::vector<PlanHeader> io_plan_;
+  int parse_start_ = -1;  // header index, -1 if the start header is absent
+  // All declared widths, pre-broadcast across lanes: the parser's
+  // zero-init template (packet::Parse initializes every program field to
+  // zero at its declared width).
+  std::vector<std::uint8_t> decl_widths_;
+  // False when a header field is missing from AllFields(): the slabs
+  // cannot represent such a program, so every pass demotes to scalar.
+  bool slab_io_ok_ = true;
+
+  // Parse templates for the current chunk (reused across seeds).
+  std::vector<uint128> tmpl_values_;       // fields_.size() * 64, lane-major
+  std::vector<std::uint8_t> tmpl_widths_;
+  std::vector<std::uint64_t> tmpl_valid_;  // one lane word per header
+  std::array<std::string_view, kLaneCount> payload_;
+  std::array<LanePacket, kLaneCount> lane_inputs_;
+  std::uint64_t setup_fallback_ = 0;
+
+  // Per-pass state.
+  std::vector<uint128> values_;
+  std::vector<std::uint8_t> widths_;
+  std::vector<std::uint64_t> valid_;
+  std::array<int, kLaneCount> draws_;
+  std::array<std::uint64_t, kLaneCount> lane_seeds_;
+  std::uint64_t live_ = 0;
+  std::uint64_t fallback_ = 0;
+  // Per-pass results: outcome of lane l is pass_outcome_[l] iff
+  // pass_status_[l].ok(), else the lane's error status.
+  std::array<packet::ForwardingOutcome, kLaneCount> pass_outcome_;
+  std::array<Status, kLaneCount> pass_status_;
+  std::vector<LanePlanes> plane_scratch_;
+  // Scratch for the small-group per-lane selection path: per sorted-entry
+  // hit masks (sized to the largest table) plus the touched indices.
+  std::vector<std::uint64_t> entry_hit_scratch_;
+  std::vector<std::size_t> touched_scratch_;
+
+  Stats stats_;
+  bool force_scalar_fallback_ = false;
+};
+
+}  // namespace switchv::bmv2
+
+#endif  // SWITCHV_BMV2_BATCH_INTERPRETER_H_

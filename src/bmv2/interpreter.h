@@ -56,6 +56,10 @@ class Interpreter {
   const p4ir::Program& program() const { return program_; }
 
  private:
+  // The 64-lane batch engine reuses the program/parser/entry state and the
+  // scalar Run as its divergence fallback.
+  friend class BatchInterpreter;
+
   struct RunState {
     packet::ParsedPacket packet;
     std::uint64_t hash_seed = 0;

@@ -1,0 +1,33 @@
+#include "bmv2/lane_kernels.h"
+
+namespace switchv::bmv2 {
+
+void LanePlanes::Transpose(const uint128* values, std::uint64_t lane_mask,
+                           uint128 bits) {
+  populated = bits;
+  for (uint128 b = bits; b != 0; b &= b - 1) {
+    planes[CountTrailingZeros128(b)] = 0;
+  }
+  for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+    const int lane = __builtin_ctzll(m);
+    const uint128 v = values[lane];
+    for (uint128 b = bits; b != 0; b &= b - 1) {
+      const int pos = CountTrailingZeros128(b);
+      planes[pos] |=
+          static_cast<std::uint64_t>((v >> pos) & 1) << lane;
+    }
+  }
+}
+
+std::uint64_t LaneTernaryMatch(const LanePlanes& planes, uint128 value,
+                               uint128 mask, std::uint64_t seed_mask) {
+  std::uint64_t match = seed_mask;
+  for (uint128 b = mask; match != 0 && b != 0; b &= b - 1) {
+    const int pos = CountTrailingZeros128(b);
+    const std::uint64_t plane = planes.planes[pos];
+    match &= ((value >> pos) & 1) != 0 ? plane : ~plane;
+  }
+  return match;
+}
+
+}  // namespace switchv::bmv2

@@ -1,0 +1,55 @@
+// Word-parallel match kernels for the 64-lane batch interpreter.
+//
+// The classic bit-parallel fault-simulation idiom: hold one bit of state per
+// lane in each machine word, so a single word op advances all 64 lanes at
+// once. Here the lanes are packets and the state is "does lane l still match
+// entry e": a table lookup over 64 packets reduces to a handful of AND/XNOR
+// word ops per populated mask bit instead of 64 independent BitString
+// comparisons.
+//
+// These kernels are deliberately free-standing (no interpreter state) so the
+// property tests in tests/batch_sim_test.cc can drive them directly against
+// per-lane scalar BitString::TernaryMatches.
+#ifndef SWITCHV_BMV2_LANE_KERNELS_H_
+#define SWITCHV_BMV2_LANE_KERNELS_H_
+
+#include <cstdint>
+
+#include "util/bitstring.h"
+
+namespace switchv::bmv2 {
+
+// Index of the lowest set bit; precondition: v != 0.
+inline int CountTrailingZeros128(uint128 v) {
+  const std::uint64_t low = static_cast<std::uint64_t>(v);
+  if (low != 0) return __builtin_ctzll(low);
+  return 64 + __builtin_ctzll(static_cast<std::uint64_t>(v >> 64));
+}
+
+// Transposed bit-slice view of one match key across up to 64 lanes: bit `l`
+// of `planes[b]` is bit `b` of lane l's field value. Only the bit positions
+// of `populated` are filled — kernels may only test those bits, which lets a
+// table transpose just the union of its entries' mask bits.
+struct LanePlanes {
+  uint128 populated = 0;
+  std::uint64_t planes[BitString::kMaxWidth] = {};
+
+  // (Re)builds the planes from `values[0..63]` (raw BitString values,
+  // lane-indexed) restricted to the lanes of `lane_mask` and the bit
+  // positions of `bits`. Lanes outside `lane_mask` read as zero.
+  void Transpose(const uint128* values, std::uint64_t lane_mask, uint128 bits);
+};
+
+// The lanes (within `seed_mask`) whose transposed value ternary-matches
+// `value` under `mask`: bit l of the result is
+//   (lane_value[l] & mask) == (value & mask),
+// i.e. per-lane BitString::TernaryMatches, one word op per set mask bit.
+// Exact keys pass the all-ones mask of the key width, LPM keys a prefix
+// mask, and a zero mask (wildcard / prefix length 0) matches every lane.
+// Precondition: every set bit of `mask` is in `planes.populated`.
+std::uint64_t LaneTernaryMatch(const LanePlanes& planes, uint128 value,
+                               uint128 mask, std::uint64_t seed_mask);
+
+}  // namespace switchv::bmv2
+
+#endif  // SWITCHV_BMV2_LANE_KERNELS_H_

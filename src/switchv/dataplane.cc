@@ -1,8 +1,10 @@
 #include "switchv/dataplane.h"
 
+#include <memory>
 #include <optional>
 #include <set>
 
+#include "bmv2/batch_interpreter.h"
 #include "fuzzer/state.h"
 #include "models/sai_model.h"  // only for default clone sessions in reference
 #include "util/strings.h"
@@ -230,6 +232,7 @@ DataplaneResult RunDataplaneValidation(
   auto enumerate = [&](std::string_view bytes, std::uint16_t port) {
     ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr,
                       metrics ? &metrics->reference_hist : nullptr);
+    if (metrics != nullptr) metrics->Add(metrics->reference_packets, 1);
     return reference.EnumerateBehaviors(bytes, port);
   };
   Status install_status;
@@ -247,6 +250,46 @@ DataplaneResult RunDataplaneValidation(
            0, sut::SutLayer::kNone);
     return result;
   }
+  // Bit-parallel 64-lane front end over the reference. Constructed after
+  // entry install (it snapshots the installed tables); lane results are
+  // byte-identical to scalar enumeration, with automatic per-lane scalar
+  // fallback on divergence.
+  std::unique_ptr<bmv2::BatchInterpreter> batch;
+  if (options.batch_reference) {
+    ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr,
+                      metrics ? &metrics->reference_hist : nullptr);
+    batch = std::make_unique<bmv2::BatchInterpreter>(reference);
+  }
+  // Enumerates reference behaviours for a whole packet list — 64 lanes
+  // per pass when the batch interpreter is on, scalar otherwise. The
+  // reference is deterministic, so callers may reuse the results across
+  // phases.
+  auto enumerate_many =
+      [&](const std::vector<bmv2::BatchInterpreter::LanePacket>& lanes) {
+        std::vector<StatusOr<std::vector<packet::ForwardingOutcome>>> out;
+        if (batch != nullptr) {
+          const bmv2::BatchInterpreter::Stats before = batch->stats();
+          {
+            ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr,
+                              metrics ? &metrics->reference_hist : nullptr);
+            out = batch->EnumerateBehaviorsBatch(lanes);
+          }
+          if (metrics != nullptr) {
+            const bmv2::BatchInterpreter::Stats after = batch->stats();
+            metrics->Add(metrics->reference_packets, lanes.size());
+            metrics->Add(metrics->batch_lanes_run,
+                         after.lanes_run - before.lanes_run);
+            metrics->Add(metrics->batch_scalar_fallbacks,
+                         after.scalar_fallbacks - before.scalar_fallbacks);
+          }
+        } else {
+          out.reserve(lanes.size());
+          for (const bmv2::BatchInterpreter::LanePacket& lane : lanes) {
+            out.push_back(enumerate(lane.bytes, lane.ingress_port));
+          }
+        }
+        return out;
+      };
 
   // Phase 4: obtain test packets — either the campaign-precomputed list,
   // or generated here from the model + installed state.
@@ -291,6 +334,28 @@ DataplaneResult RunDataplaneValidation(
            options.packet_shard;
   };
 
+  // Phase 4.5: enumerate reference behaviours for this shard's packet
+  // subset once (64 packets per pass when the batch lane is on). Phases 5
+  // and 6 both need the behaviour sets; enumerate-once-reuse-twice is
+  // exact because the reference is a pure function of bytes/port/seed.
+  std::vector<std::size_t> shard_indices;
+  for (std::size_t index = 0; index < packets->size(); ++index) {
+    if (in_shard(index)) shard_indices.push_back(index);
+  }
+  std::vector<bmv2::BatchInterpreter::LanePacket> shard_lanes;
+  shard_lanes.reserve(shard_indices.size());
+  for (std::size_t index : shard_indices) {
+    shard_lanes.push_back(
+        {(*packets)[index].bytes, (*packets)[index].ingress_port});
+  }
+  std::vector<StatusOr<std::vector<packet::ForwardingOutcome>>>
+      shard_behaviors;
+  {
+    ScopedSpan span(trace, "reference-enumerate", "dataplane");
+    shard_behaviors = enumerate_many(shard_lanes);
+    span.AddArg("packets", static_cast<std::uint64_t>(shard_lanes.size()));
+  }
+
   // Phase 5: differential packet testing.
   sut.DrainPacketIns();  // discard anything stale
   // Let the OS daemons get several scheduling quanta during the run; any
@@ -299,9 +364,8 @@ DataplaneResult RunDataplaneValidation(
   {
     ScopedSpan span(trace, "packet-test", "dataplane");
     int tested_here = 0;
-    for (std::size_t index = 0; index < packets->size(); ++index) {
-      if (!in_shard(index)) continue;
-      const symbolic::TestPacket& packet = (*packets)[index];
+    for (std::size_t si = 0; si < shard_indices.size(); ++si) {
+      const symbolic::TestPacket& packet = (*packets)[shard_indices[si]];
       const packet::ForwardingOutcome observed =
           sut.InjectPacket(packet.bytes, packet.ingress_port);
       if (recorder != nullptr) {
@@ -311,7 +375,7 @@ DataplaneResult RunDataplaneValidation(
       ++result.packets_tested;
       ++tested_here;
       if (metrics != nullptr) metrics->Add(metrics->packets_tested, 1);
-      auto behaviors = enumerate(packet.bytes, packet.ingress_port);
+      const auto& behaviors = shard_behaviors[si];
       if (!behaviors.ok()) {
         report("reference simulator failed on a test packet: " +
                    behaviors.status().ToString(),
@@ -347,14 +411,11 @@ DataplaneResult RunDataplaneValidation(
   {
     ScopedSpan span(trace, "packet-in-reconcile", "dataplane");
     int expected_punts = 0;
-    // Re-derive expected punt count from the reference (cheap second pass
-    // over the punt verdicts recorded in phase 5 is equivalent; we use the
-    // queue length delta instead).
+    // Expected punt count comes from the behaviour sets enumerated in
+    // phase 4.5 — the reference is deterministic, so re-enumerating here
+    // would produce the identical verdicts at twice the cost.
     const std::vector<p4rt::PacketIn> packet_ins = sut.DrainPacketIns();
-    for (std::size_t index = 0; index < packets->size(); ++index) {
-      if (!in_shard(index)) continue;
-      const symbolic::TestPacket& packet = (*packets)[index];
-      auto behaviors = enumerate(packet.bytes, packet.ingress_port);
+    for (const auto& behaviors : shard_behaviors) {
       if (behaviors.ok() && !behaviors->empty() && (*behaviors)[0].punted) {
         ++expected_punts;
       }
@@ -391,6 +452,11 @@ DataplaneResult RunDataplaneValidation(
       std::set<std::uint16_t> model_ports;
       std::set<std::string> switch_outcomes;
       int flows = 0;
+      // The variant bytes depend only on the base packet, so derive all 24
+      // up front and enumerate them as one batch (hash-driven member
+      // spread keeps the lanes vectorized together).
+      std::vector<std::string> variant_bytes;
+      variant_bytes.reserve(24);
       for (int variant = 0; variant < 24; ++variant) {
         packet::ParsedPacket mutated = base;
         // Vary hash inputs only: source address low bits and L4 source.
@@ -412,8 +478,18 @@ DataplaneResult RunDataplaneValidation(
           mutated.fields["udp.src_port"] =
               BitString::FromUint(20000 + variant * 7, 16);
         }
-        const std::string bytes = packet::Deparse(model, mutated);
-        auto behaviors = enumerate(bytes, packet.ingress_port);
+        variant_bytes.push_back(packet::Deparse(model, mutated));
+      }
+      std::vector<bmv2::BatchInterpreter::LanePacket> variant_lanes;
+      variant_lanes.reserve(variant_bytes.size());
+      for (const std::string& bytes : variant_bytes) {
+        variant_lanes.push_back({bytes, packet.ingress_port});
+      }
+      const auto variant_behaviors = enumerate_many(variant_lanes);
+      for (std::size_t variant = 0; variant < variant_bytes.size();
+           ++variant) {
+        const std::string& bytes = variant_bytes[variant];
+        const auto& behaviors = variant_behaviors[variant];
         if (!behaviors.ok()) continue;
         bool forwarded_somewhere = false;
         for (const packet::ForwardingOutcome& b : *behaviors) {

@@ -34,6 +34,12 @@ struct DataplaneOptions {
   // behind by a fuzzing campaign, §7's "pass these entries to
   // p4-symbolic"): skip the installation phase and validate in place.
   bool entries_preinstalled = false;
+  // Run reference behaviour enumeration through the bit-parallel 64-lane
+  // batch interpreter (bmv2/batch_interpreter.h). Lane results are
+  // byte-identical to the scalar path (ctest -L batch pins this over the
+  // whole fault catalog); off switches every enumeration back to scalar
+  // Interpreter::Run.
+  bool batch_reference = true;
   // Campaign-engine hooks. With `precomputed_packets` set, symbolic
   // generation is skipped and the given packets are used instead (the
   // engine generates once per campaign and fans the list out to shards).

@@ -101,6 +101,9 @@ void Metrics::Merge(const MetricsSnapshot& s) {
   Add(packets_tested, s.packets_tested);
   Add(solver_queries, s.solver_queries);
   Add(generation_cache_hits, s.generation_cache_hits);
+  Add(batch_lanes_run, s.batch_lanes_run);
+  Add(batch_scalar_fallbacks, s.batch_scalar_fallbacks);
+  Add(reference_packets, s.reference_packets);
   Add(oracle_cache_hits, s.oracle_cache_hits);
   Add(oracle_cache_misses, s.oracle_cache_misses);
   Add(oracle_cache_evictions, s.oracle_cache_evictions);
@@ -134,6 +137,10 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
   s.solver_queries = solver_queries.load(std::memory_order_relaxed);
   s.generation_cache_hits =
       generation_cache_hits.load(std::memory_order_relaxed);
+  s.batch_lanes_run = batch_lanes_run.load(std::memory_order_relaxed);
+  s.batch_scalar_fallbacks =
+      batch_scalar_fallbacks.load(std::memory_order_relaxed);
+  s.reference_packets = reference_packets.load(std::memory_order_relaxed);
   s.oracle_cache_hits = oracle_cache_hits.load(std::memory_order_relaxed);
   s.oracle_cache_misses =
       oracle_cache_misses.load(std::memory_order_relaxed);
@@ -201,6 +208,9 @@ void ZipCounterFields(MetricsSnapshot& a, const MetricsSnapshot& b, Fn&& fn) {
   fn(a.packets_tested, b.packets_tested);
   fn(a.solver_queries, b.solver_queries);
   fn(a.generation_cache_hits, b.generation_cache_hits);
+  fn(a.batch_lanes_run, b.batch_lanes_run);
+  fn(a.batch_scalar_fallbacks, b.batch_scalar_fallbacks);
+  fn(a.reference_packets, b.reference_packets);
   fn(a.oracle_cache_hits, b.oracle_cache_hits);
   fn(a.oracle_cache_misses, b.oracle_cache_misses);
   fn(a.oracle_cache_evictions, b.oracle_cache_evictions);
@@ -298,6 +308,12 @@ std::string MetricsSnapshot::ToString() const {
       << std::setprecision(0) << packets_per_second() << " packets/s), "
       << solver_queries << " solver queries, " << generation_cache_hits
       << " cache hits\n";
+  if (batch_lanes_run + batch_scalar_fallbacks + reference_packets > 0) {
+    out << "  reference:     " << reference_packets << " packets ("
+        << std::setprecision(0) << reference_packets_per_second()
+        << " packets/ref-s), batch " << batch_lanes_run << " lanes + "
+        << batch_scalar_fallbacks << " scalar fallbacks\n";
+  }
   if (oracle_cache_hits + oracle_cache_misses + oracle_cache_evictions > 0) {
     out << "  oracle cache:  " << oracle_cache_hits << " hits, "
         << oracle_cache_misses << " misses, " << oracle_cache_evictions
@@ -378,6 +394,14 @@ std::string MetricsSnapshot::ToPrometheus() const {
           solver_queries);
   counter("switchv_generation_cache_hits_total",
           "Packet-generation cache hits.", generation_cache_hits);
+  counter("switchv_batch_lanes_run_total",
+          "Reference lane-runs completed word-parallel.", batch_lanes_run);
+  counter("switchv_batch_scalar_fallbacks_total",
+          "Reference lane-runs demoted to the scalar fallback.",
+          batch_scalar_fallbacks);
+  counter("switchv_reference_packets_total",
+          "Packets enumerated through the reference simulator.",
+          reference_packets);
   counter("switchv_oracle_cache_hits_total",
           "Oracle judgment-cache hits.", oracle_cache_hits);
   counter("switchv_oracle_cache_misses_total",
@@ -417,6 +441,9 @@ std::string MetricsSnapshot::ToPrometheus() const {
         updates_per_second());
   gauge("switchv_packets_per_second", "Data-plane packet throughput.",
         packets_per_second());
+  gauge("switchv_reference_packets_per_second",
+        "Packets enumerated per second of reference-simulation phase time.",
+        reference_packets_per_second());
 
   const PhaseHistogram phases[] = {
       {"switch_write", &switch_write_hist, switch_write_ns},
@@ -465,6 +492,11 @@ std::string MetricsSnapshot::ToJson() const {
   out << ",\"oracle_findings\":" << oracle_findings;
   out << ",\"solver_queries\":" << solver_queries;
   out << ",\"generation_cache_hits\":" << generation_cache_hits;
+  out << ",\"batch_lanes_run\":" << batch_lanes_run;
+  out << ",\"batch_scalar_fallbacks\":" << batch_scalar_fallbacks;
+  out << ",\"reference_packets\":" << reference_packets;
+  out << ",\"reference_packets_per_second\":"
+      << reference_packets_per_second();
   out << ",\"oracle_cache_hits\":" << oracle_cache_hits;
   out << ",\"oracle_cache_misses\":" << oracle_cache_misses;
   out << ",\"oracle_cache_evictions\":" << oracle_cache_evictions;
@@ -519,6 +551,9 @@ std::string MetricsSnapshot::ToWireJson() const {
   field("packets_tested", packets_tested);
   field("solver_queries", solver_queries);
   field("generation_cache_hits", generation_cache_hits);
+  field("batch_lanes_run", batch_lanes_run);
+  field("batch_scalar_fallbacks", batch_scalar_fallbacks);
+  field("reference_packets", reference_packets);
   field("oracle_cache_hits", oracle_cache_hits);
   field("oracle_cache_misses", oracle_cache_misses);
   field("oracle_cache_evictions", oracle_cache_evictions);

@@ -85,6 +85,14 @@ struct MetricsSnapshot {
   std::uint64_t solver_queries = 0;
   std::uint64_t generation_cache_hits = 0;
 
+  // Bit-parallel reference simulation (bmv2/batch_interpreter.h):
+  // lane-runs completed word-parallel, lane-runs demoted to the scalar
+  // fallback, and packets enumerated through the reference (batch or
+  // scalar) — the numerator of reference_packets_per_second().
+  std::uint64_t batch_lanes_run = 0;
+  std::uint64_t batch_scalar_fallbacks = 0;
+  std::uint64_t reference_packets = 0;
+
   // Oracle judgment-cache traffic (fuzzer/judgment_cache.h): memoized
   // classification verdicts shared across every shard on a host.
   std::uint64_t oracle_cache_hits = 0;
@@ -135,6 +143,12 @@ struct MetricsSnapshot {
   }
   double packets_per_second() const {
     return SafeRate(static_cast<double>(packets_tested), wall_seconds);
+  }
+  // Packets enumerated per second of reference-simulation phase time —
+  // the rate the batch lane accelerates (and the bench gate pins).
+  double reference_packets_per_second() const {
+    return SafeRate(static_cast<double>(reference_packets),
+                    static_cast<double>(reference_ns) / 1e9);
   }
   static double SafeRate(double numerator, double denominator) {
     return denominator > 0 ? numerator / denominator : 0;
@@ -210,6 +224,9 @@ class Metrics {
   std::atomic<std::uint64_t> packets_tested{0};
   std::atomic<std::uint64_t> solver_queries{0};
   std::atomic<std::uint64_t> generation_cache_hits{0};
+  std::atomic<std::uint64_t> batch_lanes_run{0};
+  std::atomic<std::uint64_t> batch_scalar_fallbacks{0};
+  std::atomic<std::uint64_t> reference_packets{0};
   std::atomic<std::uint64_t> oracle_cache_hits{0};
   std::atomic<std::uint64_t> oracle_cache_misses{0};
   std::atomic<std::uint64_t> oracle_cache_evictions{0};

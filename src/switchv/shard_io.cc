@@ -609,6 +609,9 @@ Status ParseWireMetrics(const Json& json, MetricsSnapshot& out) {
       {"packets_tested", &out.packets_tested},
       {"solver_queries", &out.solver_queries},
       {"generation_cache_hits", &out.generation_cache_hits},
+      {"batch_lanes_run", &out.batch_lanes_run},
+      {"batch_scalar_fallbacks", &out.batch_scalar_fallbacks},
+      {"reference_packets", &out.reference_packets},
       {"oracle_cache_hits", &out.oracle_cache_hits},
       {"oracle_cache_misses", &out.oracle_cache_misses},
       {"oracle_cache_evictions", &out.oracle_cache_evictions},
@@ -715,7 +718,9 @@ std::string SerializeShardSpec(const WireShardSpec& spec) {
       << "\",\"max_incidents\":" << dp.max_incidents
       << ",\"packet_out_ports\":" << dp.packet_out_ports
       << ",\"packet_shard\":" << dp.packet_shard
-      << ",\"packet_shards\":" << dp.packet_shards << "}";
+      << ",\"packet_shards\":" << dp.packet_shards
+      << ",\"batch_reference\":" << (dp.batch_reference ? "true" : "false")
+      << "}";
 
   out << ",\"dataplane_on_fuzzed_state\":"
       << (spec.dataplane_on_fuzzed_state ? "true" : "false")
@@ -851,6 +856,8 @@ StatusOr<WireShardSpec> ParseShardSpec(std::string_view line) {
       GetInt(*dp, "packet_shard", kWhat, spec.dataplane.packet_shard));
   SWITCHV_RETURN_IF_ERROR(
       GetInt(*dp, "packet_shards", kWhat, spec.dataplane.packet_shards));
+  SWITCHV_RETURN_IF_ERROR(GetBool(*dp, "batch_reference", kWhat,
+                                  spec.dataplane.batch_reference));
 
   SWITCHV_RETURN_IF_ERROR(GetBool(json, "dataplane_on_fuzzed_state", kWhat,
                                   spec.dataplane_on_fuzzed_state));

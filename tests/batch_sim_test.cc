@@ -1,0 +1,584 @@
+// Lane-vs-scalar conformance wall for the bit-parallel 64-lane batch
+// interpreter (bmv2/batch_interpreter.h) and its word-parallel match
+// kernels (bmv2/lane_kernels.h). Registered under `ctest -L batch`.
+//
+// The contract under test: the batch lane is a pure optimization. Every
+// lane result — forwarding outcome bytes, error status, enumerated
+// behaviour set — is byte-identical to the scalar Interpreter, for any
+// batch size, for divergent control flow, for truncated and garbage
+// packets, and with every lane forced onto the scalar fallback. At the
+// campaign level, reports produced with the batch lane on and off match
+// byte for byte over the whole fault catalog and across execution
+// substrates; only the batch counters and the reference-timer histogram
+// granularity (one record per batched call vs one per packet) may differ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bmv2/batch_interpreter.h"
+#include "bmv2/lane_kernels.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "models/test_packets.h"
+#include "switchv/experiment.h"
+
+// Baked in by tests/CMakeLists.txt; the substrate sweep is skipped when
+// the worker binary is unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+
+namespace switchv {
+namespace {
+
+uint128 Low(int width) {
+  return width >= 128 ? ~static_cast<uint128>(0)
+                      : (static_cast<uint128>(1) << width) - 1;
+}
+
+uint128 Rand128(std::mt19937_64& rng) {
+  return (static_cast<uint128>(rng()) << 64) | rng();
+}
+
+// ---------------------------------------------------------------------------
+// Word-parallel kernel properties: the transposed planes and the ternary
+// match must agree with the obvious per-lane scalar over random values,
+// random masks, and the mask edge cases (exact = full-width mask, LPM
+// prefix 0 and full width, ternary don't-care bits, partial lane words).
+// ---------------------------------------------------------------------------
+
+TEST(LaneKernelTest, TransposeRoundTripsRandomValues) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 64; ++round) {
+    const int width = 1 + static_cast<int>(rng() % 128);
+    const std::uint64_t lane_mask =
+        round % 3 == 0 ? ~0ull : rng();  // full and sparse lane sets
+    std::array<uint128, 64> values;
+    for (uint128& v : values) v = Rand128(rng) & Low(width);
+    bmv2::LanePlanes planes;
+    planes.Transpose(values.data(), lane_mask, Low(width));
+    EXPECT_EQ(planes.populated, Low(width));
+    for (int lane = 0; lane < 64; ++lane) {
+      if (((lane_mask >> lane) & 1) == 0) continue;
+      for (int bit = 0; bit < width; ++bit) {
+        ASSERT_EQ((planes.planes[bit] >> lane) & 1,
+                  static_cast<std::uint64_t>((values[lane] >> bit) & 1))
+            << "round " << round << " lane " << lane << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(LaneKernelTest, TernaryMatchAgreesWithScalarOnRandomMasks) {
+  std::mt19937_64 rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const int width = 1 + static_cast<int>(rng() % 128);
+    // Rotate through the mask shapes a real table produces: exact
+    // (full-width), LPM prefix (including 0 and width), and free ternary
+    // with don't-care bits.
+    uint128 mask;
+    switch (round % 4) {
+      case 0:
+        mask = Low(width);  // exact
+        break;
+      case 1: {
+        const int prefix = static_cast<int>(rng() % (width + 1));  // 0..width
+        mask = Low(width) & ~Low(width - prefix);
+        break;
+      }
+      case 2:
+        mask = 0;  // ternary full don't-care: matches everything
+        break;
+      default:
+        mask = Rand128(rng) & Low(width);
+    }
+    const uint128 value = Rand128(rng) & Low(width);
+    // Lane counts that are not a multiple of 64 arrive as partial seed
+    // words.
+    const std::uint64_t seed_mask =
+        round % 5 == 0 ? Low(1 + rng() % 63) : rng();
+    std::array<uint128, 64> lane_values;
+    for (int lane = 0; lane < 64; ++lane) {
+      // Half the lanes are forced to match so both verdicts occur often.
+      lane_values[static_cast<std::size_t>(lane)] =
+          (rng() % 2 == 0)
+              ? ((value & mask) | (Rand128(rng) & ~mask)) & Low(width)
+              : Rand128(rng) & Low(width);
+    }
+    bmv2::LanePlanes planes;
+    planes.Transpose(lane_values.data(), seed_mask, mask);
+    const std::uint64_t got =
+        bmv2::LaneTernaryMatch(planes, value, mask, seed_mask);
+    for (int lane = 0; lane < 64; ++lane) {
+      const bool in = ((seed_mask >> lane) & 1) != 0;
+      const bool scalar =
+          in && ((lane_values[static_cast<std::size_t>(lane)] ^ value) &
+                 mask) == 0;
+      ASSERT_EQ(((got >> lane) & 1) != 0, scalar)
+          << "round " << round << " lane " << lane << " width " << width;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter-level conformance: RunBatch64 and EnumerateBehaviorsBatch
+// against the scalar Interpreter over a randomized corpus — routed,
+// unrouted, v4/v6/ARP (divergent parser and control flow in one batch),
+// truncated prefixes, and garbage bytes.
+// ---------------------------------------------------------------------------
+
+class BatchSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+    interpreter_ = std::make_unique<bmv2::Interpreter>(
+        program_, models::SaiParserSpec(), models::DefaultCloneSessions());
+    auto entries =
+        models::GenerateEntries(info_, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(),
+                                /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    ASSERT_TRUE(interpreter_->InstallEntries(*entries).ok());
+  }
+
+  // `count` packets cycling through every corpus family, perturbed by
+  // `seed`.
+  std::vector<std::string> BuildCorpus(int count, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::string> corpus;
+    corpus.reserve(static_cast<std::size_t>(count));
+    const std::string donor =
+        models::BuildIpv4Packet(program_, models::Ipv4PacketSpec{});
+    for (int i = 0; i < count; ++i) {
+      switch (i % 6) {
+        case 0: {  // routed-or-not IPv4, varied hash inputs and TTL
+          models::Ipv4PacketSpec spec;
+          spec.dst_ip = static_cast<std::uint32_t>(rng());
+          spec.src_ip = static_cast<std::uint32_t>(rng());
+          spec.ttl = static_cast<int>(rng() % 3 == 0 ? rng() % 2 : 64);
+          spec.protocol = (i % 2 == 0) ? 6 : 17;
+          spec.src_port = static_cast<std::uint16_t>(rng());
+          corpus.push_back(models::BuildIpv4Packet(program_, spec));
+          break;
+        }
+        case 1: {  // IPv6
+          models::Ipv6PacketSpec spec;
+          spec.dst_ip = Rand128(rng);
+          spec.src_ip = Rand128(rng);
+          spec.hop_limit = static_cast<int>(rng() % 2 == 0 ? 1 : 64);
+          corpus.push_back(models::BuildIpv6Packet(program_, spec));
+          break;
+        }
+        case 2:  // ARP (punt paths)
+          corpus.push_back(models::BuildArpPacket(program_));
+          break;
+        case 3:  // truncated prefix of a valid packet
+          corpus.push_back(
+              donor.substr(0, rng() % (donor.size() + 1)));
+          break;
+        case 4: {  // garbage bytes, assorted lengths
+          std::string garbage(rng() % 96, '\0');
+          for (char& c : garbage) c = static_cast<char>(rng());
+          corpus.push_back(std::move(garbage));
+          break;
+        }
+        default: {  // in-subnet IPv4 (likely routed)
+          models::Ipv4PacketSpec spec;
+          spec.dst_ip = 0x0A000000u | static_cast<std::uint32_t>(rng() % 256);
+          corpus.push_back(models::BuildIpv4Packet(program_, spec));
+          break;
+        }
+      }
+    }
+    return corpus;
+  }
+
+  static std::vector<bmv2::BatchInterpreter::LanePacket> Lanes(
+      const std::vector<std::string>& corpus) {
+    std::vector<bmv2::BatchInterpreter::LanePacket> lanes;
+    lanes.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      lanes.push_back(
+          {corpus[i], static_cast<std::uint16_t>(1 + i % 8)});
+    }
+    return lanes;
+  }
+
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+  std::unique_ptr<bmv2::Interpreter> interpreter_;
+};
+
+TEST_F(BatchSimTest, RunBatchMatchesScalarAcrossBatchSizes) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  for (const int size : {1, 2, 3, 16, 63, 64, 65, 130}) {
+    const std::vector<std::string> corpus =
+        BuildCorpus(size, /*seed=*/static_cast<std::uint64_t>(size));
+    const auto lanes = Lanes(corpus);
+    for (const std::uint64_t seed : {0ull, 1ull, 5ull}) {
+      SCOPED_TRACE("size " + std::to_string(size) + " seed " +
+                   std::to_string(seed));
+      const auto results = batch.RunBatch64(lanes, seed);
+      ASSERT_EQ(results.size(), lanes.size());
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        SCOPED_TRACE("lane " + std::to_string(i));
+        const auto scalar = interpreter_->Run(
+            lanes[i].bytes, lanes[i].ingress_port, seed);
+        ASSERT_EQ(results[i].ok(), scalar.ok())
+            << (results[i].ok() ? scalar.status().ToString()
+                                : results[i].status().ToString());
+        if (!scalar.ok()) {
+          EXPECT_EQ(results[i].status().ToString(),
+                    scalar.status().ToString());
+          continue;
+        }
+        // Canonical equality covers drop/punt/port/bytes/clones; the
+        // explicit byte comparisons make failures attributable.
+        EXPECT_EQ(results[i]->packet_bytes, scalar->packet_bytes);
+        EXPECT_EQ(results[i]->clones, scalar->clones);
+        EXPECT_EQ(results[i]->Canonical(), scalar->Canonical());
+      }
+    }
+  }
+  // The corpus must actually have exercised the vector path.
+  EXPECT_GT(batch.stats().lanes_run, 0u);
+  EXPECT_GT(batch.stats().batch_passes, 0u);
+}
+
+TEST_F(BatchSimTest, EnumerateBehaviorsMatchesScalarPerLane) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  const std::vector<std::string> corpus = BuildCorpus(70, /*seed=*/99);
+  const auto lanes = Lanes(corpus);
+  const auto results = batch.EnumerateBehaviorsBatch(lanes);
+  ASSERT_EQ(results.size(), lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    const auto scalar = interpreter_->EnumerateBehaviors(
+        lanes[i].bytes, lanes[i].ingress_port);
+    ASSERT_EQ(results[i].ok(), scalar.ok());
+    if (!scalar.ok()) {
+      EXPECT_EQ(results[i].status().ToString(), scalar.status().ToString());
+      continue;
+    }
+    ASSERT_EQ(results[i]->size(), scalar->size());
+    for (std::size_t k = 0; k < scalar->size(); ++k) {
+      EXPECT_EQ((*results[i])[k].Canonical(), (*scalar)[k].Canonical())
+          << "behaviour " << k;
+    }
+  }
+}
+
+// Every lane forced onto the scalar fallback: results still match, and the
+// fallback counter accounts for every lane while the vector counter stays
+// at zero — the counter regression for `batch_scalar_fallbacks`.
+TEST_F(BatchSimTest, ForcedFullFallbackMatchesScalarAndIsCounted) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  const std::vector<std::string> corpus = BuildCorpus(70, /*seed=*/5);
+  const auto lanes = Lanes(corpus);
+
+  batch.set_force_scalar_fallback(true);
+  batch.ResetStats();
+  const auto forced = batch.RunBatch64(lanes, /*hash_seed=*/3);
+  EXPECT_EQ(batch.stats().lanes_run, 0u);
+  EXPECT_EQ(batch.stats().scalar_fallbacks, lanes.size());
+
+  batch.set_force_scalar_fallback(false);
+  batch.ResetStats();
+  const auto vectorized = batch.RunBatch64(lanes, /*hash_seed=*/3);
+  EXPECT_GT(batch.stats().lanes_run, 0u);
+  EXPECT_EQ(batch.stats().lanes_run + batch.stats().scalar_fallbacks,
+            lanes.size());
+
+  ASSERT_EQ(forced.size(), vectorized.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    SCOPED_TRACE("lane " + std::to_string(i));
+    const auto scalar =
+        interpreter_->Run(lanes[i].bytes, lanes[i].ingress_port, 3);
+    ASSERT_EQ(forced[i].ok(), scalar.ok());
+    ASSERT_EQ(vectorized[i].ok(), scalar.ok());
+    if (!scalar.ok()) continue;
+    EXPECT_EQ(forced[i]->Canonical(), scalar->Canonical());
+    EXPECT_EQ(vectorized[i]->Canonical(), scalar->Canonical());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level conformance: the full fault-catalog sweep with the batch
+// lane on vs off. Detection verdicts, incident fingerprints, rendered
+// exemplars, and count-valued telemetry must be byte-identical; only the
+// batch counters (off: zero) and the reference-timer histogram (batched
+// calls record fewer, larger samples) may differ.
+// ---------------------------------------------------------------------------
+
+ExperimentOptions FastSweepOptions() {
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 12;
+  options.nightly.control_plane.updates_per_request = 40;
+  options.nightly.dataplane.packet_out_ports = 2;
+  return options;
+}
+
+// Deterministic projection of a nightly report (mirrors the oracle-cache
+// wall's projection). Excluded by design: the batch counters and the
+// reference histogram count — everything else must match.
+std::string RenderNightly(const NightlyReport& report) {
+  std::ostringstream out;
+  out << "fuzzed=" << report.fuzzed_updates
+      << " packets=" << report.packets_tested
+      << " targets=" << report.generation.targets_covered << "/"
+      << report.generation.targets_total
+      << " queries=" << report.generation.solver_queries << "\n";
+  for (const IncidentGroup& group : report.groups) {
+    out << "group " << group.fingerprint << " x" << group.occurrences
+        << " shards=[";
+    for (const int shard : group.shards) out << shard << ",";
+    out << "] detector=" << DetectorName(group.exemplar.detector)
+        << " layer=" << sut::SutLayerName(group.exemplar.layer)
+        << " shard=" << group.exemplar.shard << "\n"
+        << "summary: " << group.exemplar.summary << "\n"
+        << "details: " << group.exemplar.details << "\n"
+        << group.exemplar.replay_trace << "\n";
+  }
+  const MetricsSnapshot& m = report.metrics;
+  out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+      << m.requests_sent << " " << m.generated_valid << " "
+      << m.generated_invalid << " " << m.oracle_findings << " "
+      << m.packets_tested << " " << m.solver_queries << " "
+      << m.reference_packets << " " << m.switch_writes << " "
+      << m.switch_reads << " " << m.switch_packets_injected << " "
+      << m.incidents_raised << " " << m.incidents_unique << "\n";
+  out << "hists " << m.switch_write_hist.count << " " << m.oracle_hist.count
+      << " " << m.generation_hist.count << "\n";
+  return out.str();
+}
+
+std::set<std::uint64_t> Fingerprints(const NightlyReport& report) {
+  std::set<std::uint64_t> fingerprints;
+  for (const IncidentGroup& group : report.groups) {
+    fingerprints.insert(group.fingerprint);
+  }
+  return fingerprints;
+}
+
+TEST(BatchConformanceTest, FaultCatalogSweepIsByteIdenticalToScalar) {
+  auto batched = RunFullSweep(FastSweepOptions());
+  ASSERT_TRUE(batched.ok()) << batched.status();
+
+  ExperimentOptions scalar_options = FastSweepOptions();
+  scalar_options.nightly.dataplane.batch_reference = false;
+  auto scalar = RunFullSweep(scalar_options);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+
+  ASSERT_EQ(batched->size(), sut::BugCatalog().size());
+  ASSERT_EQ(batched->size(), scalar->size());
+  std::uint64_t batched_lanes = 0;
+  for (std::size_t i = 0; i < batched->size(); ++i) {
+    const BugRunResult& with_batch = (*batched)[i];
+    const BugRunResult& without = (*scalar)[i];
+    SCOPED_TRACE(with_batch.bug->name);
+    ASSERT_EQ(with_batch.bug->fault, without.bug->fault);
+
+    EXPECT_EQ(with_batch.detected, without.detected);
+    EXPECT_EQ(with_batch.detector, without.detector);
+    EXPECT_EQ(with_batch.incident_count, without.incident_count);
+    EXPECT_EQ(with_batch.first_incident, without.first_incident);
+    EXPECT_EQ(Fingerprints(with_batch.report), Fingerprints(without.report));
+    EXPECT_EQ(RenderNightly(with_batch.report),
+              RenderNightly(without.report));
+
+    batched_lanes += with_batch.report.metrics.batch_lanes_run;
+    EXPECT_EQ(without.report.metrics.batch_lanes_run, 0u);
+    EXPECT_EQ(without.report.metrics.batch_scalar_fallbacks, 0u);
+    // Both modes enumerate the same packets through the reference.
+    EXPECT_EQ(with_batch.report.metrics.reference_packets,
+              without.report.metrics.reference_packets);
+  }
+  // The batched sweep must actually have gone through the lanes.
+  EXPECT_GT(batched_lanes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Substrate conformance: batch on/off reports are byte-identical under
+// in-process and subprocess execution. The subprocess runs exercise the
+// `batch_reference` wire field (shard_io.cc) end to end.
+// ---------------------------------------------------------------------------
+
+class BatchSubstrateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    info_ = new p4ir::P4Info(p4ir::P4Info::FromProgram(*model_));
+    auto entries =
+        models::GenerateEntries(*info_, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(),
+                                /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete info_;
+    delete entries_;
+    model_ = nullptr;
+    info_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  static CampaignOptions DataplaneCampaign() {
+    CampaignOptions options;
+    options.seed = 7;
+    options.run_control_plane = false;
+    options.dataplane_shards = 2;
+    options.dataplane.packet_out_ports = 2;
+    return options;
+  }
+
+  static ShardScenario Scenario() {
+    ShardScenario scenario;
+    scenario.role = models::Role::kMiddleblock;
+    scenario.workload = ExperimentOptions::SmallWorkload();
+    scenario.entry_seed = 2;
+    return scenario;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  // The campaign projection used by the engine/oracle conformance walls,
+  // minus the reference histogram count (batched timer granularity) —
+  // batch counters are asserted on separately, not rendered.
+  static std::string RenderReport(const CampaignReport& report) {
+    std::ostringstream out;
+    out << "shards=" << report.shards_run
+        << " fuzzed=" << report.fuzzed_updates
+        << " packets=" << report.packets_tested
+        << " targets=" << report.generation.targets_covered << "/"
+        << report.generation.targets_total
+        << " queries=" << report.generation.solver_queries << "\n";
+    for (const IncidentGroup& group : report.groups) {
+      out << "group " << group.fingerprint << " x" << group.occurrences
+          << " shards=[";
+      for (const int shard : group.shards) out << shard << ",";
+      out << "] detector=" << DetectorName(group.exemplar.detector)
+          << " layer=" << sut::SutLayerName(group.exemplar.layer)
+          << " shard=" << group.exemplar.shard << "\n"
+          << "summary: " << group.exemplar.summary << "\n"
+          << "details: " << group.exemplar.details << "\n"
+          << group.exemplar.replay_trace << "\n";
+    }
+    const MetricsSnapshot& m = report.metrics;
+    out << "counts " << m.shards_completed << " " << m.updates_sent << " "
+        << m.requests_sent << " " << m.generated_valid << " "
+        << m.generated_invalid << " " << m.oracle_findings << " "
+        << m.packets_tested << " " << m.solver_queries << " "
+        << m.reference_packets << " " << m.switch_writes << " "
+        << m.switch_reads << " " << m.switch_packets_injected << " "
+        << m.incidents_raised << " " << m.incidents_unique << "\n";
+    out << "hists " << m.switch_write_hist.count << " "
+        << m.oracle_hist.count << " " << m.generation_hist.count << "\n";
+    return out.str();
+  }
+
+  static p4ir::Program* model_;
+  static p4ir::P4Info* info_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* BatchSubstrateTest::model_ = nullptr;
+p4ir::P4Info* BatchSubstrateTest::info_ = nullptr;
+std::vector<p4rt::TableEntry>* BatchSubstrateTest::entries_ = nullptr;
+
+TEST_F(BatchSubstrateTest, BatchOnOffMatchOnEverySubstrate) {
+  // A dataplane-visible fault so the wall covers incident production, not
+  // just clean runs.
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDscpRemarkedToZero);
+
+  std::vector<std::pair<std::string, std::string>> reports;
+
+  CampaignOptions in_process = DataplaneCampaign();
+  const CampaignReport in_process_on = Run(&faults, in_process);
+  reports.emplace_back("in-process batch", RenderReport(in_process_on));
+  EXPECT_GT(in_process_on.metrics.batch_lanes_run, 0u);
+  EXPECT_GT(in_process_on.metrics.reference_packets, 0u);
+
+  CampaignOptions in_process_off = DataplaneCampaign();
+  in_process_off.dataplane.batch_reference = false;
+  const CampaignReport in_process_scalar = Run(&faults, in_process_off);
+  reports.emplace_back("in-process scalar", RenderReport(in_process_scalar));
+  EXPECT_EQ(in_process_scalar.metrics.batch_lanes_run, 0u);
+  EXPECT_EQ(in_process_scalar.metrics.batch_scalar_fallbacks, 0u);
+  EXPECT_GT(in_process_scalar.metrics.reference_packets, 0u);
+
+  if (!std::string(SWITCHV_SHARD_WORKER_PATH).empty()) {
+    CampaignOptions subprocess = DataplaneCampaign();
+    subprocess.execution = CampaignOptions::Execution::kSubprocess;
+    subprocess.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+    subprocess.scenario = Scenario();
+    const CampaignReport subprocess_on = Run(&faults, subprocess);
+    reports.emplace_back("subprocess batch", RenderReport(subprocess_on));
+    // The counters crossed the wire envelope from the worker processes.
+    EXPECT_GT(subprocess_on.metrics.batch_lanes_run, 0u);
+
+    CampaignOptions subprocess_off = subprocess;
+    subprocess_off.dataplane.batch_reference = false;
+    const CampaignReport subprocess_scalar = Run(&faults, subprocess_off);
+    reports.emplace_back("subprocess scalar",
+                         RenderReport(subprocess_scalar));
+    EXPECT_EQ(subprocess_scalar.metrics.batch_lanes_run, 0u);
+  }
+
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    SCOPED_TRACE(reports[i].first);
+    EXPECT_EQ(reports[0].second, reports[i].second)
+        << "report diverged from " << reports[0].first;
+  }
+}
+
+// The `batch_reference` knob survives the spec wire round-trip.
+TEST(BatchWireTest, SpecRoundTripCarriesTheKnob) {
+  for (const bool enabled : {true, false}) {
+    WireShardSpec spec;
+    spec.kind = WireShardSpec::Kind::kDataplane;
+    spec.scenario.role = models::Role::kMiddleblock;
+    spec.scenario.workload = ExperimentOptions::SmallWorkload();
+    spec.scenario.entry_seed = 2;
+    spec.dataplane.batch_reference = enabled;
+    auto parsed = ParseShardSpec(SerializeShardSpec(spec));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->dataplane.batch_reference, enabled);
+  }
+}
+
+// The new counters are exported on every surface the fleet scrapes.
+TEST_F(BatchSubstrateTest, BatchCountersAreExported) {
+  const CampaignReport report = Run(nullptr, DataplaneCampaign());
+  ASSERT_GT(report.metrics.batch_lanes_run, 0u);
+  const MetricsSnapshot& m = report.metrics;
+  EXPECT_NE(m.ToString().find("reference:"), std::string::npos);
+  EXPECT_NE(m.ToPrometheus().find("switchv_batch_lanes_run_total"),
+            std::string::npos);
+  EXPECT_NE(m.ToPrometheus().find("switchv_reference_packets_total"),
+            std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"batch_lanes_run\""), std::string::npos);
+  EXPECT_NE(m.ToWireJson().find("\"batch_scalar_fallbacks\""),
+            std::string::npos);
+  EXPECT_GT(m.reference_packets_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace switchv

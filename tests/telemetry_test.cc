@@ -67,6 +67,9 @@ MetricsSnapshot ArbitrarySnapshot(std::uint64_t seed) {
   s.packets_tested = n();
   s.solver_queries = n();
   s.generation_cache_hits = n();
+  s.batch_lanes_run = n();
+  s.batch_scalar_fallbacks = n();
+  s.reference_packets = n();
   s.oracle_cache_hits = n();
   s.oracle_cache_misses = n();
   s.oracle_cache_evictions = n();
