@@ -696,6 +696,67 @@ int BatchLaneSpeedupGuard() {
   return ok ? 0 : 1;
 }
 
+// Coverage-instrumentation overhead guard, run after the benchmarks. A
+// shard executed with the coverage scheduler in observe-only mode
+// (guidance on, plateau_batches = 0: every edge is recorded and exported
+// but no draw is ever steered, so the generated stream is byte-identical
+// to the uniform baseline) must cost within 3% of the same shard with
+// guidance off. Paired alternating trials with best-of-N per arm; the
+// binary exits nonzero on a miss, so CI treats the "cheap counters" claim
+// as a regression gate rather than prose.
+int CoverageOverheadGuard() {
+  WireShardSpec off_spec;
+  off_spec.kind = WireShardSpec::Kind::kControlPlane;
+  off_spec.scenario.entry_seed = 2;
+  off_spec.control_plane.num_requests = 60;
+  off_spec.control_plane.updates_per_request = 50;
+  off_spec.control_plane.seed = 11;
+
+  WireShardSpec on_spec = off_spec;
+  on_spec.control_plane.guidance = fuzzer::Guidance::kCoverage;
+  on_spec.control_plane.guidance_options.plateau_batches = 0;  // observe-only
+
+  constexpr int kTrials = 5;
+  double best_off = 1e30;
+  double best_on = 1e30;
+  std::uint64_t edges = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const StatusOr<WireShardResult> off = ExecuteShardSpec(off_spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const StatusOr<WireShardResult> on = ExecuteShardSpec(on_spec);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!off.ok() || !on.ok()) {
+      std::cerr << "coverage_overhead guard: shard failed: "
+                << (off.ok() ? on.status() : off.status()) << "\n";
+      return 1;
+    }
+    if (on->fuzzed_updates != off->fuzzed_updates ||
+        on->incidents.size() != off->incidents.size()) {
+      std::cerr << "coverage_overhead guard: observe-only instrumentation "
+                   "changed the shard result\n";
+      return 1;
+    }
+    edges = on->metrics.coverage_edges_total;
+    best_off = std::min(
+        best_off, std::chrono::duration<double>(t1 - t0).count());
+    best_on = std::min(
+        best_on, std::chrono::duration<double>(t2 - t1).count());
+  }
+  if (edges == 0) {
+    std::cerr << "coverage_overhead guard: instrumentation recorded no "
+                 "edges\n";
+    return 1;
+  }
+  const bool ok = best_on <= best_off * 1.03 + 0.002;
+  std::printf(
+      "coverage_overhead: guidance off %.1fms, observe-only %.1fms "
+      "(%+.2f%%, %llu edges) — %s (budget: +3%% of wall)\n",
+      best_off * 1e3, best_on * 1e3, (best_on / best_off - 1.0) * 1e2,
+      static_cast<unsigned long long>(edges), ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace switchv
 
@@ -707,6 +768,8 @@ int main(int argc, char** argv) {
   const int telemetry = switchv::TelemetryOverheadGuard();
   const int oracle_cache = switchv::OracleCacheSpeedupGuard();
   const int batch_lane = switchv::BatchLaneSpeedupGuard();
+  const int coverage = switchv::CoverageOverheadGuard();
   if (telemetry != 0) return telemetry;
-  return oracle_cache != 0 ? oracle_cache : batch_lane;
+  if (oracle_cache != 0) return oracle_cache;
+  return batch_lane != 0 ? batch_lane : coverage;
 }

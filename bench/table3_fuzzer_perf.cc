@@ -24,7 +24,10 @@
 //   BENCH_fuzzer.prom         Prometheus text exposition of the same run
 //   BENCH_fuzzer_events.jsonl event journal of the same run (one JSON
 //                             object per line: campaign/shard lifecycle
-//                             with monotone coordinator timestamps)
+//                             with monotone coordinator timestamps; the
+//                             campaign is coverage-guided, so completion
+//                             events carry cumulative edge counts — see
+//                             the EXPERIMENTS.md coverage-growth recipe)
 //
 //   $ ./table3_fuzzer_perf
 
@@ -88,8 +91,12 @@ StatusOr<RowResult> RunInstantiation(const std::string& name,
 }
 
 // Campaign-engine scaling: the same sharded campaign with 1 worker and 4.
-// The shard decomposition is fixed, so the deduped incident-fingerprint set
-// must match exactly; only wall clock may differ. The parallel run is
+// The shard decomposition is fixed and the coverage scheduler draws from a
+// per-shard stream, so the deduped incident-fingerprint set must match
+// exactly; only wall clock may differ. The run is coverage-guided so the
+// dropped event journal carries the coverage-growth curve (cumulative edge
+// counts on shard-completed events, seeds-exchanged at merge — the
+// EXPERIMENTS.md plotting recipe reads exactly these). The parallel run is
 // traced; returns its metrics snapshot for BENCH_fuzzer.json.
 StatusOr<MetricsSnapshot> RunCampaignScaling() {
   SWITCHV_ASSIGN_OR_RETURN(p4ir::Program model,
@@ -108,6 +115,7 @@ StatusOr<MetricsSnapshot> RunCampaignScaling() {
   options.control_plane.num_requests = 40;
   options.control_plane.updates_per_request = 50;
   options.dataplane.cache = &cache;
+  options.guidance = fuzzer::Guidance::kCoverage;
 
   // Warm the packet cache so both measured runs see identical (cache-hit)
   // generation cost and the comparison isolates shard execution.

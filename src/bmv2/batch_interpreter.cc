@@ -608,6 +608,9 @@ void BatchInterpreter::ApplyTableBatch(const p4ir::Table& table,
     if (default_action == nullptr) {
       Demote(undecided);
     } else {
+      if (coverage_sink_ != nullptr) {
+        RecordLaneEvents(undecided, table.name, table.default_action);
+      }
       ApplyActionBatch(*default_action, table.default_action_args, undecided);
     }
   }
@@ -622,6 +625,9 @@ void BatchInterpreter::ApplyTableBatch(const p4ir::Table& table,
       if (action == nullptr) {
         Demote(m);
         continue;
+      }
+      if (coverage_sink_ != nullptr) {
+        RecordLaneEvents(m, table.name, chosen.name);
       }
       ApplyActionBatch(*action, chosen.args, m);
       continue;
@@ -655,6 +661,9 @@ void BatchInterpreter::ApplyTableBatch(const p4ir::Table& table,
       if (action == nullptr) {
         Demote(member_lanes[i]);
         continue;
+      }
+      if (coverage_sink_ != nullptr) {
+        RecordLaneEvents(member_lanes[i], table.name, entry.actions[i].name);
       }
       ApplyActionBatch(*action, entry.actions[i].args, member_lanes[i]);
     }
@@ -738,6 +747,21 @@ std::string BatchInterpreter::DeparseLane(int lane) const {
   return out;
 }
 
+void BatchInterpreter::RecordLaneEvents(std::uint64_t mask,
+                                        std::string_view table,
+                                        std::string_view action) {
+  for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+    lane_events_[__builtin_ctzll(m)].emplace_back(table, action);
+  }
+}
+
+void BatchInterpreter::FlushLaneEvents(int lane) {
+  for (const auto& [table, action] : lane_events_[lane]) {
+    coverage_sink_->OnTableApply(table, action);
+  }
+  lane_events_[lane].clear();
+}
+
 void BatchInterpreter::RunPass(std::uint64_t mask) {
   std::memcpy(values_.data(), tmpl_values_.data(),
               values_.size() * sizeof(uint128));
@@ -747,6 +771,11 @@ void BatchInterpreter::RunPass(std::uint64_t mask) {
   live_ = mask;
   fallback_ = 0;
   ++stats_.batch_passes;
+  if (coverage_sink_ != nullptr) {
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      lane_events_[__builtin_ctzll(m)].clear();
+    }
+  }
 
   std::uint64_t forced = setup_fallback_ & mask;
   if (force_scalar_fallback_) forced = mask;
@@ -811,8 +840,27 @@ void BatchInterpreter::RunPass(std::uint64_t mask) {
 
   // Demoted lanes re-run end to end through the scalar interpreter: Run is
   // a pure function of (bytes, port, seed), so the re-run is byte-exact.
+  // With a coverage sink attached, a per-lane recording sink is swapped
+  // onto the scalar interpreter for each re-run: the lane's vector-path
+  // events (recorded before it demoted) are dropped and replaced by
+  // exactly what the scalar run applies.
+  struct LaneRecordSink final : CoverageSink {
+    std::vector<std::pair<std::string_view, std::string_view>>* events =
+        nullptr;
+    void OnTableApply(std::string_view table,
+                      std::string_view action) override {
+      events->emplace_back(table, action);
+    }
+  };
+  LaneRecordSink record_sink;
+  CoverageSink* const scalar_sink = scalar_.coverage_sink();
   for (std::uint64_t m = fallback_; m != 0; m &= m - 1) {
     const int l = __builtin_ctzll(m);
+    if (coverage_sink_ != nullptr) {
+      lane_events_[l].clear();
+      record_sink.events = &lane_events_[l];
+      scalar_.set_coverage_sink(&record_sink);
+    }
     StatusOr<ForwardingOutcome> result = scalar_.Run(
         lane_inputs_[l].bytes, lane_inputs_[l].ingress_port, lane_seeds_[l]);
     if (result.ok()) {
@@ -822,6 +870,7 @@ void BatchInterpreter::RunPass(std::uint64_t mask) {
       pass_status_[l] = result.status();
     }
   }
+  if (coverage_sink_ != nullptr) scalar_.set_coverage_sink(scalar_sink);
 }
 
 std::vector<StatusOr<ForwardingOutcome>> BatchInterpreter::RunBatch64(
@@ -835,6 +884,7 @@ std::vector<StatusOr<ForwardingOutcome>> BatchInterpreter::RunBatch64(
     SetupLanes(lanes.subspan(base, n));
     RunPass(LowLaneMask(static_cast<int>(n)));
     for (std::size_t l = 0; l < n; ++l) {
+      if (coverage_sink_ != nullptr) FlushLaneEvents(static_cast<int>(l));
       if (pass_status_[l].ok()) {
         results.emplace_back(std::move(pass_outcome_[l]));
       } else {
@@ -901,7 +951,14 @@ BatchInterpreter::EnumerateBehaviorsBatch(std::span<const LanePacket> lanes,
     RunPass(LowLaneMask(used));
     for (int i = 0; i < used; ++i) {
       const auto [p, s] = slots[i];
-      if (done[p]) continue;  // past this packet's stop point: speculative
+      if (done[p]) {
+        // Past this packet's stop point: the lane-run is speculative, so
+        // its buffered coverage events are discarded, not flushed — the
+        // scalar enumeration never ran this seed.
+        if (coverage_sink_ != nullptr) lane_events_[i].clear();
+        continue;
+      }
+      if (coverage_sink_ != nullptr) FlushLaneEvents(i);
       if (!pass_status_[i].ok()) {
         lane_error[p] = pass_status_[i];
         done[p] = true;

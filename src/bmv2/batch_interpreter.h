@@ -27,6 +27,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bmv2/interpreter.h"
@@ -83,6 +84,15 @@ class BatchInterpreter {
   void set_force_scalar_fallback(bool force) {
     force_scalar_fallback_ = force;
   }
+
+  // Coverage observation with per-lane attribution (fuzzer/coverage.h):
+  // (table, action) applications are buffered per lane during a pass —
+  // vector path and scalar-fallback re-runs alike — and flushed to the
+  // sink only for consumed lane-runs, in consumption order, so the sink
+  // sees exactly the applications the equivalent scalar calls would have
+  // reported (speculative enumeration seeds are discarded unflushed).
+  // Purely observational and zero-cost when no sink is attached.
+  void set_coverage_sink(CoverageSink* sink) { coverage_sink_ = sink; }
 
  private:
   // One evaluated expression across the batch: raw BitString values (always
@@ -221,8 +231,20 @@ class BatchInterpreter {
   std::vector<std::uint64_t> entry_hit_scratch_;
   std::vector<std::size_t> touched_scratch_;
 
+  // Appends (table, action) to every lane of `mask`'s event buffer; the
+  // views point into program-/entry-owned strings, stable for the
+  // interpreter's lifetime. Callers guard on coverage_sink_ != nullptr.
+  void RecordLaneEvents(std::uint64_t mask, std::string_view table,
+                        std::string_view action);
+  // Emits lane `lane`'s buffered events to the sink and clears the buffer.
+  void FlushLaneEvents(int lane);
+
   Stats stats_;
   bool force_scalar_fallback_ = false;
+  CoverageSink* coverage_sink_ = nullptr;
+  std::array<std::vector<std::pair<std::string_view, std::string_view>>,
+             kLaneCount>
+      lane_events_;
 };
 
 }  // namespace switchv::bmv2

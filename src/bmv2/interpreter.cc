@@ -180,6 +180,9 @@ Status Interpreter::ApplyTable(const p4ir::Table& table,
   if (selected < 0) {
     const p4ir::Action* default_action =
         program_.FindAction(table.default_action);
+    if (coverage_sink_ != nullptr) {
+      coverage_sink_->OnTableApply(table.name, table.default_action);
+    }
     return ApplyAction(*default_action, table.default_action_args, state);
   }
   const p4rt::DecodedEntry& entry = entries[static_cast<std::size_t>(selected)];
@@ -202,6 +205,9 @@ Status Interpreter::ApplyTable(const p4ir::Table& table,
   const p4ir::Action* action = program_.FindAction(chosen->name);
   if (action == nullptr) {
     return InternalError("entry references unknown action " + chosen->name);
+  }
+  if (coverage_sink_ != nullptr) {
+    coverage_sink_->OnTableApply(table.name, chosen->name);
   }
   return ApplyAction(*action, chosen->args, state);
 }

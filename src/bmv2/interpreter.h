@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "p4ir/p4info.h"
@@ -25,6 +26,18 @@ namespace switchv::bmv2 {
 
 // Packet-replication-engine configuration: clone session id -> output port.
 using CloneSessionMap = std::map<std::uint16_t, std::uint16_t>;
+
+// Observation hook for coverage-guided fuzzing (fuzzer/coverage.h): called
+// once per table application with the action the packet took (the table's
+// default action on a miss). Views point into program-owned strings and
+// are valid only for the duration of the call. Purely observational — an
+// attached sink never changes a run's outcome.
+class CoverageSink {
+ public:
+  virtual ~CoverageSink() = default;
+  virtual void OnTableApply(std::string_view table,
+                            std::string_view action) = 0;
+};
 
 class Interpreter {
  public:
@@ -54,6 +67,12 @@ class Interpreter {
 
   const p4ir::P4Info& p4info() const { return p4info_; }
   const p4ir::Program& program() const { return program_; }
+
+  // Attaches (or detaches, with nullptr) a coverage observation sink.
+  // Const because Run() is const and the batch engine holds the scalar
+  // interpreter by const reference; the sink is observation-only state.
+  void set_coverage_sink(CoverageSink* sink) const { coverage_sink_ = sink; }
+  CoverageSink* coverage_sink() const { return coverage_sink_; }
 
  private:
   // The 64-lane batch engine reuses the program/parser/entry state and the
@@ -85,6 +104,7 @@ class Interpreter {
   packet::ParserSpec parser_;
   CloneSessionMap clone_sessions_;
   std::map<std::string, std::vector<p4rt::DecodedEntry>> entries_;
+  mutable CoverageSink* coverage_sink_ = nullptr;
 };
 
 }  // namespace switchv::bmv2

@@ -1,0 +1,169 @@
+#include "fuzzer/coverage.h"
+
+#include <algorithm>
+
+namespace switchv::fuzzer {
+
+std::uint64_t CoverageEdgeId(std::uint32_t table_id, std::uint64_t action_id,
+                             int layer, bool failed) {
+  // Three rounds of the splitmix finalizer over the packed tuple: cheap,
+  // and a pure function of the tuple so ids are stable across runs.
+  std::uint64_t x = SplitMix64(static_cast<std::uint64_t>(table_id) ^
+                               0x7ab1e00000000000ull);
+  x = SplitMix64(x ^ action_id);
+  return SplitMix64(x ^ (static_cast<std::uint64_t>(layer) << 1) ^
+                    (failed ? 1 : 0));
+}
+
+std::uint32_t CoverageNameId(std::string_view name) {
+  // FNV-1a 32: stable, allocation-free, good enough for program-point
+  // names (tables and actions are a few hundred strings at most).
+  std::uint32_t h = 0x811c9dc5u;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::uint64_t CoverageEdgeIdNamed(std::string_view table,
+                                  std::string_view action) {
+  // Reference-interpreter edges have no SUT layer; give them their own
+  // layer coordinate (bit beyond the stack) so they never collide with
+  // control-plane edges structurally.
+  return CoverageEdgeId(CoverageNameId(table), CoverageNameId(action),
+                        /*layer=*/6, /*failed=*/false);
+}
+
+void CoverageMap::MergeFrom(const CoverageMap& other) {
+  for (std::size_t i = 0; i < kCoverageMapSize; ++i) {
+    const unsigned sum = static_cast<unsigned>(counts_[i]) +
+                         static_cast<unsigned>(other.counts_[i]);
+    counts_[i] = static_cast<std::uint8_t>(std::min(sum, 255u));
+  }
+}
+
+std::uint64_t CoverageMap::PopulatedEdges() const {
+  std::uint64_t populated = 0;
+  for (const std::uint8_t count : counts_) populated += count != 0;
+  return populated;
+}
+
+std::uint64_t CoverageMap::Fingerprint() const {
+  std::uint64_t fp = 0xc0e0e0e0ull;
+  for (std::size_t i = 0; i < kCoverageMapSize; ++i) {
+    if (counts_[i] == 0) continue;
+    fp = SplitMix64(fp ^ (static_cast<std::uint64_t>(i) << 8) ^ counts_[i]);
+  }
+  return fp;
+}
+
+CoverageScheduler::Plan CoverageScheduler::DrawPlan() {
+  Plan plan;
+  if (energy_.empty() || rng_.Chance(options_.exploration)) {
+    return plan;  // exploration arm: uniform baseline
+  }
+  // Quadratic weighting: recipes that keep producing novelty should
+  // dominate the draw, not merely lead it. A linear walk leaves the
+  // long tail of one-hit recipes with most of the probability mass once
+  // the corpus fills; squaring concentrates draws on the few keys that
+  // are still paying off while the exploration arm above keeps the tail
+  // alive. Energies are decay-bounded (halving per batch), so the
+  // squares cannot overflow the running total.
+  std::uint64_t total = 0;
+  for (const auto& [key, energy] : energy_) total += energy * energy;
+  if (total == 0) return plan;
+  std::uint64_t draw = rng_.Uniform(0, total - 1);
+  for (const auto& [key, energy] : energy_) {
+    if (draw < energy * energy) {
+      plan.use_corpus = true;
+      plan.table_id = static_cast<std::uint32_t>(key >> 8);
+      plan.mutation = static_cast<int>(key & 0xff) - 1;
+      return plan;
+    }
+    draw -= energy * energy;
+  }
+  return plan;
+}
+
+void CoverageScheduler::Credit(std::uint64_t key, std::uint64_t amount) {
+  if (amount == 0) return;
+  novelty_events_ += 1;
+  batches_since_novelty_ = 0;
+  auto it = energy_.find(key);
+  if (it != energy_.end()) {
+    it->second += amount;
+    return;
+  }
+  if (static_cast<int>(energy_.size()) >= options_.corpus_max) {
+    // Evict the weakest recipe (first of the lowest energy in key order —
+    // deterministic).
+    auto weakest = energy_.begin();
+    for (auto cand = energy_.begin(); cand != energy_.end(); ++cand) {
+      if (cand->second < weakest->second) weakest = cand;
+    }
+    energy_.erase(weakest);
+  }
+  energy_.emplace(key, amount);
+}
+
+void CoverageScheduler::RecordUpdate(std::uint32_t table_id,
+                                     std::uint64_t action_id,
+                                     std::uint8_t layer_mask, int mutation) {
+  const bool failed = (layer_mask & 0x80) != 0;
+  std::uint64_t credit = 0;
+  for (int layer = 0; layer < 7; ++layer) {
+    if ((layer_mask & (1u << layer)) == 0) continue;
+    const std::uint8_t before =
+        map_.Mark(CoverageEdgeId(table_id, action_id, layer, failed));
+    if (before == 0) {
+      // New edge: credit scaled by stack depth — an update that put a new
+      // edge in syncd/asic is worth more follow-up than one that died at
+      // the p4rt server.
+      credit += std::uint64_t{4} << layer;
+    } else if (((before + 1) & before) == 0) {
+      // Crossed a power-of-two hit-count bucket (AFL's count buckets).
+      credit += std::uint64_t{1} << layer;
+    }
+  }
+  Credit(Key(table_id, mutation), credit);
+}
+
+void CoverageScheduler::EndBatch() {
+  ++batches_since_novelty_;
+  for (auto it = energy_.begin(); it != energy_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? energy_.erase(it) : std::next(it);
+  }
+}
+
+void CoverageScheduler::ImportSeeds(const std::vector<SeedDescriptor>& seeds) {
+  for (const SeedDescriptor& seed : seeds) {
+    auto [it, inserted] =
+        energy_.emplace(Key(seed.table_id, seed.mutation), seed.energy);
+    if (!inserted) it->second += seed.energy;
+  }
+}
+
+std::vector<SeedDescriptor> CoverageScheduler::HarvestSeeds() const {
+  std::vector<SeedDescriptor> seeds;
+  seeds.reserve(energy_.size());
+  for (const auto& [key, energy] : energy_) {
+    SeedDescriptor seed;
+    seed.table_id = static_cast<std::uint32_t>(key >> 8);
+    seed.mutation = static_cast<int>(key & 0xff) - 1;
+    seed.energy = energy;
+    seeds.push_back(seed);
+  }
+  // Top energy first; stable on the deterministic key order for ties.
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const SeedDescriptor& a, const SeedDescriptor& b) {
+                     return a.energy > b.energy;
+                   });
+  if (static_cast<int>(seeds.size()) > options_.harvest_max) {
+    seeds.resize(static_cast<std::size_t>(options_.harvest_max));
+  }
+  return seeds;
+}
+
+}  // namespace switchv::fuzzer

@@ -1,0 +1,196 @@
+// Coverage-guided greybox scheduling for the p4-fuzzer (FP4-style).
+//
+// The SUT stack and the reference interpreter already know which tables,
+// actions, and layers every update and packet touched; this module turns
+// those observations into a compact edge bitmap and an AFL-style energy
+// scheduler that biases mutation/table selection toward the inputs whose
+// parents reached new edges. An *edge* is the tuple
+// (table, action, SUT layer, failed-bit) hashed into a fixed 16 KiB
+// count map — the fuzzing analogue of AFL's branch pairs, at the
+// granularity SwitchV actually observes (paper Table 1 attributes bugs to
+// exactly these coordinates).
+//
+// Determinism contract: the scheduler draws from its own splitmix-derived
+// stream (ShardSeed(shard_seed, kCoverageSchedulerStream)) and never
+// consumes the request generator's RNG, so a guided shard is a pure
+// function of (options, seed) — replayable from the flight recorder — and
+// an unguided shard's request stream is byte-identical to a build without
+// this module. Guidance only reorders what the fuzzer tries, never what a
+// campaign can report.
+#ifndef SWITCHV_FUZZER_COVERAGE_H_
+#define SWITCHV_FUZZER_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace switchv::fuzzer {
+
+// Campaign-level guidance mode; carried on the shard wire (spec JSON and
+// the v3 request envelope) as its integer value.
+enum class Guidance {
+  kUniform = 0,   // baseline: uniform mutation draw, byte-identical stream
+  kCoverage = 1,  // coverage-guided energy scheduling
+};
+
+// Scheduler knobs. The defaults are the tuned campaign values; tests pin
+// behaviour through them.
+struct GuidanceOptions {
+  // Probability that a draw ignores the corpus and takes the uniform
+  // baseline path (AFL's exploration arm).
+  double exploration = 0.15;
+  // Batches without a novelty event before the scheduler falls back to
+  // the uniform baseline (coverage plateau). 0 = observe-only: coverage
+  // is recorded and exported but never steers a draw, which keeps the
+  // generated stream byte-identical to Guidance::kUniform.
+  int plateau_batches = 12;
+  // Upper bound on distinct (table, mutation) energy keys kept.
+  int corpus_max = 512;
+  // Seeds exported per shard by HarvestSeeds (top energy first).
+  int harvest_max = 16;
+};
+
+// Splitmix sub-stream index for the scheduler's private RNG (derived from
+// the shard seed, disjoint from every shard's generator stream by the
+// ShardSeed mixing).
+inline constexpr std::uint64_t kCoverageSchedulerStream = 0x5eedc0de;
+
+// An interesting input exchanged between shards and hosts: the scheduler
+// key that discovered novelty plus its residual energy. mutation < 0
+// means "valid insert" (no mutation applied); otherwise the value is the
+// int of fuzzer::Mutation.
+struct SeedDescriptor {
+  std::uint32_t table_id = 0;
+  int mutation = -1;
+  std::uint64_t energy = 1;
+
+  friend bool operator==(const SeedDescriptor&,
+                         const SeedDescriptor&) = default;
+};
+
+inline constexpr int kCoverageMapBits = 14;
+inline constexpr std::size_t kCoverageMapSize = std::size_t{1}
+                                                << kCoverageMapBits;
+
+// Stable edge ids. These are pure functions of their arguments (splitmix /
+// FNV-1a mixing, no addresses, no global state), so the same tuple hashes
+// to the same id in every process, build, and shard — fingerprint
+// stability across runs is what makes merged maps comparable.
+std::uint64_t CoverageEdgeId(std::uint32_t table_id, std::uint64_t action_id,
+                             int layer, bool failed);
+std::uint32_t CoverageNameId(std::string_view name);
+// Edge id for named program points (the bmv2 interpreter reports table and
+// action by name).
+std::uint64_t CoverageEdgeIdNamed(std::string_view table,
+                                  std::string_view action);
+
+// Fixed-size saturating 8-bit count map. Merge is min(255, a+b) per slot:
+// commutative and associative, so shard maps fold in any order.
+class CoverageMap {
+ public:
+  // Bumps the edge's slot; returns the count *before* the increment
+  // (0 ⇒ first hit). Saturates at 255.
+  std::uint8_t Mark(std::uint64_t edge_id) {
+    std::uint8_t& slot = counts_[Slot(edge_id)];
+    const std::uint8_t before = slot;
+    if (slot != 0xff) ++slot;
+    return before;
+  }
+
+  std::uint8_t CountAt(std::uint64_t edge_id) const {
+    return counts_[Slot(edge_id)];
+  }
+
+  void MergeFrom(const CoverageMap& other);
+  void Clear() { counts_.fill(0); }
+
+  // Number of populated slots (distinct edges, modulo map collisions).
+  std::uint64_t PopulatedEdges() const;
+  // Order-independent content fingerprint of the populated slots.
+  std::uint64_t Fingerprint() const;
+
+ private:
+  static std::size_t Slot(std::uint64_t edge_id) {
+    return static_cast<std::size_t>(edge_id & (kCoverageMapSize - 1));
+  }
+
+  std::array<std::uint8_t, kCoverageMapSize> counts_{};
+};
+
+// AFL-style energy scheduler. The corpus is a map from
+// (table_id, mutation) — the recipe that produced an update — to energy;
+// RecordUpdate credits the recipe when its update reached a new edge or
+// crossed a power-of-two hit-count bucket, EndBatch decays energy and
+// tracks the plateau, DrawPlan picks the next recipe energy-weighted.
+class CoverageScheduler {
+ public:
+  struct Plan {
+    // False: take the uniform baseline draw (exploration or plateau).
+    bool use_corpus = false;
+    // When use_corpus: mutation < 0 ⇒ valid insert, else the Mutation to
+    // apply, both preferring `table_id`.
+    int mutation = -1;
+    std::uint32_t table_id = 0;
+  };
+
+  CoverageScheduler(std::uint64_t shard_seed, const GuidanceOptions& options)
+      : options_(options),
+        rng_(ShardSeed(shard_seed, kCoverageSchedulerStream)) {}
+
+  // True while the corpus should steer draws: not in observe-only mode,
+  // non-empty corpus, and no coverage plateau.
+  bool guided_active() const {
+    return options_.plateau_batches > 0 && !energy_.empty() &&
+           batches_since_novelty_ < options_.plateau_batches;
+  }
+
+  // Draws the recipe for the next update. Deterministic in the scheduler
+  // stream; callers must consult guided_active() first (the baseline path
+  // must not consume this stream when guidance is off, but an active
+  // scheduler consumes exactly one draw sequence per plan).
+  Plan DrawPlan();
+
+  // Observation for one control-plane update: `layer_mask` has bit l set
+  // for every SUT layer the update reached (bit 7 = the unit failed);
+  // `mutation` as in SeedDescriptor. Marks one edge per reached layer and
+  // credits the (table_id, mutation) recipe for novelty.
+  void RecordUpdate(std::uint32_t table_id, std::uint64_t action_id,
+                    std::uint8_t layer_mask, int mutation);
+
+  // Batch boundary: decays energy (halving, so stale discoveries wash
+  // out) and advances the plateau clock.
+  void EndBatch();
+
+  // Seed exchange: imports fanned-out seeds from other shards (energy
+  // adds, saturating), exports this shard's top recipes.
+  void ImportSeeds(const std::vector<SeedDescriptor>& seeds);
+  std::vector<SeedDescriptor> HarvestSeeds() const;
+
+  const CoverageMap& map() const { return map_; }
+  std::uint64_t edges_total() const { return map_.PopulatedEdges(); }
+  std::uint64_t novelty_events() const { return novelty_events_; }
+
+ private:
+  static std::uint64_t Key(std::uint32_t table_id, int mutation) {
+    // mutation ∈ [-1, 16] → biased to non-negative for packing.
+    return (static_cast<std::uint64_t>(table_id) << 8) |
+           static_cast<std::uint64_t>(mutation + 1);
+  }
+  void Credit(std::uint64_t key, std::uint64_t amount);
+
+  GuidanceOptions options_;
+  Rng rng_;
+  CoverageMap map_;
+  // Ordered so iteration (draws, harvest) is deterministic.
+  std::map<std::uint64_t, std::uint64_t> energy_;
+  std::uint64_t novelty_events_ = 0;
+  int batches_since_novelty_ = 0;
+};
+
+}  // namespace switchv::fuzzer
+
+#endif  // SWITCHV_FUZZER_COVERAGE_H_

@@ -239,7 +239,19 @@ StatusOr<p4rt::TableEntry> RequestGenerator::GenerateEntryForTable(
 }
 
 StatusOr<p4rt::TableEntry> RequestGenerator::GenerateValidEntry(
-    const SwitchStateView& state) {
+    const SwitchStateView& state, std::uint32_t preferred_table_id) {
+  if (preferred_table_id != 0) {
+    // Coverage-guided draw: honour the scheduler's table pick first (two
+    // tries — reference draws can still fail transiently), then fall
+    // through to the uniform path below.
+    if (const p4ir::TableInfo* preferred =
+            info_.FindTable(preferred_table_id)) {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        auto entry = GenerateEntryForTable(state, *preferred);
+        if (entry.ok()) return entry;
+      }
+    }
+  }
   // Try a few random tables: some may be ungeneratable until their
   // reference targets are installed. ACL-style tables get extra weight.
   std::vector<const p4ir::TableInfo*> priority_tables;
@@ -459,11 +471,29 @@ std::vector<AnnotatedUpdate> RequestGenerator::GenerateBatch(
   std::set<std::string> batch_fingerprints;
   int guard = 0;
   while (static_cast<int>(batch.size()) < n && guard++ < n * 20) {
+    // Corpus-directed bias: when guidance is active the scheduler may
+    // supply a (table, mutation) recipe from its own stream. The recipe
+    // biases the *choice inside* the baseline arms below — which table to
+    // target, which mutation to apply — but never the arm frequencies
+    // themselves: a guided run keeps the unguided invalid/delete/modify
+    // mix and only redirects where the energy says novelty lives.
+    // (Replacing the arm roll wholesale starves mutations, because
+    // valid-insert recipes traverse every layer and dominate the energy
+    // map.) A neutral plan leaves the arms fully unbiased, and rng_ then
+    // runs exactly as an unguided stream would from this point.
+    std::optional<CoverageScheduler::Plan> plan;
+    if (scheduler_ != nullptr && scheduler_->guided_active()) {
+      const CoverageScheduler::Plan drawn = scheduler_->DrawPlan();
+      if (drawn.use_corpus) plan = drawn;
+    }
     if (rng_.Chance(options_.invalid_probability)) {
-      auto valid = GenerateValidEntry(state);
+      auto valid = plan.has_value() ? GenerateValidEntry(state, plan->table_id)
+                                    : GenerateValidEntry(state);
       if (!valid.ok()) continue;
       const Mutation mutation =
-          kAllMutations[rng_.Index(std::size(kAllMutations))];
+          plan.has_value() && plan->mutation >= 0
+              ? Mutation(plan->mutation)
+              : kAllMutations[rng_.Index(std::size(kAllMutations))];
       auto mutated = ApplyMutation(state, mutation, std::move(valid).value());
       if (!mutated.has_value()) continue;
       ++generated_invalid_;
@@ -507,7 +537,8 @@ std::vector<AnnotatedUpdate> RequestGenerator::GenerateBatch(
         continue;
       }
     }
-    auto entry = GenerateValidEntry(state);
+    auto entry = plan.has_value() ? GenerateValidEntry(state, plan->table_id)
+                                  : GenerateValidEntry(state);
     if (!entry.ok()) continue;
     if (state.Contains(*entry) ||
         !batch_fingerprints.insert(entry->KeyFingerprint()).second) {

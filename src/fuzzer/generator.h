@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "fuzzer/coverage.h"
 #include "fuzzer/mutation.h"
 #include "fuzzer/state.h"
 #include "p4constraints/constraint_bdd.h"
@@ -60,8 +61,18 @@ class RequestGenerator {
                                              int n);
 
   // Generates one intended-valid insert entry for a uniformly random
-  // generatable table (a table whose references can be satisfied).
-  StatusOr<p4rt::TableEntry> GenerateValidEntry(const SwitchStateView& state);
+  // generatable table (a table whose references can be satisfied). A
+  // non-zero `preferred_table_id` is tried first (coverage-guided draws);
+  // zero — the unguided default — leaves the draw sequence untouched.
+  StatusOr<p4rt::TableEntry> GenerateValidEntry(
+      const SwitchStateView& state, std::uint32_t preferred_table_id = 0);
+
+  // Attaches (or detaches, with nullptr) a coverage scheduler. While the
+  // scheduler reports guided_active(), corpus-directed draws replace the
+  // uniform recipe draw; recipe randomness comes from the scheduler's own
+  // stream, so the generator's stream is consumed only by entry
+  // construction and an unguided run's byte stream is untouched.
+  void set_scheduler(CoverageScheduler* scheduler) { scheduler_ = scheduler; }
 
   // Statistics.
   std::uint64_t generated_valid() const { return generated_valid_; }
@@ -86,6 +97,7 @@ class RequestGenerator {
   const p4ir::P4Info& info_;
   FuzzerOptions options_;
   Rng rng_;
+  CoverageScheduler* scheduler_ = nullptr;
   std::map<std::uint32_t, std::unique_ptr<p4constraints::ConstraintBdd>>
       bdd_cache_;
   std::uint64_t generated_valid_ = 0;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace switchv::sut {
 
@@ -70,11 +71,13 @@ class StackProbe {
     units_ = 0;
     failed_units_ = 0;
     op_touches_.fill(0);
+    unit_layers_.clear();
   }
 
   void BeginUnit() {
     unit_deepest_ = SutLayer::kNone;
     ++units_;
+    unit_layers_.push_back(0);
   }
 
   void Reach(SutLayer layer) {
@@ -82,6 +85,12 @@ class StackProbe {
     if (layer > op_deepest_) op_deepest_ = layer;
     ++op_touches_[static_cast<int>(layer)];
     ++total_touches_[static_cast<int>(layer)];
+    // Config pushes and reads Reach() outside unit bracketing; only
+    // bracketed units keep a per-unit layer log.
+    if (!unit_layers_.empty()) {
+      unit_layers_.back() |=
+          static_cast<std::uint8_t>(1u << static_cast<int>(layer));
+    }
   }
 
   // Called when the current unit's final status is a failure: the deepest
@@ -91,6 +100,7 @@ class StackProbe {
     if (unit_deepest_ > op_failed_deepest_) {
       op_failed_deepest_ = unit_deepest_;
     }
+    if (!unit_layers_.empty()) unit_layers_.back() |= 0x80;
   }
 
   // Deepest layer any unit of the current operation reached.
@@ -105,6 +115,15 @@ class StackProbe {
   }
   std::uint64_t total_touches(SutLayer layer) const {
     return total_touches_[static_cast<int>(layer)];
+  }
+
+  // Per-unit layer log of the current operation, in unit order: bit l set
+  // when the unit reached SutLayer(l), bit 7 set when the unit failed.
+  // Valid until the next BeginOperation; the coverage-guided fuzzer reads
+  // it right after a Write returns (fuzzer/coverage.h edge attribution).
+  int unit_count() const { return static_cast<int>(unit_layers_.size()); }
+  std::uint8_t unit_layer_mask(int unit) const {
+    return unit_layers_[static_cast<std::size_t>(unit)];
   }
 
   // Compact per-operation crossing counts for span annotation, e.g.
@@ -129,6 +148,7 @@ class StackProbe {
   int failed_units_ = 0;
   std::array<std::uint64_t, kNumSutLayers> op_touches_{};
   std::array<std::uint64_t, kNumSutLayers> total_touches_{};
+  std::vector<std::uint8_t> unit_layers_;
 };
 
 // Null-safe call sites for layers holding an optional probe.

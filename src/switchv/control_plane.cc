@@ -1,5 +1,6 @@
 #include "switchv/control_plane.h"
 
+#include <memory>
 #include <string>
 
 namespace switchv {
@@ -14,6 +15,13 @@ ControlPlaneResult RunControlPlaneValidation(
   fuzzer::RequestGenerator generator(info, options.fuzzer, options.seed);
   fuzzer::Oracle oracle(
       info, options.oracle_cache ? options.judgment_cache : nullptr);
+  std::unique_ptr<fuzzer::CoverageScheduler> scheduler;
+  if (options.guidance == fuzzer::Guidance::kCoverage) {
+    scheduler = std::make_unique<fuzzer::CoverageScheduler>(
+        options.seed, options.guidance_options);
+    scheduler->ImportSeeds(options.guidance_seeds);
+    generator.set_scheduler(scheduler.get());
+  }
 
   // Seed the oracle's view with whatever is already installed.
   auto initial = sut.Read(p4rt::ReadRequest{});
@@ -56,6 +64,27 @@ ControlPlaneResult RunControlPlaneValidation(
         sut.probe().op_failed_deepest() != sut::SutLayer::kNone
             ? sut.probe().op_failed_deepest()
             : sut.probe().op_deepest();
+    // Feed the coverage map before the post-read below restarts the probe
+    // operation and drops the per-unit layer log.
+    if (scheduler != nullptr) {
+      const sut::StackProbe& probe = sut.probe();
+      for (std::size_t u = 0; u < batch.size(); ++u) {
+        const p4rt::TableEntry& entry = batch[u].update.entry;
+        const std::uint32_t action_id =
+            entry.action.kind == p4rt::TableAction::Kind::kDirect
+                ? entry.action.direct.action_id
+                : 0;
+        const std::uint8_t layer_mask =
+            static_cast<int>(u) < probe.unit_count()
+                ? probe.unit_layer_mask(static_cast<int>(u))
+                : 0;
+        scheduler->RecordUpdate(
+            entry.table_id, action_id, layer_mask,
+            batch[u].mutation.has_value() ? static_cast<int>(*batch[u].mutation)
+                                          : -1);
+      }
+      scheduler->EndBatch();
+    }
     result.updates_sent += static_cast<int>(batch.size());
     ++result.requests_sent;
     if (metrics != nullptr) {
@@ -99,6 +128,15 @@ ControlPlaneResult RunControlPlaneValidation(
     }
     if (static_cast<int>(result.incidents.size()) >= options.max_incidents) {
       break;
+    }
+  }
+  if (scheduler != nullptr) {
+    result.coverage_edges = scheduler->map().PopulatedEdges();
+    result.coverage_novelty = scheduler->novelty_events();
+    result.harvested_seeds = scheduler->HarvestSeeds();
+    if (metrics != nullptr) {
+      metrics->Add(metrics->coverage_edges_total, result.coverage_edges);
+      metrics->Add(metrics->coverage_new_edges, result.coverage_novelty);
     }
   }
   if (metrics != nullptr) {

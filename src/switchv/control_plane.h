@@ -6,6 +6,7 @@
 #ifndef SWITCHV_SWITCHV_CONTROL_PLANE_H_
 #define SWITCHV_SWITCHV_CONTROL_PLANE_H_
 
+#include "fuzzer/coverage.h"
 #include "fuzzer/oracle.h"
 #include "sut/switch_stack.h"
 #include "switchv/incident.h"
@@ -39,12 +40,27 @@ struct ControlPlaneOptions {
   // `judgment_cache` and classifies every update from scratch. Travels
   // with the shard spec over the wire, so out-of-process workers honour it.
   bool oracle_cache = true;
+  // Coverage-guided scheduling (fuzzer/coverage.h). kUniform is the
+  // baseline uniform-random generator; kCoverage hangs a CoverageScheduler
+  // off the generator, fed from the probe's per-unit layer attribution.
+  // The scheduler draws from its own splitmix stream keyed by `seed`, so a
+  // guided run is deterministic per (seed, shard) and replayable.
+  fuzzer::Guidance guidance = fuzzer::Guidance::kUniform;
+  fuzzer::GuidanceOptions guidance_options;
+  // Seeds imported into the scheduler's corpus before the first batch
+  // (cross-shard seed exchange, fanned out by the campaign engine).
+  std::vector<fuzzer::SeedDescriptor> guidance_seeds;
 };
 
 struct ControlPlaneResult {
   std::vector<Incident> incidents;
   int updates_sent = 0;
   int requests_sent = 0;
+  // Coverage counters (zero when guidance is off).
+  std::uint64_t coverage_edges = 0;
+  std::uint64_t coverage_novelty = 0;
+  // The shard's highest-energy corpus seeds, harvested for exchange.
+  std::vector<fuzzer::SeedDescriptor> harvested_seeds;
 };
 
 // Runs control-plane validation against an already-configured switch.

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "bmv2/batch_interpreter.h"
+#include "fuzzer/coverage.h"
 #include "fuzzer/state.h"
 #include "models/sai_model.h"  // only for default clone sessions in reference
 #include "util/strings.h"
@@ -37,13 +38,26 @@ Status InstallIntoReference(bmv2::Interpreter& reference,
   return reference.InstallEntries(entries);
 }
 
-}  // namespace
+// Coverage observation sink: marks one edge per (table, action) the
+// reference applies. Attached to both the scalar interpreter and the batch
+// front end, which buffers and flushes per lane so attribution matches the
+// scalar event stream exactly.
+struct CoverageMapSink final : bmv2::CoverageSink {
+  fuzzer::CoverageMap map;
+  void OnTableApply(std::string_view table, std::string_view action) override {
+    map.Mark(fuzzer::CoverageEdgeIdNamed(table, action));
+  }
+};
 
-DataplaneResult RunDataplaneValidation(
+// The validation body, with an optional coverage sink threaded to the
+// reference interpreters. Split from the public wrapper so the observed
+// edge counts fold into the result on every return path (the body returns
+// early on install/generation failures and on the incident cap).
+DataplaneResult RunDataplaneImpl(
     sut::SwitchUnderTest& sut, const p4ir::Program& model,
     const packet::ParserSpec& parser,
     const std::vector<p4rt::TableEntry>& entries,
-    const DataplaneOptions& options) {
+    const DataplaneOptions& options, bmv2::CoverageSink* coverage_sink) {
   DataplaneResult result;
   Metrics* metrics = options.metrics;
   TraceTrack* trace = options.trace;
@@ -227,6 +241,7 @@ DataplaneResult RunDataplaneValidation(
   // bugs found this way).
   bmv2::Interpreter reference(model, parser,
                               models::DefaultCloneSessions());
+  if (coverage_sink != nullptr) reference.set_coverage_sink(coverage_sink);
   // All reference-simulator work (entry install + behaviour enumeration)
   // is accounted to the reference timer.
   auto enumerate = [&](std::string_view bytes, std::uint16_t port) {
@@ -259,6 +274,7 @@ DataplaneResult RunDataplaneValidation(
     ScopedTimer timer(metrics ? &metrics->reference_ns : nullptr,
                       metrics ? &metrics->reference_hist : nullptr);
     batch = std::make_unique<bmv2::BatchInterpreter>(reference);
+    if (coverage_sink != nullptr) batch->set_coverage_sink(coverage_sink);
   }
   // Enumerates reference behaviours for a whole packet list — 64 lanes
   // per pass when the batch interpreter is on, scalar otherwise. The
@@ -607,6 +623,27 @@ DataplaneResult RunDataplaneValidation(
     }
   }
 
+  return result;
+}
+
+}  // namespace
+
+DataplaneResult RunDataplaneValidation(
+    sut::SwitchUnderTest& sut, const p4ir::Program& model,
+    const packet::ParserSpec& parser,
+    const std::vector<p4rt::TableEntry>& entries,
+    const DataplaneOptions& options) {
+  if (!options.coverage_observe) {
+    return RunDataplaneImpl(sut, model, parser, entries, options, nullptr);
+  }
+  CoverageMapSink sink;
+  DataplaneResult result =
+      RunDataplaneImpl(sut, model, parser, entries, options, &sink);
+  result.coverage_edges = sink.map.PopulatedEdges();
+  if (options.metrics != nullptr) {
+    options.metrics->Add(options.metrics->coverage_edges_total,
+                         result.coverage_edges);
+  }
   return result;
 }
 

@@ -57,12 +57,19 @@ struct DataplaneOptions {
   // Optional flight recorder; when set, every incident carries a rendered
   // replay of the last N switch operations.
   FlightRecorder* recorder = nullptr;
+  // Observe (table, action) coverage of the reference interpreters
+  // (fuzzer/coverage.h) and fold edge counts into `metrics`. Purely
+  // observational: outcomes and incident sets are unchanged.
+  bool coverage_observe = false;
 };
 
 struct DataplaneResult {
   std::vector<Incident> incidents;
   int packets_tested = 0;
   symbolic::GenerationStats generation;
+  // Distinct coverage-map edges the reference touched; zero unless
+  // `coverage_observe` was set.
+  std::uint64_t coverage_edges = 0;
 };
 
 // Validates the packet-forwarding behaviour of an already-configured

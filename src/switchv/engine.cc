@@ -49,6 +49,9 @@ struct ShardResult {
   int fuzzed_updates = 0;
   int packets_tested = 0;
   symbolic::GenerationStats generation;
+  // Guided shards: the seeds harvested from the shard's coverage corpus,
+  // already energy-sorted and truncated (fuzzer/coverage.h HarvestSeeds).
+  std::vector<fuzzer::SeedDescriptor> seeds;
 };
 
 // The campaign-immutable context a shard executes against. Bundled so the
@@ -156,6 +159,7 @@ StatusOr<ShardResult> RunControlPlaneShard(
   ControlPlaneResult fuzzed =
       RunControlPlaneValidation(sut, env.info, control);
   result.fuzzed_updates = fuzzed.updates_sent;
+  result.seeds = std::move(fuzzed.harvested_seeds);
   for (Incident& incident : fuzzed.incidents) {
     result.incidents.push_back(std::move(incident));
   }
@@ -369,6 +373,7 @@ StatusOr<ShardResult> AbsorbWireResultLine(std::string_view line,
   result.fuzzed_updates = wire.fuzzed_updates;
   result.packets_tested = wire.packets_tested;
   result.generation = wire.generation;
+  result.seeds = std::move(wire.seeds);
   return result;
 }
 
@@ -533,6 +538,12 @@ ShardResult RunShardViaRemote(const ShardSpec& spec,
     // Opting in upgrades the request envelope to v2; the host streams
     // interval deltas back on the heartbeat channel and echoes RTT pings.
     request.telemetry_interval_seconds = options.telemetry_interval_seconds;
+  }
+  if (options.guidance != fuzzer::Guidance::kUniform) {
+    // Guided campaigns upgrade to the v3 envelope, which carries the
+    // guidance mode explicitly (the spec line carries its parameters).
+    // Uniform campaigns keep every wire byte identical to v1/v2.
+    request.guidance = static_cast<int>(options.guidance);
   }
   const int attempts = 1 + std::max(0, options.shard_retries);
   const int dials = 1 + std::max(0, options.remote_reconnects);
@@ -801,6 +812,7 @@ StatusOr<WireShardResult> ExecuteShardSpec(const WireShardSpec& spec,
   out.fuzzed_updates = result.fuzzed_updates;
   out.packets_tested = result.packets_tested;
   out.generation = result.generation;
+  out.seeds = std::move(result.seeds);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     shard_start)
@@ -814,8 +826,21 @@ CampaignReport RunValidationCampaign(
     const sut::FaultRegistry* faults, const p4ir::Program& model,
     const packet::ParserSpec& parser,
     const std::vector<p4rt::TableEntry>& entries,
-    const CampaignOptions& options) {
+    const CampaignOptions& options_in) {
   const auto campaign_start = std::chrono::steady_clock::now();
+  // Campaign-level guidance folds into the per-shard option structs here,
+  // once, so every execution substrate sees the same shard recipe:
+  // in-process shards read env.control_plane, wire specs copy
+  // options.control_plane verbatim (MakeWireSpec), and the dataplane's
+  // reference interpreter observes coverage whenever the campaign is
+  // guided. kUniform leaves the copies bit-identical to the input.
+  CampaignOptions options = options_in;
+  if (options.guidance != fuzzer::Guidance::kUniform) {
+    options.control_plane.guidance = options.guidance;
+    options.control_plane.guidance_options = options.guidance_options;
+    options.control_plane.guidance_seeds = options.guidance_seeds;
+    options.dataplane.coverage_observe = true;
+  }
   CampaignReport report;
   Metrics metrics;
   // Campaign-level trace track (shard -1): brackets the whole run and the
@@ -1007,8 +1032,21 @@ CampaignReport RunValidationCampaign(
       }
       metrics.Add(metrics.shards_completed, 1);
       if (options.telemetry != nullptr) {
+        // Guided campaigns stamp the cumulative edge count on each
+        // completion event: the shard's wire metrics merged just above, so
+        // the journal alone yields a coverage-growth curve (EXPERIMENTS.md
+        // has the plotting recipe). Unguided journals stay byte-identical.
+        std::string detail;
+        if (options.guidance != fuzzer::Guidance::kUniform) {
+          detail = "coverage " +
+                   std::to_string(metrics.coverage_edges_total.load()) +
+                   " edges, " +
+                   std::to_string(metrics.coverage_new_edges.load()) +
+                   " novel";
+        }
         JournalAppend(JournalOf(options), JournalEventKind::kShardCompleted,
-                      EffectiveCampaignId(options), spec.index, "", "");
+                      EffectiveCampaignId(options), spec.index, "",
+                      std::move(detail));
         options.telemetry->ShardFinished();
       }
     }
@@ -1065,6 +1103,18 @@ CampaignReport RunValidationCampaign(
     }
     report.fuzzed_updates += results[i].fuzzed_updates;
     report.packets_tested += results[i].packets_tested;
+    if (!results[i].seeds.empty()) {
+      // Seed exchange: harvested seeds concatenate in shard order — a pure
+      // function of the shard results, independent of parallelism — ready
+      // to fan out as guidance_seeds of a follow-up campaign.
+      metrics.Add(metrics.seeds_exchanged, results[i].seeds.size());
+      JournalAppend(JournalOf(options), JournalEventKind::kSeedsExchanged,
+                    EffectiveCampaignId(options), shards[i].index, "",
+                    std::to_string(results[i].seeds.size()) + " seeds");
+      for (fuzzer::SeedDescriptor& seed : results[i].seeds) {
+        report.harvested_seeds.push_back(seed);
+      }
+    }
     if (shards[i].kind == ShardSpec::Kind::kDataplane &&
         dataplane_shards == 1 && precomputed == nullptr) {
       // With a pre-phase the generation stats are already in the report;

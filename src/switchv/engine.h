@@ -53,6 +53,20 @@ struct CampaignOptions {
   DataplaneOptions dataplane;
   bool run_control_plane = true;
   bool run_dataplane = true;
+  // Coverage-guided scheduling (fuzzer/coverage.h). kCoverage turns on the
+  // per-shard CoverageScheduler (folded into control_plane.guidance),
+  // coverage observation of the dataplane reference
+  // (dataplane.coverage_observe), seed harvest/fan-out across shards, and
+  // the v3 request envelope for kRemote. kUniform — the default — leaves
+  // every wire byte and every generated update identical to a build
+  // without guidance.
+  fuzzer::Guidance guidance = fuzzer::Guidance::kUniform;
+  fuzzer::GuidanceOptions guidance_options;
+  // Seeds fanned out identically to every control-plane shard (e.g. a
+  // previous campaign's harvest — cross-campaign seed exchange). Fan-out
+  // to all shards keeps shard behaviour independent of merge order, so
+  // the parallelism-determinism invariant holds under guidance.
+  std::vector<fuzzer::SeedDescriptor> guidance_seeds;
   // §7 extension: after its fuzzing slice, a control-plane shard also
   // validates the forwarding behaviour of the state it left on its switch.
   bool dataplane_on_fuzzed_state = false;
@@ -162,6 +176,10 @@ struct CampaignReport {
   int fuzzed_updates = 0;
   int packets_tested = 0;
   symbolic::GenerationStats generation;
+  // Guided campaigns: every shard's harvested seeds, concatenated in shard
+  // order (deterministic across parallelism and execution substrate).
+  // Feed back into CampaignOptions::guidance_seeds of a later campaign.
+  std::vector<fuzzer::SeedDescriptor> harvested_seeds;
 
   bool bug_detected() const { return !groups.empty(); }
   std::optional<Detector> first_detector() const {

@@ -34,6 +34,8 @@ std::string_view JournalEventKindName(JournalEventKind kind) {
       return "shard-lost";
     case JournalEventKind::kIncidentFirstSeen:
       return "incident-first-seen";
+    case JournalEventKind::kSeedsExchanged:
+      return "seeds-exchanged";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class JournalEventKind {
   kShardCompleted,    // the shard's result was absorbed into the report
   kShardLost,         // every attempt failed; synthetic harness incident
   kIncidentFirstSeen, // a fingerprint's first occurrence this campaign
+  kSeedsExchanged,    // guided shard's harvested seeds folded at merge
 };
 
 // Stable wire name ("host-retired", "shard-dispatched", ...).

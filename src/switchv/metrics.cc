@@ -107,6 +107,8 @@ void Metrics::Merge(const MetricsSnapshot& s) {
   Add(oracle_cache_hits, s.oracle_cache_hits);
   Add(oracle_cache_misses, s.oracle_cache_misses);
   Add(oracle_cache_evictions, s.oracle_cache_evictions);
+  Add(coverage_edges_total, s.coverage_edges_total);
+  Add(coverage_new_edges, s.coverage_new_edges);
   Add(switch_writes, s.switch_writes);
   Add(switch_reads, s.switch_reads);
   Add(switch_packets_injected, s.switch_packets_injected);
@@ -146,6 +148,10 @@ MetricsSnapshot Metrics::Snapshot(double wall_seconds) const {
       oracle_cache_misses.load(std::memory_order_relaxed);
   s.oracle_cache_evictions =
       oracle_cache_evictions.load(std::memory_order_relaxed);
+  s.coverage_edges_total =
+      coverage_edges_total.load(std::memory_order_relaxed);
+  s.coverage_new_edges = coverage_new_edges.load(std::memory_order_relaxed);
+  s.seeds_exchanged = seeds_exchanged.load(std::memory_order_relaxed);
   s.switch_writes = switch_writes.load(std::memory_order_relaxed);
   s.switch_reads = switch_reads.load(std::memory_order_relaxed);
   s.switch_packets_injected =
@@ -214,6 +220,9 @@ void ZipCounterFields(MetricsSnapshot& a, const MetricsSnapshot& b, Fn&& fn) {
   fn(a.oracle_cache_hits, b.oracle_cache_hits);
   fn(a.oracle_cache_misses, b.oracle_cache_misses);
   fn(a.oracle_cache_evictions, b.oracle_cache_evictions);
+  fn(a.coverage_edges_total, b.coverage_edges_total);
+  fn(a.coverage_new_edges, b.coverage_new_edges);
+  fn(a.seeds_exchanged, b.seeds_exchanged);
   fn(a.switch_writes, b.switch_writes);
   fn(a.switch_reads, b.switch_reads);
   fn(a.switch_packets_injected, b.switch_packets_injected);
@@ -319,6 +328,11 @@ std::string MetricsSnapshot::ToString() const {
         << oracle_cache_misses << " misses, " << oracle_cache_evictions
         << " evictions\n";
   }
+  if (coverage_edges_total + coverage_new_edges + seeds_exchanged > 0) {
+    out << "  coverage:      " << coverage_edges_total << " edges, "
+        << coverage_new_edges << " novelty events, " << seeds_exchanged
+        << " seeds exchanged\n";
+  }
   out << "  switch io:     " << switch_writes << " writes, " << switch_reads
       << " reads, " << switch_packets_injected << " packets injected\n";
   out << "  phase time:    " << std::setprecision(3) << "switch-write "
@@ -408,6 +422,15 @@ std::string MetricsSnapshot::ToPrometheus() const {
           "Oracle judgment-cache misses.", oracle_cache_misses);
   counter("switchv_oracle_cache_evictions_total",
           "Oracle judgment-cache evictions.", oracle_cache_evictions);
+  counter("switchv_coverage_edges_total",
+          "Distinct coverage-map edges populated, summed across shards.",
+          coverage_edges_total);
+  counter("switchv_coverage_new_edges_total",
+          "Coverage novelty events credited by the guided scheduler.",
+          coverage_new_edges);
+  counter("switchv_seeds_exchanged_total",
+          "Interesting seeds exchanged between shards and hosts.",
+          seeds_exchanged);
   counter("switchv_switch_writes_total", "P4Runtime Write calls.",
           switch_writes);
   counter("switchv_switch_reads_total", "P4Runtime Read calls.",
@@ -500,6 +523,9 @@ std::string MetricsSnapshot::ToJson() const {
   out << ",\"oracle_cache_hits\":" << oracle_cache_hits;
   out << ",\"oracle_cache_misses\":" << oracle_cache_misses;
   out << ",\"oracle_cache_evictions\":" << oracle_cache_evictions;
+  out << ",\"coverage_edges_total\":" << coverage_edges_total;
+  out << ",\"coverage_new_edges\":" << coverage_new_edges;
+  out << ",\"seeds_exchanged\":" << seeds_exchanged;
   out << ",\"switch_writes\":" << switch_writes;
   out << ",\"switch_reads\":" << switch_reads;
   out << ",\"switch_packets_injected\":" << switch_packets_injected;
@@ -557,6 +583,8 @@ std::string MetricsSnapshot::ToWireJson() const {
   field("oracle_cache_hits", oracle_cache_hits);
   field("oracle_cache_misses", oracle_cache_misses);
   field("oracle_cache_evictions", oracle_cache_evictions);
+  field("coverage_edges_total", coverage_edges_total);
+  field("coverage_new_edges", coverage_new_edges);
   field("switch_writes", switch_writes);
   field("switch_reads", switch_reads);
   field("switch_packets_injected", switch_packets_injected);

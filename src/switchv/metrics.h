@@ -99,6 +99,17 @@ struct MetricsSnapshot {
   std::uint64_t oracle_cache_misses = 0;
   std::uint64_t oracle_cache_evictions = 0;
 
+  // Coverage-guided fuzzing (fuzzer/coverage.h): distinct edges populated
+  // in each shard's coverage map (summed across shards) and novelty events
+  // credited by the scheduler. Shard-scope: they travel over the shard
+  // wire and Merge() folds them like any other shard counter.
+  std::uint64_t coverage_edges_total = 0;
+  std::uint64_t coverage_new_edges = 0;
+  // Interesting seeds fanned out / harvested through the campaign engine's
+  // seed exchange. Engine-owned like remote_reconnects: never on the shard
+  // wire, accounted once at merge.
+  std::uint64_t seeds_exchanged = 0;
+
   // Switch-under-test I/O.
   std::uint64_t switch_writes = 0;
   std::uint64_t switch_reads = 0;
@@ -230,6 +241,9 @@ class Metrics {
   std::atomic<std::uint64_t> oracle_cache_hits{0};
   std::atomic<std::uint64_t> oracle_cache_misses{0};
   std::atomic<std::uint64_t> oracle_cache_evictions{0};
+  std::atomic<std::uint64_t> coverage_edges_total{0};
+  std::atomic<std::uint64_t> coverage_new_edges{0};
+  std::atomic<std::uint64_t> seeds_exchanged{0};
   std::atomic<std::uint64_t> switch_writes{0};
   std::atomic<std::uint64_t> switch_reads{0};
   std::atomic<std::uint64_t> switch_packets_injected{0};

@@ -18,6 +18,9 @@ NightlyReport RunNightlyValidation(
   campaign.run_control_plane = options.run_control_plane;
   campaign.run_dataplane = options.run_dataplane;
   campaign.dataplane_on_fuzzed_state = options.dataplane_on_fuzzed_state;
+  campaign.guidance = options.guidance;
+  campaign.guidance_options = options.guidance_options;
+  campaign.guidance_seeds = options.guidance_seeds;
   campaign.tracer = options.tracer;
   campaign.flight_recorder_capacity = options.flight_recorder_capacity;
   campaign.execution = options.execution;
@@ -42,6 +45,7 @@ NightlyReport RunNightlyValidation(
   report.fuzzed_updates = campaign_report.fuzzed_updates;
   report.packets_tested = campaign_report.packets_tested;
   report.generation = campaign_report.generation;
+  report.harvested_seeds = std::move(campaign_report.harvested_seeds);
   return report;
 }
 

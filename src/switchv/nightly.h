@@ -27,6 +27,11 @@ struct NightlyOptions {
   // only against the clean replayed state) — fuzzed entries exercise
   // additional control paths during data-plane validation.
   bool dataplane_on_fuzzed_state = false;
+  // Coverage-guided scheduling (see CampaignOptions for semantics). The
+  // default kUniform reproduces the historical request stream exactly.
+  fuzzer::Guidance guidance = fuzzer::Guidance::kUniform;
+  fuzzer::GuidanceOptions guidance_options;
+  std::vector<fuzzer::SeedDescriptor> guidance_seeds;
 
   // Campaign-engine knobs (see CampaignOptions for semantics).
   int parallelism = 1;
@@ -76,6 +81,8 @@ struct NightlyReport {
   int fuzzed_updates = 0;
   int packets_tested = 0;
   symbolic::GenerationStats generation;
+  // Guided runs: shard-order seed harvest (see CampaignReport).
+  std::vector<fuzzer::SeedDescriptor> harvested_seeds;
 
   bool bug_detected() const { return !incidents.empty(); }
   // The component that raised the first incident.

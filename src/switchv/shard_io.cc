@@ -594,6 +594,23 @@ Status ParseHistogram(const Json& hists, const char* name,
   return OkStatus();
 }
 
+StatusOr<fuzzer::SeedDescriptor> ParseSeedDescriptor(const Json& json) {
+  constexpr const char* kWhat = "seed descriptor";
+  if (json.type != Json::Type::kObject) {
+    return InvalidArgumentError("seed descriptor is not an object");
+  }
+  fuzzer::SeedDescriptor seed;
+  std::uint64_t table_id = 0;
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "table_id", kWhat, table_id));
+  if (table_id > UINT32_MAX) {
+    return InvalidArgumentError("seed descriptor: table_id out of range");
+  }
+  seed.table_id = static_cast<std::uint32_t>(table_id);
+  SWITCHV_RETURN_IF_ERROR(GetInt(json, "mutation", kWhat, seed.mutation));
+  SWITCHV_RETURN_IF_ERROR(GetU64(json, "energy", kWhat, seed.energy));
+  return seed;
+}
+
 Status ParseWireMetrics(const Json& json, MetricsSnapshot& out) {
   constexpr const char* kWhat = "shard metrics";
   const struct {
@@ -615,6 +632,8 @@ Status ParseWireMetrics(const Json& json, MetricsSnapshot& out) {
       {"oracle_cache_hits", &out.oracle_cache_hits},
       {"oracle_cache_misses", &out.oracle_cache_misses},
       {"oracle_cache_evictions", &out.oracle_cache_evictions},
+      {"coverage_edges_total", &out.coverage_edges_total},
+      {"coverage_new_edges", &out.coverage_new_edges},
       {"switch_writes", &out.switch_writes},
       {"switch_reads", &out.switch_reads},
       {"switch_packets_injected", &out.switch_packets_injected},
@@ -700,8 +719,31 @@ std::string SerializeShardSpec(const WireShardSpec& spec) {
   out << ",\"control_plane\":{\"num_requests\":" << cp.num_requests
       << ",\"updates_per_request\":" << cp.updates_per_request
       << ",\"seed\":" << cp.seed << ",\"max_incidents\":" << cp.max_incidents
-      << ",\"oracle_cache\":" << (cp.oracle_cache ? "true" : "false")
-      << ",\"fuzzer\":{\"invalid_probability\":";
+      << ",\"oracle_cache\":" << (cp.oracle_cache ? "true" : "false");
+  // Guidance keys are emitted only when they depart from the defaults, so
+  // an unguided spec line (and hence a v2 request envelope's payload) is
+  // byte-identical to the previous protocol revision.
+  if (cp.guidance != fuzzer::Guidance::kUniform ||
+      !cp.guidance_seeds.empty()) {
+    const fuzzer::GuidanceOptions& go = cp.guidance_options;
+    out << ",\"guidance\":" << static_cast<int>(cp.guidance)
+        << ",\"guidance_options\":{\"exploration\":";
+    WriteDouble(out, go.exploration);
+    out << ",\"plateau_batches\":" << go.plateau_batches
+        << ",\"corpus_max\":" << go.corpus_max
+        << ",\"harvest_max\":" << go.harvest_max << "}";
+    out << ",\"guidance_seeds\":[";
+    bool first_seed = true;
+    for (const fuzzer::SeedDescriptor& seed : cp.guidance_seeds) {
+      if (!first_seed) out << ",";
+      first_seed = false;
+      out << "{\"table_id\":" << seed.table_id
+          << ",\"mutation\":" << seed.mutation
+          << ",\"energy\":" << seed.energy << "}";
+    }
+    out << "]";
+  }
+  out << ",\"fuzzer\":{\"invalid_probability\":";
   WriteDouble(out, cp.fuzzer.invalid_probability);
   out << ",\"delete_probability\":";
   WriteDouble(out, cp.fuzzer.delete_probability);
@@ -719,8 +761,10 @@ std::string SerializeShardSpec(const WireShardSpec& spec) {
       << ",\"packet_out_ports\":" << dp.packet_out_ports
       << ",\"packet_shard\":" << dp.packet_shard
       << ",\"packet_shards\":" << dp.packet_shards
-      << ",\"batch_reference\":" << (dp.batch_reference ? "true" : "false")
-      << "}";
+      << ",\"batch_reference\":" << (dp.batch_reference ? "true" : "false");
+  // Conditional for the same byte-identity reason as the guidance keys.
+  if (dp.coverage_observe) out << ",\"coverage_observe\":true";
+  out << "}";
 
   out << ",\"dataplane_on_fuzzed_state\":"
       << (spec.dataplane_on_fuzzed_state ? "true" : "false")
@@ -830,6 +874,35 @@ StatusOr<WireShardSpec> ParseShardSpec(std::string_view line) {
       GetInt(*cp, "max_incidents", kWhat, spec.control_plane.max_incidents));
   SWITCHV_RETURN_IF_ERROR(
       GetBool(*cp, "oracle_cache", kWhat, spec.control_plane.oracle_cache));
+  if (cp->Find("guidance") != nullptr) {
+    int guidance = 0;
+    SWITCHV_RETURN_IF_ERROR(GetInt(*cp, "guidance", kWhat, guidance));
+    if (guidance < 0 || guidance > 1) {
+      return InvalidArgumentError("shard spec: guidance " +
+                                  std::to_string(guidance) + " out of range");
+    }
+    spec.control_plane.guidance = static_cast<fuzzer::Guidance>(guidance);
+    SWITCHV_ASSIGN_OR_RETURN(
+        const Json* go,
+        Require(*cp, "guidance_options", Json::Type::kObject, kWhat));
+    fuzzer::GuidanceOptions& opts = spec.control_plane.guidance_options;
+    SWITCHV_RETURN_IF_ERROR(
+        GetDouble(*go, "exploration", kWhat, opts.exploration));
+    SWITCHV_RETURN_IF_ERROR(
+        GetInt(*go, "plateau_batches", kWhat, opts.plateau_batches));
+    SWITCHV_RETURN_IF_ERROR(GetInt(*go, "corpus_max", kWhat, opts.corpus_max));
+    SWITCHV_RETURN_IF_ERROR(
+        GetInt(*go, "harvest_max", kWhat, opts.harvest_max));
+    SWITCHV_ASSIGN_OR_RETURN(
+        const Json* seeds,
+        Require(*cp, "guidance_seeds", Json::Type::kArray, kWhat));
+    spec.control_plane.guidance_seeds.reserve(seeds->array.size());
+    for (const Json& seed : seeds->array) {
+      SWITCHV_ASSIGN_OR_RETURN(fuzzer::SeedDescriptor parsed,
+                               ParseSeedDescriptor(seed));
+      spec.control_plane.guidance_seeds.push_back(parsed);
+    }
+  }
   SWITCHV_ASSIGN_OR_RETURN(
       const Json* fuzzer, Require(*cp, "fuzzer", Json::Type::kObject, kWhat));
   fuzzer::FuzzerOptions& fo = spec.control_plane.fuzzer;
@@ -858,6 +931,10 @@ StatusOr<WireShardSpec> ParseShardSpec(std::string_view line) {
       GetInt(*dp, "packet_shards", kWhat, spec.dataplane.packet_shards));
   SWITCHV_RETURN_IF_ERROR(GetBool(*dp, "batch_reference", kWhat,
                                   spec.dataplane.batch_reference));
+  if (dp->Find("coverage_observe") != nullptr) {
+    SWITCHV_RETURN_IF_ERROR(GetBool(*dp, "coverage_observe", kWhat,
+                                    spec.dataplane.coverage_observe));
+  }
 
   SWITCHV_RETURN_IF_ERROR(GetBool(json, "dataplane_on_fuzzed_state", kWhat,
                                   spec.dataplane_on_fuzzed_state));
@@ -914,7 +991,22 @@ std::string SerializeShardResult(const WireShardResult& result) {
     first = false;
     WriteSpan(out, span);
   }
-  out << "]}";
+  out << "]";
+  // Conditional: an unguided result line carries no seeds key, keeping its
+  // bytes identical to the previous protocol revision.
+  if (!result.seeds.empty()) {
+    out << ",\"seeds\":[";
+    first = true;
+    for (const fuzzer::SeedDescriptor& seed : result.seeds) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"table_id\":" << seed.table_id
+          << ",\"mutation\":" << seed.mutation
+          << ",\"energy\":" << seed.energy << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -965,6 +1057,17 @@ StatusOr<WireShardResult> ParseShardResult(std::string_view line) {
   for (const Json& span : spans->array) {
     SWITCHV_ASSIGN_OR_RETURN(TraceSpan parsed, ParseSpan(span));
     result.spans.push_back(std::move(parsed));
+  }
+  if (const Json* seeds = json.Find("seeds"); seeds != nullptr) {
+    if (seeds->type != Json::Type::kArray) {
+      return InvalidArgumentError("shard result: 'seeds' is not an array");
+    }
+    result.seeds.reserve(seeds->array.size());
+    for (const Json& seed : seeds->array) {
+      SWITCHV_ASSIGN_OR_RETURN(fuzzer::SeedDescriptor parsed,
+                               ParseSeedDescriptor(seed));
+      result.seeds.push_back(parsed);
+    }
   }
   return result;
 }

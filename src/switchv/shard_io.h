@@ -92,6 +92,10 @@ struct WireShardResult {
   // Shard spans when the spec asked for tracing; identity ((shard, seq),
   // names, nesting) is deterministic, timestamps are worker-relative.
   std::vector<TraceSpan> spans;
+  // Coverage-guided shards: the shard's harvested corpus seeds (empty when
+  // guidance is off — and then absent from the wire line entirely, keeping
+  // unguided result bytes identical to the previous protocol revision).
+  std::vector<fuzzer::SeedDescriptor> seeds;
 };
 
 // ---------------------------------------------------------------------------

@@ -354,15 +354,19 @@ StatusOr<HelloEnvelope> ParseHello(std::string_view payload) {
 std::string SerializeRemoteRequest(const RemoteShardRequest& request) {
   // Version 1 when telemetry is off: a telemetry-disabled campaign puts
   // byte-identical requests on the wire, and pre-telemetry hosts keep
-  // working. Version 2 appends the telemetry interval.
+  // working. Version 2 appends the telemetry interval. Version 3 (only
+  // when guidance is on) appends the interval — 0 allowed there, guidance
+  // does not require telemetry — and then the guidance value.
+  const bool guided = request.guidance > 0;
   const bool telemetry = request.telemetry_interval_seconds > 0;
   std::ostringstream out;
-  out << "switchv-shard-request " << (telemetry ? 2 : 1) << " "
+  out << "switchv-shard-request " << (guided ? 3 : (telemetry ? 2 : 1)) << " "
       << request.campaign_id << " " << request.shard << " "
       << request.attempt << " "
       << std::setprecision(std::numeric_limits<double>::max_digits10)
       << request.timeout_seconds;
-  if (telemetry) out << " " << request.telemetry_interval_seconds;
+  if (guided || telemetry) out << " " << request.telemetry_interval_seconds;
+  if (guided) out << " " << request.guidance;
   out << "\n" << request.spec_line;
   return out.str();
 }
@@ -372,7 +376,8 @@ StatusOr<RemoteShardRequest> ParseRemoteRequest(std::string_view payload) {
   std::string_view in = payload;
   int version = 0;
   if (!ConsumeLiteral(in, "switchv-shard-request ") ||
-      !ConsumeInt(in, version) || (version != 1 && version != 2) ||
+      !ConsumeInt(in, version) ||
+      (version != 1 && version != 2 && version != 3) ||
       !ConsumeLiteral(in, " ") || !ConsumeU64(in, request.campaign_id) ||
       !ConsumeLiteral(in, " ") || !ConsumeInt(in, request.shard) ||
       !ConsumeLiteral(in, " ") || !ConsumeInt(in, request.attempt) ||
@@ -380,12 +385,20 @@ StatusOr<RemoteShardRequest> ParseRemoteRequest(std::string_view payload) {
       !ConsumeDouble(in, request.timeout_seconds)) {
     return InvalidArgumentError("malformed remote shard request envelope");
   }
-  if (version == 2 &&
+  if (version >= 2 &&
       (!ConsumeLiteral(in, " ") ||
        !ConsumeDouble(in, request.telemetry_interval_seconds) ||
-       request.telemetry_interval_seconds <= 0)) {
+       // v2 exists only to carry a live interval; v3 allows 0 (guided
+       // shard without telemetry).
+       (version == 2 ? request.telemetry_interval_seconds <= 0
+                     : request.telemetry_interval_seconds < 0))) {
     return InvalidArgumentError(
         "malformed remote shard request telemetry interval");
+  }
+  if (version == 3 &&
+      (!ConsumeLiteral(in, " ") || !ConsumeInt(in, request.guidance) ||
+       request.guidance <= 0)) {
+    return InvalidArgumentError("malformed remote shard request guidance");
   }
   if (!ConsumeLiteral(in, "\n")) {
     return InvalidArgumentError("malformed remote shard request envelope");

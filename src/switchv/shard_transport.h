@@ -195,6 +195,12 @@ struct RemoteShardRequest {
   // default 0 keeps the version-1 envelope, so a telemetry-off campaign's
   // wire bytes are identical to the pre-telemetry protocol.
   double telemetry_interval_seconds = 0;
+  // > 0 (fuzzer::Guidance::kCoverage) marks a coverage-guided shard and
+  // selects the version-3 envelope, which appends the telemetry interval
+  // (0 allowed: guidance does not require telemetry) and then the guidance
+  // value. The default 0 keeps the v1/v2 envelopes, so a guidance-off
+  // campaign's wire bytes are identical to the pre-guidance protocol.
+  int guidance = 0;
   std::string spec_line;  // SerializeShardSpec output (no newline)
 };
 

@@ -1,0 +1,840 @@
+// Coverage-guided campaign wall (fuzzer/coverage.h). Registered under
+// `ctest -L coverage`; part of the tier-1 default set and the ASan label
+// list.
+//
+// Three contracts under test:
+//   * Mechanics — the edge bitmap is deterministic (stable edge ids,
+//     commutative/associative merge, saturating counts), the scheduler is
+//     a pure function of (seed, observations), and the batch interpreter
+//     attributes coverage identically to the scalar interpreter for every
+//     lane, including demoted ones.
+//   * Convergence — guided mode reaches a deep syncd/asic catalog fault
+//     (kAclResourceLeak) in a fraction of the updates uniform mode needs,
+//     pinned at a >= 2x median margin over a seed sweep.
+//   * Conformance — guidance never changes *what* a campaign can report,
+//     only how fast: the full fault-catalog sweep produces an identical
+//     detected/detector/layer matrix and identical incident fingerprints
+//     with guidance on vs off, in-process and in subprocess workers; and a
+//     guidance-off campaign's wire bytes are identical to the pre-guidance
+//     protocol (v1/v2 envelopes, no spec keys).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bmv2/batch_interpreter.h"
+#include "fuzzer/coverage.h"
+#include "fuzzer/mutation.h"
+#include "models/entry_gen.h"
+#include "models/sai_model.h"
+#include "models/test_packets.h"
+#include "switchv/experiment.h"
+#include "switchv/shard_transport.h"
+#include "switchv/telemetry.h"
+
+// Baked in by tests/CMakeLists.txt; the subprocess sweep is skipped when
+// the worker binary is unavailable (e.g. a hand-rolled compile).
+#ifndef SWITCHV_SHARD_WORKER_PATH
+#define SWITCHV_SHARD_WORKER_PATH ""
+#endif
+
+namespace switchv {
+namespace {
+
+using fuzzer::CoverageEdgeId;
+using fuzzer::CoverageEdgeIdNamed;
+using fuzzer::CoverageMap;
+using fuzzer::CoverageNameId;
+using fuzzer::CoverageScheduler;
+using fuzzer::Guidance;
+using fuzzer::GuidanceOptions;
+using fuzzer::SeedDescriptor;
+
+// ---------------------------------------------------------------------------
+// Edge ids: pure functions of the tuple, so the same program point hashes
+// to the same id in every process and shard. The literal pins freeze the
+// hash scheme — changing it silently would invalidate every stored
+// fingerprint and cross-run map comparison.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageEdgeIdTest, IdsAreStableAndTupleSensitive) {
+  const std::uint64_t id = CoverageEdgeId(17, 0x42, /*layer=*/3, false);
+  EXPECT_EQ(id, CoverageEdgeId(17, 0x42, 3, false));  // pure
+  EXPECT_NE(id, CoverageEdgeId(18, 0x42, 3, false));  // table matters
+  EXPECT_NE(id, CoverageEdgeId(17, 0x43, 3, false));  // action matters
+  EXPECT_NE(id, CoverageEdgeId(17, 0x42, 2, false));  // layer matters
+  EXPECT_NE(id, CoverageEdgeId(17, 0x42, 3, true));   // failed-bit matters
+}
+
+TEST(CoverageEdgeIdTest, NamedEdgesUseTheReferenceLayerCoordinate) {
+  // bmv2-reported edges live on their own layer coordinate (6, past the
+  // SUT stack) so they can never collide structurally with control-plane
+  // edges.
+  EXPECT_EQ(CoverageEdgeIdNamed("ipv4_table", "set_nexthop"),
+            CoverageEdgeId(CoverageNameId("ipv4_table"),
+                           CoverageNameId("set_nexthop"), /*layer=*/6,
+                           /*failed=*/false));
+  EXPECT_NE(CoverageEdgeIdNamed("ipv4_table", "set_nexthop"),
+            CoverageEdgeIdNamed("set_nexthop", "ipv4_table"));
+}
+
+TEST(CoverageEdgeIdTest, LiteralPins) {
+  // FNV-1a 32 reference vectors (public test vectors for the algorithm).
+  EXPECT_EQ(CoverageNameId(""), 0x811c9dc5u);
+  EXPECT_EQ(CoverageNameId("a"), 0xe40c292cu);
+  EXPECT_EQ(CoverageNameId("foobar"), 0xbf9cf968u);
+  // Splitmix edge-id pins: frozen observed values of the current scheme.
+  EXPECT_EQ(CoverageEdgeId(0, 0, 0, false), 0xd9f2cbb03fa998cdull);
+  EXPECT_EQ(CoverageEdgeId(1, 2, 3, true), 0x0538849e23a09499ull);
+}
+
+// ---------------------------------------------------------------------------
+// Map mechanics: saturating counts; merge is commutative and associative,
+// so shard maps fold in any order (the campaign merges them in shard order
+// only for reproducibility of the *report*, not correctness of the map).
+// ---------------------------------------------------------------------------
+
+TEST(CoverageMapTest, MarkCountsAndSaturates) {
+  CoverageMap map;
+  const std::uint64_t edge = CoverageEdgeId(3, 9, 2, false);
+  EXPECT_EQ(map.CountAt(edge), 0);
+  EXPECT_EQ(map.Mark(edge), 0);  // returns the pre-increment count
+  EXPECT_EQ(map.Mark(edge), 1);
+  EXPECT_EQ(map.CountAt(edge), 2);
+  for (int i = 0; i < 600; ++i) map.Mark(edge);
+  EXPECT_EQ(map.CountAt(edge), 255);  // saturates, no wraparound
+  EXPECT_EQ(map.Mark(edge), 255);
+  EXPECT_EQ(map.PopulatedEdges(), 1u);
+  map.Clear();
+  EXPECT_EQ(map.PopulatedEdges(), 0u);
+}
+
+TEST(CoverageMapTest, MergeIsCommutativeAndAssociative) {
+  std::mt19937_64 rng(41);
+  CoverageMap a, b, c;
+  std::vector<std::uint64_t> edges;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t edge = rng();
+    edges.push_back(edge);
+    if (i % 2 == 0) a.Mark(edge);
+    if (i % 3 == 0) b.Mark(edge);
+    if (i % 5 == 0) for (int k = 0; k < 3; ++k) c.Mark(edge);
+  }
+  // (a + b) + c
+  CoverageMap left = a;
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  // c + (b + a)
+  CoverageMap right = b;
+  right.MergeFrom(a);
+  CoverageMap outer = c;
+  outer.MergeFrom(right);
+  EXPECT_EQ(left.Fingerprint(), outer.Fingerprint());
+  EXPECT_EQ(left.PopulatedEdges(), outer.PopulatedEdges());
+  for (const std::uint64_t edge : edges) {
+    ASSERT_EQ(left.CountAt(edge), outer.CountAt(edge));
+  }
+  // Identity: merging an empty map changes nothing.
+  CoverageMap with_empty = left;
+  with_empty.MergeFrom(CoverageMap());
+  EXPECT_EQ(with_empty.Fingerprint(), left.Fingerprint());
+}
+
+TEST(CoverageMapTest, MergeSaturatesPerSlot) {
+  CoverageMap a, b;
+  const std::uint64_t edge = 12345;
+  for (int i = 0; i < 200; ++i) a.Mark(edge);
+  for (int i = 0; i < 200; ++i) b.Mark(edge);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CountAt(edge), 255);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: deterministic per seed, observe-only mode never steers,
+// plateau falls back to uniform, and harvested seeds round-trip into a
+// fresh scheduler (the cross-shard exchange primitive).
+// ---------------------------------------------------------------------------
+
+TEST(CoverageSchedulerTest, DrawSequenceIsDeterministicPerSeed) {
+  GuidanceOptions options;
+  auto feed = [](CoverageScheduler& scheduler) {
+    for (std::uint32_t table = 1; table <= 6; ++table) {
+      scheduler.RecordUpdate(table, table * 7, /*layer_mask=*/0x0f,
+                             static_cast<int>(table % 3) - 1);
+    }
+    scheduler.EndBatch();
+  };
+  CoverageScheduler x(99, options), y(99, options), z(100, options);
+  feed(x);
+  feed(y);
+  feed(z);
+  ASSERT_TRUE(x.guided_active());
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    const CoverageScheduler::Plan px = x.DrawPlan();
+    const CoverageScheduler::Plan py = y.DrawPlan();
+    const CoverageScheduler::Plan pz = z.DrawPlan();
+    ASSERT_EQ(px.use_corpus, py.use_corpus) << "draw " << i;
+    ASSERT_EQ(px.table_id, py.table_id) << "draw " << i;
+    ASSERT_EQ(px.mutation, py.mutation) << "draw " << i;
+    diverged = diverged || px.use_corpus != pz.use_corpus ||
+               px.table_id != pz.table_id || px.mutation != pz.mutation;
+  }
+  // A different shard seed draws a different (still deterministic) stream.
+  EXPECT_TRUE(diverged);
+}
+
+TEST(CoverageSchedulerTest, ObserveOnlyRecordsButNeverSteers) {
+  GuidanceOptions observe;
+  observe.plateau_batches = 0;  // observe-only mode
+  CoverageScheduler scheduler(7, observe);
+  for (int i = 0; i < 50; ++i) {
+    scheduler.RecordUpdate(static_cast<std::uint32_t>(1 + i % 5), 11,
+                           /*layer_mask=*/0x1f, -1);
+  }
+  scheduler.EndBatch();
+  EXPECT_GT(scheduler.edges_total(), 0u);
+  EXPECT_GT(scheduler.novelty_events(), 0u);
+  // Coverage is recorded and exportable, but the generator must never ask
+  // this scheduler for a plan.
+  EXPECT_FALSE(scheduler.guided_active());
+}
+
+TEST(CoverageSchedulerTest, PlateauFallsBackToUniformAndNoveltyRevives) {
+  GuidanceOptions options;
+  options.plateau_batches = 3;
+  CoverageScheduler scheduler(7, options);
+  scheduler.RecordUpdate(4, 9, /*layer_mask=*/0x08, 2);
+  EXPECT_TRUE(scheduler.guided_active());
+  // Walk the edge's hit count past the low power-of-two buckets (counts
+  // 2, 4, and 8 all land on crossings and would reset the plateau clock),
+  // then run batches whose repeat hits are bucket-interior: no novelty,
+  // so the plateau clock advances.
+  for (int i = 0; i < 7; ++i) scheduler.RecordUpdate(4, 9, 0x08, 2);
+  for (int batch = 0; batch < 3; ++batch) {
+    scheduler.RecordUpdate(4, 9, 0x08, 2);
+    scheduler.EndBatch();
+  }
+  EXPECT_FALSE(scheduler.guided_active()) << "plateau must fall back";
+  // A genuinely new edge resets the plateau clock.
+  scheduler.RecordUpdate(5, 10, 0x08, 1);
+  EXPECT_TRUE(scheduler.guided_active());
+}
+
+TEST(CoverageSchedulerTest, HarvestedSeedsImportIntoAFreshScheduler) {
+  GuidanceOptions options;
+  CoverageScheduler source(21, options);
+  source.RecordUpdate(3, 5, /*layer_mask=*/0x0f, -1);  // valid insert
+  source.RecordUpdate(8, 2, /*layer_mask=*/0x1f, 4);   // mutation recipe
+  const std::vector<SeedDescriptor> harvest = source.HarvestSeeds();
+  ASSERT_EQ(harvest.size(), 2u);
+  // Energy-sorted: the deeper (0x1f) recipe earned more credit.
+  EXPECT_GE(harvest[0].energy, harvest[1].energy);
+
+  CoverageScheduler sink(22, options);
+  EXPECT_FALSE(sink.guided_active());  // empty corpus
+  sink.ImportSeeds(harvest);
+  // Imported seeds are a live corpus from the first draw: a campaign
+  // seeded with a previous harvest starts guided, not cold.
+  EXPECT_TRUE(sink.guided_active());
+  const std::vector<SeedDescriptor> reexport = sink.HarvestSeeds();
+  ASSERT_EQ(reexport.size(), harvest.size());
+  for (const SeedDescriptor& seed : harvest) {
+    EXPECT_NE(std::find(reexport.begin(), reexport.end(), seed),
+              reexport.end());
+  }
+}
+
+TEST(CoverageSchedulerTest, HarvestTruncatesToTopEnergy) {
+  GuidanceOptions options;
+  options.harvest_max = 4;
+  CoverageScheduler scheduler(5, options);
+  for (std::uint32_t table = 1; table <= 12; ++table) {
+    // Deeper layers for higher tables => strictly increasing credit.
+    scheduler.RecordUpdate(table, 1,
+                           static_cast<std::uint8_t>((1u << (table % 5)) | 1),
+                           -1);
+  }
+  const std::vector<SeedDescriptor> harvest = scheduler.HarvestSeeds();
+  ASSERT_EQ(harvest.size(), 4u);
+  for (std::size_t i = 1; i < harvest.size(); ++i) {
+    EXPECT_GE(harvest[i - 1].energy, harvest[i].energy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-vs-scalar attribution: the 64-lane batch interpreter must put
+// exactly the same (table, action) applications into a coverage sink as
+// the scalar interpreter run lane by lane — for vectorized lanes, demoted
+// lanes, and the full forced-fallback path. Equality is on map content
+// (fingerprints), not event order: EnumerateBehaviorsBatch may interleave
+// lanes across passes.
+// ---------------------------------------------------------------------------
+
+struct MapSink final : bmv2::CoverageSink {
+  CoverageMap map;
+  void OnTableApply(std::string_view table, std::string_view action) override {
+    map.Mark(CoverageEdgeIdNamed(table, action));
+  }
+};
+
+class BatchCoverageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(program.ok()) << program.status();
+    program_ = std::move(program).value();
+    info_ = p4ir::P4Info::FromProgram(program_);
+    interpreter_ = std::make_unique<bmv2::Interpreter>(
+        program_, models::SaiParserSpec(), models::DefaultCloneSessions());
+    auto entries =
+        models::GenerateEntries(info_, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(),
+                                /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    ASSERT_TRUE(interpreter_->InstallEntries(*entries).ok());
+  }
+
+  // Mixed corpus: routed/unrouted v4, v6, ARP, truncated, garbage — the
+  // same families as the batch conformance wall, so divergent control flow
+  // and scalar demotion both occur.
+  std::vector<std::string> BuildCorpus(int count, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::string> corpus;
+    corpus.reserve(static_cast<std::size_t>(count));
+    const std::string donor =
+        models::BuildIpv4Packet(program_, models::Ipv4PacketSpec{});
+    for (int i = 0; i < count; ++i) {
+      switch (i % 5) {
+        case 0: {
+          models::Ipv4PacketSpec spec;
+          spec.dst_ip = static_cast<std::uint32_t>(rng());
+          spec.ttl = static_cast<int>(rng() % 3 == 0 ? rng() % 2 : 64);
+          corpus.push_back(models::BuildIpv4Packet(program_, spec));
+          break;
+        }
+        case 1: {
+          models::Ipv6PacketSpec spec;
+          spec.dst_ip = (static_cast<uint128>(rng()) << 64) | rng();
+          corpus.push_back(models::BuildIpv6Packet(program_, spec));
+          break;
+        }
+        case 2:
+          corpus.push_back(models::BuildArpPacket(program_));
+          break;
+        case 3:
+          corpus.push_back(donor.substr(0, rng() % (donor.size() + 1)));
+          break;
+        default: {
+          models::Ipv4PacketSpec spec;
+          spec.dst_ip = 0x0A000000u | static_cast<std::uint32_t>(rng() % 256);
+          corpus.push_back(models::BuildIpv4Packet(program_, spec));
+          break;
+        }
+      }
+    }
+    return corpus;
+  }
+
+  static std::vector<bmv2::BatchInterpreter::LanePacket> Lanes(
+      const std::vector<std::string>& corpus) {
+    std::vector<bmv2::BatchInterpreter::LanePacket> lanes;
+    lanes.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      lanes.push_back({corpus[i], static_cast<std::uint16_t>(1 + i % 8)});
+    }
+    return lanes;
+  }
+
+  // The scalar reference attribution: one Run per lane into a fresh sink.
+  CoverageMap ScalarRunMap(
+      const std::vector<bmv2::BatchInterpreter::LanePacket>& lanes,
+      std::uint64_t hash_seed) {
+    MapSink sink;
+    interpreter_->set_coverage_sink(&sink);
+    for (const auto& lane : lanes) {
+      (void)interpreter_->Run(lane.bytes, lane.ingress_port, hash_seed);
+    }
+    interpreter_->set_coverage_sink(nullptr);
+    return sink.map;
+  }
+
+  p4ir::Program program_;
+  p4ir::P4Info info_;
+  std::unique_ptr<bmv2::Interpreter> interpreter_;
+};
+
+TEST_F(BatchCoverageTest, RunBatchAttributionMatchesScalarAcrossSizes) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  for (const int size : {1, 3, 63, 64, 65, 130}) {
+    SCOPED_TRACE("size " + std::to_string(size));
+    // LanePacket holds string_views: the corpus must outlive the lanes.
+    const auto corpus = BuildCorpus(size, static_cast<std::uint64_t>(size));
+    const auto lanes = Lanes(corpus);
+    const CoverageMap scalar = ScalarRunMap(lanes, /*hash_seed=*/5);
+
+    MapSink sink;
+    batch.set_coverage_sink(&sink);
+    (void)batch.RunBatch64(lanes, /*hash_seed=*/5);
+    batch.set_coverage_sink(nullptr);
+
+    EXPECT_EQ(sink.map.Fingerprint(), scalar.Fingerprint());
+    EXPECT_EQ(sink.map.PopulatedEdges(), scalar.PopulatedEdges());
+    EXPECT_GT(sink.map.PopulatedEdges(), 0u);
+  }
+  EXPECT_GT(batch.stats().lanes_run, 0u);  // the vector path actually ran
+}
+
+TEST_F(BatchCoverageTest, ForcedFallbackAttributionMatchesScalar) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  const auto corpus = BuildCorpus(70, /*seed=*/9);
+  const auto lanes = Lanes(corpus);
+  const CoverageMap scalar = ScalarRunMap(lanes, /*hash_seed=*/3);
+
+  batch.set_force_scalar_fallback(true);
+  MapSink sink;
+  batch.set_coverage_sink(&sink);
+  (void)batch.RunBatch64(lanes, /*hash_seed=*/3);
+  batch.set_coverage_sink(nullptr);
+
+  EXPECT_EQ(batch.stats().scalar_fallbacks, lanes.size());
+  EXPECT_EQ(sink.map.Fingerprint(), scalar.Fingerprint());
+}
+
+TEST_F(BatchCoverageTest, EnumerateBehaviorsAttributionMatchesScalar) {
+  bmv2::BatchInterpreter batch(*interpreter_);
+  const auto corpus = BuildCorpus(70, /*seed=*/33);
+  const auto lanes = Lanes(corpus);
+
+  MapSink scalar_sink;
+  interpreter_->set_coverage_sink(&scalar_sink);
+  for (const auto& lane : lanes) {
+    (void)interpreter_->EnumerateBehaviors(lane.bytes, lane.ingress_port);
+  }
+  interpreter_->set_coverage_sink(nullptr);
+
+  MapSink batch_sink;
+  batch.set_coverage_sink(&batch_sink);
+  (void)batch.EnumerateBehaviorsBatch(lanes);
+  batch.set_coverage_sink(nullptr);
+
+  EXPECT_EQ(batch_sink.map.Fingerprint(), scalar_sink.map.Fingerprint());
+  EXPECT_EQ(batch_sink.map.PopulatedEdges(),
+            scalar_sink.map.PopulatedEdges());
+  EXPECT_GT(batch_sink.map.PopulatedEdges(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire conformance: guidance rides the shard spec and the request envelope
+// only when it is on. Off = byte-identical to the pre-guidance protocol.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageWireTest, GuidanceOffSpecAndResultCarryNoNewBytes) {
+  WireShardSpec spec;
+  spec.kind = WireShardSpec::Kind::kControlPlane;
+  spec.scenario.role = models::Role::kMiddleblock;
+  spec.scenario.workload = ExperimentOptions::SmallWorkload();
+  const std::string line = SerializeShardSpec(spec);
+  EXPECT_EQ(line.find("guidance"), std::string::npos);
+  EXPECT_EQ(line.find("coverage_observe"), std::string::npos);
+
+  WireShardResult result;
+  const std::string result_line = SerializeShardResult(result);
+  EXPECT_EQ(result_line.find("\"seeds\""), std::string::npos);
+}
+
+TEST(CoverageWireTest, SpecRoundTripCarriesGuidance) {
+  WireShardSpec spec;
+  spec.kind = WireShardSpec::Kind::kControlPlane;
+  spec.scenario.role = models::Role::kMiddleblock;
+  spec.scenario.workload = ExperimentOptions::SmallWorkload();
+  spec.control_plane.guidance = Guidance::kCoverage;
+  spec.control_plane.guidance_options.exploration = 0.25;
+  spec.control_plane.guidance_options.plateau_batches = 7;
+  spec.control_plane.guidance_options.corpus_max = 99;
+  spec.control_plane.guidance_options.harvest_max = 5;
+  spec.control_plane.guidance_seeds = {
+      {/*table_id=*/0x02000033u, /*mutation=*/-1, /*energy=*/40},
+      {/*table_id=*/0x02000034u, /*mutation=*/11, /*energy=*/3},
+  };
+  spec.dataplane.coverage_observe = true;
+
+  auto parsed = ParseShardSpec(SerializeShardSpec(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->control_plane.guidance, Guidance::kCoverage);
+  EXPECT_EQ(parsed->control_plane.guidance_options.exploration, 0.25);
+  EXPECT_EQ(parsed->control_plane.guidance_options.plateau_batches, 7);
+  EXPECT_EQ(parsed->control_plane.guidance_options.corpus_max, 99);
+  EXPECT_EQ(parsed->control_plane.guidance_options.harvest_max, 5);
+  EXPECT_EQ(parsed->control_plane.guidance_seeds,
+            spec.control_plane.guidance_seeds);
+  EXPECT_TRUE(parsed->dataplane.coverage_observe);
+}
+
+TEST(CoverageWireTest, ResultRoundTripCarriesSeeds) {
+  WireShardResult result;
+  result.index = 2;
+  result.fuzzed_updates = 10;
+  result.seeds = {
+      {/*table_id=*/7u, /*mutation=*/4, /*energy=*/123},
+      {/*table_id=*/9u, /*mutation=*/-1, /*energy=*/1},
+  };
+  auto parsed = ParseShardResult(SerializeShardResult(result));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->seeds, result.seeds);
+}
+
+TEST(CoverageWireTest, RequestEnvelopeVersionsArePinned) {
+  RemoteShardRequest request;
+  request.campaign_id = 7;
+  request.shard = 3;
+  request.attempt = 1;
+  request.timeout_seconds = 120;
+  request.spec_line = "spec";
+  // Guidance off, telemetry off: the exact v1 bytes of the original
+  // protocol — a guidance-off campaign is indistinguishable on the wire.
+  EXPECT_EQ(SerializeRemoteRequest(request),
+            "switchv-shard-request 1 7 3 1 120\nspec");
+  // Guidance off, telemetry on: the exact v2 bytes of the telemetry
+  // protocol revision.
+  request.telemetry_interval_seconds = 0.5;
+  EXPECT_EQ(SerializeRemoteRequest(request),
+            "switchv-shard-request 2 7 3 1 120 0.5\nspec");
+  // Guidance on upgrades to v3: interval (0 allowed) then guidance.
+  request.telemetry_interval_seconds = 0;
+  request.guidance = static_cast<int>(Guidance::kCoverage);
+  EXPECT_EQ(SerializeRemoteRequest(request),
+            "switchv-shard-request 3 7 3 1 120 0 1\nspec");
+
+  auto parsed = ParseRemoteRequest(SerializeRemoteRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->guidance, 1);
+  EXPECT_EQ(parsed->telemetry_interval_seconds, 0);
+  EXPECT_EQ(parsed->spec_line, "spec");
+}
+
+TEST(CoverageWireTest, MalformedEnvelopesAreRejected) {
+  // v3 requires a positive guidance value...
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 3 7 3 1 120 0 0\nspec").ok());
+  // ...and a non-negative interval.
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 3 7 3 1 120 -1 1\nspec").ok());
+  // v2 still requires a positive interval (it exists only to carry one).
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 2 7 3 1 120 0\nspec").ok());
+  // v1 must not carry trailing fields.
+  EXPECT_FALSE(
+      ParseRemoteRequest("switchv-shard-request 4 7 3 1 120\nspec").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level determinism and export: a guided campaign is a pure
+// function of (options, seed) — parallelism 1 and N produce identical
+// reports, coverage counters, and harvested seeds — and the counters flow
+// through every export surface.
+// ---------------------------------------------------------------------------
+
+class CoverageCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto model = models::BuildSaiProgram(models::Role::kMiddleblock);
+    ASSERT_TRUE(model.ok()) << model.status();
+    model_ = new p4ir::Program(*std::move(model));
+    info_ = new p4ir::P4Info(p4ir::P4Info::FromProgram(*model_));
+    auto entries =
+        models::GenerateEntries(*info_, models::Role::kMiddleblock,
+                                ExperimentOptions::SmallWorkload(),
+                                /*seed=*/2);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    entries_ = new std::vector<p4rt::TableEntry>(*std::move(entries));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete info_;
+    delete entries_;
+    model_ = nullptr;
+    info_ = nullptr;
+    entries_ = nullptr;
+  }
+
+  static CampaignOptions GuidedCampaign() {
+    CampaignOptions options;
+    options.seed = 5;
+    options.run_dataplane = false;
+    options.control_plane_shards = 3;
+    options.control_plane.num_requests = 12;
+    options.control_plane.updates_per_request = 30;
+    options.guidance = Guidance::kCoverage;
+    return options;
+  }
+
+  static CampaignReport Run(const sut::FaultRegistry* faults,
+                            const CampaignOptions& options) {
+    return RunValidationCampaign(faults, *model_, models::SaiParserSpec(),
+                                 *entries_, options);
+  }
+
+  static p4ir::Program* model_;
+  static p4ir::P4Info* info_;
+  static std::vector<p4rt::TableEntry>* entries_;
+};
+
+p4ir::Program* CoverageCampaignTest::model_ = nullptr;
+p4ir::P4Info* CoverageCampaignTest::info_ = nullptr;
+std::vector<p4rt::TableEntry>* CoverageCampaignTest::entries_ = nullptr;
+
+TEST_F(CoverageCampaignTest, GuidedReportIsIdenticalForParallelism1AndN) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kDeleteNonExistingFailsBatch);
+
+  CampaignOptions sequential = GuidedCampaign();
+  sequential.parallelism = 1;
+  const CampaignReport one = Run(&faults, sequential);
+
+  CampaignOptions parallel = GuidedCampaign();
+  parallel.parallelism = 4;
+  const CampaignReport many = Run(&faults, parallel);
+
+  EXPECT_EQ(one.FingerprintSet(), many.FingerprintSet());
+  EXPECT_FALSE(one.groups.empty());
+  EXPECT_EQ(one.fuzzed_updates, many.fuzzed_updates);
+  EXPECT_EQ(one.harvested_seeds, many.harvested_seeds);
+  EXPECT_FALSE(one.harvested_seeds.empty());
+  EXPECT_EQ(one.metrics.coverage_edges_total,
+            many.metrics.coverage_edges_total);
+  EXPECT_EQ(one.metrics.coverage_new_edges, many.metrics.coverage_new_edges);
+  EXPECT_EQ(one.metrics.seeds_exchanged, many.metrics.seeds_exchanged);
+  EXPECT_GT(one.metrics.coverage_edges_total, 0u);
+  EXPECT_GT(one.metrics.coverage_new_edges, 0u);
+  EXPECT_EQ(one.metrics.seeds_exchanged, one.harvested_seeds.size());
+}
+
+TEST_F(CoverageCampaignTest, HarvestedSeedsFanOutIntoAFollowUpCampaign) {
+  const CampaignReport first = Run(nullptr, GuidedCampaign());
+  ASSERT_FALSE(first.harvested_seeds.empty());
+
+  // Cross-campaign exchange: a second campaign imports the harvest and is
+  // still deterministic across parallelism.
+  CampaignOptions next = GuidedCampaign();
+  next.seed = 6;
+  next.guidance_seeds = first.harvested_seeds;
+  const CampaignReport a = Run(nullptr, next);
+  next.parallelism = 4;
+  const CampaignReport b = Run(nullptr, next);
+  EXPECT_EQ(a.FingerprintSet(), b.FingerprintSet());
+  EXPECT_EQ(a.fuzzed_updates, b.fuzzed_updates);
+  EXPECT_EQ(a.harvested_seeds, b.harvested_seeds);
+}
+
+TEST_F(CoverageCampaignTest, CountersFlowThroughEveryExportSurface) {
+  CampaignTelemetry telemetry;
+  CampaignOptions options = GuidedCampaign();
+  options.telemetry = &telemetry;
+  const CampaignReport report = Run(nullptr, options);
+
+  const MetricsSnapshot& m = report.metrics;
+  EXPECT_GT(m.coverage_edges_total, 0u);
+  EXPECT_GT(m.coverage_new_edges, 0u);
+  EXPECT_GT(m.seeds_exchanged, 0u);
+  EXPECT_NE(m.ToString().find("coverage:"), std::string::npos);
+  EXPECT_NE(m.ToPrometheus().find("switchv_coverage_edges_total"),
+            std::string::npos);
+  EXPECT_NE(m.ToPrometheus().find("switchv_coverage_new_edges_total"),
+            std::string::npos);
+  EXPECT_NE(m.ToPrometheus().find("switchv_seeds_exchanged_total"),
+            std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"coverage_edges_total\""), std::string::npos);
+  EXPECT_NE(m.ToWireJson().find("\"coverage_new_edges\""), std::string::npos);
+  // The merge journals one seeds-exchanged event per harvesting shard.
+  EXPECT_GT(telemetry.journal().CountKind(JournalEventKind::kSeedsExchanged),
+            0u);
+}
+
+TEST_F(CoverageCampaignTest, UniformCampaignReportsNoCoverage) {
+  CampaignOptions options = GuidedCampaign();
+  options.guidance = Guidance::kUniform;
+  const CampaignReport report = Run(nullptr, options);
+  EXPECT_EQ(report.metrics.coverage_edges_total, 0u);
+  EXPECT_EQ(report.metrics.coverage_new_edges, 0u);
+  EXPECT_EQ(report.metrics.seeds_exchanged, 0u);
+  EXPECT_TRUE(report.harvested_seeds.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Convergence wall: the reason guidance exists. kAclResourceLeak
+// (syncd/SAI layer, surfaces at the ASIC) needs a long run of *successful*
+// ACL inserts before the leaked TCAM slots exhaust capacity — uniform
+// fuzzing spreads its draws over every table, guided fuzzing concentrates
+// on the recipes that keep reaching new deep edges. Median
+// updates-to-detection over a seed sweep must favour guided by >= 2x.
+// ---------------------------------------------------------------------------
+
+class CoverageConvergenceTest : public CoverageCampaignTest {};
+
+TEST_F(CoverageConvergenceTest, GuidedReachesDeepAclFaultTwiceAsFast) {
+  sut::FaultRegistry faults;
+  faults.Activate(sut::Fault::kAclResourceLeak);
+
+  auto updates_to_detection = [&](std::uint64_t seed, Guidance guidance) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.run_dataplane = false;
+    options.control_plane.num_requests = 150;
+    options.control_plane.updates_per_request = 20;
+    options.control_plane.max_incidents = 1;  // stop at first detection
+    options.guidance = guidance;
+    const CampaignReport report = Run(&faults, options);
+    EXPECT_TRUE(report.bug_detected())
+        << "seed " << seed << " guidance " << static_cast<int>(guidance)
+        << ": fault not detected within the update budget";
+    return report.fuzzed_updates;
+  };
+
+  std::vector<int> uniform, guided;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    uniform.push_back(updates_to_detection(seed, Guidance::kUniform));
+    guided.push_back(updates_to_detection(seed, Guidance::kCoverage));
+  }
+  auto median = [](std::vector<int> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const int uniform_median = median(uniform);
+  const int guided_median = median(guided);
+  std::ostringstream sweep;
+  for (std::size_t i = 0; i < uniform.size(); ++i) {
+    sweep << " seed" << i << "=" << uniform[i] << "/" << guided[i];
+  }
+  EXPECT_GE(uniform_median, 2 * guided_median)
+      << "uniform median " << uniform_median << " vs guided median "
+      << guided_median << " (uniform/guided per seed:" << sweep.str() << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Conformance pin: guidance changes how fast a campaign finds bugs, never
+// what it can find. The full fault catalog, swept guidance-on and
+// guidance-off, must produce the identical fault-detected/layer matrix;
+// guided may first-detect at the same or an *earlier* pipeline stage
+// (fuzzer before symbolic before harness), never a later one; and on
+// every detected fault the two sweeps must share at least one incident
+// class under the same dedup fingerprint — two different update streams
+// legitimately surface different *secondary* classes of a fault (a
+// guided stream hammers the hot table and finds extras there while the
+// uniform stream's diversity finds extras elsewhere), but the same
+// divergence must dedup into the same class in both modes. Checked
+// in-process and under subprocess workers (which exercise the guidance
+// spec keys end to end).
+// ---------------------------------------------------------------------------
+
+struct SweepCell {
+  bool detected = false;
+  std::optional<Detector> detector;
+  sut::SutLayer layer = sut::SutLayer::kNone;
+  std::set<std::uint64_t> fingerprints;
+};
+
+std::vector<SweepCell> Cells(const std::vector<BugRunResult>& results) {
+  std::vector<SweepCell> cells;
+  cells.reserve(results.size());
+  for (const BugRunResult& result : results) {
+    SweepCell cell;
+    cell.detected = result.detected;
+    cell.detector = result.detector;
+    if (!result.report.incidents.empty()) {
+      cell.layer = result.report.incidents.front().layer;
+    }
+    for (const IncidentGroup& group : result.report.groups) {
+      cell.fingerprints.insert(group.fingerprint);
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+ExperimentOptions SweepOptions(Guidance guidance) {
+  ExperimentOptions options;
+  options.nightly.control_plane.num_requests = 12;
+  options.nightly.control_plane.updates_per_request = 40;
+  options.nightly.dataplane.packet_out_ports = 2;
+  options.nightly.guidance = guidance;
+  return options;
+}
+
+void ExpectSweepsConform(const std::vector<BugRunResult>& on,
+                         const std::vector<BugRunResult>& off) {
+  ASSERT_EQ(on.size(), off.size());
+  ASSERT_EQ(on.size(), sut::BugCatalog().size());
+  const std::vector<SweepCell> cells_on = Cells(on);
+  const std::vector<SweepCell> cells_off = Cells(off);
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    SCOPED_TRACE(on[i].bug->name);
+    ASSERT_EQ(on[i].bug->fault, off[i].bug->fault);
+    EXPECT_EQ(cells_on[i].detected, cells_off[i].detected);
+    EXPECT_EQ(cells_on[i].layer, cells_off[i].layer);
+    // Guided may first-detect at an earlier pipeline stage (its stream
+    // reaches the triggering recipe sooner), never a later one.
+    EXPECT_EQ(cells_on[i].detector.has_value(),
+              cells_off[i].detector.has_value());
+    if (cells_on[i].detector.has_value() &&
+        cells_off[i].detector.has_value()) {
+      EXPECT_LE(static_cast<int>(*cells_on[i].detector),
+                static_cast<int>(*cells_off[i].detector))
+          << "guided first-detected via "
+          << DetectorName(*cells_on[i].detector)
+          << " which runs after the uniform sweep's "
+          << DetectorName(*cells_off[i].detector);
+    }
+    // Fingerprint stability across modes: the sweeps must agree on at
+    // least one incident class per detected fault.
+    std::set<std::uint64_t> shared;
+    std::set_intersection(
+        cells_on[i].fingerprints.begin(), cells_on[i].fingerprints.end(),
+        cells_off[i].fingerprints.begin(), cells_off[i].fingerprints.end(),
+        std::inserter(shared, shared.begin()));
+    EXPECT_EQ(shared.empty(), cells_off[i].fingerprints.empty())
+        << "guided and uniform sweeps share no incident class (guided "
+        << cells_on[i].fingerprints.size() << " classes, uniform "
+        << cells_off[i].fingerprints.size() << ")";
+  }
+}
+
+TEST(CoverageConformanceTest, GuidedSweepMatrixMatchesUniformInProcess) {
+  auto guided = RunFullSweep(SweepOptions(Guidance::kCoverage));
+  ASSERT_TRUE(guided.ok()) << guided.status();
+  auto uniform = RunFullSweep(SweepOptions(Guidance::kUniform));
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  ExpectSweepsConform(*guided, *uniform);
+}
+
+TEST(CoverageConformanceTest, GuidedSweepMatrixMatchesUniformInSubprocess) {
+  if (std::string(SWITCHV_SHARD_WORKER_PATH).empty()) {
+    GTEST_SKIP() << "shard worker binary not baked in";
+  }
+  ExperimentOptions guided_options = SweepOptions(Guidance::kCoverage);
+  guided_options.nightly.execution = CampaignOptions::Execution::kSubprocess;
+  guided_options.nightly.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+  auto guided = RunFullSweep(guided_options);
+  ASSERT_TRUE(guided.ok()) << guided.status();
+
+  ExperimentOptions uniform_options = SweepOptions(Guidance::kUniform);
+  uniform_options.nightly.execution = CampaignOptions::Execution::kSubprocess;
+  uniform_options.nightly.worker_binary = SWITCHV_SHARD_WORKER_PATH;
+  auto uniform = RunFullSweep(uniform_options);
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  ExpectSweepsConform(*guided, *uniform);
+
+  // Substrate conformance within guided mode: the spec's guidance keys
+  // crossed the wire, and the subprocess sweep matches the in-process one.
+  auto in_process = RunFullSweep(SweepOptions(Guidance::kCoverage));
+  ASSERT_TRUE(in_process.ok()) << in_process.status();
+  ExpectSweepsConform(*guided, *in_process);
+}
+
+}  // namespace
+}  // namespace switchv
